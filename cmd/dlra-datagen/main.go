@@ -1,0 +1,86 @@
+// Command dlra-datagen materializes the synthetic stand-in datasets of the
+// evaluation (see DESIGN.md §4) as matrix files, so they can be inspected,
+// plotted, or fed to dlra-pca.
+//
+// Usage:
+//
+//	dlra-datagen -dataset forestcover|kddcup99|caltech101|scenes|isolet
+//	             [-scale small|medium|full] [-seed S] [-p P] -output file.csv
+//
+// For the pooled-code datasets (caltech101, scenes) the output is the
+// pooled n×256 feature matrix at exponent -p; the raw datasets emit their
+// feature matrices directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/dataset"
+	"repro/internal/matio"
+	"repro/internal/matrix"
+)
+
+func main() {
+	name := flag.String("dataset", "", "forestcover, kddcup99, caltech101, scenes or isolet")
+	scaleFlag := flag.String("scale", "medium", "small, medium or full")
+	seed := flag.Int64("seed", 2016, "random seed")
+	p := flag.Float64("p", 1, "pooling exponent for caltech101/scenes")
+	output := flag.String("output", "", "output file (CSV or .bin)")
+	flag.Parse()
+
+	if *name == "" || *output == "" {
+		log.Fatal("dlra-datagen: -dataset and -output are required")
+	}
+	var scale dataset.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = dataset.Small
+	case "medium":
+		scale = dataset.Medium
+	case "full":
+		scale = dataset.Full
+	default:
+		log.Fatalf("dlra-datagen: unknown scale %q", *scaleFlag)
+	}
+
+	var (
+		m    *matrix.Dense
+		info dataset.Info
+		err  error
+	)
+	switch *name {
+	case "forestcover":
+		m, info = dataset.ForestCoverRaw(scale, *seed)
+	case "kddcup99":
+		m, info = dataset.KDDCUP99Raw(scale, *seed)
+	case "isolet":
+		m, info = dataset.IsoletRaw(scale, *seed)
+	case "caltech101":
+		var codes = func() (*matrix.Dense, dataset.Info) {
+			c, i := dataset.Caltech101Codes(scale, *seed)
+			pooled, perr := c.Pool(*p)
+			if perr != nil {
+				log.Fatal(perr)
+			}
+			return pooled, i
+		}
+		m, info = codes()
+	case "scenes":
+		c, i := dataset.ScenesCodes(scale, *seed)
+		m, err = c.Pool(*p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info = i
+	default:
+		log.Fatalf("dlra-datagen: unknown dataset %q", *name)
+	}
+
+	if err := matio.Save(*output, m); err != nil {
+		log.Fatalf("dlra-datagen: writing %s: %v", *output, err)
+	}
+	fmt.Println(info)
+	fmt.Printf("wrote %dx%d matrix to %s\n", m.Rows(), m.Cols(), *output)
+}

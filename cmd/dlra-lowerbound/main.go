@@ -1,0 +1,112 @@
+// Command dlra-lowerbound runs the paper's Section VII hardness reductions
+// on batches of random promise instances and reports their accuracy —
+// the executable evidence that relative-error distributed PCA would solve
+// communication problems with known Ω(·) lower bounds.
+//
+// Usage:
+//
+//	dlra-lowerbound [-theorem 4|6|8|all] [-trials N] [-k K] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/lowerbound"
+)
+
+func main() {
+	theorem := flag.String("theorem", "all", "which reduction to run: 4, 6, 8 or all")
+	trials := flag.Int("trials", 50, "random promise instances per configuration")
+	k := flag.Int("k", 3, "rank parameter handed to the PCA oracle")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	switch *theorem {
+	case "4":
+		runTheorem4(*trials, *k, *seed)
+	case "6":
+		runTheorem6(*trials, *k, *seed)
+	case "8":
+		runTheorem8(*trials, *k, *seed)
+	case "all":
+		runTheorem8(*trials, *k, *seed)
+		runTheorem6(*trials, *k, *seed)
+		runTheorem4(*trials, *k, *seed)
+	default:
+		log.Fatalf("dlra-lowerbound: unknown theorem %q", *theorem)
+	}
+}
+
+func runTheorem8(trials, k int, seed int64) {
+	fmt.Printf("Theorem 8 — GHD ⇒ Ω(1/ε²) bits for relative error (k=%d, %d trials)\n", k, trials)
+	correct := 0
+	for i := 0; i < trials; i++ {
+		pos := i%2 == 0
+		inst, err := lowerbound.NewGHDInstance(0.25, pos, 4, seed+int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := lowerbound.SolveGHD(inst, k, lowerbound.ExactOracle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if got == pos {
+			correct++
+		}
+	}
+	fmt.Printf("  decided %d/%d promise instances correctly\n\n", correct, trials)
+}
+
+func runTheorem6(trials, k int, seed int64) {
+	if k < 2 {
+		k = 2
+	}
+	fmt.Printf("Theorem 6 — 2-DISJ ⇒ Ω̃(nd) bits for max/Huber (k=%d, %d trials)\n", k, trials)
+	for _, comb := range []lowerbound.Combine{lowerbound.CombineMax, lowerbound.CombineHuber} {
+		name := "max"
+		if comb == lowerbound.CombineHuber {
+			name = "huber"
+		}
+		correct, shellTotal := 0, 0
+		for i := 0; i < trials; i++ {
+			intersects := i%2 == 0
+			inst := lowerbound.NewDisjInstance(16, 4, 0.12, intersects, seed+int64(i))
+			got, shell, err := lowerbound.SolveDisj(inst, k, comb, lowerbound.ExactOracle)
+			if err != nil {
+				log.Fatal(err)
+			}
+			shellTotal += shell
+			if got == intersects {
+				correct++
+			}
+		}
+		fmt.Printf("  f=%-5s: %d/%d correct, %.1f shell words/instance\n",
+			name, correct, trials, float64(shellTotal)/float64(trials))
+	}
+	fmt.Println()
+}
+
+func runTheorem4(trials, k int, seed int64) {
+	p := 2.0
+	n, d := 12, 4
+	B := lowerbound.TheoremB(0.5, n, d, p)
+	fmt.Printf("Theorem 4 — L∞ ⇒ Ω̃((1+ε)^{-2/p}n^{1-1/p}d^{1-4/p}) bits for |x|^p (p=%g, B=%d, k=%d, %d trials)\n",
+		p, B, k, trials)
+	correct, shellTotal := 0, 0
+	for i := 0; i < trials; i++ {
+		far := i%2 == 0
+		inst := lowerbound.NewLInfInstance(n, d, B, far, seed+int64(i))
+		got, shell, err := lowerbound.SolveLInf(inst, k, p, lowerbound.ExactOracle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shellTotal += shell
+		if got == far {
+			correct++
+		}
+	}
+	fmt.Printf("  decided %d/%d correctly, %.1f shell words/instance\n\n",
+		correct, trials, float64(shellTotal)/float64(trials))
+}

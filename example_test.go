@@ -1,0 +1,115 @@
+package repro_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro"
+)
+
+// Example demonstrates the smallest complete use of the library: additive
+// shares of a deterministic matrix distributed over three servers, PCA of
+// the implicit sum, and an exact communication count.
+func Example() {
+	const servers, n, d, k = 3, 64, 8, 2
+
+	// A deterministic rank-2 matrix.
+	M := repro.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			M.Set(i, j, float64((i%4)*(j+1))+0.5*float64((i%7))*float64(j%3))
+		}
+	}
+	// Additive split: no server sees M.
+	rng := rand.New(rand.NewSource(1))
+	locals := make([]*repro.Matrix, servers)
+	for t := range locals {
+		locals[t] = repro.NewMatrix(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			var acc float64
+			for t := 0; t < servers-1; t++ {
+				sh := rng.NormFloat64()
+				locals[t].Set(i, j, sh)
+				acc += sh
+			}
+			locals[servers-1].Set(i, j, M.At(i, j)-acc)
+		}
+	}
+
+	cluster := repro.NewCluster(servers)
+	if err := cluster.SetLocalData(locals); err != nil {
+		panic(err)
+	}
+	res, err := cluster.PCA(repro.Identity(), repro.Options{K: k, Rows: 48, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+
+	A, _ := cluster.ImplicitMatrix(repro.Identity())
+	got := repro.ProjectionError2(A, res.Projection)
+	opt := repro.BestRankKError2(A, k)
+	fmt.Printf("rank-2 input recovered: additive error below 0.01: %v\n",
+		(got-opt)/A.FrobNorm2() < 0.01)
+	fmt.Printf("projection is %dx%d\n", res.Projection.Rows(), res.Projection.Cols())
+	// Output:
+	// rank-2 input recovered: additive error below 0.01: true
+	// projection is 8x8
+}
+
+// ExampleCluster_PCA_huber shows robust PCA: entries damaged by huge noise
+// are capped by the Huber ψ-function before the subspace is computed.
+func ExampleCluster_PCA_huber() {
+	const servers, n, d = 2, 50, 6
+	rng := rand.New(rand.NewSource(2))
+	locals := make([]*repro.Matrix, servers)
+	for t := range locals {
+		locals[t] = repro.NewMatrix(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			v := float64(i%3) + 0.1*float64(j)
+			sh := rng.NormFloat64()
+			locals[0].Set(i, j, sh)
+			locals[1].Set(i, j, v-sh)
+		}
+	}
+	// One catastrophic entry, hidden across the shares.
+	locals[0].Set(10, 3, locals[0].At(10, 3)+1e9)
+
+	cluster := repro.NewCluster(servers)
+	if err := cluster.SetLocalData(locals); err != nil {
+		panic(err)
+	}
+	if _, err := cluster.PCA(repro.Huber(5), repro.Options{K: 2, Rows: 40, Seed: 3}); err != nil {
+		panic(err)
+	}
+	A, _ := cluster.ImplicitMatrix(repro.Huber(5))
+	fmt.Printf("largest |entry| after Huber capping: %.0f\n", A.MaxAbs())
+	// Output:
+	// largest |entry| after Huber capping: 5
+}
+
+// ExamplePrepareGM shows the softmax encoding: each server raises its raw
+// values to the p-th power so the implicit sum reproduces the generalized
+// mean — which for large p tracks the entrywise max across servers.
+func ExamplePrepareGM() {
+	raw := [][]float64{
+		{1, 9}, // server 0's observations
+		{8, 2}, // server 1's observations
+	}
+	const p = 20
+	shares := make([]*repro.Matrix, 2)
+	for t := range shares {
+		shares[t] = repro.PrepareGM(repro.FromRows([][]float64{raw[t]}), p, 2)
+	}
+	sum := shares[0].Add(shares[1])
+	// f(x) = x^{1/p} of the summed shares ≈ max of the raw values.
+	approxMax0 := math.Pow(sum.At(0, 0), 1.0/p)
+	approxMax1 := math.Pow(sum.At(0, 1), 1.0/p)
+	fmt.Printf("GM(1,8) ≈ %.1f; GM(9,2) ≈ %.1f\n", approxMax0, approxMax1)
+	// Output:
+	// GM(1,8) ≈ 7.7; GM(9,2) ≈ 8.7
+}

@@ -1,0 +1,102 @@
+// Command robust_pca reproduces the paper's Section VI-C / isolet
+// experiment: a feature matrix is contaminated with a handful of extreme
+// entries and arbitrarily partitioned across servers, so that no server can
+// detect the corruption locally. Applying the Huber ψ-function to the
+// implicit sum caps the damaged entries; PCA of the capped matrix recovers
+// the clean subspace where plain PCA is destroyed by the outliers.
+//
+// Run with:
+//
+//	go run ./examples/robust_pca
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/matrix"
+	"repro/internal/robust"
+)
+
+func main() {
+	const (
+		servers = 6
+		n, d    = 800, 60
+		rank    = 8
+		k       = 8
+	)
+	rng := rand.New(rand.NewSource(2))
+
+	// Clean low-rank signal.
+	clean := repro.NewMatrix(n, d)
+	basis := make([][]float64, rank)
+	for r := range basis {
+		basis[r] = make([]float64, d)
+		for j := range basis[r] {
+			basis[r][j] = rng.NormFloat64()
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := clean.Row(i)
+		for r := 0; r < rank; r++ {
+			c := rng.NormFloat64()
+			for j := 0; j < d; j++ {
+				row[j] += c * basis[r][j]
+			}
+		}
+		for j := 0; j < d; j++ {
+			row[j] += 0.1 * rng.NormFloat64()
+		}
+	}
+
+	// Corrupt 50 entries to ±10⁴ (the paper's protocol on isolet).
+	corrupted, record, err := robust.Corrupt(clean, 50, 1e4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Arbitrary partition: shares are noisy, outliers invisible locally.
+	locals := robust.ArbitraryPartition(corrupted, servers, 5)
+
+	cluster := repro.NewCluster(servers)
+	if err := cluster.SetLocalData(locals); err != nil {
+		log.Fatal(err)
+	}
+
+	// Huber threshold at ≈ 6 standard deviations of the clean entries.
+	huber := repro.Huber(12)
+	res, err := cluster.PCA(huber, repro.Options{K: k, Rows: 300, Seed: 23})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare subspace quality ON THE CLEAN DATA:
+	evaluate := func(P *repro.Matrix) float64 {
+		return repro.ProjectionError2(clean, P) / clean.FrobNorm2()
+	}
+	robustErr := evaluate(res.Projection)
+
+	// Naive PCA on the corrupted matrix (centralized, no capping).
+	naive := corruptedTopK(corrupted, k)
+	naiveErr := evaluate(naive)
+
+	// The unbeatable reference: exact PCA of the clean matrix.
+	ideal := corruptedTopK(clean, k)
+	idealErr := evaluate(ideal)
+
+	fmt.Printf("robust PCA with the Huber ψ (%d corrupted entries of magnitude 1e4)\n", len(record.Rows))
+	fmt.Printf("  clean-data residual of ideal PCA      : %.4f\n", idealErr)
+	fmt.Printf("  clean-data residual of robust (Huber) : %.4f\n", robustErr)
+	fmt.Printf("  clean-data residual of naive PCA      : %.4f\n", naiveErr)
+	fmt.Printf("  communication                         : %d words\n", res.Words)
+	if robustErr < naiveErr {
+		fmt.Println("→ the Huber protocol recovers the clean subspace; naive PCA chases outliers.")
+	}
+}
+
+// corruptedTopK computes a centralized exact top-k projection (for
+// comparison only — it sees the whole matrix).
+func corruptedTopK(M *repro.Matrix, k int) *repro.Matrix {
+	return matrix.ProjectionTopK(M, k)
+}

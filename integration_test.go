@@ -1,0 +1,249 @@
+package repro
+
+// Integration tests exercising full protocol stacks across module
+// boundaries: public API → core framework → samplers → zsampler → hh →
+// sketch → comm, with ground truth from internal/baseline.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fn"
+	"repro/internal/pooling"
+	"repro/internal/samplers"
+	"repro/internal/zsampler"
+)
+
+// TestDistributedMatchesFKVRegime: at equal sample counts, the distributed
+// Z-sampler protocol must land in the same error regime as the centralized
+// FKV ideal — the entire point of Sections III–V.
+func TestDistributedMatchesFKVRegime(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	M := lowRankMatrix(rng, 400, 20, 5, 0.2)
+	s, k, r := 4, 5, 250
+	locals := splitMatrix(M, s, rng)
+
+	c := NewCluster(s)
+	if err := c.SetLocalData(locals); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PCA(Identity(), Options{K: k, Rows: r, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	A, _ := c.ImplicitMatrix(Identity())
+	distributed := baseline.Evaluate(A, res.Projection, k, -1)
+
+	fkvP := baseline.FKV(A, k, r, 3)
+	ideal := baseline.Evaluate(A, fkvP, k, -1)
+
+	t.Logf("distributed additive %.4g, FKV additive %.4g", distributed.Additive, ideal.Additive)
+	if distributed.Additive > 10*ideal.Additive+0.05 {
+		t.Fatalf("distributed %.4g far above FKV ideal %.4g", distributed.Additive, ideal.Additive)
+	}
+}
+
+// TestPublicAPIDeterministic: the same seed must produce the identical
+// projection, bit for bit, across complete protocol runs.
+func TestPublicAPIDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	M := lowRankMatrix(rng, 150, 10, 3, 0.2)
+	run := func() *Matrix {
+		r2 := rand.New(rand.NewSource(77))
+		c := NewCluster(3)
+		if err := c.SetLocalData(splitMatrix(M, 3, r2)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.PCA(Huber(100), Options{K: 3, Rows: 80, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Projection
+	}
+	if !run().Equalf(run(), 0) {
+		t.Fatal("same-seed runs differ")
+	}
+}
+
+// TestCommunicationScalesWithSamples verifies the O(s·k²·d/ε² + C)
+// structure of Theorem 1: doubling r adds ≈ r·(s−1)·d words on top of the
+// fixed sketching cost C.
+func TestCommunicationScalesWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	M := lowRankMatrix(rng, 300, 16, 4, 0.2)
+	s := 5
+	words := func(r int) int64 {
+		r2 := rand.New(rand.NewSource(9))
+		c := NewCluster(s)
+		if err := c.SetLocalData(splitMatrix(M, s, r2)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.PCA(Identity(), Options{K: 4, Rows: r, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Words
+	}
+	w100 := words(100)
+	w200 := words(200)
+	perRow := int64((s - 1) * 16)
+	gotDelta := w200 - w100
+	wantDelta := 100 * perRow
+	if gotDelta != wantDelta {
+		t.Fatalf("marginal cost of 100 rows = %d words, want %d", gotDelta, wantDelta)
+	}
+}
+
+// TestGMPooledEndToEnd drives the complete Caltech-style pipeline through
+// internal packages directly (codes → split → pool → shares → Z-sampler →
+// Algorithm 1) and checks the additive bound.
+func TestGMPooledEndToEnd(t *testing.T) {
+	codes := pooling.SyntheticCodes(200, 64, 80, 1.1, 11)
+	s, p, k := 5, 5.0, 4
+	split := codes.Split(s, 13)
+	pools := make([]*Matrix, s)
+	for t2, part := range split {
+		pool, err := part.Pool(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pools[t2] = pool
+	}
+	locals := pooling.GMShares(pools, p)
+	A := pooling.GlobalGM(pools, p)
+
+	net := comm.NewNetwork(s)
+	g := fn.GM{P: p}
+	zp := zsampler.ParamsForBudget(int64(200*64), s, 200*64, 17)
+	zr, err := samplers.NewZRow(net, locals, g, zp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(net, zr, g, 64, core.Options{K: k, R: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := baseline.Evaluate(A, res.P, k, -1)
+	t.Logf("pooled GM additive %.4g relative %.4g words %d", m.Additive, m.Relative, net.Words())
+	if m.Additive > 0.15 {
+		t.Fatalf("additive error %.4g", m.Additive)
+	}
+}
+
+// TestEpsilonDrivesSampleCount: tightening ε without an explicit Rows
+// override must increase r and decrease error on average.
+func TestEpsilonDrivesSampleCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	M := lowRankMatrix(rng, 500, 12, 3, 0.4)
+	s := 3
+	runEps := func(eps float64) (int, float64) {
+		r2 := rand.New(rand.NewSource(21))
+		c := NewCluster(s)
+		if err := c.SetLocalData(splitMatrix(M, s, r2)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.PCA(Identity(), Options{K: 3, Eps: eps, Seed: 23})
+		if err != nil {
+			t.Fatal(err)
+		}
+		A, _ := c.ImplicitMatrix(Identity())
+		return len(res.SampledRows), baseline.Evaluate(A, res.Projection, 3, -1).Additive
+	}
+	rLoose, errLoose := runEps(0.9)
+	rTight, errTight := runEps(0.25)
+	if rTight <= rLoose {
+		t.Fatalf("tighter ε did not increase r: %d vs %d", rTight, rLoose)
+	}
+	if errTight > errLoose+0.02 {
+		t.Fatalf("tighter ε worsened error: %.4g vs %.4g", errTight, errLoose)
+	}
+}
+
+// TestHuberSampleBias: with a bounded ψ the Z-sampler must not
+// over-concentrate on the (capped) outlier rows — capped entries carry
+// weight K², not their raw magnitude.
+func TestHuberSampleBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	M := lowRankMatrix(rng, 300, 10, 3, 0.1)
+	// One row full of enormous values.
+	for j := 0; j < 10; j++ {
+		M.Set(7, j, 1e6)
+	}
+	s := 3
+	locals := splitMatrix(M, s, rng)
+	c := NewCluster(s)
+	if err := c.SetLocalData(locals); err != nil {
+		t.Fatal(err)
+	}
+	f := Huber(5)
+	res, err := c.PCA(f, Options{K: 3, Rows: 200, Seed: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, r := range res.SampledRows {
+		if r == 7 {
+			hits++
+		}
+	}
+	// Row 7's capped share of ‖ψ(A)‖² is 10K²/(Σ) — a few percent, far from
+	// the ≈100% its raw magnitude would demand.
+	A, _ := c.ImplicitMatrix(f)
+	share := A.RowNorm2(7) / A.FrobNorm2()
+	maxExpected := int(float64(len(res.SampledRows))*share*5) + 8
+	if hits > maxExpected {
+		t.Fatalf("capped outlier row drawn %d/200 times (share %.3f)", hits, share)
+	}
+}
+
+// TestProjectionActuallyProjects: A·P rows lie in the basis span and the
+// projection leaves basis vectors fixed.
+func TestProjectionActuallyProjects(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	M := lowRankMatrix(rng, 100, 8, 3, 0.2)
+	c := NewCluster(2)
+	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PCA(Identity(), Options{K: 3, Rows: 80, Seed: 27})
+	if err != nil {
+		t.Fatal(err)
+	}
+	P, V := res.Projection, res.Basis
+	// P·v = v for basis columns.
+	for j := 0; j < V.Cols(); j++ {
+		col := V.ColCopy(j)
+		pv := P.MulVec(col)
+		for i := range col {
+			if math.Abs(pv[i]-col[i]) > 1e-8 {
+				t.Fatal("P does not fix its own basis")
+			}
+		}
+	}
+	// P annihilates vectors orthogonal to the basis.
+	ortho := make([]float64, 8)
+	rng2 := rand.New(rand.NewSource(1))
+	for i := range ortho {
+		ortho[i] = rng2.NormFloat64()
+	}
+	for j := 0; j < V.Cols(); j++ {
+		col := V.ColCopy(j)
+		dot := 0.0
+		for i := range col {
+			dot += col[i] * ortho[i]
+		}
+		for i := range col {
+			ortho[i] -= dot * col[i]
+		}
+	}
+	po := P.MulVec(ortho)
+	for i := range po {
+		if math.Abs(po[i]) > 1e-8 {
+			t.Fatal("P does not annihilate the orthogonal complement")
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func lowRank(rng *rand.Rand, n, d, rank int, noise float64) *matrix.Dense {
+	u := matrix.NewDense(n, rank)
+	v := matrix.NewDense(d, rank)
+	for i := range u.Data() {
+		u.Data()[i] = rng.NormFloat64()
+	}
+	for i := range v.Data() {
+		v.Data()[i] = rng.NormFloat64()
+	}
+	m := u.Mul(v.T())
+	for i := range m.Data() {
+		m.Data()[i] += noise * rng.NormFloat64()
+	}
+	return m
+}
+
+func TestExactPCAOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	A := lowRank(rng, 60, 10, 3, 0.1)
+	P, res := ExactPCA(A, 3)
+	if math.Abs(res-matrix.BestRankKError2(A, 3)) > 1e-7*A.FrobNorm2() {
+		t.Fatal("residual mismatch")
+	}
+	if math.Abs(matrix.ProjectionError2(A, P)-res) > 1e-7*A.FrobNorm2() {
+		t.Fatal("projection residual mismatch")
+	}
+}
+
+func TestSpectrumSumsToEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	A := lowRank(rng, 40, 8, 4, 0.2)
+	spec := Spectrum(A)
+	var sum float64
+	for _, s := range spec {
+		sum += s
+	}
+	if math.Abs(sum-A.FrobNorm2()) > 1e-7*A.FrobNorm2() {
+		t.Fatal("spectrum energy")
+	}
+	for i := 1; i < len(spec); i++ {
+		if spec[i] > spec[i-1]+1e-9 {
+			t.Fatal("spectrum not sorted")
+		}
+	}
+}
+
+func TestOptimalResidualsMatchSingleSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	A := lowRank(rng, 50, 9, 3, 0.3)
+	res := OptimalResiduals(A, []int{1, 3, 5, 9})
+	for k, v := range res {
+		if math.Abs(v-matrix.BestRankKError2(A, k)) > 1e-6*A.FrobNorm2() {
+			t.Fatalf("k=%d: %g vs %g", k, v, matrix.BestRankKError2(A, k))
+		}
+	}
+}
+
+// TestFKVAdditiveError reproduces the Frieze–Kannan–Vempala guarantee the
+// whole paper builds on: sampling ∝ squared row norms gives additive error.
+func TestFKVAdditiveError(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	A := lowRank(rng, 500, 12, 4, 0.2)
+	k := 4
+	P := FKV(A, k, 400, 5)
+	add := (matrix.ProjectionError2(A, P) - matrix.BestRankKError2(A, k)) / A.FrobNorm2()
+	if add > 0.05 {
+		t.Fatalf("FKV additive error %g", add)
+	}
+}
+
+func TestFKVErrorDecreasesWithSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	A := lowRank(rng, 400, 10, 3, 0.5)
+	k := 3
+	errAt := func(r int) float64 {
+		var sum float64
+		for trial := 0; trial < 5; trial++ {
+			P := FKV(A, k, r, int64(trial))
+			sum += (matrix.ProjectionError2(A, P) - matrix.BestRankKError2(A, k)) / A.FrobNorm2()
+		}
+		return sum / 5
+	}
+	small, large := errAt(15), errAt(600)
+	t.Logf("err(15)=%g err(600)=%g", small, large)
+	if large > small {
+		t.Fatal("more samples made FKV worse")
+	}
+}
+
+func TestEvaluateMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	A := lowRank(rng, 30, 6, 2, 0.1)
+	P, opt := ExactPCA(A, 2)
+	m := Evaluate(A, P, 2, opt)
+	if m.Additive > 1e-9 {
+		t.Fatalf("optimal projection has additive error %g", m.Additive)
+	}
+	if math.Abs(m.Relative-1) > 1e-6 {
+		t.Fatalf("optimal projection has relative error %g", m.Relative)
+	}
+	// With optimal2 < 0, Evaluate computes it itself.
+	m2 := Evaluate(A, P, 2, -1)
+	if math.Abs(m2.Additive-m.Additive) > 1e-12 {
+		t.Fatal("self-computed optimal mismatch")
+	}
+}
+
+func TestEvaluateWorseProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	A := lowRank(rng, 30, 6, 2, 0.1)
+	// Projection onto the *bottom* singular vectors: terrible.
+	svd := matrix.SVD(A)
+	V := svd.V.SubMatrix(0, 6, 4, 6)
+	P := V.Mul(V.T())
+	m := Evaluate(A, P, 2, -1)
+	if m.Relative < 1 {
+		t.Fatalf("bad projection has relative %g < 1", m.Relative)
+	}
+	if m.Additive <= 0 {
+		t.Fatalf("bad projection has additive %g", m.Additive)
+	}
+}
+
+func TestEvaluateZeroResidualCases(t *testing.T) {
+	// Exactly rank-1 matrix, k=1: optimal residual 0, relative defined as 1
+	// when the protocol also achieves 0.
+	u := matrix.FromRows([][]float64{{1}, {2}, {3}})
+	v := matrix.FromRows([][]float64{{4, 5}})
+	A := u.Mul(v)
+	P, opt := ExactPCA(A, 1)
+	if opt > 1e-9 {
+		t.Fatalf("rank-1 optimal residual %g", opt)
+	}
+	m := Evaluate(A, P, 1, opt)
+	if m.Relative != 1 {
+		t.Fatalf("relative = %g for exact recovery of rank-1", m.Relative)
+	}
+}

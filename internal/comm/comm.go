@@ -1,0 +1,242 @@
+// Package comm simulates the paper's distributed star topology: s servers,
+// server 0 acting as the Central Processor (CP), with every protocol
+// message routed through an accounting layer that charges communication in
+// words (one word = one 64-bit value, matching the paper's cost model).
+//
+// The fabric is synchronous and deterministic: protocol code moves data
+// between servers by calling the Send/Broadcast helpers, which tally the
+// cost per tag so experiments can report exactly how much communication
+// each protocol phase consumed. Data that never crosses a Send call is, by
+// construction, local computation — which the model allows in polynomial
+// time and linear space.
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CP is the index of the Central Processor (the paper's "server 1").
+const CP = 0
+
+// Network is the accounting fabric connecting s servers.
+type Network struct {
+	mu      sync.Mutex
+	servers int
+	words   int64
+	msgs    int64
+	byTag   map[string]int64
+	byLink  map[[2]int]int64
+	trace   bool
+	log     []Message
+}
+
+// Message records one transfer for transcript-based tests.
+type Message struct {
+	From, To int
+	Tag      string
+	Words    int64
+}
+
+// NewNetwork creates a fabric for s ≥ 1 servers.
+func NewNetwork(s int) *Network {
+	if s < 1 {
+		panic("comm: need at least one server")
+	}
+	return &Network{servers: s, byTag: make(map[string]int64), byLink: make(map[[2]int]int64)}
+}
+
+// Servers returns the number of servers (including the CP).
+func (n *Network) Servers() int { return n.servers }
+
+// EnableTrace turns on per-message transcript recording (tests only; it
+// grows without bound).
+func (n *Network) EnableTrace() { n.trace = true }
+
+// Transcript returns a copy of the recorded messages.
+func (n *Network) Transcript() []Message {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Message, len(n.log))
+	copy(out, n.log)
+	return out
+}
+
+func (n *Network) check(id int) {
+	if id < 0 || id >= n.servers {
+		panic(fmt.Sprintf("comm: server %d out of range [0,%d)", id, n.servers))
+	}
+}
+
+// Charge records a transfer of the given number of words from one server to
+// another under a cost tag. It is the primitive all typed helpers reduce to.
+func (n *Network) Charge(from, to int, tag string, words int64) {
+	n.check(from)
+	n.check(to)
+	if words < 0 {
+		panic("comm: negative charge")
+	}
+	if from == to {
+		return // local movement is free
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.words += words
+	n.msgs++
+	n.byTag[tag] += words
+	n.byLink[[2]int{from, to}] += words
+	if n.trace {
+		n.log = append(n.log, Message{From: from, To: to, Tag: tag, Words: words})
+	}
+}
+
+// SendFloats transfers a float64 slice, charging one word per element, and
+// returns a copy so the receiver cannot alias the sender's memory.
+func (n *Network) SendFloats(from, to int, tag string, data []float64) []float64 {
+	n.Charge(from, to, tag, int64(len(data)))
+	out := make([]float64, len(data))
+	copy(out, data)
+	return out
+}
+
+// SendInts transfers an int slice, charging one word per element.
+func (n *Network) SendInts(from, to int, tag string, data []int) []int {
+	n.Charge(from, to, tag, int64(len(data)))
+	out := make([]int, len(data))
+	copy(out, data)
+	return out
+}
+
+// SendUint64s transfers a uint64 slice, charging one word per element.
+func (n *Network) SendUint64s(from, to int, tag string, data []uint64) []uint64 {
+	n.Charge(from, to, tag, int64(len(data)))
+	out := make([]uint64, len(data))
+	copy(out, data)
+	return out
+}
+
+// SendScalar transfers a single float64 value (one word).
+func (n *Network) SendScalar(from, to int, tag string, v float64) float64 {
+	n.Charge(from, to, tag, 1)
+	return v
+}
+
+// BroadcastSeed models server `from` broadcasting a random seed to every
+// other server: s−1 messages of one word each.
+func (n *Network) BroadcastSeed(from int, tag string, seed int64) int64 {
+	for t := 0; t < n.servers; t++ {
+		if t != from {
+			n.Charge(from, t, tag, 1)
+		}
+	}
+	return seed
+}
+
+// BroadcastWords charges for broadcasting `words` words from `from` to all
+// other servers (used for shipping a projection matrix or parameters).
+func (n *Network) BroadcastWords(from int, tag string, words int64) {
+	for t := 0; t < n.servers; t++ {
+		if t != from {
+			n.Charge(from, t, tag, words)
+		}
+	}
+}
+
+// GatherScalars models each server sending one float64 to the CP; it
+// charges s−1 words and returns the provided values (the CP's own value
+// travels for free).
+func (n *Network) GatherScalars(tag string, values []float64) []float64 {
+	if len(values) != n.servers {
+		panic("comm: GatherScalars needs one value per server")
+	}
+	for t := 1; t < n.servers; t++ {
+		n.Charge(t, CP, tag, 1)
+	}
+	out := make([]float64, len(values))
+	copy(out, values)
+	return out
+}
+
+// Relay models point-to-point traffic in the star topology exactly as the
+// paper describes: server i sends to server j by routing through the CP
+// with the destination identity attached, costing two messages and one
+// extra address word ("a multiplicative factor of 2 in the number of
+// messages and an additive factor of log₂ s per message" — one word covers
+// the address at any practical s).
+func (n *Network) Relay(from, to int, tag string, data []float64) []float64 {
+	if from == CP || to == CP {
+		return n.SendFloats(from, to, tag, data)
+	}
+	n.Charge(from, CP, tag, int64(len(data))+1) // payload + destination id
+	return n.SendFloats(CP, to, tag, data)
+}
+
+// Words returns the total number of words transferred so far.
+func (n *Network) Words() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.words
+}
+
+// Bits returns total communication in bits (64 per word).
+func (n *Network) Bits() int64 { return 64 * n.Words() }
+
+// Messages returns the number of point-to-point transfers.
+func (n *Network) Messages() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.msgs
+}
+
+// Breakdown returns words charged per tag, as a copied map.
+func (n *Network) Breakdown() map[string]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]int64, len(n.byTag))
+	for k, v := range n.byTag {
+		out[k] = v
+	}
+	return out
+}
+
+// BreakdownString renders the per-tag costs sorted by descending words.
+func (n *Network) BreakdownString() string {
+	b := n.Breakdown()
+	type kv struct {
+		tag   string
+		words int64
+	}
+	items := make([]kv, 0, len(b))
+	for k, v := range b {
+		items = append(items, kv{k, v})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].words != items[j].words {
+			return items[i].words > items[j].words
+		}
+		return items[i].tag < items[j].tag
+	})
+	s := ""
+	for _, it := range items {
+		s += fmt.Sprintf("%-28s %12d words\n", it.tag, it.words)
+	}
+	return s
+}
+
+// Reset zeroes all counters and the transcript.
+func (n *Network) Reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.words, n.msgs = 0, 0
+	n.byTag = make(map[string]int64)
+	n.byLink = make(map[[2]int]int64)
+	n.log = nil
+}
+
+// Snapshot captures the current total so callers can measure a phase:
+// delta := net.Since(snap).
+func (n *Network) Snapshot() int64 { return n.Words() }
+
+// Since returns the words transferred since the given snapshot.
+func (n *Network) Since(snap int64) int64 { return n.Words() - snap }

@@ -1,0 +1,203 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSendFloatsCountsWords(t *testing.T) {
+	n := NewNetwork(3)
+	out := n.SendFloats(1, 0, "x", []float64{1, 2, 3})
+	if len(out) != 3 || out[2] != 3 {
+		t.Fatal("payload corrupted")
+	}
+	if n.Words() != 3 {
+		t.Fatalf("words = %d", n.Words())
+	}
+	if n.Messages() != 1 {
+		t.Fatalf("messages = %d", n.Messages())
+	}
+	if n.Bits() != 192 {
+		t.Fatalf("bits = %d", n.Bits())
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	n := NewNetwork(2)
+	src := []float64{1}
+	dst := n.SendFloats(1, 0, "x", src)
+	dst[0] = 99
+	if src[0] != 1 {
+		t.Fatal("receiver aliases sender memory")
+	}
+}
+
+func TestLocalTransferFree(t *testing.T) {
+	n := NewNetwork(2)
+	n.SendFloats(1, 1, "x", []float64{1, 2})
+	if n.Words() != 0 {
+		t.Fatal("self-send should be free")
+	}
+}
+
+func TestBroadcastSeed(t *testing.T) {
+	n := NewNetwork(5)
+	n.BroadcastSeed(CP, "seed", 42)
+	if n.Words() != 4 {
+		t.Fatalf("broadcast to 4 others = %d words", n.Words())
+	}
+}
+
+func TestBroadcastWords(t *testing.T) {
+	n := NewNetwork(3)
+	n.BroadcastWords(CP, "proj", 100)
+	if n.Words() != 200 {
+		t.Fatalf("words = %d", n.Words())
+	}
+}
+
+func TestGatherScalars(t *testing.T) {
+	n := NewNetwork(4)
+	vals := n.GatherScalars("g", []float64{1, 2, 3, 4})
+	if len(vals) != 4 || vals[3] != 4 {
+		t.Fatal("gather payload")
+	}
+	if n.Words() != 3 {
+		t.Fatalf("gather words = %d (CP's own value is free)", n.Words())
+	}
+}
+
+func TestBreakdownByTag(t *testing.T) {
+	n := NewNetwork(2)
+	n.SendFloats(1, 0, "a", make([]float64, 5))
+	n.SendInts(1, 0, "b", make([]int, 7))
+	n.SendUint64s(1, 0, "a", make([]uint64, 2))
+	b := n.Breakdown()
+	if b["a"] != 7 || b["b"] != 7 {
+		t.Fatalf("breakdown = %v", b)
+	}
+	if s := n.BreakdownString(); s == "" {
+		t.Fatal("empty breakdown string")
+	}
+}
+
+func TestSnapshotSince(t *testing.T) {
+	n := NewNetwork(2)
+	n.SendScalar(1, 0, "x", 3.14)
+	snap := n.Snapshot()
+	n.SendFloats(1, 0, "x", make([]float64, 9))
+	if n.Since(snap) != 9 {
+		t.Fatalf("since = %d", n.Since(snap))
+	}
+}
+
+func TestReset(t *testing.T) {
+	n := NewNetwork(2)
+	n.SendScalar(1, 0, "x", 1)
+	n.Reset()
+	if n.Words() != 0 || n.Messages() != 0 || len(n.Breakdown()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestTranscript(t *testing.T) {
+	n := NewNetwork(2)
+	n.EnableTrace()
+	n.SendFloats(1, 0, "phase1", make([]float64, 3))
+	n.SendScalar(0, 1, "phase2", 1)
+	tr := n.Transcript()
+	if len(tr) != 2 {
+		t.Fatalf("transcript length %d", len(tr))
+	}
+	if tr[0].Tag != "phase1" || tr[0].Words != 3 || tr[0].From != 1 {
+		t.Fatalf("transcript[0] = %+v", tr[0])
+	}
+	if tr[1].To != 1 {
+		t.Fatalf("transcript[1] = %+v", tr[1])
+	}
+}
+
+func TestChargePanicsOnBadServer(t *testing.T) {
+	n := NewNetwork(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Charge(0, 5, "x", 1)
+}
+
+func TestChargePanicsOnNegative(t *testing.T) {
+	n := NewNetwork(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Charge(0, 1, "x", -1)
+}
+
+func TestNewNetworkPanicsOnZeroServers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewNetwork(0)
+}
+
+func TestConcurrentCharges(t *testing.T) {
+	n := NewNetwork(3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				n.Charge(1, 0, "c", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Words() != 8000 {
+		t.Fatalf("concurrent words = %d", n.Words())
+	}
+}
+
+func TestGatherScalarsWrongLenPanics(t *testing.T) {
+	n := NewNetwork(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.GatherScalars("g", []float64{1})
+}
+
+func TestRelayThroughCP(t *testing.T) {
+	n := NewNetwork(4)
+	out := n.Relay(2, 3, "r", []float64{1, 2, 3})
+	if len(out) != 3 || out[2] != 3 {
+		t.Fatal("relay payload")
+	}
+	// 3 payload + 1 address to the CP, then 3 payload onward.
+	if n.Words() != 7 {
+		t.Fatalf("relay words = %d, want 7", n.Words())
+	}
+	if n.Messages() != 2 {
+		t.Fatalf("relay messages = %d, want 2", n.Messages())
+	}
+}
+
+func TestRelayToFromCPDirect(t *testing.T) {
+	n := NewNetwork(3)
+	n.Relay(1, CP, "r", []float64{1, 2})
+	if n.Words() != 2 || n.Messages() != 1 {
+		t.Fatalf("to-CP relay: %d words %d msgs", n.Words(), n.Messages())
+	}
+	n.Reset()
+	n.Relay(CP, 2, "r", []float64{1})
+	if n.Words() != 1 || n.Messages() != 1 {
+		t.Fatalf("from-CP relay: %d words %d msgs", n.Words(), n.Messages())
+	}
+}

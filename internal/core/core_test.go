@@ -1,0 +1,348 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/fn"
+	"repro/internal/matrix"
+)
+
+// idealSampler draws rows of a materialized matrix with exact squared-norm
+// probabilities, optionally perturbing the reported Q̂ by a multiplicative
+// (1±γ) factor — the noisy-probability regime Lemma 3 covers.
+type idealSampler struct {
+	A     *matrix.Dense
+	cum   []float64
+	probs []float64
+	gamma float64
+	rng   *rand.Rand
+	fail  error
+}
+
+func newIdealSampler(A *matrix.Dense, gamma float64, seed int64) *idealSampler {
+	n := A.Rows()
+	total := A.FrobNorm2()
+	s := &idealSampler{A: A, gamma: gamma, rng: rand.New(rand.NewSource(seed))}
+	s.cum = make([]float64, n)
+	s.probs = make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		s.probs[i] = A.RowNorm2(i) / total
+		acc += s.probs[i]
+		s.cum[i] = acc
+	}
+	return s
+}
+
+func (s *idealSampler) Draw() (Sample, error) {
+	if s.fail != nil {
+		return Sample{}, s.fail
+	}
+	x := s.rng.Float64()
+	i := 0
+	for i < len(s.cum)-1 && s.cum[i] < x {
+		i++
+	}
+	q := s.probs[i]
+	if s.gamma > 0 {
+		q *= 1 + s.gamma*(2*s.rng.Float64()-1)
+	}
+	return Sample{Row: i, QHat: q, RawRow: s.A.RowCopy(i)}, nil
+}
+
+func lowRank(rng *rand.Rand, n, d, rank int, noise float64) *matrix.Dense {
+	u := matrix.NewDense(n, rank)
+	v := matrix.NewDense(d, rank)
+	for i := 0; i < n; i++ {
+		for j := 0; j < rank; j++ {
+			u.Set(i, j, rng.NormFloat64())
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < rank; j++ {
+			v.Set(i, j, rng.NormFloat64())
+		}
+	}
+	m := u.Mul(v.T())
+	for i := range m.Data() {
+		m.Data()[i] += noise * rng.NormFloat64()
+	}
+	return m
+}
+
+func additiveError(A, P *matrix.Dense, k int) float64 {
+	return (matrix.ProjectionError2(A, P) - matrix.BestRankKError2(A, k)) / A.FrobNorm2()
+}
+
+// TestLemma12Numerically verifies the chain the framework rests on: when B
+// approximates AᵀA well, the top-k projection of B is near-optimal for A.
+func TestLemma12Numerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	A := lowRank(rng, 300, 20, 4, 0.1)
+	k := 4
+	net := comm.NewNetwork(1)
+	s := newIdealSampler(A, 0, 2)
+	res, err := Run(net, s, fn.Identity{}, 20, Options{K: k, R: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 1 precondition: ‖AᵀA − BᵀB‖_F small relative to ‖A‖²_F.
+	diff := A.Gram().Sub(res.B.Gram()).FrobNorm() / A.FrobNorm2()
+	if diff > 0.5 {
+		t.Fatalf("‖AᵀA−BᵀB‖/‖A‖² = %g", diff)
+	}
+	// Lemma 2 conclusion: additive error small.
+	if add := additiveError(A, res.P, k); add > 0.1 {
+		t.Fatalf("additive error %g", add)
+	}
+}
+
+func TestRunAdditiveErrorShrinksWithR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	A := lowRank(rng, 400, 15, 5, 0.3)
+	k := 5
+	errs := make(map[int]float64)
+	for _, r := range []int{20, 800} {
+		var sum float64
+		const trials = 5
+		for tr := 0; tr < trials; tr++ {
+			net := comm.NewNetwork(1)
+			s := newIdealSampler(A, 0, int64(100*r+tr))
+			res, err := Run(net, s, fn.Identity{}, 15, Options{K: k, R: r})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += additiveError(A, res.P, k)
+		}
+		errs[r] = sum / trials
+	}
+	t.Logf("err(r=20)=%g err(r=800)=%g", errs[20], errs[800])
+	if errs[800] > errs[20] {
+		t.Fatalf("more samples made it worse: %v", errs)
+	}
+}
+
+// TestNoisyProbabilityTolerance is the Lemma 3 ablation: (1±γ) noise on Q̂
+// must not destroy the guarantee.
+func TestNoisyProbabilityTolerance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	A := lowRank(rng, 300, 12, 4, 0.2)
+	k := 4
+	for _, gamma := range []float64{0, 0.2, 0.4} {
+		net := comm.NewNetwork(1)
+		s := newIdealSampler(A, gamma, 7)
+		res, err := Run(net, s, fn.Identity{}, 12, Options{K: k, R: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if add := additiveError(A, res.P, k); add > 0.1 {
+			t.Fatalf("γ=%g: additive error %g", gamma, add)
+		}
+	}
+}
+
+func TestRunAppliesF(t *testing.T) {
+	// With f = |x|² the framework must approximate f(A), not A.
+	rng := rand.New(rand.NewSource(5))
+	raw := lowRank(rng, 200, 10, 3, 0.1)
+	fA := raw.Apply(func(x float64) float64 { return x * x })
+	k := 3
+	net := comm.NewNetwork(1)
+	// Sample proportionally to f(A) row norms (the sampler contract).
+	s := newIdealSampler(fA, 0, 8)
+	// But feed raw rows, letting Run apply f.
+	rawSampler := &rawRowSampler{inner: s, raw: raw}
+	res, err := Run(net, rawSampler, fn.AbsPower{P: 2}, 10, Options{K: k, R: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if add := additiveError(fA, res.P, k); add > 0.1 {
+		t.Fatalf("additive error on f(A): %g", add)
+	}
+}
+
+type rawRowSampler struct {
+	inner *idealSampler
+	raw   *matrix.Dense
+}
+
+func (s *rawRowSampler) Draw() (Sample, error) {
+	smp, err := s.inner.Draw()
+	if err != nil {
+		return Sample{}, err
+	}
+	smp.RawRow = s.raw.RowCopy(smp.Row)
+	return smp, nil
+}
+
+func TestBoostNeverWorseOnScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	A := lowRank(rng, 200, 10, 3, 0.5)
+	k := 3
+	net1 := comm.NewNetwork(1)
+	s1 := newIdealSampler(A, 0, 9)
+	single, err := Run(net1, s1, fn.Identity{}, 10, Options{K: k, R: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2 := comm.NewNetwork(1)
+	s2 := newIdealSampler(A, 0, 9)
+	boosted, err := Run(net2, s2, fn.Identity{}, 10, Options{K: k, R: 40, Boost: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boosted.Score < single.Score-1e-9 {
+		t.Fatalf("boost reduced score: %g < %g", boosted.Score, single.Score)
+	}
+}
+
+func TestRunMultiKConsistentWithRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	A := lowRank(rng, 150, 8, 3, 0.2)
+	net := comm.NewNetwork(1)
+	s := newIdealSampler(A, 0, 11)
+	ks := []int{2, 4, 6}
+	results, err := RunMultiK(net, s, fn.Identity{}, 8, ks, Options{K: 6, R: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		res := results[k]
+		if res == nil {
+			t.Fatalf("missing k=%d", k)
+		}
+		// Projection rank must be k.
+		vals, _ := matrix.EigenSym(res.P)
+		rank := 0
+		for _, v := range vals {
+			if v > 0.5 {
+				rank++
+			}
+		}
+		if rank != k {
+			t.Fatalf("k=%d: projection rank %d", k, rank)
+		}
+		if add := additiveError(A, res.P, k); add > 0.15 {
+			t.Fatalf("k=%d: additive error %g", k, add)
+		}
+	}
+	// Same B shared across ranks.
+	if results[2].B != results[4].B && !results[2].B.Equalf(results[4].B, 0) {
+		t.Fatal("multik should share one sampled matrix per repetition")
+	}
+}
+
+func TestSampleCountDerivation(t *testing.T) {
+	o := Options{K: 5, Eps: 0.5}
+	if r := o.SampleCount(); r != 400 {
+		t.Fatalf("r = %d, want 4·25/0.25 = 400", r)
+	}
+	o = Options{K: 5, R: 77}
+	if o.SampleCount() != 77 {
+		t.Fatal("explicit R ignored")
+	}
+	o = Options{K: 5, Eps: 0.5, RConstant: 1}
+	if o.SampleCount() != 100 {
+		t.Fatal("RConstant ignored")
+	}
+	o = Options{K: 50, Eps: 10} // tiny r clamped to k
+	if o.SampleCount() < 50 {
+		t.Fatal("r below k")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	net := comm.NewNetwork(1)
+	rng := rand.New(rand.NewSource(8))
+	A := lowRank(rng, 20, 4, 2, 0.1)
+	s := newIdealSampler(A, 0, 1)
+	if _, err := Run(net, s, fn.Identity{}, 4, Options{K: 0, R: 5}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Run(net, s, fn.Identity{}, 0, Options{K: 1, R: 5}); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	s.fail = errors.New("boom")
+	if _, err := Run(net, s, fn.Identity{}, 4, Options{K: 1, R: 5}); err == nil {
+		t.Fatal("sampler failure swallowed")
+	}
+}
+
+func TestRunRejectsInvalidQHat(t *testing.T) {
+	net := comm.NewNetwork(1)
+	bad := samplerFunc(func() (Sample, error) {
+		return Sample{Row: 0, QHat: 0, RawRow: []float64{1, 2}}, nil
+	})
+	if _, err := Run(net, bad, fn.Identity{}, 2, Options{K: 1, R: 3}); err == nil {
+		t.Fatal("QHat=0 accepted")
+	}
+	nan := samplerFunc(func() (Sample, error) {
+		return Sample{Row: 0, QHat: math.NaN(), RawRow: []float64{1, 2}}, nil
+	})
+	if _, err := Run(net, nan, fn.Identity{}, 2, Options{K: 1, R: 3}); err == nil {
+		t.Fatal("QHat=NaN accepted")
+	}
+	short := samplerFunc(func() (Sample, error) {
+		return Sample{Row: 0, QHat: 0.5, RawRow: []float64{1}}, nil
+	})
+	if _, err := Run(net, short, fn.Identity{}, 2, Options{K: 1, R: 3}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+type samplerFunc func() (Sample, error)
+
+func (f samplerFunc) Draw() (Sample, error) { return f() }
+
+func TestRunChargesProjectionBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	A := lowRank(rng, 50, 6, 2, 0.1)
+	net := comm.NewNetwork(4)
+	s := newIdealSampler(A, 0, 3)
+	_, err := Run(net, s, fn.Identity{}, 6, Options{K: 2, R: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The d×k basis travels to 3 non-CP servers.
+	if got := net.Breakdown()["core/projection"]; got != int64(3*6*2) {
+		t.Fatalf("projection broadcast words = %d", got)
+	}
+}
+
+func TestRunMultiKRejectsBadKs(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	A := lowRank(rng, 30, 5, 2, 0.1)
+	net := comm.NewNetwork(1)
+	s := newIdealSampler(A, 0, 4)
+	if _, err := RunMultiK(net, s, fn.Identity{}, 5, []int{0}, Options{K: 1, R: 5}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := RunMultiK(net, s, fn.Identity{}, 5, []int{9}, Options{K: 9, R: 5}); err == nil {
+		t.Fatal("k>d accepted")
+	}
+	if _, err := RunMultiK(net, s, fn.Identity{}, 5, nil, Options{K: 1, R: 5}); err == nil {
+		t.Fatal("empty ks accepted")
+	}
+}
+
+func TestBoostForConfidence(t *testing.T) {
+	cases := []struct {
+		delta float64
+		want  int
+	}{{0.5, 1}, {0.1, 1}, {0.01, 2}, {1e-6, 6}}
+	for _, c := range cases {
+		if got := BoostForConfidence(c.delta); got != c.want {
+			t.Errorf("BoostForConfidence(%g) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BoostForConfidence(0)
+}

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestShapesPerScale(t *testing.T) {
+	for _, sc := range []Scale{Small, Medium} {
+		fc, info := ForestCoverRaw(sc, 1)
+		if fc.Rows() != info.Rows || fc.Cols() != info.Cols {
+			t.Fatalf("ForestCover info mismatch at scale %d", sc)
+		}
+		if info.Cols != 54 {
+			t.Fatal("ForestCover must have 54 raw features")
+		}
+		kdd, info := KDDCUP99Raw(sc, 1)
+		if kdd.Cols() != 41 || info.Cols != 41 {
+			t.Fatal("KDDCUP99 must have 41 raw features")
+		}
+		iso, info := IsoletRaw(sc, 1)
+		if iso.Rows() != info.Rows {
+			t.Fatal("isolet info mismatch")
+		}
+	}
+}
+
+func TestFullScaleIsoletMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation")
+	}
+	_, info := IsoletRaw(Full, 1)
+	if info.Rows != 1559 || info.Cols != 617 {
+		t.Fatalf("full isolet %dx%d, paper is 1559x617", info.Rows, info.Cols)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := ForestCoverRaw(Small, 42)
+	b, _ := ForestCoverRaw(Small, 42)
+	if !a.Equalf(b, 0) {
+		t.Fatal("ForestCover not deterministic")
+	}
+	c, _ := ForestCoverRaw(Small, 43)
+	if a.Equalf(c, 1e-9) {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestForestCoverBinaryColumns(t *testing.T) {
+	fc, _ := ForestCoverRaw(Small, 7)
+	for i := 0; i < fc.Rows(); i++ {
+		for j := 40; j < 54; j++ {
+			v := fc.At(i, j)
+			if v != 0 && v != 1 {
+				t.Fatalf("indicator column holds %g", v)
+			}
+		}
+	}
+}
+
+func TestKDDHeavyTails(t *testing.T) {
+	kdd, _ := KDDCUP99Raw(Medium, 3)
+	// Burst columns must have max ≫ median-scale entries.
+	col := kdd.ColCopy(5)
+	var mx, sum float64
+	for _, v := range col {
+		if v > mx {
+			mx = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(col))
+	if mx < 10*mean {
+		t.Fatalf("column 5 not heavy tailed: max %g, mean %g", mx, mean)
+	}
+}
+
+func TestSpectralDecay(t *testing.T) {
+	iso, _ := IsoletRaw(Small, 5)
+	svd := matrix.SVD(iso)
+	// Leading singular value should dominate the tail — the generators
+	// promise correlated, decaying-spectrum data.
+	if svd.Values[0] < 3*svd.Values[20] {
+		t.Fatalf("spectrum too flat: σ0=%g σ20=%g", svd.Values[0], svd.Values[20])
+	}
+}
+
+func TestCodesGenerators(t *testing.T) {
+	c, info := Caltech101Codes(Small, 9)
+	if c.V != 256 || info.Cols != 256 {
+		t.Fatal("caltech codebook size")
+	}
+	if c.NumImages() != info.Rows {
+		t.Fatal("caltech image count")
+	}
+	s, info2 := ScenesCodes(Small, 9)
+	if s.V != 256 || info2.Name != "Scenes" {
+		t.Fatal("scenes codes")
+	}
+}
+
+func TestInfoString(t *testing.T) {
+	_, info := ForestCoverRaw(Small, 1)
+	str := info.String()
+	if !strings.Contains(str, "ForestCover") || !strings.Contains(str, "522000") {
+		t.Fatalf("info string %q", str)
+	}
+}
+
+func TestPickBounds(t *testing.T) {
+	if pick(Small, 1, 2, 3) != 1 || pick(Medium, 1, 2, 3) != 2 || pick(Full, 1, 2, 3) != 3 {
+		t.Fatal("pick")
+	}
+}

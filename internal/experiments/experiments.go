@@ -1,0 +1,247 @@
+// Package experiments reproduces the paper's evaluation (Section VIII):
+// for every panel of Figures 1 and 2 it builds the dataset pipeline,
+// bounds the total communication to a fraction ("ratio") of the sum of
+// local data sizes by tuning the sampler parameters and the row count r —
+// exactly the paper's methodology — runs the distributed protocol, and
+// reports the measured additive error, the measured relative error and the
+// theoretical prediction k²/r for k = 3,…,15.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fn"
+	"repro/internal/hashing"
+	"repro/internal/matrix"
+	"repro/internal/samplers"
+	"repro/internal/zsampler"
+)
+
+// Built is one panel's prepared pipeline: what each server holds, the
+// entrywise f, the optional weight function z (nil selects the uniform
+// sampler), and the materialized ground truth for error measurement.
+type Built struct {
+	// Locals are the per-server shares A^t.
+	Locals []*matrix.Dense
+	// F is the entrywise function of the generalized partition model.
+	F fn.Func
+	// Z selects the generalized sampler when non-nil; nil means rows have
+	// near-equal norms and uniform sampling applies.
+	Z fn.ZFunc
+	// A is the exact global implicit matrix (ground truth; never shown to
+	// the protocol).
+	A *matrix.Dense
+	// DataWords is the sum of local data sizes in words, the denominator
+	// of the paper's communication ratio.
+	DataWords int64
+}
+
+// PanelConfig describes one figure panel.
+type PanelConfig struct {
+	// Name matches the paper's panel title, e.g. "Caltech-101(P=5)".
+	Name string
+	// Ratios are the communication budgets as fractions of DataWords.
+	Ratios []float64
+	// Ks are the projection dimensions of the x-axis.
+	Ks []int
+	// Runs is the number of repetitions averaged (the paper uses 5).
+	Runs int
+	// Seed drives dataset generation and protocol randomness.
+	Seed int64
+	// Baseline additionally runs the centralized FKV sampler [11] with the
+	// same row budget and records its additive error per point — the ideal
+	// the distributed protocol approximates.
+	Baseline bool
+	// Build constructs the pipeline (datasets are built once per panel).
+	Build func(seed int64) (*Built, error)
+}
+
+// Point is one (ratio, k) measurement averaged over runs.
+type Point struct {
+	K          int
+	Ratio      float64
+	R          int     // rows sampled per run
+	Prediction float64 // k²/r, the paper's theoretical additive error
+	Additive   float64 // measured |‖A−AP‖²−‖A−[A]_k‖²|/‖A‖²
+	Relative   float64 // measured ‖A−AP‖²/‖A−[A]_k‖²
+	Words      int64   // measured communication per run (average)
+	// BaselineAdditive is the centralized FKV sampler's additive error at
+	// the same r (−1 when the baseline was not requested).
+	BaselineAdditive float64
+}
+
+// Panel is a completed figure panel.
+type Panel struct {
+	Name      string
+	Sampler   string
+	DataWords int64
+	Points    []Point
+}
+
+// DefaultKs is the paper's x-axis: projection dimensions 3,6,9,12,15.
+func DefaultKs() []int { return []int{3, 6, 9, 12, 15} }
+
+// chooseZParams picks the richest sketch configuration whose traffic fits
+// within half the budget, leaving the rest for row collection — the
+// "adjust the number of repetitions, hash buckets, B, W and e" step of the
+// paper's setup (the ladder itself lives in package zsampler).
+func chooseZParams(budget int64, s, l int, seed int64) zsampler.Params {
+	return zsampler.ParamsForBudget(budget/2, s, l, seed)
+}
+
+// RunPanel executes one figure panel.
+func RunPanel(cfg PanelConfig) (*Panel, error) {
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	if len(cfg.Ks) == 0 {
+		cfg.Ks = DefaultKs()
+	}
+	built, err := cfg.Build(cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build %s: %w", cfg.Name, err)
+	}
+	s := len(built.Locals)
+	n, d := built.Locals[0].Dims()
+	maxK := 0
+	for _, k := range cfg.Ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	optimal := baseline.OptimalResiduals(built.A, cfg.Ks)
+	totalF2 := built.A.FrobNorm2()
+
+	samplerName := "uniform"
+	if built.Z != nil {
+		samplerName = "z-sampler(" + built.Z.Name() + ")"
+	}
+	panel := &Panel{Name: cfg.Name, Sampler: samplerName, DataWords: built.DataWords}
+
+	for _, ratio := range cfg.Ratios {
+		budget := int64(ratio * float64(built.DataWords))
+		type agg struct {
+			add, rel float64
+		}
+		sums := make(map[int]*agg, len(cfg.Ks))
+		for _, k := range cfg.Ks {
+			sums[k] = &agg{}
+		}
+		var rUsed int
+		var wordsSum int64
+		for run := 0; run < cfg.Runs; run++ {
+			net := comm.NewNetwork(s)
+			runSeed := hashing.DeriveSeed(cfg.Seed, uint64(1000*run+int(ratio*1e4)))
+
+			var sampler core.RowSampler
+			if built.Z == nil {
+				u, err := samplers.NewUniform(net, built.Locals, runSeed)
+				if err != nil {
+					return nil, err
+				}
+				sampler = u
+			} else {
+				zp := chooseZParams(budget, s, n*d, runSeed)
+				zr, err := samplers.NewZRow(net, built.Locals, built.Z, zp)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s ratio %g: %w", cfg.Name, ratio, err)
+				}
+				sampler = zr
+			}
+			setup := net.Words()
+			remaining := budget - setup
+			r := int(remaining / int64((s-1)*d+s))
+			if r < maxK+1 {
+				r = maxK + 1 // floor: below this the SVD is degenerate
+			}
+			rUsed = r
+
+			results, err := core.RunMultiK(net, sampler, built.F, d, cfg.Ks, core.Options{K: maxK, R: r})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s ratio %g run %d: %w", cfg.Name, ratio, run, err)
+			}
+			for _, k := range cfg.Ks {
+				m := baseline.Evaluate(built.A, results[k].P, k, optimal[k])
+				sums[k].add += m.Additive
+				sums[k].rel += m.Relative
+			}
+			wordsSum += net.Words()
+		}
+		for _, k := range cfg.Ks {
+			a := sums[k]
+			pt := Point{
+				K:                k,
+				Ratio:            ratio,
+				R:                rUsed,
+				Prediction:       float64(k*k) / float64(rUsed),
+				Additive:         a.add / float64(cfg.Runs),
+				Relative:         a.rel / float64(cfg.Runs),
+				Words:            wordsSum / int64(cfg.Runs),
+				BaselineAdditive: -1,
+			}
+			if cfg.Baseline {
+				P := baseline.FKV(built.A, k, rUsed, hashing.DeriveSeed(cfg.Seed, uint64(9e6+k)))
+				pt.BaselineAdditive = baseline.Evaluate(built.A, P, k, optimal[k]).Additive
+			}
+			panel.Points = append(panel.Points, pt)
+		}
+	}
+	sort.SliceStable(panel.Points, func(i, j int) bool {
+		if panel.Points[i].Ratio != panel.Points[j].Ratio {
+			return panel.Points[i].Ratio > panel.Points[j].Ratio
+		}
+		return panel.Points[i].K < panel.Points[j].K
+	})
+	_ = totalF2
+	return panel, nil
+}
+
+// hasBaseline reports whether any point carries an FKV baseline value.
+func (p *Panel) hasBaseline() bool {
+	for _, pt := range p.Points {
+		if pt.BaselineAdditive >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders a panel as the textual analogue of the paper's figure
+// pair: one row per (ratio, k) with prediction, additive and relative
+// error (and the centralized FKV additive error when measured).
+func (p *Panel) Format() string {
+	var b strings.Builder
+	withBase := p.hasBaseline()
+	fmt.Fprintf(&b, "%s  [sampler: %s, data: %d words]\n", p.Name, p.Sampler, p.DataWords)
+	fmt.Fprintf(&b, "  %-7s %-4s %-6s %-12s %-12s %-10s %-10s",
+		"ratio", "k", "r", "prediction", "additive", "relative", "words")
+	if withBase {
+		fmt.Fprintf(&b, " %-12s", "fkv-additive")
+	}
+	b.WriteByte('\n')
+	for _, pt := range p.Points {
+		fmt.Fprintf(&b, "  %-7.3g %-4d %-6d %-12.4e %-12.4e %-10.4f %-10d",
+			pt.Ratio, pt.K, pt.R, pt.Prediction, pt.Additive, pt.Relative, pt.Words)
+		if withBase {
+			fmt.Fprintf(&b, " %-12.4e", pt.BaselineAdditive)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the panel as CSV rows (with header) for plotting.
+func (p *Panel) CSV() string {
+	var b strings.Builder
+	b.WriteString("panel,sampler,ratio,k,r,prediction,additive,relative,words,fkv_additive\n")
+	for _, pt := range p.Points {
+		fmt.Fprintf(&b, "%s,%s,%g,%d,%d,%g,%g,%g,%d,%g\n",
+			p.Name, p.Sampler, pt.Ratio, pt.K, pt.R, pt.Prediction, pt.Additive, pt.Relative, pt.Words, pt.BaselineAdditive)
+	}
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSmokePanels(t *testing.T) {
+	su := Suite{Scale: dataset.Small, Seed: 11, Runs: 1, Ks: []int{3, 6}}
+	for _, name := range []string{"ForestCover", "Caltech-101(P=2)", "isolet"} {
+		cfg, err := PanelByName(su, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Ratios = []float64{0.5}
+		p, err := RunPanel(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("\n%s", p.Format())
+		for _, pt := range p.Points {
+			if pt.Additive < 0 || pt.Relative < 1-1e-9 {
+				t.Errorf("%s k=%d: bad metrics add=%g rel=%g", name, pt.K, pt.Additive, pt.Relative)
+			}
+		}
+	}
+}

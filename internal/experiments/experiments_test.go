@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/zsampler"
+)
+
+func TestPanelsCoverThePaper(t *testing.T) {
+	su := Suite{Scale: dataset.Small, Seed: 1, Runs: 1}
+	panels := Panels(su)
+	if len(panels) != 11 {
+		t.Fatalf("%d panels, the paper's figures have 11", len(panels))
+	}
+	want := []string{
+		"ForestCover", "KDDCUP99",
+		"Caltech-101(P=1)", "Caltech-101(P=2)", "Caltech-101(P=5)", "Caltech-101(P=20)",
+		"Scenes(P=1)", "Scenes(P=2)", "Scenes(P=5)", "Scenes(P=20)",
+		"isolet",
+	}
+	for i, name := range want {
+		if panels[i].Name != name {
+			t.Fatalf("panel %d is %q, want %q", i, panels[i].Name, name)
+		}
+	}
+	// Ratio sets per the paper: KDDCUP99 uses the narrow set.
+	if panels[1].Ratios[0] != 0.1 || panels[1].Ratios[2] != 0.01 {
+		t.Fatalf("KDDCUP99 ratios %v", panels[1].Ratios)
+	}
+	if panels[0].Ratios[0] != 0.5 {
+		t.Fatalf("ForestCover ratios %v", panels[0].Ratios)
+	}
+}
+
+func TestPanelByName(t *testing.T) {
+	su := Suite{Scale: dataset.Small, Seed: 1, Runs: 1}
+	if _, err := PanelByName(su, "isolet"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PanelByName(su, "nope"); err == nil {
+		t.Fatal("unknown panel accepted")
+	}
+}
+
+func TestDefaultKsMatchPaper(t *testing.T) {
+	ks := DefaultKs()
+	want := []int{3, 6, 9, 12, 15}
+	for i := range want {
+		if ks[i] != want[i] {
+			t.Fatalf("ks = %v", ks)
+		}
+	}
+}
+
+func TestChooseZParamsRespectsBudget(t *testing.T) {
+	const s, l = 10, 1 << 18
+	budget := int64(1 << 19)
+	p := chooseZParams(budget, s, l, 1)
+	if cost := zsampler.EstimateSetupWords(p, s, l); cost > budget/2 {
+		t.Fatalf("sketch cost %d exceeds half budget %d", cost, budget/2)
+	}
+}
+
+func TestFormatAndCSV(t *testing.T) {
+	p := &Panel{
+		Name: "demo", Sampler: "uniform", DataWords: 1000,
+		Points: []Point{{K: 3, Ratio: 0.5, R: 10, Prediction: 0.9, Additive: 0.01, Relative: 1.1, Words: 500}},
+	}
+	txt := p.Format()
+	if !strings.Contains(txt, "demo") || !strings.Contains(txt, "prediction") {
+		t.Fatalf("format output %q", txt)
+	}
+	csv := p.CSV()
+	if !strings.HasPrefix(csv, "panel,sampler,ratio,k,r,prediction,additive,relative,words,fkv_additive\n") {
+		t.Fatalf("csv header %q", csv)
+	}
+	if !strings.Contains(csv, "demo,uniform,0.5,3,10,0.9,0.01,1.1,500,") {
+		t.Fatalf("csv row %q", csv)
+	}
+}
+
+// TestBuildersProduceConsistentGroundTruth drives each builder type once
+// and verifies the implicit-matrix identity A = f(Σ locals) on a few
+// entries.
+func TestBuildersProduceConsistentGroundTruth(t *testing.T) {
+	su := Suite{Scale: dataset.Small, Seed: 3, Runs: 1, Ks: []int{3}}
+	for _, name := range []string{"Scenes(P=5)", "isolet"} {
+		cfg, err := PanelByName(su, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		built, err := cfg.Build(cfg.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := built.Locals[0].Clone()
+		for _, m := range built.Locals[1:] {
+			sum.AddInPlace(m)
+		}
+		implied := sum.Apply(built.F.Apply)
+		if !implied.Equalf(built.A, 1e-6*built.A.MaxAbs()) {
+			t.Fatalf("%s: ground truth A != f(Σ locals)", name)
+		}
+	}
+}
+
+// TestCommunicationWithinBudget verifies the harness's core discipline:
+// measured traffic stays within a modest factor of the requested budget
+// (the r floor can push slightly past it at tiny scales).
+func TestCommunicationWithinBudget(t *testing.T) {
+	su := Suite{Scale: dataset.Small, Seed: 5, Runs: 1, Ks: []int{3, 6}}
+	cfg, err := PanelByName(su, "Scenes(P=2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ratios = []float64{0.25}
+	panel, err := RunPanel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(0.25 * float64(panel.DataWords))
+	for _, pt := range panel.Points {
+		if pt.Words > 2*budget {
+			t.Fatalf("k=%d used %d words against budget %d", pt.K, pt.Words, budget)
+		}
+	}
+}
+
+// TestBaselineColumn verifies the FKV comparison column: the centralized
+// ideal must be within the same error regime as the distributed protocol.
+func TestBaselineColumn(t *testing.T) {
+	su := Suite{Scale: dataset.Small, Seed: 9, Runs: 1, Ks: []int{3}}
+	cfg, err := PanelByName(su, "isolet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Ratios = []float64{0.5}
+	cfg.Baseline = true
+	panel, err := RunPanel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := panel.Points[0]
+	if pt.BaselineAdditive < 0 {
+		t.Fatal("baseline column missing")
+	}
+	// The distributed protocol should be within 10× of the centralized
+	// ideal at the same r (both are noisy at Small scale).
+	if pt.Additive > 10*pt.BaselineAdditive+0.1 {
+		t.Fatalf("distributed %g vs baseline %g", pt.Additive, pt.BaselineAdditive)
+	}
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/fn"
+	"repro/internal/matrix"
+	"repro/internal/pooling"
+	"repro/internal/rff"
+	"repro/internal/robust"
+)
+
+// Suite holds the global experiment knobs.
+type Suite struct {
+	// Scale selects dataset sizes (tests: Small, default: Medium).
+	Scale dataset.Scale
+	// Seed drives everything.
+	Seed int64
+	// Runs is the number of repetitions averaged per point (paper: 5).
+	Runs int
+	// Ks overrides the projection dimensions (nil = paper's 3..15).
+	Ks []int
+}
+
+// rffPanel builds a Fourier-feature panel: raw data row-partitioned across
+// s servers, expanded with a shared random feature map, PCA'd with the
+// uniform sampler (Section VI-A).
+func rffPanel(name string, s int, features int, ratios []float64,
+	gen func(sc dataset.Scale, seed int64) (*matrix.Dense, dataset.Info), su Suite) PanelConfig {
+	return PanelConfig{
+		Name:   name,
+		Ratios: ratios,
+		Ks:     su.Ks,
+		Runs:   su.Runs,
+		Seed:   su.Seed,
+		Build: func(seed int64) (*Built, error) {
+			raw, _ := gen(su.Scale, seed)
+			mp, err := rff.NewMap(raw.Cols(), features, rffBandwidth(raw), seed+1)
+			if err != nil {
+				return nil, err
+			}
+			// "We randomly distributed the original data to different
+			// servers": row partition, then local projection + phase share.
+			parts := robust.RowPartition(raw, s, seed+2)
+			locals := rff.DistributedExpand(parts, mp)
+			A := mp.ExactExpansion(raw)
+			// Sum of local data sizes: each server stores its own rows of
+			// the raw data; the implicit expanded matrix has n·features
+			// words in total.
+			n := raw.Rows()
+			return &Built{
+				Locals:    locals,
+				F:         fn.SqrtTwoCos{},
+				Z:         nil,
+				A:         A,
+				DataWords: int64(n * features),
+			}, nil
+		},
+	}
+}
+
+// rffBandwidth picks the kernel bandwidth as the root-mean-square row norm
+// of the raw data — the standard median-distance heuristic's cheap cousin,
+// keeping the kernel informative at any dataset scale.
+func rffBandwidth(raw *matrix.Dense) float64 {
+	n := raw.Rows()
+	var s float64
+	for i := 0; i < n; i++ {
+		s += raw.RowNorm2(i)
+	}
+	m := s / float64(n)
+	if m <= 0 {
+		return 1
+	}
+	return math.Sqrt(m)
+}
+
+// gmPanel builds a pooled-codes panel: codes split across s servers, pooled
+// locally, combined with the generalized mean via the softmax sampler
+// (Section VI-B).
+func gmPanel(name string, s int, p float64, ratios []float64,
+	gen func(sc dataset.Scale, seed int64) (*pooling.Codes, dataset.Info), su Suite) PanelConfig {
+	return PanelConfig{
+		Name:   name,
+		Ratios: ratios,
+		Ks:     su.Ks,
+		Runs:   su.Runs,
+		Seed:   su.Seed,
+		Build: func(seed int64) (*Built, error) {
+			codes, _ := gen(su.Scale, seed)
+			split := codes.Split(s, seed+1)
+			pools := make([]*matrix.Dense, s)
+			for t, c := range split {
+				pool, err := c.Pool(p)
+				if err != nil {
+					return nil, err
+				}
+				pools[t] = pool
+			}
+			locals := pooling.GMShares(pools, p)
+			A := pooling.GlobalGM(pools, p)
+			n, v := A.Dims()
+			return &Built{
+				Locals: locals,
+				F:      fn.GM{P: p},
+				Z:      fn.GM{P: p},
+				A:      A,
+				// Every server stores a full n×V pooled matrix.
+				DataWords: int64(s) * int64(n*v),
+			}, nil
+		},
+	}
+}
+
+// robustPanel builds the isolet robust-PCA panel: corrupt a feature matrix,
+// arbitrarily partition it, and cap outliers with the Huber ψ
+// (Section VI-C).
+func robustPanel(name string, s int, ratios []float64, su Suite) PanelConfig {
+	return PanelConfig{
+		Name:   name,
+		Ratios: ratios,
+		Ks:     su.Ks,
+		Runs:   su.Runs,
+		Seed:   su.Seed,
+		Build: func(seed int64) (*Built, error) {
+			raw, _ := dataset.IsoletRaw(su.Scale, seed)
+			corrupted, _, err := robust.Corrupt(raw, 50, 1e4, seed+1)
+			if err != nil {
+				return nil, err
+			}
+			locals := robust.ArbitraryPartition(corrupted, s, seed+2)
+			// Huber threshold: cap at a few standard deviations of the
+			// clean signal so genuine entries pass through and the 1e4
+			// outliers are clipped.
+			huber := fn.Huber{K: huberThreshold(raw)}
+			A := corrupted.Apply(huber.Apply)
+			n, d := A.Dims()
+			return &Built{
+				Locals: locals,
+				F:      huber,
+				Z:      huber,
+				A:      A,
+				// Arbitrary partition: every server stores a full matrix.
+				DataWords: int64(s) * int64(n*d),
+			}, nil
+		},
+	}
+}
+
+// huberThreshold returns 6× the RMS entry magnitude of the clean matrix.
+func huberThreshold(clean *matrix.Dense) float64 {
+	n, d := clean.Dims()
+	rms := math.Sqrt(clean.FrobNorm2() / float64(n*d))
+	if rms <= 0 {
+		return 1
+	}
+	return 6 * rms
+}
+
+// Panels returns all eleven figure panels of the paper's evaluation with
+// its exact ratio sets and server counts: 10 servers for Forest Cover,
+// Scenes and isolet; 50 for KDDCUP99 and Caltech-101.
+func Panels(su Suite) []PanelConfig {
+	if su.Runs < 1 {
+		su.Runs = 5
+	}
+	if su.Ks == nil {
+		su.Ks = DefaultKs()
+	}
+	wide := []float64{0.5, 0.25, 0.1}
+	narrow := []float64{0.1, 0.05, 0.01}
+	features := map[dataset.Scale]int{dataset.Small: 32, dataset.Medium: 128, dataset.Full: 512}[su.Scale]
+	kddFeatures := map[dataset.Scale]int{dataset.Small: 24, dataset.Medium: 64, dataset.Full: 50}[su.Scale]
+
+	out := []PanelConfig{
+		rffPanel("ForestCover", 10, features, wide, dataset.ForestCoverRaw, su),
+		rffPanel("KDDCUP99", 50, kddFeatures, narrow, dataset.KDDCUP99Raw, su),
+	}
+	for _, p := range []float64{1, 2, 5, 20} {
+		out = append(out, gmPanel(fmt.Sprintf("Caltech-101(P=%g)", p), 50, p, wide, dataset.Caltech101Codes, su))
+	}
+	for _, p := range []float64{1, 2, 5, 20} {
+		out = append(out, gmPanel(fmt.Sprintf("Scenes(P=%g)", p), 10, p, wide, dataset.ScenesCodes, su))
+	}
+	out = append(out, robustPanel("isolet", 10, wide, su))
+	return out
+}
+
+// PanelByName returns the panel configuration with the given name.
+func PanelByName(su Suite, name string) (PanelConfig, error) {
+	for _, p := range Panels(su) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return PanelConfig{}, fmt.Errorf("experiments: unknown panel %q", name)
+}

@@ -1,0 +1,301 @@
+// Package fn is the library of entrywise functions f the paper applies to
+// the summed matrix, paired with the weight functions z required by the
+// generalized sampler.
+//
+// A weight function z must satisfy the paper's property P (Section V):
+// for |x1| ≥ |x2|, x1²/z(x1) ≥ x2²/z(x2) and z(x1) ≥ z(x2), with z(0)=0.
+// The sampler samples entries with probability proportional to z, and the
+// framework tolerates any z with z(x)/c ≤ f(x)² ≤ c·z(x) for a constant c.
+//
+// The ψ-functions of Table I (Huber, L1−L2, "Fair") are implemented here
+// exactly as printed in the paper.
+package fn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Func is an entrywise function f: the global matrix is A_ij = f(Σ_t A^t_ij).
+type Func interface {
+	// Name identifies the function in reports and error messages.
+	Name() string
+	// Apply evaluates f(x).
+	Apply(x float64) float64
+}
+
+// ZFunc is a weight function with property P used by the generalized
+// sampler. Implementations must be even in x (depend only on |x|),
+// nondecreasing in |x|, and zero at zero.
+type ZFunc interface {
+	Name() string
+	// Z evaluates the weight z(x) ≥ 0.
+	Z(x float64) float64
+	// Inverse returns the smallest x ≥ 0 with Z(x) = y, or NaN when no such
+	// x exists (e.g. y above the range of a bounded ψ²). The sampler's
+	// coordinate-injection step skips classes whose value is not attained,
+	// exactly as the paper prescribes ("if z⁻¹((1+ε)^i) does not exist,
+	// S_i(a) must be empty").
+	Inverse(y float64) float64
+}
+
+// Pair couples the entrywise f with a property-P weight z and the distortion
+// constant c with z/c ≤ f² ≤ c·z.
+type Pair struct {
+	F Func
+	Z ZFunc
+	// C is the distortion constant relating f² and z (1 when z = f²).
+	C float64
+}
+
+// ---------------------------------------------------------------------------
+// Identity and powers
+
+// Identity is f(x) = x (plain distributed PCA of the summed matrix).
+type Identity struct{}
+
+func (Identity) Name() string            { return "identity" }
+func (Identity) Apply(x float64) float64 { return x }
+func (Identity) Z(x float64) float64     { return x * x }
+func (Identity) Inverse(y float64) float64 {
+	if y < 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(y)
+}
+
+// AbsPower is f(x) = |x|^p, with z = |x|^{2p}. Property P requires the
+// sampler's exponent 2p; any p > 0 is accepted here (the framework itself
+// is agnostic; the paper's lower bounds kick in for p > 1 only for
+// *relative* error).
+type AbsPower struct{ P float64 }
+
+func (f AbsPower) Name() string            { return fmt.Sprintf("|x|^%g", f.P) }
+func (f AbsPower) Apply(x float64) float64 { return math.Pow(math.Abs(x), f.P) }
+func (f AbsPower) Z(x float64) float64     { return math.Pow(math.Abs(x), 2*f.P) }
+func (f AbsPower) Inverse(y float64) float64 {
+	if y < 0 {
+		return math.NaN()
+	}
+	return math.Pow(y, 1/(2*f.P))
+}
+
+// ---------------------------------------------------------------------------
+// Softmax / generalized mean (Section VI-B)
+
+// GM is the softmax (generalized mean) configuration. Server t locally
+// replaces its entry M^t_ij with (1/s)·|M^t_ij|^p; the implicit global
+// entry is then GM(|M^1_ij|,…,|M^s_ij|) = f(Σ_t A^t_ij) with f(x) = x^{1/p}.
+// Large p approximates an entrywise max across servers.
+type GM struct {
+	// P is the generalized-mean exponent (p ≥ 1; p = 1 is the mean).
+	P float64
+}
+
+func (g GM) Name() string { return fmt.Sprintf("GM(p=%g)", g.P) }
+
+// Apply is f(x) = x^{1/p} on the locally prepared sums (x ≥ 0 by
+// construction; negative inputs from roundoff are clamped).
+func (g GM) Apply(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, 1/g.P)
+}
+
+// Z is z(x) = |x|^{2/p}; since 2/p ≤ 2 for p ≥ 1, x²/z = |x|^{2−2/p} is
+// nondecreasing, so property P holds.
+func (g GM) Z(x float64) float64 { return math.Pow(math.Abs(x), 2/g.P) }
+
+func (g GM) Inverse(y float64) float64 {
+	if y < 0 {
+		return math.NaN()
+	}
+	return math.Pow(y, g.P/2)
+}
+
+// Prepare converts a raw local entry into the power-sum encoding: the value
+// server t contributes to the implicit sum for GM with s servers.
+func (g GM) Prepare(raw float64, s int) float64 {
+	return math.Pow(math.Abs(raw), g.P) / float64(s)
+}
+
+// Value computes the exact generalized mean of the raw values, for ground
+// truth in tests and experiments.
+func (g GM) Value(raw []float64) float64 {
+	var sum float64
+	for _, v := range raw {
+		sum += math.Pow(math.Abs(v), g.P)
+	}
+	return math.Pow(sum/float64(len(raw)), 1/g.P)
+}
+
+// ---------------------------------------------------------------------------
+// ψ-functions of M-estimators (Table I, Section VI-C)
+
+// Huber is the ψ-function of the Huber M-estimator:
+// ψ(x) = x for |x| ≤ K, K·sgn(x) otherwise. It caps entries damaged by
+// large noise while preserving small entries, giving robust PCA.
+type Huber struct{ K float64 }
+
+func (h Huber) Name() string { return fmt.Sprintf("huber(k=%g)", h.K) }
+
+func (h Huber) Apply(x float64) float64 {
+	if x > h.K {
+		return h.K
+	}
+	if x < -h.K {
+		return -h.K
+	}
+	return x
+}
+
+// Z is ψ(x)², bounded by K²: x²/z = max(1, x²/K²) is nondecreasing in |x|
+// and z is nondecreasing, so property P holds.
+func (h Huber) Z(x float64) float64 {
+	v := h.Apply(x)
+	return v * v
+}
+
+func (h Huber) Inverse(y float64) float64 {
+	if y < 0 || y > h.K*h.K {
+		return math.NaN()
+	}
+	return math.Sqrt(y)
+}
+
+// L1L2 is the ψ-function of the L1−L2 M-estimator: ψ(x) = x/(1+x²/2)^½.
+type L1L2 struct{}
+
+func (L1L2) Name() string { return "l1-l2" }
+
+func (L1L2) Apply(x float64) float64 { return x / math.Sqrt(1+x*x/2) }
+
+// Z is ψ² = x²/(1+x²/2), which grows from x² near zero to the constant 2:
+// at most quadratic growth, hence property P.
+func (f L1L2) Z(x float64) float64 {
+	v := f.Apply(x)
+	return v * v
+}
+
+func (f L1L2) Inverse(y float64) float64 {
+	// Solve x²/(1+x²/2) = y for x ≥ 0: x² = y/(1−y/2), defined for y < 2.
+	if y < 0 || y >= 2 {
+		return math.NaN()
+	}
+	return math.Sqrt(y / (1 - y/2))
+}
+
+// Fair is the ψ-function of the "Fair" M-estimator: ψ(x) = x/(1+|x|/c).
+type Fair struct{ C float64 }
+
+func (f Fair) Name() string { return fmt.Sprintf("fair(c=%g)", f.C) }
+
+func (f Fair) Apply(x float64) float64 { return x / (1 + math.Abs(x)/f.C) }
+
+// Z is ψ², bounded by c²: at most quadratic growth, hence property P.
+func (f Fair) Z(x float64) float64 {
+	v := f.Apply(x)
+	return v * v
+}
+
+func (f Fair) Inverse(y float64) float64 {
+	// Solve (x/(1+x/c))² = y for x ≥ 0. With w = √y: x = w/(1−w/c), w < c.
+	if y < 0 {
+		return math.NaN()
+	}
+	w := math.Sqrt(y)
+	if w >= f.C {
+		return math.NaN()
+	}
+	return w / (1 - w/f.C)
+}
+
+// ---------------------------------------------------------------------------
+// Random Fourier features (Section VI-A)
+
+// SqrtTwoCos is f(x) = √2·cos(x), the nonlinearity of the Gaussian random
+// Fourier feature expansion. Each server folds its share b_j/s of the
+// random phase into its local projection, so the implicit sum is
+// (MZ)_ij + b_j and the entrywise f is a pure cosine. Row norms of the
+// expansion concentrate (E[f(x)²] = 1 for uniform phase), which is why the
+// expansion is paired with uniform sampling rather than a ZFunc.
+type SqrtTwoCos struct{}
+
+func (SqrtTwoCos) Name() string            { return "sqrt2·cos" }
+func (SqrtTwoCos) Apply(x float64) float64 { return math.Sqrt2 * math.Cos(x) }
+
+// ---------------------------------------------------------------------------
+// Max (used only by the lower bounds; no efficient sampler exists for it,
+// which is Theorem 6's point — GM with large p is the practical surrogate).
+
+// Max is the entrywise max across servers. It does not fit the summed-
+// matrix form, so it implements only Func on pre-maxed values; the GM
+// surrogate should be used for actual protocols.
+type Max struct{}
+
+func (Max) Name() string            { return "max" }
+func (Max) Apply(x float64) float64 { return x }
+
+// ---------------------------------------------------------------------------
+// Property P verification
+
+// CheckPropertyP verifies property P for z on a grid of |x| values up to
+// span, returning a descriptive error on the first violation. Used by tests
+// and by protocol constructors that accept user-supplied ZFuncs.
+func CheckPropertyP(z ZFunc, span float64, steps int) error {
+	if z.Z(0) != 0 {
+		return fmt.Errorf("fn: %s violates property P: z(0) = %g != 0", z.Name(), z.Z(0))
+	}
+	prevZ := 0.0
+	prevRatio := 0.0
+	first := true
+	for i := 1; i <= steps; i++ {
+		x := span * float64(i) / float64(steps)
+		zx := z.Z(x)
+		if zx < 0 {
+			return fmt.Errorf("fn: %s violates property P: z(%g) = %g < 0", z.Name(), x, zx)
+		}
+		if zx+1e-12 < prevZ {
+			return fmt.Errorf("fn: %s violates property P: z decreasing at %g (%g < %g)", z.Name(), x, zx, prevZ)
+		}
+		if zx > 0 {
+			ratio := x * x / zx
+			if !first && ratio+1e-9*math.Max(1, prevRatio) < prevRatio {
+				return fmt.Errorf("fn: %s violates property P: x²/z decreasing at %g (%g < %g)", z.Name(), x, ratio, prevRatio)
+			}
+			prevRatio = ratio
+			first = false
+		}
+		prevZ = zx
+	}
+	return nil
+}
+
+// NumericInverse is a generic monotone inverse by bisection for ZFunc
+// implementations that do not have a closed form. It returns the smallest
+// x ≥ 0 with z(x) ≈ y, or NaN if y exceeds z(hi) after expansion.
+func NumericInverse(z ZFunc, y float64) float64 {
+	if y < 0 {
+		return math.NaN()
+	}
+	if y == 0 {
+		return 0
+	}
+	lo, hi := 0.0, 1.0
+	for iter := 0; z.Z(hi) < y; iter++ {
+		hi *= 2
+		if iter > 200 {
+			return math.NaN()
+		}
+	}
+	for i := 0; i < 128; i++ {
+		mid := (lo + hi) / 2
+		if z.Z(mid) < y {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}

@@ -1,0 +1,280 @@
+package fn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allZFuncs enumerates every property-P weight function in the package.
+func allZFuncs() []ZFunc {
+	// Note AbsPower with p > 1 has z = |x|^{2p} of super-quadratic growth
+	// and deliberately fails property P (that regime is exactly where the
+	// paper's Theorem 4 lower bound lives); only p ≤ 1 appears here.
+	return []ZFunc{
+		Identity{},
+		AbsPower{P: 1},
+		AbsPower{P: 0.5},
+		GM{P: 1},
+		GM{P: 2},
+		GM{P: 5},
+		GM{P: 20},
+		Huber{K: 3},
+		L1L2{},
+		Fair{C: 1.5},
+	}
+}
+
+func TestPropertyPAll(t *testing.T) {
+	for _, z := range allZFuncs() {
+		if err := CheckPropertyP(z, 100, 10000); err != nil {
+			t.Errorf("%s: %v", z.Name(), err)
+		}
+	}
+}
+
+func TestCheckPropertyPRejectsViolations(t *testing.T) {
+	// z(x) = x⁴ violates "x²/z nondecreasing" is false — x²/x⁴ decreases,
+	// so property P fails. (Quartic growth exceeds quadratic.)
+	bad := AbsPower{P: 2} // z = |x|⁴ when used as a ZFunc
+	if err := CheckPropertyP(bad, 10, 100); err == nil {
+		t.Fatal("|x|⁴ must violate property P")
+	}
+	// z with z(0) ≠ 0.
+	if err := CheckPropertyP(offsetZ{}, 10, 100); err == nil {
+		t.Fatal("z(0)≠0 must be rejected")
+	}
+}
+
+type offsetZ struct{}
+
+func (offsetZ) Name() string              { return "offset" }
+func (offsetZ) Z(x float64) float64       { return x*x + 1 }
+func (offsetZ) Inverse(y float64) float64 { return math.NaN() }
+
+// TestTableI verifies the ψ-functions exactly as printed in Table I.
+func TestTableI(t *testing.T) {
+	h := Huber{K: 2}
+	cases := []struct {
+		x, want float64
+	}{{0, 0}, {1, 1}, {2, 2}, {3, 2}, {-5, -2}, {-1.5, -1.5}}
+	for _, c := range cases {
+		if got := h.Apply(c.x); got != c.want {
+			t.Errorf("huber(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+
+	l := L1L2{}
+	for _, x := range []float64{0, 0.5, -1, 3, -10} {
+		want := x / math.Sqrt(1+x*x/2)
+		if got := l.Apply(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("l1l2(%g) = %g, want %g", x, got, want)
+		}
+	}
+
+	f := Fair{C: 3}
+	for _, x := range []float64{0, 1, -2, 7} {
+		want := x / (1 + math.Abs(x)/3)
+		if got := f.Apply(x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("fair(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestPsiFunctionsOdd(t *testing.T) {
+	for _, f := range []Func{Huber{K: 2}, L1L2{}, Fair{C: 1}} {
+		for _, x := range []float64{0.3, 1.7, 8} {
+			if math.Abs(f.Apply(x)+f.Apply(-x)) > 1e-12 {
+				t.Errorf("%s not odd at %g", f.Name(), x)
+			}
+		}
+	}
+}
+
+func TestPsiBounded(t *testing.T) {
+	if (Huber{K: 2}).Apply(1e12) != 2 {
+		t.Fatal("huber unbounded")
+	}
+	if v := (L1L2{}).Apply(1e12); math.Abs(v-math.Sqrt2) > 1e-3 {
+		t.Fatalf("l1-l2 limit = %g, want √2", v)
+	}
+	if v := (Fair{C: 4}).Apply(1e12); math.Abs(v-4) > 1e-3 {
+		t.Fatalf("fair limit = %g, want c", v)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	for _, z := range allZFuncs() {
+		for _, x := range []float64{0, 0.1, 0.5, 1, 2} {
+			y := z.Z(x)
+			inv := z.Inverse(y)
+			if math.IsNaN(inv) {
+				t.Errorf("%s: Inverse(%g) = NaN for attained value", z.Name(), y)
+				continue
+			}
+			if math.Abs(z.Z(inv)-y) > 1e-9*(1+y) {
+				t.Errorf("%s: z(z⁻¹(%g)) = %g", z.Name(), y, z.Z(inv))
+			}
+		}
+	}
+}
+
+func TestInverseUnattained(t *testing.T) {
+	if !math.IsNaN(Huber{K: 2}.Inverse(5)) { // z ≤ 4
+		t.Fatal("huber inverse beyond K² must be NaN")
+	}
+	if !math.IsNaN((L1L2{}).Inverse(2)) { // z < 2
+		t.Fatal("l1-l2 inverse at limit must be NaN")
+	}
+	if !math.IsNaN((Fair{C: 1}).Inverse(1)) { // z < c²
+		t.Fatal("fair inverse at limit must be NaN")
+	}
+	if !math.IsNaN(Identity{}.Inverse(-1)) {
+		t.Fatal("negative inverse must be NaN")
+	}
+}
+
+func TestGMIsMeanAtP1(t *testing.T) {
+	g := GM{P: 1}
+	vals := []float64{1, 2, 3, 4}
+	if math.Abs(g.Value(vals)-2.5) > 1e-12 {
+		t.Fatalf("GM_1 = %g", g.Value(vals))
+	}
+}
+
+// TestGMApproachesMax is the paper's Section VI-B claim: for large p,
+// GM > c′·max for any constant c′ < 1.
+func TestGMApproachesMax(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := GM{P: 20}
+	for trial := 0; trial < 100; trial++ {
+		vals := make([]float64, 10)
+		mx := 0.0
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+			if vals[i] > mx {
+				mx = vals[i]
+			}
+		}
+		gm := g.Value(vals)
+		if gm > mx+1e-9 {
+			t.Fatalf("GM %g exceeds max %g", gm, mx)
+		}
+		if gm < 0.85*mx {
+			t.Fatalf("GM_20 %g below 0.85·max %g", gm, mx)
+		}
+	}
+}
+
+func TestGMPrepareValueConsistency(t *testing.T) {
+	// f(Σ_t Prepare(raw_t)) must equal Value(raw).
+	g := GM{P: 5}
+	raw := []float64{2, -3, 7, 0.5}
+	var sum float64
+	for _, v := range raw {
+		sum += g.Prepare(v, len(raw))
+	}
+	if math.Abs(g.Apply(sum)-g.Value(raw)) > 1e-12 {
+		t.Fatalf("f(Σ prepare) = %g, GM = %g", g.Apply(sum), g.Value(raw))
+	}
+}
+
+func TestGMMonotoneInP(t *testing.T) {
+	vals := []float64{1, 2, 3, 10}
+	prev := 0.0
+	for _, p := range []float64{1, 2, 5, 20, 100} {
+		v := GM{P: p}.Value(vals)
+		if v < prev-1e-9 {
+			t.Fatalf("GM not monotone in p at %g", p)
+		}
+		prev = v
+	}
+}
+
+func TestSqrtTwoCos(t *testing.T) {
+	f := SqrtTwoCos{}
+	if math.Abs(f.Apply(0)-math.Sqrt2) > 1e-12 {
+		t.Fatal("cos(0)")
+	}
+	if math.Abs(f.Apply(math.Pi/2)) > 1e-12 {
+		t.Fatal("cos(π/2)")
+	}
+}
+
+func TestIdentityAndPower(t *testing.T) {
+	if (Identity{}).Apply(3) != 3 || (Identity{}).Z(3) != 9 {
+		t.Fatal("identity")
+	}
+	p := AbsPower{P: 2}
+	if p.Apply(-3) != 9 || p.Z(2) != 16 {
+		t.Fatal("abspower")
+	}
+}
+
+func TestMax(t *testing.T) {
+	if (Max{}).Apply(5) != 5 || (Max{}).Name() != "max" {
+		t.Fatal("max passthrough")
+	}
+}
+
+func TestNumericInverse(t *testing.T) {
+	for _, z := range []ZFunc{Identity{}, GM{P: 2}, L1L2{}} {
+		for _, y := range []float64{0, 0.25, 1, 1.5} {
+			if z.Name() == "l1-l2" && y >= 2 {
+				continue
+			}
+			inv := NumericInverse(z, y)
+			if math.Abs(z.Z(inv)-y) > 1e-6*(1+y) {
+				t.Errorf("%s: numeric inverse z(%g)=%g want %g", z.Name(), inv, z.Z(inv), y)
+			}
+		}
+	}
+	if !math.IsNaN(NumericInverse(Huber{K: 1}, 5)) {
+		t.Fatal("numeric inverse of unattained value")
+	}
+	if !math.IsNaN(NumericInverse(Identity{}, -1)) {
+		t.Fatal("numeric inverse of negative")
+	}
+}
+
+// TestQuickZSandwich: for every (f,z) pair used by the protocols, z must
+// sandwich f² within a constant: here they are equal by construction, so
+// z(x) == f(x)² exactly (except GM where f applies to prepared sums).
+func TestQuickZSandwich(t *testing.T) {
+	pairs := []struct {
+		f Func
+		z ZFunc
+	}{
+		{Identity{}, Identity{}},
+		{Huber{K: 2}, Huber{K: 2}},
+		{L1L2{}, L1L2{}},
+		{Fair{C: 3}, Fair{C: 3}},
+	}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		if math.Abs(x) > 1e8 {
+			x = math.Mod(x, 1e8)
+		}
+		for _, p := range pairs {
+			fv := p.f.Apply(x)
+			if math.Abs(p.z.Z(x)-fv*fv) > 1e-9*(1+fv*fv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, z := range allZFuncs() {
+		if z.Name() == "" {
+			t.Fatal("empty name")
+		}
+	}
+}

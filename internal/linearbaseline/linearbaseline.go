@@ -1,0 +1,122 @@
+// Package linearbaseline implements the comparison point from the paper's
+// related work (reference [7], Kannan–Vempala–Woodruff): distributed PCA
+// in the *arbitrary partition model*, where the global matrix is the plain
+// sum A = Σ_t A^t with no entrywise function. There, a shared random
+// subspace embedding S makes a relative-error protocol almost trivial:
+// every server computes S·A^t locally, the CP sums the (tiny) sketches —
+// linearity again — and the top-k right singular space of S·A is a
+// (1+ε)-approximate PCA of A.
+//
+// The point of carrying this baseline in the repository is the paper's
+// motivation made executable: the linear protocol is cheaper AND achieves
+// relative error, but it approximates the PCA of Σ_t A^t — apply it to a
+// robust-PCA instance (where the target is ψ(Σ_t A^t)) and it chases the
+// outliers that the Huber protocol caps. TestLinearBaselineMissesHuber
+// demonstrates exactly that failure, and with it why the generalized
+// partition model needs the machinery of this paper.
+package linearbaseline
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/hashing"
+	"repro/internal/matrix"
+)
+
+// Options configures the linear-model protocol.
+type Options struct {
+	// K is the target rank.
+	K int
+	// Eps is the relative error parameter; the embedding uses
+	// O(K/Eps) rows (default 0.5).
+	Eps float64
+	// SketchRows overrides the embedding height (0 derives it from K, Eps).
+	SketchRows int
+	// Seed drives the shared embedding.
+	Seed int64
+}
+
+func (o Options) rows(n int) int {
+	if o.SketchRows > 0 {
+		return min(o.SketchRows, n)
+	}
+	eps := o.Eps
+	if eps <= 0 {
+		eps = 0.5
+	}
+	t := int(math.Ceil(4 * float64(o.K) / eps))
+	if t < o.K+1 {
+		t = o.K + 1
+	}
+	return min(t, n)
+}
+
+// Result carries the projection and communication cost.
+type Result struct {
+	P     *matrix.Dense
+	V     *matrix.Dense
+	Words int64
+}
+
+// Run executes the linear-model protocol: CP broadcasts the embedding
+// seed; each server applies the shared Gaussian sketch S (t×n) to its
+// local matrix and ships the t×d product; the CP sums the products — by
+// linearity Σ_t S·A^t = S·A — and projects onto the top-k right singular
+// vectors of the summed sketch. Communication: s−1 seed words +
+// (s−1)·t·d sketch words + (s−1)·d·k to ship the projection back.
+func Run(net *comm.Network, locals []*matrix.Dense, opts Options) (*Result, error) {
+	if len(locals) == 0 {
+		return nil, errors.New("linearbaseline: no servers")
+	}
+	if opts.K < 1 {
+		return nil, errors.New("linearbaseline: K must be ≥ 1")
+	}
+	n, d := locals[0].Dims()
+	for _, m := range locals {
+		mn, md := m.Dims()
+		if mn != n || md != d {
+			return nil, errors.New("linearbaseline: inconsistent shapes")
+		}
+	}
+	start := net.Snapshot()
+	t := opts.rows(n)
+	seed := opts.Seed
+	net.BroadcastSeed(comm.CP, "linear/seed", seed)
+
+	// Every server rematerializes the same S from the seed and sketches
+	// its share locally; only the t×d products travel.
+	sum := matrix.NewDense(t, d)
+	for sv, local := range locals {
+		S := gaussianSketch(t, n, seed)
+		prod := S.Mul(local)
+		if sv != comm.CP {
+			net.Charge(sv, comm.CP, "linear/sketch", int64(t*d))
+		}
+		sum.AddInPlace(prod)
+	}
+
+	V := matrix.TopKRightSingular(sum, opts.K)
+	P := V.Mul(V.T())
+	net.BroadcastWords(comm.CP, "linear/projection", int64(d*opts.K))
+	return &Result{P: P, V: V, Words: net.Since(start)}, nil
+}
+
+// gaussianSketch returns the t×n shared embedding with N(0, 1/t) entries.
+func gaussianSketch(t, n int, seed int64) *matrix.Dense {
+	rng := hashing.Seeded(hashing.DeriveSeed(seed, 0x11EA2))
+	S := matrix.NewDense(t, n)
+	inv := 1 / math.Sqrt(float64(t))
+	for i := range S.Data() {
+		S.Data()[i] = rng.NormFloat64() * inv
+	}
+	return S
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

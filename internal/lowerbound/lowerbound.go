@@ -1,0 +1,503 @@
+// Package lowerbound makes the paper's communication lower bounds
+// (Section VII) executable. Each lower bound is a reduction: if a
+// low-communication protocol could compute a *relative-error* rank-k
+// projection for the given f, the two players could solve a communication
+// problem with a known Ω(·) bound. We implement the reduction protocols
+// from the proofs of Theorems 4, 6 and 8 literally, with an exact PCA
+// oracle standing in for the hypothetical protocol, and verify that they
+// decide the underlying promise problems — demonstrating end to end why
+// relative error forces huge communication and why the paper settles for
+// additive error.
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+	"repro/internal/matrix"
+)
+
+// Oracle computes a rank-k projection achieving relative error for the
+// matrix it is given. The reductions invoke it as a black box; ExactOracle
+// (full SVD) plays the role of the hypothetical low-communication protocol.
+type Oracle func(A *matrix.Dense, k int) *matrix.Dense
+
+// ExactOracle returns the optimal rank-k projection via full SVD.
+func ExactOracle(A *matrix.Dense, k int) *matrix.Dense {
+	return matrix.ProjectionTopK(A, k)
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 8: Gap Hamming Distance ⇒ Ω(1/ε²) bits for f(x)=x (and |x|^p).
+
+// GHDInstance is a promise instance of the gap Hamming distance problem in
+// inner-product form: x,y ∈ {−1,+1}^m with ⟨x,y⟩ > 2/ε (close) or < −2/ε
+// (far).
+type GHDInstance struct {
+	X, Y []float64
+	// PositiveGap records the ground truth: true iff ⟨x,y⟩ > +2/ε.
+	PositiveGap bool
+	Eps         float64
+}
+
+// NewGHDInstance builds a promise instance with m = ⌈1/ε²⌉ coordinates and
+// inner product ±(2/ε + slack).
+func NewGHDInstance(eps float64, positive bool, slack int, seed int64) (*GHDInstance, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, errors.New("lowerbound: need 0 < eps < 1")
+	}
+	m := int(math.Ceil(1 / (eps * eps)))
+	gap := int(math.Ceil(2/eps)) + slack
+	if gap > m {
+		return nil, fmt.Errorf("lowerbound: gap %d exceeds dimension %d", gap, m)
+	}
+	// ⟨x,y⟩ = (#agree) − (#disagree) = 2a − m. Want 2a − m = ±gap with
+	// matching parity.
+	if (m+gap)%2 != 0 {
+		gap++
+	}
+	target := gap
+	if !positive {
+		target = -gap
+	}
+	agree := (m + target) / 2
+	rng := hashing.Seeded(seed)
+	x := make([]float64, m)
+	y := make([]float64, m)
+	perm := rng.Perm(m)
+	for i := range x {
+		if rng.Intn(2) == 0 {
+			x[i] = 1
+		} else {
+			x[i] = -1
+		}
+	}
+	for idx, i := range perm {
+		if idx < agree {
+			y[i] = x[i]
+		} else {
+			y[i] = -x[i]
+		}
+	}
+	return &GHDInstance{X: x, Y: y, PositiveGap: positive, Eps: eps}, nil
+}
+
+// InnerProduct returns ⟨x,y⟩ for verification.
+func (g *GHDInstance) InnerProduct() float64 { return matrix.Dot(g.X, g.Y) }
+
+// SolveGHD runs the Theorem 8 reduction: Alice and Bob embed x and y into
+// (1/ε²+k)×(k+1) matrices whose sum has first-column norm |x+y|²ε² and a
+// designed spectrum, obtain a relative-error rank-k projection from the
+// oracle, and read the answer off v₁² of the normalized first row of
+// (I−P). Returns true iff the protocol declares ⟨x,y⟩ > 2/ε.
+func SolveGHD(inst *GHDInstance, k int, oracle Oracle) (bool, error) {
+	if k < 1 {
+		return false, errors.New("lowerbound: k must be ≥ 1")
+	}
+	eps := inst.Eps
+	m := len(inst.X)
+	rows := m + k
+	cols := k + 1
+	A1 := matrix.NewDense(rows, cols)
+	A2 := matrix.NewDense(rows, cols)
+	for i := 0; i < m; i++ {
+		A1.Set(i, 0, inst.X[i]*eps)
+		A2.Set(i, 0, inst.Y[i]*eps)
+	}
+	// Alice's augmentation rows: one √2 row and k−1 rows of √(2(1+ε))/ε.
+	A1.Set(m, 1, math.Sqrt2)
+	big := math.Sqrt(2*(1+eps)) / eps
+	for j := 0; j < k-1; j++ {
+		A1.Set(m+1+j, 2+j, big)
+	}
+	A := A1.Add(A2)
+	P := oracle(A, k)
+	// u = first row of (I − P); v = u/‖u‖.
+	u := make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		if j == 0 {
+			u[j] = 1 - P.At(0, j)
+		} else {
+			u[j] = -P.At(0, j)
+		}
+	}
+	nu := matrix.Norm(u)
+	if nu == 0 {
+		// (I−P) annihilates e₁ ⇒ the x+y direction is fully captured,
+		// which only happens when its energy is large ⇒ positive gap.
+		return true, nil
+	}
+	v1 := u[0] / nu
+	return v1*v1 < 0.5*(1+eps), nil
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6: 2-DISJ ⇒ Ω̃(nd) bits for f = max(·) or the Huber ψ.
+
+// DisjInstance is a promise instance of 2-DISJ on n·d-bit sets: the
+// supports of X and Y intersect in exactly one position, or not at all.
+type DisjInstance struct {
+	N, D int
+	X, Y []bool // length N*D
+	// Intersects is the ground truth.
+	Intersects bool
+	// Pos is the intersection position when Intersects.
+	Pos int
+}
+
+// NewDisjInstance generates a promise instance with the given per-player
+// set density.
+func NewDisjInstance(n, d int, density float64, intersects bool, seed int64) *DisjInstance {
+	rng := hashing.Seeded(seed)
+	total := n * d
+	x := make([]bool, total)
+	y := make([]bool, total)
+	for i := 0; i < total; i++ {
+		x[i] = rng.Float64() < density
+		y[i] = rng.Float64() < density
+		if x[i] && y[i] {
+			y[i] = false // enforce disjoint baseline
+		}
+	}
+	inst := &DisjInstance{N: n, D: d, X: x, Y: y, Intersects: intersects, Pos: -1}
+	if intersects {
+		p := rng.Intn(total)
+		x[p], y[p] = true, true
+		inst.Pos = p
+	}
+	return inst
+}
+
+// Combine mirrors the paper's entrywise combination for Theorem 6:
+// CombineMax uses max of the flipped bits, CombineHuber uses the Huber ψ
+// (with ψ(0)=0, ψ(1)=1, ψ(2)=1) of their sum. Both yield 0 exactly at a
+// common element and 1 elsewhere.
+type Combine int
+
+const (
+	// CombineMax combines with the entrywise maximum.
+	CombineMax Combine = iota
+	// CombineHuber combines with the Huber ψ-function of the sum.
+	CombineHuber
+)
+
+func (c Combine) apply(a, b float64) float64 {
+	switch c {
+	case CombineMax:
+		return math.Max(a, b)
+	default: // Huber with K = 1: ψ(0)=0, ψ(1)=1, ψ(2)=1
+		s := a + b
+		if s > 1 {
+			return 1
+		}
+		if s < -1 {
+			return -1
+		}
+		return s
+	}
+}
+
+// SolveDisj runs the Theorem 6 reduction with rank parameter k > 1: flip
+// the bit vectors, arrange into n×d matrices, augment with an all-ones row
+// and an identity block so the combined matrix has rank ≤ k with equality
+// structure revealing the (unique) zero column, obtain P from the oracle,
+// locate the column l with (ē_l 0)P = (ē_l 0), recurse on that column, and
+// finish with an O(1)-word check. ShellWords receives the number of words
+// the reduction itself communicated (indices and the final check — the
+// point of the theorem being that everything *else* is inside the oracle).
+func SolveDisj(inst *DisjInstance, k int, comb Combine, oracle Oracle) (intersects bool, shellWords int, err error) {
+	if k < 2 {
+		return false, 0, errors.New("lowerbound: theorem 6 needs k > 1")
+	}
+	if inst.D < 3 {
+		// With d = 2 the span of {1_d, ē_j} is already all of R², so the
+		// annihilated column stops being unique and the reduction's rank
+		// argument degenerates; the theorem is about growing d anyway.
+		return false, 0, errors.New("lowerbound: theorem 6 reduction needs d ≥ 3")
+	}
+	n, d := inst.N, inst.D
+	// Flipped vectors arranged as matrices; padding (when a recursion level
+	// does not fill d columns) uses 1 in the flipped domain, i.e. "no
+	// element", so no artificial zeros appear in the combined matrix.
+	alice := flipToMatrix(inst.X, n, d)
+	bob := flipToMatrix(inst.Y, n, d)
+
+	for round := 0; ; round++ {
+		if round > 64 {
+			return false, shellWords, errors.New("lowerbound: recursion failed to terminate")
+		}
+		nr := alice.Rows()
+		A := buildDisjCombined(alice, bob, k, comb)
+		P := oracle(A, k)
+		l := findAnnihilatedColumn(P, d, A.Cols())
+		if l < 0 {
+			// No column satisfies the identity ⇒ no zero entry ⇒ disjoint.
+			return false, shellWords, nil
+		}
+		if nr == 1 {
+			// Final check: exchange the two values at (0, l): one word each
+			// way. Intersection iff both flipped values are 0.
+			shellWords += 2
+			return alice.At(0, l) == 0 && bob.At(0, l) == 0, shellWords, nil
+		}
+		// Alice sends the column index to Bob: one word.
+		shellWords++
+		alice = rearrangeColumn(alice, l, d)
+		bob = rearrangeColumn(bob, l, d)
+	}
+}
+
+func flipToMatrix(bits []bool, n, d int) *matrix.Dense {
+	m := matrix.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			if !bits[i*d+j] {
+				m.Set(i, j, 1)
+			}
+		}
+	}
+	return m
+}
+
+// buildDisjCombined forms the combined matrix of the Theorem 6 protocol:
+//
+//	A = comb( [A′; 1_d; 0], [B′; 0; 0] ) extended with an I_{k−2} block,
+//
+// where the 1_d row guarantees the all-ones direction is present and the
+// identity block pads the rank so a zero entry is detectable at rank k.
+func buildDisjCombined(alice, bob *matrix.Dense, k int, comb Combine) *matrix.Dense {
+	n, d := alice.Dims()
+	rows := n + 1 + (k - 2)
+	cols := d + (k - 2)
+	A := matrix.NewDense(rows, cols)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			A.Set(i, j, comb.apply(alice.At(i, j), bob.At(i, j)))
+		}
+	}
+	for j := 0; j < d; j++ {
+		A.Set(n, j, comb.apply(1, 0))
+	}
+	for j := 0; j < k-2; j++ {
+		A.Set(n+1+j, d+j, comb.apply(1, 0))
+	}
+	return A
+}
+
+// findAnnihilatedColumn looks for l ∈ [d] with (ē_l 0)·P = (ē_l 0), i.e.
+// the "all ones except l" vector lies in the row space of A — which happens
+// exactly when the combined matrix has a zero in column l.
+func findAnnihilatedColumn(P *matrix.Dense, d, cols int) int {
+	const tol = 1e-6
+	for l := 0; l < d; l++ {
+		ok := true
+		for j := 0; j < cols && ok; j++ {
+			// (ē_l 0)P_j = Σ_{i<d, i≠l} P_ij
+			var s float64
+			for i := 0; i < d; i++ {
+				if i != l {
+					s += P.At(i, j)
+				}
+			}
+			want := 0.0
+			if j < d && j != l {
+				want = 1
+			}
+			if math.Abs(s-want) > tol {
+				ok = false
+			}
+		}
+		if ok {
+			return l
+		}
+	}
+	return -1
+}
+
+// rearrangeColumn reshapes column l of m (length n) into a ⌈n/d⌉×d matrix
+// row-major, padding the tail with 1 (flipped-domain "absent").
+func rearrangeColumn(m *matrix.Dense, l, d int) *matrix.Dense {
+	n := m.Rows()
+	rows := (n + d - 1) / d
+	out := matrix.NewDense(rows, d)
+	for pos := 0; pos < rows*d; pos++ {
+		if pos < n {
+			out.Set(pos/d, pos%d, m.At(pos, l))
+		} else {
+			out.Set(pos/d, pos%d, 1)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4: L∞ ⇒ Ω̃((1+ε)^{−2/p}·n^{1−1/p}·d^{1−4/p}) bits for f = Ω(|x|^p).
+
+// LInfInstance is a promise instance of the L∞ problem: x,y ∈ {0..B}^{n·d}
+// with either all |x_i−y_i| ≤ 1, or exactly one coordinate at distance B.
+type LInfInstance struct {
+	N, D, B int
+	X, Y    []int
+	// Far is the ground truth: true iff some |x_i−y_i| = B.
+	Far bool
+	Pos int
+}
+
+// NewLInfInstance builds a promise instance. B is chosen by the caller
+// (the reduction uses B = ⌈(2(1+ε)²·n·d⁴)^{1/(2p)}⌉).
+func NewLInfInstance(n, d, B int, far bool, seed int64) *LInfInstance {
+	rng := hashing.Seeded(seed)
+	total := n * d
+	x := make([]int, total)
+	y := make([]int, total)
+	for i := range x {
+		x[i] = rng.Intn(B + 1)
+		delta := rng.Intn(3) - 1 // −1, 0, +1
+		y[i] = clampInt(x[i]+delta, 0, B)
+	}
+	inst := &LInfInstance{N: n, D: d, B: B, X: x, Y: y, Far: far, Pos: -1}
+	if far {
+		p := rng.Intn(total)
+		if rng.Intn(2) == 0 {
+			x[p], y[p] = 0, B
+		} else {
+			x[p], y[p] = B, 0
+		}
+		inst.Pos = p
+	}
+	return inst
+}
+
+// TheoremB returns the B the Theorem 4 reduction prescribes for the given
+// ε, n, d and growth exponent p.
+func TheoremB(eps float64, n, d int, p float64) int {
+	v := math.Pow(2*(1+eps)*(1+eps)*float64(n)*math.Pow(float64(d), 4), 1/(2*p))
+	return int(math.Ceil(v))
+}
+
+// SolveLInf runs the Theorem 4 reduction for f(x) = |x|^p: Alice arranges
+// x, Bob −y; the combined matrix is |x−y|^p entrywise plus a B·I_{k−1}
+// block; the huge B^p entry (if any) must be captured by any relative-error
+// rank-k projection, so the column through the top-k leverage ordering
+// locates it; recursion shrinks n to 1 and an O(1)-word check finishes.
+func SolveLInf(inst *LInfInstance, k int, p float64, oracle Oracle) (far bool, shellWords int, err error) {
+	if k < 1 {
+		return false, 0, errors.New("lowerbound: k must be ≥ 1")
+	}
+	n, d, B := inst.N, inst.D, inst.B
+	alice := intsToMatrix(inst.X, n, d, +1)
+	bob := intsToMatrix(inst.Y, n, d, -1)
+
+	for round := 0; ; round++ {
+		if round > 64 {
+			return false, shellWords, errors.New("lowerbound: recursion failed to terminate")
+		}
+		nr := alice.Rows()
+		A := buildLInfCombined(alice, bob, k, p, float64(B))
+		P := oracle(A, k)
+		c := topKDataColumn(P, d, k)
+		if c < 0 {
+			return false, shellWords, nil
+		}
+		if nr == 1 {
+			shellWords += 2
+			diff := math.Abs(alice.At(0, c) + bob.At(0, c))
+			return diff >= float64(B), shellWords, nil
+		}
+		shellWords++
+		alice = rearrangeColumnZeroPad(alice, c, d)
+		bob = rearrangeColumnZeroPad(bob, c, d)
+	}
+}
+
+func intsToMatrix(vals []int, n, d, sign int) *matrix.Dense {
+	m := matrix.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			m.Set(i, j, float64(sign*vals[i*d+j]))
+		}
+	}
+	return m
+}
+
+// buildLInfCombined forms |A1+A2|^p on the data block and appends Alice's
+// B·I_{k−1} block (already through f, i.e. B^p on the diagonal).
+func buildLInfCombined(alice, bob *matrix.Dense, k int, p, B float64) *matrix.Dense {
+	n, d := alice.Dims()
+	rows := n + (k - 1)
+	cols := d + (k - 1)
+	A := matrix.NewDense(rows, cols)
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			A.Set(i, j, math.Pow(math.Abs(alice.At(i, j)+bob.At(i, j)), p))
+		}
+	}
+	bp := math.Pow(B, p)
+	for j := 0; j < k-1; j++ {
+		A.Set(n+j, d+j, bp)
+	}
+	return A
+}
+
+// topKDataColumn sorts the standard basis vectors by ‖e_jᵀP‖₂ descending
+// (step 5 of the protocol) and returns the first data column (index < d)
+// within the top-k, or −1 when the top-k contains no data column with
+// meaningful leverage.
+func topKDataColumn(P *matrix.Dense, d, k int) int {
+	cols := P.Cols()
+	type lev struct {
+		j int
+		v float64
+	}
+	levs := make([]lev, cols)
+	for j := 0; j < cols; j++ {
+		var s float64
+		for c := 0; c < cols; c++ {
+			v := P.At(j, c)
+			s += v * v
+		}
+		levs[j] = lev{j, s}
+	}
+	// Selection of the top-k by leverage.
+	for i := 0; i < k && i < cols; i++ {
+		maxAt := i
+		for j := i + 1; j < cols; j++ {
+			if levs[j].v > levs[maxAt].v {
+				maxAt = j
+			}
+		}
+		levs[i], levs[maxAt] = levs[maxAt], levs[i]
+		if levs[i].j < d {
+			// Require non-trivial leverage: a column the projection truly
+			// retains (the B^p entry forces ≈1).
+			if levs[i].v > 0.5 {
+				return levs[i].j
+			}
+		}
+	}
+	return -1
+}
+
+// rearrangeColumnZeroPad reshapes column c into ⌈n/d⌉×d padding with zeros
+// (magnitude domain: zeros are inert).
+func rearrangeColumnZeroPad(m *matrix.Dense, c, d int) *matrix.Dense {
+	n := m.Rows()
+	rows := (n + d - 1) / d
+	out := matrix.NewDense(rows, d)
+	for pos := 0; pos < n; pos++ {
+		out.Set(pos/d, pos%d, m.At(pos, c))
+	}
+	return out
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

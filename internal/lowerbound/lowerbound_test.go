@@ -1,0 +1,251 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// Theorem 8: GHD reduction
+
+func TestGHDInstancePromise(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		pos := seed%2 == 0
+		inst, err := NewGHDInstance(0.2, pos, 4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip := inst.InnerProduct()
+		if pos && ip <= 2/0.2 {
+			t.Fatalf("positive instance has ⟨x,y⟩ = %g", ip)
+		}
+		if !pos && ip >= -2/0.2 {
+			t.Fatalf("negative instance has ⟨x,y⟩ = %g", ip)
+		}
+		for i := range inst.X {
+			if math.Abs(inst.X[i]) != 1 || math.Abs(inst.Y[i]) != 1 {
+				t.Fatal("entries not ±1")
+			}
+		}
+	}
+}
+
+func TestGHDInstanceValidation(t *testing.T) {
+	if _, err := NewGHDInstance(0, true, 1, 1); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := NewGHDInstance(2, true, 1, 1); err == nil {
+		t.Fatal("eps=2 accepted")
+	}
+}
+
+// TestSolveGHD runs the Theorem 8 protocol on both promise sides for
+// several ranks and seeds: with a relative-error oracle it must decide GHD,
+// which is the reduction's whole point.
+func TestSolveGHD(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		for seed := int64(0); seed < 10; seed++ {
+			for _, pos := range []bool{true, false} {
+				inst, err := NewGHDInstance(0.25, pos, 4, 100+seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := SolveGHD(inst, k, ExactOracle)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != pos {
+					t.Fatalf("k=%d seed=%d pos=%v: protocol answered %v (⟨x,y⟩=%g)",
+						k, seed, pos, got, inst.InnerProduct())
+				}
+			}
+		}
+	}
+}
+
+func TestSolveGHDRejectsBadK(t *testing.T) {
+	inst, _ := NewGHDInstance(0.25, true, 4, 1)
+	if _, err := SolveGHD(inst, 0, ExactOracle); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 6: 2-DISJ reduction
+
+func TestDisjInstancePromise(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		inst := NewDisjInstance(8, 5, 0.2, seed%2 == 0, seed)
+		common := 0
+		pos := -1
+		for i := range inst.X {
+			if inst.X[i] && inst.Y[i] {
+				common++
+				pos = i
+			}
+		}
+		if inst.Intersects {
+			if common != 1 || pos != inst.Pos {
+				t.Fatalf("intersecting instance has %d common elements", common)
+			}
+		} else if common != 0 {
+			t.Fatalf("disjoint instance has %d common elements", common)
+		}
+	}
+}
+
+func TestSolveDisjMax(t *testing.T) {
+	testSolveDisj(t, CombineMax)
+}
+
+func TestSolveDisjHuber(t *testing.T) {
+	testSolveDisj(t, CombineHuber)
+}
+
+func testSolveDisj(t *testing.T, comb Combine) {
+	t.Helper()
+	for _, k := range []int{2, 3, 5} {
+		for seed := int64(0); seed < 8; seed++ {
+			intersects := seed%2 == 0
+			inst := NewDisjInstance(12, 4, 0.15, intersects, 10+seed)
+			got, shell, err := SolveDisj(inst, k, comb, ExactOracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != intersects {
+				t.Fatalf("k=%d seed=%d want %v got %v", k, seed, intersects, got)
+			}
+			// The shell must be tiny: a few index words per round — the
+			// hardness lives inside the oracle.
+			if shell > 64 {
+				t.Fatalf("reduction shell used %d words", shell)
+			}
+		}
+	}
+}
+
+func TestSolveDisjRejectsK1(t *testing.T) {
+	inst := NewDisjInstance(4, 2, 0.1, true, 1)
+	if _, _, err := SolveDisj(inst, 1, CombineMax, ExactOracle); err == nil {
+		t.Fatal("k=1 accepted (theorem needs k>1)")
+	}
+}
+
+func TestCombineSemantics(t *testing.T) {
+	// Both combinations: 0 iff both flipped inputs are 0, else 1 on
+	// {0,1}×{0,1} inputs.
+	for _, comb := range []Combine{CombineMax, CombineHuber} {
+		if comb.apply(0, 0) != 0 {
+			t.Fatal("0,0")
+		}
+		if comb.apply(1, 0) != 1 || comb.apply(0, 1) != 1 || comb.apply(1, 1) != 1 {
+			t.Fatal("nonzero cases")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4: L∞ reduction
+
+func TestLInfInstancePromise(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		far := seed%2 == 0
+		inst := NewLInfInstance(6, 4, 30, far, seed)
+		big := 0
+		for i := range inst.X {
+			diff := inst.X[i] - inst.Y[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff >= inst.B {
+				big++
+			} else if diff > 1 {
+				t.Fatalf("promise violated: |x−y| = %d", diff)
+			}
+		}
+		if far && big != 1 {
+			t.Fatalf("far instance has %d big coordinates", big)
+		}
+		if !far && big != 0 {
+			t.Fatalf("close instance has %d big coordinates", big)
+		}
+	}
+}
+
+func TestTheoremB(t *testing.T) {
+	// B = ⌈(2(1+ε)²·n·d⁴)^{1/2p}⌉ must grow with n and shrink with p.
+	b1 := TheoremB(0.5, 100, 10, 2)
+	b2 := TheoremB(0.5, 10000, 10, 2)
+	b3 := TheoremB(0.5, 100, 10, 8)
+	if b2 <= b1 {
+		t.Fatal("B must grow with n")
+	}
+	if b3 >= b1 {
+		t.Fatal("B must shrink with p")
+	}
+}
+
+func TestSolveLInf(t *testing.T) {
+	p := 2.0
+	for _, k := range []int{1, 2, 3} {
+		for seed := int64(0); seed < 8; seed++ {
+			far := seed%2 == 0
+			n, d := 10, 4
+			B := TheoremB(0.5, n, d, p)
+			inst := NewLInfInstance(n, d, B, far, 20+seed)
+			got, shell, err := SolveLInf(inst, k, p, ExactOracle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != far {
+				t.Fatalf("k=%d seed=%d p=%g want far=%v got %v (B=%d)", k, seed, p, far, got, B)
+			}
+			if shell > 64 {
+				t.Fatalf("shell words %d", shell)
+			}
+		}
+	}
+}
+
+func TestSolveLInfHigherPower(t *testing.T) {
+	p := 4.0
+	n, d := 8, 4
+	B := TheoremB(0.25, n, d, p)
+	for seed := int64(0); seed < 6; seed++ {
+		far := seed%2 == 0
+		inst := NewLInfInstance(n, d, B, far, 40+seed)
+		got, _, err := SolveLInf(inst, 2, p, ExactOracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != far {
+			t.Fatalf("p=4 seed=%d want %v got %v", seed, far, got)
+		}
+	}
+}
+
+func TestSolveLInfRejectsBadK(t *testing.T) {
+	inst := NewLInfInstance(4, 2, 10, true, 1)
+	if _, _, err := SolveLInf(inst, 0, 2, ExactOracle); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestExactOracleIsRelativeError sanity-checks the oracle itself: it must
+// achieve the (1+ε) guarantee trivially (it is optimal).
+func TestExactOracleIsRelativeError(t *testing.T) {
+	inst, _ := NewGHDInstance(0.25, true, 4, 3)
+	m := len(inst.X)
+	_ = m
+	A := buildLInfCombined(
+		intsToMatrix([]int{1, 2, 3, 4, 5, 6}, 2, 3, 1),
+		intsToMatrix([]int{0, 1, 0, 1, 0, 1}, 2, 3, -1), 2, 2, 10)
+	P := ExactOracle(A, 2)
+	// P must be a rank-2 projection.
+	if r, c := P.Dims(); r != c {
+		t.Fatal("oracle output not square")
+	}
+	if !P.Mul(P).Equalf(P, 1e-8) {
+		t.Fatal("oracle output not idempotent")
+	}
+}

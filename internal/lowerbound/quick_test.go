@@ -1,0 +1,114 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickGHDReductionDecides: over random promise instances and ranks,
+// the Theorem 8 protocol with an exact oracle always answers correctly.
+func TestQuickGHDReductionDecides(t *testing.T) {
+	f := func(seed int64, kRaw, slackRaw uint8) bool {
+		k := 1 + int(kRaw%4)
+		slack := 2 + int(slackRaw%6)
+		pos := seed%2 == 0
+		inst, err := NewGHDInstance(0.3, pos, slack, seed)
+		if err != nil {
+			return true // invalid parameter combination, skip
+		}
+		got, err := SolveGHD(inst, k, ExactOracle)
+		if err != nil {
+			return false
+		}
+		return got == pos
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDisjReductionDecides: random 2-DISJ promise instances, both
+// combination functions.
+func TestQuickDisjReductionDecides(t *testing.T) {
+	f := func(seed int64, nRaw, dRaw, kRaw uint8) bool {
+		n := 4 + int(nRaw%12)
+		d := 3 + int(dRaw%4)
+		k := 2 + int(kRaw%3)
+		intersects := seed%2 == 0
+		comb := CombineMax
+		if seed%3 == 0 {
+			comb = CombineHuber
+		}
+		inst := NewDisjInstance(n, d, 0.12, intersects, seed)
+		got, _, err := SolveDisj(inst, k, comb, ExactOracle)
+		if err != nil {
+			return false
+		}
+		return got == intersects
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLInfReductionDecides: random L∞ promise instances with the
+// theorem's own B.
+func TestQuickLInfReductionDecides(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := 4 + int(nRaw%10)
+		d := 3
+		k := 1 + int(kRaw%3)
+		p := 2.0
+		B := TheoremB(0.5, n, d, p)
+		far := seed%2 == 0
+		inst := NewLInfInstance(n, d, B, far, seed)
+		got, _, err := SolveLInf(inst, k, p, ExactOracle)
+		if err != nil {
+			return false
+		}
+		return got == far
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInstancePromises: generated instances always satisfy their
+// promise, independent of the solving protocols.
+func TestQuickInstancePromises(t *testing.T) {
+	f := func(seed int64) bool {
+		ghd, err := NewGHDInstance(0.25, seed%2 == 0, 3, seed)
+		if err != nil {
+			return false
+		}
+		ip := ghd.InnerProduct()
+		if seed%2 == 0 && ip <= 2/0.25 {
+			return false
+		}
+		if seed%2 != 0 && ip >= -2/0.25 {
+			return false
+		}
+		// Inner product parity must match dimension parity (±1 entries).
+		if math.Mod(math.Abs(ip), 2) != math.Mod(float64(len(ghd.X)), 2) {
+			return false
+		}
+		disj := NewDisjInstance(6, 4, 0.2, seed%2 == 0, seed)
+		common := 0
+		for i := range disj.X {
+			if disj.X[i] && disj.Y[i] {
+				common++
+			}
+		}
+		if seed%2 == 0 && common != 1 {
+			return false
+		}
+		if seed%2 != 0 && common != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

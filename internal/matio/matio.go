@@ -1,0 +1,162 @@
+// Package matio reads and writes dense matrices in two interchange
+// formats: CSV (one row per line, for interoperability) and a compact
+// binary format (magic "DLRA", dims, little-endian float64s) for large
+// matrices. Both round-trip exactly.
+package matio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// magic identifies the binary format.
+var magic = [4]byte{'D', 'L', 'R', 'A'}
+
+// WriteCSV writes m as comma-separated rows.
+func WriteCSV(w io.Writer, m *matrix.Dense) error {
+	bw := bufio.NewWriter(w)
+	rows, cols := m.Dims()
+	for i := 0; i < rows; i++ {
+		row := m.Row(i)
+		for j := 0; j < cols; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(row[j], 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses comma-separated rows into a matrix. Blank lines are
+// skipped; all rows must have equal length.
+func ReadCSV(r io.Reader) (*matrix.Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var rows [][]float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		row := make([]float64, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("matio: line %d field %d: %w", line, j+1, err)
+			}
+			row[j] = v
+		}
+		if len(rows) > 0 && len(row) != len(rows[0]) {
+			return nil, fmt.Errorf("matio: line %d has %d fields, want %d", line, len(row), len(rows[0]))
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("matio: empty input")
+	}
+	return matrix.FromRows(rows), nil
+}
+
+// WriteBinary writes m in the compact binary format.
+func WriteBinary(w io.Writer, m *matrix.Dense) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	rows, cols := m.Dims()
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(rows))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(cols))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, v := range m.Data() {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the compact binary format.
+func ReadBinary(r io.Reader) (*matrix.Dense, error) {
+	br := bufio.NewReader(r)
+	var mg [4]byte
+	if _, err := io.ReadFull(br, mg[:]); err != nil {
+		return nil, fmt.Errorf("matio: reading magic: %w", err)
+	}
+	if mg != magic {
+		return nil, errors.New("matio: bad magic (not a DLRA matrix file)")
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("matio: reading header: %w", err)
+	}
+	rows := binary.LittleEndian.Uint64(hdr[0:8])
+	cols := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxEntries = 1 << 31
+	if rows*cols > maxEntries {
+		return nil, fmt.Errorf("matio: matrix %dx%d too large", rows, cols)
+	}
+	m := matrix.NewDense(int(rows), int(cols))
+	buf := make([]byte, 8)
+	data := m.Data()
+	for i := range data {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("matio: entry %d: %w", i, err)
+		}
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	return m, nil
+}
+
+// Load reads a matrix from path, dispatching on the ".bin" extension.
+func Load(path string) (*matrix.Dense, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return ReadBinary(f)
+	}
+	return ReadCSV(f)
+}
+
+// Save writes a matrix to path, dispatching on the ".bin" extension.
+func Save(path string, m *matrix.Dense) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return WriteBinary(f, m)
+	}
+	return WriteCSV(f, m)
+}

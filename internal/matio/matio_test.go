@@ -1,0 +1,141 @@
+package matio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func randomMatrix(rng *rand.Rand, n, d int) *matrix.Dense {
+	m := matrix.NewDense(n, d)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 7, 4)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equalf(m, 0) {
+		t.Fatal("CSV round trip lost precision")
+	}
+}
+
+func TestCSVSpecialValues(t *testing.T) {
+	m := matrix.FromRows([][]float64{{0, -0.5, 1e-300, 1e300}})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equalf(m, 0) {
+		t.Fatal("special values lost")
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	m, err := ReadCSV(strings.NewReader("1,2\n\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.At(1, 1) != 4 {
+		t.Fatal("blank line handling")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomMatrix(rng, 9, 5)
+	m.Set(0, 0, math.Inf(1)) // binary format preserves all bit patterns
+	m.Set(0, 1, -0.0)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 9 || got.Cols() != 5 {
+		t.Fatal("binary dims")
+	}
+	for i, v := range got.Data() {
+		if math.Float64bits(v) != math.Float64bits(m.Data()[i]) {
+			t.Fatal("binary round trip not bit-exact")
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomMatrix(rng, 3, 3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestSaveLoadDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomMatrix(rng, 4, 3)
+	dir := t.TempDir()
+	for _, name := range []string{"m.csv", "m.bin"} {
+		path := filepath.Join(dir, name)
+		if err := Save(path, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equalf(m, 0) {
+			t.Fatalf("%s round trip", name)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.csv")); !os.IsNotExist(err) {
+		t.Fatal("missing file error")
+	}
+}

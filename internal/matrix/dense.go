@@ -1,0 +1,405 @@
+// Package matrix provides the dense linear algebra substrate used by the
+// distributed low rank approximation protocols: dense matrices, QR
+// factorization, a symmetric Jacobi eigensolver, singular value
+// decomposition, best rank-k approximations and projection matrices.
+//
+// The package is self-contained (standard library only) and tuned for the
+// shapes that arise in the paper's protocols: tall-and-skinny sampled
+// matrices B (r×d) and small Gram matrices (d×d) with d up to a few
+// thousand.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix of float64 values.
+type Dense struct {
+	rows, cols int
+	data       []float64 // len == rows*cols, row-major
+}
+
+// ErrShape is returned when matrix dimensions do not conform.
+var ErrShape = errors.New("matrix: dimension mismatch")
+
+// NewDense returns a zeroed r×c matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps the given row-major backing slice without copying.
+// The slice length must equal r*c.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("matrix: data length %d != %d*%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows, copying them.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("matrix: ragged row %d: len %d != %d", i, len(row), c))
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Dims returns the number of rows and columns.
+func (m *Dense) Dims() (r, c int) { return m.rows, m.cols }
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the (i,j) entry.
+func (m *Dense) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the (i,j) entry.
+func (m *Dense) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Dense) checkIndex(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a view (not a copy) of row i as a slice.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// RowCopy returns a copy of row i.
+func (m *Dense) RowCopy(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.Row(i))
+	return out
+}
+
+// SetRow copies v into row i.
+func (m *Dense) SetRow(i int, v []float64) {
+	if len(v) != m.cols {
+		panic(fmt.Sprintf("matrix: row length %d != %d", len(v), m.cols))
+	}
+	copy(m.Row(i), v)
+}
+
+// ColCopy returns a copy of column j.
+func (m *Dense) ColCopy(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Data returns the row-major backing slice. Mutating it mutates the matrix.
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Equalf reports whether m and n have the same shape and entries within tol.
+func (m *Dense) Equalf(n *Dense, tol float64) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Abs(v-n.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns m + n.
+func (m *Dense) Add(n *Dense) *Dense {
+	m.mustSameShape(n)
+	out := NewDense(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = v + n.data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates n into m and returns m.
+func (m *Dense) AddInPlace(n *Dense) *Dense {
+	m.mustSameShape(n)
+	for i, v := range n.data {
+		m.data[i] += v
+	}
+	return m
+}
+
+// Sub returns m − n.
+func (m *Dense) Sub(n *Dense) *Dense {
+	m.mustSameShape(n)
+	out := NewDense(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = v - n.data[i]
+	}
+	return out
+}
+
+func (m *Dense) mustSameShape(n *Dense) {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic(fmt.Sprintf("matrix: shape %dx%d != %dx%d", m.rows, m.cols, n.rows, n.cols))
+	}
+}
+
+// Scale returns α·m.
+func (m *Dense) Scale(alpha float64) *Dense {
+	out := NewDense(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = alpha * v
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every entry by α and returns m.
+func (m *Dense) ScaleInPlace(alpha float64) *Dense {
+	for i := range m.data {
+		m.data[i] *= alpha
+	}
+	return m
+}
+
+// Apply returns the entrywise image f(m).
+func (m *Dense) Apply(f func(float64) float64) *Dense {
+	out := NewDense(m.rows, m.cols)
+	for i, v := range m.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// T returns the transpose.
+func (m *Dense) T() *Dense {
+	out := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range ri {
+			out.data[j*m.rows+i] = v
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m·n.
+func (m *Dense) Mul(n *Dense) *Dense {
+	if m.cols != n.rows {
+		panic(fmt.Sprintf("matrix: product %dx%d · %dx%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	out := NewDense(m.rows, n.cols)
+	// ikj loop order keeps the inner loop streaming over contiguous rows.
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		oi := out.data[i*n.cols : (i+1)*n.cols]
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			nk := n.data[k*n.cols : (k+1)*n.cols]
+			for j, nkj := range nk {
+				oi[j] += mik * nkj
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x for a column vector x.
+func (m *Dense) MulVec(x []float64) []float64 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("matrix: MulVec %dx%d · %d", m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// Gram returns mᵀ·m (cols×cols, symmetric PSD), exploiting symmetry.
+func (m *Dense) Gram() *Dense {
+	d := m.cols
+	out := NewDense(d, d)
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		for a, ra := range ri {
+			if ra == 0 {
+				continue
+			}
+			oa := out.data[a*d : (a+1)*d]
+			for b := a; b < d; b++ {
+				oa[b] += ra * ri[b]
+			}
+		}
+	}
+	for a := 0; a < d; a++ {
+		for b := a + 1; b < d; b++ {
+			out.data[b*d+a] = out.data[a*d+b]
+		}
+	}
+	return out
+}
+
+// FrobNorm2 returns the squared Frobenius norm Σ m_ij².
+func (m *Dense) FrobNorm2() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return s
+}
+
+// FrobNorm returns the Frobenius norm.
+func (m *Dense) FrobNorm() float64 { return math.Sqrt(m.FrobNorm2()) }
+
+// RowNorm2 returns the squared Euclidean norm of row i.
+func (m *Dense) RowNorm2(i int) float64 {
+	var s float64
+	for _, v := range m.Row(i) {
+		s += v * v
+	}
+	return s
+}
+
+// RowNorms2 returns the squared Euclidean norms of all rows.
+func (m *Dense) RowNorms2() []float64 {
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.RowNorm2(i)
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute entry value (0 for an empty matrix).
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// SubMatrix returns a copy of rows [r0,r1) and columns [c0,c1).
+func (m *Dense) SubMatrix(r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("matrix: submatrix [%d:%d,%d:%d] of %dx%d", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	out := NewDense(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.Row(i-r0), m.data[i*m.cols+c0:i*m.cols+c1])
+	}
+	return out
+}
+
+// StackRows returns the vertical concatenation of the arguments.
+func StackRows(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		return NewDense(0, 0)
+	}
+	c := ms[0].cols
+	total := 0
+	for _, m := range ms {
+		if m.cols != c {
+			panic("matrix: StackRows column mismatch")
+		}
+		total += m.rows
+	}
+	out := NewDense(total, c)
+	at := 0
+	for _, m := range ms {
+		copy(out.data[at*c:], m.data)
+		at += m.rows
+	}
+	return out
+}
+
+// String renders the matrix for debugging. Large matrices are elided.
+func (m *Dense) String() string {
+	if m.rows*m.cols > 400 {
+		return fmt.Sprintf("Dense(%dx%d)", m.rows, m.cols)
+	}
+	s := ""
+	for i := 0; i < m.rows; i++ {
+		s += fmt.Sprintf("%.5g\n", m.Row(i))
+	}
+	return s
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("matrix: dot length %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the squared Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Norm2(v)) }
+
+// AXPY computes y ← y + αx in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("matrix: axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}

@@ -1,0 +1,401 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestNewDenseShape(t *testing.T) {
+	m := NewDense(3, 4)
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("dims = %d,%d", r, c)
+	}
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatal("Rows/Cols mismatch")
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatal("not zeroed")
+			}
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(1, 0, 3.5)
+	if m.At(1, 0) != 3.5 {
+		t.Fatal("set/at roundtrip failed")
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 2).At(2, 0)
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("FromRows wrong layout")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows(nil)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatal("empty FromRows")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	I := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if I.At(i, j) != want {
+				t.Fatalf("I[%d][%d] = %g", i, j, I.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRowIsView(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Row(0)[1] = 9
+	if m.At(0, 1) != 9 {
+		t.Fatal("Row should be a view")
+	}
+}
+
+func TestRowCopyIsCopy(t *testing.T) {
+	m := NewDense(2, 2)
+	rc := m.RowCopy(0)
+	rc[0] = 5
+	if m.At(0, 0) != 0 {
+		t.Fatal("RowCopy should not alias")
+	}
+}
+
+func TestSetRowColCopy(t *testing.T) {
+	m := NewDense(2, 3)
+	m.SetRow(1, []float64{1, 2, 3})
+	col := m.ColCopy(2)
+	if col[0] != 0 || col[1] != 3 {
+		t.Fatalf("col = %v", col)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Set(0, 0, 7)
+	if m.At(0, 0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	sum := a.Add(b)
+	if sum.At(1, 1) != 12 {
+		t.Fatal("add")
+	}
+	diff := b.Sub(a)
+	if diff.At(0, 0) != 4 {
+		t.Fatal("sub")
+	}
+	sc := a.Scale(2)
+	if sc.At(1, 0) != 6 {
+		t.Fatal("scale")
+	}
+	a.AddInPlace(b)
+	if a.At(0, 1) != 8 {
+		t.Fatal("addinplace")
+	}
+	a.ScaleInPlace(0)
+	if a.FrobNorm2() != 0 {
+		t.Fatal("scaleinplace")
+	}
+}
+
+func TestApply(t *testing.T) {
+	m := FromRows([][]float64{{-1, 4}})
+	sq := m.Apply(func(x float64) float64 { return x * x })
+	if sq.At(0, 0) != 1 || sq.At(0, 1) != 16 {
+		t.Fatal("apply")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	p := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !p.Equalf(want, 1e-12) {
+		t.Fatalf("got %v", p)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	v := a.MulVec([]float64{1, 1})
+	if v[0] != 3 || v[1] != 7 {
+		t.Fatalf("mulvec = %v", v)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomDense(rng, 7, 4)
+	if !m.T().T().Equalf(m, 0) {
+		t.Fatal("T∘T != identity")
+	}
+}
+
+func TestTransposeProductIdentity(t *testing.T) {
+	// (AB)ᵀ = BᵀAᵀ on random matrices.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a := randomDense(rng, 5, 3)
+		b := randomDense(rng, 3, 6)
+		lhs := a.Mul(b).T()
+		rhs := b.T().Mul(a.T())
+		if !lhs.Equalf(rhs, 1e-10) {
+			t.Fatal("(AB)ᵀ != BᵀAᵀ")
+		}
+	}
+}
+
+func TestGramMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomDense(rng, 9, 5)
+	if !m.Gram().Equalf(m.T().Mul(m), 1e-10) {
+		t.Fatal("Gram != AᵀA")
+	}
+}
+
+func TestFrobeniusViaGramTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randomDense(rng, 6, 6)
+	g := m.Gram()
+	var trace float64
+	for i := 0; i < 6; i++ {
+		trace += g.At(i, i)
+	}
+	if math.Abs(trace-m.FrobNorm2()) > 1e-9 {
+		t.Fatalf("tr(AᵀA)=%g, ‖A‖²=%g", trace, m.FrobNorm2())
+	}
+}
+
+func TestRowNorms(t *testing.T) {
+	m := FromRows([][]float64{{3, 4}, {0, 0}})
+	if m.RowNorm2(0) != 25 {
+		t.Fatal("rownorm2")
+	}
+	ns := m.RowNorms2()
+	if ns[0] != 25 || ns[1] != 0 {
+		t.Fatal("rownorms2")
+	}
+	if m.FrobNorm() != 5 {
+		t.Fatal("frobnorm")
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	m := FromRows([][]float64{{-7, 2}})
+	if m.MaxAbs() != 7 {
+		t.Fatal("maxabs")
+	}
+	if NewDense(0, 0).MaxAbs() != 0 {
+		t.Fatal("empty maxabs")
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := m.SubMatrix(1, 3, 0, 2)
+	want := FromRows([][]float64{{4, 5}, {7, 8}})
+	if !s.Equalf(want, 0) {
+		t.Fatalf("submatrix = %v", s)
+	}
+}
+
+func TestStackRows(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	s := StackRows(a, b)
+	if s.Rows() != 3 || s.At(2, 1) != 6 {
+		t.Fatal("stackrows")
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Fatal("dot")
+	}
+	if Norm2([]float64{3, 4}) != 25 || Norm([]float64{3, 4}) != 5 {
+		t.Fatal("norm")
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	y := []float64{1, 1}
+	AXPY(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatal("axpy")
+	}
+}
+
+// TestPythagoreanProperty is the matrix Pythagorean theorem the paper's
+// Section II relies on: ‖A−AP‖² = ‖A‖² − ‖AP‖² for any orthogonal
+// projection P.
+func TestPythagoreanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		a := randomDense(rng, 20, 8)
+		k := 1 + rng.Intn(6)
+		P := ProjectionTopK(randomDense(rng, 15, 8), k)
+		lhs := a.Sub(a.Mul(P)).FrobNorm2()
+		rhs := a.FrobNorm2() - a.Mul(P).FrobNorm2()
+		if math.Abs(lhs-rhs) > 1e-7*a.FrobNorm2() {
+			t.Fatalf("pythagoras violated: %g vs %g", lhs, rhs)
+		}
+	}
+}
+
+// Property-based: matrix addition is commutative and scaling distributes.
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(vals [6]float64, alpha float64) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			return true
+		}
+		a := FromRows([][]float64{{vals[0], vals[1]}, {vals[2], vals[3]}})
+		b := FromRows([][]float64{{vals[4], vals[5]}, {vals[1], vals[0]}})
+		if !a.Add(b).Equalf(b.Add(a), 1e-12) {
+			return false
+		}
+		lhs := a.Add(b).Scale(alpha)
+		rhs := a.Scale(alpha).Add(b.Scale(alpha))
+		tol := 1e-9 * (1 + math.Abs(alpha))
+		return lhs.Equalf(rhs, tol)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property-based: Dot is bilinear in its first argument.
+func TestQuickDotLinear(t *testing.T) {
+	f := func(a, b, c [4]float64, alpha float64) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 1e6 {
+			return true
+		}
+		for _, arr := range [][4]float64{a, b, c} {
+			for _, v := range arr {
+				if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+					return true
+				}
+			}
+		}
+		ax := a[:]
+		bx := b[:]
+		cx := c[:]
+		sum := make([]float64, 4)
+		for i := range sum {
+			sum[i] = ax[i] + alpha*bx[i]
+		}
+		lhs := Dot(sum, cx)
+		rhs := Dot(ax, cx) + alpha*Dot(bx, cx)
+		scale := 1.0
+		for i := range ax {
+			scale += math.Abs(ax[i]*cx[i]) + math.Abs(alpha*bx[i]*cx[i])
+		}
+		return math.Abs(lhs-rhs) <= 1e-9*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 3))
+}
+
+func TestAddShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense(2, 3).Add(NewDense(3, 2))
+}
+
+// Property-based: matrix multiplication is associative on conforming
+// random triples.
+func TestQuickMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomDense(rng, 2+rng.Intn(4), 2+rng.Intn(4))
+		b := randomDense(rng, a.Cols(), 2+rng.Intn(4))
+		c := randomDense(rng, b.Cols(), 2+rng.Intn(4))
+		lhs := a.Mul(b).Mul(c)
+		rhs := a.Mul(b.Mul(c))
+		scale := lhs.FrobNorm() + 1
+		return lhs.Equalf(rhs, 1e-10*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property-based: Gram matrices are PSD (non-negative quadratic forms).
+func TestQuickGramPSD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomDense(rng, 2+rng.Intn(8), 2+rng.Intn(5))
+		g := m.Gram()
+		x := make([]float64, g.Cols())
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		gx := g.MulVec(x)
+		return Dot(x, gx) >= -1e-9*g.FrobNorm()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomSymmetric(rng *rand.Rand, n int) *Dense {
+	a := randomDense(rng, n, n)
+	return a.Add(a.T()).Scale(0.5)
+}
+
+func randomPSD(rng *rand.Rand, n, rank int) *Dense {
+	b := randomDense(rng, rank, n)
+	return b.Gram()
+}
+
+// eigenReconstructs checks m ≈ V·diag(vals)·Vᵀ.
+func eigenReconstructs(t *testing.T, m *Dense, vals []float64, V *Dense, tol float64) {
+	t.Helper()
+	n := m.Rows()
+	D := NewDense(n, n)
+	for i, v := range vals {
+		D.Set(i, i, v)
+	}
+	rec := V.Mul(D).Mul(V.T())
+	if !rec.Equalf(m, tol) {
+		t.Fatalf("eigen reconstruction failed (n=%d)", n)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	m := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	vals, V := EigenSym(m)
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if math.Abs(vals[i]-w) > 1e-12 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	eigenReconstructs(t, m, vals, V, 1e-10)
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, _ := EigenSym(m)
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestEigenSymRandomReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{1, 2, 3, 5, 10, 25, 60} {
+		m := randomSymmetric(rng, n)
+		vals, V := EigenSym(m)
+		eigenReconstructs(t, m, vals, V, 1e-8*math.Max(1, m.FrobNorm()))
+		// Eigenvalues sorted descending.
+		for i := 1; i < len(vals); i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("eigenvalues not sorted: %v", vals)
+			}
+		}
+	}
+}
+
+func TestEigenVectorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomSymmetric(rng, 20)
+	_, V := EigenSym(m)
+	if !V.Gram().Equalf(Identity(20), 1e-9) {
+		t.Fatal("eigenvectors not orthonormal")
+	}
+}
+
+func TestEigenPSDNonnegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := randomPSD(rng, 15, 6)
+	vals, _ := EigenSym(m)
+	for i, v := range vals {
+		if v < -1e-9 {
+			t.Fatalf("PSD eigenvalue %d = %g < 0", i, v)
+		}
+	}
+	// Rank-6 Gram: eigenvalues beyond 6 vanish.
+	for i := 6; i < len(vals); i++ {
+		if vals[i] > 1e-8*vals[0] {
+			t.Fatalf("rank leak: λ_%d = %g", i, vals[i])
+		}
+	}
+}
+
+func TestEigenTraceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := randomSymmetric(rng, 12)
+	vals, _ := EigenSym(m)
+	var trace, sum float64
+	for i := 0; i < 12; i++ {
+		trace += m.At(i, i)
+		sum += vals[i]
+	}
+	if math.Abs(trace-sum) > 1e-9*math.Max(1, math.Abs(trace)) {
+		t.Fatalf("trace %g != Σλ %g", trace, sum)
+	}
+}
+
+func TestEigenZeroMatrix(t *testing.T) {
+	vals, V := EigenSym(NewDense(4, 4))
+	for _, v := range vals {
+		if v != 0 {
+			t.Fatal("zero matrix eigenvalues")
+		}
+	}
+	if !V.Gram().Equalf(Identity(4), 1e-12) {
+		t.Fatal("zero matrix eigenvectors")
+	}
+}
+
+func TestEigenEmpty(t *testing.T) {
+	vals, _ := EigenSym(NewDense(0, 0))
+	if len(vals) != 0 {
+		t.Fatal("empty eigen")
+	}
+}
+
+func TestEigenNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EigenSym(NewDense(2, 3))
+}
+
+func TestEigenRepeatedEigenvalues(t *testing.T) {
+	// 2·I has a repeated eigenvalue; any orthonormal V is valid.
+	m := Identity(5).Scale(2)
+	vals, V := EigenSym(m)
+	for _, v := range vals {
+		if math.Abs(v-2) > 1e-12 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	if !V.Gram().Equalf(Identity(5), 1e-10) {
+		t.Fatal("V not orthonormal")
+	}
+}

@@ -1,0 +1,146 @@
+package matrix
+
+import "math"
+
+// QR computes the thin QR factorization of an r×c matrix (r ≥ c) using
+// Householder reflections: m = Q·R with Q r×c having orthonormal columns
+// and R c×c upper triangular.
+func QR(m *Dense) (Q, R *Dense) {
+	r, c := m.Dims()
+	if r < c {
+		panic("matrix: QR requires rows >= cols")
+	}
+	a := m.Clone()
+	// vs stores the Householder vectors for applying Qᵀ/Q later.
+	vs := make([][]float64, 0, c)
+	for j := 0; j < c; j++ {
+		// Build the Householder vector for column j below the diagonal.
+		var norm float64
+		for i := j; i < r; i++ {
+			v := a.data[i*c+j]
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		alpha := -norm
+		if a.data[j*c+j] < 0 {
+			alpha = norm
+		}
+		v := make([]float64, r-j)
+		for i := j; i < r; i++ {
+			v[i-j] = a.data[i*c+j]
+		}
+		v[0] -= alpha
+		vn2 := Norm2(v)
+		if vn2 == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		// Apply reflection H = I − 2vvᵀ/‖v‖² to the trailing submatrix.
+		for jj := j; jj < c; jj++ {
+			var dot float64
+			for i := j; i < r; i++ {
+				dot += v[i-j] * a.data[i*c+jj]
+			}
+			f := 2 * dot / vn2
+			for i := j; i < r; i++ {
+				a.data[i*c+jj] -= f * v[i-j]
+			}
+		}
+		vs = append(vs, v)
+	}
+
+	R = NewDense(c, c)
+	for i := 0; i < c; i++ {
+		for j := i; j < c; j++ {
+			R.data[i*c+j] = a.data[i*c+j]
+		}
+	}
+
+	// Form thin Q by applying the reflections in reverse to the first c
+	// columns of the identity.
+	Q = NewDense(r, c)
+	for j := 0; j < c; j++ {
+		Q.data[j*c+j] = 1
+	}
+	for j := c - 1; j >= 0; j-- {
+		v := vs[j]
+		if v == nil {
+			continue
+		}
+		vn2 := Norm2(v)
+		for jj := 0; jj < c; jj++ {
+			var dot float64
+			for i := j; i < r; i++ {
+				dot += v[i-j] * Q.data[i*c+jj]
+			}
+			f := 2 * dot / vn2
+			for i := j; i < r; i++ {
+				Q.data[i*c+jj] -= f * v[i-j]
+			}
+		}
+	}
+	return Q, R
+}
+
+// OrthonormalizeColumns returns a matrix whose columns are an orthonormal
+// basis for the column span of m (Gram–Schmidt via QR). Columns that are
+// numerically dependent are dropped.
+func OrthonormalizeColumns(m *Dense) *Dense {
+	r, c := m.Dims()
+	if r < c {
+		// Pad is unnecessary: span dimension ≤ r; fall back to modified
+		// Gram–Schmidt which handles r < c directly.
+		return mgs(m)
+	}
+	Q, R := QR(m)
+	// Drop columns whose diagonal of R is ~0 (rank deficiency).
+	keep := make([]int, 0, c)
+	scale := R.MaxAbs()
+	tol := 1e-12 * math.Max(scale, 1)
+	for j := 0; j < c; j++ {
+		if math.Abs(R.At(j, j)) > tol {
+			keep = append(keep, j)
+		}
+	}
+	if len(keep) == c {
+		return Q
+	}
+	out := NewDense(r, len(keep))
+	for nj, j := range keep {
+		for i := 0; i < r; i++ {
+			out.data[i*out.cols+nj] = Q.data[i*c+j]
+		}
+	}
+	return out
+}
+
+// mgs performs modified Gram–Schmidt on the columns of m.
+func mgs(m *Dense) *Dense {
+	r, c := m.Dims()
+	cols := make([][]float64, 0, c)
+	for j := 0; j < c; j++ {
+		v := m.ColCopy(j)
+		for _, u := range cols {
+			AXPY(-Dot(u, v), u, v)
+		}
+		n := Norm(v)
+		if n < 1e-12 {
+			continue
+		}
+		for i := range v {
+			v[i] /= n
+		}
+		cols = append(cols, v)
+	}
+	out := NewDense(r, len(cols))
+	for j, col := range cols {
+		for i := 0; i < r; i++ {
+			out.data[i*out.cols+j] = col[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, shape := range [][2]int{{5, 5}, {10, 4}, {30, 8}, {3, 1}} {
+		m := randomDense(rng, shape[0], shape[1])
+		Q, R := QR(m)
+		if !Q.Mul(R).Equalf(m, 1e-9*math.Max(1, m.FrobNorm())) {
+			t.Fatalf("QR != A for %v", shape)
+		}
+		if !Q.Gram().Equalf(Identity(shape[1]), 1e-9) {
+			t.Fatalf("Q not orthonormal for %v", shape)
+		}
+		for i := 0; i < shape[1]; i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(R.At(i, j)) > 1e-10 {
+					t.Fatalf("R not upper triangular at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestQRWideInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	QR(NewDense(2, 5))
+}
+
+func TestQRZeroColumn(t *testing.T) {
+	m := FromRows([][]float64{{1, 0}, {0, 0}, {1, 0}})
+	Q, R := QR(m)
+	if !Q.Mul(R).Equalf(m, 1e-10) {
+		t.Fatal("QR with zero column")
+	}
+}
+
+func TestOrthonormalizeFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := randomDense(rng, 12, 5)
+	B := OrthonormalizeColumns(m)
+	if B.Cols() != 5 {
+		t.Fatalf("dropped columns: %d", B.Cols())
+	}
+	if !B.Gram().Equalf(Identity(5), 1e-9) {
+		t.Fatal("not orthonormal")
+	}
+	// Same span: projecting m's columns onto B changes nothing.
+	P := B.Mul(B.T())
+	if !P.Mul(m).Equalf(m, 1e-8*math.Max(1, m.FrobNorm())) {
+		t.Fatal("span changed")
+	}
+}
+
+func TestOrthonormalizeRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := randomDense(rng, 10, 2)
+	// Third column is a combination of the first two.
+	m := NewDense(10, 3)
+	for i := 0; i < 10; i++ {
+		m.Set(i, 0, base.At(i, 0))
+		m.Set(i, 1, base.At(i, 1))
+		m.Set(i, 2, 2*base.At(i, 0)-base.At(i, 1))
+	}
+	B := OrthonormalizeColumns(m)
+	if B.Cols() != 2 {
+		t.Fatalf("rank-2 input kept %d columns", B.Cols())
+	}
+}
+
+func TestOrthonormalizeWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := randomDense(rng, 3, 7) // more columns than rows
+	B := OrthonormalizeColumns(m)
+	if B.Cols() > 3 {
+		t.Fatalf("wide orthonormalize kept %d columns", B.Cols())
+	}
+	if !B.Gram().Equalf(Identity(B.Cols()), 1e-9) {
+		t.Fatal("not orthonormal")
+	}
+}

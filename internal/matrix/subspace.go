@@ -1,0 +1,89 @@
+package matrix
+
+import "math/rand"
+
+// TopKSubspaceIteration approximates the top-k right singular vectors of m
+// by block power iteration on the Gram matrix: starting from a random d×k
+// block, repeatedly multiply by mᵀm and re-orthonormalize. For matrices
+// with a spectral gap it converges geometrically and costs O(iters·d²k)
+// after the one-time O(nd²) Gram computation — asymptotically cheaper than
+// a full Jacobi eigendecomposition when k ≪ d.
+//
+// It exists as the design alternative to the Jacobi route that
+// DESIGN.md §5 calls out; BenchmarkAblationEigensolver compares them. The
+// protocols default to Jacobi: the sampled matrices are small enough that
+// its unconditional convergence wins.
+func TopKSubspaceIteration(m *Dense, k, iters int, seed int64) *Dense {
+	d := m.Cols()
+	if k > d {
+		k = d
+	}
+	if k <= 0 {
+		return NewDense(d, 0)
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	g := m.Gram()
+	rng := rand.New(rand.NewSource(seed))
+	block := NewDense(d, k)
+	for i := range block.data {
+		block.data[i] = rng.NormFloat64()
+	}
+	block = OrthonormalizeColumns(block)
+	for it := 0; it < iters; it++ {
+		block = OrthonormalizeColumns(g.Mul(block))
+		if block.Cols() < k {
+			// Rank-deficient product (g has rank < k): pad with fresh
+			// random directions orthogonal to the current block.
+			block = padRandomOrthogonal(block, k, rng)
+		}
+	}
+	return block
+}
+
+// padRandomOrthogonal extends block to k orthonormal columns with random
+// directions.
+func padRandomOrthogonal(block *Dense, k int, rng *rand.Rand) *Dense {
+	d := block.Rows()
+	cols := make([][]float64, 0, k)
+	for j := 0; j < block.Cols(); j++ {
+		cols = append(cols, block.ColCopy(j))
+	}
+	for len(cols) < k {
+		v := make([]float64, d)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		for _, u := range cols {
+			AXPY(-Dot(u, v), u, v)
+		}
+		n := Norm(v)
+		if n < 1e-9 {
+			continue
+		}
+		for i := range v {
+			v[i] /= n
+		}
+		cols = append(cols, v)
+	}
+	out := NewDense(d, k)
+	for j, col := range cols {
+		for i := 0; i < d; i++ {
+			out.data[i*k+j] = col[i]
+		}
+	}
+	return out
+}
+
+// SubspaceOverlap measures how much of the k-dimensional subspace spanned
+// by the columns of U is captured by the subspace spanned by the columns
+// of V: ‖UᵀV‖_F²/k ∈ [0,1], with 1 meaning identical spans. Used by tests
+// to compare eigensolver outputs without fixing a basis.
+func SubspaceOverlap(U, V *Dense) float64 {
+	k := U.Cols()
+	if k == 0 {
+		return 1
+	}
+	return U.T().Mul(V).FrobNorm2() / float64(k)
+}

@@ -1,0 +1,78 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSubspaceIterationMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	// A matrix with a clear spectral gap so both solvers agree on the span.
+	m := randomDense(rng, 80, 12)
+	// Amplify the top-3 directions.
+	V := TopKRightSingular(m, 3)
+	boost := m.Mul(V.Mul(V.T())).Scale(5)
+	m = m.Add(boost)
+
+	jac := TopKRightSingular(m, 3)
+	sub := TopKSubspaceIteration(m, 3, 60, 7)
+	if overlap := SubspaceOverlap(jac, sub); overlap < 0.99 {
+		t.Fatalf("subspace overlap %g", overlap)
+	}
+}
+
+func TestSubspaceIterationOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m := randomDense(rng, 40, 10)
+	B := TopKSubspaceIteration(m, 4, 20, 3)
+	if r, c := B.Dims(); r != 10 || c != 4 {
+		t.Fatalf("shape %dx%d", r, c)
+	}
+	if !B.Gram().Equalf(Identity(4), 1e-8) {
+		t.Fatal("block not orthonormal")
+	}
+}
+
+func TestSubspaceIterationRankDeficient(t *testing.T) {
+	// Rank-2 matrix, k=4: iteration must still return 4 orthonormal
+	// columns (padded), with the top-2 capturing everything.
+	rng := rand.New(rand.NewSource(52))
+	u := randomDense(rng, 30, 2)
+	v := randomDense(rng, 8, 2)
+	m := u.Mul(v.T())
+	B := TopKSubspaceIteration(m, 4, 25, 9)
+	if B.Cols() != 4 {
+		t.Fatalf("cols %d", B.Cols())
+	}
+	P := B.Mul(B.T())
+	if e := ProjectionError2(m, P); e > 1e-7*m.FrobNorm2() {
+		t.Fatalf("rank-2 residual %g", e)
+	}
+}
+
+func TestSubspaceIterationEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m := randomDense(rng, 10, 5)
+	if B := TopKSubspaceIteration(m, 0, 5, 1); B.Cols() != 0 {
+		t.Fatal("k=0")
+	}
+	if B := TopKSubspaceIteration(m, 99, 5, 1); B.Cols() != 5 {
+		t.Fatal("k clamp")
+	}
+}
+
+func TestSubspaceOverlapSelf(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	m := randomDense(rng, 20, 6)
+	V := TopKRightSingular(m, 3)
+	if o := SubspaceOverlap(V, V); o < 1-1e-9 || o > 1+1e-9 {
+		t.Fatalf("self overlap %g", o)
+	}
+	// Orthogonal subspaces overlap 0.
+	svd := SVD(m)
+	top := svd.V.SubMatrix(0, 6, 0, 3)
+	bot := svd.V.SubMatrix(0, 6, 3, 6).SubMatrix(0, 6, 0, 3)
+	if o := SubspaceOverlap(top, bot); o > 1e-9 {
+		t.Fatalf("orthogonal overlap %g", o)
+	}
+}

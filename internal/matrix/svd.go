@@ -1,0 +1,89 @@
+package matrix
+
+import "math"
+
+// SVDResult holds the thin singular value decomposition components that the
+// low rank approximation protocols consume: singular values in descending
+// order and the right singular vectors as columns of V (d×d).
+//
+// The left factor U is not stored; none of the protocols need it, and for
+// tall matrices it dominates memory.
+type SVDResult struct {
+	// Values are the singular values σ1 ≥ σ2 ≥ … ≥ 0.
+	Values []float64
+	// V holds the right singular vectors as columns.
+	V *Dense
+}
+
+// SVD computes the singular values and right singular vectors of m via the
+// eigendecomposition of the Gram matrix mᵀm. For the r×d matrices this code
+// base produces (d modest, entries well-scaled) the Gram route is accurate
+// far beyond the additive-error tolerances of the protocols.
+func SVD(m *Dense) *SVDResult {
+	g := m.Gram()
+	vals, V := EigenSym(g)
+	sv := make([]float64, len(vals))
+	for i, v := range vals {
+		if v < 0 {
+			v = 0 // clamp tiny negative eigenvalues from roundoff
+		}
+		sv[i] = math.Sqrt(v)
+	}
+	return &SVDResult{Values: sv, V: V}
+}
+
+// TopKRightSingular returns the top-k right singular vectors of m as the
+// columns of a d×k matrix. k is clamped to [0, d].
+func TopKRightSingular(m *Dense, k int) *Dense {
+	d := m.Cols()
+	if k > d {
+		k = d
+	}
+	if k < 0 {
+		k = 0
+	}
+	res := SVD(m)
+	return res.V.SubMatrix(0, d, 0, k)
+}
+
+// ProjectionTopK returns the d×d rank-k orthogonal projection P = V_k·V_kᵀ
+// onto the span of the top-k right singular vectors of m.
+func ProjectionTopK(m *Dense, k int) *Dense {
+	Vk := TopKRightSingular(m, k)
+	return Vk.Mul(Vk.T())
+}
+
+// ProjectionFromBasis returns V·Vᵀ for a d×k matrix whose columns span the
+// desired subspace; columns are assumed orthonormal.
+func ProjectionFromBasis(V *Dense) *Dense { return V.Mul(V.T()) }
+
+// BestRankKError2 returns ‖m − [m]_k‖_F² = Σ_{i>k} σ_i², computed stably as
+// ‖m‖_F² − Σ_{i≤k} σ_i² clamped at zero.
+func BestRankKError2(m *Dense, k int) float64 {
+	res := SVD(m)
+	total := m.FrobNorm2()
+	var cap float64
+	for i := 0; i < k && i < len(res.Values); i++ {
+		cap += res.Values[i] * res.Values[i]
+	}
+	e := total - cap
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// ProjectionError2 returns ‖m − mP‖_F² using the matrix Pythagorean theorem
+// ‖m − mP‖_F² = ‖m‖_F² − ‖mP‖_F², which holds for any orthogonal projection
+// P (Section II of the paper).
+func ProjectionError2(m, P *Dense) float64 {
+	mp := m.Mul(P)
+	e := m.FrobNorm2() - mp.FrobNorm2()
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// CapturedEnergy returns ‖mP‖_F², the variance captured by projection P.
+func CapturedEnergy(m, P *Dense) float64 { return m.Mul(P).FrobNorm2() }

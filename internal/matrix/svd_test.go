@@ -1,0 +1,184 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, 4}, {0, 0}})
+	res := SVD(m)
+	if math.Abs(res.Values[0]-4) > 1e-10 || math.Abs(res.Values[1]-3) > 1e-10 {
+		t.Fatalf("singular values = %v", res.Values)
+	}
+}
+
+func TestSVDValuesMatchEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	m := randomDense(rng, 30, 8)
+	res := SVD(m)
+	vals, _ := EigenSym(m.Gram())
+	for i := range res.Values {
+		want := math.Sqrt(math.Max(vals[i], 0))
+		if math.Abs(res.Values[i]-want) > 1e-8 {
+			t.Fatalf("σ_%d = %g, want %g", i, res.Values[i], want)
+		}
+	}
+}
+
+func TestSVDEnergyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m := randomDense(rng, 25, 10)
+	res := SVD(m)
+	var sum float64
+	for _, s := range res.Values {
+		sum += s * s
+	}
+	if math.Abs(sum-m.FrobNorm2()) > 1e-7*m.FrobNorm2() {
+		t.Fatalf("Σσ² = %g, ‖A‖² = %g", sum, m.FrobNorm2())
+	}
+}
+
+func TestProjectionTopKIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	m := randomDense(rng, 20, 7)
+	P := ProjectionTopK(m, 3)
+	if !P.Mul(P).Equalf(P, 1e-9) {
+		t.Fatal("P² != P")
+	}
+	if !P.T().Equalf(P, 1e-9) {
+		t.Fatal("P not symmetric")
+	}
+}
+
+func TestProjectionTopKRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := randomDense(rng, 20, 7)
+	for k := 0; k <= 7; k++ {
+		P := ProjectionTopK(m, k)
+		vals, _ := EigenSym(P)
+		rank := 0
+		for _, v := range vals {
+			if v > 0.5 {
+				rank++
+			}
+		}
+		if rank != k {
+			t.Fatalf("k=%d: projection rank %d", k, rank)
+		}
+	}
+}
+
+// TestBestRankKOptimality verifies the Eckart–Young property empirically:
+// the top-k projection beats random rank-k projections.
+func TestBestRankKOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	m := randomDense(rng, 40, 10)
+	k := 3
+	best := ProjectionError2(m, ProjectionTopK(m, k))
+	if math.Abs(best-BestRankKError2(m, k)) > 1e-7*m.FrobNorm2() {
+		t.Fatalf("BestRankKError2 inconsistent: %g vs %g", best, BestRankKError2(m, k))
+	}
+	for trial := 0; trial < 30; trial++ {
+		Q := ProjectionTopK(randomDense(rng, 15, 10), k)
+		if e := ProjectionError2(m, Q); e < best-1e-9 {
+			t.Fatalf("random projection beat optimum: %g < %g", e, best)
+		}
+	}
+}
+
+func TestBestRankKExactRecovery(t *testing.T) {
+	// A rank-2 matrix has zero rank-2 residual.
+	rng := rand.New(rand.NewSource(25))
+	u := randomDense(rng, 30, 2)
+	v := randomDense(rng, 6, 2)
+	m := u.Mul(v.T())
+	if e := BestRankKError2(m, 2); e > 1e-8*m.FrobNorm2() {
+		t.Fatalf("rank-2 residual = %g", e)
+	}
+	P := ProjectionTopK(m, 2)
+	if e := ProjectionError2(m, P); e > 1e-8*m.FrobNorm2() {
+		t.Fatalf("projection residual = %g", e)
+	}
+}
+
+func TestBestRankKMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	m := randomDense(rng, 25, 9)
+	prev := math.Inf(1)
+	for k := 0; k <= 9; k++ {
+		e := BestRankKError2(m, k)
+		if e > prev+1e-9 {
+			t.Fatalf("residual not monotone at k=%d: %g > %g", k, e, prev)
+		}
+		prev = e
+	}
+	if prev > 1e-8*m.FrobNorm2() {
+		t.Fatalf("full-rank residual = %g", prev)
+	}
+}
+
+func TestTopKRightSingularOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	m := randomDense(rng, 20, 8)
+	V := TopKRightSingular(m, 5)
+	if r, c := V.Dims(); r != 8 || c != 5 {
+		t.Fatalf("shape %dx%d", r, c)
+	}
+	if !V.Gram().Equalf(Identity(5), 1e-9) {
+		t.Fatal("V columns not orthonormal")
+	}
+}
+
+func TestTopKClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	m := randomDense(rng, 10, 4)
+	if V := TopKRightSingular(m, 99); V.Cols() != 4 {
+		t.Fatal("k not clamped above")
+	}
+	if V := TopKRightSingular(m, -1); V.Cols() != 0 {
+		t.Fatal("k not clamped below")
+	}
+}
+
+func TestCapturedEnergyComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	m := randomDense(rng, 15, 6)
+	P := ProjectionTopK(m, 2)
+	if math.Abs(CapturedEnergy(m, P)+ProjectionError2(m, P)-m.FrobNorm2()) > 1e-8*m.FrobNorm2() {
+		t.Fatal("captured + residual != total")
+	}
+}
+
+// Property-based: for any matrix, projecting onto its own top-k right
+// singular vectors never increases the Frobenius norm and the residual is
+// within [0, ‖A‖²].
+func TestQuickProjectionResidualBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(12)
+		d := 1 + r.Intn(6)
+		m := randomDense(r, n, d)
+		k := r.Intn(d + 1)
+		P := ProjectionTopK(m, k)
+		e := ProjectionError2(m, P)
+		return e >= 0 && e <= m.FrobNorm2()*(1+1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectionFromBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	m := randomDense(rng, 12, 5)
+	V := TopKRightSingular(m, 2)
+	P := ProjectionFromBasis(V)
+	if !P.Equalf(ProjectionTopK(m, 2), 1e-9) {
+		t.Fatal("basis projection mismatch")
+	}
+}

@@ -1,0 +1,202 @@
+// Package pooling implements the P-norm (generalized mean) feature pooling
+// pipeline of the paper's Caltech-101 / Scenes experiments (Sections VI-B
+// and VIII, following Boureau–Ponce–LeCun, reference [13]).
+//
+// The pipeline the paper describes: densely extract local descriptors from
+// each image, vector-quantize them against a codebook of size V into
+// 1-of-V codes, and pool the codes of the same image with the generalized
+// mean GM_p, so that image i gets the feature vector
+//
+//	F_i[v] = ( (1/m_i) Σ_patches 1{code(patch)=v}^p )^{1/p},
+//
+// which interpolates between average pooling (p=1), square-root pooling
+// (p=2) and max pooling (p→∞).
+//
+// In the distributed setting each server pools its own share of an image's
+// patches; the cross-server combination is again a GM, which is where the
+// softmax sampler of Section VI-B comes in: server t locally raises its
+// pooled entries to the p-th power and divides by s, and the implicit
+// global matrix is f(x) = x^{1/p} of the sum.
+package pooling
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/fn"
+	"repro/internal/hashing"
+	"repro/internal/matrix"
+)
+
+// Codes is a sparse representation of a bag of 1-of-V codes: for each image
+// (row), the multiset of activated codewords.
+type Codes struct {
+	// V is the codebook size.
+	V int
+	// PerImage[i] lists the codeword index of every patch of image i.
+	PerImage [][]int
+}
+
+// NumImages returns the number of images.
+func (c *Codes) NumImages() int { return len(c.PerImage) }
+
+// Histogram returns the n×V count matrix H with H[i][v] = #patches of
+// image i assigned codeword v.
+func (c *Codes) Histogram() *matrix.Dense {
+	h := matrix.NewDense(len(c.PerImage), c.V)
+	for i, patches := range c.PerImage {
+		row := h.Row(i)
+		for _, v := range patches {
+			row[v]++
+		}
+	}
+	return h
+}
+
+// Pool applies generalized-mean pooling with exponent p to the codes:
+// F[i][v] = ((1/m_i)·Σ 1{code=v}^p)^{1/p} = (count(i,v)/m_i)^{1/p} for
+// binary codes. p must be ≥ 1.
+func (c *Codes) Pool(p float64) (*matrix.Dense, error) {
+	if p < 1 {
+		return nil, errors.New("pooling: exponent p must be >= 1")
+	}
+	out := matrix.NewDense(len(c.PerImage), c.V)
+	for i, patches := range c.PerImage {
+		if len(patches) == 0 {
+			continue
+		}
+		row := out.Row(i)
+		for _, v := range patches {
+			row[v]++
+		}
+		inv := 1 / float64(len(patches))
+		for v := range row {
+			if row[v] > 0 {
+				row[v] = math.Pow(row[v]*inv, 1/p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MaxPool returns the p→∞ limit: F[i][v] = 1 if any patch of image i maps
+// to v (binary indicator), matching the paper's "simulating max pooling"
+// reference for P=20.
+func (c *Codes) MaxPool() *matrix.Dense {
+	out := matrix.NewDense(len(c.PerImage), c.V)
+	for i, patches := range c.PerImage {
+		row := out.Row(i)
+		for _, v := range patches {
+			row[v] = 1
+		}
+	}
+	return out
+}
+
+// Split partitions the patches of every image across s servers
+// round-robin, modelling the paper's "each server locally pooled the
+// binary codes of the same image": the global pooled matrix is the GM
+// combination across servers.
+func (c *Codes) Split(s int, seed int64) []*Codes {
+	rng := hashing.Seeded(seed)
+	out := make([]*Codes, s)
+	for t := range out {
+		out[t] = &Codes{V: c.V, PerImage: make([][]int, len(c.PerImage))}
+	}
+	for i, patches := range c.PerImage {
+		perm := rng.Perm(len(patches))
+		for idx, pi := range perm {
+			t := idx % s
+			out[t].PerImage[i] = append(out[t].PerImage[i], patches[pi])
+		}
+	}
+	return out
+}
+
+// GMShares converts per-server pooled matrices into the summed-power
+// encoding of the softmax model: share^t_ij = |pool^t_ij|^p / s, so that
+// f(x) = x^{1/p} of the sum reproduces the cross-server generalized mean.
+func GMShares(pools []*matrix.Dense, p float64) []*matrix.Dense {
+	g := fn.GM{P: p}
+	out := make([]*matrix.Dense, len(pools))
+	for t, m := range pools {
+		out[t] = m.Apply(func(x float64) float64 { return g.Prepare(x, len(pools)) })
+	}
+	return out
+}
+
+// GlobalGM computes the exact cross-server generalized mean matrix from
+// per-server pooled matrices — the ground-truth implicit matrix A for
+// error measurement.
+func GlobalGM(pools []*matrix.Dense, p float64) *matrix.Dense {
+	if len(pools) == 0 {
+		return nil
+	}
+	n, v := pools[0].Dims()
+	g := fn.GM{P: p}
+	out := matrix.NewDense(n, v)
+	raw := make([]float64, len(pools))
+	for i := 0; i < n; i++ {
+		for j := 0; j < v; j++ {
+			for t, m := range pools {
+				raw[t] = m.At(i, j)
+			}
+			out.Set(i, j, g.Value(raw))
+		}
+	}
+	return out
+}
+
+// SyntheticCodes generates a corpus of 1-of-V codes with Zipfian codeword
+// popularity and per-image topical concentration, standing in for the
+// paper's SIFT + k-means pipeline on Caltech-101/Scenes (see DESIGN.md §4):
+// what the pooling and sampling layers interact with is exactly this sparse
+// skewed count structure, not the pixels.
+func SyntheticCodes(images, v, patchesPerImage int, zipf float64, seed int64) *Codes {
+	rng := hashing.Seeded(seed)
+	// Zipfian codeword weights.
+	weights := make([]float64, v)
+	var total float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), zipf)
+		total += weights[i]
+	}
+	cum := make([]float64, v)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	draw := func() int {
+		x := rng.Float64()
+		lo, hi := 0, v-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	c := &Codes{V: v, PerImage: make([][]int, images)}
+	for i := 0; i < images; i++ {
+		// Each image concentrates on a few topical codewords plus global
+		// Zipf background, mimicking real category structure.
+		topics := make([]int, 4)
+		for t := range topics {
+			topics[t] = draw()
+		}
+		patches := make([]int, patchesPerImage)
+		for pi := range patches {
+			if rng.Float64() < 0.6 {
+				patches[pi] = topics[rng.Intn(len(topics))]
+			} else {
+				patches[pi] = draw()
+			}
+		}
+		c.PerImage[i] = patches
+	}
+	return c
+}

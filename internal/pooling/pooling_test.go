@@ -1,0 +1,197 @@
+package pooling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fn"
+	"repro/internal/matrix"
+)
+
+func smallCodes() *Codes {
+	return &Codes{V: 4, PerImage: [][]int{
+		{0, 0, 1, 2},
+		{3, 3, 3, 3},
+		{1},
+	}}
+}
+
+func TestHistogram(t *testing.T) {
+	h := smallCodes().Histogram()
+	if h.At(0, 0) != 2 || h.At(0, 1) != 1 || h.At(1, 3) != 4 || h.At(2, 1) != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestPoolAveragePIsFrequencies(t *testing.T) {
+	F, err := smallCodes().Pool(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(F.At(0, 0)-0.5) > 1e-12 || math.Abs(F.At(0, 2)-0.25) > 1e-12 {
+		t.Fatalf("average pooling = %v", F)
+	}
+	if F.At(1, 3) != 1 {
+		t.Fatal("single-code image should pool to 1")
+	}
+}
+
+func TestPoolSquareRoot(t *testing.T) {
+	F, err := smallCodes().Pool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(F.At(0, 0)-math.Sqrt(0.5)) > 1e-12 {
+		t.Fatalf("sqrt pooling = %g", F.At(0, 0))
+	}
+}
+
+func TestPoolRejectsBadP(t *testing.T) {
+	if _, err := smallCodes().Pool(0.5); err == nil {
+		t.Fatal("p<1 accepted")
+	}
+}
+
+func TestPoolEmptyImage(t *testing.T) {
+	c := &Codes{V: 2, PerImage: [][]int{{}}}
+	F, err := c.Pool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if F.FrobNorm2() != 0 {
+		t.Fatal("empty image must pool to zeros")
+	}
+}
+
+func TestMaxPoolBinary(t *testing.T) {
+	F := smallCodes().MaxPool()
+	want := matrix.FromRows([][]float64{{1, 1, 1, 0}, {0, 0, 0, 1}, {0, 1, 0, 0}})
+	if !F.Equalf(want, 0) {
+		t.Fatalf("maxpool = %v", F)
+	}
+}
+
+// TestPoolApproachesMaxPool: pooled values increase with p toward the
+// binary indicator (the paper's P=20 "simulating max pooling").
+func TestPoolApproachesMaxPool(t *testing.T) {
+	c := smallCodes()
+	mx := c.MaxPool()
+	prev := -1.0
+	for _, p := range []float64{1, 2, 5, 20, 200} {
+		F, err := c.Pool(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := F.At(0, 2) // frequency 1/4 rises toward 1
+		if v < prev-1e-12 {
+			t.Fatalf("pooling not monotone in p at %g", p)
+		}
+		prev = v
+	}
+	F, _ := c.Pool(200)
+	diff := F.Sub(mx).MaxAbs()
+	if diff > 0.01 {
+		t.Fatalf("P=200 pooling differs from max pooling by %g", diff)
+	}
+}
+
+func TestSplitPreservesMultiset(t *testing.T) {
+	c := smallCodes()
+	parts := c.Split(3, 7)
+	if len(parts) != 3 {
+		t.Fatal("split count")
+	}
+	for i := range c.PerImage {
+		counts := make(map[int]int)
+		for _, p := range parts {
+			for _, v := range p.PerImage[i] {
+				counts[v]++
+			}
+		}
+		want := make(map[int]int)
+		for _, v := range c.PerImage[i] {
+			want[v]++
+		}
+		for v, n := range want {
+			if counts[v] != n {
+				t.Fatalf("image %d codeword %d: %d vs %d", i, v, counts[v], n)
+			}
+		}
+	}
+}
+
+// TestGMSharesGlobalConsistency: f(Σ shares) must equal the exact
+// cross-server GM, the identity the whole softmax pipeline rests on.
+func TestGMSharesGlobalConsistency(t *testing.T) {
+	c := SyntheticCodes(6, 8, 20, 1.0, 3)
+	s := 4
+	split := c.Split(s, 5)
+	pools := make([]*matrix.Dense, s)
+	for t2, part := range split {
+		pool, err := part.Pool(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pools[t2] = pool
+	}
+	shares := GMShares(pools, 5)
+	sum := shares[0].Clone()
+	for _, sh := range shares[1:] {
+		sum.AddInPlace(sh)
+	}
+	g := fn.GM{P: 5}
+	implicit := sum.Apply(g.Apply)
+	exact := GlobalGM(pools, 5)
+	if !implicit.Equalf(exact, 1e-9) {
+		t.Fatal("f(Σ GMShares) != GlobalGM")
+	}
+}
+
+func TestGlobalGMEmpty(t *testing.T) {
+	if GlobalGM(nil, 2) != nil {
+		t.Fatal("empty GlobalGM")
+	}
+}
+
+func TestSyntheticCodesShape(t *testing.T) {
+	c := SyntheticCodes(10, 16, 30, 1.1, 9)
+	if c.NumImages() != 10 || c.V != 16 {
+		t.Fatal("synthetic shape")
+	}
+	for i, patches := range c.PerImage {
+		if len(patches) != 30 {
+			t.Fatalf("image %d has %d patches", i, len(patches))
+		}
+		for _, v := range patches {
+			if v < 0 || v >= 16 {
+				t.Fatalf("codeword %d out of range", v)
+			}
+		}
+	}
+}
+
+func TestSyntheticCodesDeterministic(t *testing.T) {
+	a := SyntheticCodes(5, 8, 10, 1.0, 42)
+	b := SyntheticCodes(5, 8, 10, 1.0, 42)
+	for i := range a.PerImage {
+		for j := range a.PerImage[i] {
+			if a.PerImage[i][j] != b.PerImage[i][j] {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}
+
+func TestSyntheticCodesZipfSkew(t *testing.T) {
+	// Strong Zipf: codeword 0 must be much more frequent than the median.
+	c := SyntheticCodes(200, 64, 50, 1.3, 1)
+	counts := make([]int, 64)
+	for _, patches := range c.PerImage {
+		for _, v := range patches {
+			counts[v]++
+		}
+	}
+	if counts[0] < 4*counts[32] {
+		t.Fatalf("zipf skew weak: counts[0]=%d counts[32]=%d", counts[0], counts[32])
+	}
+}

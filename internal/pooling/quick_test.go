@@ -1,0 +1,98 @@
+package pooling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// TestQuickPoolBounds: pooled values always lie in [0,1] (frequencies to a
+// power ≤ 1), and pooling preserves the support of the histogram.
+func TestQuickPoolBounds(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + float64(pRaw%40)/2 // p ∈ [1, 20.5]
+		c := SyntheticCodes(3+rng.Intn(5), 8, 5+rng.Intn(20), 1.0, seed)
+		F, err := c.Pool(p)
+		if err != nil {
+			return false
+		}
+		h := c.Histogram()
+		for i := 0; i < F.Rows(); i++ {
+			for j := 0; j < F.Cols(); j++ {
+				v := F.At(i, j)
+				if v < 0 || v > 1+1e-12 {
+					return false
+				}
+				if (v > 0) != (h.At(i, j) > 0) {
+					return false // support must match the histogram
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSplitGMIdentity: for any random split and exponent, the softmax
+// identity f(Σ GMShares) = GlobalGM holds and the GM never exceeds the
+// max of the per-server pools.
+func TestQuickSplitGMIdentity(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + float64(pRaw%19) // p ∈ [1, 19]
+		c := SyntheticCodes(3, 6, 10+rng.Intn(10), 1.0, seed)
+		s := 2 + rng.Intn(3)
+		parts := c.Split(s, seed+1)
+		pools := make([]*matrix.Dense, s)
+		for t2, part := range parts {
+			pool, err := part.Pool(p)
+			if err != nil {
+				return false
+			}
+			pools[t2] = pool
+		}
+		shares := GMShares(pools, p)
+		sum := shares[0].Clone()
+		for _, sh := range shares[1:] {
+			sum.AddInPlace(sh)
+		}
+		exact := GlobalGM(pools, p)
+		for i := 0; i < exact.Rows(); i++ {
+			for j := 0; j < exact.Cols(); j++ {
+				// Identity: f(Σ shares) == GlobalGM.
+				got := gmApply(sum.At(i, j), p)
+				want := exact.At(i, j)
+				if diff := got - want; diff > 1e-9*(1+want) || diff < -1e-9*(1+want) {
+					return false
+				}
+				// GM ≤ max over server pools at this entry.
+				mx := 0.0
+				for _, pool := range pools {
+					if v := pool.At(i, j); v > mx {
+						mx = v
+					}
+				}
+				if want > mx+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func gmApply(x, p float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, 1/p)
+}

@@ -1,0 +1,216 @@
+// Package rff implements Gaussian random Fourier features (Rahimi–Recht,
+// reference [10] of the paper) and their distributed expansion
+// (Section VI-A).
+//
+// The Gaussian RBF kernel K(x,y) = exp(−‖x−y‖²/2) equals
+// E_z[e^{izᵀx}·e^{−izᵀy}] for z ~ N(0, I). With samples z_1,…,z_d and
+// phases b_j ~ U[0,2π), the feature map
+//
+//	φ̂(x)_j = √2·cos(z_jᵀx + b_j)
+//
+// satisfies E[φ̂(x)ᵀφ̂(y)]/d → K(x,y). Crucially for the distributed
+// protocol, E[φ̂(x)_j²] = 1, so with d = Θ(log n) features every expanded
+// row has squared norm Θ(d) with high probability — which is exactly why
+// uniform row sampling works for PCA of the expansion.
+//
+// In the generalized partition model the raw matrix M = Σ_t M^t is itself
+// implicit. The expansion A_ij = √2·cos((M_i Z)_j + b_j) is then an
+// entrywise cos of a sum: each server computes M^t Z locally (sharing Z, b
+// through a broadcast seed), and f(x) = √2·cos(x + b_j) is applied to the
+// summed projections. This package provides both the local expansion and
+// the shared-seed distributed transform.
+package rff
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/hashing"
+	"repro/internal/matrix"
+)
+
+// Map is a sampled random Fourier feature map: d directions and phases for
+// inputs of dimension m.
+type Map struct {
+	// Z is the m×d matrix of Gaussian directions (each entry N(0,1/σ²)).
+	Z *matrix.Dense
+	// B holds the d uniform phases in [0, 2π).
+	B []float64
+	// Sigma is the kernel bandwidth: K(x,y) = exp(−‖x−y‖²/(2σ²)).
+	Sigma float64
+}
+
+// NewMap samples a feature map with d features for m-dimensional inputs
+// and bandwidth sigma, deterministically from seed.
+func NewMap(m, d int, sigma float64, seed int64) (*Map, error) {
+	if m < 1 || d < 1 {
+		return nil, errors.New("rff: dimensions must be positive")
+	}
+	if sigma <= 0 {
+		return nil, errors.New("rff: bandwidth must be positive")
+	}
+	rng := hashing.Seeded(seed)
+	Z := matrix.NewDense(m, d)
+	for i := 0; i < m; i++ {
+		for j := 0; j < d; j++ {
+			Z.Set(i, j, rng.NormFloat64()/sigma)
+		}
+	}
+	B := make([]float64, d)
+	for j := range B {
+		B[j] = rng.Float64() * 2 * math.Pi
+	}
+	return &Map{Z: Z, B: B, Sigma: sigma}, nil
+}
+
+// Features returns the number of features d.
+func (mp *Map) Features() int { return mp.Z.Cols() }
+
+// InputDim returns the expected input dimension m.
+func (mp *Map) InputDim() int { return mp.Z.Rows() }
+
+// Kernel evaluates the exact Gaussian RBF kernel for this map's bandwidth.
+func (mp *Map) Kernel(x, y []float64) float64 {
+	var d2 float64
+	for i := range x {
+		diff := x[i] - y[i]
+		d2 += diff * diff
+	}
+	return math.Exp(-d2 / (2 * mp.Sigma * mp.Sigma))
+}
+
+// ApplyRow expands one data point: φ̂(x)_j = √2·cos(xᵀZ_:,j + b_j).
+func (mp *Map) ApplyRow(x []float64) []float64 {
+	d := mp.Features()
+	out := make([]float64, d)
+	proj := projectRow(x, mp.Z)
+	for j := 0; j < d; j++ {
+		out[j] = math.Sqrt2 * math.Cos(proj[j]+mp.B[j])
+	}
+	return out
+}
+
+// Apply expands every row of the n×m matrix into an n×d feature matrix.
+func (mp *Map) Apply(M *matrix.Dense) *matrix.Dense {
+	n := M.Rows()
+	out := matrix.NewDense(n, mp.Features())
+	for i := 0; i < n; i++ {
+		out.SetRow(i, mp.ApplyRow(M.Row(i)))
+	}
+	return out
+}
+
+// Project computes the pre-cosine projection M·Z (the linear part a server
+// can evaluate locally in the distributed expansion).
+func (mp *Map) Project(M *matrix.Dense) *matrix.Dense { return M.Mul(mp.Z) }
+
+// CosineWithPhase applies the nonlinearity entrywise to a summed
+// projection: A_ij = √2·cos(x + b_j). It is the column-indexed f of the
+// generalized partition model for this application.
+func (mp *Map) CosineWithPhase(j int, x float64) float64 {
+	return math.Sqrt2 * math.Cos(x+mp.B[j])
+}
+
+// ApproxKernel estimates K(x,y) from the features: φ̂(x)ᵀφ̂(y)/d.
+func (mp *Map) ApproxKernel(x, y []float64) float64 {
+	fx := mp.ApplyRow(x)
+	fy := mp.ApplyRow(y)
+	return matrix.Dot(fx, fy) / float64(mp.Features())
+}
+
+func projectRow(x []float64, Z *matrix.Dense) []float64 {
+	m, d := Z.Dims()
+	if len(x) != m {
+		panic("rff: input dimension mismatch")
+	}
+	out := make([]float64, d)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		zrow := Z.Row(i)
+		for j, zij := range zrow {
+			out[j] += xi * zij
+		}
+	}
+	return out
+}
+
+// DistributedExpand expands the implicit matrix M = Σ_t locals[t] on every
+// server: server t holds the projection locals[t]·Z plus its share b_j/s of
+// the random phase, so that the implicit sum is (MZ)_ij + b_j and the
+// expansion A_ij = √2·cos of that sum fits the generalized partition model
+// with the *pure* entrywise cosine fn.SqrtTwoCos. The map travels as a
+// one-word seed; Z and B are rematerialized locally by each server. The
+// returned slice holds each server's local share.
+func DistributedExpand(locals []*matrix.Dense, mp *Map) []*matrix.Dense {
+	s := float64(len(locals))
+	out := make([]*matrix.Dense, len(locals))
+	for t, m := range locals {
+		proj := mp.Project(m)
+		n := proj.Rows()
+		for i := 0; i < n; i++ {
+			row := proj.Row(i)
+			for j := range row {
+				row[j] += mp.B[j] / s
+			}
+		}
+		out[t] = proj
+	}
+	return out
+}
+
+// ExactExpansion materializes the ground-truth global expansion
+// A_ij = √2·cos((MZ)_ij + b_j) for error measurement in tests and
+// experiments.
+func (mp *Map) ExactExpansion(M *matrix.Dense) *matrix.Dense {
+	proj := mp.Project(M)
+	n, d := proj.Dims()
+	out := matrix.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		src := proj.Row(i)
+		dst := out.Row(i)
+		for j := 0; j < d; j++ {
+			dst[j] = math.Sqrt2 * math.Cos(src[j]+mp.B[j])
+		}
+	}
+	return out
+}
+
+// GaussianMixture draws n points in dimension m from c Gaussian clusters
+// with the given spread — a convenience generator used by tests and
+// examples to produce kernel-PCA-friendly data.
+func GaussianMixture(n, m, c int, spread float64, seed int64) *matrix.Dense {
+	rng := hashing.Seeded(seed)
+	centers := make([][]float64, c)
+	for i := range centers {
+		centers[i] = make([]float64, m)
+		for j := range centers[i] {
+			centers[i][j] = rng.NormFloat64() * 3
+		}
+	}
+	out := matrix.NewDense(n, m)
+	for i := 0; i < n; i++ {
+		ct := centers[i%c]
+		row := out.Row(i)
+		for j := range row {
+			row[j] = ct[j] + rng.NormFloat64()*spread
+		}
+	}
+	shuffleRows(out, rng)
+	return out
+}
+
+func shuffleRows(m *matrix.Dense, rng *rand.Rand) {
+	n := m.Rows()
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		if i != j {
+			ri, rj := m.Row(i), m.Row(j)
+			for c := range ri {
+				ri[c], rj[c] = rj[c], ri[c]
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package rff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(0, 4, 1, 1); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := NewMap(4, 0, 1, 1); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := NewMap(4, 4, 0, 1); err == nil {
+		t.Fatal("sigma=0 accepted")
+	}
+}
+
+func TestMapDeterministic(t *testing.T) {
+	a, _ := NewMap(5, 8, 1, 42)
+	b, _ := NewMap(5, 8, 1, 42)
+	if !a.Z.Equalf(b.Z, 0) {
+		t.Fatal("Z not deterministic")
+	}
+	for j := range a.B {
+		if a.B[j] != b.B[j] {
+			t.Fatal("B not deterministic")
+		}
+	}
+}
+
+// TestKernelApproximation is the Rahimi–Recht guarantee: the feature inner
+// product converges to the RBF kernel.
+func TestKernelApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mp, err := NewMap(10, 4096, 2.0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := make([]float64, 10)
+		y := make([]float64, 10)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		exact := mp.Kernel(x, y)
+		approx := mp.ApproxKernel(x, y)
+		if math.Abs(exact-approx) > 0.12 {
+			t.Fatalf("kernel %g vs approx %g", exact, approx)
+		}
+	}
+}
+
+func TestKernelSelfIsOne(t *testing.T) {
+	mp, _ := NewMap(4, 64, 1, 3)
+	x := []float64{1, 2, 3, 4}
+	if math.Abs(mp.Kernel(x, x)-1) > 1e-12 {
+		t.Fatal("K(x,x) != 1")
+	}
+}
+
+// TestRowNormConcentration is the property that justifies uniform sampling
+// (Section VI-A): ‖φ̂(x)‖² = Θ(d) for every point.
+func TestRowNormConcentration(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const d = 256
+	mp, _ := NewMap(8, d, 1.5, 11)
+	for trial := 0; trial < 50; trial++ {
+		x := make([]float64, 8)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 3
+		}
+		f := mp.ApplyRow(x)
+		norm2 := matrix.Norm2(f)
+		// E = d; demand within 40%.
+		if norm2 < 0.6*d || norm2 > 1.4*d {
+			t.Fatalf("row norm² = %g, want ≈ %d", norm2, d)
+		}
+	}
+}
+
+func TestApplyMatchesApplyRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mp, _ := NewMap(6, 12, 1, 5)
+	M := matrix.NewDense(4, 6)
+	for i := range M.Data() {
+		M.Data()[i] = rng.NormFloat64()
+	}
+	A := mp.Apply(M)
+	for i := 0; i < 4; i++ {
+		row := mp.ApplyRow(M.Row(i))
+		for j := range row {
+			if math.Abs(A.At(i, j)-row[j]) > 1e-12 {
+				t.Fatal("Apply != ApplyRow")
+			}
+		}
+	}
+}
+
+// TestDistributedExpandConsistency: the sum of the distributed shares must
+// equal MZ + b, so that √2·cos of the sum is the true expansion.
+func TestDistributedExpandConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mp, _ := NewMap(5, 7, 1, 9)
+	M := matrix.NewDense(6, 5)
+	for i := range M.Data() {
+		M.Data()[i] = rng.NormFloat64()
+	}
+	// Additive split of M.
+	s := 3
+	parts := make([]*matrix.Dense, s)
+	for t2 := range parts {
+		parts[t2] = matrix.NewDense(6, 5)
+	}
+	for idx := range M.Data() {
+		var acc float64
+		for t2 := 0; t2 < s-1; t2++ {
+			sh := rng.NormFloat64()
+			parts[t2].Data()[idx] = sh
+			acc += sh
+		}
+		parts[s-1].Data()[idx] = M.Data()[idx] - acc
+	}
+	shares := DistributedExpand(parts, mp)
+	sum := shares[0].Clone()
+	for _, sh := range shares[1:] {
+		sum.AddInPlace(sh)
+	}
+	want := mp.Project(M)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 7; j++ {
+			if math.Abs(sum.At(i, j)-(want.At(i, j)+mp.B[j])) > 1e-9 {
+				t.Fatalf("share sum (%d,%d) = %g, want %g", i, j, sum.At(i, j), want.At(i, j)+mp.B[j])
+			}
+		}
+	}
+	// And √2·cos of the sum equals the exact expansion.
+	exact := mp.ExactExpansion(M)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 7; j++ {
+			got := math.Sqrt2 * math.Cos(sum.At(i, j))
+			if math.Abs(got-exact.At(i, j)) > 1e-9 {
+				t.Fatal("cos of summed shares != exact expansion")
+			}
+		}
+	}
+}
+
+func TestExactExpansionMatchesApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mp, _ := NewMap(4, 9, 2, 13)
+	M := matrix.NewDense(5, 4)
+	for i := range M.Data() {
+		M.Data()[i] = rng.NormFloat64()
+	}
+	if !mp.ExactExpansion(M).Equalf(mp.Apply(M), 1e-10) {
+		t.Fatal("ExactExpansion != Apply")
+	}
+}
+
+func TestGaussianMixtureShape(t *testing.T) {
+	M := GaussianMixture(30, 5, 3, 0.5, 17)
+	if M.Rows() != 30 || M.Cols() != 5 {
+		t.Fatal("mixture shape")
+	}
+	// Deterministic.
+	if !M.Equalf(GaussianMixture(30, 5, 3, 0.5, 17), 0) {
+		t.Fatal("mixture not deterministic")
+	}
+}
+
+func TestProjectDims(t *testing.T) {
+	mp, _ := NewMap(3, 6, 1, 1)
+	if mp.Features() != 6 || mp.InputDim() != 3 {
+		t.Fatal("accessors")
+	}
+	P := mp.Project(matrix.NewDense(2, 3))
+	if P.Rows() != 2 || P.Cols() != 6 {
+		t.Fatal("project dims")
+	}
+}
+
+func TestCosineWithPhase(t *testing.T) {
+	mp, _ := NewMap(2, 3, 1, 2)
+	got := mp.CosineWithPhase(1, 0.5)
+	want := math.Sqrt2 * math.Cos(0.5+mp.B[1])
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatal("cosine with phase")
+	}
+}

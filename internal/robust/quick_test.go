@@ -1,0 +1,68 @@
+package robust
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// TestQuickPartitionsSumExactly: for any matrix and server count, both
+// partition schemes reconstruct the original by summation.
+func TestQuickPartitionsSumExactly(t *testing.T) {
+	f := func(seed int64, sRaw, nRaw, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := 2 + int(sRaw%6)
+		n := 1 + int(nRaw%12)
+		d := 1 + int(dRaw%8)
+		M := matrix.NewDense(n, d)
+		for i := range M.Data() {
+			M.Data()[i] = rng.NormFloat64() * 10
+		}
+		arb := ArbitraryPartition(M, s, seed+1)
+		if !SumPartitions(arb).Equalf(M, 1e-8) {
+			return false
+		}
+		row := RowPartition(M, s, seed+2)
+		return SumPartitions(row).Equalf(M, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCorruptInvariants: corruption changes exactly `count` entries,
+// each to ±magnitude, and never touches others.
+func TestQuickCorruptInvariants(t *testing.T) {
+	f := func(seed int64, cRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, d := 6+int(cRaw%5), 5
+		M := matrix.NewDense(n, d)
+		for i := range M.Data() {
+			M.Data()[i] = rng.NormFloat64()
+		}
+		count := 1 + int(cRaw%7)
+		out, rec, err := Corrupt(M, count, 1e3, seed+3)
+		if err != nil {
+			return false
+		}
+		changed := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				if out.At(i, j) != M.At(i, j) {
+					changed++
+					if out.At(i, j) != 1e3 && out.At(i, j) != -1e3 {
+						return false
+					}
+				}
+			}
+		}
+		// Records match (an injected value may coincide with the original
+		// only with probability 0 for Gaussian entries).
+		return changed == count && len(rec.Rows) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package robust provides the robust PCA setup of Sections VI-C and VIII:
+// a feature matrix is contaminated with a small number of extremely large
+// entries, arbitrarily partitioned across servers (so no single server can
+// detect the corruption locally), and an M-estimator ψ-function applied
+// entrywise to the implicit sum caps the damaged entries while preserving
+// the rest — turning the additive-error PCA framework into a robust PCA.
+package robust
+
+import (
+	"errors"
+
+	"repro/internal/hashing"
+	"repro/internal/matrix"
+)
+
+// Corruption records where outliers were injected, for evaluation.
+type Corruption struct {
+	Rows, Cols []int
+	Original   []float64
+	Injected   []float64
+}
+
+// Corrupt sets `count` random entries of a copy of M to ±magnitude,
+// returning the corrupted matrix and the corruption record. This matches
+// the paper's isolet protocol: "we randomly changed values of 50 entries of
+// the feature matrix to be extremely large".
+func Corrupt(M *matrix.Dense, count int, magnitude float64, seed int64) (*matrix.Dense, *Corruption, error) {
+	n, d := M.Dims()
+	if count > n*d {
+		return nil, nil, errors.New("robust: more corruptions than entries")
+	}
+	rng := hashing.Seeded(seed)
+	out := M.Clone()
+	c := &Corruption{}
+	seen := make(map[int]struct{})
+	for len(c.Rows) < count {
+		pos := rng.Intn(n * d)
+		if _, dup := seen[pos]; dup {
+			continue
+		}
+		seen[pos] = struct{}{}
+		i, j := pos/d, pos%d
+		v := magnitude
+		if rng.Intn(2) == 0 {
+			v = -magnitude
+		}
+		c.Rows = append(c.Rows, i)
+		c.Cols = append(c.Cols, j)
+		c.Original = append(c.Original, out.At(i, j))
+		c.Injected = append(c.Injected, v)
+		out.Set(i, j, v)
+	}
+	return out, c, nil
+}
+
+// ArbitraryPartition splits M into s local matrices summing to M, with
+// random per-entry splits — the paper's "we arbitrarily partitioned the
+// matrix into different servers. Since we can arbitrarily partition the
+// matrix, a server may not know whether an entry is abnormally large."
+// Each entry's value is distributed across servers with random signed
+// shares that cancel to the true value.
+func ArbitraryPartition(M *matrix.Dense, s int, seed int64) []*matrix.Dense {
+	n, d := M.Dims()
+	rng := hashing.Seeded(seed)
+	out := make([]*matrix.Dense, s)
+	for t := range out {
+		out[t] = matrix.NewDense(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			v := M.At(i, j)
+			var acc float64
+			for t := 0; t < s-1; t++ {
+				share := rng.NormFloat64() * 0.25 * (1 + absf(v))
+				out[t].Set(i, j, share)
+				acc += share
+			}
+			out[s-1].Set(i, j, v-acc)
+		}
+	}
+	return out
+}
+
+// RowPartition splits M across s servers by rows (server t gets rows
+// i ≡ t mod s; other servers hold zeros there), a benign partition used by
+// the Fourier feature experiments ("we randomly distributed the original
+// data to different servers").
+func RowPartition(M *matrix.Dense, s int, seed int64) []*matrix.Dense {
+	n, d := M.Dims()
+	rng := hashing.Seeded(seed)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = rng.Intn(s)
+	}
+	out := make([]*matrix.Dense, s)
+	for t := range out {
+		out[t] = matrix.NewDense(n, d)
+	}
+	for i := 0; i < n; i++ {
+		out[assign[i]].SetRow(i, M.Row(i))
+	}
+	return out
+}
+
+// SumPartitions reassembles Σ_t locals[t], for test assertions.
+func SumPartitions(locals []*matrix.Dense) *matrix.Dense {
+	if len(locals) == 0 {
+		return nil
+	}
+	out := locals[0].Clone()
+	for _, m := range locals[1:] {
+		out.AddInPlace(m)
+	}
+	return out
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

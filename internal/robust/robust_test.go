@@ -1,0 +1,151 @@
+package robust
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func randomMatrix(rng *rand.Rand, n, d int) *matrix.Dense {
+	m := matrix.NewDense(n, d)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestCorruptCountAndMagnitude(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	M := randomMatrix(rng, 20, 10)
+	out, c, err := Corrupt(M, 15, 1e4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 15 {
+		t.Fatalf("%d corruptions", len(c.Rows))
+	}
+	for i := range c.Rows {
+		got := out.At(c.Rows[i], c.Cols[i])
+		if math.Abs(got) != 1e4 {
+			t.Fatalf("corrupted entry %g", got)
+		}
+		if got != c.Injected[i] {
+			t.Fatal("record mismatch")
+		}
+	}
+	// Original untouched.
+	if M.MaxAbs() > 100 {
+		t.Fatal("Corrupt mutated its input")
+	}
+	// Distinct positions.
+	seen := map[[2]int]bool{}
+	for i := range c.Rows {
+		key := [2]int{c.Rows[i], c.Cols[i]}
+		if seen[key] {
+			t.Fatal("duplicate corruption position")
+		}
+		seen[key] = true
+	}
+}
+
+func TestCorruptPreservesOthers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	M := randomMatrix(rng, 10, 10)
+	out, c, err := Corrupt(M, 5, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := map[[2]int]bool{}
+	for i := range c.Rows {
+		corrupted[[2]int{c.Rows[i], c.Cols[i]}] = true
+	}
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if !corrupted[[2]int{i, j}] && out.At(i, j) != M.At(i, j) {
+				t.Fatal("uncorrupted entry changed")
+			}
+		}
+	}
+}
+
+func TestCorruptTooMany(t *testing.T) {
+	if _, _, err := Corrupt(matrix.NewDense(2, 2), 5, 1, 1); err == nil {
+		t.Fatal("over-corruption accepted")
+	}
+}
+
+func TestArbitraryPartitionSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	M := randomMatrix(rng, 15, 8)
+	parts := ArbitraryPartition(M, 5, 9)
+	if len(parts) != 5 {
+		t.Fatal("partition count")
+	}
+	if !SumPartitions(parts).Equalf(M, 1e-9) {
+		t.Fatal("partition does not sum to original")
+	}
+}
+
+// TestArbitraryPartitionHidesOutliers: with value-proportional share noise,
+// a single server's view of a corrupted entry should not reveal the true
+// magnitude (shares are spread across servers).
+func TestArbitraryPartitionHidesOutliers(t *testing.T) {
+	M := matrix.NewDense(4, 4)
+	M.Set(2, 2, 1e4)
+	parts := ArbitraryPartition(M, 6, 11)
+	// No single server should hold the outlier exactly; shares differ from
+	// the true value.
+	exactHolders := 0
+	for _, p := range parts {
+		if p.At(2, 2) == 1e4 {
+			exactHolders++
+		}
+	}
+	if exactHolders > 0 {
+		t.Fatal("a server holds the outlier verbatim")
+	}
+	if !SumPartitions(parts).Equalf(M, 1e-6) {
+		t.Fatal("sum broken")
+	}
+}
+
+func TestRowPartitionExactRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	M := randomMatrix(rng, 12, 6)
+	parts := RowPartition(M, 3, 13)
+	if !SumPartitions(parts).Equalf(M, 0) {
+		t.Fatal("row partition does not sum to original")
+	}
+	// Every row lives on exactly one server.
+	for i := 0; i < 12; i++ {
+		holders := 0
+		for _, p := range parts {
+			if p.RowNorm2(i) > 0 {
+				holders++
+			}
+		}
+		if holders > 1 {
+			t.Fatalf("row %d on %d servers", i, holders)
+		}
+	}
+}
+
+func TestSumPartitionsEmpty(t *testing.T) {
+	if SumPartitions(nil) != nil {
+		t.Fatal("empty sum")
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	M := randomMatrix(rng, 6, 4)
+	a := ArbitraryPartition(M, 3, 42)
+	b := ArbitraryPartition(M, 3, 42)
+	for t2 := range a {
+		if !a[t2].Equalf(b[t2], 0) {
+			t.Fatal("partition not deterministic")
+		}
+	}
+}

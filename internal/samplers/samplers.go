@@ -1,0 +1,273 @@
+// Package samplers provides the concrete distributed row samplers that plug
+// into the Algorithm 1 framework (package core):
+//
+//   - Uniform: rows have (near-)equal norms, so uniform indices with exact
+//     Q = 1/n suffice. This is the sampler for Gaussian random Fourier
+//     features (Section VI-A), whose rows concentrate at ‖A_i‖² = Θ(d).
+//   - ZRow: the generalized sampler of Section V, reducing row sampling to
+//     entry sampling on the flattened n·d vector via the Z-estimator and
+//     Z-sampler (package zsampler). Used for softmax/GM and M-estimator
+//     applications.
+//   - Exact: the Frieze–Kannan–Vempala sampler with exact probabilities,
+//     available only when the global matrix is materialized; it is the
+//     baseline the distributed samplers are compared against.
+package samplers
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fn"
+	"repro/internal/hashing"
+	"repro/internal/hh"
+	"repro/internal/matrix"
+	"repro/internal/zsampler"
+)
+
+// CollectRawRow assembles the exact global row i = Σ_t locals[t].Row(i) at
+// the CP, charging d words from every non-CP server (Algorithm 1 line 7).
+func CollectRawRow(net *comm.Network, locals []*matrix.Dense, i int, tag string) []float64 {
+	d := locals[0].Cols()
+	sum := make([]float64, d)
+	for t, m := range locals {
+		if t != comm.CP {
+			net.Charge(t, comm.CP, tag, int64(d))
+		}
+		row := m.Row(i)
+		for c, v := range row {
+			sum[c] += v
+		}
+	}
+	return sum
+}
+
+func validateLocals(locals []*matrix.Dense) (n, d int, err error) {
+	if len(locals) == 0 {
+		return 0, 0, errors.New("samplers: no servers")
+	}
+	n, d = locals[0].Dims()
+	for t, m := range locals {
+		mn, md := m.Dims()
+		if mn != n || md != d {
+			return 0, 0, fmt.Errorf("samplers: server %d shape %dx%d != %dx%d", t, mn, md, n, d)
+		}
+	}
+	if n == 0 || d == 0 {
+		return 0, 0, errors.New("samplers: empty local matrices")
+	}
+	return n, d, nil
+}
+
+// Uniform samples row indices uniformly with exact probability 1/n.
+type Uniform struct {
+	net    *comm.Network
+	locals []*matrix.Dense
+	n      int
+	rng    *rand.Rand
+}
+
+// NewUniform constructs the uniform sampler.
+func NewUniform(net *comm.Network, locals []*matrix.Dense, seed int64) (*Uniform, error) {
+	n, _, err := validateLocals(locals)
+	if err != nil {
+		return nil, err
+	}
+	return &Uniform{net: net, locals: locals, n: n, rng: hashing.Seeded(seed)}, nil
+}
+
+// Draw implements core.RowSampler.
+func (u *Uniform) Draw() (core.Sample, error) {
+	i := u.rng.Intn(u.n)
+	raw := CollectRawRow(u.net, u.locals, i, "sampler/rows")
+	return core.Sample{Row: i, QHat: 1 / float64(u.n), RawRow: raw}, nil
+}
+
+// ZRow reduces ℓ2² row sampling of A = f(Σ_t A^t) to entry sampling with
+// weight z ≍ f² on the flattened n·d coordinate space: if entry (i,j) is
+// drawn, row i is the sample (Section V, first paragraph). The reported
+// probability is Q̂_i = Σ_j z(a_ij)/Ẑ, computable exactly once the row has
+// been collected, with Ẑ from the Z-estimator.
+type ZRow struct {
+	net    *comm.Network
+	locals []*matrix.Dense
+	z      fn.ZFunc
+	est    *zsampler.Estimator
+	n, d   int
+}
+
+// NewZRow builds the sketching infrastructure (the Z-estimator) over the
+// flattened local matrices. All sketch traffic is charged immediately; each
+// Draw afterwards charges only the row collection.
+func NewZRow(net *comm.Network, locals []*matrix.Dense, z fn.ZFunc, p zsampler.Params) (*ZRow, error) {
+	n, d, err := validateLocals(locals)
+	if err != nil {
+		return nil, err
+	}
+	vecs := make([]hh.Vec, len(locals))
+	for t, m := range locals {
+		rows := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			rows[i] = m.Row(i)
+		}
+		vecs[t] = hh.MatrixVec{Rows: rows, Cols: d}
+	}
+	est, err := zsampler.BuildEstimator(net, vecs, z, p)
+	if err != nil {
+		return nil, fmt.Errorf("samplers: z-estimator: %w", err)
+	}
+	return &ZRow{net: net, locals: locals, z: z, est: est, n: n, d: d}, nil
+}
+
+// Estimator exposes the underlying Z-estimator (for inspection in tests
+// and experiments).
+func (s *ZRow) Estimator() *zsampler.Estimator { return s.est }
+
+// Draw implements core.RowSampler.
+func (s *ZRow) Draw() (core.Sample, error) {
+	j, err := s.est.Sample()
+	if err != nil {
+		return core.Sample{}, err
+	}
+	i := int(j / uint64(s.d))
+	raw := CollectRawRow(s.net, s.locals, i, "sampler/rows")
+	var num float64
+	for _, v := range raw {
+		num += s.z.Z(v)
+	}
+	qhat := num / s.est.ZHat()
+	if qhat <= 0 {
+		return core.Sample{}, fmt.Errorf("samplers: zero Q̂ for sampled row %d", i)
+	}
+	return core.Sample{Row: i, QHat: qhat, RawRow: raw}, nil
+}
+
+// ZRowLiteral is the literal reading of Algorithm 4: every draw rebuilds
+// the full sketching infrastructure with fresh randomness, so consecutive
+// samples are fully independent — at r times the sketching communication.
+// The default ZRow amortizes one sketch across draws with fresh min-wise
+// hashes (see DESIGN.md §4); this variant exists to measure what that
+// amortization trades away.
+type ZRowLiteral struct {
+	net    *comm.Network
+	locals []*matrix.Dense
+	z      fn.ZFunc
+	params zsampler.Params
+	n, d   int
+	draws  uint64
+}
+
+// NewZRowLiteral validates the shares; no sketching happens until Draw.
+func NewZRowLiteral(net *comm.Network, locals []*matrix.Dense, z fn.ZFunc, p zsampler.Params) (*ZRowLiteral, error) {
+	n, d, err := validateLocals(locals)
+	if err != nil {
+		return nil, err
+	}
+	return &ZRowLiteral{net: net, locals: locals, z: z, params: p, n: n, d: d}, nil
+}
+
+// Draw implements core.RowSampler, paying the full sketch cost per draw.
+func (s *ZRowLiteral) Draw() (core.Sample, error) {
+	s.draws++
+	p := s.params
+	p.Seed = hashing.DeriveSeed(s.params.Seed, 0xF0E0+s.draws)
+	vecs := make([]hh.Vec, len(s.locals))
+	for t, m := range s.locals {
+		rows := make([][]float64, s.n)
+		for i := 0; i < s.n; i++ {
+			rows[i] = m.Row(i)
+		}
+		vecs[t] = hh.MatrixVec{Rows: rows, Cols: s.d}
+	}
+	est, err := zsampler.BuildEstimator(s.net, vecs, s.z, p)
+	if err != nil {
+		return core.Sample{}, fmt.Errorf("samplers: literal z-estimator: %w", err)
+	}
+	j, err := est.Sample()
+	if err != nil {
+		return core.Sample{}, err
+	}
+	i := int(j / uint64(s.d))
+	raw := CollectRawRow(s.net, s.locals, i, "sampler/rows")
+	var num float64
+	for _, v := range raw {
+		num += s.z.Z(v)
+	}
+	qhat := num / est.ZHat()
+	if qhat <= 0 {
+		return core.Sample{}, fmt.Errorf("samplers: zero Q̂ for sampled row %d", i)
+	}
+	return core.Sample{Row: i, QHat: qhat, RawRow: raw}, nil
+}
+
+// Exact is the FKV sampler with exact squared-norm probabilities over the
+// materialized global matrix — the non-distributed ideal that additive
+// error analysis assumes. It charges the one-time cost of gathering the
+// full matrix at the CP, making explicit what the sketching protocols
+// avoid.
+type Exact struct {
+	net   *comm.Network
+	raw   *matrix.Dense // global summed matrix (pre-f)
+	f     fn.Func
+	probs []float64 // exact Q_i over rows of f(raw)
+	cum   []float64
+	rng   *rand.Rand
+	s     int
+}
+
+// NewExact gathers the global raw matrix (charging (s−1)·n·d words under
+// "baseline/full-gather") and precomputes exact row probabilities of
+// A = f(raw).
+func NewExact(net *comm.Network, locals []*matrix.Dense, f fn.Func, seed int64) (*Exact, error) {
+	n, d, err := validateLocals(locals)
+	if err != nil {
+		return nil, err
+	}
+	raw := matrix.NewDense(n, d)
+	for t, m := range locals {
+		if t != comm.CP {
+			net.Charge(t, comm.CP, "baseline/full-gather", int64(n*d))
+		}
+		raw.AddInPlace(m)
+	}
+	a := raw.Apply(f.Apply)
+	total := a.FrobNorm2()
+	if total <= 0 {
+		return nil, errors.New("samplers: exact sampler on all-zero matrix")
+	}
+	probs := make([]float64, n)
+	cum := make([]float64, n)
+	acc := 0.0
+	for i := 0; i < n; i++ {
+		probs[i] = a.RowNorm2(i) / total
+		acc += probs[i]
+		cum[i] = acc
+	}
+	return &Exact{net: net, raw: raw, f: f, probs: probs, cum: cum, rng: hashing.Seeded(seed), s: len(locals)}, nil
+}
+
+// Draw implements core.RowSampler with exact probabilities.
+func (e *Exact) Draw() (core.Sample, error) {
+	x := e.rng.Float64()
+	i := searchCum(e.cum, x)
+	// The row itself still travels once per draw in a fair comparison.
+	for t := 1; t < e.s; t++ {
+		e.net.Charge(t, comm.CP, "sampler/rows", int64(e.raw.Cols()))
+	}
+	return core.Sample{Row: i, QHat: e.probs[i], RawRow: e.raw.RowCopy(i)}, nil
+}
+
+func searchCum(cum []float64, x float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,348 @@
+package samplers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/fn"
+	"repro/internal/matrix"
+	"repro/internal/zsampler"
+)
+
+// split additively partitions M across s servers.
+func split(M *matrix.Dense, s int, rng *rand.Rand) []*matrix.Dense {
+	n, d := M.Dims()
+	out := make([]*matrix.Dense, s)
+	for t := range out {
+		out[t] = matrix.NewDense(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			var acc float64
+			for t := 0; t < s-1; t++ {
+				sh := rng.NormFloat64() * 0.05
+				out[t].Set(i, j, sh)
+				acc += sh
+			}
+			out[s-1].Set(i, j, M.At(i, j)-acc)
+		}
+	}
+	return out
+}
+
+func randomMatrix(rng *rand.Rand, n, d int) *matrix.Dense {
+	m := matrix.NewDense(n, d)
+	for i := range m.Data() {
+		m.Data()[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestCollectRawRowSumsAndCharges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	M := randomMatrix(rng, 10, 6)
+	locals := split(M, 3, rng)
+	net := comm.NewNetwork(3)
+	row := CollectRawRow(net, locals, 4, "rows")
+	for j := 0; j < 6; j++ {
+		if math.Abs(row[j]-M.At(4, j)) > 1e-9 {
+			t.Fatalf("row[%d] = %g, want %g", j, row[j], M.At(4, j))
+		}
+	}
+	if net.Words() != int64(2*6) {
+		t.Fatalf("words = %d, want 12 (2 non-CP servers × 6 cols)", net.Words())
+	}
+}
+
+func TestUniformDrawDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	M := randomMatrix(rng, 20, 4)
+	locals := split(M, 2, rng)
+	net := comm.NewNetwork(2)
+	u, err := NewUniform(net, locals, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 20)
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		s, err := u.Draw()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.QHat != 1.0/20 {
+			t.Fatalf("uniform QHat = %g", s.QHat)
+		}
+		counts[s.Row]++
+	}
+	for i, c := range counts {
+		if c < draws/40 || c > draws/8 {
+			t.Fatalf("row %d drawn %d times of %d", i, c, draws)
+		}
+	}
+}
+
+func TestUniformReturnsExactRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	M := randomMatrix(rng, 8, 5)
+	locals := split(M, 3, rng)
+	net := comm.NewNetwork(3)
+	u, err := NewUniform(net, locals, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := u.Draw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range s.RawRow {
+		if math.Abs(v-M.At(s.Row, j)) > 1e-9 {
+			t.Fatal("raw row mismatch")
+		}
+	}
+}
+
+func TestValidateLocals(t *testing.T) {
+	if _, _, err := validateLocals(nil); err == nil {
+		t.Fatal("nil locals accepted")
+	}
+	if _, _, err := validateLocals([]*matrix.Dense{matrix.NewDense(2, 2), matrix.NewDense(3, 2)}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, _, err := validateLocals([]*matrix.Dense{matrix.NewDense(0, 0)}); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestZRowSamplesHighNormRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n, d := 300, 8
+	M := matrix.NewDense(n, d)
+	for i := range M.Data() {
+		M.Data()[i] = rng.NormFloat64() * 0.05
+	}
+	// Three dominant rows carry almost all the mass.
+	dominant := []int{10, 150, 299}
+	for _, i := range dominant {
+		for j := 0; j < d; j++ {
+			M.Set(i, j, 10+rng.Float64())
+		}
+	}
+	locals := split(M, 3, rng)
+	net := comm.NewNetwork(3)
+	p := zsampler.DefaultParams(n*d, 5)
+	zr, err := NewZRow(net, locals, fn.Identity{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	const draws = 200
+	for i := 0; i < draws; i++ {
+		s, err := zr.Draw()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, di := range dominant {
+			if s.Row == di {
+				hits++
+			}
+		}
+	}
+	// The dominant rows hold ≈ 99% of ‖A‖²; demand at least 80% of draws.
+	if hits < draws*8/10 {
+		t.Fatalf("dominant rows drawn %d/%d", hits, draws)
+	}
+}
+
+func TestZRowQHatApximatesRowShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, d := 200, 6
+	M := randomMatrix(rng, n, d)
+	locals := split(M, 2, rng)
+	net := comm.NewNetwork(2)
+	p := zsampler.DefaultParams(n*d, 9)
+	zr, err := NewZRow(net, locals, fn.Identity{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := M.FrobNorm2()
+	for i := 0; i < 30; i++ {
+		s, err := zr.Draw()
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := M.RowNorm2(s.Row) / total
+		if s.QHat < truth/3 || s.QHat > truth*3 {
+			t.Fatalf("row %d: QHat %g vs true share %g", s.Row, s.QHat, truth)
+		}
+	}
+}
+
+func TestZRowRawRowExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	M := randomMatrix(rng, 100, 5)
+	locals := split(M, 3, rng)
+	net := comm.NewNetwork(3)
+	zr, err := NewZRow(net, locals, fn.Identity{}, zsampler.DefaultParams(500, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := zr.Draw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range s.RawRow {
+		if math.Abs(v-M.At(s.Row, j)) > 1e-9 {
+			t.Fatal("zrow raw row mismatch")
+		}
+	}
+	if zr.Estimator() == nil {
+		t.Fatal("estimator accessor")
+	}
+}
+
+func TestExactSamplerProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	M := randomMatrix(rng, 50, 4)
+	locals := split(M, 2, rng)
+	net := comm.NewNetwork(2)
+	ex, err := NewExact(net, locals, fn.Identity{}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full gather charged.
+	if net.Breakdown()["baseline/full-gather"] != int64(50*4) {
+		t.Fatalf("gather words = %v", net.Breakdown())
+	}
+	total := M.FrobNorm2()
+	for i := 0; i < 20; i++ {
+		s, err := ex.Draw()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := M.RowNorm2(s.Row) / total
+		if math.Abs(s.QHat-want) > 1e-9 {
+			t.Fatalf("exact QHat %g, want %g", s.QHat, want)
+		}
+	}
+}
+
+func TestExactSamplerAppliesF(t *testing.T) {
+	// Probabilities follow f(A), not A.
+	rng := rand.New(rand.NewSource(8))
+	M := randomMatrix(rng, 30, 3)
+	locals := split(M, 2, rng)
+	net := comm.NewNetwork(2)
+	h := fn.Huber{K: 0.5}
+	ex, err := NewExact(net, locals, h, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fA := M.Apply(h.Apply)
+	total := fA.FrobNorm2()
+	s, err := ex.Draw()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.QHat-fA.RowNorm2(s.Row)/total) > 1e-9 {
+		t.Fatal("exact sampler ignored f")
+	}
+}
+
+func TestExactSamplerZeroMatrix(t *testing.T) {
+	net := comm.NewNetwork(2)
+	locals := []*matrix.Dense{matrix.NewDense(5, 3), matrix.NewDense(5, 3)}
+	if _, err := NewExact(net, locals, fn.Identity{}, 1); err == nil {
+		t.Fatal("zero matrix accepted")
+	}
+}
+
+func TestSearchCum(t *testing.T) {
+	cum := []float64{0.25, 0.5, 0.75, 1.0}
+	cases := []struct {
+		x    float64
+		want int
+	}{{0.1, 0}, {0.3, 1}, {0.74, 2}, {0.99, 3}}
+	for _, c := range cases {
+		if got := searchCum(cum, c.x); got != c.want {
+			t.Fatalf("searchCum(%g) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestZRowLiteralIndependentDraws(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n, d := 150, 6
+	M := randomMatrix(rng, n, d)
+	locals := split(M, 2, rng)
+	net := comm.NewNetwork(2)
+	p := zsampler.ParamsForBudget(1<<14, 2, n*d, 21)
+	lit, err := NewZRowLiteral(net, locals, fn.Identity{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := net.Words()
+	if _, err := lit.Draw(); err != nil {
+		t.Fatal(err)
+	}
+	perDraw1 := net.Words() - before
+	before = net.Words()
+	if _, err := lit.Draw(); err != nil {
+		t.Fatal(err)
+	}
+	perDraw2 := net.Words() - before
+	// The literal variant pays the full sketch cost on EVERY draw.
+	min := zsampler.EstimateSetupWords(p, 2, n*d) / 2
+	if perDraw1 < min || perDraw2 < min {
+		t.Fatalf("literal draws too cheap: %d, %d (sketch estimate %d)", perDraw1, perDraw2, min)
+	}
+	// The amortized ZRow pays it once.
+	net2 := comm.NewNetwork(2)
+	zr, err := NewZRow(net2, locals, fn.Identity{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := net2.Words()
+	for i := 0; i < 3; i++ {
+		if _, err := zr.Draw(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	amortized := net2.Words() - setup
+	if amortized > perDraw1 {
+		t.Fatalf("amortized 3 draws (%d words) should beat one literal draw (%d)", amortized, perDraw1)
+	}
+}
+
+func TestZRowLiteralSamplesHighNormRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n, d := 100, 5
+	M := matrix.NewDense(n, d)
+	for i := range M.Data() {
+		M.Data()[i] = rng.NormFloat64() * 0.01
+	}
+	for j := 0; j < d; j++ {
+		M.Set(42, j, 10)
+	}
+	locals := split(M, 2, rng)
+	net := comm.NewNetwork(2)
+	lit, err := NewZRowLiteral(net, locals, fn.Identity{}, zsampler.ParamsForBudget(1<<14, 2, n*d, 23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < 10; i++ {
+		s, err := lit.Draw()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Row == 42 {
+			hits++
+		}
+	}
+	if hits < 8 {
+		t.Fatalf("dominant row drawn %d/10 by literal sampler", hits)
+	}
+}

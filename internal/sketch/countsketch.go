@@ -1,0 +1,207 @@
+// Package sketch implements the mergeable linear sketches the distributed
+// protocols are built from: CountSketch (Charikar–Chen–Farach-Colton,
+// reference [21] of the paper) for per-coordinate frequency estimation and
+// heavy hitter detection, and the AMS estimator for the second moment F2.
+//
+// Linearity is the crucial property: sketch(Σ_t v^t) = Σ_t sketch(v^t), so
+// each server sketches its local vector with shared randomness and the
+// Central Processor simply sums the sketches — this is what turns the
+// streaming algorithms of [21] into communication-efficient distributed
+// protocols.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hashing"
+)
+
+// CountSketch estimates coordinates of a high-dimensional vector from
+// depth×width counters. With width w, the estimate of v_j has standard
+// deviation O(‖v‖₂/√w) per row; the median over depth rows boosts the
+// failure probability exponentially.
+type CountSketch struct {
+	seed   int64
+	depth  int
+	width  int
+	rows   [][]float64
+	bucket []*hashing.PolyHash
+	sign   []*hashing.PolyHash
+}
+
+// NewCountSketch builds an empty sketch. Two sketches built with the same
+// seed, depth and width share hash functions and may be merged.
+func NewCountSketch(seed int64, depth, width int) *CountSketch {
+	if depth < 1 || width < 1 {
+		panic(fmt.Sprintf("sketch: invalid shape depth=%d width=%d", depth, width))
+	}
+	cs := &CountSketch{seed: seed, depth: depth, width: width}
+	cs.rows = make([][]float64, depth)
+	cs.bucket = make([]*hashing.PolyHash, depth)
+	cs.sign = make([]*hashing.PolyHash, depth)
+	for r := 0; r < depth; r++ {
+		cs.rows[r] = make([]float64, width)
+		cs.bucket[r] = hashing.NewPolyHash(hashing.Seeded(hashing.DeriveSeed(seed, uint64(2*r))), 2)
+		cs.sign[r] = hashing.NewPolyHash(hashing.Seeded(hashing.DeriveSeed(seed, uint64(2*r+1))), 4)
+	}
+	return cs
+}
+
+// Depth returns the number of rows.
+func (cs *CountSketch) Depth() int { return cs.depth }
+
+// Width returns the number of counters per row.
+func (cs *CountSketch) Width() int { return cs.width }
+
+// Seed returns the seed the hash functions were derived from.
+func (cs *CountSketch) Seed() int64 { return cs.seed }
+
+// Update adds delta at coordinate j.
+func (cs *CountSketch) Update(j uint64, delta float64) {
+	if delta == 0 {
+		return
+	}
+	for r := 0; r < cs.depth; r++ {
+		b := cs.bucket[r].Bucket(j, cs.width)
+		cs.rows[r][b] += cs.sign[r].Sign(j) * delta
+	}
+}
+
+// Estimate returns the median-of-rows estimate of coordinate j.
+func (cs *CountSketch) Estimate(j uint64) float64 {
+	ests := make([]float64, cs.depth)
+	for r := 0; r < cs.depth; r++ {
+		b := cs.bucket[r].Bucket(j, cs.width)
+		ests[r] = cs.sign[r].Sign(j) * cs.rows[r][b]
+	}
+	return median(ests)
+}
+
+// Merge adds another sketch built with identical seed and shape into cs.
+func (cs *CountSketch) Merge(other *CountSketch) error {
+	if cs.seed != other.seed || cs.depth != other.depth || cs.width != other.width {
+		return fmt.Errorf("sketch: incompatible sketches (seed %d/%d, %dx%d vs %dx%d)",
+			cs.seed, other.seed, cs.depth, cs.width, other.depth, other.width)
+	}
+	for r := range cs.rows {
+		for b := range cs.rows[r] {
+			cs.rows[r][b] += other.rows[r][b]
+		}
+	}
+	return nil
+}
+
+// F2Estimate returns the median over rows of Σ_b counter², an unbiased
+// estimator of ‖v‖₂² per row (this is exactly the AMS estimator realized on
+// CountSketch counters).
+func (cs *CountSketch) F2Estimate() float64 {
+	rowF2 := make([]float64, cs.depth)
+	for r := range cs.rows {
+		var s float64
+		for _, c := range cs.rows[r] {
+			s += c * c
+		}
+		rowF2[r] = s
+	}
+	return median(rowF2)
+}
+
+// Words returns the number of 64-bit words needed to transmit the sketch
+// counters (hash functions travel as a one-word seed, charged separately).
+func (cs *CountSketch) Words() int64 { return int64(cs.depth * cs.width) }
+
+// Counters exposes the raw counter rows for serialization.
+func (cs *CountSketch) Counters() [][]float64 { return cs.rows }
+
+func median(xs []float64) float64 {
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return 0.5 * (tmp[n/2-1] + tmp[n/2])
+}
+
+// AMS is a standalone F2 (second frequency moment) estimator: depth
+// independent ±1 linear measurements per repetition, medianed. It is kept
+// separate from CountSketch for protocols that only need ‖v‖₂².
+type AMS struct {
+	seed  int64
+	reps  int
+	sums  []float64
+	signs []*hashing.PolyHash
+}
+
+// NewAMS builds an F2 estimator with the given number of repetitions.
+func NewAMS(seed int64, reps int) *AMS {
+	if reps < 1 {
+		panic("sketch: AMS needs at least one repetition")
+	}
+	a := &AMS{seed: seed, reps: reps, sums: make([]float64, reps)}
+	a.signs = make([]*hashing.PolyHash, reps)
+	for r := 0; r < reps; r++ {
+		a.signs[r] = hashing.NewPolyHash(hashing.Seeded(hashing.DeriveSeed(seed, uint64(1000+r))), 4)
+	}
+	return a
+}
+
+// Update adds delta at coordinate j.
+func (a *AMS) Update(j uint64, delta float64) {
+	for r := 0; r < a.reps; r++ {
+		a.sums[r] += a.signs[r].Sign(j) * delta
+	}
+}
+
+// Merge adds a compatible estimator's state.
+func (a *AMS) Merge(other *AMS) error {
+	if a.seed != other.seed || a.reps != other.reps {
+		return fmt.Errorf("sketch: incompatible AMS estimators")
+	}
+	for r := range a.sums {
+		a.sums[r] += other.sums[r]
+	}
+	return nil
+}
+
+// Estimate returns the median-of-means estimate of F2: the repetitions are
+// split into 4 groups, each group's squared sums are averaged (driving the
+// group's distribution close to its mean F2 and away from the heavy right
+// skew of a single squared sum), and the median over groups defends
+// against outlier groups.
+func (a *AMS) Estimate() float64 {
+	group := a.reps / 4
+	if group < 1 {
+		group = 1
+	}
+	var groups []float64
+	for i := 0; i < a.reps; i += group {
+		end := i + group
+		if end > a.reps {
+			end = a.reps
+		}
+		var m float64
+		for _, s := range a.sums[i:end] {
+			m += s * s
+		}
+		groups = append(groups, m/float64(end-i))
+	}
+	return median(groups)
+}
+
+// Words returns the transmission size of the estimator state.
+func (a *AMS) Words() int64 { return int64(a.reps) }
+
+// RelErr is a helper for tests: |est−truth|/truth (0 when truth is 0).
+func RelErr(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(est)
+	}
+	return math.Abs(est-truth) / truth
+}

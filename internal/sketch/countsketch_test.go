@@ -1,0 +1,254 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountSketchExactOnSparse(t *testing.T) {
+	// With few nonzeros and a wide sketch, estimates are near-exact.
+	cs := NewCountSketch(1, 7, 512)
+	truth := map[uint64]float64{3: 10, 77: -4, 1000: 2.5}
+	for j, v := range truth {
+		cs.Update(j, v)
+	}
+	for j, v := range truth {
+		if got := cs.Estimate(j); math.Abs(got-v) > 1e-9 {
+			t.Fatalf("estimate(%d) = %g, want %g", j, got, v)
+		}
+	}
+}
+
+func TestCountSketchIncrementalUpdates(t *testing.T) {
+	cs := NewCountSketch(2, 5, 128)
+	cs.Update(9, 3)
+	cs.Update(9, 4)
+	cs.Update(9, -2)
+	if got := cs.Estimate(9); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("accumulated estimate = %g", got)
+	}
+}
+
+func TestCountSketchHeavyAmongNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cs := NewCountSketch(4, 6, 256)
+	const m = 20000
+	var f2 float64
+	for j := uint64(0); j < m; j++ {
+		v := rng.NormFloat64() * 0.1
+		cs.Update(j, v)
+		f2 += v * v
+	}
+	const heavy = 500.0
+	cs.Update(42, heavy)
+	f2 += heavy * heavy
+	got := cs.Estimate(42)
+	if math.Abs(got-heavy)/heavy > 0.1 {
+		t.Fatalf("heavy estimate %g, want ≈ %g", got, heavy)
+	}
+	if est := cs.F2Estimate(); math.Abs(est-f2)/f2 > 0.3 {
+		t.Fatalf("F2 estimate %g, truth %g", est, f2)
+	}
+}
+
+// TestCountSketchLinearity is the property that makes the distributed
+// protocols work: sketch(u) + sketch(v) = sketch(u+v) when seeds match.
+func TestCountSketchLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewCountSketch(7, 5, 64)
+	b := NewCountSketch(7, 5, 64)
+	whole := NewCountSketch(7, 5, 64)
+	for j := uint64(0); j < 500; j++ {
+		u := rng.NormFloat64()
+		v := rng.NormFloat64()
+		a.Update(j, u)
+		b.Update(j, v)
+		whole.Update(j, u+v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	for r := range a.Counters() {
+		for c := range a.Counters()[r] {
+			if math.Abs(a.Counters()[r][c]-whole.Counters()[r][c]) > 1e-9 {
+				t.Fatal("merged sketch != sketch of sum")
+			}
+		}
+	}
+}
+
+func TestCountSketchMergeIncompatible(t *testing.T) {
+	a := NewCountSketch(1, 4, 64)
+	if err := a.Merge(NewCountSketch(2, 4, 64)); err == nil {
+		t.Fatal("seed mismatch not rejected")
+	}
+	if err := a.Merge(NewCountSketch(1, 5, 64)); err == nil {
+		t.Fatal("depth mismatch not rejected")
+	}
+	if err := a.Merge(NewCountSketch(1, 4, 32)); err == nil {
+		t.Fatal("width mismatch not rejected")
+	}
+}
+
+func TestCountSketchWords(t *testing.T) {
+	cs := NewCountSketch(1, 3, 10)
+	if cs.Words() != 30 {
+		t.Fatalf("words = %d", cs.Words())
+	}
+	if cs.Depth() != 3 || cs.Width() != 10 || cs.Seed() != 1 {
+		t.Fatal("accessors")
+	}
+}
+
+func TestCountSketchZeroUpdateNoop(t *testing.T) {
+	cs := NewCountSketch(1, 3, 16)
+	cs.Update(5, 0)
+	if cs.F2Estimate() != 0 {
+		t.Fatal("zero update changed sketch")
+	}
+}
+
+func TestCountSketchPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCountSketch(1, 0, 4)
+}
+
+// TestQuickCountSketchUnbiasedSingle: for a single-coordinate vector the
+// estimate is exact regardless of seed and position.
+func TestQuickCountSketchSingleExact(t *testing.T) {
+	f := func(seed int64, j uint64, v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		cs := NewCountSketch(seed, 3, 8)
+		cs.Update(j, v)
+		return math.Abs(cs.Estimate(j)-v) <= 1e-9*math.Max(1, math.Abs(v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAMSAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := NewAMS(3, 64)
+	var f2 float64
+	for j := uint64(0); j < 5000; j++ {
+		v := rng.NormFloat64()
+		a.Update(j, v)
+		f2 += v * v
+	}
+	if RelErr(a.Estimate(), f2) > 0.25 {
+		t.Fatalf("AMS estimate %g, truth %g", a.Estimate(), f2)
+	}
+}
+
+func TestAMSLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewAMS(9, 16)
+	b := NewAMS(9, 16)
+	whole := NewAMS(9, 16)
+	for j := uint64(0); j < 300; j++ {
+		u, v := rng.NormFloat64(), rng.NormFloat64()
+		a.Update(j, u)
+		b.Update(j, v)
+		whole.Update(j, u+v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Estimate()-whole.Estimate()) > 1e-6*whole.Estimate() {
+		t.Fatal("merged AMS != AMS of sum")
+	}
+}
+
+func TestAMSMergeIncompatible(t *testing.T) {
+	if err := NewAMS(1, 8).Merge(NewAMS(2, 8)); err == nil {
+		t.Fatal("seed mismatch not rejected")
+	}
+	if err := NewAMS(1, 8).Merge(NewAMS(1, 4)); err == nil {
+		t.Fatal("reps mismatch not rejected")
+	}
+}
+
+func TestAMSWords(t *testing.T) {
+	if NewAMS(1, 12).Words() != 12 {
+		t.Fatal("AMS words")
+	}
+}
+
+func TestAMSPanicsOnZeroReps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAMS(1, 0)
+}
+
+func TestMedian(t *testing.T) {
+	if median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	if median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(11, 10) != 0.1 {
+		t.Fatal("relerr")
+	}
+	if RelErr(0.5, 0) != 0.5 {
+		t.Fatal("relerr zero truth")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cs := NewCountSketch(41, 4, 32)
+	for j := uint64(0); j < 500; j++ {
+		cs.Update(j, rng.NormFloat64())
+	}
+	words := cs.Serialize()
+	if int64(len(words)) != cs.Words()+3 {
+		t.Fatalf("stream length %d, want %d", len(words), cs.Words()+3)
+	}
+	back, err := Deserialize(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Estimates identical, and the deserialized sketch merges with an
+	// original-seed sketch.
+	for j := uint64(0); j < 500; j += 37 {
+		if back.Estimate(j) != cs.Estimate(j) {
+			t.Fatal("estimates differ after round trip")
+		}
+	}
+	other := NewCountSketch(41, 4, 32)
+	other.Update(3, 1)
+	if err := back.Merge(other); err != nil {
+		t.Fatalf("deserialized sketch lost mergeability: %v", err)
+	}
+}
+
+func TestDeserializeRejectsGarbage(t *testing.T) {
+	if _, err := Deserialize(nil); err == nil {
+		t.Fatal("nil stream accepted")
+	}
+	if _, err := Deserialize([]float64{1, 2, 8}); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	if _, err := Deserialize([]float64{1, 0, 8}); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+}

@@ -1,0 +1,39 @@
+package sketch
+
+import "fmt"
+
+// Serialize flattens the sketch state into the word stream a server would
+// actually put on the wire: [seed, depth, width, counters...]. Together
+// with Deserialize it makes the "send the sketch to the CP" step of the
+// protocols concrete — the length of the slice is exactly what
+// comm.Network charges for (plus the 3 header words).
+func (cs *CountSketch) Serialize() []float64 {
+	out := make([]float64, 0, 3+cs.depth*cs.width)
+	out = append(out, float64(cs.seed), float64(cs.depth), float64(cs.width))
+	for _, row := range cs.rows {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// Deserialize reconstructs a CountSketch from a Serialize stream. The hash
+// functions are rematerialized from the embedded seed, so a deserialized
+// sketch merges and estimates exactly like the original.
+func Deserialize(words []float64) (*CountSketch, error) {
+	if len(words) < 3 {
+		return nil, fmt.Errorf("sketch: stream too short (%d words)", len(words))
+	}
+	seed := int64(words[0])
+	depth := int(words[1])
+	width := int(words[2])
+	if depth < 1 || width < 1 || len(words) != 3+depth*width {
+		return nil, fmt.Errorf("sketch: inconsistent stream header (depth=%d width=%d len=%d)", depth, width, len(words))
+	}
+	cs := NewCountSketch(seed, depth, width)
+	at := 3
+	for r := 0; r < depth; r++ {
+		copy(cs.rows[r], words[at:at+width])
+		at += width
+	}
+	return cs, nil
+}

@@ -1,0 +1,52 @@
+package zsampler
+
+import (
+	"math"
+
+	"repro/internal/hh"
+)
+
+// ladder is the descending sequence of sketch configurations
+// ParamsForBudget walks — the programmatic form of the paper's "we adjust
+// the number of repetitions, hash buckets, B, W and e to guarantee the
+// ratio of total communication to the sum of local data sizes" (Section
+// VIII). Entries trade recovery quality for sketch traffic.
+var ladder = []Params{
+	{Eps: 0.5, Levels: 0, RepsPerLevel: 2, HH: hh.ZParams{Reps: 3, Buckets: 32, B: 32, Sketch: hh.Params{Depth: 5, Width: 128}}, CountLo: 8, CountHi: 64, MaxRetries: 64},
+	{Eps: 0.5, Levels: 0, RepsPerLevel: 1, HH: hh.ZParams{Reps: 2, Buckets: 32, B: 32, Sketch: hh.Params{Depth: 4, Width: 64}}, CountLo: 8, CountHi: 64, MaxRetries: 64},
+	{Eps: 0.5, Levels: 0, RepsPerLevel: 1, HH: hh.ZParams{Reps: 2, Buckets: 16, B: 24, Sketch: hh.Params{Depth: 3, Width: 48}}, CountLo: 8, CountHi: 64, MaxRetries: 64},
+	{Eps: 0.5, Levels: 0, RepsPerLevel: 1, HH: hh.ZParams{Reps: 1, Buckets: 16, B: 16, Sketch: hh.Params{Depth: 3, Width: 32}}, CountLo: 6, CountHi: 48, MaxRetries: 64},
+	{Eps: 0.5, Levels: 12, RepsPerLevel: 1, HH: hh.ZParams{Reps: 1, Buckets: 8, B: 12, Sketch: hh.Params{Depth: 3, Width: 16}}, CountLo: 4, CountHi: 32, MaxRetries: 64},
+	{Eps: 0.5, Levels: 8, RepsPerLevel: 1, HH: hh.ZParams{Reps: 1, Buckets: 4, B: 8, Sketch: hh.Params{Depth: 2, Width: 8}}, CountLo: 3, CountHi: 24, MaxRetries: 64},
+}
+
+// EstimateSetupWords predicts the sketch traffic a configuration will
+// charge over an l-dimensional vector with s servers. Value-collection
+// traffic (data dependent, typically small) is excluded.
+func EstimateSetupWords(p Params, s, l int) int64 {
+	levels := p.Levels
+	if levels <= 0 {
+		levels = int(math.Ceil(math.Log2(float64(l))))
+		if levels < 1 {
+			levels = 1
+		}
+	}
+	perZHH := int64(s-1) * int64(p.HH.Reps) * int64(p.HH.Buckets) *
+		int64(p.HH.Sketch.Depth) * int64(p.HH.Sketch.Width)
+	return perZHH * int64(1+levels*p.RepsPerLevel)
+}
+
+// ParamsForBudget returns the richest ladder configuration whose estimated
+// sketch traffic fits within budget words, falling back to the cheapest
+// entry when none fits. The returned Params carry the given seed.
+func ParamsForBudget(budget int64, s, l int, seed int64) Params {
+	for _, p := range ladder {
+		if EstimateSetupWords(p, s, l) <= budget {
+			p.Seed = seed
+			return p
+		}
+	}
+	p := ladder[len(ladder)-1]
+	p.Seed = seed
+	return p
+}

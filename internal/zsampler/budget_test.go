@@ -1,0 +1,77 @@
+package zsampler
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/fn"
+	"repro/internal/hh"
+)
+
+func TestEstimateSetupWordsScaling(t *testing.T) {
+	p := DefaultParams(1<<20, 1)
+	small := EstimateSetupWords(p, 2, 1<<20)
+	big := EstimateSetupWords(p, 10, 1<<20)
+	if big <= small {
+		t.Fatal("setup cost must grow with server count")
+	}
+	// Explicit formula check: perZHH = (s−1)·reps·buckets·depth·width =
+	// 1·3·8·4·16 = 1536; total = 1536·(1 + levels·repsPerLevel) = 13824.
+	q := Params{
+		Levels:       4,
+		RepsPerLevel: 2,
+		HH:           hh.ZParams{Reps: 3, Buckets: 8, B: 8, Sketch: hh.Params{Depth: 4, Width: 16}},
+	}
+	if got := EstimateSetupWords(q, 2, 1000); got != 13824 {
+		t.Fatalf("EstimateSetupWords = %d, want 13824", got)
+	}
+}
+
+func TestParamsForBudgetMonotone(t *testing.T) {
+	const s, l = 10, 1 << 18
+	prev := int64(-1)
+	for _, budget := range []int64{1 << 30, 1 << 22, 1 << 18, 1 << 14, 1} {
+		p := ParamsForBudget(budget, s, l, 7)
+		cost := EstimateSetupWords(p, s, l)
+		if prev >= 0 && cost > prev {
+			t.Fatalf("cost not monotone in budget: %d after %d", cost, prev)
+		}
+		prev = cost
+		if p.Seed != 7 {
+			t.Fatal("seed not propagated")
+		}
+	}
+}
+
+func TestParamsForBudgetFitsWhenPossible(t *testing.T) {
+	const s, l = 5, 1 << 16
+	budget := int64(1 << 20)
+	p := ParamsForBudget(budget, s, l, 1)
+	if EstimateSetupWords(p, s, l) > budget {
+		t.Fatal("chosen params exceed a satisfiable budget")
+	}
+}
+
+// TestBudgetedEstimatorActualCostNearEstimate: the analytic estimate must
+// track the measured sketch traffic (within the value-collection slack).
+func TestBudgetedEstimatorActualCostNearEstimate(t *testing.T) {
+	v := make([]float64, 4000)
+	for j := range v {
+		v[j] = float64(j%17) * 0.1
+	}
+	locals := makeLocals(v, 3, rand.New(rand.NewSource(5)))
+	p := ParamsForBudget(1<<17, 3, len(v), 3)
+	net := comm.NewNetwork(3)
+	if _, err := BuildEstimator(net, locals, fn.Identity{}, p); err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateSetupWords(p, 3, len(v))
+	actual := net.Words()
+	// Actual = sketches + seeds + value collection; must be within 3× of
+	// the estimate and never less than the sketch-only estimate by more
+	// than the seed slack.
+	if actual > 3*est {
+		t.Fatalf("actual %d ≫ estimate %d", actual, est)
+	}
+}

@@ -1,0 +1,53 @@
+package zsampler
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/fn"
+)
+
+func TestDebugClassBreakdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const l = 5000
+	v := make([]float64, l)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.01
+	}
+	for _, j := range []int{3, 999, 4321} {
+		v[j] = 50
+	}
+	locals := makeLocals(v, 3, rng)
+	net := comm.NewNetwork(3)
+	z := fn.Identity{}
+	est, err := BuildEstimator(net, locals, z, richParams(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True class sizes.
+	eps := 0.5
+	trueSizes := map[int]int{}
+	trueContrib := map[int]float64{}
+	for _, x := range v {
+		zv := z.Z(x)
+		if zv <= 0 {
+			continue
+		}
+		ci := classIndex(zv, eps)
+		trueSizes[ci]++
+		trueContrib[ci] += zv
+	}
+	var idxs []int
+	for _, c := range est.classes {
+		idxs = append(idxs, c.idx)
+	}
+	sort.Ints(idxs)
+	for _, c := range est.classes {
+		t.Logf("class %3d: shat=%-10.4g weight=%-12.4g true_size=%-6d true_contrib=%-12.4g val=%.4g",
+			c.idx, c.shat, c.weight, trueSizes[c.idx], trueContrib[c.idx], math.Pow(1.5, float64(c.idx)))
+	}
+	t.Logf("ZHat=%g truth=%g", est.ZHat(), trueZ(v, z))
+}

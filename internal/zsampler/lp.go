@@ -1,0 +1,28 @@
+package zsampler
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/fn"
+	"repro/internal/hh"
+)
+
+// BuildLpEstimator configures the generalized estimator as a distributed
+// ℓp sampler: coordinates of the implicit vector a = Σ_t a^t are sampled
+// with probability ≈ |a_j|^p / ‖a‖_p^p, and ZHat estimates ‖a‖_p^p.
+//
+// This is the primitive of Jowhari–Sağlam–Tardos [14] and
+// Monemizadeh–Woodruff [15] that Section VI-B invokes for the softmax
+// application ("apply the ℓ_{2/p}-sampling technique of [14], [15] on the
+// sum of the resulting matrices"); the paper's generalized sampler — and
+// hence this implementation — strictly subsumes it, since z(x) = |x|^p
+// satisfies property P exactly when 0 < p ≤ 2 (x²/z = |x|^{2−p} must be
+// nondecreasing).
+func BuildLpEstimator(net *comm.Network, locals []hh.Vec, p float64, params Params) (*Estimator, error) {
+	if p <= 0 || p > 2 {
+		return nil, fmt.Errorf("zsampler: ℓp sampling requires 0 < p ≤ 2 (got %g); beyond 2, z=|x|^p violates property P — the regime of the paper's Theorem 4 lower bound", p)
+	}
+	// fn.AbsPower{P: q} has z = |x|^{2q}, so q = p/2 yields z = |x|^p.
+	return BuildEstimator(net, locals, fn.AbsPower{P: p / 2}, params)
+}

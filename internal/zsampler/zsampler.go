@@ -1,0 +1,413 @@
+// Package zsampler implements the paper's generalized sampler (Section V):
+// given s servers holding local vectors a^t with implicit sum a = Σ_t a^t
+// and a weight function z with property P, it samples coordinates j with
+// probability ≈ z(a_j)/Z(a) where Z(a) = Σ_i z(a_i), and reports a (1±ε)
+// approximation to Z(a).
+//
+// The construction follows Algorithms 2–4:
+//
+//   - Coordinates are conceptually split into classes
+//     S_i(a) = {j : z(a_j) ∈ [(1+ε)^i, (1+ε)^{i+1})}.
+//   - Z-HeavyHitters (package hh) recovers every coordinate that is
+//     individually heavy in Z(a).
+//   - Geometrically subsampled level sets S_ℓ = {j : g(j) ≤ 2^{-ℓ}·l}
+//     shrink large classes until their survivors are heavy, at which point
+//     per-level Z-HeavyHitters recovers them and 2^ℓ·|recovered| estimates
+//     the class size (the Z-estimator, Algorithm 3).
+//   - Sampling draws a class with probability ∝ ŝ_i(1+ε)^i, then a member
+//     of the class by min-wise hashing (the Z-sampler, Algorithm 4).
+//
+// Parameters follow the paper's experimental practice of tuning the
+// repetition counts, bucket counts and sketch widths to a communication
+// budget rather than using the (astronomically large) constants from the
+// analysis; see DESIGN.md §4.
+package zsampler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/fn"
+	"repro/internal/hashing"
+	"repro/internal/hh"
+)
+
+// Params are the tunable knobs of the estimator/sampler pipeline.
+type Params struct {
+	// Eps controls the class granularity: class i covers z-values in
+	// [(1+Eps)^i, (1+Eps)^{i+1}).
+	Eps float64
+	// Levels is the number of subsampling levels; 0 means ⌈log2 l⌉.
+	Levels int
+	// RepsPerLevel is the number of independent repetitions per level
+	// (the paper's e loop in Algorithm 3).
+	RepsPerLevel int
+	// HH configures the inner Z-HeavyHitters invocations.
+	HH hh.ZParams
+	// CountLo/CountHi is the accepted window of recovered-survivor counts
+	// for a level-based class size estimate 2^ℓ·count (the paper's
+	// [4C²ε⁻²log l, 16C²ε⁻²log l) window, shrunk for practice).
+	CountLo, CountHi int
+	// Inject enables the coordinate-injection step for growing classes
+	// (Section V-D). Injection is realized at the sampling layer: injected
+	// mass makes a draw FAIL and retry, matching the paper's semantics
+	// without rebuilding the estimator over the extended vector a′.
+	Inject bool
+	// InjectCap bounds the injected mass per class (the paper injects up
+	// to poly(l) coordinates; a cap keeps memory finite).
+	InjectCap int
+	// MaxRetries bounds FAIL-retries per draw (paper: O(C·log l)).
+	MaxRetries int
+	// Seed drives all shared randomness.
+	Seed int64
+}
+
+// DefaultParams returns a practical configuration for vector dimension l.
+func DefaultParams(l int, seed int64) Params {
+	return Params{
+		Eps:          0.5,
+		Levels:       0,
+		RepsPerLevel: 1,
+		HH:           hh.ZParams{Reps: 2, Buckets: 32, B: 32, Sketch: hh.Params{Depth: 4, Width: 128}},
+		CountLo:      8,
+		CountHi:      64,
+		Inject:       false,
+		InjectCap:    1 << 12,
+		MaxRetries:   64,
+		Seed:         seed,
+	}
+}
+
+// Estimator is the output of the Z-estimator (Algorithm 3): the Ẑ estimate,
+// per-class size estimates ŝ_i, and the List of recovered coordinates with
+// their exact global values. It supports repeated sampling draws.
+type Estimator struct {
+	params  Params
+	z       fn.ZFunc
+	l       uint64
+	zhat    float64
+	classes []classInfo
+	// list maps recovered coordinate → exact global value a_j.
+	list map[uint64]float64
+	// members groups recovered coordinates by class index.
+	members map[int][]uint64
+	// injected mass per class (sampling-layer realization of injection).
+	injected map[int]float64
+	rng      *rand.Rand
+	drawSeq  uint64
+}
+
+type classInfo struct {
+	idx    int     // class index i
+	shat   float64 // ŝ_i
+	weight float64 // ŝ_i·(1+ε)^i (+ injected mass · value)
+}
+
+// classIndex returns i with z ∈ [(1+ε)^i, (1+ε)^{i+1}).
+func classIndex(zv, eps float64) int {
+	return int(math.Floor(math.Log(zv) / math.Log1p(eps)))
+}
+
+// collectValue charges one word per non-CP server and returns the exact
+// global value a_j = Σ_t a^t_j (line 6 / line 11 of Algorithm 3: "server 1
+// communicates with other servers to compute a_p").
+func collectValue(net *comm.Network, locals []hh.Vec, j uint64, tag string) float64 {
+	for t := 1; t < len(locals); t++ {
+		net.Charge(t, comm.CP, tag, 1)
+	}
+	return hh.SumAt(locals, j)
+}
+
+// BuildEstimator runs the Z-estimator protocol (Algorithm 3) over the
+// implicit vector Σ_t locals[t], charging all traffic to net.
+func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*Estimator, error) {
+	if len(locals) == 0 {
+		return nil, errors.New("zsampler: no servers")
+	}
+	l := locals[0].Len()
+	for _, lv := range locals {
+		if lv.Len() != l {
+			return nil, errors.New("zsampler: inconsistent vector dimensions")
+		}
+	}
+	if l == 0 {
+		return nil, errors.New("zsampler: empty vector")
+	}
+	if p.Eps <= 0 {
+		return nil, fmt.Errorf("zsampler: eps must be positive, got %g", p.Eps)
+	}
+	levels := p.Levels
+	if levels <= 0 {
+		levels = int(math.Ceil(math.Log2(float64(l))))
+		if levels < 1 {
+			levels = 1
+		}
+	}
+
+	est := &Estimator{
+		params:   p,
+		z:        z,
+		l:        l,
+		list:     make(map[uint64]float64),
+		members:  make(map[int][]uint64),
+		injected: make(map[int]float64),
+		rng:      hashing.Seeded(hashing.DeriveSeed(p.Seed, 0xD0A11)),
+	}
+
+	// Recovered survivor sets per level: level -1 holds the globally-heavy
+	// recoveries from the D step. Sets (not multisets) because the paper's
+	// D_j is the union over repetitions — double-counting a coordinate
+	// recovered by two repetitions would double every size estimate.
+	recovered := make(map[int]map[uint64]struct{})
+	record := func(j uint64, level int) {
+		if _, seen := est.list[j]; !seen {
+			v := collectValue(net, locals, j, "zest/values")
+			est.list[j] = v
+		}
+		if recovered[level] == nil {
+			recovered[level] = make(map[uint64]struct{})
+		}
+		recovered[level][j] = struct{}{}
+	}
+
+	// Step 1 (Algorithm 3 line 5): global Z-HeavyHitters.
+	d0 := hh.ZHeavyHitters(net, locals, p.HH, hashing.DeriveSeed(p.Seed, 1), "zest/heavy")
+	for _, j := range d0 {
+		record(j, -1)
+	}
+
+	// Step 2 (lines 7–13): subsampled levels. The level-set hash g is
+	// broadcast once; every server derives membership locally. The deepest
+	// level each coordinate survives is memoized once (one hash evaluation
+	// per coordinate) and shared by every level, repetition and server —
+	// an O(l) precomputation that replaces O(l·levels·reps) hash work.
+	gSeed := hashing.DeriveSeed(p.Seed, 2)
+	net.BroadcastSeed(comm.CP, "zest/gseed", gSeed)
+	g := hashing.NewPolyHash(hashing.Seeded(gSeed), 8)
+	maxLevel := make([]uint8, l)
+	byLevelIdx := make([][]uint64, levels+1)
+	for j := uint64(0); j < l; j++ {
+		u := g.Unit(j)
+		ml := levels
+		if u > 0 {
+			ml = int(math.Floor(-math.Log2(u)))
+			if ml > levels {
+				ml = levels
+			}
+			if ml < 0 {
+				ml = 0
+			}
+		}
+		maxLevel[j] = uint8(ml)
+		byLevelIdx[ml] = append(byLevelIdx[ml], j)
+	}
+
+	for e := 0; e < p.RepsPerLevel; e++ {
+		for lev := 1; lev <= levels; lev++ {
+			lev8 := uint8(lev)
+			keep := func(j uint64) bool { return maxLevel[j] >= lev8 }
+			candidates := func(yield func(uint64)) {
+				for ml := lev; ml <= levels; ml++ {
+					for _, j := range byLevelIdx[ml] {
+						yield(j)
+					}
+				}
+			}
+			seed := hashing.DeriveSeed(p.Seed, uint64(100+e*1000+lev))
+			dj := hh.ZHeavyHittersFiltered(net, locals, keep, candidates, p.HH, seed, "zest/levels")
+			for _, j := range dj {
+				record(j, lev)
+			}
+		}
+	}
+
+	// Step 3 (lines 6 and 12): class size estimates ŝ_i from the per-level
+	// recovered counts, grouped by exact class of the recovered value.
+	counts := make(map[int]map[int]int)
+	for level, set := range recovered {
+		for j := range set {
+			zv := z.Z(est.list[j])
+			if zv <= 0 {
+				continue
+			}
+			ci := classIndex(zv, p.Eps)
+			if counts[ci] == nil {
+				counts[ci] = make(map[int]int)
+			}
+			counts[ci][level]++
+		}
+	}
+	for ci, byLevel := range counts {
+		shat := float64(byLevel[-1]) // exact recoveries from the heavy pass
+		windowed := false
+		for lev := 1; lev <= levels; lev++ {
+			c := byLevel[lev]
+			if c >= p.CountLo && c < p.CountHi {
+				if estSize := math.Exp2(float64(lev)) * float64(c); estSize > shat {
+					shat = estSize
+					windowed = true
+				}
+			}
+		}
+		if !windowed {
+			// Fallback outside the paper's window: prefer the deepest level
+			// with at least CountLo/2 survivors; this biases small classes
+			// down rather than wildly up, which only shifts mass toward
+			// classes we can actually sample.
+			for lev := levels; lev >= 1; lev-- {
+				c := byLevel[lev]
+				if c >= (p.CountLo+1)/2 && c < p.CountHi {
+					if estSize := math.Exp2(float64(lev)) * float64(c); estSize > shat {
+						shat = estSize
+					}
+					break
+				}
+			}
+		}
+		if shat > 0 {
+			est.classes = append(est.classes, classInfo{idx: ci, shat: shat})
+		}
+	}
+	sort.Slice(est.classes, func(a, b int) bool { return est.classes[a].idx < est.classes[b].idx })
+
+	// Ẑ = Σ ŝ_i (1+ε)^i (line 14).
+	for i := range est.classes {
+		c := &est.classes[i]
+		c.weight = c.shat * math.Pow(1+p.Eps, float64(c.idx))
+		est.zhat += c.weight
+	}
+
+	// Group the List by class for min-wise within-class sampling.
+	for j, v := range est.list {
+		zv := z.Z(v)
+		if zv <= 0 {
+			continue
+		}
+		ci := classIndex(zv, p.Eps)
+		est.members[ci] = append(est.members[ci], j)
+	}
+	for _, m := range est.members {
+		sort.Slice(m, func(a, b int) bool { return m[a] < m[b] })
+	}
+
+	// Optional coordinate injection (Section V-D): growing classes receive
+	// extra virtual mass so that under-covered small classes cause FAIL
+	// (and a retry) instead of a silently skewed draw.
+	if p.Inject && est.zhat > 0 {
+		T := float64(levels)
+		growThresh := est.zhat / (5 * T * T)
+		for i := range est.classes {
+			c := &est.classes[i]
+			val := math.Pow(1+p.Eps, float64(c.idx))
+			if val <= growThresh {
+				if _, invertible := invertible(z, val); !invertible {
+					continue // z⁻¹ undefined ⇒ the class is empty (paper)
+				}
+				count := math.Ceil(p.Eps * est.zhat / (5 * T * val))
+				if count > float64(p.InjectCap) {
+					count = float64(p.InjectCap)
+				}
+				est.injected[c.idx] = count * val
+			}
+		}
+	}
+
+	if est.zhat <= 0 {
+		return nil, errors.New("zsampler: estimator found no mass (all-zero vector or sketches too small)")
+	}
+	return est, nil
+}
+
+func invertible(z fn.ZFunc, y float64) (float64, bool) {
+	x := z.Inverse(y)
+	return x, !math.IsNaN(x)
+}
+
+// ZHat returns the estimate of Z(a) = Σ_j z(a_j).
+func (e *Estimator) ZHat() float64 { return e.zhat }
+
+// ListSize returns the number of recovered coordinates.
+func (e *Estimator) ListSize() int { return len(e.list) }
+
+// ClassSizes returns the per-class size estimates ŝ_i keyed by class index.
+func (e *Estimator) ClassSizes() map[int]float64 {
+	out := make(map[int]float64, len(e.classes))
+	for _, c := range e.classes {
+		out[c.idx] = c.shat
+	}
+	return out
+}
+
+// Value returns the exact recovered value of a recovered coordinate.
+func (e *Estimator) Value(j uint64) (float64, bool) {
+	v, ok := e.list[j]
+	return v, ok
+}
+
+// Prob returns the sampler's nominal probability of producing coordinate j
+// in one successful draw: z(a_j)/Ẑ. This is the Q̂ that Algorithm 1 scales
+// by; the paper shows a (1±γ) multiplicative error here is harmless
+// (Lemma 3).
+func (e *Estimator) Prob(value float64) float64 {
+	zv := e.z.Z(value)
+	if e.zhat <= 0 {
+		return 0
+	}
+	return zv / e.zhat
+}
+
+// ErrFailed is returned when a draw lands on injected mass or an empty
+// class more than MaxRetries times.
+var ErrFailed = errors.New("zsampler: draw failed after retries")
+
+// Sample performs one Z-sampler draw (Algorithm 4): pick class i* with
+// probability ∝ ŝ_i(1+ε)^i (plus injected mass), then return the member of
+// List ∩ S_i* minimizing a fresh min-wise hash. Injected mass triggers a
+// retry, up to MaxRetries.
+func (e *Estimator) Sample() (uint64, error) {
+	total := e.zhat
+	for _, inj := range e.injected {
+		total += inj
+	}
+	for attempt := 0; attempt < e.params.MaxRetries; attempt++ {
+		x := e.rng.Float64() * total
+		picked := -1
+		for _, c := range e.classes {
+			w := c.weight + e.injected[c.idx]
+			if x < w {
+				// Landing inside the injected share of the class is a FAIL.
+				if x >= c.weight {
+					picked = -1
+				} else {
+					picked = c.idx
+				}
+				break
+			}
+			x -= w
+		}
+		if picked == -1 {
+			continue // FAIL: injected coordinate (or roundoff tail); retry
+		}
+		members := e.members[picked]
+		if len(members) == 0 {
+			continue
+		}
+		// Min-wise hashing with a per-draw hash g′ (fresh seed per draw)
+		// picks a near-uniform member of the recovered class.
+		e.drawSeq++
+		gp := hashing.PairwiseHash(hashing.Seeded(hashing.DeriveSeed(e.params.Seed, 0xABCD0000+e.drawSeq)))
+		best := members[0]
+		bestV := gp.Eval(best)
+		for _, j := range members[1:] {
+			if v := gp.Eval(j); v < bestV {
+				best, bestV = j, v
+			}
+		}
+		return best, nil
+	}
+	return 0, ErrFailed
+}

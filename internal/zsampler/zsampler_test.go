@@ -1,0 +1,379 @@
+package zsampler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/fn"
+	"repro/internal/hh"
+)
+
+// makeLocals splits a global vector additively across s servers.
+func makeLocals(v []float64, s int, rng *rand.Rand) []hh.Vec {
+	parts := make([][]float64, s)
+	for t := range parts {
+		parts[t] = make([]float64, len(v))
+	}
+	for j, val := range v {
+		var acc float64
+		for t := 0; t < s-1; t++ {
+			sh := rng.NormFloat64() * 0.05
+			parts[t][j] = sh
+			acc += sh
+		}
+		parts[s-1][j] = val - acc
+	}
+	out := make([]hh.Vec, s)
+	for t := range parts {
+		out[t] = hh.DenseVec(parts[t])
+	}
+	return out
+}
+
+func trueZ(v []float64, z fn.ZFunc) float64 {
+	var s float64
+	for _, x := range v {
+		s += z.Z(x)
+	}
+	return s
+}
+
+func richParams(seed int64) Params {
+	return Params{
+		Eps:          0.5,
+		RepsPerLevel: 2,
+		HH:           hh.ZParams{Reps: 3, Buckets: 32, B: 32, Sketch: hh.Params{Depth: 5, Width: 128}},
+		CountLo:      8,
+		CountHi:      64,
+		MaxRetries:   64,
+		Seed:         seed,
+	}
+}
+
+func TestClassIndex(t *testing.T) {
+	eps := 0.5
+	// z ∈ [1.5^i, 1.5^{i+1}) ⇒ class i.
+	cases := []struct {
+		z    float64
+		want int
+	}{{1, 0}, {1.4, 0}, {1.5, 1}, {2.25, 2}, {0.9, -1}, {0.7, -1}}
+	for _, c := range cases {
+		if got := classIndex(c.z, eps); got != c.want {
+			t.Errorf("classIndex(%g) = %d, want %d", c.z, got, c.want)
+		}
+	}
+}
+
+func TestEstimatorZHatPowerLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const l = 20000
+	v := make([]float64, l)
+	for j := range v {
+		// Power-law magnitudes spanning several classes.
+		v[j] = math.Pow(rng.Float64(), 2) * 10
+	}
+	locals := makeLocals(v, 4, rng)
+	net := comm.NewNetwork(4)
+	z := fn.Identity{}
+	est, err := BuildEstimator(net, locals, z, richParams(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trueZ(v, z)
+	rel := math.Abs(est.ZHat()-truth) / truth
+	t.Logf("ZHat = %g, truth = %g, rel err = %.3f, list = %d, words = %d",
+		est.ZHat(), truth, rel, est.ListSize(), net.Words())
+	if rel > 0.5 {
+		t.Fatalf("ZHat relative error %.3f too large", rel)
+	}
+}
+
+func TestEstimatorZHatFewHeavy(t *testing.T) {
+	// All the mass in a handful of coordinates: the heavy path (D) must
+	// carry the estimate.
+	rng := rand.New(rand.NewSource(2))
+	const l = 5000
+	v := make([]float64, l)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.01
+	}
+	for _, j := range []int{3, 999, 4321} {
+		v[j] = 50
+	}
+	locals := makeLocals(v, 3, rng)
+	net := comm.NewNetwork(3)
+	z := fn.Identity{}
+	est, err := BuildEstimator(net, locals, z, richParams(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trueZ(v, z)
+	if rel := math.Abs(est.ZHat()-truth) / truth; rel > 0.5 {
+		t.Fatalf("ZHat rel err %.3f (ZHat=%g truth=%g)", rel, est.ZHat(), truth)
+	}
+	for _, j := range []uint64{3, 999, 4321} {
+		if _, ok := est.Value(j); !ok {
+			t.Fatalf("heavy coordinate %d not in List", j)
+		}
+	}
+}
+
+func TestEstimatorBoundedZ(t *testing.T) {
+	// Huber-style bounded z: many saturated coordinates.
+	rng := rand.New(rand.NewSource(3))
+	const l = 8000
+	v := make([]float64, l)
+	for j := range v {
+		if j%10 == 0 {
+			v[j] = 100 + rng.Float64() // saturated: z = K²
+		} else {
+			v[j] = rng.NormFloat64() * 0.02
+		}
+	}
+	locals := makeLocals(v, 4, rng)
+	net := comm.NewNetwork(4)
+	z := fn.Huber{K: 5}
+	est, err := BuildEstimator(net, locals, z, richParams(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trueZ(v, z)
+	if rel := math.Abs(est.ZHat()-truth) / truth; rel > 0.5 {
+		t.Fatalf("bounded-z ZHat rel err %.3f (ZHat=%g truth=%g)", rel, est.ZHat(), truth)
+	}
+}
+
+// TestSamplerDistribution draws many samples and checks the empirical
+// distribution against z(a_j)/Z(a) for a vector with a few dominant
+// coordinates (where per-coordinate frequencies are statistically
+// meaningful).
+func TestSamplerDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const l = 2000
+	v := make([]float64, l)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.05
+	}
+	dominant := map[uint64]float64{10: 40, 500: 20, 1500: 28}
+	for j, val := range dominant {
+		v[j] = val
+	}
+	locals := makeLocals(v, 3, rng)
+	net := comm.NewNetwork(3)
+	z := fn.Identity{}
+	est, err := BuildEstimator(net, locals, z, richParams(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trueZ(v, z)
+	const draws = 3000
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		j, err := est.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[j]++
+	}
+	for j, val := range dominant {
+		want := val * val / truth
+		got := float64(counts[j]) / draws
+		if got < want/2 || got > want*2 {
+			t.Errorf("coordinate %d: empirical %.3f, want ≈ %.3f", j, got, want)
+		}
+	}
+}
+
+func TestProbReportsZShare(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	v := make([]float64, 3000)
+	for j := range v {
+		v[j] = rng.NormFloat64()
+	}
+	locals := makeLocals(v, 2, rng)
+	net := comm.NewNetwork(2)
+	z := fn.Identity{}
+	est, err := BuildEstimator(net, locals, z, richParams(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prob must be z(value)/ZHat exactly.
+	p := est.Prob(2.0)
+	if math.Abs(p-4/est.ZHat()) > 1e-12 {
+		t.Fatalf("Prob(2) = %g, want %g", p, 4/est.ZHat())
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	net := comm.NewNetwork(2)
+	if _, err := BuildEstimator(net, nil, fn.Identity{}, richParams(1)); err == nil {
+		t.Fatal("no servers accepted")
+	}
+	locals := []hh.Vec{hh.DenseVec{}, hh.DenseVec{}}
+	if _, err := BuildEstimator(net, locals, fn.Identity{}, richParams(1)); err == nil {
+		t.Fatal("empty vector accepted")
+	}
+	mis := []hh.Vec{hh.DenseVec{1}, hh.DenseVec{1, 2}}
+	if _, err := BuildEstimator(net, mis, fn.Identity{}, richParams(1)); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	bad := richParams(1)
+	bad.Eps = 0
+	if _, err := BuildEstimator(net, []hh.Vec{hh.DenseVec{1}, hh.DenseVec{0}}, fn.Identity{}, bad); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	// All-zero vector: no mass.
+	zero := []hh.Vec{hh.DenseVec(make([]float64, 50)), hh.DenseVec(make([]float64, 50))}
+	if _, err := BuildEstimator(net, zero, fn.Identity{}, richParams(1)); err == nil {
+		t.Fatal("zero vector accepted")
+	}
+}
+
+func TestClassSizesRoughlyRight(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const l = 10000
+	v := make([]float64, l)
+	// One big class: 2000 coordinates with z(v)=1 (class 0 for eps=0.5).
+	for j := 0; j < 2000; j++ {
+		v[j] = 1.1
+	}
+	for j := 2000; j < l; j++ {
+		v[j] = rng.NormFloat64() * 0.001
+	}
+	locals := makeLocals(v, 2, rng)
+	net := comm.NewNetwork(2)
+	est, err := BuildEstimator(net, locals, fn.Identity{}, richParams(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := classIndex(1.1*1.1, 0.5)
+	got := est.ClassSizes()[ci]
+	if got < 500 || got > 8000 {
+		t.Fatalf("class %d size estimate %g, want ≈ 2000 (sizes: %v)", ci, got, est.ClassSizes())
+	}
+}
+
+func TestInjectionFailsGracefully(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := make([]float64, 1000)
+	for j := range v {
+		v[j] = rng.Float64() * 5
+	}
+	locals := makeLocals(v, 2, rng)
+	net := comm.NewNetwork(2)
+	p := richParams(19)
+	p.Inject = true
+	p.InjectCap = 64
+	est, err := BuildEstimator(net, locals, fn.Identity{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sampling must still succeed (retries absorb injected mass).
+	for i := 0; i < 50; i++ {
+		if _, err := est.Sample(); err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(100000, 42)
+	if p.Seed != 42 || p.Eps <= 0 || p.HH.B <= 0 {
+		t.Fatalf("default params %+v", p)
+	}
+}
+
+func TestSampleDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	v := make([]float64, 500)
+	for j := range v {
+		v[j] = rng.NormFloat64()
+	}
+	build := func() []uint64 {
+		locals := makeLocals(v, 2, rand.New(rand.NewSource(99)))
+		net := comm.NewNetwork(2)
+		est, err := BuildEstimator(net, locals, fn.Identity{}, richParams(21))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]uint64, 20)
+		for i := range out {
+			j, err := est.Sample()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = j
+		}
+		return out
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("sampling not reproducible for fixed seed")
+		}
+	}
+}
+
+func TestLpEstimatorValidation(t *testing.T) {
+	net := comm.NewNetwork(2)
+	locals := makeLocals([]float64{1, 2, 3}, 2, rand.New(rand.NewSource(1)))
+	if _, err := BuildLpEstimator(net, locals, 0, richParams(1)); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := BuildLpEstimator(net, locals, 3, richParams(1)); err == nil {
+		t.Fatal("p=3 accepted (property P violated)")
+	}
+}
+
+// TestL1SamplerDistribution checks ℓ1 sampling: dominant coordinates are
+// drawn proportionally to |a_j| (not |a_j|²).
+func TestL1SamplerDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const l = 1500
+	v := make([]float64, l)
+	for j := range v {
+		v[j] = rng.NormFloat64() * 0.02
+	}
+	v[7] = 60
+	v[800] = -30 // sign must not matter for |x|^1
+	locals := makeLocals(v, 3, rng)
+	net := comm.NewNetwork(3)
+	est, err := BuildLpEstimator(net, locals, 1, richParams(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l1 float64
+	for _, x := range v {
+		l1 += math.Abs(x)
+	}
+	if rel := math.Abs(est.ZHat()-l1) / l1; rel > 0.5 {
+		t.Fatalf("‖a‖₁ estimate rel err %.3f (ZHat=%g truth=%g)", rel, est.ZHat(), l1)
+	}
+	const draws = 2000
+	c7, c800 := 0, 0
+	for i := 0; i < draws; i++ {
+		j, err := est.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch j {
+		case 7:
+			c7++
+		case 800:
+			c800++
+		}
+	}
+	// Under ℓ1, coordinate 7 should appear ≈ 2× as often as 800 (60 vs 30),
+	// NOT 4× as ℓ2 would give.
+	ratio := float64(c7) / float64(c800)
+	if ratio < 1.2 || ratio > 3.3 {
+		t.Fatalf("ℓ1 draw ratio %0.2f (c7=%d c800=%d), want ≈ 2", ratio, c7, c800)
+	}
+	wantShare7 := 60 / l1
+	gotShare7 := float64(c7) / draws
+	if gotShare7 < wantShare7/2 || gotShare7 > wantShare7*2 {
+		t.Fatalf("coordinate 7 share %.3f, want ≈ %.3f", gotShare7, wantShare7)
+	}
+}

@@ -1,0 +1,282 @@
+// Package repro is a Go implementation of "Distributed Low Rank
+// Approximation of Implicit Functions of a Matrix" (Woodruff & Zhong,
+// ICDE 2016). It computes additive-error low rank approximations (PCA) of
+// a matrix A that exists only implicitly across s servers:
+//
+//	A[i][j] = f(Σ_t A^t[i][j]),
+//
+// where server t holds A^t and f is an entrywise function — the paper's
+// generalized partition model. Supported applications include PCA of
+// Gaussian random Fourier feature expansions, softmax (generalized mean)
+// combination across servers, and robust PCA via M-estimator ψ-functions.
+//
+// The package exposes the high-level protocol; the building blocks live in
+// internal packages: internal/core (the Algorithm 1 framework),
+// internal/zsampler (the generalized sampler), internal/hh (distributed
+// heavy hitters), internal/sketch (CountSketch/AMS), internal/matrix
+// (dense linear algebra), internal/comm (the accounting network), and
+// internal/lowerbound (the paper's hardness reductions, executable).
+//
+// Quick start:
+//
+//	cluster := repro.NewCluster(10)
+//	cluster.SetLocalData(shares)                       // one matrix per server
+//	res, err := cluster.PCA(repro.Huber(20), repro.Options{K: 10, Eps: 0.1})
+//	// res.Projection is the d×d rank-k projection; res.Words the comm cost.
+package repro
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fn"
+	"repro/internal/matrix"
+	"repro/internal/rff"
+	"repro/internal/samplers"
+	"repro/internal/zsampler"
+)
+
+// Matrix is the dense matrix type used throughout the public API.
+type Matrix = matrix.Dense
+
+// NewMatrix allocates a zeroed r×c matrix.
+func NewMatrix(r, c int) *Matrix { return matrix.NewDense(r, c) }
+
+// FromRows builds a matrix from rows, copying them.
+func FromRows(rows [][]float64) *Matrix { return matrix.FromRows(rows) }
+
+// Func pairs the entrywise f with the sampling weight z the protocol needs.
+// Construct instances with Identity, AbsPower, SoftmaxGM, Huber, L1L2 or
+// Fair; or adapt your own with Custom.
+type Func struct {
+	f fn.Func
+	z fn.ZFunc // nil ⇒ uniform row sampling
+}
+
+// Name reports the function's display name.
+func (f Func) Name() string { return f.f.Name() }
+
+// Identity is plain distributed PCA of the summed matrix (f(x) = x).
+func Identity() Func { return Func{f: fn.Identity{}, z: fn.Identity{}} }
+
+// AbsPower is f(x) = |x|^p.
+func AbsPower(p float64) Func { return Func{f: fn.AbsPower{P: p}, z: fn.AbsPower{P: p}} }
+
+// SoftmaxGM is the softmax / generalized-mean combination with exponent p:
+// the implicit entry is GM(|M¹_ij|,…,|Mˢ_ij|) when each server prepares its
+// share with PrepareGM. Large p approximates an entrywise max.
+func SoftmaxGM(p float64) Func { return Func{f: fn.GM{P: p}, z: fn.GM{P: p}} }
+
+// Huber caps implicit entries at ±k via the Huber ψ-function (robust PCA).
+func Huber(k float64) Func { return Func{f: fn.Huber{K: k}, z: fn.Huber{K: k}} }
+
+// L1L2 applies the L1−L2 M-estimator ψ-function entrywise.
+func L1L2() Func { return Func{f: fn.L1L2{}, z: fn.L1L2{}} }
+
+// Fair applies the "Fair" M-estimator ψ-function with scale c entrywise.
+func Fair(c float64) Func { return Func{f: fn.Fair{C: c}, z: fn.Fair{C: c}} }
+
+// UniformRows declares that rows of f(ΣA^t) have near-equal norms, so
+// uniform sampling is valid — the situation of random Fourier feature
+// expansions. f is applied entrywise; no weight function is needed.
+func UniformRows(f func(float64) float64, name string) Func {
+	return Func{f: customF{fn: f, name: name}}
+}
+
+// Cosine is the √2·cos(x) nonlinearity of Gaussian random Fourier features
+// with uniform row sampling.
+func Cosine() Func { return Func{f: fn.SqrtTwoCos{}} }
+
+// Custom adapts a caller-supplied f and z. z must satisfy property P
+// (validated on first use); pass zNil = true to request uniform sampling.
+func Custom(f fn.Func, z fn.ZFunc) Func { return Func{f: f, z: z} }
+
+type customF struct {
+	fn   func(float64) float64
+	name string
+}
+
+func (c customF) Name() string            { return c.name }
+func (c customF) Apply(x float64) float64 { return c.fn(x) }
+
+// PrepareGM converts a raw local matrix into the share server t must hold
+// for the SoftmaxGM model: entry ← |entry|^p / s.
+func PrepareGM(local *Matrix, p float64, s int) *Matrix {
+	g := fn.GM{P: p}
+	return local.Apply(func(x float64) float64 { return g.Prepare(x, s) })
+}
+
+// Options configures a PCA run.
+type Options struct {
+	// K is the target rank (required).
+	K int
+	// Eps is the additive error parameter ε (default 0.1).
+	Eps float64
+	// Rows overrides the sample count r (default ⌈4k²/ε²⌉).
+	Rows int
+	// Boost repeats the protocol, keeping the best projection by captured
+	// energy (default 1).
+	Boost int
+	// SamplerBudget caps the words the generalized sampler's sketching may
+	// use; 0 accepts the default configuration.
+	SamplerBudget int64
+	// Seed fixes all randomness (0 uses a fixed default for
+	// reproducibility).
+	Seed int64
+}
+
+// Result is the outcome of a distributed PCA.
+type Result struct {
+	// Projection is the d×d rank-k projection matrix P; AP approximates A.
+	Projection *Matrix
+	// Basis is the d×k orthonormal basis of the projected subspace.
+	Basis *Matrix
+	// SampledRows are the row indices the protocol drew (with repetition).
+	SampledRows []int
+	// Words is the total communication in 64-bit words.
+	Words int64
+	// Breakdown reports words per protocol phase.
+	Breakdown map[string]int64
+}
+
+// Cluster simulates the paper's star network of s servers with exact
+// communication accounting.
+type Cluster struct {
+	net    *comm.Network
+	locals []*Matrix
+}
+
+// NewCluster creates a cluster of s servers (server 0 is the CP).
+func NewCluster(s int) *Cluster {
+	return &Cluster{net: comm.NewNetwork(s)}
+}
+
+// Servers returns the number of servers.
+func (c *Cluster) Servers() int { return c.net.Servers() }
+
+// SetLocalData installs each server's local matrix A^t. All shares must
+// have identical shape.
+func (c *Cluster) SetLocalData(locals []*Matrix) error {
+	if len(locals) != c.net.Servers() {
+		return fmt.Errorf("repro: %d shares for %d servers", len(locals), c.net.Servers())
+	}
+	n, d := locals[0].Dims()
+	for t, m := range locals {
+		mn, md := m.Dims()
+		if mn != n || md != d {
+			return fmt.Errorf("repro: server %d share is %dx%d, want %dx%d", t, mn, md, n, d)
+		}
+	}
+	c.locals = locals
+	return nil
+}
+
+// Words returns the total communication consumed so far.
+func (c *Cluster) Words() int64 { return c.net.Words() }
+
+// Breakdown returns communication per protocol phase.
+func (c *Cluster) Breakdown() map[string]int64 { return c.net.Breakdown() }
+
+// ResetCommunication zeroes the communication counters.
+func (c *Cluster) ResetCommunication() { c.net.Reset() }
+
+// PCA runs the distributed additive-error PCA protocol (Algorithm 1 with
+// the appropriate sampler) over the implicit matrix f(Σ_t A^t).
+func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
+	if c.locals == nil {
+		return nil, errors.New("repro: SetLocalData before PCA")
+	}
+	if opts.K < 1 {
+		return nil, errors.New("repro: Options.K must be ≥ 1")
+	}
+	if opts.Eps <= 0 {
+		opts.Eps = 0.1
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 0x5EED
+	}
+	n, d := c.locals[0].Dims()
+	start := c.net.Snapshot()
+
+	var sampler core.RowSampler
+	if f.z == nil {
+		u, err := samplers.NewUniform(c.net, c.locals, seed)
+		if err != nil {
+			return nil, err
+		}
+		sampler = u
+	} else {
+		if err := fn.CheckPropertyP(f.z, 1e3, 4096); err != nil {
+			return nil, err
+		}
+		// The sampler's sketching traffic is fitted to a budget: the
+		// caller's cap, or by default the size of the implicit matrix (so
+		// sketching never dominates what centralizing would have cost).
+		budget := opts.SamplerBudget
+		if budget <= 0 {
+			budget = int64(n * d)
+		}
+		p := zsampler.ParamsForBudget(budget, c.net.Servers(), n*d, seed)
+		zr, err := samplers.NewZRow(c.net, c.locals, f.z, p)
+		if err != nil {
+			return nil, err
+		}
+		sampler = zr
+	}
+	res, err := core.Run(c.net, sampler, f.f, d, core.Options{
+		K: opts.K, Eps: opts.Eps, R: opts.Rows, Boost: opts.Boost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Projection:  res.P,
+		Basis:       res.V,
+		SampledRows: res.Rows,
+		// Words covers the whole protocol from this call's start, including
+		// the sampler's sketching phase (which runs before Algorithm 1's
+		// row collection).
+		Words:     c.net.Since(start),
+		Breakdown: c.net.Breakdown(),
+	}, nil
+}
+
+// ImplicitMatrix materializes f(Σ_t A^t) centrally — useful for validation
+// and small-scale ground truth, and deliberately *not* part of the
+// protocol (it is exactly the thing the protocol avoids).
+func (c *Cluster) ImplicitMatrix(f Func) (*Matrix, error) {
+	if c.locals == nil {
+		return nil, errors.New("repro: SetLocalData before ImplicitMatrix")
+	}
+	sum := c.locals[0].Clone()
+	for _, m := range c.locals[1:] {
+		sum.AddInPlace(m)
+	}
+	return sum.Apply(f.f.Apply), nil
+}
+
+// ProjectionError2 returns ‖A − AP‖_F² via the matrix Pythagorean theorem.
+func ProjectionError2(A, P *Matrix) float64 { return matrix.ProjectionError2(A, P) }
+
+// BestRankKError2 returns the optimum ‖A − [A]_k‖_F².
+func BestRankKError2(A *Matrix, k int) float64 { return matrix.BestRankKError2(A, k) }
+
+// RFFMap re-exports the random Fourier feature map construction for
+// building kernel PCA pipelines on clusters.
+type RFFMap = rff.Map
+
+// NewRFFMap samples a Gaussian random Fourier feature map with d features
+// for m-dimensional inputs and kernel bandwidth sigma.
+func NewRFFMap(m, d int, sigma float64, seed int64) (*RFFMap, error) {
+	return rff.NewMap(m, d, sigma, seed)
+}
+
+// ExpandRFF projects each server's local raw share through the feature map
+// and folds in the phase shares, producing the local matrices for a
+// Cosine() PCA.
+func ExpandRFF(locals []*Matrix, mp *RFFMap) []*Matrix {
+	return rff.DistributedExpand(locals, mp)
+}

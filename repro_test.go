@@ -1,0 +1,275 @@
+package repro
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func splitMatrix(M *Matrix, s int, rng *rand.Rand) []*Matrix {
+	n, d := M.Dims()
+	out := make([]*Matrix, s)
+	for t := range out {
+		out[t] = NewMatrix(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			var acc float64
+			for t := 0; t < s-1; t++ {
+				sh := rng.NormFloat64() * 0.1
+				out[t].Set(i, j, sh)
+				acc += sh
+			}
+			out[s-1].Set(i, j, M.At(i, j)-acc)
+		}
+	}
+	return out
+}
+
+func lowRankMatrix(rng *rand.Rand, n, d, rank int, noise float64) *Matrix {
+	u := NewMatrix(n, rank)
+	v := NewMatrix(d, rank)
+	for i := range u.Data() {
+		u.Data()[i] = rng.NormFloat64()
+	}
+	for i := range v.Data() {
+		v.Data()[i] = rng.NormFloat64()
+	}
+	m := u.Mul(v.T())
+	for i := range m.Data() {
+		m.Data()[i] += noise * rng.NormFloat64()
+	}
+	return m
+}
+
+func TestClusterValidation(t *testing.T) {
+	c := NewCluster(3)
+	if c.Servers() != 3 {
+		t.Fatal("servers")
+	}
+	if err := c.SetLocalData([]*Matrix{NewMatrix(2, 2)}); err == nil {
+		t.Fatal("wrong share count accepted")
+	}
+	if err := c.SetLocalData([]*Matrix{NewMatrix(2, 2), NewMatrix(2, 2), NewMatrix(3, 2)}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if _, err := c.PCA(Identity(), Options{K: 1}); err == nil {
+		t.Fatal("PCA before SetLocalData accepted")
+	}
+	if _, err := c.ImplicitMatrix(Identity()); err == nil {
+		t.Fatal("ImplicitMatrix before SetLocalData accepted")
+	}
+}
+
+func TestPCAValidatesOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCluster(2)
+	M := lowRankMatrix(rng, 30, 5, 2, 0.1)
+	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PCA(Identity(), Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestIdentityPCAErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	M := lowRankMatrix(rng, 300, 20, 4, 0.1)
+	c := NewCluster(3)
+	if err := c.SetLocalData(splitMatrix(M, 3, rng)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PCA(Identity(), Options{K: 4, Rows: 150, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	A, _ := c.ImplicitMatrix(Identity())
+	add := (ProjectionError2(A, res.Projection) - BestRankKError2(A, 4)) / A.FrobNorm2()
+	if add > 0.15 {
+		t.Fatalf("additive error %g", add)
+	}
+	if len(res.SampledRows) != 150 {
+		t.Fatalf("sampled %d rows", len(res.SampledRows))
+	}
+	if res.Words <= 0 || len(res.Breakdown) == 0 {
+		t.Fatal("communication accounting missing")
+	}
+}
+
+func TestSoftmaxGMPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := 4
+	n, d := 120, 12
+	// Raw per-server matrices (e.g. per-hospital indicator records).
+	raws := make([]*Matrix, s)
+	for t2 := range raws {
+		raws[t2] = lowRankMatrix(rng, n, d, 3, 0.1)
+	}
+	p := 8.0
+	locals := make([]*Matrix, s)
+	for t2, raw := range raws {
+		locals[t2] = PrepareGM(raw, p, s)
+	}
+	c := NewCluster(s)
+	if err := c.SetLocalData(locals); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PCA(SoftmaxGM(p), Options{K: 3, Rows: 150, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	A, _ := c.ImplicitMatrix(SoftmaxGM(p))
+	// Ground truth: entrywise GM of the raw matrices.
+	for trial := 0; trial < 20; trial++ {
+		i, j := rng.Intn(n), rng.Intn(d)
+		var sum float64
+		for _, raw := range raws {
+			sum += math.Pow(math.Abs(raw.At(i, j)), p)
+		}
+		want := math.Pow(sum/float64(s), 1/p)
+		if math.Abs(A.At(i, j)-want) > 1e-9*(1+want) {
+			t.Fatalf("implicit GM entry (%d,%d) = %g, want %g", i, j, A.At(i, j), want)
+		}
+	}
+	add := (ProjectionError2(A, res.Projection) - BestRankKError2(A, 3)) / A.FrobNorm2()
+	if add > 0.2 {
+		t.Fatalf("GM additive error %g", add)
+	}
+}
+
+func TestRobustHuberPCA(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	M := lowRankMatrix(rng, 200, 15, 4, 0.1)
+	// Corrupt a few entries massively.
+	for c := 0; c < 10; c++ {
+		M.Set(rng.Intn(200), rng.Intn(15), 1e5)
+	}
+	c := NewCluster(3)
+	if err := c.SetLocalData(splitMatrix(M, 3, rng)); err != nil {
+		t.Fatal(err)
+	}
+	f := Huber(10)
+	res, err := c.PCA(f, Options{K: 4, Rows: 150, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	A, _ := c.ImplicitMatrix(f)
+	if A.MaxAbs() > 10+1e-9 {
+		t.Fatal("huber did not cap outliers")
+	}
+	add := (ProjectionError2(A, res.Projection) - BestRankKError2(A, 4)) / A.FrobNorm2()
+	if add > 0.2 {
+		t.Fatalf("robust additive error %g", add)
+	}
+}
+
+func TestRFFCosinePipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n, m := 150, 10
+	raw := lowRankMatrix(rng, n, m, 3, 0.3)
+	mp, err := NewRFFMap(m, 24, 2.0, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 3
+	parts := splitMatrix(raw, s, rng)
+	locals := ExpandRFF(parts, mp)
+	c := NewCluster(s)
+	if err := c.SetLocalData(locals); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PCA(Cosine(), Options{K: 5, Rows: 100, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	A, _ := c.ImplicitMatrix(Cosine())
+	add := (ProjectionError2(A, res.Projection) - BestRankKError2(A, 5)) / A.FrobNorm2()
+	if add > 0.2 {
+		t.Fatalf("RFF additive error %g", add)
+	}
+	// The cosine path must use the uniform sampler (no z sketching tags).
+	for tag := range res.Breakdown {
+		if strings.HasPrefix(tag, "zest/") {
+			t.Fatal("uniform pipeline ran the z-sampler")
+		}
+	}
+}
+
+func TestL1L2AndFair(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	M := lowRankMatrix(rng, 100, 8, 3, 0.1)
+	for _, f := range []Func{L1L2(), Fair(2.0), AbsPower(0.5)} {
+		c := NewCluster(2)
+		if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.PCA(f, Options{K: 3, Rows: 120, Seed: 17})
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		A, _ := c.ImplicitMatrix(f)
+		add := (ProjectionError2(A, res.Projection) - BestRankKError2(A, 3)) / A.FrobNorm2()
+		if add > 0.25 {
+			t.Fatalf("%s: additive error %g", f.Name(), add)
+		}
+	}
+}
+
+func TestBoostOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	M := lowRankMatrix(rng, 80, 8, 2, 0.4)
+	c := NewCluster(2)
+	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PCA(Identity(), Options{K: 2, Rows: 25, Boost: 3, Seed: 19}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetCommunication(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	M := lowRankMatrix(rng, 40, 5, 2, 0.1)
+	c := NewCluster(2)
+	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PCA(Identity(), Options{K: 2, Rows: 20}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Words() == 0 {
+		t.Fatal("no words recorded")
+	}
+	c.ResetCommunication()
+	if c.Words() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCustomFunc(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	M := lowRankMatrix(rng, 60, 6, 2, 0.1)
+	c := NewCluster(2)
+	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
+		t.Fatal(err)
+	}
+	f := UniformRows(func(x float64) float64 { return x }, "passthrough")
+	if f.Name() != "passthrough" {
+		t.Fatal("custom name")
+	}
+	if _, err := c.PCA(f, Options{K: 2, Rows: 60, Seed: 21}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixReexports(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatal("FromRows")
+	}
+	var _ *matrix.Dense = m // Matrix must alias the internal type
+}

@@ -1,0 +1,78 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// TestSmokeEndToEnd drives the full public pipeline: a low-rank matrix is
+// split across servers, the Huber PCA protocol runs, and the additive
+// error bound of Theorem 1 must hold with a comfortable margin.
+func TestSmokeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, d, rank, s := 400, 40, 5, 4
+	// Low-rank + small noise matrix.
+	U := matrix.NewDense(n, rank)
+	V := matrix.NewDense(d, rank)
+	for i := 0; i < n; i++ {
+		for j := 0; j < rank; j++ {
+			U.Set(i, j, rng.NormFloat64())
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < rank; j++ {
+			V.Set(i, j, rng.NormFloat64())
+		}
+	}
+	M := U.Mul(V.T())
+	for i := 0; i < n; i++ {
+		row := M.Row(i)
+		for j := range row {
+			row[j] += 0.05 * rng.NormFloat64()
+		}
+	}
+	// Split additively across servers.
+	locals := make([]*Matrix, s)
+	for t2 := range locals {
+		locals[t2] = matrix.NewDense(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			var acc float64
+			for t2 := 0; t2 < s-1; t2++ {
+				sh := rng.NormFloat64()
+				locals[t2].Set(i, j, sh)
+				acc += sh
+			}
+			locals[s-1].Set(i, j, M.At(i, j)-acc)
+		}
+	}
+
+	c := NewCluster(s)
+	if err := c.SetLocalData(locals); err != nil {
+		t.Fatal(err)
+	}
+	f := Huber(1e6) // huge threshold ⇒ effectively identity, still z-sampled
+	k := 5
+	res, err := c.PCA(f, Options{K: k, Eps: 0.2, Rows: 120, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	A, err := c.ImplicitMatrix(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ProjectionError2(A, res.Projection)
+	opt := BestRankKError2(A, k)
+	total := A.FrobNorm2()
+	add := (got - opt) / total
+	t.Logf("additive error = %.4g (opt %.4g, got %.4g, total %.4g), words = %d", add, opt, got, total, res.Words)
+	if add > 0.25 {
+		t.Fatalf("additive error %.4g exceeds bound", add)
+	}
+	if res.Words <= 0 {
+		t.Fatal("no communication recorded")
+	}
+}
