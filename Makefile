@@ -1,0 +1,35 @@
+# Local targets mirror .github/workflows/ci.yml step for step, so a green
+# `make ci` means a green CI run.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt vet short ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector — the concurrent runtime's gate.
+race:
+	$(GO) test -race ./...
+
+# One-iteration bench smoke: every benchmark must still run, not be fast.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Fails (exit 1) when any file needs gofmt.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Developer loop: the suite with the long-running cases skipped (~10s).
+short:
+	$(GO) test -short ./...
+
+ci: fmt vet build race bench

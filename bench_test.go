@@ -84,6 +84,56 @@ func BenchmarkFig1ScenesP20(b *testing.B) { benchPanel(b, "Scenes(P=20)", 0.25) 
 
 func BenchmarkFig1Isolet(b *testing.B) { benchPanel(b, "isolet", 0.25) }
 
+// --- Concurrency: sequential vs parallel runtime ---------------------------
+
+// benchPanelSweep runs a full three-ratio, five-k panel sweep — the shape
+// of one Figure 1/2 panel — with the given sweep-cell worker count, so
+// the sequential-vs-parallel wall-clock ratio is measured, not asserted.
+func benchPanelSweep(b *testing.B, workers int) {
+	b.Helper()
+	su := experiments.Suite{Scale: dataset.Small, Seed: 2016, Runs: 2, Workers: workers}
+	cfg, err := experiments.PanelByName(su, "Scenes(P=2)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = 2016 + int64(i)
+		if _, err := experiments.RunPanel(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPanelSweepWorkers1(b *testing.B) { benchPanelSweep(b, 1) }
+func BenchmarkPanelSweepWorkers4(b *testing.B) { benchPanelSweep(b, 4) }
+func BenchmarkPanelSweepWorkers8(b *testing.B) { benchPanelSweep(b, 8) }
+
+// benchZEstimatorWorkers isolates the generalized sampler's sketching
+// phase — the dominant cost of every z-sampled panel — at a given level
+// fan-out.
+func benchZEstimatorWorkers(b *testing.B, workers int) {
+	b.Helper()
+	v := make([]float64, 1<<14)
+	rng := rand.New(rand.NewSource(6))
+	for j := range v {
+		v[j] = rng.NormFloat64()
+	}
+	locals := []hh.Vec{hh.DenseVec(v)}
+	p := zsampler.ParamsForBudget(1<<16, 1, len(v), 7)
+	p.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := comm.NewNetwork(1)
+		if _, err := zsampler.BuildEstimator(net, locals, fn.Identity{}, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkZEstimatorWorkers1(b *testing.B) { benchZEstimatorWorkers(b, 1) }
+func BenchmarkZEstimatorWorkers4(b *testing.B) { benchZEstimatorWorkers(b, 4) }
+
 // --- Ablations (DESIGN.md §5) ----------------------------------------------
 
 // BenchmarkAblationGamma measures the additive error as the sampler's

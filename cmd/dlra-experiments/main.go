@@ -15,11 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -30,6 +30,7 @@ func main() {
 	csvFlag := flag.Bool("csv", false, "emit CSV instead of tables")
 	listFlag := flag.Bool("list", false, "list panel names and exit")
 	baselineFlag := flag.Bool("baseline", false, "also run the centralized FKV sampler at the same r per point")
+	workersFlag := flag.Int("workers", 0, "worker budget (0 = one per CPU, 1 = sequential): parallelizes across panels when several run, or across one panel's sweep cells")
 	flag.Parse()
 
 	var scale dataset.Scale
@@ -44,7 +45,7 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleFlag)
 	}
 
-	suite := experiments.Suite{Scale: scale, Seed: *seedFlag, Runs: *runsFlag}
+	suite := experiments.Suite{Scale: scale, Seed: *seedFlag, Runs: *runsFlag, Workers: *workersFlag}
 	panels := experiments.Panels(suite)
 
 	if *listFlag {
@@ -72,25 +73,64 @@ func main() {
 		fmt.Println()
 	}
 
-	for _, cfg := range panels {
-		cfg.Baseline = *baselineFlag
-		start := time.Now()
-		panel, err := experiments.RunPanel(cfg)
-		if err != nil {
-			log.Fatalf("%s: %v", cfg.Name, err)
-		}
-		if *csvFlag {
-			// Skip the repeated header line.
-			csv := panel.CSV()
-			for i, c := range csv {
-				if c == '\n' {
-					fmt.Fprint(os.Stdout, csv[i+1:])
-					break
-				}
-			}
-		} else {
-			fmt.Println(panel.Format())
-			fmt.Printf("  [%.1fs]\n\n", time.Since(start).Seconds())
-		}
+	// Panels execute on a bounded pool so independent panels overlap;
+	// output streams in panel order as soon as each panel and its
+	// predecessors are done, so the rendering is identical to a
+	// sequential run. The -workers budget is applied to ONE layer, not
+	// multiplied across both: with several panels in flight each panel
+	// sweeps its cells sequentially, while a single selected panel gets
+	// the whole budget for its sweep cells.
+	cellWorkers := *workersFlag
+	if len(panels) > 1 {
+		cellWorkers = 1
 	}
+	type panelOut struct {
+		text string
+		err  error
+	}
+	results := make([]chan panelOut, len(panels))
+	pool := parallel.NewPool(*workersFlag)
+	for i := range panels {
+		results[i] = make(chan panelOut, 1)
+		cfg := panels[i]
+		cfg.Baseline = *baselineFlag
+		cfg.Workers = cellWorkers
+		out := results[i]
+		pool.Submit(func() {
+			// A protocol panic must reach the in-order drain below, not
+			// sit in the pool until a Wait that is never reached.
+			defer func() {
+				if r := recover(); r != nil {
+					out <- panelOut{err: fmt.Errorf("%s: panic: %v", cfg.Name, r)}
+				}
+			}()
+			start := time.Now()
+			panel, err := experiments.RunPanel(cfg)
+			if err != nil {
+				out <- panelOut{err: fmt.Errorf("%s: %w", cfg.Name, err)}
+				return
+			}
+			if *csvFlag {
+				// Skip the repeated header line.
+				csv := panel.CSV()
+				for i, c := range csv {
+					if c == '\n' {
+						out <- panelOut{text: csv[i+1:]}
+						return
+					}
+				}
+				out <- panelOut{}
+				return
+			}
+			out <- panelOut{text: fmt.Sprintf("%s\n  [%.1fs]\n\n", panel.Format(), time.Since(start).Seconds())}
+		})
+	}
+	for i := range panels {
+		res := <-results[i]
+		if res.err != nil {
+			log.Fatal(res.err)
+		}
+		fmt.Print(res.text)
+	}
+	pool.Wait()
 }

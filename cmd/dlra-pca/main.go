@@ -26,6 +26,7 @@ import (
 	"repro"
 	"repro/internal/matio"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/robust"
 )
 
@@ -40,6 +41,7 @@ func main() {
 	eps := flag.Float64("eps", 0.1, "additive error parameter")
 	boost := flag.Int("boost", 1, "success-probability boosting repetitions")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "worker pool size for the sampler's sketching phase (0 = one per CPU, 1 = sequential)")
 	flag.Parse()
 
 	if *input == "" {
@@ -80,6 +82,7 @@ func main() {
 	}
 	res, err := cluster.PCA(f, repro.Options{
 		K: *k, Eps: *eps, Rows: *rows, Boost: *boost, Seed: *seed,
+		Workers: parallel.Workers(*workers),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -20,7 +20,9 @@ import (
 // CP is the index of the Central Processor (the paper's "server 1").
 const CP = 0
 
-// Network is the accounting fabric connecting s servers.
+// Network is the accounting fabric connecting s servers. Accounting is
+// always serialized under the mutex; payload movement may additionally
+// flow concurrently over typed channel links (see runtime.go).
 type Network struct {
 	mu      sync.Mutex
 	servers int
@@ -30,6 +32,10 @@ type Network struct {
 	byLink  map[[2]int]int64
 	trace   bool
 	log     []Message
+	links   map[[2]int]chan parcel
+	// abort, non-nil while RunServers is active, is closed when a server
+	// role panics so peers blocked on a link receive fail fast.
+	abort chan struct{}
 }
 
 // Message records one transfer for transcript-based tests.

@@ -1,0 +1,263 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the concurrent runtime of the fabric. The accounting model
+// of comm.go is unchanged — every transfer still reduces to Charge under
+// the mutex — but payload movement is no longer tied to a single
+// orchestrating goroutine: each server can execute its protocol role in
+// its own goroutine (RunServers) and move data over typed channel-backed
+// links (Post*/Recv*).
+//
+// Determinism contract: accounting is committed by the *receiver* at
+// Recv time. A protocol whose receivers drain their links in a fixed
+// order (the star protocols always drain in server order at the CP)
+// therefore produces word, message, per-tag, per-link tallies and a
+// transcript that are byte-identical to the sequential Send* formulation,
+// no matter how the sender goroutines are scheduled.
+
+// linkBuf is the per-link channel capacity. Star protocol phases put at
+// most a handful of parcels in flight per link before the CP drains them;
+// the buffer only needs to decouple sender completion from receiver
+// progress, not to hold a whole protocol.
+const linkBuf = 64
+
+// parcel is one in-flight transfer on a link. prepaid parcels were
+// charged by the sender (deterministic for a single sender goroutine,
+// the scatter direction); the rest are charged by the receiver at Recv
+// (deterministic when the receiver drains in a fixed order, the gather
+// direction).
+type parcel struct {
+	tag     string
+	words   int64
+	prepaid bool
+	floats  []float64
+	ints    []int
+	u64s    []uint64
+}
+
+// link returns the channel carrying parcels from `from` to `to`,
+// creating it on first use.
+func (n *Network) link(from, to int) chan parcel {
+	n.check(from)
+	n.check(to)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.links == nil {
+		n.links = make(map[[2]int]chan parcel)
+	}
+	key := [2]int{from, to}
+	ch, ok := n.links[key]
+	if !ok {
+		ch = make(chan parcel, linkBuf)
+		n.links[key] = ch
+	}
+	return ch
+}
+
+// post enqueues a parcel without charging; accounting happens at Recv.
+func (n *Network) post(from, to int, p parcel) {
+	if from == to {
+		panic("comm: post to self (local movement needs no link)")
+	}
+	n.link(from, to) <- p
+}
+
+// PostFloats asynchronously sends a float64 payload from one server to
+// another over the channel link, copying it so the receiver cannot alias
+// the sender's memory. One word per element is charged when the receiver
+// calls RecvFloats.
+func (n *Network) PostFloats(from, to int, tag string, data []float64) {
+	out := make([]float64, len(data))
+	copy(out, data)
+	n.post(from, to, parcel{tag: tag, words: int64(len(data)), floats: out})
+}
+
+// PostInts asynchronously sends an int payload (see PostFloats).
+func (n *Network) PostInts(from, to int, tag string, data []int) {
+	out := make([]int, len(data))
+	copy(out, data)
+	n.post(from, to, parcel{tag: tag, words: int64(len(data)), ints: out})
+}
+
+// PostUint64s asynchronously sends a uint64 payload (see PostFloats).
+func (n *Network) PostUint64s(from, to int, tag string, data []uint64) {
+	out := make([]uint64, len(data))
+	copy(out, data)
+	n.post(from, to, parcel{tag: tag, words: int64(len(data)), u64s: out})
+}
+
+// SendFloatsAsync charges the transfer immediately — sender-side
+// accounting, deterministic for a single sender goroutine such as the CP
+// scattering to all servers — and posts the payload; the receiver
+// collects it with CollectFloats, which does not charge again.
+func (n *Network) SendFloatsAsync(from, to int, tag string, data []float64) {
+	n.Charge(from, to, tag, int64(len(data)))
+	out := make([]float64, len(data))
+	copy(out, data)
+	n.post(from, to, parcel{tag: tag, words: int64(len(data)), prepaid: true, floats: out})
+}
+
+// CollectFloats blocks for a prepaid parcel (sent with SendFloatsAsync)
+// and returns its payload without charging.
+func (n *Network) CollectFloats(from, to int, tag string) []float64 {
+	p := n.take(from, to, tag)
+	if !p.prepaid {
+		panic(fmt.Sprintf("comm: collect of unpaid parcel %q on link %d→%d (use Recv*)", tag, from, to))
+	}
+	return p.floats
+}
+
+// take blocks for the next parcel on the from→to link, aborting instead
+// of deadlocking if a concurrently running server role panics before
+// posting (see RunServers).
+func (n *Network) take(from, to int, tag string) parcel {
+	ch := n.link(from, to)
+	n.mu.Lock()
+	abort := n.abort
+	n.mu.Unlock()
+	var p parcel
+	if abort == nil {
+		p = <-ch
+	} else {
+		select {
+		case p = <-ch:
+		case <-abort:
+			panic(fmt.Sprintf("comm: recv on link %d→%d aborted: a peer server role failed", from, to))
+		}
+	}
+	if p.tag != tag {
+		panic(fmt.Sprintf("comm: recv tag %q on link %d→%d, want %q", p.tag, from, to, tag))
+	}
+	return p
+}
+
+// recv blocks for the next parcel on the from→to link, verifies the tag
+// (a mismatch is a protocol bug — the links are typed per phase), and
+// commits the accounting.
+func (n *Network) recv(from, to int, tag string) parcel {
+	p := n.take(from, to, tag)
+	if p.prepaid {
+		panic(fmt.Sprintf("comm: recv of prepaid parcel %q on link %d→%d (use CollectFloats)", tag, from, to))
+	}
+	n.Charge(from, to, p.tag, p.words)
+	return p
+}
+
+// RecvFloats blocks until a float64 parcel with the given tag arrives on
+// the from→to link and charges it exactly as SendFloats would have.
+func (n *Network) RecvFloats(from, to int, tag string) []float64 {
+	return n.recv(from, to, tag).floats
+}
+
+// RecvInts is RecvFloats for int payloads.
+func (n *Network) RecvInts(from, to int, tag string) []int {
+	return n.recv(from, to, tag).ints
+}
+
+// RecvUint64s is RecvFloats for uint64 payloads.
+func (n *Network) RecvUint64s(from, to int, tag string) []uint64 {
+	return n.recv(from, to, tag).u64s
+}
+
+// RunServers executes role(t) for every server t = 0…s−1, each in its own
+// goroutine, and returns when all roles have finished. A panic in any
+// role aborts every role blocked on a link receive (so a dead sender
+// cannot deadlock its receivers) and is re-raised in the caller; when
+// several roles fail, the re-raised panic is the first one observed.
+func (n *Network) RunServers(role func(server int)) {
+	abort := make(chan struct{})
+	n.mu.Lock()
+	n.abort = abort
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		n.abort = nil
+		n.mu.Unlock()
+	}()
+
+	var wg sync.WaitGroup
+	var abortOnce sync.Once
+	panics := make(chan any, n.servers)
+	for t := 0; t < n.servers; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- fmt.Sprintf("comm: server %d: %v", t, r)
+					abortOnce.Do(func() { close(abort) })
+				}
+			}()
+			role(t)
+		}(t)
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}
+
+// GatherFloats runs one concurrent gather round: every server computes
+// produce(t) in its own goroutine, non-CP servers post the result to the
+// CP under tag, and the CP receives in server order 1…s−1 — so the
+// accounting is deterministic — while its own contribution travels for
+// free. The returned slice holds every server's payload by server index.
+func (n *Network) GatherFloats(tag string, produce func(server int) []float64) [][]float64 {
+	out := make([][]float64, n.servers)
+	n.RunServers(func(t int) {
+		data := produce(t)
+		if t != CP {
+			n.PostFloats(t, CP, tag, data)
+			return
+		}
+		out[CP] = data
+		for from := 1; from < n.servers; from++ {
+			out[from] = n.RecvFloats(from, CP, tag)
+		}
+	})
+	return out
+}
+
+// Fork returns a private recording fabric with the same server count:
+// charges against it accumulate locally (with a full transcript) and do
+// not touch the parent until Join. Forks let independent protocol phases
+// run concurrently and still commit their accounting in a canonical
+// order.
+func (n *Network) Fork() *Network {
+	f := NewNetwork(n.servers)
+	f.trace = true
+	return f
+}
+
+// Join replays each fork's transcript into n, in argument order, exactly
+// as if the forked phases had run sequentially at this point. Tallies,
+// message counts and (when tracing) the transcript are therefore
+// independent of how the forked phases were scheduled.
+func (n *Network) Join(forks ...*Network) {
+	for _, f := range forks {
+		if f.servers != n.servers {
+			panic(fmt.Sprintf("comm: joining fork with %d servers into network with %d", f.servers, n.servers))
+		}
+		for _, m := range f.log {
+			n.Charge(m.From, m.To, m.Tag, m.Words)
+		}
+	}
+}
+
+// LinkBreakdown returns words charged per directed (from, to) link, as a
+// copied map.
+func (n *Network) LinkBreakdown() map[[2]int]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[[2]int]int64, len(n.byLink))
+	for k, v := range n.byLink {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package comm
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptSequential is a small star protocol written against the classic
+// synchronous API: seed broadcast, per-server upload, per-server reply.
+func scriptSequential(n *Network, payload [][]float64) {
+	n.BroadcastSeed(CP, "seed", 7)
+	for t := 1; t < n.Servers(); t++ {
+		n.SendFloats(t, CP, "up", payload[t])
+	}
+	for t := 1; t < n.Servers(); t++ {
+		n.SendScalar(CP, t, "down", 1)
+	}
+}
+
+// scriptConcurrent is the same protocol with every server in its own
+// goroutine moving payloads over the channel links. The gather direction
+// is charged by the CP draining its links in server order; the scatter
+// direction is charged by the CP as the single sender — so the accounting
+// must match the sequential formulation byte for byte.
+func scriptConcurrent(n *Network, payload [][]float64) {
+	n.BroadcastSeed(CP, "seed", 7)
+	n.RunServers(func(t int) {
+		if t != CP {
+			n.PostFloats(t, CP, "up", payload[t])
+			if got := n.CollectFloats(CP, t, "down"); len(got) != 1 {
+				panic("bad reply")
+			}
+			return
+		}
+		for from := 1; from < n.Servers(); from++ {
+			n.RecvFloats(from, CP, "up")
+		}
+		for to := 1; to < n.Servers(); to++ {
+			n.SendFloatsAsync(CP, to, "down", []float64{1})
+		}
+	})
+}
+
+func TestConcurrentRuntimeMatchesSequentialAccounting(t *testing.T) {
+	const s = 5
+	payload := make([][]float64, s)
+	for t2 := range payload {
+		payload[t2] = make([]float64, 3+2*t2)
+	}
+	seq := NewNetwork(s)
+	seq.EnableTrace()
+	scriptSequential(seq, payload)
+
+	conc := NewNetwork(s)
+	conc.EnableTrace()
+	scriptConcurrent(conc, payload)
+
+	if seq.Words() != conc.Words() {
+		t.Fatalf("words: sequential %d, concurrent %d", seq.Words(), conc.Words())
+	}
+	if seq.Messages() != conc.Messages() {
+		t.Fatalf("messages: sequential %d, concurrent %d", seq.Messages(), conc.Messages())
+	}
+	if !reflect.DeepEqual(seq.Breakdown(), conc.Breakdown()) {
+		t.Fatalf("per-tag: sequential %v, concurrent %v", seq.Breakdown(), conc.Breakdown())
+	}
+	if !reflect.DeepEqual(seq.LinkBreakdown(), conc.LinkBreakdown()) {
+		t.Fatalf("per-link: sequential %v, concurrent %v", seq.LinkBreakdown(), conc.LinkBreakdown())
+	}
+	if !reflect.DeepEqual(seq.Transcript(), conc.Transcript()) {
+		t.Fatalf("transcripts differ:\nsequential %v\nconcurrent %v", seq.Transcript(), conc.Transcript())
+	}
+}
+
+func TestPostCopiesPayload(t *testing.T) {
+	n := NewNetwork(2)
+	src := []float64{1, 2}
+	n.PostFloats(1, 0, "x", src)
+	src[0] = 99
+	got := n.RecvFloats(1, 0, "x")
+	if got[0] != 1 {
+		t.Fatal("receiver aliases sender memory")
+	}
+	if n.Words() != 2 || n.Messages() != 1 {
+		t.Fatalf("accounting after recv: %d words, %d msgs", n.Words(), n.Messages())
+	}
+}
+
+func TestTypedPostRecv(t *testing.T) {
+	n := NewNetwork(2)
+	n.PostInts(1, 0, "i", []int{4, 5, 6})
+	n.PostUint64s(1, 0, "u", []uint64{7})
+	if got := n.RecvInts(1, 0, "i"); len(got) != 3 || got[2] != 6 {
+		t.Fatalf("ints payload %v", got)
+	}
+	if got := n.RecvUint64s(1, 0, "u"); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("uint64s payload %v", got)
+	}
+	if n.Words() != 4 {
+		t.Fatalf("words = %d", n.Words())
+	}
+}
+
+func TestRecvTagMismatchPanics(t *testing.T) {
+	n := NewNetwork(2)
+	n.PostFloats(1, 0, "right", []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on tag mismatch")
+		}
+	}()
+	n.RecvFloats(1, 0, "wrong")
+}
+
+func TestGatherFloats(t *testing.T) {
+	n := NewNetwork(4)
+	n.EnableTrace()
+	rows := n.GatherFloats("g", func(t int) []float64 {
+		return []float64{float64(t), float64(t)}
+	})
+	for t2, row := range rows {
+		if len(row) != 2 || row[0] != float64(t2) {
+			t.Fatalf("server %d payload %v", t2, row)
+		}
+	}
+	// 3 non-CP servers × 2 words; the CP's own contribution is free.
+	if n.Words() != 6 || n.Messages() != 3 {
+		t.Fatalf("gather accounting: %d words, %d msgs", n.Words(), n.Messages())
+	}
+	// The CP drains in server order: the transcript is deterministic.
+	tr := n.Transcript()
+	for i, m := range tr {
+		if m.From != i+1 || m.To != CP {
+			t.Fatalf("transcript[%d] = %+v, want from %d", i, m, i+1)
+		}
+	}
+}
+
+func TestForkJoinReplaysCharges(t *testing.T) {
+	n := NewNetwork(3)
+	n.EnableTrace()
+	n.SendScalar(1, 0, "pre", 1)
+
+	f1, f2 := n.Fork(), n.Fork()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); f1.SendFloats(1, 0, "a", make([]float64, 5)) }()
+	go func() { defer wg.Done(); f2.SendFloats(2, 0, "b", make([]float64, 7)) }()
+	wg.Wait()
+	if n.Words() != 1 {
+		t.Fatalf("fork charges leaked into parent: %d words", n.Words())
+	}
+	n.Join(f1, f2)
+
+	if n.Words() != 13 || n.Messages() != 3 {
+		t.Fatalf("after join: %d words, %d msgs", n.Words(), n.Messages())
+	}
+	b := n.Breakdown()
+	if b["a"] != 5 || b["b"] != 7 {
+		t.Fatalf("per-tag after join: %v", b)
+	}
+	// Join order, not goroutine scheduling, fixes the transcript.
+	tr := n.Transcript()
+	if len(tr) != 3 || tr[1].Tag != "a" || tr[2].Tag != "b" {
+		t.Fatalf("transcript %v", tr)
+	}
+}
+
+func TestForkServerMismatchPanics(t *testing.T) {
+	n := NewNetwork(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Join(NewNetwork(2))
+}
+
+// TestRunServersPanicUnblocksReceivers is the no-deadlock guarantee: a
+// role that dies before posting must abort the peer blocked on its link,
+// and the whole RunServers call must panic instead of hanging.
+func TestRunServersPanicUnblocksReceivers(t *testing.T) {
+	n := NewNetwork(3)
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		n.RunServers(func(t int) {
+			switch t {
+			case 1:
+				panic("server 1 died before posting")
+			case CP:
+				n.RecvFloats(1, CP, "up") // would block forever without the abort
+			}
+		})
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatal("RunServers returned without propagating the panic")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunServers deadlocked on a dead sender")
+	}
+	// The fabric is usable again afterwards.
+	n.RunServers(func(t int) {
+		if t == 1 {
+			n.PostFloats(1, CP, "ok", []float64{1})
+		}
+		if t == CP {
+			n.RecvFloats(1, CP, "ok")
+		}
+	})
+	if n.Words() != 1 {
+		t.Fatalf("fabric unusable after aborted round: %d words", n.Words())
+	}
+}
+
+func TestRunServersPanicPropagates(t *testing.T) {
+	n := NewNetwork(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from server role")
+		}
+	}()
+	n.RunServers(func(t int) {
+		if t == 2 {
+			panic("boom")
+		}
+	})
+}
+
+// TestConcurrentRuntimeHammer drives the runtime from many goroutines at
+// once — posts, receives, direct charges and fork/join — and checks the
+// final tallies. Run with -race this is the fabric's thread-safety test.
+func TestConcurrentRuntimeHammer(t *testing.T) {
+	const s, rounds = 8, 200
+	n := NewNetwork(s)
+	var wg sync.WaitGroup
+	for from := 1; from < s; from++ {
+		wg.Add(1)
+		go func(from int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				n.PostFloats(from, CP, "h", []float64{1, 2})
+				n.Charge(from, CP, "direct", 1)
+			}
+		}(from)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for from := 1; from < s; from++ {
+			for i := 0; i < rounds; i++ {
+				n.RecvFloats(from, CP, "h")
+			}
+		}
+	}()
+	forks := make([]*Network, 4)
+	for i := range forks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := n.Fork()
+			for j := 0; j < rounds; j++ {
+				f.SendScalar(1, CP, "forked", 1)
+			}
+			forks[i] = f
+		}(i)
+	}
+	wg.Wait()
+	n.Join(forks...)
+
+	wantWords := int64((s-1)*rounds*2 + (s-1)*rounds + len(forks)*rounds)
+	if n.Words() != wantWords {
+		t.Fatalf("words = %d, want %d", n.Words(), wantWords)
+	}
+	b := n.Breakdown()
+	if b["h"] != int64((s-1)*rounds*2) || b["direct"] != int64((s-1)*rounds) || b["forked"] != int64(len(forks)*rounds) {
+		t.Fatalf("per-tag tallies %v", b)
+	}
+}

@@ -8,9 +8,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/baseline"
 	"repro/internal/comm"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/fn"
 	"repro/internal/hashing"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/samplers"
 	"repro/internal/zsampler"
 )
@@ -57,6 +60,11 @@ type PanelConfig struct {
 	// same row budget and records its additive error per point — the ideal
 	// the distributed protocol approximates.
 	Baseline bool
+	// Workers bounds the worker pool the (ratio, run) sweep cells fan out
+	// on (0 = one per CPU, 1 = sequential). Every cell owns a private
+	// Network and a seed derived from (ratio, run), so the panel's points
+	// are identical at any worker count.
+	Workers int
 	// Build constructs the pipeline (datasets are built once per panel).
 	Build func(seed int64) (*Built, error)
 }
@@ -85,6 +93,10 @@ type Panel struct {
 
 // DefaultKs is the paper's x-axis: projection dimensions 3,6,9,12,15.
 func DefaultKs() []int { return []int{3, 6, 9, 12, 15} }
+
+// errCellSkipped marks sweep cells abandoned because an earlier cell had
+// already failed; it never reaches callers (the genuine error does).
+var errCellSkipped = errors.New("experiments: cell skipped after earlier failure")
 
 // chooseZParams picks the richest sketch configuration whose traffic fits
 // within half the budget, leaving the rest for row collection — the
@@ -123,8 +135,82 @@ func RunPanel(cfg PanelConfig) (*Panel, error) {
 	}
 	panel := &Panel{Name: cfg.Name, Sampler: samplerName, DataWords: built.DataWords}
 
-	for _, ratio := range cfg.Ratios {
+	// Every (ratio, run) cell of the sweep is an independent protocol
+	// execution against its own Network, so the cells fan out across the
+	// worker pool; the per-cell metrics land in their own slot and are
+	// reduced afterwards in (ratio, run) order, keeping the averaged
+	// points bit-identical to a sequential sweep.
+	type cellResult struct {
+		add, rel map[int]float64 // per k
+		words    int64
+		r        int
+		err      error
+	}
+	cells := make([]cellResult, len(cfg.Ratios)*cfg.Runs)
+	// Once any cell fails, cells that have not started yet are skipped:
+	// the sweep is doomed and the remaining protocol runs would only burn
+	// CPU before the same error surfaces.
+	var failed atomic.Bool
+	runCell := func(ratio float64, run int) cellResult {
+		if failed.Load() {
+			return cellResult{err: errCellSkipped}
+		}
 		budget := int64(ratio * float64(built.DataWords))
+		net := comm.NewNetwork(s)
+		runSeed := hashing.DeriveSeed(cfg.Seed, uint64(1000*run+int(ratio*1e4)))
+
+		var sampler core.RowSampler
+		if built.Z == nil {
+			u, err := samplers.NewUniform(net, built.Locals, runSeed)
+			if err != nil {
+				return cellResult{err: err}
+			}
+			sampler = u
+		} else {
+			zp := chooseZParams(budget, s, n*d, runSeed)
+			zr, err := samplers.NewZRow(net, built.Locals, built.Z, zp)
+			if err != nil {
+				return cellResult{err: fmt.Errorf("experiments: %s ratio %g: %w", cfg.Name, ratio, err)}
+			}
+			sampler = zr
+		}
+		setup := net.Words()
+		remaining := budget - setup
+		r := int(remaining / int64((s-1)*d+s))
+		if r < maxK+1 {
+			r = maxK + 1 // floor: below this the SVD is degenerate
+		}
+
+		results, err := core.RunMultiK(net, sampler, built.F, d, cfg.Ks, core.Options{K: maxK, R: r})
+		if err != nil {
+			return cellResult{err: fmt.Errorf("experiments: %s ratio %g run %d: %w", cfg.Name, ratio, run, err)}
+		}
+		cell := cellResult{add: make(map[int]float64, len(cfg.Ks)), rel: make(map[int]float64, len(cfg.Ks)), r: r}
+		for _, k := range cfg.Ks {
+			m := baseline.Evaluate(built.A, results[k].P, k, optimal[k])
+			cell.add[k] = m.Additive
+			cell.rel[k] = m.Relative
+		}
+		cell.words = net.Words()
+		return cell
+	}
+	parallel.For(cfg.Workers, len(cells), func(i int) {
+		cells[i] = runCell(cfg.Ratios[i/cfg.Runs], i%cfg.Runs)
+		if cells[i].err != nil {
+			failed.Store(true)
+		}
+	})
+	// Surface the first genuine error in (ratio, run) order; skip markers
+	// only ever accompany a real failure elsewhere in the sweep.
+	for _, cell := range cells {
+		if cell.err != nil && cell.err != errCellSkipped {
+			return nil, cell.err
+		}
+	}
+
+	for ri, ratio := range cfg.Ratios {
+		var rUsed int
+		var wordsSum int64
 		type agg struct {
 			add, rel float64
 		}
@@ -132,45 +218,14 @@ func RunPanel(cfg PanelConfig) (*Panel, error) {
 		for _, k := range cfg.Ks {
 			sums[k] = &agg{}
 		}
-		var rUsed int
-		var wordsSum int64
 		for run := 0; run < cfg.Runs; run++ {
-			net := comm.NewNetwork(s)
-			runSeed := hashing.DeriveSeed(cfg.Seed, uint64(1000*run+int(ratio*1e4)))
-
-			var sampler core.RowSampler
-			if built.Z == nil {
-				u, err := samplers.NewUniform(net, built.Locals, runSeed)
-				if err != nil {
-					return nil, err
-				}
-				sampler = u
-			} else {
-				zp := chooseZParams(budget, s, n*d, runSeed)
-				zr, err := samplers.NewZRow(net, built.Locals, built.Z, zp)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s ratio %g: %w", cfg.Name, ratio, err)
-				}
-				sampler = zr
-			}
-			setup := net.Words()
-			remaining := budget - setup
-			r := int(remaining / int64((s-1)*d+s))
-			if r < maxK+1 {
-				r = maxK + 1 // floor: below this the SVD is degenerate
-			}
-			rUsed = r
-
-			results, err := core.RunMultiK(net, sampler, built.F, d, cfg.Ks, core.Options{K: maxK, R: r})
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s ratio %g run %d: %w", cfg.Name, ratio, run, err)
-			}
+			cell := cells[ri*cfg.Runs+run]
 			for _, k := range cfg.Ks {
-				m := baseline.Evaluate(built.A, results[k].P, k, optimal[k])
-				sums[k].add += m.Additive
-				sums[k].rel += m.Relative
+				sums[k].add += cell.add[k]
+				sums[k].rel += cell.rel[k]
 			}
-			wordsSum += net.Words()
+			wordsSum += cell.words
+			rUsed = cell.r
 		}
 		for _, k := range cfg.Ks {
 			a := sums[k]

@@ -7,6 +7,9 @@ import (
 )
 
 func TestSmokePanels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
 	su := Suite{Scale: dataset.Small, Seed: 11, Runs: 1, Ks: []int{3, 6}}
 	for _, name := range []string{"ForestCover", "Caltech-101(P=2)", "isolet"} {
 		cfg, err := PanelByName(su, name)

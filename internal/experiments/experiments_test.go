@@ -110,6 +110,9 @@ func TestBuildersProduceConsistentGroundTruth(t *testing.T) {
 // measured traffic stays within a modest factor of the requested budget
 // (the r floor can push slightly past it at tiny scales).
 func TestCommunicationWithinBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
 	su := Suite{Scale: dataset.Small, Seed: 5, Runs: 1, Ks: []int{3, 6}}
 	cfg, err := PanelByName(su, "Scenes(P=2)")
 	if err != nil {

@@ -22,6 +22,9 @@ type Suite struct {
 	Runs int
 	// Ks overrides the projection dimensions (nil = paper's 3..15).
 	Ks []int
+	// Workers bounds each panel's sweep-cell worker pool (0 = one per
+	// CPU, 1 = sequential); points are identical at any setting.
+	Workers int
 }
 
 // rffPanel builds a Fourier-feature panel: raw data row-partitioned across
@@ -30,11 +33,12 @@ type Suite struct {
 func rffPanel(name string, s int, features int, ratios []float64,
 	gen func(sc dataset.Scale, seed int64) (*matrix.Dense, dataset.Info), su Suite) PanelConfig {
 	return PanelConfig{
-		Name:   name,
-		Ratios: ratios,
-		Ks:     su.Ks,
-		Runs:   su.Runs,
-		Seed:   su.Seed,
+		Name:    name,
+		Ratios:  ratios,
+		Ks:      su.Ks,
+		Runs:    su.Runs,
+		Workers: su.Workers,
+		Seed:    su.Seed,
 		Build: func(seed int64) (*Built, error) {
 			raw, _ := gen(su.Scale, seed)
 			mp, err := rff.NewMap(raw.Cols(), features, rffBandwidth(raw), seed+1)
@@ -83,11 +87,12 @@ func rffBandwidth(raw *matrix.Dense) float64 {
 func gmPanel(name string, s int, p float64, ratios []float64,
 	gen func(sc dataset.Scale, seed int64) (*pooling.Codes, dataset.Info), su Suite) PanelConfig {
 	return PanelConfig{
-		Name:   name,
-		Ratios: ratios,
-		Ks:     su.Ks,
-		Runs:   su.Runs,
-		Seed:   su.Seed,
+		Name:    name,
+		Ratios:  ratios,
+		Ks:      su.Ks,
+		Runs:    su.Runs,
+		Workers: su.Workers,
+		Seed:    su.Seed,
 		Build: func(seed int64) (*Built, error) {
 			codes, _ := gen(su.Scale, seed)
 			split := codes.Split(s, seed+1)
@@ -119,11 +124,12 @@ func gmPanel(name string, s int, p float64, ratios []float64,
 // (Section VI-C).
 func robustPanel(name string, s int, ratios []float64, su Suite) PanelConfig {
 	return PanelConfig{
-		Name:   name,
-		Ratios: ratios,
-		Ks:     su.Ks,
-		Runs:   su.Runs,
-		Seed:   su.Seed,
+		Name:    name,
+		Ratios:  ratios,
+		Ks:      su.Ks,
+		Runs:    su.Runs,
+		Workers: su.Workers,
+		Seed:    su.Seed,
 		Build: func(seed int64) (*Built, error) {
 			raw, _ := dataset.IsoletRaw(su.Scale, seed)
 			corrupted, _, err := robust.Corrupt(raw, 50, 1e4, seed+1)

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestRunPanelWorkersDeterministic verifies the sweep-cell fan-out: a
+// panel swept on four workers must produce exactly the points the
+// sequential sweep produces, including measured communication.
+func TestRunPanelWorkersDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
+	run := func(workers int) []Point {
+		su := Suite{Scale: dataset.Small, Seed: 21, Runs: 2, Ks: []int{3, 6}, Workers: workers}
+		cfg, err := PanelByName(su, "Scenes(P=2)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Ratios = []float64{0.5, 0.25}
+		panel, err := RunPanel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return panel.Points
+	}
+	sequential := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(sequential, parallel) {
+		t.Fatalf("parallel sweep changed the points:\nsequential %+v\nparallel   %+v", sequential, parallel)
+	}
+}

@@ -16,6 +16,11 @@ type Params struct {
 	// Width is the number of counters per row; estimate noise is
 	// O(‖v‖₂/√Width) so Width should exceed the heaviness parameter B.
 	Width int
+	// Workers parallelizes each server's local sketch ingestion across
+	// the Depth rows (0 or 1 = sequential). Results are bit-identical at
+	// any worker count; this only matters when per-server concurrency is
+	// already exhausted (e.g. single-server runs).
+	Workers int
 }
 
 // DefaultParams returns a practical shape for a heaviness parameter B.
@@ -34,10 +39,49 @@ type Result struct {
 	F2     float64
 }
 
+// concurrentMerge runs one concurrent sketch round over the star: every
+// server builds its sketch set with build(t) in its own goroutine, non-CP
+// servers post the flattened counters to the CP over the channel links,
+// and the CP folds everything together in server order — so the
+// accounting (one message of Σ Words() per non-CP server under tag) is
+// deterministic and identical to a sequential formulation. The merged
+// set, the CP's own sketches mutated in place, is returned; linearity of
+// the sketches makes this exactly the sketch of Σ_t locals[t].
+func concurrentMerge(net *comm.Network, s int, tag string, build func(t int) []*sketch.CountSketch) []*sketch.CountSketch {
+	var merged []*sketch.CountSketch
+	net.RunServers(func(t int) {
+		local := build(t)
+		if t != comm.CP {
+			var words int64
+			for _, cs := range local {
+				words += cs.Words()
+			}
+			flat := make([]float64, 0, words)
+			for _, cs := range local {
+				flat = cs.AppendFlat(flat)
+			}
+			net.PostFloats(t, comm.CP, tag, flat)
+			return
+		}
+		merged = local
+		for from := 1; from < s; from++ {
+			buf := net.RecvFloats(from, comm.CP, tag)
+			for _, cs := range merged {
+				buf = cs.AddFlat(buf)
+			}
+			if len(buf) != 0 {
+				panic("hh: sketch payload length mismatch")
+			}
+		}
+	})
+	return merged
+}
+
 // HeavyHitters runs the distributed F2 heavy hitter protocol over the
 // implicit vector v = Σ_t locals[t]: the CP broadcasts a seed, every server
-// sketches its local share, the CP merges the linear sketches and reports
-// every coordinate j with estimated v_j² ≥ F̂2/B.
+// sketches its local share concurrently (one goroutine per server), the CP
+// merges the linear sketches as they arrive over the channel links and
+// reports every coordinate j with estimated v_j² ≥ F̂2/B.
 //
 // Communication: s−1 seed words + (s−1)·Depth·Width sketch words, charged
 // on net under tag.
@@ -45,17 +89,11 @@ func HeavyHitters(net *comm.Network, locals []Vec, B float64, p Params, seed int
 	m := locals[0].Len()
 	net.BroadcastSeed(comm.CP, tag+"/seed", seed)
 
-	merged := sketch.NewCountSketch(seed, p.Depth, p.Width)
-	for t, lv := range locals {
+	merged := concurrentMerge(net, len(locals), tag+"/sketch", func(t int) []*sketch.CountSketch {
 		cs := sketch.NewCountSketch(seed, p.Depth, p.Width)
-		lv.ForEach(cs.Update)
-		if t != comm.CP {
-			net.Charge(t, comm.CP, tag+"/sketch", cs.Words())
-		}
-		if err := merged.Merge(cs); err != nil {
-			panic("hh: sketch merge: " + err.Error())
-		}
-	}
+		cs.UpdateBulk(p.Workers, locals[t].ForEach)
+		return []*sketch.CountSketch{cs}
+	})[0]
 
 	f2 := merged.F2Estimate()
 	if f2 <= 0 {
@@ -125,17 +163,11 @@ func HeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) boo
 	m := locals[0].Len()
 	net.BroadcastSeed(comm.CP, tag+"/seed", seed)
 
-	merged := sketch.NewCountSketch(seed, p.Depth, p.Width)
-	for t, lv := range restricted {
+	merged := concurrentMerge(net, len(locals), tag+"/sketch", func(t int) []*sketch.CountSketch {
 		cs := sketch.NewCountSketch(seed, p.Depth, p.Width)
-		lv.ForEach(cs.Update)
-		if t != comm.CP {
-			net.Charge(t, comm.CP, tag+"/sketch", cs.Words())
-		}
-		if err := merged.Merge(cs); err != nil {
-			panic("hh: sketch merge: " + err.Error())
-		}
-	}
+		cs.UpdateBulk(p.Workers, restricted[t].ForEach)
+		return []*sketch.CountSketch{cs}
+	})[0]
 
 	f2 := merged.F2Estimate()
 	if f2 <= 0 {
@@ -157,32 +189,20 @@ func HeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) boo
 
 // bucketedSketches builds, for one repetition of Z-HeavyHitters, the
 // per-bucket merged CountSketches over a hash partition of the coordinate
-// space, charging communication for every server's bucket sketches.
+// space. Every server demultiplexes its share into bucket sketches in its
+// own goroutine; the CP merges the arriving counter blocks in server
+// order, charging each server's bucket sketches as one message.
 func bucketedSketches(net *comm.Network, locals []Vec, part *hashing.PolyHash, buckets int, p Params, seed int64, tag string) []*sketch.CountSketch {
-	merged := make([]*sketch.CountSketch, buckets)
-	for e := range merged {
-		merged[e] = sketch.NewCountSketch(hashing.DeriveSeed(seed, uint64(e)), p.Depth, p.Width)
-	}
-	for t, lv := range locals {
+	return concurrentMerge(net, len(locals), tag+"/bucket-sketch", func(t int) []*sketch.CountSketch {
 		local := make([]*sketch.CountSketch, buckets)
 		for e := range local {
 			local[e] = sketch.NewCountSketch(hashing.DeriveSeed(seed, uint64(e)), p.Depth, p.Width)
 		}
-		lv.ForEach(func(j uint64, v float64) {
+		locals[t].ForEach(func(j uint64, v float64) {
 			local[part.Bucket(j, buckets)].Update(j, v)
 		})
-		var words int64
-		for e := range local {
-			words += local[e].Words()
-			if err := merged[e].Merge(local[e]); err != nil {
-				panic("hh: bucket merge: " + err.Error())
-			}
-		}
-		if t != comm.CP {
-			net.Charge(t, comm.CP, tag+"/bucket-sketch", words)
-		}
-	}
-	return merged
+		return local
+	})
 }
 
 // ZParams are the practical knobs of Z-HeavyHitters (Algorithm 2). The

@@ -1,0 +1,137 @@
+// Package parallel provides the small concurrency substrate the protocol
+// layers share: a bounded worker pool and deterministic parallel-for
+// helpers whose results are bit-identical to a sequential run regardless
+// of how the scheduler interleaves the workers.
+//
+// Determinism discipline: a loop body may only write to state owned by its
+// own index (slice slot i, its own RNG), never to shared accumulators.
+// Callers reduce the per-index results sequentially afterwards, so
+// floating-point sums are accumulated in one fixed order. Randomized
+// bodies use ForSeeded, which splits the root seed per task index — not
+// per OS worker — so the random stream a task sees does not depend on
+// which worker picked it up.
+package parallel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hashing"
+)
+
+// Workers resolves a requested worker count: n > 0 is honored as given,
+// anything else means "one per available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs body(i) for every i in [0, n) on up to workers goroutines.
+// workers ≤ 1 (or n ≤ 1) runs inline with no goroutines at all, so the
+// sequential path is exactly the plain loop. Panics in any body propagate
+// to the caller after all workers have stopped.
+func For(workers, n int, body func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	panics := make(chan any, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+			}()
+			for {
+				i := int(atomic.AddInt64(&next, 1) - 1)
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}
+
+// ForSeeded is For with a deterministically split RNG per task: body(i)
+// receives a *rand.Rand seeded from DeriveSeed(seed, i), so every index
+// sees the same random stream whether the loop runs on one worker or
+// sixteen.
+func ForSeeded(workers, n int, seed int64, body func(i int, rng *rand.Rand)) {
+	For(workers, n, func(i int) {
+		body(i, hashing.Seeded(hashing.DeriveSeed(seed, uint64(i))))
+	})
+}
+
+// Pool is a bounded worker pool for irregular task sets (tasks submitted
+// while others run). Submit never blocks the caller beyond the bound;
+// Wait blocks until every submitted task has finished.
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu    sync.Mutex
+	panic any
+}
+
+// NewPool creates a pool running at most workers tasks concurrently
+// (workers ≤ 0 means one per CPU).
+func NewPool(workers int) *Pool {
+	return &Pool{sem: make(chan struct{}, Workers(workers))}
+}
+
+// Submit schedules task on the pool, blocking only while all workers are
+// busy. Tasks must follow the package's determinism discipline if the
+// caller needs reproducible results.
+func (p *Pool) Submit(task func()) {
+	p.wg.Add(1)
+	p.sem <- struct{}{}
+	go func() {
+		defer p.wg.Done()
+		defer func() { <-p.sem }()
+		defer func() {
+			if r := recover(); r != nil {
+				p.mu.Lock()
+				if p.panic == nil {
+					p.panic = r
+				}
+				p.mu.Unlock()
+			}
+		}()
+		task()
+	}()
+}
+
+// Wait blocks until all submitted tasks complete, then re-panics the
+// first task panic, if any.
+func (p *Pool) Wait() {
+	p.wg.Wait()
+	p.mu.Lock()
+	r := p.panic
+	p.panic = nil
+	p.mu.Unlock()
+	if r != nil {
+		panic(r)
+	}
+}

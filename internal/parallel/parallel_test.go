@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"math/rand"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int64, n)
+		For(workers, n, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndTinyN(t *testing.T) {
+	ran := 0
+	For(4, 0, func(i int) { ran++ })
+	if ran != 0 {
+		t.Fatal("body ran for n=0")
+	}
+	For(4, 1, func(i int) { ran++ })
+	if ran != 1 {
+		t.Fatal("n=1 should run exactly once")
+	}
+}
+
+func TestForSeededIsScheduleIndependent(t *testing.T) {
+	const n = 64
+	draw := func(workers int) []float64 {
+		out := make([]float64, n)
+		ForSeeded(workers, n, 42, func(i int, rng *rand.Rand) {
+			out[i] = rng.Float64()
+		})
+		return out
+	}
+	sequential := draw(1)
+	for _, workers := range []int{2, 8} {
+		if got := draw(workers); !reflect.DeepEqual(got, sequential) {
+			t.Fatalf("workers=%d produced a different random stream", workers)
+		}
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	For(4, 100, func(i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Fatal("explicit count not honored")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("auto count must be at least 1")
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	var done int64
+	for i := 0; i < 100; i++ {
+		p.Submit(func() { atomic.AddInt64(&done, 1) })
+	}
+	p.Wait()
+	if done != 100 {
+		t.Fatalf("ran %d of 100 tasks", done)
+	}
+	// The pool is reusable after Wait.
+	p.Submit(func() { atomic.AddInt64(&done, 1) })
+	p.Wait()
+	if done != 101 {
+		t.Fatal("pool not reusable after Wait")
+	}
+}
+
+func TestPoolPanicPropagatesOnWait(t *testing.T) {
+	p := NewPool(2)
+	p.Submit(func() { panic("task failure") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from Wait")
+		}
+	}()
+	p.Wait()
+}

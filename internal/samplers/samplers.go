@@ -29,6 +29,10 @@ import (
 
 // CollectRawRow assembles the exact global row i = Σ_t locals[t].Row(i) at
 // the CP, charging d words from every non-CP server (Algorithm 1 line 7).
+// Unlike the bulk sketch traffic, which moves over the concurrent channel
+// links, a single row is latency-bound: summing in place with sender-side
+// charging is both deterministic and far cheaper than s goroutine spawns
+// and payload copies per draw on this hot path.
 func CollectRawRow(net *comm.Network, locals []*matrix.Dense, i int, tag string) []float64 {
 	d := locals[0].Cols()
 	sum := make([]float64, d)

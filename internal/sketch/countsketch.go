@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/hashing"
 )
@@ -114,6 +115,67 @@ func (cs *CountSketch) Words() int64 { return int64(cs.depth * cs.width) }
 
 // Counters exposes the raw counter rows for serialization.
 func (cs *CountSketch) Counters() [][]float64 { return cs.rows }
+
+// AppendFlat appends the counter rows, row-major, to dst and returns the
+// extended slice — the wire form a server posts on a channel link (the
+// hash functions are rematerialized from the shared seed at the other
+// end, so only the Words() counters travel).
+func (cs *CountSketch) AppendFlat(dst []float64) []float64 {
+	for _, row := range cs.rows {
+		dst = append(dst, row...)
+	}
+	return dst
+}
+
+// AddFlat adds a row-major counter block (as produced by AppendFlat) into
+// the sketch — the receiver-side half of shipping a sketch over a link.
+// It consumes Words() entries of buf and returns the remainder.
+func (cs *CountSketch) AddFlat(buf []float64) []float64 {
+	if int64(len(buf)) < cs.Words() {
+		panic(fmt.Sprintf("sketch: flat counter block has %d words, need %d", len(buf), cs.Words()))
+	}
+	for _, row := range cs.rows {
+		for b := range row {
+			row[b] += buf[b]
+		}
+		buf = buf[cs.width:]
+	}
+	return buf
+}
+
+// UpdateBulk ingests every (j, delta) pair yielded by iter, parallelizing
+// across the depth rows: each worker owns a disjoint set of rows and
+// replays the full stream against them, so counters receive their
+// additions in exactly the stream order and the result is bit-identical
+// to sequential Update calls. workers ≤ 1 is the plain sequential path.
+func (cs *CountSketch) UpdateBulk(workers int, iter func(yield func(j uint64, v float64))) {
+	if workers > cs.depth {
+		workers = cs.depth
+	}
+	if workers <= 1 {
+		iter(cs.Update)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// One stream traversal per worker, updating every owned row
+			// per element; each row still sees its additions in stream
+			// order, so the counters are bit-identical to sequential.
+			iter(func(j uint64, v float64) {
+				if v == 0 {
+					return
+				}
+				for r := w; r < cs.depth; r += workers {
+					cs.rows[r][cs.bucket[r].Bucket(j, cs.width)] += cs.sign[r].Sign(j) * v
+				}
+			})
+		}(w)
+	}
+	wg.Wait()
+}
 
 func median(xs []float64) float64 {
 	tmp := make([]float64, len(xs))

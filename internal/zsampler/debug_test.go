@@ -11,6 +11,9 @@ import (
 )
 
 func TestDebugClassBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
 	rng := rand.New(rand.NewSource(2))
 	const l = 5000
 	v := make([]float64, l)

@@ -1,0 +1,128 @@
+package zsampler
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/fn"
+)
+
+// TestWorkersDoNotChangeAnything is the determinism regression test for
+// the concurrent runtime: building the estimator with a parallel level
+// sweep must reproduce the sequential build exactly — the estimate, the
+// recovered List, every communication tally and the full transcript.
+func TestWorkersDoNotChangeAnything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
+	rng := rand.New(rand.NewSource(77))
+	const l = 4000
+	v := make([]float64, l)
+	for j := range v {
+		v[j] = rng.NormFloat64()
+	}
+	v[17] = 25
+	v[2345] = -18
+
+	type outcome struct {
+		zhat    float64
+		list    int
+		classes map[int]float64
+		words   int64
+		msgs    int64
+		byTag   map[string]int64
+		byLink  map[[2]int]int64
+		trace   []comm.Message
+		draws   []uint64
+	}
+	build := func(workers int) outcome {
+		locals := makeLocals(v, 4, rand.New(rand.NewSource(5)))
+		net := comm.NewNetwork(4)
+		net.EnableTrace()
+		p := richParams(3)
+		p.Workers = workers
+		est, err := BuildEstimator(net, locals, fn.Identity{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		draws := make([]uint64, 25)
+		for i := range draws {
+			j, err := est.Sample()
+			if err != nil {
+				t.Fatal(err)
+			}
+			draws[i] = j
+		}
+		return outcome{
+			zhat:    est.ZHat(),
+			list:    est.ListSize(),
+			classes: est.ClassSizes(),
+			words:   net.Words(),
+			msgs:    net.Messages(),
+			byTag:   net.Breakdown(),
+			byLink:  net.LinkBreakdown(),
+			trace:   net.Transcript(),
+			draws:   draws,
+		}
+	}
+
+	sequential := build(1)
+	for _, workers := range []int{2, 4, 16} {
+		par := build(workers)
+		if par.zhat != sequential.zhat {
+			t.Fatalf("workers=%d: ZHat %g != %g", workers, par.zhat, sequential.zhat)
+		}
+		if par.list != sequential.list || !reflect.DeepEqual(par.classes, sequential.classes) {
+			t.Fatalf("workers=%d: recovered state differs", workers)
+		}
+		if par.words != sequential.words || par.msgs != sequential.msgs {
+			t.Fatalf("workers=%d: words/msgs %d/%d != %d/%d",
+				workers, par.words, par.msgs, sequential.words, sequential.msgs)
+		}
+		if !reflect.DeepEqual(par.byTag, sequential.byTag) {
+			t.Fatalf("workers=%d: per-tag tallies differ\n%v\n%v", workers, par.byTag, sequential.byTag)
+		}
+		if !reflect.DeepEqual(par.byLink, sequential.byLink) {
+			t.Fatalf("workers=%d: per-link tallies differ", workers)
+		}
+		if !reflect.DeepEqual(par.trace, sequential.trace) {
+			t.Fatalf("workers=%d: transcripts differ (%d vs %d messages)",
+				workers, len(par.trace), len(sequential.trace))
+		}
+		if !reflect.DeepEqual(par.draws, sequential.draws) {
+			t.Fatalf("workers=%d: sampled draws differ", workers)
+		}
+	}
+}
+
+// TestIngestionWorkersBitIdentical checks the row-parallel sketch
+// ingestion path: HH sketches built with in-server ingestion workers must
+// estimate identically to the sequential path.
+func TestIngestionWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
+	rng := rand.New(rand.NewSource(88))
+	v := make([]float64, 3000)
+	for j := range v {
+		v[j] = rng.NormFloat64()
+	}
+	build := func(workers int) (float64, int64) {
+		locals := makeLocals(v, 3, rand.New(rand.NewSource(9)))
+		net := comm.NewNetwork(3)
+		p := richParams(13)
+		p.HH.Sketch.Workers = workers
+		est, err := BuildEstimator(net, locals, fn.Identity{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.ZHat(), net.Words()
+	}
+	seqZ, seqW := build(1)
+	parZ, parW := build(4)
+	if seqZ != parZ || seqW != parW {
+		t.Fatalf("ingestion workers changed the result: %g/%d vs %g/%d", seqZ, seqW, parZ, parW)
+	}
+}

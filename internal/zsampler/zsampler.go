@@ -34,6 +34,7 @@ import (
 	"repro/internal/fn"
 	"repro/internal/hashing"
 	"repro/internal/hh"
+	"repro/internal/parallel"
 )
 
 // Params are the tunable knobs of the estimator/sampler pipeline.
@@ -64,6 +65,12 @@ type Params struct {
 	MaxRetries int
 	// Seed drives all shared randomness.
 	Seed int64
+	// Workers fans the independent (repetition, level) Z-HeavyHitters
+	// invocations out across a bounded worker pool (0 or 1 = sequential).
+	// Each invocation runs against a forked accounting fabric that is
+	// joined back in canonical order, so the estimator, its List and the
+	// full communication transcript are identical at any worker count.
+	Workers int
 }
 
 // DefaultParams returns a practical configuration for vector dimension l.
@@ -188,9 +195,16 @@ func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*
 	gSeed := hashing.DeriveSeed(p.Seed, 2)
 	net.BroadcastSeed(comm.CP, "zest/gseed", gSeed)
 	g := hashing.NewPolyHash(hashing.Seeded(gSeed), 8)
+	// Workers ≤ 0 stays sequential here (unlike the experiment sweep's
+	// auto default): the estimator usually runs inside an already-parallel
+	// outer layer, and nested auto fan-out would oversubscribe the pool.
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	maxLevel := make([]uint8, l)
-	byLevelIdx := make([][]uint64, levels+1)
-	for j := uint64(0); j < l; j++ {
+	parallel.For(workers, int(l), func(i int) {
+		j := uint64(i)
 		u := g.Unit(j)
 		ml := levels
 		if u > 0 {
@@ -203,25 +217,46 @@ func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*
 			}
 		}
 		maxLevel[j] = uint8(ml)
-		byLevelIdx[ml] = append(byLevelIdx[ml], j)
+	})
+	byLevelIdx := make([][]uint64, levels+1)
+	for j := uint64(0); j < l; j++ {
+		byLevelIdx[maxLevel[j]] = append(byLevelIdx[maxLevel[j]], j)
 	}
 
+	// The (repetition, level) Z-HeavyHitters invocations are mutually
+	// independent: fan them out across the worker pool, each against a
+	// forked fabric, then join the forks and record the recoveries in the
+	// canonical (e, lev) order — the transcript and the recovery
+	// bookkeeping (which dedupes value collection) replay exactly as a
+	// sequential loop would have produced them.
+	type levelTask struct{ e, lev int }
+	var tasks []levelTask
 	for e := 0; e < p.RepsPerLevel; e++ {
 		for lev := 1; lev <= levels; lev++ {
-			lev8 := uint8(lev)
-			keep := func(j uint64) bool { return maxLevel[j] >= lev8 }
-			candidates := func(yield func(uint64)) {
-				for ml := lev; ml <= levels; ml++ {
-					for _, j := range byLevelIdx[ml] {
-						yield(j)
-					}
+			tasks = append(tasks, levelTask{e, lev})
+		}
+	}
+	forks := make([]*comm.Network, len(tasks))
+	djs := make([][]uint64, len(tasks))
+	parallel.For(workers, len(tasks), func(i int) {
+		e, lev := tasks[i].e, tasks[i].lev
+		lev8 := uint8(lev)
+		keep := func(j uint64) bool { return maxLevel[j] >= lev8 }
+		candidates := func(yield func(uint64)) {
+			for ml := lev; ml <= levels; ml++ {
+				for _, j := range byLevelIdx[ml] {
+					yield(j)
 				}
 			}
-			seed := hashing.DeriveSeed(p.Seed, uint64(100+e*1000+lev))
-			dj := hh.ZHeavyHittersFiltered(net, locals, keep, candidates, p.HH, seed, "zest/levels")
-			for _, j := range dj {
-				record(j, lev)
-			}
+		}
+		seed := hashing.DeriveSeed(p.Seed, uint64(100+e*1000+lev))
+		forks[i] = net.Fork()
+		djs[i] = hh.ZHeavyHittersFiltered(forks[i], locals, keep, candidates, p.HH, seed, "zest/levels")
+	})
+	for i, task := range tasks {
+		net.Join(forks[i])
+		for _, j := range djs[i] {
+			record(j, task.lev)
 		}
 	}
 

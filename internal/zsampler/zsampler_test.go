@@ -67,6 +67,9 @@ func TestClassIndex(t *testing.T) {
 }
 
 func TestEstimatorZHatPowerLaw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
 	rng := rand.New(rand.NewSource(1))
 	const l = 20000
 	v := make([]float64, l)
@@ -91,6 +94,9 @@ func TestEstimatorZHatPowerLaw(t *testing.T) {
 }
 
 func TestEstimatorZHatFewHeavy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
 	// All the mass in a handful of coordinates: the heavy path (D) must
 	// carry the estimate.
 	rng := rand.New(rand.NewSource(2))
@@ -121,6 +127,9 @@ func TestEstimatorZHatFewHeavy(t *testing.T) {
 }
 
 func TestEstimatorBoundedZ(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
 	// Huber-style bounded z: many saturated coordinates.
 	rng := rand.New(rand.NewSource(3))
 	const l = 8000
@@ -150,6 +159,9 @@ func TestEstimatorBoundedZ(t *testing.T) {
 // coordinates (where per-coordinate frequencies are statistically
 // meaningful).
 func TestSamplerDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
 	rng := rand.New(rand.NewSource(4))
 	const l = 2000
 	v := make([]float64, l)
@@ -232,6 +244,9 @@ func TestEstimatorErrors(t *testing.T) {
 }
 
 func TestClassSizesRoughlyRight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
 	rng := rand.New(rand.NewSource(6))
 	const l = 10000
 	v := make([]float64, l)
@@ -286,6 +301,9 @@ func TestDefaultParams(t *testing.T) {
 }
 
 func TestSampleDeterministicGivenSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
 	rng := rand.New(rand.NewSource(8))
 	v := make([]float64, 500)
 	for j := range v {
@@ -330,6 +348,9 @@ func TestLpEstimatorValidation(t *testing.T) {
 // TestL1SamplerDistribution checks ℓ1 sampling: dominant coordinates are
 // drawn proportionally to |a_j| (not |a_j|²).
 func TestL1SamplerDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running: skipped in -short (CI runs the full suite)")
+	}
 	rng := rand.New(rand.NewSource(31))
 	const l = 1500
 	v := make([]float64, l)
