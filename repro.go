@@ -125,6 +125,10 @@ type Options struct {
 	// Seed fixes all randomness (0 uses a fixed default for
 	// reproducibility).
 	Seed int64
+	// Workers bounds the worker pool the generalized sampler's sketching
+	// phase fans out on (0 or 1 = sequential). The protocol's result and
+	// communication transcript are identical at any worker count.
+	Workers int
 }
 
 // Result is the outcome of a distributed PCA.
@@ -220,6 +224,7 @@ func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
 			budget = int64(n * d)
 		}
 		p := zsampler.ParamsForBudget(budget, c.net.Servers(), n*d, seed)
+		p.Workers = opts.Workers
 		zr, err := samplers.NewZRow(c.net, c.locals, f.z, p)
 		if err != nil {
 			return nil, err
