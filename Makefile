@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt vet short ci
+.PHONY: all build test race bench bench-json fmt vet short ci
 
 all: build
 
@@ -13,13 +13,32 @@ build:
 test:
 	$(GO) test ./...
 
-# Full suite under the race detector — the concurrent runtime's gate.
+# Suite under the race detector — the concurrent runtime's gate. -short
+# skips the long-running cases so the race job fits the CI time budget;
+# the full suite still runs race-free in the `test` step.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 # One-iteration bench smoke: every benchmark must still run, not be fast.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Perf trajectory snapshot: the seq-vs-parallel sweep benchmarks and the
+# dense-vs-CSR storage backend benchmarks, rendered as JSON records
+# (op, iterations, ns/op, B/op, custom metrics) for machine comparison
+# across PRs.
+# Staged through temp files so a failing bench run (or an empty
+# measurement set, which dlra-benchjson rejects) fails the target without
+# truncating an existing BENCH_JSON snapshot.
+BENCH_JSON ?= BENCH_pr2.json
+bench-json:
+	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR' \
+		-benchmem -benchtime=3x . > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
+	$(GO) run ./cmd/dlra-benchjson < $(BENCH_JSON).txt > $(BENCH_JSON).tmp || \
+		{ rm -f $(BENCH_JSON).txt $(BENCH_JSON).tmp; exit 1; }
+	@rm -f $(BENCH_JSON).txt
+	mv $(BENCH_JSON).tmp $(BENCH_JSON)
+	@echo "wrote $(BENCH_JSON)"
 
 # Fails (exit 1) when any file needs gofmt.
 fmt:
@@ -32,4 +51,4 @@ vet:
 short:
 	$(GO) test -short ./...
 
-ci: fmt vet build race bench
+ci: fmt vet build test race bench

@@ -223,6 +223,91 @@ func BenchmarkAblationJacobi(b *testing.B) {
 	}
 }
 
+// --- Storage backends: dense vs CSR on sparse data --------------------------
+
+// sparseBackendPair materializes the KDDCUP99-sparse corpus (≈6.5% density
+// at Medium scale) in both storage backends for head-to-head hot-path
+// benchmarks. The logical matrix is identical, so any output difference
+// would be a backend contract violation.
+func sparseBackendPair(b *testing.B) (*matrix.Dense, *matrix.CSR) {
+	b.Helper()
+	csr, _ := dataset.KDDCUP99Sparse(dataset.Medium, 42)
+	return matrix.ToDense(csr), csr
+}
+
+// BenchmarkDenseVsCSRRowNorms measures the row-norm hot path (the additive
+// error analysis' Σ‖A_i‖² pass) on both backends; words/matrix reports the
+// storage footprint each backend pays for the same logical matrix.
+func BenchmarkDenseVsCSRRowNorms(b *testing.B) {
+	dense, csr := sparseBackendPair(b)
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dense.RowNorms2()
+		}
+		b.ReportMetric(float64(dense.Rows()*dense.Cols()), "words/matrix")
+	})
+	b.Run("csr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			csr.RowNorms2()
+		}
+		b.ReportMetric(float64(csr.Words()), "words/matrix")
+	})
+}
+
+// BenchmarkDenseVsCSRSketchIngest measures CountSketch ingestion of the
+// flattened matrix — the dominant local cost of every sketching protocol.
+// Both backends stream identical nonzeros; CSR never scans the zeros.
+func BenchmarkDenseVsCSRSketchIngest(b *testing.B) {
+	dense, csr := sparseBackendPair(b)
+	for _, tc := range []struct {
+		name string
+		vec  hh.Vec
+	}{
+		{"dense", hh.MatVec{M: dense}},
+		{"csr", hh.MatVec{M: csr}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cs := sketch.NewCountSketch(1, 4, 128)
+				cs.UpdateBulk(1, tc.vec.ForEach)
+			}
+		})
+	}
+}
+
+// BenchmarkDenseVsCSRCollectRow measures per-draw row assembly (Algorithm 1
+// line 7) with the matrix split across 4 servers in each backend.
+func BenchmarkDenseVsCSRCollectRow(b *testing.B) {
+	_, csr := sparseBackendPair(b)
+	const s = 4
+	n := csr.Rows()
+	// Row-partition the sparse corpus: server t holds rows i ≡ t (mod s).
+	denseLocals := make([]matrix.Mat, s)
+	csrLocals := make([]matrix.Mat, s)
+	for t := 0; t < s; t++ {
+		var triples []matrix.Triple
+		for i := t; i < n; i += s {
+			csr.RowNNZ(i, func(j int, v float64) {
+				triples = append(triples, matrix.Triple{Row: i, Col: j, Val: v})
+			})
+		}
+		part := matrix.NewCSR(n, csr.Cols(), triples)
+		csrLocals[t] = part
+		denseLocals[t] = matrix.ToDense(part)
+	}
+	for _, tc := range []struct {
+		name   string
+		locals []matrix.Mat
+	}{{"dense", denseLocals}, {"csr", csrLocals}} {
+		b.Run(tc.name, func(b *testing.B) {
+			net := comm.NewNetwork(s)
+			for i := 0; i < b.N; i++ {
+				samplers.CollectRawRow(net, tc.locals, i%n, "bench/rows")
+			}
+		})
+	}
+}
+
 // --- Substrate microbenchmarks ---------------------------------------------
 
 func BenchmarkCountSketchUpdate(b *testing.B) {
@@ -420,7 +505,7 @@ func BenchmarkLinearVsGeneralized(b *testing.B) {
 		var add float64
 		for i := 0; i < b.N; i++ {
 			net := comm.NewNetwork(s)
-			zr, err := samplers.NewZRow(net, locals, fn.Identity{}, zsampler.ParamsForBudget(int64(500*20), s, 500*20, int64(i)))
+			zr, err := samplers.NewZRow(net, matrix.AsMats(locals), fn.Identity{}, zsampler.ParamsForBudget(int64(500*20), s, 500*20, int64(i)))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,103 @@
+// Command dlra-benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON array of measurements, one object per benchmark:
+//
+//	{"op": "BenchmarkDenseVsCSRRowNorms/csr", "iterations": 10,
+//	 "ns_per_op": 1489572, "bytes_per_op": 524288, "allocs_per_op": 1,
+//	 "metrics": {"words/matrix": 1017655}}
+//
+// ns/op, B/op and allocs/op land in their own fields; every other unit
+// (custom b.ReportMetric units like additive/err or words/run) is kept in
+// the metrics map. Non-benchmark lines are ignored, so the raw output of
+// `go test -run=NONE -bench=. -benchmem ./...` can be piped in directly:
+//
+//	go test -run=NONE -bench=DenseVsCSR -benchmem . | dlra-benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Measurement is one benchmark result line in JSON form.
+type Measurement struct {
+	Op         string             `json:"op"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []Measurement
+	for sc.Scan() {
+		if m, ok := parseLine(sc.Text()); ok {
+			out = append(out, m)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "dlra-benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out) == 0 {
+		// Zero measurements means the bench run itself broke (compile
+		// error, panic, empty -bench match); surfacing that beats writing
+		// an empty perf snapshot that reads as "measured, nothing found".
+		fmt.Fprintln(os.Stderr, "dlra-benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "dlra-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one "BenchmarkName-P  iters  v unit  v unit ..." line.
+func parseLine(line string) (Measurement, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Measurement{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Measurement{}, false
+	}
+	// Strip the trailing GOMAXPROCS suffix ("-8") from the name.
+	op := fields[0]
+	if i := strings.LastIndex(op, "-"); i > 0 {
+		if _, err := strconv.Atoi(op[i+1:]); err == nil {
+			op = op[:i]
+		}
+	}
+	m := Measurement{Op: op, Iterations: iters}
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Measurement{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			m.NsPerOp = v
+			seen = true
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsOp = v
+		default:
+			if m.Metrics == nil {
+				m.Metrics = make(map[string]float64)
+			}
+			m.Metrics[unit] = v
+		}
+	}
+	return m, seen
+}

@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	m, ok := parseLine("BenchmarkDenseVsCSRRowNorms/csr-8         \t      10\t   1489572 ns/op\t   1017655 words/matrix\t  524288 B/op\t       1 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if m.Op != "BenchmarkDenseVsCSRRowNorms/csr" {
+		t.Fatalf("op %q", m.Op)
+	}
+	if m.Iterations != 10 || m.NsPerOp != 1489572 || m.BytesPerOp != 524288 || m.AllocsOp != 1 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if m.Metrics["words/matrix"] != 1017655 {
+		t.Fatalf("metrics %v", m.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: repro",
+		"PASS",
+		"ok  \trepro\t3.327s",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkNoNs-8 10 99 widgets/op", // no ns/op measurement
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("line %q accepted", line)
+		}
+	}
+}
+
+func TestParseLineWithoutProcsSuffix(t *testing.T) {
+	m, ok := parseLine("BenchmarkPolyHashEval 1000000 52.1 ns/op")
+	if !ok || m.Op != "BenchmarkPolyHashEval" || m.NsPerOp != 52.1 {
+		t.Fatalf("parsed %+v ok=%v", m, ok)
+	}
+}

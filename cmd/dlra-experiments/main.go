@@ -8,7 +8,7 @@
 // Usage:
 //
 //	dlra-experiments [-scale small|medium|full] [-panel NAME] [-runs N]
-//	                 [-seed S] [-csv] [-list]
+//	                 [-seed S] [-csv] [-list] [-backend dense|csr]
 package main
 
 import (
@@ -31,6 +31,7 @@ func main() {
 	listFlag := flag.Bool("list", false, "list panel names and exit")
 	baselineFlag := flag.Bool("baseline", false, "also run the centralized FKV sampler at the same r per point")
 	workersFlag := flag.Int("workers", 0, "worker budget (0 = one per CPU, 1 = sequential): parallelizes across panels when several run, or across one panel's sweep cells")
+	backendFlag := flag.String("backend", "auto", "share storage backend: auto (as built), dense or csr (identical results; csr pays O(nnz) per row)")
 	flag.Parse()
 
 	var scale dataset.Scale
@@ -45,7 +46,12 @@ func main() {
 		log.Fatalf("unknown scale %q", *scaleFlag)
 	}
 
-	suite := experiments.Suite{Scale: scale, Seed: *seedFlag, Runs: *runsFlag, Workers: *workersFlag}
+	backend, err := experiments.ParseBackend(*backendFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	suite := experiments.Suite{Scale: scale, Seed: *seedFlag, Runs: *runsFlag, Workers: *workersFlag, Backend: backend}
 	panels := experiments.Panels(suite)
 
 	if *listFlag {

@@ -8,7 +8,7 @@
 //
 //	dlra-pca -input data.csv -k 10 [-servers 10] [-fn identity|huber:K|gm:P|l1l2|fair:C|cosine]
 //	         [-partition row|arbitrary] [-rows R] [-eps E] [-boost B]
-//	         [-output basis.csv] [-seed S]
+//	         [-output basis.csv] [-seed S] [-sparse]
 //
 // The input is CSV (or the binary .bin format of internal/matio). With
 // -fn gm:P the matrix entries are treated as raw values each server
@@ -42,6 +42,7 @@ func main() {
 	boost := flag.Int("boost", 1, "success-probability boosting repetitions")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker pool size for the sampler's sketching phase (0 = one per CPU, 1 = sequential)")
+	sparse := flag.Bool("sparse", false, "store the per-server shares as sparse CSR rows (identical results, O(nnz) hot paths)")
 	flag.Parse()
 
 	if *input == "" {
@@ -76,13 +77,24 @@ func main() {
 		}
 	}
 
+	backend := repro.BackendAuto
+	if *sparse {
+		backend = repro.BackendCSR
+		var nnz int64
+		for _, m := range locals {
+			nnz += m.NNZ()
+		}
+		fmt.Printf("backend           : csr (share density %.2f%%)\n",
+			100*float64(nnz)/(float64(len(locals))*float64(n)*float64(d)))
+	}
+
 	cluster := repro.NewCluster(*servers)
 	if err := cluster.SetLocalData(locals); err != nil {
 		log.Fatal(err)
 	}
 	res, err := cluster.PCA(f, repro.Options{
 		K: *k, Eps: *eps, Rows: *rows, Boost: *boost, Seed: *seed,
-		Workers: parallel.Workers(*workers),
+		Workers: parallel.Workers(*workers), Backend: backend,
 	})
 	if err != nil {
 		log.Fatal(err)

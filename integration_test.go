@@ -13,6 +13,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/fn"
+	"repro/internal/matrix"
 	"repro/internal/pooling"
 	"repro/internal/samplers"
 	"repro/internal/zsampler"
@@ -119,7 +120,7 @@ func TestGMPooledEndToEnd(t *testing.T) {
 	net := comm.NewNetwork(s)
 	g := fn.GM{P: p}
 	zp := zsampler.ParamsForBudget(int64(200*64), s, 200*64, 17)
-	zr, err := samplers.NewZRow(net, locals, g, zp)
+	zr, err := samplers.NewZRow(net, matrix.AsMats(locals), g, zp)
 	if err != nil {
 		t.Fatal(err)
 	}

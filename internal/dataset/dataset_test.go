@@ -115,3 +115,101 @@ func TestPickBounds(t *testing.T) {
 		t.Fatal("pick")
 	}
 }
+
+func TestSparseGeneratorsDensityAndDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func(Scale, int64) (*matrix.CSR, Info)
+	}{
+		{"KDDCUP99-sparse", KDDCUP99Sparse},
+		{"ForestCover-sparse", ForestCoverSparse},
+	} {
+		a, info := tc.gen(Small, 7)
+		if info.Name != tc.name {
+			t.Fatalf("name %q, want %q", info.Name, tc.name)
+		}
+		if a.Rows() != info.Rows || a.Cols() != info.Cols || a.NNZ() != info.NNZ {
+			t.Fatalf("%s: info does not describe the matrix", tc.name)
+		}
+		// The sparse regime the CSR backend exists for: ≤10% density.
+		if sp := info.Sparsity(); sp <= 0 || sp > 0.10 {
+			t.Fatalf("%s: density %.3f outside (0, 0.10]", tc.name, sp)
+		}
+		// Pure function of the seed.
+		b, _ := tc.gen(Small, 7)
+		if a.NNZ() != b.NNZ() {
+			t.Fatalf("%s: nondeterministic nnz", tc.name)
+		}
+		for i := 0; i < a.Rows(); i++ {
+			ok := true
+			a.RowNNZ(i, func(j int, v float64) {
+				if b.At(i, j) != v {
+					ok = false
+				}
+			})
+			if !ok {
+				t.Fatalf("%s: row %d differs across identical seeds", tc.name, i)
+			}
+		}
+		c, _ := tc.gen(Small, 8)
+		diff := false
+		for i := 0; i < a.Rows() && !diff; i++ {
+			a.RowNNZ(i, func(j int, v float64) {
+				if c.At(i, j) != v {
+					diff = true
+				}
+			})
+		}
+		if !diff {
+			t.Fatalf("%s: seed does not influence the data", tc.name)
+		}
+	}
+}
+
+func TestSparseGeneratorsHaveRowStructure(t *testing.T) {
+	// Every record must touch its categorical blocks: no empty rows.
+	m, _ := KDDCUP99Sparse(Small, 3)
+	for i := 0; i < m.Rows(); i++ {
+		if m.RowNorm2(i) == 0 {
+			t.Fatalf("KDDCUP99-sparse row %d is empty", i)
+		}
+	}
+	f, _ := ForestCoverSparse(Small, 3)
+	for i := 0; i < f.Rows(); i++ {
+		count := 0
+		f.RowNNZ(i, func(int, float64) { count++ })
+		// 10 bin indicators + wilderness + soil = 12 structural nonzeros.
+		if count != 12 {
+			t.Fatalf("ForestCover-sparse row %d has %d nonzeros, want 12", i, count)
+		}
+	}
+}
+
+func TestInfoSparsity(t *testing.T) {
+	in := Info{Rows: 10, Cols: 10, NNZ: 25}
+	if in.Sparsity() != 0.25 {
+		t.Fatalf("sparsity = %g", in.Sparsity())
+	}
+	if (Info{}).Sparsity() != 0 {
+		t.Fatal("empty info sparsity")
+	}
+}
+
+// TestCodesNNZMatchesPooledMatrix pins Info.NNZ for the codes datasets to
+// the real nonzero count of the pooled matrix (for any pooling exponent,
+// a bin is nonzero iff the image contains that code).
+func TestCodesNNZMatchesPooledMatrix(t *testing.T) {
+	c, info := ScenesCodes(Small, 5)
+	for _, p := range []float64{1, 5} {
+		pooled, err := c.Pool(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pooled.NNZ(); got != info.NNZ {
+			t.Fatalf("p=%g: pooled nnz %d != Info.NNZ %d", p, got, info.NNZ)
+		}
+	}
+	if info.Sparsity() >= 1 {
+		t.Fatalf("pooled histograms reported as dense (sparsity %g)", info.Sparsity())
+	}
+}

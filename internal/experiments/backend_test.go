@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fn"
+	"repro/internal/matrix"
+)
+
+// sparsePanelConfig builds a minimal synthetic z-sampled panel over a
+// sparse logical matrix, row-partitioned across 3 servers.
+func sparsePanelConfig(backend Backend) PanelConfig {
+	return PanelConfig{
+		Name:    "sparse-equiv",
+		Ratios:  []float64{0.5},
+		Ks:      []int{3},
+		Runs:    2,
+		Seed:    77,
+		Backend: backend,
+		Build: func(seed int64) (*Built, error) {
+			rng := rand.New(rand.NewSource(seed))
+			const n, d, s = 120, 14, 3
+			shares := make([][]matrix.Triple, s)
+			for i := 0; i < n; i++ {
+				t := rng.Intn(s)
+				for j := 0; j < d; j++ {
+					if rng.Float64() < 0.1 {
+						shares[t] = append(shares[t], matrix.Triple{Row: i, Col: j, Val: rng.NormFloat64()})
+					}
+				}
+			}
+			locals := make([]matrix.Mat, s)
+			for t := range locals {
+				locals[t] = matrix.NewCSR(n, d, shares[t])
+			}
+			return &Built{
+				Locals:    locals,
+				F:         fn.Identity{},
+				Z:         fn.Identity{},
+				A:         matrix.SumMats(locals),
+				DataWords: int64(n * d),
+			}, nil
+		},
+	}
+}
+
+// TestPanelBackendEquivalence runs the same panel under both storage
+// backends and demands exactly equal points — additive error, relative
+// error, words, everything. This is the CI gate the tentpole's acceptance
+// criterion names: backend choice must never change results, only cost.
+func TestPanelBackendEquivalence(t *testing.T) {
+	dense, err := RunPanel(sparsePanelConfig(BackendDense))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := RunPanel(sparsePanelConfig(BackendCSR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Backend != "dense" || csr.Backend != "csr" {
+		t.Fatalf("backend labels %q, %q", dense.Backend, csr.Backend)
+	}
+	if len(dense.Points) != len(csr.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(dense.Points), len(csr.Points))
+	}
+	for i := range dense.Points {
+		if dense.Points[i] != csr.Points[i] {
+			t.Fatalf("point %d differs:\n dense: %+v\n csr:   %+v", i, dense.Points[i], csr.Points[i])
+		}
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Backend
+		ok   bool
+	}{
+		{"auto", BackendAuto, true},
+		{"dense", BackendDense, true},
+		{"csr", BackendCSR, true},
+		{"", BackendAuto, true},
+		{"sparse", BackendAuto, false},
+	} {
+		got, err := ParseBackend(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Fatalf("ParseBackend(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if BackendCSR.String() != "csr" || BackendDense.String() != "dense" || BackendAuto.String() != "auto" {
+		t.Fatal("backend names")
+	}
+}
+
+// TestBackendApplyConverts checks the share conversion both ways — and
+// that the default (auto) never touches CSR-native shares, which is what
+// keeps sparse-built panels sparse without an explicit selection.
+func TestBackendApplyConverts(t *testing.T) {
+	d := matrix.NewDense(2, 2)
+	d.Set(0, 1, 5)
+	out := BackendCSR.Apply([]matrix.Mat{d})
+	if _, ok := out[0].(*matrix.CSR); !ok {
+		t.Fatalf("BackendCSR.Apply produced %T", out[0])
+	}
+	kept := BackendAuto.Apply(out)
+	if kept[0] != out[0] {
+		t.Fatal("BackendAuto.Apply must keep shares as installed")
+	}
+	back := BackendDense.Apply(out)
+	if _, ok := back[0].(*matrix.Dense); !ok {
+		t.Fatalf("BackendDense.Apply produced %T", back[0])
+	}
+	if back[0].At(0, 1) != 5 {
+		t.Fatal("conversion lost data")
+	}
+}

@@ -25,12 +25,29 @@ import (
 	"repro/internal/zsampler"
 )
 
+// Backend selects the storage representation the per-server shares use
+// during the protocol run: auto (the zero value) keeps whatever the panel
+// builder produced, dense and csr convert. Points are bit-identical under
+// every choice (the matrix.Mat iteration contract); only memory footprint
+// and per-row cost differ.
+type Backend = matrix.Backend
+
+// Re-exported so harness callers need not import internal/matrix.
+const (
+	BackendAuto  = matrix.BackendAuto
+	BackendDense = matrix.BackendDense
+	BackendCSR   = matrix.BackendCSR
+)
+
+// ParseBackend parses a CLI backend name ("" means auto).
+func ParseBackend(s string) (Backend, error) { return matrix.ParseBackend(s) }
+
 // Built is one panel's prepared pipeline: what each server holds, the
 // entrywise f, the optional weight function z (nil selects the uniform
 // sampler), and the materialized ground truth for error measurement.
 type Built struct {
 	// Locals are the per-server shares A^t.
-	Locals []*matrix.Dense
+	Locals []matrix.Mat
 	// F is the entrywise function of the generalized partition model.
 	F fn.Func
 	// Z selects the generalized sampler when non-nil; nil means rows have
@@ -65,6 +82,9 @@ type PanelConfig struct {
 	// Network and a seed derived from (ratio, run), so the panel's points
 	// are identical at any worker count.
 	Workers int
+	// Backend selects the share storage representation (auto keeps what
+	// Build produced); points are identical under every choice.
+	Backend Backend
 	// Build constructs the pipeline (datasets are built once per panel).
 	Build func(seed int64) (*Built, error)
 }
@@ -87,6 +107,7 @@ type Point struct {
 type Panel struct {
 	Name      string
 	Sampler   string
+	Backend   string
 	DataWords int64
 	Points    []Point
 }
@@ -118,8 +139,9 @@ func RunPanel(cfg PanelConfig) (*Panel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: build %s: %w", cfg.Name, err)
 	}
+	built.Locals = cfg.Backend.Apply(built.Locals)
 	s := len(built.Locals)
-	n, d := built.Locals[0].Dims()
+	n, d := built.Locals[0].Rows(), built.Locals[0].Cols()
 	maxK := 0
 	for _, k := range cfg.Ks {
 		if k > maxK {
@@ -133,7 +155,7 @@ func RunPanel(cfg PanelConfig) (*Panel, error) {
 	if built.Z != nil {
 		samplerName = "z-sampler(" + built.Z.Name() + ")"
 	}
-	panel := &Panel{Name: cfg.Name, Sampler: samplerName, DataWords: built.DataWords}
+	panel := &Panel{Name: cfg.Name, Sampler: samplerName, Backend: cfg.Backend.String(), DataWords: built.DataWords}
 
 	// Every (ratio, run) cell of the sweep is an independent protocol
 	// execution against its own Network, so the cells fan out across the
@@ -272,7 +294,7 @@ func (p *Panel) hasBaseline() bool {
 func (p *Panel) Format() string {
 	var b strings.Builder
 	withBase := p.hasBaseline()
-	fmt.Fprintf(&b, "%s  [sampler: %s, data: %d words]\n", p.Name, p.Sampler, p.DataWords)
+	fmt.Fprintf(&b, "%s  [sampler: %s, backend: %s, data: %d words]\n", p.Name, p.Sampler, p.Backend, p.DataWords)
 	fmt.Fprintf(&b, "  %-7s %-4s %-6s %-12s %-12s %-10s %-10s",
 		"ratio", "k", "r", "prediction", "additive", "relative", "words")
 	if withBase {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/matrix"
 	"repro/internal/zsampler"
 )
 
@@ -95,11 +96,7 @@ func TestBuildersProduceConsistentGroundTruth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sum := built.Locals[0].Clone()
-		for _, m := range built.Locals[1:] {
-			sum.AddInPlace(m)
-		}
-		implied := sum.Apply(built.F.Apply)
+		implied := matrix.SumMats(built.Locals).Apply(built.F.Apply)
 		if !implied.Equalf(built.A, 1e-6*built.A.MaxAbs()) {
 			t.Fatalf("%s: ground truth A != f(Σ locals)", name)
 		}

@@ -25,6 +25,9 @@ type Suite struct {
 	// Workers bounds each panel's sweep-cell worker pool (0 = one per
 	// CPU, 1 = sequential); points are identical at any setting.
 	Workers int
+	// Backend selects the per-server share storage (auto keeps what the
+	// builder produced); points are identical under every choice.
+	Backend Backend
 }
 
 // rffPanel builds a Fourier-feature panel: raw data row-partitioned across
@@ -38,6 +41,7 @@ func rffPanel(name string, s int, features int, ratios []float64,
 		Ks:      su.Ks,
 		Runs:    su.Runs,
 		Workers: su.Workers,
+		Backend: su.Backend,
 		Seed:    su.Seed,
 		Build: func(seed int64) (*Built, error) {
 			raw, _ := gen(su.Scale, seed)
@@ -55,7 +59,7 @@ func rffPanel(name string, s int, features int, ratios []float64,
 			// words in total.
 			n := raw.Rows()
 			return &Built{
-				Locals:    locals,
+				Locals:    matrix.AsMats(locals),
 				F:         fn.SqrtTwoCos{},
 				Z:         nil,
 				A:         A,
@@ -92,6 +96,7 @@ func gmPanel(name string, s int, p float64, ratios []float64,
 		Ks:      su.Ks,
 		Runs:    su.Runs,
 		Workers: su.Workers,
+		Backend: su.Backend,
 		Seed:    su.Seed,
 		Build: func(seed int64) (*Built, error) {
 			codes, _ := gen(su.Scale, seed)
@@ -108,7 +113,7 @@ func gmPanel(name string, s int, p float64, ratios []float64,
 			A := pooling.GlobalGM(pools, p)
 			n, v := A.Dims()
 			return &Built{
-				Locals: locals,
+				Locals: matrix.AsMats(locals),
 				F:      fn.GM{P: p},
 				Z:      fn.GM{P: p},
 				A:      A,
@@ -129,6 +134,7 @@ func robustPanel(name string, s int, ratios []float64, su Suite) PanelConfig {
 		Ks:      su.Ks,
 		Runs:    su.Runs,
 		Workers: su.Workers,
+		Backend: su.Backend,
 		Seed:    su.Seed,
 		Build: func(seed int64) (*Built, error) {
 			raw, _ := dataset.IsoletRaw(su.Scale, seed)
@@ -144,7 +150,7 @@ func robustPanel(name string, s int, ratios []float64, su Suite) PanelConfig {
 			A := corrupted.Apply(huber.Apply)
 			n, d := A.Dims()
 			return &Built{
-				Locals: locals,
+				Locals: matrix.AsMats(locals),
 				F:      huber,
 				Z:      huber,
 				A:      A,

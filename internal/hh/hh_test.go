@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/comm"
+	"repro/internal/matrix"
 )
 
 // splitVector splits a dense global vector additively across s servers.
@@ -50,18 +51,23 @@ func TestDenseVec(t *testing.T) {
 	}
 }
 
-func TestMatrixVec(t *testing.T) {
-	mv := MatrixVec{Rows: [][]float64{{1, 0}, {0, 3}}, Cols: 2}
-	if mv.Len() != 4 {
-		t.Fatal("len")
-	}
-	if mv.At(3) != 3 || mv.At(0) != 1 || mv.At(1) != 0 {
-		t.Fatal("at")
-	}
-	count := 0
-	mv.ForEach(func(j uint64, v float64) { count++ })
-	if count != 2 {
-		t.Fatal("foreach skips zeros")
+func TestMatVec(t *testing.T) {
+	for _, backend := range []matrix.Mat{
+		matrix.FromRows([][]float64{{1, 0}, {0, 3}}),
+		matrix.NewCSR(2, 2, []matrix.Triple{{Row: 0, Col: 0, Val: 1}, {Row: 1, Col: 1, Val: 3}}),
+	} {
+		mv := MatVec{M: backend}
+		if mv.Len() != 4 {
+			t.Fatal("len")
+		}
+		if mv.At(3) != 3 || mv.At(0) != 1 || mv.At(1) != 0 {
+			t.Fatal("at")
+		}
+		count := 0
+		mv.ForEach(func(j uint64, v float64) { count++ })
+		if count != 2 {
+			t.Fatal("foreach skips zeros")
+		}
 	}
 }
 

@@ -6,6 +6,8 @@
 // by pairwise-independent bucketing.
 package hh
 
+import "repro/internal/matrix"
+
 // Vec is a server's local share of a distributed vector v = Σ_t v^t.
 // Implementations expose the global dimension and iterate local nonzeros.
 type Vec interface {
@@ -35,31 +37,34 @@ func (d DenseVec) ForEach(f func(j uint64, v float64)) {
 // At returns entry j.
 func (d DenseVec) At(j uint64) float64 { return d[j] }
 
-// MatrixVec flattens a row-major matrix held as rows into a vector of
-// dimension rows×cols without copying; coordinate j = i*cols + c.
-type MatrixVec struct {
-	Rows [][]float64
-	Cols int
+// MatVec flattens a matrix (any Mat backend) into a vector of dimension
+// rows×cols without copying; coordinate j = i*cols + c. Iteration drains
+// the backend's nonzero stream, so a CSR share is sketched in O(nnz) —
+// and because the stream is backend-invariant (ascending columns, zeros
+// skipped), the sketches and everything downstream are bit-identical
+// between Dense and CSR shares of the same logical matrix.
+type MatVec struct {
+	M matrix.Mat
 }
 
 // Len returns rows×cols.
-func (m MatrixVec) Len() uint64 { return uint64(len(m.Rows) * m.Cols) }
+func (m MatVec) Len() uint64 { return uint64(m.M.Rows()) * uint64(m.M.Cols()) }
 
 // ForEach iterates nonzero entries in row-major coordinate order.
-func (m MatrixVec) ForEach(f func(j uint64, v float64)) {
-	for i, row := range m.Rows {
-		base := uint64(i * m.Cols)
-		for c, v := range row {
-			if v != 0 {
-				f(base+uint64(c), v)
-			}
-		}
+func (m MatVec) ForEach(f func(j uint64, v float64)) {
+	cols := m.M.Cols()
+	for i := 0; i < m.M.Rows(); i++ {
+		base := uint64(i) * uint64(cols)
+		m.M.RowNNZ(i, func(c int, v float64) {
+			f(base+uint64(c), v)
+		})
 	}
 }
 
 // At returns the value at flattened coordinate j.
-func (m MatrixVec) At(j uint64) float64 {
-	return m.Rows[j/uint64(m.Cols)][j%uint64(m.Cols)]
+func (m MatVec) At(j uint64) float64 {
+	cols := uint64(m.M.Cols())
+	return m.M.At(int(j/cols), int(j%cols))
 }
 
 // Filtered restricts a vector to coordinates where Keep returns true;

@@ -1,0 +1,55 @@
+package matrix
+
+import "fmt"
+
+// Backend selects a storage representation for a set of shares. It is the
+// single selection type every layer (public API, experiments harness,
+// CLIs) plumbs through; results are bit-identical under every choice, so
+// a backend only ever changes memory footprint and per-row cost.
+type Backend int
+
+const (
+	// BackendAuto (the zero value) keeps every share exactly as it was
+	// built — CSR-native data stays CSR, dense stays dense.
+	BackendAuto Backend = iota
+	// BackendDense converts every share to the dense row-major backend.
+	BackendDense
+	// BackendCSR compresses every share to sparse CSR rows.
+	BackendCSR
+)
+
+// String names the backend as the CLIs spell it.
+func (b Backend) String() string {
+	switch b {
+	case BackendDense:
+		return "dense"
+	case BackendCSR:
+		return "csr"
+	}
+	return "auto"
+}
+
+// ParseBackend parses a CLI backend name ("" means auto).
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "auto", "":
+		return BackendAuto, nil
+	case "dense":
+		return BackendDense, nil
+	case "csr":
+		return BackendCSR, nil
+	}
+	return BackendAuto, fmt.Errorf("matrix: unknown backend %q (want auto, dense or csr)", s)
+}
+
+// Apply converts every share to the backend's representation (the
+// identity for BackendAuto).
+func (b Backend) Apply(mats []Mat) []Mat {
+	switch b {
+	case BackendDense:
+		return ToDenseAll(mats)
+	case BackendCSR:
+		return ToCSRAll(mats)
+	}
+	return mats
+}

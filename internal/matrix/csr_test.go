@@ -1,0 +1,188 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSparse builds a random n×d matrix with the given density as both a
+// Dense and (via triples, in shuffled order with some duplicates) a CSR.
+func randomSparse(rng *rand.Rand, n, d int, density float64) (*Dense, *CSR) {
+	dense := NewDense(n, d)
+	var triples []Triple
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			if rng.Float64() < density {
+				v := rng.NormFloat64()
+				dense.Set(i, j, v)
+				if rng.Float64() < 0.2 {
+					// Split into two exact halves (v/2 + v/2 == v bitwise);
+					// NewCSR must re-sum the duplicates.
+					triples = append(triples, Triple{i, j, v / 2}, Triple{i, j, v / 2})
+				} else {
+					triples = append(triples, Triple{i, j, v})
+				}
+			}
+		}
+	}
+	rng.Shuffle(len(triples), func(a, b int) { triples[a], triples[b] = triples[b], triples[a] })
+	return dense, NewCSR(n, d, triples)
+}
+
+func TestCSRConstructionDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	triples := []Triple{{0, 2, 1.5}, {1, 0, -2}, {0, 0, 3}, {0, 2, 0.5}, {1, 1, 0}}
+	a := NewCSR(2, 3, triples)
+	shuffled := make([]Triple, len(triples))
+	copy(shuffled, triples)
+	// Shuffles that keep duplicate (0,2) entries in input order must yield
+	// identical storage; here we swap independent entries only.
+	shuffled[1], shuffled[2] = shuffled[2], shuffled[1]
+	b := NewCSR(2, 3, shuffled)
+	if a.NNZ() != 3 || b.NNZ() != 3 {
+		t.Fatalf("nnz = %d, %d, want 3 (explicit zero dropped, duplicates merged)", a.NNZ(), b.NNZ())
+	}
+	if a.At(0, 2) != 2.0 {
+		t.Fatalf("duplicate sum At(0,2) = %g, want 2", a.At(0, 2))
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatalf("construction order changed At(%d,%d)", i, j)
+			}
+		}
+	}
+	_ = rng
+}
+
+func TestCSRDropsEntriesSummingToZero(t *testing.T) {
+	c := NewCSR(1, 2, []Triple{{0, 0, 1}, {0, 0, -1}, {0, 1, 2}})
+	if c.NNZ() != 1 {
+		t.Fatalf("nnz = %d, want 1 (cancelled duplicate dropped)", c.NNZ())
+	}
+	if c.At(0, 0) != 0 || c.At(0, 1) != 2 {
+		t.Fatal("wrong surviving entries")
+	}
+}
+
+func TestCSROutOfRangePanics(t *testing.T) {
+	for _, tc := range []Triple{{-1, 0, 1}, {0, 5, 1}, {3, 0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("triple %v accepted", tc)
+				}
+			}()
+			NewCSR(3, 5, []Triple{tc})
+		}()
+	}
+}
+
+// TestDenseCSREquivalence is the backend contract: every Mat method must
+// agree bitwise between the two backends for the same logical matrix.
+func TestDenseCSREquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		d := 1 + rng.Intn(30)
+		density := []float64{0.02, 0.1, 0.5, 1.0}[trial%4]
+		dense, csr := randomSparse(rng, n, d, density)
+		if dense.NNZ() != csr.NNZ() {
+			t.Fatalf("trial %d: nnz %d vs %d", trial, dense.NNZ(), csr.NNZ())
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				if dense.At(i, j) != csr.At(i, j) {
+					t.Fatalf("trial %d: At(%d,%d) %g vs %g", trial, i, j, dense.At(i, j), csr.At(i, j))
+				}
+			}
+			if dense.RowNorm2(i) != csr.RowNorm2(i) {
+				t.Fatalf("trial %d: RowNorm2(%d) differs", trial, i)
+			}
+		}
+		dn, cn := dense.RowNorms2(), csr.RowNorms2()
+		for i := range dn {
+			if dn[i] != cn[i] {
+				t.Fatalf("trial %d: RowNorms2[%d] %g vs %g", trial, i, dn[i], cn[i])
+			}
+		}
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		dv, cv := dense.MulVec(x), csr.MulVec(x)
+		for i := range dv {
+			if dv[i] != cv[i] {
+				t.Fatalf("trial %d: MulVec[%d] %g vs %g", trial, i, dv[i], cv[i])
+			}
+		}
+		// The nonzero streams must be identical element for element.
+		for i := 0; i < n; i++ {
+			type jv struct {
+				j int
+				v float64
+			}
+			var a, b []jv
+			dense.RowNNZ(i, func(j int, v float64) { a = append(a, jv{j, v}) })
+			csr.RowNNZ(i, func(j int, v float64) { b = append(b, jv{j, v}) })
+			if len(a) != len(b) {
+				t.Fatalf("trial %d row %d: stream lengths %d vs %d", trial, i, len(a), len(b))
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("trial %d row %d: stream element %d differs", trial, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestConversionsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dense, csr := randomSparse(rng, 17, 11, 0.15)
+	back := ToDense(csr)
+	if !back.Equalf(dense, 0) {
+		t.Fatal("ToDense(CSR) != original dense")
+	}
+	again := ToCSR(dense)
+	if again.NNZ() != csr.NNZ() {
+		t.Fatal("ToCSR(Dense) nnz mismatch")
+	}
+	for i := 0; i < 17; i++ {
+		for j := 0; j < 11; j++ {
+			if again.At(i, j) != csr.At(i, j) {
+				t.Fatal("ToCSR(Dense) entry mismatch")
+			}
+		}
+	}
+	// Identity fast paths.
+	if ToCSR(csr) != csr || ToDense(dense) != dense {
+		t.Fatal("same-backend conversion must be the identity")
+	}
+}
+
+func TestSumMatsMixedBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a, aCSR := randomSparse(rng, 6, 5, 0.3)
+	b, _ := randomSparse(rng, 6, 5, 0.4)
+	sum := SumMats([]Mat{aCSR, b})
+	want := a.Add(b)
+	if !sum.Equalf(want, 0) {
+		t.Fatal("SumMats mismatch")
+	}
+}
+
+func TestSparsityAndWords(t *testing.T) {
+	c := NewCSR(4, 5, []Triple{{0, 0, 1}, {3, 4, 2}})
+	if got := Sparsity(c); got != 2.0/20 {
+		t.Fatalf("sparsity = %g", got)
+	}
+	if c.Words() != 2*2+5 {
+		t.Fatalf("words = %d", c.Words())
+	}
+	d := NewDense(2, 2)
+	d.Set(0, 1, 3)
+	if got := Sparsity(d); got != 0.25 {
+		t.Fatalf("dense sparsity = %g", got)
+	}
+}

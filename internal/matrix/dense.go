@@ -1,12 +1,13 @@
-// Package matrix provides the dense linear algebra substrate used by the
-// distributed low rank approximation protocols: dense matrices, QR
-// factorization, a symmetric Jacobi eigensolver, singular value
-// decomposition, best rank-k approximations and projection matrices.
+// Package matrix provides the linear algebra substrate used by the
+// distributed low rank approximation protocols: the pluggable Mat storage
+// interface with dense and sparse CSR backends, QR factorization, a
+// symmetric Jacobi eigensolver, singular value decomposition, best rank-k
+// approximations and projection matrices.
 //
 // The package is self-contained (standard library only) and tuned for the
 // shapes that arise in the paper's protocols: tall-and-skinny sampled
-// matrices B (r×d) and small Gram matrices (d×d) with d up to a few
-// thousand.
+// matrices B (r×d), small Gram matrices (d×d) with d up to a few
+// thousand, and large sparse data matrices consumed row-wise through Mat.
 package matrix
 
 import (
@@ -99,6 +100,30 @@ func (m *Dense) Row(i int) []float64 {
 		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
 	}
 	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// RowNNZ calls f for every nonzero entry of row i in ascending column
+// order — the Dense realization of the Mat iteration contract. Skipping
+// exact zeros yields the same (column, value) stream a sparse backend
+// holding the same logical matrix produces, which is what keeps protocol
+// results bit-identical across backends.
+func (m *Dense) RowNNZ(i int, f func(j int, v float64)) {
+	for j, v := range m.Row(i) {
+		if v != 0 {
+			f(j, v)
+		}
+	}
+}
+
+// NNZ returns the number of nonzero entries.
+func (m *Dense) NNZ() int64 {
+	var c int64
+	for _, v := range m.data {
+		if v != 0 {
+			c++
+		}
+	}
+	return c
 }
 
 // RowCopy returns a copy of row i.

@@ -1,0 +1,119 @@
+package matrix
+
+// Mat is the read-only row-oriented interface the distributed protocols
+// consume. It is the seam between the protocol layers (samplers, sketching,
+// experiments) and the storage backend: Dense keeps every entry, CSR keeps
+// only nonzeros. Every per-row hot path — row norms, CountSketch ingestion,
+// z-function evaluation, row collection — is written against RowNNZ, so a
+// sparse backend pays O(nnz) where the dense one pays O(d) per row.
+//
+// The iteration contract makes backends interchangeable bit for bit: for
+// the same logical matrix, RowNNZ must yield the identical (column, value)
+// stream — ascending column order, zero values skipped — regardless of
+// storage. Floating-point accumulations over that stream (norms, sketch
+// counters, collected rows) are then bitwise identical across backends,
+// which is what keeps the protocols' RNG consumption and communication
+// transcripts independent of the storage choice.
+type Mat interface {
+	// Rows returns the number of rows.
+	Rows() int
+	// Cols returns the number of columns.
+	Cols() int
+	// At returns the (i, j) entry.
+	At(i, j int) float64
+	// RowNNZ calls f for every nonzero entry of row i, in ascending column
+	// order. Entries whose value is exactly zero are skipped.
+	RowNNZ(i int, f func(j int, v float64))
+	// RowNorm2 returns the squared Euclidean norm of row i.
+	RowNorm2(i int) float64
+	// RowNorms2 returns the squared Euclidean norms of all rows.
+	RowNorms2() []float64
+	// MulVec returns the matrix-vector product with a column vector of
+	// length Cols.
+	MulVec(x []float64) []float64
+	// NNZ returns the number of nonzero entries.
+	NNZ() int64
+}
+
+// Dense and CSR must both satisfy the interface.
+var (
+	_ Mat = (*Dense)(nil)
+	_ Mat = (*CSR)(nil)
+)
+
+// Sparsity returns the fraction of nonzero entries of m (0 for an empty
+// matrix).
+func Sparsity(m Mat) float64 {
+	total := float64(m.Rows()) * float64(m.Cols())
+	if total == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / total
+}
+
+// ToDense materializes m as a Dense matrix. A *Dense input is returned
+// unchanged (Mat consumers are read-only by contract, so sharing is safe).
+func ToDense(m Mat) *Dense {
+	if d, ok := m.(*Dense); ok {
+		return d
+	}
+	out := NewDense(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		row := out.Row(i)
+		m.RowNNZ(i, func(j int, v float64) { row[j] = v })
+	}
+	return out
+}
+
+// ToCSR compresses m into the CSR backend. A *CSR input is returned
+// unchanged. Conversion preserves the logical matrix exactly: the nonzero
+// stream of the result is identical to the input's.
+func ToCSR(m Mat) *CSR {
+	if c, ok := m.(*CSR); ok {
+		return c
+	}
+	return csrFromMat(m)
+}
+
+// ToDenseAll converts every share to the dense backend.
+func ToDenseAll(mats []Mat) []Mat {
+	out := make([]Mat, len(mats))
+	for i, m := range mats {
+		out[i] = ToDense(m)
+	}
+	return out
+}
+
+// ToCSRAll converts every share to the CSR backend.
+func ToCSRAll(mats []Mat) []Mat {
+	out := make([]Mat, len(mats))
+	for i, m := range mats {
+		out[i] = ToCSR(m)
+	}
+	return out
+}
+
+// SumMats accumulates Σ_t mats[t] into a dense matrix — the materialization
+// step of ground-truth and baseline code paths (protocols never call it).
+func SumMats(mats []Mat) *Dense {
+	if len(mats) == 0 {
+		return nil
+	}
+	out := NewDense(mats[0].Rows(), mats[0].Cols())
+	for _, m := range mats {
+		for i := 0; i < m.Rows(); i++ {
+			row := out.Row(i)
+			m.RowNNZ(i, func(j int, v float64) { row[j] += v })
+		}
+	}
+	return out
+}
+
+// AsMats adapts a slice of dense matrices to the Mat interface.
+func AsMats(ds []*Dense) []Mat {
+	out := make([]Mat, len(ds))
+	for i, d := range ds {
+		out[i] = d
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package samplers
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fn"
+	"repro/internal/matrix"
+	"repro/internal/zsampler"
+)
+
+// sparseRowPartition builds a random sparse n×d matrix and row-partitions
+// it across s servers, returning the shares in both backends (identical
+// logical matrices).
+func sparseRowPartition(rng *rand.Rand, n, d, s int, density float64) (dense, csr []matrix.Mat) {
+	shares := make([][]matrix.Triple, s)
+	for i := 0; i < n; i++ {
+		t := rng.Intn(s)
+		for j := 0; j < d; j++ {
+			if rng.Float64() < density {
+				shares[t] = append(shares[t], matrix.Triple{Row: i, Col: j, Val: rng.NormFloat64()})
+			}
+		}
+	}
+	dense = make([]matrix.Mat, s)
+	csr = make([]matrix.Mat, s)
+	for t := 0; t < s; t++ {
+		c := matrix.NewCSR(n, d, shares[t])
+		csr[t] = c
+		dense[t] = matrix.ToDense(c)
+	}
+	return dense, csr
+}
+
+type drawRecord struct {
+	row  int
+	qhat float64
+	raw  []float64
+}
+
+// runZRow executes one traced ZRow session and returns the draws, the total
+// words and the full message transcript.
+func runZRow(t *testing.T, locals []matrix.Mat, draws int) ([]drawRecord, int64, []comm.Message) {
+	t.Helper()
+	net := comm.NewNetwork(len(locals))
+	net.EnableTrace()
+	p := zsampler.ParamsForBudget(1<<14, len(locals), locals[0].Rows()*locals[0].Cols(), 99)
+	zr, err := NewZRow(net, locals, fn.Identity{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]drawRecord, draws)
+	for i := range out {
+		s, err := zr.Draw()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = drawRecord{row: s.Row, qhat: s.QHat, raw: s.RawRow}
+	}
+	return out, net.Words(), net.Transcript()
+}
+
+// TestZRowBackendBitIdentical is the backend contract at the protocol
+// level: the same logical shares stored dense vs CSR must produce the
+// exact same draws (indices, Q̂ and raw rows, bitwise) and the exact same
+// communication transcript — RNG consumption, message order, tags and
+// word counts included.
+func TestZRowBackendBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	denseLocals, csrLocals := sparseRowPartition(rng, 150, 12, 3, 0.08)
+	dd, dWords, dTrace := runZRow(t, denseLocals, 25)
+	cd, cWords, cTrace := runZRow(t, csrLocals, 25)
+
+	if dWords != cWords {
+		t.Fatalf("words differ: dense %d, csr %d", dWords, cWords)
+	}
+	if len(dTrace) != len(cTrace) {
+		t.Fatalf("transcript lengths differ: %d vs %d", len(dTrace), len(cTrace))
+	}
+	for i := range dTrace {
+		if dTrace[i] != cTrace[i] {
+			t.Fatalf("transcript message %d differs: %+v vs %+v", i, dTrace[i], cTrace[i])
+		}
+	}
+	for i := range dd {
+		if dd[i].row != cd[i].row || dd[i].qhat != cd[i].qhat {
+			t.Fatalf("draw %d differs: dense (row %d, q %v), csr (row %d, q %v)",
+				i, dd[i].row, dd[i].qhat, cd[i].row, cd[i].qhat)
+		}
+		for j := range dd[i].raw {
+			if dd[i].raw[j] != cd[i].raw[j] {
+				t.Fatalf("draw %d raw[%d] differs bitwise", i, j)
+			}
+		}
+	}
+}
+
+// TestUniformBackendBitIdentical covers the uniform sampler's row
+// collection path the same way.
+func TestUniformBackendBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	denseLocals, csrLocals := sparseRowPartition(rng, 60, 9, 4, 0.1)
+	run := func(locals []matrix.Mat) ([]drawRecord, int64) {
+		net := comm.NewNetwork(len(locals))
+		u, err := NewUniform(net, locals, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]drawRecord, 40)
+		for i := range out {
+			s, err := u.Draw()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = drawRecord{row: s.Row, qhat: s.QHat, raw: s.RawRow}
+		}
+		return out, net.Words()
+	}
+	dd, dw := run(denseLocals)
+	cd, cw := run(csrLocals)
+	if dw != cw {
+		t.Fatalf("words differ: %d vs %d", dw, cw)
+	}
+	for i := range dd {
+		if dd[i].row != cd[i].row {
+			t.Fatalf("draw %d row differs", i)
+		}
+		for j := range dd[i].raw {
+			if dd[i].raw[j] != cd[i].raw[j] {
+				t.Fatalf("draw %d raw[%d] differs bitwise", i, j)
+			}
+		}
+	}
+}
+
+// TestFullProtocolBackendBitIdentical drives Algorithm 1 end to end on both
+// backends and demands bitwise-equal projection matrices.
+func TestFullProtocolBackendBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	denseLocals, csrLocals := sparseRowPartition(rng, 100, 10, 2, 0.1)
+	run := func(locals []matrix.Mat) *matrix.Dense {
+		net := comm.NewNetwork(len(locals))
+		p := zsampler.ParamsForBudget(1<<13, len(locals), 100*10, 7)
+		zr, err := NewZRow(net, locals, fn.Identity{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(net, zr, fn.Identity{}, 10, core.Options{K: 3, R: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.P
+	}
+	dp := run(denseLocals)
+	cp := run(csrLocals)
+	if !dp.Equalf(cp, 0) {
+		t.Fatal("projection matrices differ between backends")
+	}
+}

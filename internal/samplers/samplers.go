@@ -27,34 +27,36 @@ import (
 	"repro/internal/zsampler"
 )
 
-// CollectRawRow assembles the exact global row i = Σ_t locals[t].Row(i) at
+// CollectRawRow assembles the exact global row i = Σ_t locals[t] row i at
 // the CP, charging d words from every non-CP server (Algorithm 1 line 7).
 // Unlike the bulk sketch traffic, which moves over the concurrent channel
 // links, a single row is latency-bound: summing in place with sender-side
 // charging is both deterministic and far cheaper than s goroutine spawns
-// and payload copies per draw on this hot path.
-func CollectRawRow(net *comm.Network, locals []*matrix.Dense, i int, tag string) []float64 {
+// and payload copies per draw on this hot path. Scattering each share's
+// nonzeros costs O(nnz(row)) per server; the charge stays d words because
+// the assembled row travels dense (the accounting is backend-invariant by
+// design — see matrix.Mat).
+func CollectRawRow(net *comm.Network, locals []matrix.Mat, i int, tag string) []float64 {
 	d := locals[0].Cols()
 	sum := make([]float64, d)
 	for t, m := range locals {
 		if t != comm.CP {
 			net.Charge(t, comm.CP, tag, int64(d))
 		}
-		row := m.Row(i)
-		for c, v := range row {
+		m.RowNNZ(i, func(c int, v float64) {
 			sum[c] += v
-		}
+		})
 	}
 	return sum
 }
 
-func validateLocals(locals []*matrix.Dense) (n, d int, err error) {
+func validateLocals(locals []matrix.Mat) (n, d int, err error) {
 	if len(locals) == 0 {
 		return 0, 0, errors.New("samplers: no servers")
 	}
-	n, d = locals[0].Dims()
+	n, d = locals[0].Rows(), locals[0].Cols()
 	for t, m := range locals {
-		mn, md := m.Dims()
+		mn, md := m.Rows(), m.Cols()
 		if mn != n || md != d {
 			return 0, 0, fmt.Errorf("samplers: server %d shape %dx%d != %dx%d", t, mn, md, n, d)
 		}
@@ -68,13 +70,13 @@ func validateLocals(locals []*matrix.Dense) (n, d int, err error) {
 // Uniform samples row indices uniformly with exact probability 1/n.
 type Uniform struct {
 	net    *comm.Network
-	locals []*matrix.Dense
+	locals []matrix.Mat
 	n      int
 	rng    *rand.Rand
 }
 
 // NewUniform constructs the uniform sampler.
-func NewUniform(net *comm.Network, locals []*matrix.Dense, seed int64) (*Uniform, error) {
+func NewUniform(net *comm.Network, locals []matrix.Mat, seed int64) (*Uniform, error) {
 	n, _, err := validateLocals(locals)
 	if err != nil {
 		return nil, err
@@ -96,7 +98,7 @@ func (u *Uniform) Draw() (core.Sample, error) {
 // been collected, with Ẑ from the Z-estimator.
 type ZRow struct {
 	net    *comm.Network
-	locals []*matrix.Dense
+	locals []matrix.Mat
 	z      fn.ZFunc
 	est    *zsampler.Estimator
 	n, d   int
@@ -105,18 +107,14 @@ type ZRow struct {
 // NewZRow builds the sketching infrastructure (the Z-estimator) over the
 // flattened local matrices. All sketch traffic is charged immediately; each
 // Draw afterwards charges only the row collection.
-func NewZRow(net *comm.Network, locals []*matrix.Dense, z fn.ZFunc, p zsampler.Params) (*ZRow, error) {
+func NewZRow(net *comm.Network, locals []matrix.Mat, z fn.ZFunc, p zsampler.Params) (*ZRow, error) {
 	n, d, err := validateLocals(locals)
 	if err != nil {
 		return nil, err
 	}
 	vecs := make([]hh.Vec, len(locals))
 	for t, m := range locals {
-		rows := make([][]float64, n)
-		for i := 0; i < n; i++ {
-			rows[i] = m.Row(i)
-		}
-		vecs[t] = hh.MatrixVec{Rows: rows, Cols: d}
+		vecs[t] = hh.MatVec{M: m}
 	}
 	est, err := zsampler.BuildEstimator(net, vecs, z, p)
 	if err != nil {
@@ -156,7 +154,7 @@ func (s *ZRow) Draw() (core.Sample, error) {
 // amortization trades away.
 type ZRowLiteral struct {
 	net    *comm.Network
-	locals []*matrix.Dense
+	locals []matrix.Mat
 	z      fn.ZFunc
 	params zsampler.Params
 	n, d   int
@@ -164,7 +162,7 @@ type ZRowLiteral struct {
 }
 
 // NewZRowLiteral validates the shares; no sketching happens until Draw.
-func NewZRowLiteral(net *comm.Network, locals []*matrix.Dense, z fn.ZFunc, p zsampler.Params) (*ZRowLiteral, error) {
+func NewZRowLiteral(net *comm.Network, locals []matrix.Mat, z fn.ZFunc, p zsampler.Params) (*ZRowLiteral, error) {
 	n, d, err := validateLocals(locals)
 	if err != nil {
 		return nil, err
@@ -179,11 +177,7 @@ func (s *ZRowLiteral) Draw() (core.Sample, error) {
 	p.Seed = hashing.DeriveSeed(s.params.Seed, 0xF0E0+s.draws)
 	vecs := make([]hh.Vec, len(s.locals))
 	for t, m := range s.locals {
-		rows := make([][]float64, s.n)
-		for i := 0; i < s.n; i++ {
-			rows[i] = m.Row(i)
-		}
-		vecs[t] = hh.MatrixVec{Rows: rows, Cols: s.d}
+		vecs[t] = hh.MatVec{M: m}
 	}
 	est, err := zsampler.BuildEstimator(s.net, vecs, s.z, p)
 	if err != nil {
@@ -224,7 +218,7 @@ type Exact struct {
 // NewExact gathers the global raw matrix (charging (s−1)·n·d words under
 // "baseline/full-gather") and precomputes exact row probabilities of
 // A = f(raw).
-func NewExact(net *comm.Network, locals []*matrix.Dense, f fn.Func, seed int64) (*Exact, error) {
+func NewExact(net *comm.Network, locals []matrix.Mat, f fn.Func, seed int64) (*Exact, error) {
 	n, d, err := validateLocals(locals)
 	if err != nil {
 		return nil, err
@@ -234,7 +228,12 @@ func NewExact(net *comm.Network, locals []*matrix.Dense, f fn.Func, seed int64) 
 		if t != comm.CP {
 			net.Charge(t, comm.CP, "baseline/full-gather", int64(n*d))
 		}
-		raw.AddInPlace(m)
+		for i := 0; i < n; i++ {
+			ri := raw.Row(i)
+			m.RowNNZ(i, func(c int, v float64) {
+				ri[c] += v
+			})
+		}
 	}
 	a := raw.Apply(f.Apply)
 	total := a.FrobNorm2()

@@ -12,7 +12,7 @@ import (
 )
 
 // split additively partitions M across s servers.
-func split(M *matrix.Dense, s int, rng *rand.Rand) []*matrix.Dense {
+func split(M *matrix.Dense, s int, rng *rand.Rand) []matrix.Mat {
 	n, d := M.Dims()
 	out := make([]*matrix.Dense, s)
 	for t := range out {
@@ -29,7 +29,7 @@ func split(M *matrix.Dense, s int, rng *rand.Rand) []*matrix.Dense {
 			out[s-1].Set(i, j, M.At(i, j)-acc)
 		}
 	}
-	return out
+	return matrix.AsMats(out)
 }
 
 func randomMatrix(rng *rand.Rand, n, d int) *matrix.Dense {
@@ -108,10 +108,10 @@ func TestValidateLocals(t *testing.T) {
 	if _, _, err := validateLocals(nil); err == nil {
 		t.Fatal("nil locals accepted")
 	}
-	if _, _, err := validateLocals([]*matrix.Dense{matrix.NewDense(2, 2), matrix.NewDense(3, 2)}); err == nil {
+	if _, _, err := validateLocals([]matrix.Mat{matrix.NewDense(2, 2), matrix.NewDense(3, 2)}); err == nil {
 		t.Fatal("shape mismatch accepted")
 	}
-	if _, _, err := validateLocals([]*matrix.Dense{matrix.NewDense(0, 0)}); err == nil {
+	if _, _, err := validateLocals([]matrix.Mat{matrix.NewDense(0, 0)}); err == nil {
 		t.Fatal("empty accepted")
 	}
 }
@@ -253,7 +253,7 @@ func TestExactSamplerAppliesF(t *testing.T) {
 
 func TestExactSamplerZeroMatrix(t *testing.T) {
 	net := comm.NewNetwork(2)
-	locals := []*matrix.Dense{matrix.NewDense(5, 3), matrix.NewDense(5, 3)}
+	locals := []matrix.Mat{matrix.NewDense(5, 3), matrix.NewDense(5, 3)}
 	if _, err := NewExact(net, locals, fn.Identity{}, 1); err == nil {
 		t.Fatal("zero matrix accepted")
 	}

@@ -1,0 +1,92 @@
+package zsampler
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/fn"
+)
+
+// TestSampleNegativeClassIndex is the regression test for the draw-failure
+// bug behind the "Caltech-101(P=20) ratio 0.1" abort: the class-selection
+// loop used picked == -1 as its FAIL sentinel, but -1 is a legitimate
+// class index (any coordinate with z ∈ [1/(1+ε), 1) lands there — exactly
+// where GM(p=20) concentrates nearly all its z-mass). Every draw hitting
+// class -1 was treated as a FAIL: draws were silently skewed away from the
+// dominant class and, with probability ≈ (mass of class -1)^MaxRetries per
+// draw, the whole run aborted with ErrFailed.
+func TestSampleNegativeClassIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// All coordinates carry z = 0.81 ∈ [1/1.5, 1) ⇒ classIndex = -1 for
+	// every recovered coordinate: the entire z-mass lives in class -1.
+	v := make([]float64, 256)
+	for j := range v {
+		v[j] = 0.9
+	}
+	locals := makeLocals(v, 2, rng)
+	net := comm.NewNetwork(2)
+	est, err := BuildEstimator(net, locals, fn.Identity{}, richParams(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := classIndex(fn.Identity{}.Z(0.9), 0.5); got != -1 {
+		t.Fatalf("test premise broken: classIndex = %d, want -1", got)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := est.Sample(); err != nil {
+			t.Fatalf("draw %d from all-class(-1) estimator: %v", i, err)
+		}
+	}
+}
+
+// TestFallbackLadderExactLocalDraw forces every weighted attempt to FAIL
+// (overwhelming injected mass) and verifies the bottom rung of the ladder
+// still produces valid draws instead of ErrFailed.
+func TestFallbackLadderExactLocalDraw(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	v := make([]float64, 512)
+	for j := range v {
+		v[j] = rng.Float64() * 4
+	}
+	locals := makeLocals(v, 2, rng)
+	net := comm.NewNetwork(2)
+	est, err := BuildEstimator(net, locals, fn.Identity{}, richParams(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swamp every class with injected mass: each weighted attempt now
+	// lands in the injected share with overwhelming probability, so both
+	// retry rungs exhaust and the exact local draw must take over.
+	for _, c := range est.classes {
+		est.injected[c.idx] = 1e12 * est.zhat
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 50; i++ {
+		j, err := est.Sample()
+		if err != nil {
+			t.Fatalf("draw %d: fallback ladder still failed: %v", i, err)
+		}
+		if _, ok := est.Value(j); !ok {
+			t.Fatalf("draw %d returned unrecovered coordinate %d", i, j)
+		}
+		seen[j] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("exact local draw returned only %d distinct coordinates in 50 draws", len(seen))
+	}
+}
+
+// TestExactLocalDrawEmptyList covers the true dead end: no recovered
+// z-mass at all must still surface ErrFailed rather than spin or panic.
+func TestExactLocalDrawEmptyList(t *testing.T) {
+	e := &Estimator{
+		z:        fn.Identity{},
+		list:     map[uint64]float64{},
+		members:  map[int][]uint64{},
+		injected: map[int]float64{},
+	}
+	if _, err := e.exactLocalDraw(); err != ErrFailed {
+		t.Fatalf("err = %v, want ErrFailed", err)
+	}
+}

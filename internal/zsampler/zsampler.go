@@ -395,41 +395,62 @@ func (e *Estimator) Prob(value float64) float64 {
 	return zv / e.zhat
 }
 
-// ErrFailed is returned when a draw lands on injected mass or an empty
-// class more than MaxRetries times.
+// ErrFailed is returned when every rung of the draw fallback ladder is
+// exhausted — which requires the recovered List to carry no positive
+// z-mass at all (an estimator in that state is normally rejected at build
+// time already).
 var ErrFailed = errors.New("zsampler: draw failed after retries")
 
 // Sample performs one Z-sampler draw (Algorithm 4): pick class i* with
 // probability ∝ ŝ_i(1+ε)^i (plus injected mass), then return the member of
 // List ∩ S_i* minimizing a fresh min-wise hash. Injected mass triggers a
 // retry, up to MaxRetries.
+//
+// Instead of surfacing ErrFailed when the retry budget runs out, the draw
+// degrades along a budget ladder: first the retry budget is escalated 8×
+// (paper: the FAIL probability per attempt is a constant, so a deeper
+// budget drives the failure probability down exponentially); if even that
+// fails — possible when injected mass dominates a heavily skewed class
+// layout — the draw falls back to an exact local draw over the recovered
+// List, which cannot FAIL.
 func (e *Estimator) Sample() (uint64, error) {
+	if j, ok := e.trySample(e.params.MaxRetries); ok {
+		return j, nil
+	}
+	if j, ok := e.trySample(8 * e.params.MaxRetries); ok {
+		return j, nil
+	}
+	return e.exactLocalDraw()
+}
+
+// trySample attempts up to budget weighted class draws (Algorithm 4 as
+// written). The second return is false when every attempt FAILed.
+func (e *Estimator) trySample(budget int) (uint64, bool) {
 	total := e.zhat
 	for _, inj := range e.injected {
 		total += inj
 	}
-	for attempt := 0; attempt < e.params.MaxRetries; attempt++ {
+	for attempt := 0; attempt < budget; attempt++ {
 		x := e.rng.Float64() * total
-		picked := -1
+		// An explicit hit flag: class indices are signed (class i covers
+		// z-values in [(1+ε)^i, (1+ε)^{i+1}), so z < 1 means i < 0) and no
+		// index value can double as the FAIL sentinel.
+		hit := false
+		var members []uint64
 		for _, c := range e.classes {
 			w := c.weight + e.injected[c.idx]
 			if x < w {
 				// Landing inside the injected share of the class is a FAIL.
-				if x >= c.weight {
-					picked = -1
-				} else {
-					picked = c.idx
+				if x < c.weight {
+					hit = true
+					members = e.members[c.idx]
 				}
 				break
 			}
 			x -= w
 		}
-		if picked == -1 {
-			continue // FAIL: injected coordinate (or roundoff tail); retry
-		}
-		members := e.members[picked]
-		if len(members) == 0 {
-			continue
+		if !hit || len(members) == 0 {
+			continue // FAIL: injected mass, empty class or roundoff tail
 		}
 		// Min-wise hashing with a per-draw hash g′ (fresh seed per draw)
 		// picks a near-uniform member of the recovered class.
@@ -442,7 +463,51 @@ func (e *Estimator) Sample() (uint64, error) {
 				best, bestV = j, v
 			}
 		}
-		return best, nil
+		return best, true
+	}
+	return 0, false
+}
+
+// exactLocalDraw is the bottom rung of the draw fallback ladder: draw a
+// recovered coordinate with exact probability z(a_j)/Σ_List z(a_j). The
+// values were already collected during estimation, so this is entirely
+// local to the CP, charges nothing, and cannot land on injected mass. It
+// trades the class-size reweighting for guaranteed progress — acceptable
+// precisely because it only runs after 9·MaxRetries weighted attempts
+// FAILed, where erroring out used to abort whole experiment sweeps.
+func (e *Estimator) exactLocalDraw() (uint64, error) {
+	classes := make([]int, 0, len(e.members))
+	for ci := range e.members {
+		classes = append(classes, ci)
+	}
+	sort.Ints(classes)
+	var total float64
+	for _, ci := range classes {
+		for _, j := range e.members[ci] {
+			total += e.z.Z(e.list[j])
+		}
+	}
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		return 0, ErrFailed
+	}
+	x := e.rng.Float64() * total
+	var last uint64
+	found := false
+	for _, ci := range classes {
+		for _, j := range e.members[ci] {
+			w := e.z.Z(e.list[j])
+			if w <= 0 {
+				continue
+			}
+			last, found = j, true
+			if x < w {
+				return j, nil
+			}
+			x -= w
+		}
+	}
+	if found {
+		return last, nil // roundoff tail lands on the final member
 	}
 	return 0, ErrFailed
 }

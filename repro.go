@@ -14,8 +14,9 @@
 // internal packages: internal/core (the Algorithm 1 framework),
 // internal/zsampler (the generalized sampler), internal/hh (distributed
 // heavy hitters), internal/sketch (CountSketch/AMS), internal/matrix
-// (dense linear algebra), internal/comm (the accounting network), and
-// internal/lowerbound (the paper's hardness reductions, executable).
+// (storage backends — dense and sparse CSR — plus linear algebra),
+// internal/comm (the accounting network), and internal/lowerbound (the
+// paper's hardness reductions, executable).
 //
 // Quick start:
 //
@@ -41,11 +42,34 @@ import (
 // Matrix is the dense matrix type used throughout the public API.
 type Matrix = matrix.Dense
 
+// Mat is the read-only matrix interface the protocols consume; both the
+// dense Matrix and the sparse CSR backend satisfy it. Results are
+// bit-identical across backends for the same logical matrix.
+type Mat = matrix.Mat
+
+// CSR is the compressed-sparse-row matrix backend: per-row sorted
+// (column, value) runs, costing O(nnz) on the protocols' per-row hot paths
+// where the dense backend costs O(d).
+type CSR = matrix.CSR
+
+// Triple is one (row, col, value) entry for sparse construction.
+type Triple = matrix.Triple
+
 // NewMatrix allocates a zeroed r×c matrix.
 func NewMatrix(r, c int) *Matrix { return matrix.NewDense(r, c) }
 
 // FromRows builds a matrix from rows, copying them.
 func FromRows(rows [][]float64) *Matrix { return matrix.FromRows(rows) }
+
+// NewCSR builds an r×c sparse matrix from coordinate triples
+// (deterministically: duplicates are summed, zeros dropped).
+func NewCSR(r, c int, triples []Triple) *CSR { return matrix.NewCSR(r, c, triples) }
+
+// ToCSR compresses any matrix to the CSR backend.
+func ToCSR(m Mat) *CSR { return matrix.ToCSR(m) }
+
+// ToDense materializes any matrix as a dense Matrix.
+func ToDense(m Mat) *Matrix { return matrix.ToDense(m) }
 
 // Func pairs the entrywise f with the sampling weight z the protocol needs.
 // Construct instances with Identity, AbsPower, SoftmaxGM, Huber, L1L2 or
@@ -108,6 +132,20 @@ func PrepareGM(local *Matrix, p float64, s int) *Matrix {
 	return local.Apply(func(x float64) float64 { return g.Prepare(x, s) })
 }
 
+// Backend selects the storage representation of the per-server shares for
+// the duration of a PCA run. The protocol's result and communication
+// transcript are identical under every backend; the choice trades memory
+// and per-row work (CSR pays O(nnz), dense pays O(d)).
+type Backend = matrix.Backend
+
+// BackendAuto (the zero value) keeps the shares as installed; the others
+// convert for the run.
+const (
+	BackendAuto  = matrix.BackendAuto
+	BackendDense = matrix.BackendDense
+	BackendCSR   = matrix.BackendCSR
+)
+
 // Options configures a PCA run.
 type Options struct {
 	// K is the target rank (required).
@@ -129,6 +167,10 @@ type Options struct {
 	// phase fans out on (0 or 1 = sequential). The protocol's result and
 	// communication transcript are identical at any worker count.
 	Workers int
+	// Backend converts the shares' storage representation for this run
+	// (BackendAuto keeps them as installed). Results are identical under
+	// every backend.
+	Backend Backend
 }
 
 // Result is the outcome of a distributed PCA.
@@ -149,7 +191,7 @@ type Result struct {
 // communication accounting.
 type Cluster struct {
 	net    *comm.Network
-	locals []*Matrix
+	locals []Mat
 }
 
 // NewCluster creates a cluster of s servers (server 0 is the CP).
@@ -160,15 +202,21 @@ func NewCluster(s int) *Cluster {
 // Servers returns the number of servers.
 func (c *Cluster) Servers() int { return c.net.Servers() }
 
-// SetLocalData installs each server's local matrix A^t. All shares must
-// have identical shape.
+// SetLocalData installs each server's local dense matrix A^t. All shares
+// must have identical shape.
 func (c *Cluster) SetLocalData(locals []*Matrix) error {
+	return c.SetLocalMats(matrix.AsMats(locals))
+}
+
+// SetLocalMats installs each server's local matrix A^t in any backend
+// (dense, CSR, or a mix). All shares must have identical shape.
+func (c *Cluster) SetLocalMats(locals []Mat) error {
 	if len(locals) != c.net.Servers() {
 		return fmt.Errorf("repro: %d shares for %d servers", len(locals), c.net.Servers())
 	}
-	n, d := locals[0].Dims()
+	n, d := locals[0].Rows(), locals[0].Cols()
 	for t, m := range locals {
-		mn, md := m.Dims()
+		mn, md := m.Rows(), m.Cols()
 		if mn != n || md != d {
 			return fmt.Errorf("repro: server %d share is %dx%d, want %dx%d", t, mn, md, n, d)
 		}
@@ -202,12 +250,13 @@ func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
 	if seed == 0 {
 		seed = 0x5EED
 	}
-	n, d := c.locals[0].Dims()
+	locals := opts.Backend.Apply(c.locals)
+	n, d := locals[0].Rows(), locals[0].Cols()
 	start := c.net.Snapshot()
 
 	var sampler core.RowSampler
 	if f.z == nil {
-		u, err := samplers.NewUniform(c.net, c.locals, seed)
+		u, err := samplers.NewUniform(c.net, locals, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -225,7 +274,7 @@ func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
 		}
 		p := zsampler.ParamsForBudget(budget, c.net.Servers(), n*d, seed)
 		p.Workers = opts.Workers
-		zr, err := samplers.NewZRow(c.net, c.locals, f.z, p)
+		zr, err := samplers.NewZRow(c.net, locals, f.z, p)
 		if err != nil {
 			return nil, err
 		}
@@ -256,11 +305,7 @@ func (c *Cluster) ImplicitMatrix(f Func) (*Matrix, error) {
 	if c.locals == nil {
 		return nil, errors.New("repro: SetLocalData before ImplicitMatrix")
 	}
-	sum := c.locals[0].Clone()
-	for _, m := range c.locals[1:] {
-		sum.AddInPlace(m)
-	}
-	return sum.Apply(f.f.Apply), nil
+	return matrix.SumMats(c.locals).Apply(f.f.Apply), nil
 }
 
 // ProjectionError2 returns ‖A − AP‖_F² via the matrix Pythagorean theorem.
