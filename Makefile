@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet short ci
+.PHONY: all build test race bench bench-json fmt vet short ci smoke-tcp
 
 all: build
 
@@ -23,22 +23,40 @@ race:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# Perf trajectory snapshot: the seq-vs-parallel sweep benchmarks and the
-# dense-vs-CSR storage backend benchmarks, rendered as JSON records
+# Perf trajectory snapshot: the seq-vs-parallel sweep benchmarks, the
+# dense-vs-CSR storage backend benchmarks and the mem-vs-TCP-loopback
+# transport benchmarks (ns/op, B/op, wire_bytes), rendered as JSON records
 # (op, iterations, ns/op, B/op, custom metrics) for machine comparison
 # across PRs.
 # Staged through temp files so a failing bench run (or an empty
 # measurement set, which dlra-benchjson rejects) fails the target without
 # truncating an existing BENCH_JSON snapshot.
-BENCH_JSON ?= BENCH_pr2.json
+BENCH_JSON ?= BENCH_pr3.json
 bench-json:
-	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR' \
+	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport' \
 		-benchmem -benchtime=3x . > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
 	$(GO) run ./cmd/dlra-benchjson < $(BENCH_JSON).txt > $(BENCH_JSON).tmp || \
 		{ rm -f $(BENCH_JSON).txt $(BENCH_JSON).tmp; exit 1; }
 	@rm -f $(BENCH_JSON).txt
 	mv $(BENCH_JSON).tmp $(BENCH_JSON)
 	@echo "wrote $(BENCH_JSON)"
+
+# Multi-process smoke: a coordinator plus two external dlra-worker
+# processes over loopback TCP run a small sweep end to end — the wire
+# protocol (handshake, share installation, op execution, shutdown) as a
+# real deployment uses it. Mirrored by the tcp-smoke CI job.
+SMOKE_DIR ?= /tmp/dlra-smoke
+SMOKE_ADDR ?= 127.0.0.1:7791
+smoke-tcp:
+	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
+	$(GO) build -o $(SMOKE_DIR)/dlra-pca ./cmd/dlra-pca
+	$(GO) build -o $(SMOKE_DIR)/dlra-worker ./cmd/dlra-worker
+	$(GO) build -o $(SMOKE_DIR)/dlra-datagen ./cmd/dlra-datagen
+	$(SMOKE_DIR)/dlra-datagen -dataset forestcover -scale small -output $(SMOKE_DIR)/fc.bin
+	$(SMOKE_DIR)/dlra-worker -join $(SMOKE_ADDR) & \
+	$(SMOKE_DIR)/dlra-worker -join $(SMOKE_ADDR) & \
+	$(SMOKE_DIR)/dlra-pca -input $(SMOKE_DIR)/fc.bin -k 5 -servers 3 -seed 7 \
+		-transport tcp -tcp-listen $(SMOKE_ADDR) -tcp-spawn=false -sweep-rows 16,32 && wait
 
 # Fails (exit 1) when any file needs gofmt.
 fmt:

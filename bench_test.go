@@ -302,7 +302,9 @@ func BenchmarkDenseVsCSRCollectRow(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			net := comm.NewNetwork(s)
 			for i := 0; i < b.N; i++ {
-				samplers.CollectRawRow(net, tc.locals, i%n, "bench/rows")
+				if _, err := samplers.CollectRawRow(net, tc.locals, i%n, "bench/rows"); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -469,7 +471,9 @@ func BenchmarkDyadicVsFlatHH(b *testing.B) {
 	b.Run("dyadic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			net := comm.NewNetwork(1)
-			hh.DyadicHeavyHitters(net, locals, 32, p, int64(i), "dy")
+			if _, err := hh.DyadicHeavyHitters(net, locals, 32, p, int64(i), "dy"); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }
@@ -490,7 +494,7 @@ func BenchmarkLinearVsGeneralized(b *testing.B) {
 		var add float64
 		for i := 0; i < b.N; i++ {
 			net := comm.NewNetwork(s)
-			res, err := linearbaseline.Run(net, locals, linearbaseline.Options{K: k, Eps: 0.25, Seed: int64(i)})
+			res, err := linearbaseline.Run(net, matrix.AsMats(locals), linearbaseline.Options{K: k, Eps: 0.25, Seed: int64(i)})
 			if err != nil {
 				b.Fatal(err)
 			}

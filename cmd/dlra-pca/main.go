@@ -1,14 +1,28 @@
 // Command dlra-pca runs the distributed additive-error PCA protocol on a
-// matrix file: the matrix is partitioned across simulated servers, the
-// requested entrywise function is applied to the implicit sum, and the
-// rank-k projection basis is written out together with error and
-// communication statistics.
+// matrix file: the matrix is partitioned across servers, the requested
+// entrywise function is applied to the implicit sum, and the rank-k
+// projection basis is written out together with error and communication
+// statistics.
 //
 // Usage:
 //
 //	dlra-pca -input data.csv -k 10 [-servers 10] [-fn identity|huber:K|gm:P|l1l2|fair:C|cosine]
 //	         [-partition row|arbitrary] [-rows R] [-eps E] [-boost B]
 //	         [-output basis.csv] [-seed S] [-sparse]
+//	         [-transport mem|tcp] [-tcp-listen 127.0.0.1:0] [-tcp-spawn=true]
+//	         [-sweep-rows 16,32,64]
+//
+// With -transport mem (the default) every server is a goroutine in this
+// process over the in-memory transport. With -transport tcp the process
+// becomes the coordinator of a real multi-process cluster: it listens on
+// -tcp-listen, spawns s−1 worker OS processes by re-executing itself (or
+// waits for external cmd/dlra-worker processes when -tcp-spawn=false),
+// ships each worker its share as setup traffic, and runs the identical
+// protocol over length-prefixed typed frames — for a fixed seed the word
+// ledger is identical between the two transports.
+//
+// -sweep-rows runs the protocol once per requested sample count r on the
+// same cluster, printing one summary line per cell — a small-scale sweep.
 //
 // The input is CSV (or the binary .bin format of internal/matio). With
 // -fn gm:P the matrix entries are treated as raw values each server
@@ -20,8 +34,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/matio"
@@ -34,7 +51,7 @@ func main() {
 	input := flag.String("input", "", "input matrix file (CSV or .bin)")
 	output := flag.String("output", "", "write the d×k projection basis here (optional)")
 	k := flag.Int("k", 10, "target rank")
-	servers := flag.Int("servers", 10, "number of simulated servers")
+	servers := flag.Int("servers", 10, "number of servers")
 	fnSpec := flag.String("fn", "identity", "entrywise function: identity, huber:K, gm:P, l1l2, fair:C, abspow:P")
 	partition := flag.String("partition", "row", "how the matrix is split: row or arbitrary")
 	rows := flag.Int("rows", 0, "sampled rows r (0 = derive from k and eps)")
@@ -43,7 +60,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker pool size for the sampler's sketching phase (0 = one per CPU, 1 = sequential)")
 	sparse := flag.Bool("sparse", false, "store the per-server shares as sparse CSR rows (identical results, O(nnz) hot paths)")
+	transport := flag.String("transport", "mem", "fabric transport: mem (in-process) or tcp (multi-process cluster)")
+	tcpListen := flag.String("tcp-listen", "127.0.0.1:0", "coordinator listen address for -transport tcp")
+	tcpSpawn := flag.Bool("tcp-spawn", true, "spawn s−1 worker processes by re-executing this binary (false: wait for external dlra-worker processes)")
+	sweepRows := flag.String("sweep-rows", "", "comma-separated sample counts: run one protocol execution per r on the same cluster")
+	workerJoin := flag.String("worker-join", "", "internal: run as a worker process joining the given coordinator address")
 	flag.Parse()
+
+	// Re-exec worker mode: this process hosts one server's share and
+	// executes protocol ops until the coordinator shuts the cluster down.
+	if *workerJoin != "" {
+		if err := repro.JoinWorker(*workerJoin, 30*time.Second); err != nil {
+			log.Fatalf("dlra-pca (worker): %v", err)
+		}
+		return
+	}
 
 	if *input == "" {
 		log.Fatal("dlra-pca: -input is required")
@@ -77,25 +108,38 @@ func main() {
 		}
 	}
 
-	backend := repro.BackendAuto
+	// The storage backend is decided before installation: TCP workers
+	// receive their shares once, in final form, as setup traffic.
+	shares := matrix.AsMats(locals)
 	if *sparse {
-		backend = repro.BackendCSR
 		var nnz int64
 		for _, m := range locals {
 			nnz += m.NNZ()
 		}
+		for t, m := range shares {
+			shares[t] = matrix.ToCSR(m)
+		}
 		fmt.Printf("backend           : csr (share density %.2f%%)\n",
-			100*float64(nnz)/(float64(len(locals))*float64(n)*float64(d)))
+			100*float64(nnz)/(float64(len(shares))*float64(n)*float64(d)))
 	}
 
-	cluster := repro.NewCluster(*servers)
-	if err := cluster.SetLocalData(locals); err != nil {
+	cluster, cleanup := connect(*transport, *servers, *tcpListen, *tcpSpawn)
+	defer cleanup()
+	if err := cluster.SetLocalMats(shares); err != nil {
 		log.Fatal(err)
 	}
-	res, err := cluster.PCA(f, repro.Options{
+
+	opts := repro.Options{
 		K: *k, Eps: *eps, Rows: *rows, Boost: *boost, Seed: *seed,
-		Workers: parallel.Workers(*workers), Backend: backend,
-	})
+		Workers: parallel.Workers(*workers),
+	}
+
+	if *sweepRows != "" {
+		runSweep(cluster, f, opts, *sweepRows, *transport)
+		return
+	}
+
+	res, err := cluster.PCA(f, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,7 +153,7 @@ func main() {
 	total := A.FrobNorm2()
 
 	fmt.Printf("function          : %s\n", f.Name())
-	fmt.Printf("servers           : %d (%s partition)\n", *servers, *partition)
+	fmt.Printf("servers           : %d (%s partition, %s transport)\n", *servers, *partition, *transport)
 	fmt.Printf("rows sampled      : %d\n", len(res.SampledRows))
 	fmt.Printf("‖A−AP‖²_F         : %.6g\n", got)
 	fmt.Printf("‖A−[A]_k‖²_F      : %.6g\n", opt)
@@ -117,7 +161,7 @@ func main() {
 	if opt > 0 {
 		fmt.Printf("relative error    : %.4f\n", got/opt)
 	}
-	fmt.Printf("communication     : %d words\n", res.Words)
+	fmt.Printf("communication     : %d words (%d bytes on the wire)\n", res.Words, res.Bytes)
 	fmt.Println("breakdown:")
 	for tag, words := range res.Breakdown {
 		fmt.Printf("  %-26s %d\n", tag, words)
@@ -128,6 +172,89 @@ func main() {
 			log.Fatalf("dlra-pca: writing %s: %v", *output, err)
 		}
 		fmt.Printf("wrote %dx%d projection basis to %s\n", d, *k, *output)
+	}
+}
+
+// connect builds the requested cluster fabric and returns it with a
+// cleanup function (worker shutdown for tcp).
+func connect(transport string, servers int, listen string, spawn bool) (*repro.Cluster, func()) {
+	switch transport {
+	case "mem":
+		c, err := repro.NewCluster(servers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c, func() {}
+	case "tcp":
+		c, err := repro.ListenCluster(servers, listen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var procs []*exec.Cmd
+		if spawn {
+			self, err := os.Executable()
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 1; i < servers; i++ {
+				cmd := exec.Command(self, "-worker-join", c.Addr())
+				cmd.Stderr = os.Stderr
+				if err := cmd.Start(); err != nil {
+					log.Fatalf("dlra-pca: spawning worker %d: %v", i, err)
+				}
+				procs = append(procs, cmd)
+			}
+			fmt.Printf("coordinator       : %s (%d worker processes spawned)\n", c.Addr(), servers-1)
+		} else {
+			fmt.Printf("coordinator       : %s (waiting for %d external dlra-worker processes)\n", c.Addr(), servers-1)
+		}
+		if err := c.AwaitWorkers(60 * time.Second); err != nil {
+			log.Fatal(err)
+		}
+		return c, func() {
+			c.Close()
+			for _, p := range procs {
+				p.Wait()
+			}
+		}
+	default:
+		log.Fatalf("dlra-pca: unknown transport %q", transport)
+		return nil, nil
+	}
+}
+
+// runSweep executes one protocol run per requested r on the shared
+// cluster — a small-scale sweep with one summary line per cell.
+func runSweep(cluster *repro.Cluster, f repro.Func, opts repro.Options, spec, transport string) {
+	var rs []int
+	for _, part := range strings.Split(spec, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || r < 1 {
+			log.Fatalf("dlra-pca: bad -sweep-rows entry %q", part)
+		}
+		rs = append(rs, r)
+	}
+	A, err := cluster.ImplicitMatrix(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := repro.BestRankKError2(A, opts.K)
+	total := A.FrobNorm2()
+	fmt.Printf("sweep (%s transport): %-6s %-12s %-10s %-10s %s\n", transport, "r", "additive", "relative", "words", "bytes")
+	for _, r := range rs {
+		cell := opts
+		cell.Rows = r
+		res, err := cluster.PCA(f, cell)
+		if err != nil {
+			log.Fatalf("dlra-pca: sweep cell r=%d: %v", r, err)
+		}
+		got := repro.ProjectionError2(A, res.Projection)
+		rel := 0.0
+		if opt > 0 {
+			rel = got / opt
+		}
+		fmt.Printf("                      %-6d %-12.4e %-10.4f %-10d %d\n",
+			r, (got-opt)/total, rel, res.Words, res.Bytes)
 	}
 }
 

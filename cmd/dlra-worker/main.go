@@ -1,0 +1,35 @@
+// Command dlra-worker hosts one server of a multi-process dlra cluster:
+// it joins a coordinator (cmd/dlra-pca with -transport tcp, or any
+// repro.ListenCluster caller) by address, receives its share of the
+// implicit matrix as setup traffic, and then executes protocol ops —
+// sketching its share, answering row and value requests — over
+// length-prefixed typed frames until the coordinator shuts the cluster
+// down.
+//
+// Usage:
+//
+//	dlra-worker -join host:port [-wait 30s]
+//
+// Start s−1 workers for a coordinator of s servers. Workers may start
+// before the coordinator listens; they retry the connection for -wait.
+package main
+
+import (
+	"flag"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	join := flag.String("join", "", "coordinator address to join (required)")
+	wait := flag.Duration("wait", 30*time.Second, "how long to retry the initial connection")
+	flag.Parse()
+	if *join == "" {
+		log.Fatal("dlra-worker: -join is required")
+	}
+	if err := repro.JoinWorker(*join, *wait); err != nil {
+		log.Fatalf("dlra-worker: %v", err)
+	}
+}

@@ -39,7 +39,10 @@ func Example() {
 		}
 	}
 
-	cluster := repro.NewCluster(servers)
+	cluster, err := repro.NewCluster(servers)
+	if err != nil {
+		panic(err)
+	}
 	if err := cluster.SetLocalData(locals); err != nil {
 		panic(err)
 	}
@@ -79,7 +82,10 @@ func ExampleCluster_PCA_huber() {
 	// One catastrophic entry, hidden across the shares.
 	locals[0].Set(10, 3, locals[0].At(10, 3)+1e9)
 
-	cluster := repro.NewCluster(servers)
+	cluster, err := repro.NewCluster(servers)
+	if err != nil {
+		panic(err)
+	}
 	if err := cluster.SetLocalData(locals); err != nil {
 		panic(err)
 	}

@@ -45,7 +45,10 @@ func main() {
 	parts := robust.RowPartition(raw, servers, 3)
 	locals := repro.ExpandRFF(parts, mp)
 
-	cluster := repro.NewCluster(servers)
+	cluster, err := repro.NewCluster(servers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := cluster.SetLocalData(locals); err != nil {
 		log.Fatal(err)
 	}

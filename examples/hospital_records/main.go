@@ -84,7 +84,10 @@ func main() {
 		locals[h] = repro.PrepareGM(v, p, hospitals)
 	}
 
-	cluster := repro.NewCluster(hospitals)
+	cluster, err := repro.NewCluster(hospitals)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := cluster.SetLocalData(locals); err != nil {
 		log.Fatal(err)
 	}

@@ -63,7 +63,10 @@ func main() {
 		}
 	}
 
-	cluster := repro.NewCluster(servers)
+	cluster, err := repro.NewCluster(servers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := cluster.SetLocalData(locals); err != nil {
 		log.Fatal(err)
 	}

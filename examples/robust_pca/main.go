@@ -59,7 +59,10 @@ func main() {
 	// Arbitrary partition: shares are noisy, outliers invisible locally.
 	locals := robust.ArbitraryPartition(corrupted, servers, 5)
 
-	cluster := repro.NewCluster(servers)
+	cluster, err := repro.NewCluster(servers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := cluster.SetLocalData(locals); err != nil {
 		log.Fatal(err)
 	}

@@ -50,7 +50,10 @@ func main() {
 			locals[t] = repro.PrepareGM(pool, p, servers)
 		}
 
-		cluster := repro.NewCluster(servers)
+		cluster, err := repro.NewCluster(servers)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if err := cluster.SetLocalData(locals); err != nil {
 			log.Fatal(err)
 		}

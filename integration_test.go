@@ -28,7 +28,7 @@ func TestDistributedMatchesFKVRegime(t *testing.T) {
 	s, k, r := 4, 5, 250
 	locals := splitMatrix(M, s, rng)
 
-	c := NewCluster(s)
+	c := mustCluster(t, s)
 	if err := c.SetLocalData(locals); err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,7 @@ func TestPublicAPIDeterministic(t *testing.T) {
 	M := lowRankMatrix(rng, 150, 10, 3, 0.2)
 	run := func() *Matrix {
 		r2 := rand.New(rand.NewSource(77))
-		c := NewCluster(3)
+		c := mustCluster(t, 3)
 		if err := c.SetLocalData(splitMatrix(M, 3, r2)); err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +79,7 @@ func TestCommunicationScalesWithSamples(t *testing.T) {
 	s := 5
 	words := func(r int) int64 {
 		r2 := rand.New(rand.NewSource(9))
-		c := NewCluster(s)
+		c := mustCluster(t, s)
 		if err := c.SetLocalData(splitMatrix(M, s, r2)); err != nil {
 			t.Fatal(err)
 		}
@@ -91,7 +91,9 @@ func TestCommunicationScalesWithSamples(t *testing.T) {
 	}
 	w100 := words(100)
 	w200 := words(200)
-	perRow := int64((s - 1) * 16)
+	// Each extra row costs one request word plus d row words per non-CP
+	// server (the row index announcement is a real frame too).
+	perRow := int64((s - 1) * (16 + 1))
 	gotDelta := w200 - w100
 	wantDelta := 100 * perRow
 	if gotDelta != wantDelta {
@@ -143,7 +145,7 @@ func TestEpsilonDrivesSampleCount(t *testing.T) {
 	s := 3
 	runEps := func(eps float64) (int, float64) {
 		r2 := rand.New(rand.NewSource(21))
-		c := NewCluster(s)
+		c := mustCluster(t, s)
 		if err := c.SetLocalData(splitMatrix(M, s, r2)); err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +178,7 @@ func TestHuberSampleBias(t *testing.T) {
 	}
 	s := 3
 	locals := splitMatrix(M, s, rng)
-	c := NewCluster(s)
+	c := mustCluster(t, s)
 	if err := c.SetLocalData(locals); err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +208,7 @@ func TestHuberSampleBias(t *testing.T) {
 func TestProjectionActuallyProjects(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	M := lowRankMatrix(rng, 100, 8, 3, 0.2)
-	c := NewCluster(2)
+	c := mustCluster(t, 2)
 	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,409 @@
+// Package cluster turns the simulated star topology into a real one: a
+// coordinator process hosting the CP and its accounting fabric, plus
+// worker processes each hosting one server's share and executing protocol
+// ops against it. The wire protocol is the comm codec's frame format over
+// length-prefixed TCP; the op vocabulary (and its single implementation of
+// every share-side computation) is package ops, so a worker's reply is
+// byte-identical to what the in-process execution of the same op produces
+// — which is exactly what makes mem and tcp transcripts comparable.
+//
+// Lifecycle:
+//
+//	coord, _ := cluster.Listen(s, "127.0.0.1:0")
+//	// workers: cluster.Dial(coord.Addr()) in other processes (or goroutines)
+//	coord.AwaitWorkers(timeout)
+//	coord.InstallShares(locals)          // setup traffic, never charged
+//	net := coord.Network()               // remote-aware accounting fabric
+//	...protocols run against net with coord.MaskShares(locals)...
+//	coord.Close()                        // shuts workers down
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/hh"
+	"repro/internal/matrix"
+	"repro/internal/ops"
+	"repro/internal/sketch"
+)
+
+// protocolVersion gates the worker handshake; bump when the op vocabulary
+// changes incompatibly.
+const protocolVersion = 1
+
+// Setup tags (never charged — the model assumes data already resides on
+// the servers; everything after setup is real, accounted protocol
+// traffic).
+const (
+	tagHello    = "setup/hello"
+	tagAssign   = "setup/assign"
+	tagShare    = "setup/share"
+	tagShutdown = "setup/shutdown"
+)
+
+// Coordinator owns the listening socket, the worker connections and the
+// remote-aware accounting fabric.
+type Coordinator struct {
+	s     int
+	ln    net.Listener
+	conns []net.Conn
+	tr    *comm.TCPTransport
+	net   *comm.Network
+}
+
+// Listen starts a coordinator for s servers (the CP plus s−1 workers to
+// come) on addr (use "127.0.0.1:0" for an ephemeral loopback port).
+func Listen(s int, addr string) (*Coordinator, error) {
+	if s < 2 {
+		return nil, errors.New("cluster: a TCP cluster needs at least 2 servers (one worker)")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	return &Coordinator{s: s, ln: ln, conns: make([]net.Conn, s)}, nil
+}
+
+// Addr returns the address workers should join.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// AwaitWorkers accepts and handshakes s−1 worker connections, assigning
+// server ids 1…s−1 in connection order, then builds the TCP transport and
+// the remote-aware fabric.
+func (c *Coordinator) AwaitWorkers(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for t := 1; t < c.s; t++ {
+		if tcpLn, ok := c.ln.(*net.TCPListener); ok {
+			if err := tcpLn.SetDeadline(deadline); err != nil {
+				return err
+			}
+		}
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: waiting for worker %d/%d: %w", t, c.s-1, err)
+		}
+		// The handshake honors the same deadline as the accept loop: a
+		// connected-but-silent peer (port scanner, crashed worker) must
+		// not hang the coordinator.
+		if err := conn.SetDeadline(deadline); err != nil {
+			conn.Close()
+			return err
+		}
+		hello, err := readFrame(conn, tagHello)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: worker %d handshake: %w", t, err)
+		}
+		if len(hello.Words) != 1 || hello.Words[0] != protocolVersion {
+			conn.Close()
+			return fmt.Errorf("cluster: worker %d speaks protocol %v, want %d", t, hello.Words, protocolVersion)
+		}
+		assign := &comm.Frame{Kind: comm.KindControl, From: comm.CP, To: t, Tag: tagAssign,
+			Words: []uint64{uint64(t), uint64(c.s)}}
+		if err := comm.WriteWireFrame(conn, comm.EncodeFrame(assign)); err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: worker %d assign: %w", t, err)
+		}
+		if err := conn.SetDeadline(time.Time{}); err != nil {
+			conn.Close()
+			return err
+		}
+		c.conns[t] = conn
+	}
+	c.tr = comm.NewTCPTransport(c.conns)
+	remote := make([]bool, c.s)
+	for t := 1; t < c.s; t++ {
+		remote[t] = true
+	}
+	c.net = comm.NewNetworkWith(c.s, c.tr, remote)
+	return nil
+}
+
+// Network returns the remote-aware accounting fabric (valid after
+// AwaitWorkers).
+func (c *Coordinator) Network() *comm.Network { return c.net }
+
+// installChunkWords bounds the value payload of one share-install frame
+// (8 MiB of values), comfortably under the codec's hard frame cap so a
+// share of any size installs as a sequence of frames instead of one
+// frame that cannot be encoded. A variable so tests can force multi-chunk
+// installs with small matrices.
+var installChunkWords = 1 << 20
+
+// InstallShares ships share t to worker t as uncharged setup traffic (the
+// protocol model's premise is that the data already resides on the
+// servers; the install frames exist so the workers can answer ops, not as
+// protocol communication). Shares travel dense, chunked, with a backend
+// marker; CSR shares are rebuilt as CSR on the worker.
+func (c *Coordinator) InstallShares(locals []matrix.Mat) error {
+	if len(locals) != c.s {
+		return fmt.Errorf("cluster: %d shares for %d servers", len(locals), c.s)
+	}
+	for t := 1; t < c.s; t++ {
+		m := locals[t]
+		if m == nil {
+			return fmt.Errorf("cluster: share %d is nil", t)
+		}
+		backend := uint64(0)
+		if _, ok := m.(*matrix.CSR); ok {
+			backend = 1
+		}
+		vals := comm.FloatWords(ops.ShareDump(m))
+		total := len(vals)
+		for off := 0; ; off += installChunkWords {
+			end := off + installChunkWords
+			if end > total {
+				end = total
+			}
+			// Chunk header: n, d, backend, offset, total values.
+			words := []uint64{uint64(m.Rows()), uint64(m.Cols()), backend, uint64(off), uint64(total)}
+			words = append(words, vals[off:end]...)
+			f := &comm.Frame{Kind: comm.KindShare, Op: ops.OpInstallShare, From: comm.CP, To: t,
+				Tag: tagShare, Words: words}
+			if err := comm.WriteWireFrame(c.conns[t], comm.EncodeFrame(f)); err != nil {
+				return fmt.Errorf("cluster: installing share on worker %d: %w", t, err)
+			}
+			if end == total {
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// MaskShares returns the coordinator-side view of the shares: the CP's own
+// share in slot 0, nil for every worker-hosted share — protocol code can
+// only reach those through the fabric.
+func (c *Coordinator) MaskShares(locals []matrix.Mat) []matrix.Mat {
+	masked := make([]matrix.Mat, c.s)
+	masked[comm.CP] = locals[comm.CP]
+	return masked
+}
+
+// Close asks every worker to shut down and releases the sockets.
+func (c *Coordinator) Close() error {
+	var first error
+	for t := 1; t < c.s; t++ {
+		if c.conns[t] == nil {
+			continue
+		}
+		f := &comm.Frame{Kind: comm.KindControl, Op: ops.OpShutdown, From: comm.CP, To: t, Tag: tagShutdown}
+		if err := comm.WriteWireFrame(c.conns[t], comm.EncodeFrame(f)); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.tr != nil {
+		if err := c.tr.Close(); err != nil && first == nil {
+			first = err
+		}
+	} else {
+		for _, conn := range c.conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}
+	if err := c.ln.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// readFrame reads and decodes one frame, checking its setup tag.
+func readFrame(conn net.Conn, wantTag string) (*comm.Frame, error) {
+	buf, err := comm.ReadWireFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	f, err := comm.DecodeFrame(buf)
+	if err != nil {
+		return nil, err
+	}
+	if f.Tag != wantTag {
+		return nil, fmt.Errorf("cluster: frame tagged %q, want %q", f.Tag, wantTag)
+	}
+	return f, nil
+}
+
+// workerState is one worker's installed share, in both views the op
+// vocabulary needs, plus the in-progress chunked installation.
+type workerState struct {
+	id  int
+	s   int
+	mat matrix.Mat
+	vec ops.Vec
+
+	pending       *matrix.Dense // share being assembled from install chunks
+	pendingFilled int
+	pendingCSR    bool
+}
+
+// Serve runs the worker side of the wire protocol on an established
+// connection: handshake, share installation, then the op-execution loop
+// until OpShutdown or connection loss. It is what cmd/dlra-worker runs in
+// its own process, and what tests and benchmarks run in goroutines over
+// loopback TCP.
+func Serve(conn net.Conn) error {
+	defer conn.Close()
+	hello := &comm.Frame{Kind: comm.KindControl, Tag: tagHello, Words: []uint64{protocolVersion}}
+	if err := comm.WriteWireFrame(conn, comm.EncodeFrame(hello)); err != nil {
+		return fmt.Errorf("cluster: hello: %w", err)
+	}
+	assign, err := readFrame(conn, tagAssign)
+	if err != nil {
+		return fmt.Errorf("cluster: awaiting assignment: %w", err)
+	}
+	if len(assign.Words) != 2 {
+		return fmt.Errorf("cluster: malformed assignment %v", assign.Words)
+	}
+	w := &workerState{id: int(assign.Words[0]), s: int(assign.Words[1])}
+
+	for {
+		buf, err := comm.ReadWireFrame(conn)
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d read: %w", w.id, err)
+		}
+		f, err := comm.DecodeFrame(buf)
+		if err != nil {
+			return fmt.Errorf("cluster: worker %d decode: %w", w.id, err)
+		}
+		switch {
+		case f.Op == ops.OpShutdown:
+			return nil
+		case f.Op == ops.OpInstallShare:
+			if err := w.install(f); err != nil {
+				return err
+			}
+		case f.RTag != "":
+			kind, payload, err := w.exec(f)
+			if err != nil {
+				return fmt.Errorf("cluster: worker %d op %d (%s): %w", w.id, f.Op, f.Tag, err)
+			}
+			reply := &comm.Frame{Kind: kind, From: w.id, To: comm.CP, Stream: f.Stream,
+				Tag: f.RTag, Words: comm.FloatWords(payload)}
+			if err := comm.WriteWireFrame(conn, comm.EncodeFrame(reply)); err != nil {
+				return fmt.Errorf("cluster: worker %d reply: %w", w.id, err)
+			}
+		default:
+			// Broadcast with no reply expected (seed announcements, the
+			// projection basis): shared knowledge, consumed and done.
+		}
+	}
+}
+
+// install accumulates one chunk of a share installation and finalizes
+// the share when the last chunk arrives.
+func (w *workerState) install(f *comm.Frame) error {
+	if len(f.Words) < 5 {
+		return fmt.Errorf("cluster: malformed share frame (%d words)", len(f.Words))
+	}
+	n, d, backend := int(f.Words[0]), int(f.Words[1]), f.Words[2]
+	off, total := int(f.Words[3]), int(f.Words[4])
+	vals := comm.WordFloats(f.Words[5:])
+	if n < 0 || d < 0 || total != n*d || off < 0 || off+len(vals) > total {
+		return fmt.Errorf("cluster: share chunk out of bounds (%dx%d, offset %d, %d values)", n, d, off, len(vals))
+	}
+	if off == 0 {
+		w.pending = matrix.NewDense(n, d)
+		w.pendingFilled = 0
+		w.pendingCSR = backend == 1
+	}
+	if w.pending == nil || w.pending.Rows() != n || w.pending.Cols() != d || off != w.pendingFilled {
+		return fmt.Errorf("cluster: share chunk at offset %d does not continue the pending install", off)
+	}
+	copy(w.pending.Data()[off:], vals)
+	w.pendingFilled += len(vals)
+	if w.pendingFilled < total {
+		return nil
+	}
+	w.mat = matrix.Mat(w.pending)
+	if w.pendingCSR {
+		w.mat = matrix.ToCSR(w.pending)
+	}
+	w.vec = ops.MatVec{M: w.mat}
+	w.pending = nil
+	return nil
+}
+
+// exec runs one protocol op against the installed share. Every branch
+// calls the same builder the coordinator uses for in-process shares.
+func (w *workerState) exec(f *comm.Frame) (comm.Kind, []float64, error) {
+	if w.mat == nil {
+		return 0, nil, errors.New("no share installed")
+	}
+	switch f.Op {
+	case ops.OpFlatSketch:
+		seed, depth, width, err := ops.ParseFlatSketch(f.Words)
+		if err != nil {
+			return 0, nil, err
+		}
+		cs := ops.FlatSketch(w.vec, seed, depth, width, 0)
+		return comm.KindSketch, ops.FlattenSketches([]*sketch.CountSketch{cs}), nil
+	case ops.OpBucketSketch:
+		repSeed, buckets, depth, width, filt, err := ops.ParseBucketSketch(f.Words)
+		if err != nil {
+			return 0, nil, err
+		}
+		v := w.vec
+		if filt != nil {
+			v = ops.Filtered{Base: v, Keep: filt.Keep()}
+		}
+		return comm.KindSketch, ops.FlattenSketches(ops.BucketSketches(v, repSeed, buckets, depth, width)), nil
+	case ops.OpDyadicSketch:
+		seed, depth, width, err := ops.ParseFlatSketch(f.Words)
+		if err != nil {
+			return 0, nil, err
+		}
+		return comm.KindSketch, hh.BuildLocalDyadic(w.vec, seed, hh.Params{Depth: depth, Width: width}).Flat(), nil
+	case ops.OpRow:
+		i, err := ops.ParseIndex(f.Words)
+		if err != nil {
+			return 0, nil, err
+		}
+		row, err := ops.Row(w.mat, int(i))
+		if err != nil {
+			return 0, nil, err
+		}
+		return comm.KindRow, row, nil
+	case ops.OpValue:
+		j, err := ops.ParseIndex(f.Words)
+		if err != nil {
+			return 0, nil, err
+		}
+		if j >= w.vec.Len() {
+			return 0, nil, fmt.Errorf("coordinate %d out of range", j)
+		}
+		return comm.KindValue, []float64{w.vec.At(j)}, nil
+	case ops.OpShareDump:
+		return comm.KindShare, ops.ShareDump(w.mat), nil
+	case ops.OpLinearSketch:
+		seed, rows, err := ops.ParseLinearSketch(f.Words)
+		if err != nil {
+			return 0, nil, err
+		}
+		return comm.KindSketch, ops.LinearSketch(w.mat, seed, rows), nil
+	default:
+		return 0, nil, fmt.Errorf("unknown op %d", f.Op)
+	}
+}
+
+// Dial connects to a coordinator and serves until shutdown, retrying the
+// initial connection for up to wait (workers typically start before the
+// coordinator listens).
+func Dial(addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return Serve(conn)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: joining %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

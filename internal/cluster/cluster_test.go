@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fn"
+	"repro/internal/linearbaseline"
+	"repro/internal/matrix"
+	"repro/internal/samplers"
+	"repro/internal/zsampler"
+)
+
+// buildShares additively partitions a deterministic low-rank-ish matrix
+// across s servers.
+func buildShares(seed int64, n, d, s int) []matrix.Mat {
+	rng := rand.New(rand.NewSource(seed))
+	M := matrix.NewDense(n, d)
+	for i := range M.Data() {
+		M.Data()[i] = rng.NormFloat64() * 0.1
+	}
+	for _, i := range []int{1, n / 2, n - 2} {
+		for j := 0; j < d; j++ {
+			M.Set(i, j, 5+rng.Float64())
+		}
+	}
+	out := make([]*matrix.Dense, s)
+	for t := range out {
+		out[t] = matrix.NewDense(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			var acc float64
+			for t := 0; t < s-1; t++ {
+				sh := rng.NormFloat64() * 0.05
+				out[t].Set(i, j, sh)
+				acc += sh
+			}
+			out[s-1].Set(i, j, M.At(i, j)-acc)
+		}
+	}
+	return matrix.AsMats(out)
+}
+
+// startTCP brings up a coordinator with s−1 in-process workers over real
+// loopback TCP sockets and installs the shares.
+func startTCP(t *testing.T, locals []matrix.Mat) *Coordinator {
+	t.Helper()
+	s := len(locals)
+	coord, err := Listen(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < s; i++ {
+		go func() {
+			if err := Dial(coord.Addr(), 5*time.Second); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := coord.AwaitWorkers(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.InstallShares(locals); err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+type runStats struct {
+	words   int64
+	bytes   int64
+	msgs    int64
+	byTag   map[string]int64
+	byTagB  map[string]int64
+	byLink  map[[2]int]int64
+	trace   []comm.Message
+	rows    []int
+	projOK  bool
+	project *matrix.Dense
+}
+
+// runProtocol drives the full generalized-sampler pipeline (Z-estimator
+// with a parallel level sweep — so forked streams interleave on the links
+// — then Algorithm 1 with row collection and the projection broadcast).
+func runProtocol(t *testing.T, net *comm.Network, locals []matrix.Mat, seed int64) runStats {
+	t.Helper()
+	net.EnableTrace()
+	n, d := locals[comm.CP].Rows(), locals[comm.CP].Cols()
+	p := zsampler.ParamsForBudget(1<<13, net.Servers(), n*d, seed)
+	p.Workers = 3
+	zr, err := samplers.NewZRow(net, locals, fn.Identity{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(net, zr, fn.Identity{}, d, core.Options{K: 3, R: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return runStats{
+		words:   net.Words(),
+		bytes:   net.Bytes(),
+		msgs:    net.Messages(),
+		byTag:   net.Breakdown(),
+		byTagB:  net.ByteBreakdown(),
+		byLink:  net.LinkBreakdown(),
+		trace:   net.Transcript(),
+		rows:    res.Rows,
+		projOK:  true,
+		project: res.P,
+	}
+}
+
+// TestMemVsTCPTranscriptEquivalence is the transport determinism gate: for
+// a fixed seed, the word ledger — tags, words, bytes, message order per
+// link — and the protocol's result must be identical whether the servers
+// are goroutines over the in-memory transport or worker processes over
+// TCP. In the spirit of the PR 2 dense-vs-CSR tests, equality is exact,
+// not approximate.
+func TestMemVsTCPTranscriptEquivalence(t *testing.T) {
+	const n, d, s, seed = 80, 10, 4, 1234
+	locals := buildShares(seed, n, d, s)
+
+	mem := runProtocol(t, comm.NewNetwork(s), locals, seed)
+
+	coord := startTCP(t, locals)
+	defer coord.Close()
+	tcp := runProtocol(t, coord.Network(), coord.MaskShares(locals), seed)
+
+	if mem.words != tcp.words || mem.msgs != tcp.msgs {
+		t.Fatalf("ledger totals differ: mem %d words/%d msgs, tcp %d words/%d msgs",
+			mem.words, mem.msgs, tcp.words, tcp.msgs)
+	}
+	if mem.bytes != tcp.bytes {
+		t.Fatalf("byte totals differ: mem %d, tcp %d", mem.bytes, tcp.bytes)
+	}
+	if !reflect.DeepEqual(mem.byTag, tcp.byTag) {
+		t.Fatalf("per-tag words differ:\nmem %v\ntcp %v", mem.byTag, tcp.byTag)
+	}
+	if !reflect.DeepEqual(mem.byTagB, tcp.byTagB) {
+		t.Fatalf("per-tag bytes differ:\nmem %v\ntcp %v", mem.byTagB, tcp.byTagB)
+	}
+	if !reflect.DeepEqual(mem.byLink, tcp.byLink) {
+		t.Fatalf("per-link words differ:\nmem %v\ntcp %v", mem.byLink, tcp.byLink)
+	}
+	if len(mem.trace) != len(tcp.trace) {
+		t.Fatalf("transcript lengths differ: %d vs %d", len(mem.trace), len(tcp.trace))
+	}
+	for i := range mem.trace {
+		if mem.trace[i] != tcp.trace[i] {
+			t.Fatalf("transcript message %d differs: mem %+v, tcp %+v", i, mem.trace[i], tcp.trace[i])
+		}
+	}
+	if !reflect.DeepEqual(mem.rows, tcp.rows) {
+		t.Fatalf("sampled rows differ: mem %v, tcp %v", mem.rows, tcp.rows)
+	}
+	if !mem.project.Equalf(tcp.project, 0) {
+		t.Fatal("projection matrices differ bitwise between transports")
+	}
+}
+
+// TestBytesVsWordsCrossCheck enforces the accounting-layer invariant over
+// a real protocol run: for EVERY protocol tag, the encoded bytes on the
+// wire equal 8·(charged words) + header overhead, and every tag actually
+// moved frames — the word model is enforced, not trusted, and no payload
+// bypassed the fabric.
+func TestBytesVsWordsCrossCheck(t *testing.T) {
+	const n, d, s, seed = 60, 8, 3, 777
+	locals := buildShares(seed, n, d, s)
+	net := comm.NewNetwork(s)
+	runProtocol(t, net, locals, seed)
+
+	words := net.Breakdown()
+	bytes := net.ByteBreakdown()
+	hdr := net.HeaderBreakdown()
+	msgs := net.MessageBreakdown()
+	if len(words) == 0 {
+		t.Fatal("protocol charged nothing")
+	}
+	for tag, w := range words {
+		if bytes[tag] == 0 {
+			t.Fatalf("tag %q bypassed the fabric: %d words, no bytes", tag, w)
+		}
+		if bytes[tag] != 8*w+hdr[tag] {
+			t.Fatalf("tag %q: %d bytes != 8·%d words + %d header", tag, bytes[tag], w, hdr[tag])
+		}
+		// Header overhead is per message and bounded: at least the fixed
+		// header, at most fixed header plus both tag strings.
+		if hdr[tag] < msgs[tag]*comm.FrameHeaderLen || hdr[tag] > msgs[tag]*int64(comm.FrameHeaderLen+2*len(tag)+64) {
+			t.Fatalf("tag %q: header bytes %d implausible for %d messages", tag, hdr[tag], msgs[tag])
+		}
+	}
+	if net.Bytes() != 8*net.Words()+net.HeaderBytes() {
+		t.Fatalf("totals: %d bytes != 8·%d words + %d header", net.Bytes(), net.Words(), net.HeaderBytes())
+	}
+}
+
+// TestTCPClusterReuseAcrossRuns reuses one worker fleet for consecutive
+// protocol runs with a Reset in between — the sweep-cell pattern of the
+// multi-process mode — and demands each run's ledger be identical to a
+// fresh in-process run.
+func TestTCPClusterReuseAcrossRuns(t *testing.T) {
+	const n, d, s, seed = 50, 6, 3, 99
+	locals := buildShares(seed, n, d, s)
+
+	coord := startTCP(t, locals)
+	defer coord.Close()
+	masked := coord.MaskShares(locals)
+
+	first := runProtocol(t, coord.Network(), masked, seed)
+	coord.Network().Reset()
+	second := runProtocol(t, coord.Network(), masked, seed)
+
+	if !reflect.DeepEqual(first.byTag, second.byTag) {
+		t.Fatalf("reused fabric drifted:\nfirst %v\nsecond %v", first.byTag, second.byTag)
+	}
+	if len(first.trace) != len(second.trace) {
+		t.Fatalf("reused fabric transcript drifted: %d vs %d messages", len(first.trace), len(second.trace))
+	}
+	mem := runProtocol(t, comm.NewNetwork(s), locals, seed)
+	if !reflect.DeepEqual(mem.byTag, second.byTag) {
+		t.Fatalf("post-reset run differs from fresh mem run:\nmem %v\ntcp %v", mem.byTag, second.byTag)
+	}
+}
+
+// TestChunkedShareInstall forces the share installation through many
+// tiny chunks and checks the protocol still sees the identical share
+// (transcript equal to the in-process run).
+func TestChunkedShareInstall(t *testing.T) {
+	old := installChunkWords
+	installChunkWords = 7
+	defer func() { installChunkWords = old }()
+
+	const n, d, s, seed = 30, 5, 3, 42
+	locals := buildShares(seed, n, d, s)
+	mem := runProtocol(t, comm.NewNetwork(s), locals, seed)
+
+	coord := startTCP(t, locals)
+	defer coord.Close()
+	tcp := runProtocol(t, coord.Network(), coord.MaskShares(locals), seed)
+
+	if !reflect.DeepEqual(mem.byTag, tcp.byTag) {
+		t.Fatalf("chunked install changed the protocol:\nmem %v\ntcp %v", mem.byTag, tcp.byTag)
+	}
+	if !mem.project.Equalf(tcp.project, 0) {
+		t.Fatal("chunked install corrupted the share")
+	}
+}
+
+// TestLinearBaselineOverTCP drives the linear-model baseline across
+// worker processes — the OpLinearSketch wire path — and checks word-for-
+// word, bit-for-bit parity with the in-process run.
+func TestLinearBaselineOverTCP(t *testing.T) {
+	const n, d, s, seed = 40, 6, 3, 7
+	locals := buildShares(seed, n, d, s)
+	opts := linearbaseline.Options{K: 3, Eps: 0.5, Seed: seed}
+
+	memNet := comm.NewNetwork(s)
+	memNet.EnableTrace()
+	memRes, err := linearbaseline.Run(memNet, locals, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := startTCP(t, locals)
+	defer coord.Close()
+	tcpNet := coord.Network()
+	tcpNet.EnableTrace()
+	tcpRes, err := linearbaseline.Run(tcpNet, coord.MaskShares(locals), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if memRes.Words != tcpRes.Words {
+		t.Fatalf("linear baseline words differ: mem %d, tcp %d", memRes.Words, tcpRes.Words)
+	}
+	if !reflect.DeepEqual(memNet.Transcript(), tcpNet.Transcript()) {
+		t.Fatalf("linear baseline transcripts differ:\nmem %v\ntcp %v", memNet.Breakdown(), tcpNet.Breakdown())
+	}
+	if !memRes.P.Equalf(tcpRes.P, 0) {
+		t.Fatal("linear baseline projection differs between transports")
+	}
+}
+
+// TestTCPClusterCSRShares ships CSR shares to the workers and checks the
+// backend invariance (the PR 2 contract) holds across the wire: dense and
+// CSR shares of the same logical matrix produce identical transcripts.
+func TestTCPClusterCSRShares(t *testing.T) {
+	const n, d, s, seed = 40, 6, 3, 2024
+	dense := buildShares(seed, n, d, s)
+	csr := make([]matrix.Mat, s)
+	for i, m := range dense {
+		csr[i] = matrix.ToCSR(m)
+	}
+
+	coordDense := startTCP(t, dense)
+	defer coordDense.Close()
+	a := runProtocol(t, coordDense.Network(), coordDense.MaskShares(dense), seed)
+
+	coordCSR := startTCP(t, csr)
+	defer coordCSR.Close()
+	b := runProtocol(t, coordCSR.Network(), coordCSR.MaskShares(csr), seed)
+
+	if !reflect.DeepEqual(a.byTag, b.byTag) {
+		t.Fatalf("backend tallies differ over TCP:\ndense %v\ncsr %v", a.byTag, b.byTag)
+	}
+	for i := range a.trace {
+		if a.trace[i] != b.trace[i] {
+			t.Fatalf("transcript message %d differs between backends", i)
+		}
+	}
+	if !a.project.Equalf(b.project, 0) {
+		t.Fatal("projection differs between share backends over TCP")
+	}
+}

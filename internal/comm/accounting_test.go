@@ -1,0 +1,191 @@
+package comm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBytesMatchWordsPlusHeaders is the accounting-layer invariant in
+// miniature: every frame-borne tag must satisfy
+// bytes == 8·words + header bytes, with headers exactly the per-message
+// fixed header plus the tag strings.
+func TestBytesMatchWordsPlusHeaders(t *testing.T) {
+	n := NewNetwork(3)
+	n.SendFloats(1, 0, "up", make([]float64, 5))
+	n.SendScalar(2, 0, "up", 1)
+	n.BroadcastSeed(CP, "seed", 42)
+	n.PostFloats(1, 0, "post", []float64{1, 2})
+	n.RecvFloats(1, 0, "post")
+
+	words, bytes, hdr, msgs := n.Breakdown(), n.ByteBreakdown(), n.HeaderBreakdown(), n.MessageBreakdown()
+	for tag := range words {
+		if bytes[tag] != 8*words[tag]+hdr[tag] {
+			t.Fatalf("tag %q: bytes %d != 8·%d words + %d header", tag, bytes[tag], words[tag], hdr[tag])
+		}
+		if bytes[tag] == 0 {
+			t.Fatalf("tag %q bypassed the codec (no bytes recorded)", tag)
+		}
+	}
+	// Header bytes are exactly accountable: fixed header + tag per message
+	// (none of these frames carry reply tags).
+	for tag := range words {
+		want := msgs[tag] * int64(FrameHeaderLen+len(tag))
+		if hdr[tag] != want {
+			t.Fatalf("tag %q: header bytes %d, want %d over %d msgs", tag, hdr[tag], want, msgs[tag])
+		}
+	}
+	if n.Bytes() != 8*n.Words()+n.HeaderBytes() {
+		t.Fatalf("totals: %d bytes != 8·%d + %d", n.Bytes(), n.Words(), n.HeaderBytes())
+	}
+}
+
+// TestChargeIsWordOnly pins the legacy Charge path: words move, no bytes —
+// which is exactly why protocol code must not use it for payloads.
+func TestChargeIsWordOnly(t *testing.T) {
+	n := NewNetwork(2)
+	n.Charge(1, 0, "legacy", 10)
+	if n.Words() != 10 || n.Bytes() != 0 {
+		t.Fatalf("charge: %d words, %d bytes", n.Words(), n.Bytes())
+	}
+}
+
+// TestResetClearsEverything is the sweep-cell leak regression: Reset must
+// drop the trace log, every per-tag and per-link tally (words and bytes),
+// and any frames still queued in the transport, so a traced fabric reused
+// across cells cannot accumulate unbounded memory or stale frames.
+func TestResetClearsEverything(t *testing.T) {
+	n := NewNetwork(3)
+	n.EnableTrace()
+	n.SendFloats(1, 0, "x", make([]float64, 4))
+	n.PostFloats(2, 0, "stale", []float64{1, 2, 3}) // never received
+	n.Charge(1, 0, "legacy", 2)
+
+	n.Reset()
+
+	if n.Words() != 0 || n.Messages() != 0 || n.Bytes() != 0 || n.HeaderBytes() != 0 {
+		t.Fatalf("totals survived reset: %d words %d msgs %d bytes", n.Words(), n.Messages(), n.Bytes())
+	}
+	for name, m := range map[string]int{
+		"byTag":   len(n.Breakdown()),
+		"byTagB":  len(n.ByteBreakdown()),
+		"byTagH":  len(n.HeaderBreakdown()),
+		"byTagM":  len(n.MessageBreakdown()),
+		"byLink":  len(n.LinkBreakdown()),
+		"byLinkB": len(n.LinkByteBreakdown()),
+	} {
+		if m != 0 {
+			t.Fatalf("%s survived reset (%d entries)", name, m)
+		}
+	}
+	if len(n.Transcript()) != 0 {
+		t.Fatal("trace log survived reset")
+	}
+
+	// The stale frame must be gone: a fresh post/recv pair sees exactly
+	// its own payload, not the pre-reset one.
+	n.PostFloats(2, 0, "fresh", []float64{9})
+	got := n.RecvFloats(2, 0, "fresh")
+	if len(got) != 1 || got[0] != 9 {
+		t.Fatalf("stale frame leaked across reset: %v", got)
+	}
+	// Tracing stays enabled across Reset (the flag is configuration, the
+	// log is state).
+	if len(n.Transcript()) != 1 {
+		t.Fatalf("trace after reset recorded %d messages", len(n.Transcript()))
+	}
+}
+
+// TestRunRoundMemAccounting pins the op-round charging order and shape on
+// the in-process transport: requests in server order, then replies in
+// server order, all as real frames.
+func TestRunRoundMemAccounting(t *testing.T) {
+	n := NewNetwork(3)
+	n.EnableTrace()
+	err := n.RunRound(Round{
+		Op:       1,
+		Params:   []uint64{7, 8},
+		ReqTag:   "phase/seed",
+		RespTag:  "phase/sketch",
+		RespKind: KindSketch,
+		Local: func(t int) ([]float64, error) {
+			return []float64{float64(t), float64(t), float64(t)}, nil
+		},
+		OnResp: func(srv int, payload []float64) error {
+			if len(payload) != 3 || payload[0] != float64(srv) {
+				t.Fatalf("server %d payload %v", srv, payload)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := n.Breakdown()
+	if b["phase/seed"] != 2*2 || b["phase/sketch"] != 2*3 {
+		t.Fatalf("round words: %v", b)
+	}
+	tr := n.Transcript()
+	wantRoutes := [][2]int{{0, 1}, {0, 2}, {1, 0}, {2, 0}}
+	if len(tr) != len(wantRoutes) {
+		t.Fatalf("transcript has %d messages", len(tr))
+	}
+	for i, m := range tr {
+		if m.From != wantRoutes[i][0] || m.To != wantRoutes[i][1] {
+			t.Fatalf("message %d route %d→%d, want %d→%d", i, m.From, m.To, wantRoutes[i][0], wantRoutes[i][1])
+		}
+		if m.Bytes == 0 {
+			t.Fatalf("message %d bypassed the codec", i)
+		}
+	}
+}
+
+// TestRunRoundBroadcastOnly covers the no-reply (payload broadcast) form.
+func TestRunRoundBroadcastOnly(t *testing.T) {
+	n := NewNetwork(4)
+	if err := n.RunRound(Round{Op: 2, Data: []float64{1, 2, 3}, Kind: KindProjection, ReqTag: "proj"}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Words() != 3*3 {
+		t.Fatalf("broadcast words = %d", n.Words())
+	}
+	if n.Messages() != 3 {
+		t.Fatalf("broadcast messages = %d", n.Messages())
+	}
+}
+
+// TestForkJoinReplaysBytes extends the fork determinism contract to the
+// byte ledger: joining forks must reproduce byte tallies exactly.
+func TestForkJoinReplaysBytes(t *testing.T) {
+	run := func(forked bool) (map[string]int64, []Message) {
+		n := NewNetwork(3)
+		n.EnableTrace()
+		if forked {
+			f1, f2 := n.Fork(), n.Fork()
+			f1.SendFloats(1, 0, "a", make([]float64, 5))
+			f2.SendFloats(2, 0, "b", make([]float64, 7))
+			n.Join(f1, f2)
+		} else {
+			n.SendFloats(1, 0, "a", make([]float64, 5))
+			n.SendFloats(2, 0, "b", make([]float64, 7))
+		}
+		return n.ByteBreakdown(), n.Transcript()
+	}
+	directB, directT := run(false)
+	forkB, forkT := run(true)
+	if !reflect.DeepEqual(directB, forkB) {
+		t.Fatalf("byte tallies differ: %v vs %v", directB, forkB)
+	}
+	if !reflect.DeepEqual(directT, forkT) {
+		t.Fatalf("transcripts differ: %v vs %v", directT, forkT)
+	}
+}
+
+// TestForkStreamsAreDistinct: concurrent forks get distinct stream ids so
+// their frames can interleave on one physical link without collisions.
+func TestForkStreamsAreDistinct(t *testing.T) {
+	n := NewNetwork(2)
+	f1, f2 := n.Fork(), n.Fork()
+	if f1.stream == f2.stream || f1.stream == n.stream || f2.stream == n.stream {
+		t.Fatalf("stream ids collide: root %d forks %d %d", n.stream, f1.stream, f2.stream)
+	}
+}

@@ -1,0 +1,243 @@
+package comm
+
+// This file is the codec layer of the fabric: the typed binary wire format
+// every protocol message is encoded into before it moves — whether over an
+// in-process channel link, a loopback round-trip, or a TCP connection to a
+// worker process. One Frame is one accountable message: its payload is a
+// sequence of 64-bit words (the unit the paper's cost model charges), and
+// its header carries the routing and typing metadata that the word ledger
+// treats as overhead. The accounting layer (comm.go) tallies both, so the
+// invariant
+//
+//	frame bytes == 8·charged words + header bytes
+//
+// can be asserted per protocol tag instead of trusted.
+//
+// Wire layout (big endian), version 1:
+//
+//	offset size  field
+//	0      2     magic 0xD17A
+//	2      1     version (1)
+//	3      1     kind (payload type)
+//	4      2     op (protocol opcode for control requests; 0 otherwise)
+//	6      1     flags (bit 0: prepaid — sender-side accounting)
+//	7      1     reserved (0)
+//	8      4     from (server id)
+//	12     4     to (server id)
+//	16     4     stream (ledger id: 0 root, forks allocate fresh ids)
+//	20     2     tag length
+//	22     2     reply-tag length
+//	24     4     payload word count
+//	28     …     tag bytes, reply-tag bytes, payload (8 bytes per word)
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Kind identifies the payload type of a frame.
+type Kind uint8
+
+// The payload kinds every protocol message reduces to.
+const (
+	// KindControl carries op requests and parameter broadcasts: the words
+	// are opcode parameters (seeds, shapes, indices).
+	KindControl Kind = 1 + iota
+	// KindFloats, KindInts, KindUint64s, KindScalar are the generic typed
+	// payloads of the Send*/Post* API.
+	KindFloats
+	KindInts
+	KindUint64s
+	KindScalar
+	// KindSketch is a flattened CountSketch counter block (flat, bucketed
+	// or dyadic — the op that requested it fixes the sub-shape).
+	KindSketch
+	// KindRow is a raw-row gather response (one dense local row).
+	KindRow
+	// KindValue is a single collected coordinate value.
+	KindValue
+	// KindShare is a whole-share dump (baseline full gather; also the
+	// uncharged setup installation of worker shares).
+	KindShare
+	// KindProjection is the rank-k projection basis broadcast.
+	KindProjection
+)
+
+func (k Kind) valid() bool { return k >= KindControl && k <= KindProjection }
+
+const (
+	frameMagic   = 0xD17A
+	frameVersion = 1
+
+	// FlagPrepaid marks frames charged by the sender (SendFloatsAsync);
+	// the receiver collects them without charging again.
+	FlagPrepaid = 1 << 0
+
+	// FrameHeaderLen is the fixed portion of the header; the full header
+	// adds the tag and reply-tag bytes.
+	FrameHeaderLen = 28
+
+	// MaxTagLen bounds tag strings on the wire.
+	MaxTagLen = 1 << 10
+
+	// MaxFrameWords bounds the payload of a single frame (128 MiB of
+	// payload); a decoder never allocates more than the buffer it was
+	// handed, and the TCP reader rejects larger length prefixes outright.
+	MaxFrameWords = 1 << 24
+)
+
+// Frame is one wire message: an accountable transfer of Words between two
+// servers under a ledger tag.
+type Frame struct {
+	Kind   Kind
+	Op     uint16 // protocol opcode for KindControl requests
+	Flags  uint8
+	From   int
+	To     int
+	Stream uint32
+	Tag    string // ledger tag this frame is charged under
+	RTag   string // for op requests: the tag the reply must carry
+	Words  []uint64
+}
+
+// HeaderLen returns the encoded header size of the frame.
+func (f *Frame) HeaderLen() int { return FrameHeaderLen + len(f.Tag) + len(f.RTag) }
+
+// EncodedLen returns the total encoded size of the frame.
+func (f *Frame) EncodedLen() int { return f.HeaderLen() + 8*len(f.Words) }
+
+// Prepaid reports whether the frame was charged by its sender.
+func (f *Frame) Prepaid() bool { return f.Flags&FlagPrepaid != 0 }
+
+// EncodeFrame serializes a frame to its wire form.
+func EncodeFrame(f *Frame) []byte {
+	if !f.Kind.valid() {
+		panic(fmt.Sprintf("comm: encoding frame with invalid kind %d", f.Kind))
+	}
+	if len(f.Tag) > MaxTagLen || len(f.RTag) > MaxTagLen {
+		panic(fmt.Sprintf("comm: tag too long (%d/%d bytes)", len(f.Tag), len(f.RTag)))
+	}
+	if len(f.Words) > MaxFrameWords {
+		panic(fmt.Sprintf("comm: frame payload %d words exceeds cap %d", len(f.Words), MaxFrameWords))
+	}
+	buf := make([]byte, f.EncodedLen())
+	binary.BigEndian.PutUint16(buf[0:], frameMagic)
+	buf[2] = frameVersion
+	buf[3] = byte(f.Kind)
+	binary.BigEndian.PutUint16(buf[4:], f.Op)
+	buf[6] = f.Flags
+	buf[7] = 0
+	binary.BigEndian.PutUint32(buf[8:], uint32(f.From))
+	binary.BigEndian.PutUint32(buf[12:], uint32(f.To))
+	binary.BigEndian.PutUint32(buf[16:], f.Stream)
+	binary.BigEndian.PutUint16(buf[20:], uint16(len(f.Tag)))
+	binary.BigEndian.PutUint16(buf[22:], uint16(len(f.RTag)))
+	binary.BigEndian.PutUint32(buf[24:], uint32(len(f.Words)))
+	at := FrameHeaderLen
+	at += copy(buf[at:], f.Tag)
+	at += copy(buf[at:], f.RTag)
+	for _, w := range f.Words {
+		binary.BigEndian.PutUint64(buf[at:], w)
+		at += 8
+	}
+	return buf
+}
+
+// DecodeFrame parses a wire buffer back into a frame. Malformed, truncated
+// and oversized buffers return errors; the decoder never allocates beyond
+// the buffer it was handed.
+func DecodeFrame(buf []byte) (*Frame, error) {
+	if len(buf) < FrameHeaderLen {
+		return nil, fmt.Errorf("comm: frame truncated (%d bytes < %d header)", len(buf), FrameHeaderLen)
+	}
+	if m := binary.BigEndian.Uint16(buf[0:]); m != frameMagic {
+		return nil, fmt.Errorf("comm: bad frame magic %#04x", m)
+	}
+	if v := buf[2]; v != frameVersion {
+		return nil, fmt.Errorf("comm: unsupported frame version %d", v)
+	}
+	kind := Kind(buf[3])
+	if !kind.valid() {
+		return nil, fmt.Errorf("comm: unknown payload kind %d", kind)
+	}
+	tagLen := int(binary.BigEndian.Uint16(buf[20:]))
+	rtagLen := int(binary.BigEndian.Uint16(buf[22:]))
+	words := binary.BigEndian.Uint32(buf[24:])
+	if tagLen > MaxTagLen || rtagLen > MaxTagLen {
+		return nil, fmt.Errorf("comm: tag length %d/%d exceeds cap", tagLen, rtagLen)
+	}
+	if words > MaxFrameWords {
+		return nil, fmt.Errorf("comm: payload of %d words exceeds cap %d", words, MaxFrameWords)
+	}
+	want := FrameHeaderLen + tagLen + rtagLen + 8*int(words)
+	if len(buf) != want {
+		return nil, fmt.Errorf("comm: frame length %d, header declares %d", len(buf), want)
+	}
+	f := &Frame{
+		Kind:   kind,
+		Op:     binary.BigEndian.Uint16(buf[4:]),
+		Flags:  buf[6],
+		From:   int(int32(binary.BigEndian.Uint32(buf[8:]))),
+		To:     int(int32(binary.BigEndian.Uint32(buf[12:]))),
+		Stream: binary.BigEndian.Uint32(buf[16:]),
+	}
+	at := FrameHeaderLen
+	f.Tag = string(buf[at : at+tagLen])
+	at += tagLen
+	f.RTag = string(buf[at : at+rtagLen])
+	at += rtagLen
+	if words > 0 {
+		f.Words = make([]uint64, words)
+		for i := range f.Words {
+			f.Words[i] = binary.BigEndian.Uint64(buf[at:])
+			at += 8
+		}
+	}
+	return f, nil
+}
+
+// frameStream peeks the stream id of an encoded frame without a full
+// decode (the TCP reader demultiplexes on it).
+func frameStream(buf []byte) (uint32, error) {
+	if len(buf) < FrameHeaderLen {
+		return 0, fmt.Errorf("comm: frame truncated (%d bytes)", len(buf))
+	}
+	return binary.BigEndian.Uint32(buf[16:]), nil
+}
+
+// FloatWords converts a float64 payload to wire words (bit patterns).
+func FloatWords(xs []float64) []uint64 {
+	out := make([]uint64, len(xs))
+	for i, x := range xs {
+		out[i] = math.Float64bits(x)
+	}
+	return out
+}
+
+// WordFloats is the inverse of FloatWords.
+func WordFloats(ws []uint64) []float64 {
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		out[i] = math.Float64frombits(w)
+	}
+	return out
+}
+
+// IntWords converts an int payload to wire words (two's complement).
+func IntWords(xs []int) []uint64 {
+	out := make([]uint64, len(xs))
+	for i, x := range xs {
+		out[i] = uint64(int64(x))
+	}
+	return out
+}
+
+// WordInts is the inverse of IntWords.
+func WordInts(ws []uint64) []int {
+	out := make([]int, len(ws))
+	for i, w := range ws {
+		out[i] = int(int64(w))
+	}
+	return out
+}

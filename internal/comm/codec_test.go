@@ -1,0 +1,120 @@
+package comm
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTripPerKind(t *testing.T) {
+	cases := []Frame{
+		{Kind: KindControl, Op: 7, From: CP, To: 3, Stream: 2, Tag: "hh/seed", RTag: "hh/sketch", Words: []uint64{1, 2, 3}},
+		{Kind: KindFloats, From: 1, To: CP, Tag: "up", Words: FloatWords([]float64{1.5, -2.25, 0})},
+		{Kind: KindInts, From: 2, To: CP, Tag: "idx", Words: IntWords([]int{-4, 9})},
+		{Kind: KindUint64s, From: 1, To: CP, Tag: "coords", Words: []uint64{42}},
+		{Kind: KindScalar, From: 3, To: CP, Tag: "v", Words: FloatWords([]float64{3.14})},
+		{Kind: KindSketch, From: 2, To: CP, Stream: 9, Tag: "zest/levels/bucket-sketch", Words: FloatWords(make([]float64, 64))},
+		{Kind: KindRow, From: 1, To: CP, Tag: "sampler/rows", Words: FloatWords([]float64{0.5, 0.25})},
+		{Kind: KindValue, From: 4, To: CP, Tag: "zest/values", Words: FloatWords([]float64{-7})},
+		{Kind: KindShare, From: 1, To: CP, Tag: "baseline/full-gather", Words: FloatWords(make([]float64, 12))},
+		{Kind: KindProjection, From: CP, To: 2, Tag: "core/projection", Words: FloatWords(make([]float64, 6))},
+		{Kind: KindFloats, Flags: FlagPrepaid, From: CP, To: 1, Tag: "down", Words: FloatWords([]float64{1})},
+		{Kind: KindControl, From: CP, To: 1, Tag: "empty"}, // zero-word control frame
+	}
+	for _, c := range cases {
+		c := c
+		enc := EncodeFrame(&c)
+		if len(enc) != c.EncodedLen() {
+			t.Fatalf("%q: encoded %d bytes, EncodedLen says %d", c.Tag, len(enc), c.EncodedLen())
+		}
+		if want := c.HeaderLen() + 8*len(c.Words); len(enc) != want {
+			t.Fatalf("%q: encoded %d bytes, want header %d + 8·%d words", c.Tag, len(enc), c.HeaderLen(), len(c.Words))
+		}
+		dec, err := DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("%q: decode: %v", c.Tag, err)
+		}
+		if dec.Words == nil {
+			dec.Words = c.Words[:0] // normalize empty payload for DeepEqual
+		}
+		if !reflect.DeepEqual(*dec, c) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", *dec, c)
+		}
+	}
+}
+
+func TestFloatWordConversions(t *testing.T) {
+	xs := []float64{0, 1, -1.5, 3.25e300, -0.0}
+	if got := WordFloats(FloatWords(xs)); !reflect.DeepEqual(got, xs) {
+		t.Fatalf("float round trip: %v", got)
+	}
+	is := []int{0, -1, 1 << 40, -(1 << 40)}
+	if got := WordInts(IntWords(is)); !reflect.DeepEqual(got, is) {
+		t.Fatalf("int round trip: %v", got)
+	}
+}
+
+func TestDecodeFrameRejectsMalformed(t *testing.T) {
+	good := EncodeFrame(&Frame{Kind: KindFloats, From: 1, To: 0, Tag: "x", Words: FloatWords([]float64{1, 2})})
+	cases := map[string]func() []byte{
+		"truncated header": func() []byte { return good[:FrameHeaderLen-1] },
+		"truncated body":   func() []byte { return good[:len(good)-3] },
+		"trailing junk":    func() []byte { return append(append([]byte{}, good...), 0xFF) },
+		"bad magic": func() []byte {
+			b := append([]byte{}, good...)
+			b[0] = 0x00
+			return b
+		},
+		"bad version": func() []byte {
+			b := append([]byte{}, good...)
+			b[2] = 99
+			return b
+		},
+		"bad kind": func() []byte {
+			b := append([]byte{}, good...)
+			b[3] = 0xEE
+			return b
+		},
+		"oversized word count": func() []byte {
+			b := append([]byte{}, good...)
+			b[24], b[25], b[26], b[27] = 0xFF, 0xFF, 0xFF, 0xFF
+			return b
+		},
+		"empty": func() []byte { return nil },
+	}
+	for name, build := range cases {
+		if _, err := DecodeFrame(build()); err == nil {
+			t.Fatalf("%s: decoder accepted malformed frame", name)
+		}
+	}
+}
+
+// FuzzDecodeFrame is the codec's malformed-input gate: arbitrary buffers
+// must either decode to a frame that re-encodes consistently or return an
+// error — never panic, and never allocate beyond the input's declared
+// size.
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFrame(&Frame{Kind: KindControl, Op: 3, From: CP, To: 1, Tag: "hh/seed", RTag: "hh/sketch", Words: []uint64{5, 4, 128}}))
+	f.Add(EncodeFrame(&Frame{Kind: KindFloats, From: 2, To: CP, Stream: 7, Tag: "up", Words: FloatWords([]float64{1, 2, 3})}))
+	f.Add(EncodeFrame(&Frame{Kind: KindShare, From: 1, To: CP, Tag: "setup/share", Words: FloatWords(make([]float64, 32))}))
+	long := EncodeFrame(&Frame{Kind: KindSketch, From: 3, To: CP, Tag: "zest/heavy/bucket-sketch", Words: FloatWords(make([]float64, 257))})
+	f.Add(long)
+	f.Add(long[:17])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		re := EncodeFrame(frame)
+		if len(re) != len(data) {
+			t.Fatalf("re-encode changed length: %d → %d", len(data), len(re))
+		}
+		back, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if back.Tag != frame.Tag || len(back.Words) != len(frame.Words) || back.Kind != frame.Kind {
+			t.Fatal("decode/encode/decode not a fixed point")
+		}
+	})
+}

@@ -3,61 +3,129 @@
 // message routed through an accounting layer that charges communication in
 // words (one word = one 64-bit value, matching the paper's cost model).
 //
+// The fabric is layered:
+//
+//   - codec.go is the wire format: every payload that crosses the fabric is
+//     encoded into a typed binary Frame and decoded on arrival, so the word
+//     ledger describes real byte streams instead of Go values.
+//   - transport.go / tcp.go move encoded frames: MemTransport over
+//     in-process channel links, TCPTransport over real connections to
+//     worker processes.
+//   - this file is the ledger: words charged per tag and per link (the
+//     paper-facing numbers), and, alongside, the encoded bytes each tag put
+//     on the wire — so tests can assert bytes == 8·words + header overhead
+//     for every protocol phase instead of trusting the word model.
+//
 // The fabric is synchronous and deterministic: protocol code moves data
-// between servers by calling the Send/Broadcast helpers, which tally the
-// cost per tag so experiments can report exactly how much communication
-// each protocol phase consumed. Data that never crosses a Send call is, by
-// construction, local computation — which the model allows in polynomial
-// time and linear space.
+// between servers by calling the Send/Broadcast/RunRound helpers, which
+// tally the cost per tag so experiments can report exactly how much
+// communication each protocol phase consumed. Data that never crosses the
+// fabric is, by construction, local computation — which the model allows
+// in polynomial time and linear space.
 package comm
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // CP is the index of the Central Processor (the paper's "server 1").
 const CP = 0
 
 // Network is the accounting fabric connecting s servers. Accounting is
-// always serialized under the mutex; payload movement may additionally
-// flow concurrently over typed channel links (see runtime.go).
+// always serialized under the mutex; payload movement flows as encoded
+// frames over the Transport.
 type Network struct {
-	mu      sync.Mutex
-	servers int
-	words   int64
-	msgs    int64
-	byTag   map[string]int64
-	byLink  map[[2]int]int64
-	trace   bool
-	log     []Message
-	links   map[[2]int]chan parcel
+	mu       sync.Mutex
+	servers  int
+	words    int64
+	msgs     int64
+	bytes    int64
+	hdrBytes int64
+	byTag    map[string]int64
+	byTagB   map[string]int64 // encoded bytes per tag
+	byTagH   map[string]int64 // header bytes per tag
+	byTagM   map[string]int64 // messages per tag
+	byLink   map[[2]int]int64
+	byLinkB  map[[2]int]int64
+	trace    bool
+	log      []Message
+
+	tr     Transport
+	remote []bool // remote[t]: server t is hosted by a worker process
+	// stream is this ledger's id on the shared transport (0 for the root
+	// fabric; forks allocate fresh ids from streamSeq).
+	stream    uint32
+	streamSeq *uint32
+
 	// abort, non-nil while RunServers is active, is closed when a server
 	// role panics so peers blocked on a link receive fail fast.
 	abort chan struct{}
+
+	// failed poisons the fabric after a round aborted mid-drain: replies
+	// already sent by workers may still sit in the transport queues, so
+	// further rounds would consume stale frames. Reset clears it along
+	// with the queues.
+	failed error
 }
 
-// Message records one transfer for transcript-based tests.
+// Message records one transfer for transcript-based tests: the route, the
+// ledger tag, the charged words and the encoded frame bytes (0 for legacy
+// word-only charges).
 type Message struct {
 	From, To int
 	Tag      string
 	Words    int64
+	Bytes    int64
 }
 
-// NewNetwork creates a fabric for s ≥ 1 servers.
+// NewNetwork creates a fabric for s ≥ 1 in-process servers connected by
+// the in-memory transport.
 func NewNetwork(s int) *Network {
+	return NewNetworkWith(s, NewMemTransport(), nil)
+}
+
+// NewNetworkWith creates a fabric over an explicit transport. remote[t]
+// marks servers hosted by worker processes (nil means all are local); the
+// CP is always local.
+func NewNetworkWith(s int, tr Transport, remote []bool) *Network {
 	if s < 1 {
 		panic("comm: need at least one server")
 	}
-	return &Network{servers: s, byTag: make(map[string]int64), byLink: make(map[[2]int]int64)}
+	if remote == nil {
+		remote = make([]bool, s)
+	}
+	if len(remote) != s || remote[CP] {
+		panic("comm: invalid remote-server mask")
+	}
+	n := &Network{servers: s, tr: tr, remote: remote, streamSeq: new(uint32)}
+	n.resetTallies()
+	return n
 }
 
 // Servers returns the number of servers (including the CP).
 func (n *Network) Servers() int { return n.servers }
 
+// Remote reports whether server t is hosted by a worker process.
+func (n *Network) Remote(t int) bool { n.check(t); return n.remote[t] }
+
+// HasRemote reports whether any server is hosted remotely.
+func (n *Network) HasRemote() bool {
+	for _, r := range n.remote {
+		if r {
+			return true
+		}
+	}
+	return false
+}
+
+// Transport exposes the fabric's frame mover (cluster setup needs it).
+func (n *Network) Transport() Transport { return n.tr }
+
 // EnableTrace turns on per-message transcript recording (tests only; it
-// grows without bound).
+// grows without bound between Resets).
 func (n *Network) EnableTrace() { n.trace = true }
 
 // Transcript returns a copy of the recorded messages.
@@ -75,9 +143,10 @@ func (n *Network) check(id int) {
 	}
 }
 
-// Charge records a transfer of the given number of words from one server to
-// another under a cost tag. It is the primitive all typed helpers reduce to.
-func (n *Network) Charge(from, to int, tag string, words int64) {
+// commit records one transfer: words on the ledger and, when the transfer
+// moved an encoded frame, its byte footprint. It is the primitive every
+// charged operation reduces to.
+func (n *Network) commit(from, to int, tag string, words, frameBytes int64) {
 	n.check(from)
 	n.check(to)
 	if words < 0 {
@@ -86,61 +155,162 @@ func (n *Network) Charge(from, to int, tag string, words int64) {
 	if from == to {
 		return // local movement is free
 	}
+	var hdr int64
+	if frameBytes > 0 {
+		hdr = frameBytes - 8*words
+		if hdr < 0 {
+			panic(fmt.Sprintf("comm: frame of %d bytes cannot carry %d words", frameBytes, words))
+		}
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.words += words
 	n.msgs++
+	n.bytes += frameBytes
+	n.hdrBytes += hdr
 	n.byTag[tag] += words
+	n.byTagB[tag] += frameBytes
+	n.byTagH[tag] += hdr
+	n.byTagM[tag]++
 	n.byLink[[2]int{from, to}] += words
+	n.byLinkB[[2]int{from, to}] += frameBytes
 	if n.trace {
-		n.log = append(n.log, Message{From: from, To: to, Tag: tag, Words: words})
+		n.log = append(n.log, Message{From: from, To: to, Tag: tag, Words: words, Bytes: frameBytes})
 	}
 }
 
-// SendFloats transfers a float64 slice, charging one word per element, and
-// returns a copy so the receiver cannot alias the sender's memory.
+// Charge records a word-only transfer under a cost tag. It survives as the
+// accounting primitive for tests and word-model estimates; protocol
+// payloads must move as frames instead (Send*/Post*/RunRound), which is
+// what keeps the bytes-vs-words cross-check meaningful.
+func (n *Network) Charge(from, to int, tag string, words int64) {
+	n.commit(from, to, tag, words, 0)
+}
+
+// checkHosted refuses legacy payload paths that pretend to move data to
+// or from a worker-hosted server: a loopback "delivery" there would charge
+// words and bytes for traffic that never crossed the wire — exactly the
+// fake accounting the codec layer exists to rule out. Remote servers are
+// reachable only through RunRound and the broadcast helpers.
+func (n *Network) checkHosted(from, to int, what string) {
+	if n.remote[from] || n.remote[to] {
+		panic(fmt.Sprintf("comm: %s on link %d→%d would bypass the wire to a worker-hosted server (use RunRound)", what, from, to))
+	}
+}
+
+// loopback pushes a frame through the codec (encode, account, decode) and
+// returns the decoded frame — the synchronous transfer path: the receiver
+// gets exactly what a wire delivery would have produced.
+func (n *Network) loopback(f *Frame) *Frame {
+	n.checkHosted(f.From, f.To, "synchronous send")
+	enc := EncodeFrame(f)
+	dec, err := DecodeFrame(enc)
+	if err != nil {
+		panic(fmt.Sprintf("comm: frame failed to round-trip: %v", err))
+	}
+	n.commit(f.From, f.To, f.Tag, int64(len(f.Words)), int64(len(enc)))
+	return dec
+}
+
+// SendFloats transfers a float64 slice, charging one word per element. The
+// payload is encoded to its wire form and decoded back, so the receiver
+// cannot alias the sender's memory and the byte ledger sees the frame.
 func (n *Network) SendFloats(from, to int, tag string, data []float64) []float64 {
-	n.Charge(from, to, tag, int64(len(data)))
-	out := make([]float64, len(data))
-	copy(out, data)
-	return out
+	n.check(from)
+	n.check(to)
+	if from == to {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	dec := n.loopback(&Frame{Kind: KindFloats, From: from, To: to, Stream: n.stream, Tag: tag, Words: FloatWords(data)})
+	return WordFloats(dec.Words)
 }
 
 // SendInts transfers an int slice, charging one word per element.
 func (n *Network) SendInts(from, to int, tag string, data []int) []int {
-	n.Charge(from, to, tag, int64(len(data)))
-	out := make([]int, len(data))
-	copy(out, data)
-	return out
+	n.check(from)
+	n.check(to)
+	if from == to {
+		out := make([]int, len(data))
+		copy(out, data)
+		return out
+	}
+	dec := n.loopback(&Frame{Kind: KindInts, From: from, To: to, Stream: n.stream, Tag: tag, Words: IntWords(data)})
+	return WordInts(dec.Words)
 }
 
 // SendUint64s transfers a uint64 slice, charging one word per element.
 func (n *Network) SendUint64s(from, to int, tag string, data []uint64) []uint64 {
-	n.Charge(from, to, tag, int64(len(data)))
-	out := make([]uint64, len(data))
-	copy(out, data)
-	return out
+	n.check(from)
+	n.check(to)
+	if from == to {
+		out := make([]uint64, len(data))
+		copy(out, data)
+		return out
+	}
+	// No defensive copy needed: EncodeFrame serializes into a fresh
+	// buffer and the receiver sees DecodeFrame's own allocation.
+	dec := n.loopback(&Frame{Kind: KindUint64s, From: from, To: to, Stream: n.stream, Tag: tag, Words: data})
+	return dec.Words
 }
 
 // SendScalar transfers a single float64 value (one word).
 func (n *Network) SendScalar(from, to int, tag string, v float64) float64 {
-	n.Charge(from, to, tag, 1)
-	return v
+	n.check(from)
+	n.check(to)
+	if from == to {
+		return v
+	}
+	dec := n.loopback(&Frame{Kind: KindScalar, From: from, To: to, Stream: n.stream, Tag: tag, Words: FloatWords([]float64{v})})
+	return WordFloats(dec.Words)[0]
+}
+
+// broadcastFrame encodes one frame per destination, accounts it, and
+// genuinely transmits it to remotely hosted destinations (local
+// destinations consume nothing — the shared knowledge is already in
+// process).
+func (n *Network) broadcastFrame(from int, f func(to int) *Frame) {
+	for t := 0; t < n.servers; t++ {
+		if t == from {
+			continue
+		}
+		fr := f(t)
+		enc := EncodeFrame(fr)
+		n.commit(from, t, fr.Tag, int64(len(fr.Words)), int64(len(enc)))
+		if n.remote[t] {
+			if err := n.tr.Send(from, t, enc); err != nil {
+				panic(fmt.Sprintf("comm: broadcast to server %d: %v", t, err))
+			}
+		}
+	}
 }
 
 // BroadcastSeed models server `from` broadcasting a random seed to every
-// other server: s−1 messages of one word each.
+// other server: s−1 control frames of one word each.
 func (n *Network) BroadcastSeed(from int, tag string, seed int64) int64 {
-	for t := 0; t < n.servers; t++ {
-		if t != from {
-			n.Charge(from, t, tag, 1)
-		}
-	}
+	n.check(from)
+	n.broadcastFrame(from, func(to int) *Frame {
+		return &Frame{Kind: KindControl, From: from, To: to, Stream: n.stream, Tag: tag, Words: []uint64{uint64(seed)}}
+	})
 	return seed
 }
 
+// BroadcastPayload ships a float64 payload from `from` to every other
+// server (the projection matrix going back out, parameter vectors, …),
+// charging one word per element per destination.
+func (n *Network) BroadcastPayload(from int, tag string, kind Kind, data []float64) {
+	n.check(from)
+	words := FloatWords(data)
+	n.broadcastFrame(from, func(to int) *Frame {
+		return &Frame{Kind: kind, From: from, To: to, Stream: n.stream, Tag: tag, Words: words}
+	})
+}
+
 // BroadcastWords charges for broadcasting `words` words from `from` to all
-// other servers (used for shipping a projection matrix or parameters).
+// other servers. Legacy word-only accounting: no frame moves, so the byte
+// ledger ignores it — protocol code ships real payloads with
+// BroadcastPayload instead.
 func (n *Network) BroadcastWords(from int, tag string, words int64) {
 	for t := 0; t < n.servers; t++ {
 		if t != from {
@@ -150,17 +320,17 @@ func (n *Network) BroadcastWords(from int, tag string, words int64) {
 }
 
 // GatherScalars models each server sending one float64 to the CP; it
-// charges s−1 words and returns the provided values (the CP's own value
-// travels for free).
+// charges s−1 one-word frames and returns the provided values (the CP's
+// own value travels for free).
 func (n *Network) GatherScalars(tag string, values []float64) []float64 {
 	if len(values) != n.servers {
 		panic("comm: GatherScalars needs one value per server")
 	}
-	for t := 1; t < n.servers; t++ {
-		n.Charge(t, CP, tag, 1)
-	}
 	out := make([]float64, len(values))
-	copy(out, values)
+	out[CP] = values[CP]
+	for t := 1; t < n.servers; t++ {
+		out[t] = n.SendScalar(t, CP, tag, values[t])
+	}
 	return out
 }
 
@@ -174,8 +344,10 @@ func (n *Network) Relay(from, to int, tag string, data []float64) []float64 {
 	if from == CP || to == CP {
 		return n.SendFloats(from, to, tag, data)
 	}
-	n.Charge(from, CP, tag, int64(len(data))+1) // payload + destination id
-	return n.SendFloats(CP, to, tag, data)
+	// Payload plus destination id to the CP, then the payload onward.
+	hop := append([]float64{float64(to)}, data...)
+	fwd := n.SendFloats(from, CP, tag, hop)
+	return n.SendFloats(CP, to, tag, fwd[1:])
 }
 
 // Words returns the total number of words transferred so far.
@@ -188,6 +360,22 @@ func (n *Network) Words() int64 {
 // Bits returns total communication in bits (64 per word).
 func (n *Network) Bits() int64 { return 64 * n.Words() }
 
+// Bytes returns the total encoded frame bytes put on the wire (headers
+// included; word-only legacy charges contribute nothing).
+func (n *Network) Bytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.bytes
+}
+
+// HeaderBytes returns the header share of Bytes — the wire overhead the
+// word model does not count.
+func (n *Network) HeaderBytes() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.hdrBytes
+}
+
 // Messages returns the number of point-to-point transfers.
 func (n *Network) Messages() int64 {
 	n.mu.Lock()
@@ -195,15 +383,55 @@ func (n *Network) Messages() int64 {
 	return n.msgs
 }
 
+func copyMap[K comparable](m map[K]int64) map[K]int64 {
+	out := make(map[K]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
 // Breakdown returns words charged per tag, as a copied map.
 func (n *Network) Breakdown() map[string]int64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	out := make(map[string]int64, len(n.byTag))
-	for k, v := range n.byTag {
-		out[k] = v
-	}
-	return out
+	return copyMap(n.byTag)
+}
+
+// ByteBreakdown returns encoded frame bytes per tag.
+func (n *Network) ByteBreakdown() map[string]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return copyMap(n.byTagB)
+}
+
+// HeaderBreakdown returns header bytes per tag.
+func (n *Network) HeaderBreakdown() map[string]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return copyMap(n.byTagH)
+}
+
+// MessageBreakdown returns message counts per tag.
+func (n *Network) MessageBreakdown() map[string]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return copyMap(n.byTagM)
+}
+
+// LinkBreakdown returns words charged per directed (from, to) link, as a
+// copied map.
+func (n *Network) LinkBreakdown() map[[2]int]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return copyMap(n.byLink)
+}
+
+// LinkByteBreakdown returns encoded bytes per directed link.
+func (n *Network) LinkByteBreakdown() map[[2]int]int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return copyMap(n.byLinkB)
 }
 
 // BreakdownString renders the per-tag costs sorted by descending words.
@@ -230,14 +458,30 @@ func (n *Network) BreakdownString() string {
 	return s
 }
 
-// Reset zeroes all counters and the transcript.
+func (n *Network) resetTallies() {
+	n.words, n.msgs, n.bytes, n.hdrBytes = 0, 0, 0, 0
+	n.byTag = make(map[string]int64)
+	n.byTagB = make(map[string]int64)
+	n.byTagH = make(map[string]int64)
+	n.byTagM = make(map[string]int64)
+	n.byLink = make(map[[2]int]int64)
+	n.byLinkB = make(map[[2]int]int64)
+	n.log = nil
+}
+
+// Reset zeroes every counter and per-tag/per-link tally, drops the trace
+// log, clears a failed-round poison marker, and drains any frames still
+// queued in the transport — so a traced fabric reused across sweep cells
+// starts each cell with bounded memory and a clean wire.
 func (n *Network) Reset() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.words, n.msgs = 0, 0
-	n.byTag = make(map[string]int64)
-	n.byLink = make(map[[2]int]int64)
-	n.log = nil
+	n.resetTallies()
+	n.failed = nil
+	n.mu.Unlock()
+	type resettable interface{ reset() }
+	if r, ok := n.tr.(resettable); ok {
+		r.reset()
+	}
 }
 
 // Snapshot captures the current total so callers can measure a phase:
@@ -246,3 +490,8 @@ func (n *Network) Snapshot() int64 { return n.Words() }
 
 // Since returns the words transferred since the given snapshot.
 func (n *Network) Since(snap int64) int64 { return n.Words() - snap }
+
+// nextStream allocates a fresh ledger id on the shared transport.
+func (n *Network) nextStream() uint32 {
+	return atomic.AddUint32(n.streamSeq, 1)
+}

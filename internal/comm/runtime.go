@@ -6,161 +6,126 @@ import (
 )
 
 // This file is the concurrent runtime of the fabric. The accounting model
-// of comm.go is unchanged — every transfer still reduces to Charge under
-// the mutex — but payload movement is no longer tied to a single
-// orchestrating goroutine: each server can execute its protocol role in
-// its own goroutine (RunServers) and move data over typed channel-backed
-// links (Post*/Recv*).
+// of comm.go is unchanged — every transfer still reduces to commit under
+// the mutex — but payload movement is not tied to a single orchestrating
+// goroutine: each server can execute its protocol role in its own
+// goroutine (RunServers) and move encoded frames over the transport links
+// (Post*/Recv*), and whole protocol phases run as op rounds (RunRound)
+// that treat locally hosted and remote servers identically.
 //
 // Determinism contract: accounting is committed by the *receiver* at
 // Recv time. A protocol whose receivers drain their links in a fixed
 // order (the star protocols always drain in server order at the CP)
-// therefore produces word, message, per-tag, per-link tallies and a
-// transcript that are byte-identical to the sequential Send* formulation,
-// no matter how the sender goroutines are scheduled.
-
-// linkBuf is the per-link channel capacity. Star protocol phases put at
-// most a handful of parcels in flight per link before the CP drains them;
-// the buffer only needs to decouple sender completion from receiver
-// progress, not to hold a whole protocol.
-const linkBuf = 64
-
-// parcel is one in-flight transfer on a link. prepaid parcels were
-// charged by the sender (deterministic for a single sender goroutine,
-// the scatter direction); the rest are charged by the receiver at Recv
-// (deterministic when the receiver drains in a fixed order, the gather
-// direction).
-type parcel struct {
-	tag     string
-	words   int64
-	prepaid bool
-	floats  []float64
-	ints    []int
-	u64s    []uint64
-}
-
-// link returns the channel carrying parcels from `from` to `to`,
-// creating it on first use.
-func (n *Network) link(from, to int) chan parcel {
-	n.check(from)
-	n.check(to)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.links == nil {
-		n.links = make(map[[2]int]chan parcel)
-	}
-	key := [2]int{from, to}
-	ch, ok := n.links[key]
-	if !ok {
-		ch = make(chan parcel, linkBuf)
-		n.links[key] = ch
-	}
-	return ch
-}
-
-// post enqueues a parcel without charging; accounting happens at Recv.
-func (n *Network) post(from, to int, p parcel) {
-	if from == to {
-		panic("comm: post to self (local movement needs no link)")
-	}
-	n.link(from, to) <- p
-}
+// therefore produces word, byte, per-tag, per-link tallies and a
+// transcript that are identical to a sequential formulation, no matter
+// how the sender goroutines are scheduled — and identical across the
+// in-memory and TCP transports, because both move the same encoded
+// frames.
 
 // PostFloats asynchronously sends a float64 payload from one server to
-// another over the channel link, copying it so the receiver cannot alias
-// the sender's memory. One word per element is charged when the receiver
-// calls RecvFloats.
+// another as an encoded frame on the transport link (so the receiver
+// cannot alias the sender's memory). One word per element is charged when
+// the receiver calls RecvFloats.
 func (n *Network) PostFloats(from, to int, tag string, data []float64) {
-	out := make([]float64, len(data))
-	copy(out, data)
-	n.post(from, to, parcel{tag: tag, words: int64(len(data)), floats: out})
+	n.post(&Frame{Kind: KindFloats, From: from, To: to, Stream: n.stream, Tag: tag, Words: FloatWords(data)})
 }
 
 // PostInts asynchronously sends an int payload (see PostFloats).
 func (n *Network) PostInts(from, to int, tag string, data []int) {
-	out := make([]int, len(data))
-	copy(out, data)
-	n.post(from, to, parcel{tag: tag, words: int64(len(data)), ints: out})
+	n.post(&Frame{Kind: KindInts, From: from, To: to, Stream: n.stream, Tag: tag, Words: IntWords(data)})
 }
 
-// PostUint64s asynchronously sends a uint64 payload (see PostFloats).
+// PostUint64s asynchronously sends a uint64 payload (see PostFloats; the
+// encode at post time is already the copy).
 func (n *Network) PostUint64s(from, to int, tag string, data []uint64) {
-	out := make([]uint64, len(data))
-	copy(out, data)
-	n.post(from, to, parcel{tag: tag, words: int64(len(data)), u64s: out})
+	n.post(&Frame{Kind: KindUint64s, From: from, To: to, Stream: n.stream, Tag: tag, Words: data})
+}
+
+func (n *Network) post(f *Frame) {
+	n.check(f.From)
+	n.check(f.To)
+	n.checkHosted(f.From, f.To, "channel post")
+	if f.From == f.To {
+		panic("comm: post to self (local movement needs no link)")
+	}
+	if err := n.tr.Send(f.From, f.To, EncodeFrame(f)); err != nil {
+		panic(fmt.Sprintf("comm: post on link %d→%d: %v", f.From, f.To, err))
+	}
 }
 
 // SendFloatsAsync charges the transfer immediately — sender-side
 // accounting, deterministic for a single sender goroutine such as the CP
-// scattering to all servers — and posts the payload; the receiver
-// collects it with CollectFloats, which does not charge again.
+// scattering to all servers — and posts the frame; the receiver collects
+// it with CollectFloats, which does not charge again.
 func (n *Network) SendFloatsAsync(from, to int, tag string, data []float64) {
-	n.Charge(from, to, tag, int64(len(data)))
-	out := make([]float64, len(data))
-	copy(out, data)
-	n.post(from, to, parcel{tag: tag, words: int64(len(data)), prepaid: true, floats: out})
+	f := &Frame{Kind: KindFloats, Flags: FlagPrepaid, From: from, To: to, Stream: n.stream, Tag: tag, Words: FloatWords(data)}
+	enc := EncodeFrame(f)
+	n.commit(from, to, tag, int64(len(f.Words)), int64(len(enc)))
+	if err := n.tr.Send(from, to, enc); err != nil {
+		panic(fmt.Sprintf("comm: post on link %d→%d: %v", from, to, err))
+	}
 }
 
-// CollectFloats blocks for a prepaid parcel (sent with SendFloatsAsync)
+// CollectFloats blocks for a prepaid frame (sent with SendFloatsAsync)
 // and returns its payload without charging.
 func (n *Network) CollectFloats(from, to int, tag string) []float64 {
-	p := n.take(from, to, tag)
-	if !p.prepaid {
-		panic(fmt.Sprintf("comm: collect of unpaid parcel %q on link %d→%d (use Recv*)", tag, from, to))
+	f := n.take(from, to, tag)
+	if !f.Prepaid() {
+		panic(fmt.Sprintf("comm: collect of unpaid frame %q on link %d→%d (use Recv*)", tag, from, to))
 	}
-	return p.floats
+	return WordFloats(f.Words)
 }
 
-// take blocks for the next parcel on the from→to link, aborting instead
+// take blocks for the next frame on the from→to link, aborting instead
 // of deadlocking if a concurrently running server role panics before
 // posting (see RunServers).
-func (n *Network) take(from, to int, tag string) parcel {
-	ch := n.link(from, to)
+func (n *Network) take(from, to int, tag string) *Frame {
+	n.check(from)
+	n.check(to)
+	n.checkHosted(from, to, "channel recv")
 	n.mu.Lock()
 	abort := n.abort
 	n.mu.Unlock()
-	var p parcel
-	if abort == nil {
-		p = <-ch
-	} else {
-		select {
-		case p = <-ch:
-		case <-abort:
-			panic(fmt.Sprintf("comm: recv on link %d→%d aborted: a peer server role failed", from, to))
-		}
+	buf, err := n.tr.Recv(from, to, n.stream, abort)
+	if err != nil {
+		panic(fmt.Sprintf("comm: recv on link %d→%d: %v", from, to, err))
 	}
-	if p.tag != tag {
-		panic(fmt.Sprintf("comm: recv tag %q on link %d→%d, want %q", p.tag, from, to, tag))
+	f, err := DecodeFrame(buf)
+	if err != nil {
+		panic(fmt.Sprintf("comm: recv on link %d→%d: %v", from, to, err))
 	}
-	return p
+	if f.Tag != tag {
+		panic(fmt.Sprintf("comm: recv tag %q on link %d→%d, want %q", f.Tag, from, to, tag))
+	}
+	return f
 }
 
-// recv blocks for the next parcel on the from→to link, verifies the tag
+// recv blocks for the next frame on the from→to link, verifies the tag
 // (a mismatch is a protocol bug — the links are typed per phase), and
 // commits the accounting.
-func (n *Network) recv(from, to int, tag string) parcel {
-	p := n.take(from, to, tag)
-	if p.prepaid {
-		panic(fmt.Sprintf("comm: recv of prepaid parcel %q on link %d→%d (use CollectFloats)", tag, from, to))
+func (n *Network) recv(from, to int, tag string) *Frame {
+	f := n.take(from, to, tag)
+	if f.Prepaid() {
+		panic(fmt.Sprintf("comm: recv of prepaid frame %q on link %d→%d (use CollectFloats)", tag, from, to))
 	}
-	n.Charge(from, to, p.tag, p.words)
-	return p
+	n.commit(from, to, f.Tag, int64(len(f.Words)), int64(f.EncodedLen()))
+	return f
 }
 
-// RecvFloats blocks until a float64 parcel with the given tag arrives on
+// RecvFloats blocks until a float64 frame with the given tag arrives on
 // the from→to link and charges it exactly as SendFloats would have.
 func (n *Network) RecvFloats(from, to int, tag string) []float64 {
-	return n.recv(from, to, tag).floats
+	return WordFloats(n.recv(from, to, tag).Words)
 }
 
 // RecvInts is RecvFloats for int payloads.
 func (n *Network) RecvInts(from, to int, tag string) []int {
-	return n.recv(from, to, tag).ints
+	return WordInts(n.recv(from, to, tag).Words)
 }
 
 // RecvUint64s is RecvFloats for uint64 payloads.
 func (n *Network) RecvUint64s(from, to int, tag string) []uint64 {
-	return n.recv(from, to, tag).u64s
+	return n.recv(from, to, tag).Words
 }
 
 // RunServers executes role(t) for every server t = 0…s−1, each in its own
@@ -224,40 +189,223 @@ func (n *Network) GatherFloats(tag string, produce func(server int) []float64) [
 	return out
 }
 
-// Fork returns a private recording fabric with the same server count:
-// charges against it accumulate locally (with a full transcript) and do
-// not touch the parent until Join. Forks let independent protocol phases
-// run concurrently and still commit their accounting in a canonical
+// Round is one protocol phase executed uniformly across the star: the CP
+// broadcasts an op request (parameters, or a payload for data
+// broadcasts), every non-CP server produces the op's reply from its local
+// share, and the CP consumes the replies in server order. Locally hosted
+// servers execute Local in-process (in parallel, with the accounting
+// committed in canonical order); remote servers receive the encoded
+// request over their transport link and their worker produces the reply —
+// byte-identical frames either way.
+type Round struct {
+	// Op is the protocol opcode stamped on the request frames.
+	Op uint16
+	// Params are the request's payload words (seeds, shapes, indices);
+	// each is charged as one word per destination.
+	Params []uint64
+	// Data, when non-nil, replaces Params as the request payload (used
+	// for payload broadcasts such as the projection basis). Kind sets the
+	// frame's payload kind (KindControl when zero).
+	Data []float64
+	Kind Kind
+	// ReqTag is the ledger tag of the request frames.
+	ReqTag string
+	// RespTag is the ledger tag of the reply frames; empty means the
+	// round is a pure broadcast with no replies.
+	RespTag string
+	// RespKind is the payload kind replies must carry.
+	RespKind Kind
+	// Local executes the op for a locally hosted server t and returns the
+	// reply payload. Never called for remote servers.
+	Local func(t int) ([]float64, error)
+	// OnResp consumes server t's reply payload, in server order.
+	OnResp func(t int, payload []float64) error
+	// Inline executes Local in the drain loop instead of one goroutine
+	// per server. The transcript is identical either way; hot-path rounds
+	// with tiny payloads (per-draw row collection, value gathers) set it
+	// to skip the scheduling cost, heavy sketch rounds leave it unset to
+	// keep per-server building parallel.
+	Inline bool
+}
+
+// localReply builds server t's encoded reply, converting executor panics
+// and oversized payloads into errors so a failing op aborts the round
+// instead of the process.
+func localReply(r Round, stream uint32, t int) (enc []byte, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("comm: round %q local executor on server %d: %v", r.ReqTag, t, rec)
+		}
+	}()
+	payload, err := r.Local(t)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > MaxFrameWords {
+		return nil, fmt.Errorf("comm: round %q reply of %d words from server %d exceeds the %d-word frame cap",
+			r.RespTag, len(payload), t, MaxFrameWords)
+	}
+	f := &Frame{Kind: r.RespKind, From: t, To: CP, Stream: stream, Tag: r.RespTag, Words: FloatWords(payload)}
+	return EncodeFrame(f), nil
+}
+
+// RunRound executes one Round. Request frames are charged (and, for
+// remote servers, transmitted) in server order 1…s−1 first; replies are
+// then drained and charged in the same order, so the transcript is
+// deterministic and transport-independent.
+func (n *Network) RunRound(r Round) error {
+	n.mu.Lock()
+	failed := n.failed
+	n.mu.Unlock()
+	if failed != nil {
+		return fmt.Errorf("comm: fabric poisoned by an earlier aborted round (Reset to reuse): %w", failed)
+	}
+	err := n.runRound(r)
+	if err != nil && n.HasRemote() {
+		// A round that aborts after its requests went out may leave
+		// worker replies queued; poison the fabric so the next round
+		// fails fast instead of consuming a stale frame.
+		n.mu.Lock()
+		if n.failed == nil {
+			n.failed = err
+		}
+		n.mu.Unlock()
+	}
+	return err
+}
+
+func (n *Network) runRound(r Round) error {
+	kind := r.Kind
+	words := r.Params
+	if r.Data != nil {
+		if len(r.Params) != 0 {
+			return fmt.Errorf("comm: round %q carries both params and data", r.ReqTag)
+		}
+		words = FloatWords(r.Data)
+		if kind == 0 {
+			kind = KindFloats
+		}
+	}
+	if kind == 0 {
+		kind = KindControl
+	}
+	// Request leg.
+	for t := 1; t < n.servers; t++ {
+		f := &Frame{Kind: kind, Op: r.Op, From: CP, To: t, Stream: n.stream, Tag: r.ReqTag, RTag: r.RespTag, Words: words}
+		enc := EncodeFrame(f)
+		n.commit(CP, t, r.ReqTag, int64(len(words)), int64(len(enc)))
+		if n.remote[t] {
+			if err := n.tr.Send(CP, t, enc); err != nil {
+				return fmt.Errorf("comm: round %q request to server %d: %w", r.ReqTag, t, err)
+			}
+		}
+	}
+	if r.RespTag == "" {
+		return nil
+	}
+
+	// Locally hosted servers produce their replies concurrently (unless
+	// the round is Inline); the drain loop below commits everything in
+	// server order regardless.
+	type local struct {
+		enc []byte
+		err error
+	}
+	var locals []chan local
+	if !r.Inline {
+		locals = make([]chan local, n.servers)
+		for t := 1; t < n.servers; t++ {
+			if n.remote[t] {
+				continue
+			}
+			if r.Local == nil {
+				return fmt.Errorf("comm: round %q has a local server %d but no local executor", r.ReqTag, t)
+			}
+			ch := make(chan local, 1)
+			locals[t] = ch
+			go func(t int) {
+				enc, err := localReply(r, n.stream, t)
+				ch <- local{enc: enc, err: err}
+			}(t)
+		}
+	}
+
+	// Drain leg, in server order.
+	for t := 1; t < n.servers; t++ {
+		var enc []byte
+		if n.remote[t] {
+			buf, err := n.tr.Recv(t, CP, n.stream, nil)
+			if err != nil {
+				return fmt.Errorf("comm: round %q reply from server %d: %w", r.RespTag, t, err)
+			}
+			enc = buf
+		} else if r.Inline {
+			if r.Local == nil {
+				return fmt.Errorf("comm: round %q has a local server %d but no local executor", r.ReqTag, t)
+			}
+			var err error
+			enc, err = localReply(r, n.stream, t)
+			if err != nil {
+				return fmt.Errorf("comm: round %q on server %d: %w", r.ReqTag, t, err)
+			}
+		} else {
+			res := <-locals[t]
+			if res.err != nil {
+				return fmt.Errorf("comm: round %q on server %d: %w", r.ReqTag, t, res.err)
+			}
+			enc = res.enc
+		}
+		f, err := DecodeFrame(enc)
+		if err != nil {
+			return fmt.Errorf("comm: round %q reply from server %d: %w", r.RespTag, t, err)
+		}
+		if f.Tag != r.RespTag {
+			return fmt.Errorf("comm: round reply tag %q from server %d, want %q", f.Tag, t, r.RespTag)
+		}
+		if f.Kind != r.RespKind {
+			return fmt.Errorf("comm: round reply kind %d from server %d, want %d", f.Kind, t, r.RespKind)
+		}
+		n.commit(t, CP, r.RespTag, int64(len(f.Words)), int64(len(enc)))
+		if r.OnResp != nil {
+			if err := r.OnResp(t, WordFloats(f.Words)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fork returns a private recording fabric sharing this fabric's transport
+// and server roster but owning its own ledger and stream id: charges
+// against it accumulate locally (with a full transcript) and do not touch
+// the parent until Join. Forks let independent protocol phases run
+// concurrently — their frames interleave on the shared links but carry
+// the fork's stream id — and still commit their accounting in a canonical
 // order.
 func (n *Network) Fork() *Network {
-	f := NewNetwork(n.servers)
-	f.trace = true
+	f := &Network{
+		servers:   n.servers,
+		tr:        n.tr,
+		remote:    n.remote,
+		stream:    n.nextStream(),
+		streamSeq: n.streamSeq,
+		trace:     true,
+	}
+	f.resetTallies()
 	return f
 }
 
 // Join replays each fork's transcript into n, in argument order, exactly
-// as if the forked phases had run sequentially at this point. Tallies,
-// message counts and (when tracing) the transcript are therefore
-// independent of how the forked phases were scheduled.
+// as if the forked phases had run sequentially at this point. Word and
+// byte tallies, message counts and (when tracing) the transcript are
+// therefore independent of how the forked phases were scheduled.
 func (n *Network) Join(forks ...*Network) {
 	for _, f := range forks {
 		if f.servers != n.servers {
 			panic(fmt.Sprintf("comm: joining fork with %d servers into network with %d", f.servers, n.servers))
 		}
 		for _, m := range f.log {
-			n.Charge(m.From, m.To, m.Tag, m.Words)
+			n.commit(m.From, m.To, m.Tag, m.Words, m.Bytes)
 		}
 	}
-}
-
-// LinkBreakdown returns words charged per directed (from, to) link, as a
-// copied map.
-func (n *Network) LinkBreakdown() map[[2]int]int64 {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make(map[[2]int]int64, len(n.byLink))
-	for k, v := range n.byLink {
-		out[k] = v
-	}
-	return out
 }

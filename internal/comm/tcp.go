@@ -1,0 +1,197 @@
+package comm
+
+// TCP transport: the coordinator's side of a cluster that genuinely spans
+// OS processes. Each non-CP server is a worker process reached over one
+// TCP connection; frames travel length-prefixed, and a per-connection
+// reader demultiplexes worker replies by stream id so concurrently forked
+// protocol phases can interleave on one physical link without stealing
+// each other's frames.
+//
+// The worker side of the wire protocol (handshake, share installation and
+// the op-execution loop) lives in internal/cluster; this file only moves
+// frames.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxWireFrameBytes bounds a length prefix the reader will accept before
+// allocating; anything larger is a corrupt or hostile stream.
+const MaxWireFrameBytes = FrameHeaderLen + 2*MaxTagLen + 8*MaxFrameWords
+
+// WriteWireFrame writes one length-prefixed frame to w.
+func WriteWireFrame(w io.Writer, frame []byte) error {
+	if len(frame) > MaxWireFrameBytes {
+		return fmt.Errorf("comm: frame of %d bytes exceeds wire cap", len(frame))
+	}
+	var pfx [4]byte
+	binary.BigEndian.PutUint32(pfx[:], uint32(len(frame)))
+	if _, err := w.Write(pfx[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// ReadWireFrame reads one length-prefixed frame from r, rejecting
+// oversized prefixes before allocating.
+func ReadWireFrame(r io.Reader) ([]byte, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(pfx[:])
+	if n < FrameHeaderLen || int64(n) > int64(MaxWireFrameBytes) {
+		return nil, fmt.Errorf("comm: wire frame length %d out of range", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// tcpQueueKey addresses one (sender, stream) reply queue.
+type tcpQueueKey struct {
+	from   int
+	stream uint32
+}
+
+// TCPTransport is the coordinator-side transport: conns[t] carries frames
+// to and from the worker hosting server t (nil for locally hosted
+// servers, including the CP itself).
+type TCPTransport struct {
+	conns []net.Conn
+	wmu   []sync.Mutex
+
+	mu     sync.Mutex
+	queues map[tcpQueueKey][][]byte
+	notify chan struct{}
+	err    error
+	closed bool
+}
+
+// NewTCPTransport wraps established worker connections (index = server
+// id; nil entries are locally hosted) and starts one reader per
+// connection.
+func NewTCPTransport(conns []net.Conn) *TCPTransport {
+	t := &TCPTransport{
+		conns:  conns,
+		wmu:    make([]sync.Mutex, len(conns)),
+		queues: make(map[tcpQueueKey][][]byte),
+		notify: make(chan struct{}),
+	}
+	for id, c := range conns {
+		if c != nil {
+			go t.readLoop(id, c)
+		}
+	}
+	return t
+}
+
+func (t *TCPTransport) readLoop(from int, c net.Conn) {
+	for {
+		buf, err := ReadWireFrame(c)
+		if err != nil {
+			t.mu.Lock()
+			if t.err == nil && !t.closed {
+				t.err = fmt.Errorf("comm: worker %d link: %w", from, err)
+			}
+			close(t.notify)
+			t.notify = make(chan struct{})
+			t.mu.Unlock()
+			return
+		}
+		stream, err := frameStream(buf)
+		if err != nil {
+			stream = 0
+		}
+		t.mu.Lock()
+		key := tcpQueueKey{from: from, stream: stream}
+		t.queues[key] = append(t.queues[key], buf)
+		close(t.notify)
+		t.notify = make(chan struct{})
+		t.mu.Unlock()
+	}
+}
+
+// Send implements Transport: frames can only be pushed toward workers
+// (the coordinator's outbound direction); worker→coordinator frames
+// arrive via the readers.
+func (t *TCPTransport) Send(from, to int, frame []byte) error {
+	if to < 0 || to >= len(t.conns) || t.conns[to] == nil {
+		return fmt.Errorf("comm: no TCP link to server %d", to)
+	}
+	t.wmu[to].Lock()
+	defer t.wmu[to].Unlock()
+	return WriteWireFrame(t.conns[to], frame)
+}
+
+// Recv implements Transport: the next frame sent by worker `from` on the
+// given stream.
+func (t *TCPTransport) Recv(from, to int, stream uint32, cancel <-chan struct{}) ([]byte, error) {
+	key := tcpQueueKey{from: from, stream: stream}
+	for {
+		t.mu.Lock()
+		if q := t.queues[key]; len(q) > 0 {
+			buf := q[0]
+			if len(q) == 1 {
+				delete(t.queues, key)
+			} else {
+				t.queues[key] = q[1:]
+			}
+			t.mu.Unlock()
+			return buf, nil
+		}
+		if t.err != nil {
+			err := t.err
+			t.mu.Unlock()
+			return nil, err
+		}
+		if t.closed {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("comm: transport closed")
+		}
+		ch := t.notify
+		t.mu.Unlock()
+		if cancel == nil {
+			<-ch
+			continue
+		}
+		select {
+		case <-ch:
+		case <-cancel:
+			return nil, fmt.Errorf("%w: link %d→%d", ErrRecvAborted, from, to)
+		}
+	}
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	close(t.notify)
+	t.notify = make(chan struct{})
+	t.mu.Unlock()
+	var first error
+	for _, c := range t.conns {
+		if c != nil {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// reset drops queued frames between protocol runs on a persistent
+// cluster (there should be none after a clean run).
+func (t *TCPTransport) reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queues = make(map[tcpQueueKey][][]byte)
+}

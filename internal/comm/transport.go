@@ -1,0 +1,93 @@
+package comm
+
+// This file is the transport layer of the fabric: how encoded frames
+// physically move between server endpoints. The accounting layer never
+// touches payload memory directly — it hands encoded frames to a Transport
+// and decodes what comes back — so the same protocol code runs unchanged
+// whether the servers live in one process (MemTransport) or across real OS
+// processes (TCPTransport, tcp.go).
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrRecvAborted is returned by Transport.Recv when the cancel channel
+// fires before a frame arrives (a peer role failed; see RunServers).
+var ErrRecvAborted = errors.New("comm: receive aborted")
+
+// Transport moves encoded frames between server endpoints.
+type Transport interface {
+	// Send enqueues an encoded frame on the from→to link.
+	Send(from, to int, frame []byte) error
+	// Recv blocks for the next frame on the from→to link. Transports that
+	// multiplex concurrent ledgers over one physical link (TCP) filter by
+	// stream id; the in-process transport delivers in link FIFO order and
+	// ignores the stream. A firing cancel channel aborts with
+	// ErrRecvAborted.
+	Recv(from, to int, stream uint32, cancel <-chan struct{}) ([]byte, error)
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// memLinkBuf is the per-link channel capacity of the in-process transport.
+// Star protocol phases put at most a handful of frames in flight per link
+// before the CP drains them; the buffer only needs to decouple sender
+// completion from receiver progress, not to hold a whole protocol.
+const memLinkBuf = 64
+
+// MemTransport carries frames over typed in-process channel links — the
+// PR 1 runtime's channels, now moving encoded bytes instead of Go values.
+type MemTransport struct {
+	mu    sync.Mutex
+	links map[[2]int]chan []byte
+}
+
+// NewMemTransport creates an empty in-process transport.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{links: make(map[[2]int]chan []byte)}
+}
+
+func (m *MemTransport) link(from, to int) chan []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := [2]int{from, to}
+	ch, ok := m.links[key]
+	if !ok {
+		ch = make(chan []byte, memLinkBuf)
+		m.links[key] = ch
+	}
+	return ch
+}
+
+// Send implements Transport.
+func (m *MemTransport) Send(from, to int, frame []byte) error {
+	m.link(from, to) <- frame
+	return nil
+}
+
+// Recv implements Transport.
+func (m *MemTransport) Recv(from, to int, stream uint32, cancel <-chan struct{}) ([]byte, error) {
+	ch := m.link(from, to)
+	if cancel == nil {
+		return <-ch, nil
+	}
+	select {
+	case f := <-ch:
+		return f, nil
+	case <-cancel:
+		return nil, fmt.Errorf("%w: link %d→%d", ErrRecvAborted, from, to)
+	}
+}
+
+// Close implements Transport.
+func (m *MemTransport) Close() error { return nil }
+
+// reset drops every queued frame so a reused fabric starts clean (sweep
+// cells reuse one fabric in multi-process mode; see Network.Reset).
+func (m *MemTransport) reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.links = make(map[[2]int]chan []byte)
+}

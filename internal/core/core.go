@@ -140,8 +140,9 @@ func Run(net *comm.Network, sampler RowSampler, f fn.Func, d int, opts Options) 
 	}
 	best.Words = net.Since(start)
 	// The CP ships the winning projection basis back to all servers so they
-	// can project their local data: (s−1)·d·k words.
-	net.BroadcastWords(comm.CP, "core/projection", int64(d*opts.K))
+	// can project their local data: (s−1)·d·k words, as a real payload
+	// broadcast (remote workers receive the basis frame).
+	net.BroadcastPayload(comm.CP, "core/projection", comm.KindProjection, best.V.Data())
 	return best, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/hashing"
+	"repro/internal/ops"
 	"repro/internal/sketch"
 )
 
@@ -42,6 +43,15 @@ func NewDyadicHH(seed int64, m uint64, p Params) *DyadicHH {
 	return d
 }
 
+// BuildLocalDyadic sketches one local share at every level — the
+// share-side half of DyadicHeavyHitters, executed in-process for hosted
+// shares and by worker processes for remote ones.
+func BuildLocalDyadic(v Vec, seed int64, p Params) *DyadicHH {
+	d := NewDyadicHH(seed, v.Len(), p)
+	v.ForEach(d.Update)
+	return d
+}
+
 // Update adds delta at coordinate j on every level.
 func (d *DyadicHH) Update(j uint64, delta float64) {
 	for l := 0; l < d.levels; l++ {
@@ -60,6 +70,9 @@ func (d *DyadicHH) Merge(other *DyadicHH) error {
 	}
 	return nil
 }
+
+// Flat returns the wire payload of all levels, top level first.
+func (d *DyadicHH) Flat() []float64 { return ops.FlattenSketches(d.sk) }
 
 // Words returns the transmission size of all levels.
 func (d *DyadicHH) Words() int64 {
@@ -115,23 +128,23 @@ func (d *DyadicHH) Heavy(B float64) []uint64 {
 	return out
 }
 
-// DyadicHeavyHitters is the distributed protocol over the hierarchy: each
-// server sketches its local share at every level, the CP merges and
-// descends. Same contract as HeavyHitters with CP computation O(B·log² m)
-// instead of O(m).
-func DyadicHeavyHitters(net *comm.Network, locals []Vec, B float64, p Params, seed int64, tag string) []uint64 {
-	m := locals[0].Len()
-	net.BroadcastSeed(comm.CP, tag+"/seed", seed)
-	merged := NewDyadicHH(seed, m, p)
-	for t, lv := range locals {
-		local := NewDyadicHH(seed, m, p)
-		lv.ForEach(local.Update)
-		if t != comm.CP {
-			net.Charge(t, comm.CP, tag+"/dyadic-sketch", local.Words())
-		}
-		if err := merged.Merge(local); err != nil {
-			panic("hh: dyadic merge: " + err.Error())
-		}
+// DyadicHeavyHitters is the distributed protocol over the hierarchy: the
+// CP broadcasts the sketch op, each server sketches its local share at
+// every level (worker processes included), and the CP merges the arriving
+// level blocks in server order and descends. Same contract as HeavyHitters
+// with CP computation O(B·log² m) instead of O(m).
+func DyadicHeavyHitters(net *comm.Network, locals []Vec, B float64, p Params, seed int64, tag string) ([]uint64, error) {
+	m, err := dim(locals)
+	if err != nil {
+		return nil, err
 	}
-	return merged.Heavy(B)
+	sks, err := sketchRound(net, ops.OpDyadicSketch, ops.FlatSketchParams(seed, p.Depth, p.Width),
+		tag+"/seed", tag+"/dyadic-sketch", func(t int) []*sketch.CountSketch {
+			return BuildLocalDyadic(locals[t], seed, p).sk
+		})
+	if err != nil {
+		return nil, err
+	}
+	merged := &DyadicHH{m: m, levels: len(sks), sk: sks}
+	return merged.Heavy(B), nil
 }

@@ -20,7 +20,10 @@ func TestDyadicFindsPlanted(t *testing.T) {
 	}
 	locals := splitVector(v, 3, rng)
 	net := comm.NewNetwork(3)
-	got := DyadicHeavyHitters(net, locals, 32, Params{Depth: 5, Width: 256}, 9, "dy")
+	got, err := DyadicHeavyHitters(net, locals, 32, Params{Depth: 5, Width: 256}, 9, "dy")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, j := range heavies {
 		if !contains(got, j) {
 			t.Fatalf("dyadic missed %d (got %v)", j, got)
@@ -44,9 +47,16 @@ func TestDyadicAgreesWithFlat(t *testing.T) {
 	p := Params{Depth: 5, Width: 256}
 
 	netA := comm.NewNetwork(2)
-	flat := HeavyHitters(netA, locals, 64, p, 5, "flat").Coords
+	flatRes, err := HeavyHitters(netA, locals, 64, p, 5, "flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := flatRes.Coords
 	netB := comm.NewNetwork(2)
-	dyad := DyadicHeavyHitters(netB, locals, 64, p, 5, "dy")
+	dyad, err := DyadicHeavyHitters(netB, locals, 64, p, 5, "dy")
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, j := range []uint64{100, 1500} {
 		if !contains(flat, j) || !contains(dyad, j) {
@@ -65,7 +75,10 @@ func TestDyadicNonPowerOfTwoDimension(t *testing.T) {
 	v[999] = 20 // the last valid coordinate
 	locals := splitVector(v, 2, rng)
 	net := comm.NewNetwork(2)
-	got := DyadicHeavyHitters(net, locals, 16, Params{Depth: 5, Width: 128}, 7, "dy")
+	got, err := DyadicHeavyHitters(net, locals, 16, Params{Depth: 5, Width: 128}, 7, "dy")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !contains(got, 999) {
 		t.Fatalf("missed boundary coordinate: %v", got)
 	}
@@ -79,7 +92,7 @@ func TestDyadicNonPowerOfTwoDimension(t *testing.T) {
 func TestDyadicZeroVector(t *testing.T) {
 	locals := []Vec{DenseVec(make([]float64, 64)), DenseVec(make([]float64, 64))}
 	net := comm.NewNetwork(2)
-	if got := DyadicHeavyHitters(net, locals, 8, Params{Depth: 3, Width: 32}, 1, "dy"); len(got) != 0 {
+	if got, err := DyadicHeavyHitters(net, locals, 8, Params{Depth: 3, Width: 32}, 1, "dy"); err != nil || len(got) != 0 {
 		t.Fatalf("zero vector reported %v", got)
 	}
 }

@@ -1,8 +1,11 @@
 package hh
 
 import (
+	"errors"
+
 	"repro/internal/comm"
 	"repro/internal/hashing"
+	"repro/internal/ops"
 	"repro/internal/sketch"
 )
 
@@ -18,8 +21,7 @@ type Params struct {
 	Width int
 	// Workers parallelizes each server's local sketch ingestion across
 	// the Depth rows (0 or 1 = sequential). Results are bit-identical at
-	// any worker count; this only matters when per-server concurrency is
-	// already exhausted (e.g. single-server runs).
+	// any worker count; this is a local knob, never a wire parameter.
 	Workers int
 }
 
@@ -39,75 +41,85 @@ type Result struct {
 	F2     float64
 }
 
-// concurrentMerge runs one concurrent sketch round over the star: every
-// server builds its sketch set with build(t) in its own goroutine, non-CP
-// servers post the flattened counters to the CP over the channel links,
-// and the CP folds everything together in server order — so the
-// accounting (one message of Σ Words() per non-CP server under tag) is
-// deterministic and identical to a sequential formulation. The merged
-// set, the CP's own sketches mutated in place, is returned; linearity of
-// the sketches makes this exactly the sketch of Σ_t locals[t].
-func concurrentMerge(net *comm.Network, s int, tag string, build func(t int) []*sketch.CountSketch) []*sketch.CountSketch {
-	var merged []*sketch.CountSketch
-	net.RunServers(func(t int) {
-		local := build(t)
-		if t != comm.CP {
-			var words int64
-			for _, cs := range local {
-				words += cs.Words()
-			}
-			flat := make([]float64, 0, words)
-			for _, cs := range local {
-				flat = cs.AppendFlat(flat)
-			}
-			net.PostFloats(t, comm.CP, tag, flat)
-			return
-		}
-		merged = local
-		for from := 1; from < s; from++ {
-			buf := net.RecvFloats(from, comm.CP, tag)
-			for _, cs := range merged {
-				buf = cs.AddFlat(buf)
-			}
-			if len(buf) != 0 {
-				panic("hh: sketch payload length mismatch")
-			}
-		}
+// ErrRestrictionNotExpressible is returned when a closure-defined
+// restriction reaches a cluster with remote servers: a worker process can
+// only evaluate restrictions described by shared randomness (see
+// ops.LevelFilter).
+var ErrRestrictionNotExpressible = errors.New("hh: closure restriction cannot cross process boundaries (use ops.LevelFilter)")
+
+// dim returns the global vector dimension from the CP's share (the only
+// share guaranteed to be present on the coordinator).
+func dim(locals []Vec) (uint64, error) {
+	if len(locals) == 0 || locals[comm.CP] == nil {
+		return 0, errors.New("hh: the CP's local share is required")
+	}
+	return locals[comm.CP].Len(), nil
+}
+
+// sketchRound runs one sketch-merge phase over the star as a comm.Round:
+// the CP broadcasts the phase's op frame (shared randomness and shape, one
+// charged word per parameter), every server builds its sketch set from its
+// local share — in-process goroutines for hosted shares, worker processes
+// for remote ones, both through the same builder — and the CP folds the
+// arriving counter blocks in server order, so the accounting is
+// deterministic and transport-independent. Linearity of the sketches makes
+// the merged set exactly the sketch of Σ_t locals[t].
+func sketchRound(net *comm.Network, op uint16, params []uint64, reqTag, respTag string,
+	build func(t int) []*sketch.CountSketch) ([]*sketch.CountSketch, error) {
+	merged := build(comm.CP)
+	err := net.RunRound(comm.Round{
+		Op:       op,
+		Params:   params,
+		ReqTag:   reqTag,
+		RespTag:  respTag,
+		RespKind: comm.KindSketch,
+		Local: func(t int) ([]float64, error) {
+			return ops.FlattenSketches(build(t)), nil
+		},
+		OnResp: func(t int, payload []float64) error {
+			return ops.MergeFlat(merged, payload)
+		},
 	})
-	return merged
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
 }
 
 // HeavyHitters runs the distributed F2 heavy hitter protocol over the
-// implicit vector v = Σ_t locals[t]: the CP broadcasts a seed, every server
-// sketches its local share concurrently (one goroutine per server), the CP
-// merges the linear sketches as they arrive over the channel links and
-// reports every coordinate j with estimated v_j² ≥ F̂2/B.
+// implicit vector v = Σ_t locals[t]: the CP broadcasts the sketch op (seed
+// and shape), every server sketches its local share, the CP merges the
+// linear sketches as the counter frames arrive and reports every
+// coordinate j with estimated v_j² ≥ F̂2/B.
 //
-// Communication: s−1 seed words + (s−1)·Depth·Width sketch words, charged
-// on net under tag.
-func HeavyHitters(net *comm.Network, locals []Vec, B float64, p Params, seed int64, tag string) Result {
-	m := locals[0].Len()
-	net.BroadcastSeed(comm.CP, tag+"/seed", seed)
-
-	merged := concurrentMerge(net, len(locals), tag+"/sketch", func(t int) []*sketch.CountSketch {
-		cs := sketch.NewCountSketch(seed, p.Depth, p.Width)
-		cs.UpdateBulk(p.Workers, locals[t].ForEach)
-		return []*sketch.CountSketch{cs}
-	})[0]
-
-	f2 := merged.F2Estimate()
+// Communication: s−1 three-word op frames + (s−1)·Depth·Width sketch
+// words, charged on net under tag/seed and tag/sketch.
+func HeavyHitters(net *comm.Network, locals []Vec, B float64, p Params, seed int64, tag string) (Result, error) {
+	m, err := dim(locals)
+	if err != nil {
+		return Result{}, err
+	}
+	merged, err := sketchRound(net, ops.OpFlatSketch, ops.FlatSketchParams(seed, p.Depth, p.Width),
+		tag+"/seed", tag+"/sketch", func(t int) []*sketch.CountSketch {
+			return []*sketch.CountSketch{ops.FlatSketch(locals[t], seed, p.Depth, p.Width, p.Workers)}
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	cs := merged[0]
+	f2 := cs.F2Estimate()
 	if f2 <= 0 {
-		return Result{F2: f2}
+		return Result{F2: f2}, nil
 	}
 	thresh := f2 / B
 	var cands []candidate
 	for j := uint64(0); j < m; j++ {
-		est := merged.Estimate(j)
+		est := cs.Estimate(j)
 		if est*est >= thresh {
 			cands = append(cands, candidate{j, est * est})
 		}
 	}
-	return Result{Coords: keepTop(cands, capFor(B)), F2: f2}
+	return Result{Coords: keepTop(cands, capFor(B)), F2: f2}, nil
 }
 
 // candidate pairs a coordinate with its estimated squared value.
@@ -153,25 +165,29 @@ func keepTop(cands []candidate, n int) []uint64 {
 
 // HeavyHittersFiltered is HeavyHitters on the restriction v(S) for S given
 // by keep; both the local sketching and the CP-side candidate enumeration
-// honor the restriction, so no extra communication is needed to describe S
-// (it is defined by hash seeds all servers already share).
-func HeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bool, B float64, p Params, seed int64, tag string) Result {
-	restricted := make([]Vec, len(locals))
-	for t, lv := range locals {
-		restricted[t] = Filtered{Base: lv, Keep: keep}
+// honor the restriction. The restriction is a closure, so this variant
+// only runs on fully in-process clusters (the Z protocols use the
+// wire-expressible ops.LevelFilter instead).
+func HeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bool, B float64, p Params, seed int64, tag string) (Result, error) {
+	if net.HasRemote() {
+		return Result{}, ErrRestrictionNotExpressible
 	}
-	m := locals[0].Len()
-	net.BroadcastSeed(comm.CP, tag+"/seed", seed)
-
-	merged := concurrentMerge(net, len(locals), tag+"/sketch", func(t int) []*sketch.CountSketch {
-		cs := sketch.NewCountSketch(seed, p.Depth, p.Width)
-		cs.UpdateBulk(p.Workers, restricted[t].ForEach)
-		return []*sketch.CountSketch{cs}
-	})[0]
-
-	f2 := merged.F2Estimate()
+	m, err := dim(locals)
+	if err != nil {
+		return Result{}, err
+	}
+	merged, err := sketchRound(net, ops.OpFlatSketch, ops.FlatSketchParams(seed, p.Depth, p.Width),
+		tag+"/seed", tag+"/sketch", func(t int) []*sketch.CountSketch {
+			restricted := Filtered{Base: locals[t], Keep: keep}
+			return []*sketch.CountSketch{ops.FlatSketch(restricted, seed, p.Depth, p.Width, p.Workers)}
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	cs := merged[0]
+	f2 := cs.F2Estimate()
 	if f2 <= 0 {
-		return Result{F2: f2}
+		return Result{F2: f2}, nil
 	}
 	thresh := f2 / B
 	var cands []candidate
@@ -179,30 +195,33 @@ func HeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) boo
 		if !keep(j) {
 			continue
 		}
-		est := merged.Estimate(j)
+		est := cs.Estimate(j)
 		if est*est >= thresh {
 			cands = append(cands, candidate{j, est * est})
 		}
 	}
-	return Result{Coords: keepTop(cands, capFor(B)), F2: f2}
+	return Result{Coords: keepTop(cands, capFor(B)), F2: f2}, nil
 }
 
 // bucketedSketches builds, for one repetition of Z-HeavyHitters, the
 // per-bucket merged CountSketches over a hash partition of the coordinate
-// space. Every server demultiplexes its share into bucket sketches in its
-// own goroutine; the CP merges the arriving counter blocks in server
-// order, charging each server's bucket sketches as one message.
-func bucketedSketches(net *comm.Network, locals []Vec, part *hashing.PolyHash, buckets int, p Params, seed int64, tag string) []*sketch.CountSketch {
-	return concurrentMerge(net, len(locals), tag+"/bucket-sketch", func(t int) []*sketch.CountSketch {
-		local := make([]*sketch.CountSketch, buckets)
-		for e := range local {
-			local[e] = sketch.NewCountSketch(hashing.DeriveSeed(seed, uint64(e)), p.Depth, p.Width)
-		}
-		locals[t].ForEach(func(j uint64, v float64) {
-			local[part.Bucket(j, buckets)].Update(j, v)
+// space, optionally restricted to a subsampled level set. Local shares are
+// restricted by keep (fast, possibly precomputed); remote workers derive
+// the same restriction from filt, which travels in the op frame.
+func bucketedSketches(net *comm.Network, locals []Vec, repSeed int64, buckets int, p Params,
+	keep func(uint64) bool, filt *ops.LevelFilter, tag string) ([]*sketch.CountSketch, error) {
+	if net.HasRemote() && keep != nil && filt == nil {
+		return nil, ErrRestrictionNotExpressible
+	}
+	return sketchRound(net, ops.OpBucketSketch,
+		ops.BucketSketchParams(repSeed, buckets, p.Depth, p.Width, filt),
+		tag+"/seed", tag+"/bucket-sketch", func(t int) []*sketch.CountSketch {
+			v := locals[t]
+			if keep != nil {
+				v = Filtered{Base: v, Keep: keep}
+			}
+			return ops.BucketSketches(v, repSeed, buckets, p.Depth, p.Width)
 		})
-		return local
-	})
 }
 
 // ZParams are the practical knobs of Z-HeavyHitters (Algorithm 2). The
@@ -241,15 +260,20 @@ func DefaultZParams(B float64) ZParams {
 //
 // Note z itself is not evaluated anywhere: property P is exactly what makes
 // ℓ2 heaviness inside a bucket certify z heaviness.
-func ZHeavyHitters(net *comm.Network, locals []Vec, zp ZParams, seed int64, tag string) []uint64 {
-	m := locals[0].Len()
+func ZHeavyHitters(net *comm.Network, locals []Vec, zp ZParams, seed int64, tag string) ([]uint64, error) {
+	m, err := dim(locals)
+	if err != nil {
+		return nil, err
+	}
 	found := make(map[uint64]struct{})
 	for t := 0; t < zp.Reps; t++ {
 		repSeed := hashing.DeriveSeed(seed, uint64(7000+t))
-		net.BroadcastSeed(comm.CP, tag+"/seed", repSeed)
 		part := hashing.PairwiseHash(hashing.Seeded(repSeed))
 
-		merged := bucketedSketches(net, locals, part, zp.Buckets, zp.Sketch, repSeed, tag)
+		merged, err := bucketedSketches(net, locals, repSeed, zp.Buckets, zp.Sketch, nil, nil, tag)
+		if err != nil {
+			return nil, err
+		}
 
 		f2 := make([]float64, zp.Buckets)
 		for e := range merged {
@@ -277,22 +301,30 @@ func ZHeavyHitters(net *comm.Network, locals []Vec, zp ZParams, seed int64, tag 
 		out = append(out, j)
 	}
 	sortUint64s(out)
-	return out
+	return out, nil
 }
 
 // ZHeavyHittersFiltered runs Z-HeavyHitters on the restriction of the
-// vector to coordinates passing keep (used by the Z-estimator's subsampled
-// level sets). candidates, when non-nil, enumerates the coordinates the CP
-// should test — callers that know the restricted support (e.g. from a
-// shared level-set hash) supply it to avoid a full-range scan; when nil,
-// every coordinate passing keep is tested.
-func ZHeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bool, candidates func(yield func(uint64)), zp ZParams, seed int64, tag string) []uint64 {
-	restricted := make([]Vec, len(locals))
-	for t, lv := range locals {
-		restricted[t] = Filtered{Base: lv, Keep: keep}
+// vector to a subsampled level set: keep evaluates the restriction for
+// local shares and the CP's candidate scan (callers usually precompute
+// it), filt is its wire-expressible description for remote workers (nil is
+// allowed only on fully in-process clusters). candidates, when non-nil,
+// enumerates the coordinates the CP should test — callers that know the
+// restricted support supply it to avoid a full-range scan; when nil, every
+// coordinate passing keep is tested.
+func ZHeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bool, filt *ops.LevelFilter,
+	candidates func(yield func(uint64)), zp ZParams, seed int64, tag string) ([]uint64, error) {
+	m, err := dim(locals)
+	if err != nil {
+		return nil, err
+	}
+	if keep == nil {
+		if filt == nil {
+			return nil, errors.New("hh: filtered Z-HeavyHitters needs a restriction")
+		}
+		keep = filt.Keep()
 	}
 	if candidates == nil {
-		m := locals[0].Len()
 		candidates = func(yield func(uint64)) {
 			for j := uint64(0); j < m; j++ {
 				if keep(j) {
@@ -304,10 +336,12 @@ func ZHeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bo
 	found := make(map[uint64]struct{})
 	for t := 0; t < zp.Reps; t++ {
 		repSeed := hashing.DeriveSeed(seed, uint64(9000+t))
-		net.BroadcastSeed(comm.CP, tag+"/seed", repSeed)
 		part := hashing.PairwiseHash(hashing.Seeded(repSeed))
 
-		merged := bucketedSketches(net, restricted, part, zp.Buckets, zp.Sketch, repSeed, tag)
+		merged, err := bucketedSketches(net, locals, repSeed, zp.Buckets, zp.Sketch, keep, filt, tag)
+		if err != nil {
+			return nil, err
+		}
 
 		f2 := make([]float64, zp.Buckets)
 		for e := range merged {
@@ -335,7 +369,7 @@ func ZHeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bo
 		out = append(out, j)
 	}
 	sortUint64s(out)
-	return out
+	return out, nil
 }
 
 func sortUint64s(xs []uint64) {

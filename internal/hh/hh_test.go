@@ -104,7 +104,10 @@ func TestHeavyHittersFindsPlanted(t *testing.T) {
 	}
 	locals := splitVector(v, 4, rng)
 	net := comm.NewNetwork(4)
-	res := HeavyHitters(net, locals, 64, Params{Depth: 5, Width: 256}, 99, "hh")
+	res, err := HeavyHitters(net, locals, 64, Params{Depth: 5, Width: 256}, 99, "hh")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, j := range heavies {
 		if !contains(res.Coords, j) {
 			t.Fatalf("missed heavy coordinate %d (found %v)", j, res.Coords)
@@ -122,9 +125,11 @@ func TestHeavyHittersChargesSketches(t *testing.T) {
 	net := comm.NewNetwork(3)
 	locals := []Vec{DenseVec{1, 0}, DenseVec{0, 0}, DenseVec{0, 0}}
 	p := Params{Depth: 2, Width: 8}
-	HeavyHitters(net, locals, 4, p, 1, "hh")
-	// 2 non-CP servers × (1 seed + 16 sketch words).
-	want := int64(2 * (1 + 16))
+	if _, err := HeavyHitters(net, locals, 4, p, 1, "hh"); err != nil {
+		t.Fatal(err)
+	}
+	// 2 non-CP servers × (3 op-frame words + 16 sketch words).
+	want := int64(2 * (3 + 16))
 	if net.Words() != want {
 		t.Fatalf("words = %d, want %d", net.Words(), want)
 	}
@@ -133,7 +138,10 @@ func TestHeavyHittersChargesSketches(t *testing.T) {
 func TestHeavyHittersZeroVector(t *testing.T) {
 	net := comm.NewNetwork(2)
 	locals := []Vec{DenseVec(make([]float64, 10)), DenseVec(make([]float64, 10))}
-	res := HeavyHitters(net, locals, 4, Params{Depth: 2, Width: 8}, 1, "hh")
+	res, err := HeavyHitters(net, locals, 4, Params{Depth: 2, Width: 8}, 1, "hh")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Coords) != 0 {
 		t.Fatal("zero vector has no heavy hitters")
 	}
@@ -151,7 +159,10 @@ func TestHeavyHittersFiltered(t *testing.T) {
 	locals := splitVector(v, 3, rng)
 	net := comm.NewNetwork(3)
 	keep := func(j uint64) bool { return j%2 == 0 }
-	res := HeavyHittersFiltered(net, locals, keep, 64, Params{Depth: 5, Width: 256}, 7, "hh")
+	res, err := HeavyHittersFiltered(net, locals, keep, 64, Params{Depth: 5, Width: 256}, 7, "hh")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !contains(res.Coords, 100) {
 		t.Fatal("missed in-filter heavy coordinate")
 	}
@@ -180,7 +191,10 @@ func TestZHeavyHittersIsolatesManyHeavy(t *testing.T) {
 	locals := splitVector(v, 4, rng)
 	net := comm.NewNetwork(4)
 	zp := ZParams{Reps: 4, Buckets: 64, B: 16, Sketch: Params{Depth: 5, Width: 128}}
-	found := ZHeavyHitters(net, locals, zp, 11, "zhh")
+	found, err := ZHeavyHitters(net, locals, zp, 11, "zhh")
+	if err != nil {
+		t.Fatal(err)
+	}
 	missed := 0
 	for _, j := range heavies {
 		if !contains(found, j) {
@@ -210,7 +224,10 @@ func TestZHeavyHittersFilteredCandidates(t *testing.T) {
 		}
 	}
 	zp := ZParams{Reps: 3, Buckets: 16, B: 16, Sketch: Params{Depth: 4, Width: 64}}
-	found := ZHeavyHittersFiltered(net, locals, keep, candidates, zp, 5, "zhh")
+	found, err := ZHeavyHittersFiltered(net, locals, keep, nil, candidates, zp, 5, "zhh")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !contains(found, 10) || !contains(found, 11) {
 		t.Fatalf("missed planted heavies: %v", found)
 	}
@@ -231,7 +248,10 @@ func TestZHeavyHittersFilteredNilCandidates(t *testing.T) {
 	locals := splitVector(v, 2, rng)
 	net := comm.NewNetwork(2)
 	zp := ZParams{Reps: 2, Buckets: 8, B: 8, Sketch: Params{Depth: 4, Width: 64}}
-	found := ZHeavyHittersFiltered(net, locals, func(uint64) bool { return true }, nil, zp, 5, "zhh")
+	found, err := ZHeavyHittersFiltered(net, locals, func(uint64) bool { return true }, nil, nil, zp, 5, "zhh")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !contains(found, 42) {
 		t.Fatalf("nil candidates path missed heavy: %v", found)
 	}
@@ -295,7 +315,10 @@ func TestHeavyHittersCapBoundsReportSize(t *testing.T) {
 	locals := splitVector(v, 2, rng)
 	net := comm.NewNetwork(2)
 	B := 8.0
-	res := HeavyHitters(net, locals, B, Params{Depth: 2, Width: 8}, 3, "hh")
+	res, err := HeavyHitters(net, locals, B, Params{Depth: 2, Width: 8}, 3, "hh")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res.Coords) > int(2*B) {
 		t.Fatalf("reported %d candidates, cap is %d", len(res.Coords), int(2*B))
 	}

@@ -6,101 +6,25 @@
 // by pairwise-independent bucketing.
 package hh
 
-import "repro/internal/matrix"
+import "repro/internal/ops"
+
+// The local-share vector abstraction lives in package ops (the op
+// vocabulary shared with remote workers); these aliases keep the heavy
+// hitter API self-contained for callers and tests.
 
 // Vec is a server's local share of a distributed vector v = Σ_t v^t.
-// Implementations expose the global dimension and iterate local nonzeros.
-type Vec interface {
-	// Len is the dimension of the global vector.
-	Len() uint64
-	// ForEach calls f for every locally nonzero coordinate.
-	ForEach(f func(j uint64, v float64))
-	// At returns the local value at coordinate j (0 if absent).
-	At(j uint64) float64
-}
+type Vec = ops.Vec
 
 // DenseVec adapts a dense slice.
-type DenseVec []float64
-
-// Len returns the dimension.
-func (d DenseVec) Len() uint64 { return uint64(len(d)) }
-
-// ForEach iterates nonzero entries.
-func (d DenseVec) ForEach(f func(j uint64, v float64)) {
-	for j, v := range d {
-		if v != 0 {
-			f(uint64(j), v)
-		}
-	}
-}
-
-// At returns entry j.
-func (d DenseVec) At(j uint64) float64 { return d[j] }
+type DenseVec = ops.DenseVec
 
 // MatVec flattens a matrix (any Mat backend) into a vector of dimension
-// rows×cols without copying; coordinate j = i*cols + c. Iteration drains
-// the backend's nonzero stream, so a CSR share is sketched in O(nnz) —
-// and because the stream is backend-invariant (ascending columns, zeros
-// skipped), the sketches and everything downstream are bit-identical
-// between Dense and CSR shares of the same logical matrix.
-type MatVec struct {
-	M matrix.Mat
-}
+// rows×cols without copying; coordinate j = i*cols + c.
+type MatVec = ops.MatVec
 
-// Len returns rows×cols.
-func (m MatVec) Len() uint64 { return uint64(m.M.Rows()) * uint64(m.M.Cols()) }
-
-// ForEach iterates nonzero entries in row-major coordinate order.
-func (m MatVec) ForEach(f func(j uint64, v float64)) {
-	cols := m.M.Cols()
-	for i := 0; i < m.M.Rows(); i++ {
-		base := uint64(i) * uint64(cols)
-		m.M.RowNNZ(i, func(c int, v float64) {
-			f(base+uint64(c), v)
-		})
-	}
-}
-
-// At returns the value at flattened coordinate j.
-func (m MatVec) At(j uint64) float64 {
-	cols := uint64(m.M.Cols())
-	return m.M.At(int(j/cols), int(j%cols))
-}
-
-// Filtered restricts a vector to coordinates where Keep returns true;
-// this realizes the paper's v(S) restriction for subsets defined by shared
-// hash functions, with no data movement.
-type Filtered struct {
-	Base Vec
-	Keep func(j uint64) bool
-}
-
-// Len returns the base dimension (restriction keeps the index space).
-func (fv Filtered) Len() uint64 { return fv.Base.Len() }
-
-// ForEach iterates base nonzeros that pass the filter.
-func (fv Filtered) ForEach(f func(j uint64, v float64)) {
-	fv.Base.ForEach(func(j uint64, v float64) {
-		if fv.Keep(j) {
-			f(j, v)
-		}
-	})
-}
-
-// At returns the filtered value at j.
-func (fv Filtered) At(j uint64) float64 {
-	if fv.Keep(j) {
-		return fv.Base.At(j)
-	}
-	return 0
-}
+// Filtered restricts a vector to coordinates where Keep returns true.
+type Filtered = ops.Filtered
 
 // SumAt returns Σ_t locals[t].At(j), the true global coordinate value.
 // Protocol code must charge communication when it uses this across servers.
-func SumAt(locals []Vec, j uint64) float64 {
-	var s float64
-	for _, v := range locals {
-		s += v.At(j)
-	}
-	return s
-}
+func SumAt(locals []Vec, j uint64) float64 { return ops.SumAt(locals, j) }

@@ -18,11 +18,12 @@ package linearbaseline
 
 import (
 	"errors"
+	"fmt"
 	"math"
 
 	"repro/internal/comm"
-	"repro/internal/hashing"
 	"repro/internal/matrix"
+	"repro/internal/ops"
 )
 
 // Options configures the linear-model protocol.
@@ -60,22 +61,27 @@ type Result struct {
 	Words int64
 }
 
-// Run executes the linear-model protocol: CP broadcasts the embedding
-// seed; each server applies the shared Gaussian sketch S (t×n) to its
-// local matrix and ships the t×d product; the CP sums the products — by
-// linearity Σ_t S·A^t = S·A — and projects onto the top-k right singular
-// vectors of the summed sketch. Communication: s−1 seed words +
-// (s−1)·t·d sketch words + (s−1)·d·k to ship the projection back.
-func Run(net *comm.Network, locals []*matrix.Dense, opts Options) (*Result, error) {
-	if len(locals) == 0 {
-		return nil, errors.New("linearbaseline: no servers")
+// Run executes the linear-model protocol: the CP broadcasts the embedding
+// parameters as an op frame; each server applies the shared Gaussian
+// sketch S (t×n) to its local matrix and ships the t×d product; the CP
+// sums the products — by linearity Σ_t S·A^t = S·A — and projects onto
+// the top-k right singular vectors of the summed sketch. Communication:
+// (s−1)·2 op words + (s−1)·t·d sketch words + (s−1)·d·k to ship the
+// projection back. Shares may be in any backend; nil entries are
+// worker-hosted shares reached through the fabric.
+func Run(net *comm.Network, locals []matrix.Mat, opts Options) (*Result, error) {
+	if len(locals) == 0 || locals[comm.CP] == nil {
+		return nil, errors.New("linearbaseline: the CP's local share is required")
 	}
 	if opts.K < 1 {
 		return nil, errors.New("linearbaseline: K must be ≥ 1")
 	}
-	n, d := locals[0].Dims()
+	n, d := locals[comm.CP].Rows(), locals[comm.CP].Cols()
 	for _, m := range locals {
-		mn, md := m.Dims()
+		if m == nil {
+			continue // remote share: validated at installation
+		}
+		mn, md := m.Rows(), m.Cols()
 		if mn != n || md != d {
 			return nil, errors.New("linearbaseline: inconsistent shapes")
 		}
@@ -83,35 +89,43 @@ func Run(net *comm.Network, locals []*matrix.Dense, opts Options) (*Result, erro
 	start := net.Snapshot()
 	t := opts.rows(n)
 	seed := opts.Seed
-	net.BroadcastSeed(comm.CP, "linear/seed", seed)
 
-	// Every server rematerializes the same S from the seed and sketches
-	// its share locally; only the t×d products travel.
+	// Every server rematerializes the same S from the op frame's seed and
+	// sketches its share locally; only the t×d products travel — worker
+	// processes compute and ship theirs over the wire.
 	sum := matrix.NewDense(t, d)
-	for sv, local := range locals {
-		S := gaussianSketch(t, n, seed)
-		prod := S.Mul(local)
-		if sv != comm.CP {
-			net.Charge(sv, comm.CP, "linear/sketch", int64(t*d))
+	addFlat := func(flat []float64) {
+		data := sum.Data()
+		for i, v := range flat {
+			data[i] += v
 		}
-		sum.AddInPlace(prod)
+	}
+	addFlat(ops.LinearSketch(locals[comm.CP], seed, t))
+	err := net.RunRound(comm.Round{
+		Op:       ops.OpLinearSketch,
+		Params:   ops.LinearSketchParams(seed, t),
+		ReqTag:   "linear/seed",
+		RespTag:  "linear/sketch",
+		RespKind: comm.KindSketch,
+		Local: func(sv int) ([]float64, error) {
+			return ops.LinearSketch(locals[sv], seed, t), nil
+		},
+		OnResp: func(sv int, payload []float64) error {
+			if len(payload) != t*d {
+				return fmt.Errorf("linearbaseline: sketch of %d words from server %d, want %d", len(payload), sv, t*d)
+			}
+			addFlat(payload)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	V := matrix.TopKRightSingular(sum, opts.K)
 	P := V.Mul(V.T())
-	net.BroadcastWords(comm.CP, "linear/projection", int64(d*opts.K))
+	net.BroadcastPayload(comm.CP, "linear/projection", comm.KindProjection, V.Data())
 	return &Result{P: P, V: V, Words: net.Since(start)}, nil
-}
-
-// gaussianSketch returns the t×n shared embedding with N(0, 1/t) entries.
-func gaussianSketch(t, n int, seed int64) *matrix.Dense {
-	rng := hashing.Seeded(hashing.DeriveSeed(seed, 0x11EA2))
-	S := matrix.NewDense(t, n)
-	inv := 1 / math.Sqrt(float64(t))
-	for i := range S.Data() {
-		S.Data()[i] = rng.NormFloat64() * inv
-	}
-	return S
 }
 
 func min(a, b int) int {

@@ -1,0 +1,369 @@
+// Package ops is the protocol op vocabulary: the named share-side
+// computations a server performs during the distributed protocols, with a
+// wire-expressible parameter encoding for each. The CP-side protocol code
+// (packages hh, zsampler, samplers, linearbaseline, core) expresses every
+// per-server step as one of these ops inside a comm.Round; locally hosted
+// servers execute the same builder functions in-process, and remote worker
+// processes (internal/cluster) decode the parameters and execute them
+// against their installed share — one implementation, two transports, so
+// the two can never drift.
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hashing"
+	"repro/internal/matrix"
+	"repro/internal/sketch"
+)
+
+// Protocol opcodes. The values are part of the wire protocol; append, do
+// not renumber.
+const (
+	OpNone uint16 = iota
+	// OpFlatSketch: build one CountSketch of the local share.
+	// Params: seed, depth, width.
+	OpFlatSketch
+	// OpBucketSketch: demultiplex the share into per-bucket CountSketches
+	// over a pairwise-independent hash partition, optionally restricted to
+	// a subsampled level set.
+	// Params: repSeed, buckets, depth, width, hasFilter, gSeed, levels, minLevel.
+	OpBucketSketch
+	// OpDyadicSketch: build the dyadic CountSketch hierarchy of the share.
+	// Params: seed, depth, width.
+	OpDyadicSketch
+	// OpRow: send the local dense row i. Params: i.
+	OpRow
+	// OpValue: send the local value at flattened coordinate j. Params: j.
+	OpValue
+	// OpShareDump: send the whole local share row-major (baselines).
+	// Params: none.
+	OpShareDump
+	// OpLinearSketch: apply the shared Gaussian embedding S (t×n) to the
+	// local share and send the t×d product. Params: seed, sketchRows.
+	OpLinearSketch
+	// OpInstallShare: setup — install the share a worker will serve.
+	// Payload: n, d, then n·d row-major values. Never charged: the
+	// protocol model assumes the data already resides on the servers.
+	OpInstallShare
+	// OpShutdown: setup — the worker exits its serve loop.
+	OpShutdown
+)
+
+// Vec is a server's local share of a distributed vector v = Σ_t v^t.
+// Implementations expose the global dimension and iterate local nonzeros.
+type Vec interface {
+	// Len is the dimension of the global vector.
+	Len() uint64
+	// ForEach calls f for every locally nonzero coordinate.
+	ForEach(f func(j uint64, v float64))
+	// At returns the local value at coordinate j (0 if absent).
+	At(j uint64) float64
+}
+
+// DenseVec adapts a dense slice.
+type DenseVec []float64
+
+// Len returns the dimension.
+func (d DenseVec) Len() uint64 { return uint64(len(d)) }
+
+// ForEach iterates nonzero entries.
+func (d DenseVec) ForEach(f func(j uint64, v float64)) {
+	for j, v := range d {
+		if v != 0 {
+			f(uint64(j), v)
+		}
+	}
+}
+
+// At returns entry j.
+func (d DenseVec) At(j uint64) float64 { return d[j] }
+
+// MatVec flattens a matrix (any Mat backend) into a vector of dimension
+// rows×cols without copying; coordinate j = i*cols + c. Iteration drains
+// the backend's nonzero stream, so a CSR share is sketched in O(nnz) —
+// and because the stream is backend-invariant (ascending columns, zeros
+// skipped), the sketches and everything downstream are bit-identical
+// between Dense and CSR shares of the same logical matrix.
+type MatVec struct {
+	M matrix.Mat
+}
+
+// Len returns rows×cols.
+func (m MatVec) Len() uint64 { return uint64(m.M.Rows()) * uint64(m.M.Cols()) }
+
+// ForEach iterates nonzero entries in row-major coordinate order.
+func (m MatVec) ForEach(f func(j uint64, v float64)) {
+	cols := m.M.Cols()
+	for i := 0; i < m.M.Rows(); i++ {
+		base := uint64(i) * uint64(cols)
+		m.M.RowNNZ(i, func(c int, v float64) {
+			f(base+uint64(c), v)
+		})
+	}
+}
+
+// At returns the value at flattened coordinate j.
+func (m MatVec) At(j uint64) float64 {
+	cols := uint64(m.M.Cols())
+	return m.M.At(int(j/cols), int(j%cols))
+}
+
+// Filtered restricts a vector to coordinates where Keep returns true;
+// this realizes the paper's v(S) restriction for subsets defined by shared
+// hash functions, with no data movement.
+type Filtered struct {
+	Base Vec
+	Keep func(j uint64) bool
+}
+
+// Len returns the base dimension (restriction keeps the index space).
+func (fv Filtered) Len() uint64 { return fv.Base.Len() }
+
+// ForEach iterates base nonzeros that pass the filter.
+func (fv Filtered) ForEach(f func(j uint64, v float64)) {
+	fv.Base.ForEach(func(j uint64, v float64) {
+		if fv.Keep(j) {
+			f(j, v)
+		}
+	})
+}
+
+// At returns the filtered value at j.
+func (fv Filtered) At(j uint64) float64 {
+	if fv.Keep(j) {
+		return fv.Base.At(j)
+	}
+	return 0
+}
+
+// SumAt returns Σ_t locals[t].At(j), the true global coordinate value.
+// Protocol code must charge communication when it uses this across
+// servers (collectValue in package zsampler does — one OpValue round).
+func SumAt(locals []Vec, j uint64) float64 {
+	var s float64
+	for _, v := range locals {
+		s += v.At(j)
+	}
+	return s
+}
+
+// LevelFilter is the wire-expressible form of the Z-estimator's
+// subsampled level sets: keep coordinate j iff its deepest survival level
+// under the shared hash g (seeded gSeed, levels deep) is ≥ MinLevel.
+// Every server can evaluate it from the three numbers alone — no
+// communication describes the subset, exactly as the paper requires.
+type LevelFilter struct {
+	GSeed    int64
+	Levels   int
+	MinLevel int
+}
+
+// MaxLevelFromUnit maps a uniform unit hash value to the deepest level a
+// coordinate survives: level ℓ keeps u ≤ 2^{-ℓ}. The single formula both
+// the CP's precomputation and remote workers use.
+func MaxLevelFromUnit(u float64, levels int) int {
+	ml := levels
+	if u > 0 {
+		ml = int(math.Floor(-math.Log2(u)))
+		if ml > levels {
+			ml = levels
+		}
+		if ml < 0 {
+			ml = 0
+		}
+	}
+	return ml
+}
+
+// Keep materializes the filter's predicate.
+func (lf *LevelFilter) Keep() func(j uint64) bool {
+	g := hashing.NewPolyHash(hashing.Seeded(lf.GSeed), 8)
+	min := lf.MinLevel
+	levels := lf.Levels
+	return func(j uint64) bool {
+		return MaxLevelFromUnit(g.Unit(j), levels) >= min
+	}
+}
+
+// --- Share-side builders -------------------------------------------------
+//
+// These produce exactly the payloads the protocols put on the wire. The
+// CP-side protocol code calls them for locally hosted shares; the worker
+// runtime calls them for its installed share.
+
+// FlatSketch builds one CountSketch of the share. workers parallelizes
+// ingestion across sketch rows (0 or 1 = sequential; bit-identical at any
+// value, so it is a local knob, not a wire parameter).
+func FlatSketch(v Vec, seed int64, depth, width, workers int) *sketch.CountSketch {
+	cs := sketch.NewCountSketch(seed, depth, width)
+	cs.UpdateBulk(workers, v.ForEach)
+	return cs
+}
+
+// BucketSketches demultiplexes the share into buckets CountSketches over
+// the pairwise-independent partition derived from repSeed (bucket e is
+// seeded DeriveSeed(repSeed, e)).
+func BucketSketches(v Vec, repSeed int64, buckets, depth, width int) []*sketch.CountSketch {
+	part := hashing.PairwiseHash(hashing.Seeded(repSeed))
+	out := make([]*sketch.CountSketch, buckets)
+	for e := range out {
+		out[e] = sketch.NewCountSketch(hashing.DeriveSeed(repSeed, uint64(e)), depth, width)
+	}
+	v.ForEach(func(j uint64, val float64) {
+		out[part.Bucket(j, buckets)].Update(j, val)
+	})
+	return out
+}
+
+// FlattenSketches appends every sketch's counter block, in order, to one
+// wire payload.
+func FlattenSketches(sks []*sketch.CountSketch) []float64 {
+	var words int64
+	for _, cs := range sks {
+		words += cs.Words()
+	}
+	flat := make([]float64, 0, words)
+	for _, cs := range sks {
+		flat = cs.AppendFlat(flat)
+	}
+	return flat
+}
+
+// MergeFlat folds a flattened counter payload (as built by
+// FlattenSketches) into the matching sketch set.
+func MergeFlat(sks []*sketch.CountSketch, buf []float64) error {
+	for _, cs := range sks {
+		if int64(len(buf)) < cs.Words() {
+			return fmt.Errorf("ops: sketch payload short by %d words", cs.Words()-int64(len(buf)))
+		}
+		buf = cs.AddFlat(buf)
+	}
+	if len(buf) != 0 {
+		return fmt.Errorf("ops: sketch payload has %d trailing words", len(buf))
+	}
+	return nil
+}
+
+// Row assembles the share's dense row i.
+func Row(m matrix.Mat, i int) ([]float64, error) {
+	if i < 0 || i >= m.Rows() {
+		return nil, fmt.Errorf("ops: row %d out of range [0,%d)", i, m.Rows())
+	}
+	out := make([]float64, m.Cols())
+	m.RowNNZ(i, func(c int, v float64) { out[c] = v })
+	return out, nil
+}
+
+// ShareDump flattens the whole share row-major.
+func ShareDump(m matrix.Mat) []float64 {
+	n, d := m.Rows(), m.Cols()
+	out := make([]float64, n*d)
+	for i := 0; i < n; i++ {
+		base := i * d
+		m.RowNNZ(i, func(c int, v float64) { out[base+c] = v })
+	}
+	return out
+}
+
+// GaussianSketch returns the t×n shared embedding with N(0, 1/t) entries
+// every server rematerializes from the broadcast seed (the linear
+// baseline's S).
+func GaussianSketch(t, n int, seed int64) *matrix.Dense {
+	rng := hashing.Seeded(hashing.DeriveSeed(seed, 0x11EA2))
+	S := matrix.NewDense(t, n)
+	inv := 1 / math.Sqrt(float64(t))
+	for i := range S.Data() {
+		S.Data()[i] = rng.NormFloat64() * inv
+	}
+	return S
+}
+
+// LinearSketch applies the shared embedding to the share: S·A^t, flattened
+// row-major (t×d words).
+func LinearSketch(m matrix.Mat, seed int64, sketchRows int) []float64 {
+	S := GaussianSketch(sketchRows, m.Rows(), seed)
+	return S.Mul(matrix.ToDense(m)).Data()
+}
+
+// --- Parameter packing ---------------------------------------------------
+
+// FlatSketchParams packs OpFlatSketch parameters.
+func FlatSketchParams(seed int64, depth, width int) []uint64 {
+	return []uint64{uint64(seed), uint64(depth), uint64(width)}
+}
+
+// ParseFlatSketch unpacks OpFlatSketch parameters.
+func ParseFlatSketch(params []uint64) (seed int64, depth, width int, err error) {
+	if len(params) != 3 {
+		return 0, 0, 0, fmt.Errorf("ops: flat sketch expects 3 params, got %d", len(params))
+	}
+	seed, depth, width = int64(params[0]), int(params[1]), int(params[2])
+	if depth < 1 || width < 1 || depth > 1<<10 || width > 1<<24 {
+		return 0, 0, 0, fmt.Errorf("ops: implausible sketch shape %d×%d", depth, width)
+	}
+	return seed, depth, width, nil
+}
+
+// BucketSketchParams packs OpBucketSketch parameters; filt may be nil.
+func BucketSketchParams(repSeed int64, buckets, depth, width int, filt *LevelFilter) []uint64 {
+	p := []uint64{uint64(repSeed), uint64(buckets), uint64(depth), uint64(width), 0, 0, 0, 0}
+	if filt != nil {
+		p[4] = 1
+		p[5] = uint64(filt.GSeed)
+		p[6] = uint64(filt.Levels)
+		p[7] = uint64(filt.MinLevel)
+	}
+	return p
+}
+
+// ParseBucketSketch unpacks OpBucketSketch parameters.
+func ParseBucketSketch(params []uint64) (repSeed int64, buckets, depth, width int, filt *LevelFilter, err error) {
+	if len(params) != 8 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("ops: bucket sketch expects 8 params, got %d", len(params))
+	}
+	repSeed, buckets, depth, width = int64(params[0]), int(params[1]), int(params[2]), int(params[3])
+	if buckets < 1 || buckets > 1<<20 || depth < 1 || width < 1 || depth > 1<<10 || width > 1<<24 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("ops: implausible bucket sketch shape %d buckets %d×%d", buckets, depth, width)
+	}
+	switch params[4] {
+	case 0:
+	case 1:
+		filt = &LevelFilter{GSeed: int64(params[5]), Levels: int(params[6]), MinLevel: int(params[7])}
+		if filt.Levels < 0 || filt.Levels > 64 || filt.MinLevel < 0 || filt.MinLevel > filt.Levels {
+			return 0, 0, 0, 0, nil, fmt.Errorf("ops: implausible level filter %+v", *filt)
+		}
+	default:
+		return 0, 0, 0, 0, nil, fmt.Errorf("ops: bad filter flag %d", params[4])
+	}
+	return repSeed, buckets, depth, width, filt, nil
+}
+
+// IndexParams packs a single index parameter (OpRow, OpValue).
+func IndexParams(j uint64) []uint64 { return []uint64{j} }
+
+// ParseIndex unpacks a single index parameter.
+func ParseIndex(params []uint64) (uint64, error) {
+	if len(params) != 1 {
+		return 0, fmt.Errorf("ops: index op expects 1 param, got %d", len(params))
+	}
+	return params[0], nil
+}
+
+// LinearSketchParams packs OpLinearSketch parameters.
+func LinearSketchParams(seed int64, sketchRows int) []uint64 {
+	return []uint64{uint64(seed), uint64(sketchRows)}
+}
+
+// ParseLinearSketch unpacks OpLinearSketch parameters.
+func ParseLinearSketch(params []uint64) (seed int64, sketchRows int, err error) {
+	if len(params) != 2 {
+		return 0, 0, fmt.Errorf("ops: linear sketch expects 2 params, got %d", len(params))
+	}
+	seed, sketchRows = int64(params[0]), int(params[1])
+	if sketchRows < 1 || sketchRows > 1<<22 {
+		return 0, 0, fmt.Errorf("ops: implausible embedding height %d", sketchRows)
+	}
+	return seed, sketchRows, nil
+}

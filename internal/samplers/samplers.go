@@ -24,38 +24,61 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/hh"
 	"repro/internal/matrix"
+	"repro/internal/ops"
 	"repro/internal/zsampler"
 )
 
 // CollectRawRow assembles the exact global row i = Σ_t locals[t] row i at
-// the CP, charging d words from every non-CP server (Algorithm 1 line 7).
-// Unlike the bulk sketch traffic, which moves over the concurrent channel
-// links, a single row is latency-bound: summing in place with sender-side
-// charging is both deterministic and far cheaper than s goroutine spawns
-// and payload copies per draw on this hot path. Scattering each share's
-// nonzeros costs O(nnz(row)) per server; the charge stays d words because
-// the assembled row travels dense (the accounting is backend-invariant by
-// design — see matrix.Mat).
-func CollectRawRow(net *comm.Network, locals []matrix.Mat, i int, tag string) []float64 {
-	d := locals[0].Cols()
-	sum := make([]float64, d)
-	for t, m := range locals {
-		if t != comm.CP {
-			net.Charge(t, comm.CP, tag, int64(d))
-		}
-		m.RowNNZ(i, func(c int, v float64) {
-			sum[c] += v
-		})
+// the CP (Algorithm 1 line 7) as one OpRow round: the CP announces the row
+// index (one word per server) and every server ships its local row back
+// (d words per server, dense — the accounting is backend-invariant by
+// design, see matrix.Mat; a CSR share still assembles its reply in
+// O(nnz(row))). Worker processes answer from their installed shares, so
+// the row genuinely crosses the wire in multi-process clusters.
+func CollectRawRow(net *comm.Network, locals []matrix.Mat, i int, tag string) ([]float64, error) {
+	d := locals[comm.CP].Cols()
+	sum, err := ops.Row(locals[comm.CP], i)
+	if err != nil {
+		return nil, err
 	}
-	return sum
+	err = net.RunRound(comm.Round{
+		Op:       ops.OpRow,
+		Params:   ops.IndexParams(uint64(i)),
+		ReqTag:   tag,
+		RespTag:  tag,
+		RespKind: comm.KindRow,
+		// Per-draw hot path: a single row is latency-bound, so the local
+		// executors run inline in the drain loop instead of paying s
+		// goroutine spawns per draw (transcript identical either way).
+		Inline: true,
+		Local: func(t int) ([]float64, error) {
+			return ops.Row(locals[t], i)
+		},
+		OnResp: func(t int, payload []float64) error {
+			if len(payload) != d {
+				return fmt.Errorf("samplers: row reply of %d words from server %d, want %d", len(payload), t, d)
+			}
+			for c, v := range payload {
+				sum[c] += v
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sum, nil
 }
 
 func validateLocals(locals []matrix.Mat) (n, d int, err error) {
-	if len(locals) == 0 {
-		return 0, 0, errors.New("samplers: no servers")
+	if len(locals) == 0 || locals[comm.CP] == nil {
+		return 0, 0, errors.New("samplers: the CP's local share is required")
 	}
-	n, d = locals[0].Rows(), locals[0].Cols()
+	n, d = locals[comm.CP].Rows(), locals[comm.CP].Cols()
 	for t, m := range locals {
+		if m == nil {
+			continue // remote share: its shape was validated at installation
+		}
 		mn, md := m.Rows(), m.Cols()
 		if mn != n || md != d {
 			return 0, 0, fmt.Errorf("samplers: server %d shape %dx%d != %dx%d", t, mn, md, n, d)
@@ -87,7 +110,10 @@ func NewUniform(net *comm.Network, locals []matrix.Mat, seed int64) (*Uniform, e
 // Draw implements core.RowSampler.
 func (u *Uniform) Draw() (core.Sample, error) {
 	i := u.rng.Intn(u.n)
-	raw := CollectRawRow(u.net, u.locals, i, "sampler/rows")
+	raw, err := CollectRawRow(u.net, u.locals, i, "sampler/rows")
+	if err != nil {
+		return core.Sample{}, err
+	}
 	return core.Sample{Row: i, QHat: 1 / float64(u.n), RawRow: raw}, nil
 }
 
@@ -112,10 +138,7 @@ func NewZRow(net *comm.Network, locals []matrix.Mat, z fn.ZFunc, p zsampler.Para
 	if err != nil {
 		return nil, err
 	}
-	vecs := make([]hh.Vec, len(locals))
-	for t, m := range locals {
-		vecs[t] = hh.MatVec{M: m}
-	}
+	vecs := matVecs(locals)
 	est, err := zsampler.BuildEstimator(net, vecs, z, p)
 	if err != nil {
 		return nil, fmt.Errorf("samplers: z-estimator: %w", err)
@@ -134,7 +157,10 @@ func (s *ZRow) Draw() (core.Sample, error) {
 		return core.Sample{}, err
 	}
 	i := int(j / uint64(s.d))
-	raw := CollectRawRow(s.net, s.locals, i, "sampler/rows")
+	raw, err := CollectRawRow(s.net, s.locals, i, "sampler/rows")
+	if err != nil {
+		return core.Sample{}, err
+	}
 	var num float64
 	for _, v := range raw {
 		num += s.z.Z(v)
@@ -175,11 +201,7 @@ func (s *ZRowLiteral) Draw() (core.Sample, error) {
 	s.draws++
 	p := s.params
 	p.Seed = hashing.DeriveSeed(s.params.Seed, 0xF0E0+s.draws)
-	vecs := make([]hh.Vec, len(s.locals))
-	for t, m := range s.locals {
-		vecs[t] = hh.MatVec{M: m}
-	}
-	est, err := zsampler.BuildEstimator(s.net, vecs, s.z, p)
+	est, err := zsampler.BuildEstimator(s.net, matVecs(s.locals), s.z, p)
 	if err != nil {
 		return core.Sample{}, fmt.Errorf("samplers: literal z-estimator: %w", err)
 	}
@@ -188,7 +210,10 @@ func (s *ZRowLiteral) Draw() (core.Sample, error) {
 		return core.Sample{}, err
 	}
 	i := int(j / uint64(s.d))
-	raw := CollectRawRow(s.net, s.locals, i, "sampler/rows")
+	raw, err := CollectRawRow(s.net, s.locals, i, "sampler/rows")
+	if err != nil {
+		return core.Sample{}, err
+	}
 	var num float64
 	for _, v := range raw {
 		num += s.z.Z(v)
@@ -200,40 +225,67 @@ func (s *ZRowLiteral) Draw() (core.Sample, error) {
 	return core.Sample{Row: i, QHat: qhat, RawRow: raw}, nil
 }
 
+// matVecs wraps each hosted share as a flattened vector (nil stays nil
+// for remote shares — the op rounds never touch them locally).
+func matVecs(locals []matrix.Mat) []hh.Vec {
+	vecs := make([]hh.Vec, len(locals))
+	for t, m := range locals {
+		if m != nil {
+			vecs[t] = hh.MatVec{M: m}
+		}
+	}
+	return vecs
+}
+
 // Exact is the FKV sampler with exact squared-norm probabilities over the
 // materialized global matrix — the non-distributed ideal that additive
 // error analysis assumes. It charges the one-time cost of gathering the
 // full matrix at the CP, making explicit what the sketching protocols
 // avoid.
 type Exact struct {
-	net   *comm.Network
-	raw   *matrix.Dense // global summed matrix (pre-f)
-	f     fn.Func
-	probs []float64 // exact Q_i over rows of f(raw)
-	cum   []float64
-	rng   *rand.Rand
-	s     int
+	net    *comm.Network
+	locals []matrix.Mat
+	raw    *matrix.Dense // global summed matrix (pre-f)
+	f      fn.Func
+	probs  []float64 // exact Q_i over rows of f(raw)
+	cum    []float64
+	rng    *rand.Rand
 }
 
-// NewExact gathers the global raw matrix (charging (s−1)·n·d words under
-// "baseline/full-gather") and precomputes exact row probabilities of
-// A = f(raw).
+// NewExact gathers the global raw matrix — one OpShareDump round shipping
+// every share to the CP, (s−1)·n·d words under "baseline/full-gather" —
+// and precomputes exact row probabilities of A = f(raw).
 func NewExact(net *comm.Network, locals []matrix.Mat, f fn.Func, seed int64) (*Exact, error) {
 	n, d, err := validateLocals(locals)
 	if err != nil {
 		return nil, err
 	}
 	raw := matrix.NewDense(n, d)
-	for t, m := range locals {
-		if t != comm.CP {
-			net.Charge(t, comm.CP, "baseline/full-gather", int64(n*d))
+	add := func(flat []float64) {
+		data := raw.Data()
+		for i, v := range flat {
+			data[i] += v
 		}
-		for i := 0; i < n; i++ {
-			ri := raw.Row(i)
-			m.RowNNZ(i, func(c int, v float64) {
-				ri[c] += v
-			})
-		}
+	}
+	add(ops.ShareDump(locals[comm.CP]))
+	err = net.RunRound(comm.Round{
+		Op:       ops.OpShareDump,
+		ReqTag:   "baseline/full-gather",
+		RespTag:  "baseline/full-gather",
+		RespKind: comm.KindShare,
+		Local: func(t int) ([]float64, error) {
+			return ops.ShareDump(locals[t]), nil
+		},
+		OnResp: func(t int, payload []float64) error {
+			if len(payload) != n*d {
+				return fmt.Errorf("samplers: share dump of %d words from server %d, want %d", len(payload), t, n*d)
+			}
+			add(payload)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	a := raw.Apply(f.Apply)
 	total := a.FrobNorm2()
@@ -248,18 +300,20 @@ func NewExact(net *comm.Network, locals []matrix.Mat, f fn.Func, seed int64) (*E
 		acc += probs[i]
 		cum[i] = acc
 	}
-	return &Exact{net: net, raw: raw, f: f, probs: probs, cum: cum, rng: hashing.Seeded(seed), s: len(locals)}, nil
+	return &Exact{net: net, locals: locals, raw: raw, f: f, probs: probs, cum: cum, rng: hashing.Seeded(seed)}, nil
 }
 
-// Draw implements core.RowSampler with exact probabilities.
+// Draw implements core.RowSampler with exact probabilities. The row
+// itself still travels once per draw in a fair comparison (a real OpRow
+// round; its sum is bit-identical to the materialized row).
 func (e *Exact) Draw() (core.Sample, error) {
 	x := e.rng.Float64()
 	i := searchCum(e.cum, x)
-	// The row itself still travels once per draw in a fair comparison.
-	for t := 1; t < e.s; t++ {
-		e.net.Charge(t, comm.CP, "sampler/rows", int64(e.raw.Cols()))
+	raw, err := CollectRawRow(e.net, e.locals, i, "sampler/rows")
+	if err != nil {
+		return core.Sample{}, err
 	}
-	return core.Sample{Row: i, QHat: e.probs[i], RawRow: e.raw.RowCopy(i)}, nil
+	return core.Sample{Row: i, QHat: e.probs[i], RawRow: raw}, nil
 }
 
 func searchCum(cum []float64, x float64) int {

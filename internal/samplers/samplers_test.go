@@ -45,14 +45,22 @@ func TestCollectRawRowSumsAndCharges(t *testing.T) {
 	M := randomMatrix(rng, 10, 6)
 	locals := split(M, 3, rng)
 	net := comm.NewNetwork(3)
-	row := CollectRawRow(net, locals, 4, "rows")
+	row, err := CollectRawRow(net, locals, 4, "rows")
+	if err != nil {
+		t.Fatal(err)
+	}
 	for j := 0; j < 6; j++ {
 		if math.Abs(row[j]-M.At(4, j)) > 1e-9 {
 			t.Fatalf("row[%d] = %g, want %g", j, row[j], M.At(4, j))
 		}
 	}
-	if net.Words() != int64(2*6) {
-		t.Fatalf("words = %d, want 12 (2 non-CP servers × 6 cols)", net.Words())
+	// 2 non-CP servers × (1 request word + 6 row words).
+	if net.Words() != int64(2*(1+6)) {
+		t.Fatalf("words = %d, want 14 (2 non-CP servers × (1 req + 6 cols))", net.Words())
+	}
+	// Every word travelled as a real frame: bytes == 8·words + headers.
+	if net.Bytes() != 8*net.Words()+net.HeaderBytes() {
+		t.Fatalf("bytes %d != 8·%d + %d", net.Bytes(), net.Words(), net.HeaderBytes())
 	}
 }
 

@@ -1,0 +1,62 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// floatsFromBytes reinterprets a fuzz byte buffer as the float64 word
+// stream Deserialize consumes (8 bytes per word, trailing bytes dropped).
+func floatsFromBytes(data []byte) []float64 {
+	out := make([]float64, 0, len(data)/8)
+	for len(data) >= 8 {
+		out = append(out, math.Float64frombits(binary.BigEndian.Uint64(data)))
+		data = data[8:]
+	}
+	return out
+}
+
+func bytesFromFloats(xs []float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// FuzzDeserialize is the sketch stream's malformed-input gate: arbitrary
+// word streams must either reconstruct a sketch that re-serializes to the
+// identical stream, or return an error — never panic and never allocate
+// counters beyond what the stream's own length supports.
+func FuzzDeserialize(f *testing.F) {
+	cs := NewCountSketch(7, 3, 16)
+	cs.Update(5, 2.5)
+	cs.Update(900, -1)
+	f.Add(bytesFromFloats(cs.Serialize()))
+	f.Add(bytesFromFloats(NewCountSketch(-3, 1, 1).Serialize()))
+	f.Add(bytesFromFloats([]float64{1, 2, 3}))                  // header only, no counters
+	f.Add(bytesFromFloats([]float64{1, 1e18, 1e18}))            // absurd shape must not allocate
+	f.Add(bytesFromFloats([]float64{1, -2, 4, 0, 0, 0, 0, 0}))  // negative depth
+	f.Add(bytesFromFloats([]float64{1, 2.5, 4, 0, 0, 0, 0, 0})) // fractional shape words
+	f.Add([]byte{0x01, 0x02, 0x03})                             // not even one word
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := floatsFromBytes(data)
+		cs, err := Deserialize(words)
+		if err != nil {
+			return
+		}
+		// A stream the decoder accepts must round-trip exactly.
+		back := cs.Serialize()
+		if len(back) != len(words) {
+			t.Fatalf("re-serialize changed length: %d → %d", len(words), len(back))
+		}
+		for i := range back {
+			same := back[i] == words[i] ||
+				(math.IsNaN(back[i]) && math.IsNaN(words[i]))
+			if !same {
+				t.Fatalf("word %d changed: %v → %v", i, words[i], back[i])
+			}
+		}
+	})
+}

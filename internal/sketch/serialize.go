@@ -26,6 +26,12 @@ func Deserialize(words []float64) (*CountSketch, error) {
 	seed := int64(words[0])
 	depth := int(words[1])
 	width := int(words[2])
+	// Header words must be exactly representable integers: a stream whose
+	// shape words truncate would not round-trip, and a corrupt or hostile
+	// stream must not coerce into a plausible shape.
+	if float64(seed) != words[0] || float64(depth) != words[1] || float64(width) != words[2] {
+		return nil, fmt.Errorf("sketch: non-integral stream header (%g, %g, %g)", words[0], words[1], words[2])
+	}
 	if depth < 1 || width < 1 || len(words) != 3+depth*width {
 		return nil, fmt.Errorf("sketch: inconsistent stream header (depth=%d width=%d len=%d)", depth, width, len(words))
 	}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/fn"
 	"repro/internal/hashing"
 	"repro/internal/hh"
+	"repro/internal/ops"
 	"repro/internal/parallel"
 )
 
@@ -119,25 +120,48 @@ func classIndex(zv, eps float64) int {
 	return int(math.Floor(math.Log(zv) / math.Log1p(eps)))
 }
 
-// collectValue charges one word per non-CP server and returns the exact
+// collectValue runs one value-collection round and returns the exact
 // global value a_j = Σ_t a^t_j (line 6 / line 11 of Algorithm 3: "server 1
-// communicates with other servers to compute a_p").
-func collectValue(net *comm.Network, locals []hh.Vec, j uint64, tag string) float64 {
-	for t := 1; t < len(locals); t++ {
-		net.Charge(t, comm.CP, tag, 1)
-	}
-	return hh.SumAt(locals, j)
+// communicates with other servers to compute a_p"): the CP broadcasts the
+// coordinate (one word per server) and every server replies with its local
+// value (one word per server) — worker processes included, so the value
+// really crosses the wire.
+func collectValue(net *comm.Network, locals []hh.Vec, j uint64, tag string) (float64, error) {
+	sum := locals[comm.CP].At(j)
+	err := net.RunRound(comm.Round{
+		Op:       ops.OpValue,
+		Params:   ops.IndexParams(j),
+		ReqTag:   tag,
+		RespTag:  tag,
+		RespKind: comm.KindValue,
+		// One word per server: run the local executors inline rather than
+		// spawning goroutines per recovered coordinate.
+		Inline: true,
+		Local: func(t int) ([]float64, error) {
+			return []float64{locals[t].At(j)}, nil
+		},
+		OnResp: func(t int, payload []float64) error {
+			if len(payload) != 1 {
+				return fmt.Errorf("zsampler: value reply of %d words from server %d", len(payload), t)
+			}
+			sum += payload[0]
+			return nil
+		},
+	})
+	return sum, err
 }
 
 // BuildEstimator runs the Z-estimator protocol (Algorithm 3) over the
 // implicit vector Σ_t locals[t], charging all traffic to net.
 func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*Estimator, error) {
-	if len(locals) == 0 {
-		return nil, errors.New("zsampler: no servers")
+	if len(locals) == 0 || locals[comm.CP] == nil {
+		return nil, errors.New("zsampler: the CP's local share is required")
 	}
-	l := locals[0].Len()
+	l := locals[comm.CP].Len()
 	for _, lv := range locals {
-		if lv.Len() != l {
+		// Remote shares are nil on the coordinator; their dimension was
+		// validated when they were installed on the worker.
+		if lv != nil && lv.Len() != l {
 			return nil, errors.New("zsampler: inconsistent vector dimensions")
 		}
 	}
@@ -170,21 +194,30 @@ func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*
 	// D_j is the union over repetitions — double-counting a coordinate
 	// recovered by two repetitions would double every size estimate.
 	recovered := make(map[int]map[uint64]struct{})
-	record := func(j uint64, level int) {
+	record := func(j uint64, level int) error {
 		if _, seen := est.list[j]; !seen {
-			v := collectValue(net, locals, j, "zest/values")
+			v, err := collectValue(net, locals, j, "zest/values")
+			if err != nil {
+				return err
+			}
 			est.list[j] = v
 		}
 		if recovered[level] == nil {
 			recovered[level] = make(map[uint64]struct{})
 		}
 		recovered[level][j] = struct{}{}
+		return nil
 	}
 
 	// Step 1 (Algorithm 3 line 5): global Z-HeavyHitters.
-	d0 := hh.ZHeavyHitters(net, locals, p.HH, hashing.DeriveSeed(p.Seed, 1), "zest/heavy")
+	d0, err := hh.ZHeavyHitters(net, locals, p.HH, hashing.DeriveSeed(p.Seed, 1), "zest/heavy")
+	if err != nil {
+		return nil, err
+	}
 	for _, j := range d0 {
-		record(j, -1)
+		if err := record(j, -1); err != nil {
+			return nil, err
+		}
 	}
 
 	// Step 2 (lines 7–13): subsampled levels. The level-set hash g is
@@ -205,18 +238,10 @@ func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*
 	maxLevel := make([]uint8, l)
 	parallel.For(workers, int(l), func(i int) {
 		j := uint64(i)
-		u := g.Unit(j)
-		ml := levels
-		if u > 0 {
-			ml = int(math.Floor(-math.Log2(u)))
-			if ml > levels {
-				ml = levels
-			}
-			if ml < 0 {
-				ml = 0
-			}
-		}
-		maxLevel[j] = uint8(ml)
+		// The same formula remote workers apply when they evaluate the
+		// wire-expressible ops.LevelFilter, so the CP's precomputed table
+		// and a worker's on-the-fly evaluation can never disagree.
+		maxLevel[j] = uint8(ops.MaxLevelFromUnit(g.Unit(j), levels))
 	})
 	byLevelIdx := make([][]uint64, levels+1)
 	for j := uint64(0); j < l; j++ {
@@ -238,10 +263,12 @@ func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*
 	}
 	forks := make([]*comm.Network, len(tasks))
 	djs := make([][]uint64, len(tasks))
+	errs := make([]error, len(tasks))
 	parallel.For(workers, len(tasks), func(i int) {
 		e, lev := tasks[i].e, tasks[i].lev
 		lev8 := uint8(lev)
 		keep := func(j uint64) bool { return maxLevel[j] >= lev8 }
+		filt := &ops.LevelFilter{GSeed: gSeed, Levels: levels, MinLevel: lev}
 		candidates := func(yield func(uint64)) {
 			for ml := lev; ml <= levels; ml++ {
 				for _, j := range byLevelIdx[ml] {
@@ -251,12 +278,17 @@ func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*
 		}
 		seed := hashing.DeriveSeed(p.Seed, uint64(100+e*1000+lev))
 		forks[i] = net.Fork()
-		djs[i] = hh.ZHeavyHittersFiltered(forks[i], locals, keep, candidates, p.HH, seed, "zest/levels")
+		djs[i], errs[i] = hh.ZHeavyHittersFiltered(forks[i], locals, keep, filt, candidates, p.HH, seed, "zest/levels")
 	})
 	for i, task := range tasks {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
 		net.Join(forks[i])
 		for _, j := range djs[i] {
-			record(j, task.lev)
+			if err := record(j, task.lev); err != nil {
+				return nil, err
+			}
 		}
 	}
 

@@ -29,7 +29,9 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/fn"
@@ -37,6 +39,24 @@ import (
 	"repro/internal/rff"
 	"repro/internal/samplers"
 	"repro/internal/zsampler"
+)
+
+// Typed errors for invalid cluster construction and PCA options; callers
+// match them with errors.Is.
+var (
+	// ErrInvalidServers: cluster constructed with fewer than one server.
+	ErrInvalidServers = errors.New("repro: cluster needs at least one server")
+	// ErrInvalidRank: Options.K below 1.
+	ErrInvalidRank = errors.New("repro: Options.K must be at least 1")
+	// ErrInvalidWorkers: Options.Workers below 0.
+	ErrInvalidWorkers = errors.New("repro: Options.Workers must not be negative")
+	// ErrShapeMismatch: per-server shares with inconsistent shapes.
+	ErrShapeMismatch = errors.New("repro: share shapes do not match")
+	// ErrNoData: PCA before SetLocalData.
+	ErrNoData = errors.New("repro: SetLocalData before running a protocol")
+	// ErrTCPBackend: per-run backend conversion on a TCP cluster (the
+	// shares were already installed on the workers; convert first).
+	ErrTCPBackend = errors.New("repro: storage backend is fixed at share installation on TCP clusters")
 )
 
 // Matrix is the dense matrix type used throughout the public API.
@@ -183,24 +203,100 @@ type Result struct {
 	SampledRows []int
 	// Words is the total communication in 64-bit words.
 	Words int64
-	// Breakdown reports words per protocol phase.
+	// Bytes is the communication as encoded on the wire — every payload
+	// serialized through the typed frame codec — headers included. The
+	// fabric guarantees Bytes == 8·Words + header overhead per phase.
+	Bytes int64
+	// Breakdown reports words per protocol phase, for this run only (a
+	// reused cluster's cumulative tallies live on Cluster.Breakdown).
 	Breakdown map[string]int64
 }
 
-// Cluster simulates the paper's star network of s servers with exact
-// communication accounting.
+// Cluster is the paper's star network of s servers with exact
+// communication accounting. An in-process cluster (NewCluster) hosts
+// every server in this process over the in-memory transport; a TCP
+// cluster (ListenCluster) hosts only the CP here and drives one worker
+// process per remaining server — same protocols, same transcripts, real
+// wire.
 type Cluster struct {
 	net    *comm.Network
 	locals []Mat
+	// coord is non-nil for TCP clusters; masked is the protocol-visible
+	// view of the shares there (CP's own share only — worker shares are
+	// reachable exclusively through the fabric).
+	coord  *cluster.Coordinator
+	masked []Mat
 }
 
-// NewCluster creates a cluster of s servers (server 0 is the CP).
-func NewCluster(s int) *Cluster {
-	return &Cluster{net: comm.NewNetwork(s)}
+// NewCluster creates an in-process cluster of s servers (server 0 is the
+// CP).
+func NewCluster(s int) (*Cluster, error) {
+	if s < 1 {
+		return nil, fmt.Errorf("%w (got %d)", ErrInvalidServers, s)
+	}
+	return &Cluster{net: comm.NewNetwork(s)}, nil
 }
 
-// Servers returns the number of servers.
-func (c *Cluster) Servers() int { return c.net.Servers() }
+// ListenCluster starts the coordinator of a multi-process cluster: it
+// listens on addr (use "127.0.0.1:0" for an ephemeral loopback port) for
+// s−1 workers to join (JoinWorker or cmd/dlra-worker). Call AwaitWorkers
+// before installing data.
+func ListenCluster(s int, addr string) (*Cluster, error) {
+	if s < 2 {
+		return nil, fmt.Errorf("%w (a TCP cluster needs at least 2, got %d)", ErrInvalidServers, s)
+	}
+	coord, err := cluster.Listen(s, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{coord: coord}, nil
+}
+
+// Addr returns the address workers should join (TCP clusters only).
+func (c *Cluster) Addr() string {
+	if c.coord == nil {
+		return ""
+	}
+	return c.coord.Addr()
+}
+
+// AwaitWorkers blocks until every worker has joined and handshaked, then
+// brings up the remote-aware fabric (TCP clusters only).
+func (c *Cluster) AwaitWorkers(timeout time.Duration) error {
+	if c.coord == nil {
+		return errors.New("repro: AwaitWorkers on an in-process cluster")
+	}
+	if err := c.coord.AwaitWorkers(timeout); err != nil {
+		return err
+	}
+	c.net = c.coord.Network()
+	return nil
+}
+
+// Close shuts down a TCP cluster's workers and sockets (no-op for
+// in-process clusters).
+func (c *Cluster) Close() error {
+	if c.coord == nil {
+		return nil
+	}
+	return c.coord.Close()
+}
+
+// JoinWorker runs a worker process's serve loop: dial the coordinator
+// (retrying for up to wait), host the share it installs, execute protocol
+// ops against it until the coordinator shuts the cluster down.
+func JoinWorker(addr string, wait time.Duration) error {
+	return cluster.Dial(addr, wait)
+}
+
+// Servers returns the number of servers (0 on a TCP cluster that has not
+// completed AwaitWorkers yet).
+func (c *Cluster) Servers() int {
+	if c.net == nil {
+		return 0
+	}
+	return c.net.Servers()
+}
 
 // SetLocalData installs each server's local dense matrix A^t. All shares
 // must have identical shape.
@@ -209,39 +305,74 @@ func (c *Cluster) SetLocalData(locals []*Matrix) error {
 }
 
 // SetLocalMats installs each server's local matrix A^t in any backend
-// (dense, CSR, or a mix). All shares must have identical shape.
+// (dense, CSR, or a mix). All shares must have identical shape. On a TCP
+// cluster (after AwaitWorkers) each worker receives its share as setup
+// traffic; the protocols afterwards reach it only through the fabric.
 func (c *Cluster) SetLocalMats(locals []Mat) error {
+	if c.net == nil {
+		return errors.New("repro: AwaitWorkers before installing data on a TCP cluster")
+	}
 	if len(locals) != c.net.Servers() {
 		return fmt.Errorf("repro: %d shares for %d servers", len(locals), c.net.Servers())
 	}
+	if locals[0] == nil {
+		return fmt.Errorf("%w: the CP share is nil", ErrShapeMismatch)
+	}
 	n, d := locals[0].Rows(), locals[0].Cols()
 	for t, m := range locals {
+		if m == nil {
+			return fmt.Errorf("%w: server %d share is nil", ErrShapeMismatch, t)
+		}
 		mn, md := m.Rows(), m.Cols()
 		if mn != n || md != d {
-			return fmt.Errorf("repro: server %d share is %dx%d, want %dx%d", t, mn, md, n, d)
+			return fmt.Errorf("%w: server %d share is %dx%d, want %dx%d", ErrShapeMismatch, t, mn, md, n, d)
 		}
 	}
 	c.locals = locals
+	if c.coord != nil {
+		if err := c.coord.InstallShares(locals); err != nil {
+			return err
+		}
+		c.masked = c.coord.MaskShares(locals)
+	}
 	return nil
 }
 
 // Words returns the total communication consumed so far.
-func (c *Cluster) Words() int64 { return c.net.Words() }
+func (c *Cluster) Words() int64 {
+	if c.net == nil {
+		return 0
+	}
+	return c.net.Words()
+}
 
 // Breakdown returns communication per protocol phase.
-func (c *Cluster) Breakdown() map[string]int64 { return c.net.Breakdown() }
+func (c *Cluster) Breakdown() map[string]int64 {
+	if c.net == nil {
+		return nil
+	}
+	return c.net.Breakdown()
+}
 
-// ResetCommunication zeroes the communication counters.
-func (c *Cluster) ResetCommunication() { c.net.Reset() }
+// ResetCommunication zeroes the communication counters (and drops any
+// queued frames and failure poison on the fabric).
+func (c *Cluster) ResetCommunication() {
+	if c.net != nil {
+		c.net.Reset()
+	}
+}
 
 // PCA runs the distributed additive-error PCA protocol (Algorithm 1 with
 // the appropriate sampler) over the implicit matrix f(Σ_t A^t).
 func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
 	if c.locals == nil {
-		return nil, errors.New("repro: SetLocalData before PCA")
+		return nil, ErrNoData
 	}
 	if opts.K < 1 {
-		return nil, errors.New("repro: Options.K must be ≥ 1")
+		return nil, fmt.Errorf("%w (got %d)", ErrInvalidRank, opts.K)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("%w (got %d)", ErrInvalidWorkers, opts.Workers)
 	}
 	if opts.Eps <= 0 {
 		opts.Eps = 0.1
@@ -250,9 +381,19 @@ func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
 	if seed == 0 {
 		seed = 0x5EED
 	}
-	locals := opts.Backend.Apply(c.locals)
+	var locals []Mat
+	if c.coord != nil {
+		if opts.Backend != BackendAuto {
+			return nil, ErrTCPBackend
+		}
+		locals = c.masked
+	} else {
+		locals = opts.Backend.Apply(c.locals)
+	}
 	n, d := locals[0].Rows(), locals[0].Cols()
 	start := c.net.Snapshot()
+	bytesStart := c.net.Bytes()
+	tagStart := c.net.Breakdown()
 
 	var sampler core.RowSampler
 	if f.z == nil {
@@ -294,8 +435,22 @@ func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
 		// the sampler's sketching phase (which runs before Algorithm 1's
 		// row collection).
 		Words:     c.net.Since(start),
-		Breakdown: c.net.Breakdown(),
+		Bytes:     c.net.Bytes() - bytesStart,
+		Breakdown: breakdownDelta(c.net.Breakdown(), tagStart),
 	}, nil
+}
+
+// breakdownDelta subtracts a per-tag snapshot so Result.Breakdown covers
+// exactly the run it accompanies (Words and Bytes are deltas too; a
+// reused cluster accumulates across runs otherwise).
+func breakdownDelta(now, start map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(now))
+	for tag, w := range now {
+		if d := w - start[tag]; d != 0 {
+			out[tag] = d
+		}
+	}
+	return out
 }
 
 // ImplicitMatrix materializes f(Σ_t A^t) centrally — useful for validation

@@ -1,0 +1,104 @@
+package repro
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestTypedConstructionErrors pins the typed, wrapped error contract for
+// bad inputs that used to panic: callers can match every failure mode
+// with errors.Is.
+func TestTypedConstructionErrors(t *testing.T) {
+	if _, err := NewCluster(0); !errors.Is(err, ErrInvalidServers) {
+		t.Fatalf("NewCluster(0): %v, want ErrInvalidServers", err)
+	}
+	if _, err := NewCluster(-3); !errors.Is(err, ErrInvalidServers) {
+		t.Fatalf("NewCluster(-3): %v, want ErrInvalidServers", err)
+	}
+	if _, err := ListenCluster(1, "127.0.0.1:0"); !errors.Is(err, ErrInvalidServers) {
+		t.Fatalf("ListenCluster(1): %v, want ErrInvalidServers", err)
+	}
+
+	c := mustCluster(t, 2)
+	if _, err := c.PCA(Identity(), Options{K: 1}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("PCA without data: %v, want ErrNoData", err)
+	}
+	if err := c.SetLocalData([]*Matrix{NewMatrix(2, 3), NewMatrix(3, 3)}); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("mismatched shapes: %v, want ErrShapeMismatch", err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	M := lowRankMatrix(rng, 20, 4, 2, 0.1)
+	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PCA(Identity(), Options{K: 0}); !errors.Is(err, ErrInvalidRank) {
+		t.Fatalf("K=0: %v, want ErrInvalidRank", err)
+	}
+	if _, err := c.PCA(Identity(), Options{K: -2}); !errors.Is(err, ErrInvalidRank) {
+		t.Fatalf("K=-2: %v, want ErrInvalidRank", err)
+	}
+	if _, err := c.PCA(Identity(), Options{K: 1, Workers: -1}); !errors.Is(err, ErrInvalidWorkers) {
+		t.Fatalf("Workers=-1: %v, want ErrInvalidWorkers", err)
+	}
+}
+
+// TestPublicTCPClusterEndToEnd drives the public API over a loopback TCP
+// cluster (workers as goroutines speaking the real wire protocol) and
+// checks the result matches the in-process cluster bit for bit, with the
+// byte ledger populated.
+func TestPublicTCPClusterEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	M := lowRankMatrix(rng, 60, 8, 3, 0.2)
+	const s = 3
+	locals := splitMatrix(M, s, rand.New(rand.NewSource(9)))
+	opts := Options{K: 3, Rows: 20, Seed: 11}
+
+	mem := mustCluster(t, s)
+	if err := mem.SetLocalData(locals); err != nil {
+		t.Fatal(err)
+	}
+	memRes, err := mem.PCA(Identity(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tcp, err := ListenCluster(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	for i := 1; i < s; i++ {
+		go func() {
+			if err := JoinWorker(tcp.Addr(), 5*time.Second); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := tcp.AwaitWorkers(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tcp.SetLocalData(locals); err != nil {
+		t.Fatal(err)
+	}
+	tcpRes, err := tcp.PCA(Identity(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if memRes.Words != tcpRes.Words {
+		t.Fatalf("words differ: mem %d, tcp %d", memRes.Words, tcpRes.Words)
+	}
+	if tcpRes.Bytes == 0 || tcpRes.Bytes != memRes.Bytes {
+		t.Fatalf("byte ledgers differ: mem %d, tcp %d", memRes.Bytes, tcpRes.Bytes)
+	}
+	if !memRes.Projection.Equalf(tcpRes.Projection, 0) {
+		t.Fatal("projection differs between transports")
+	}
+	// Per-run backend conversion is a mem-only convenience.
+	if _, err := tcp.PCA(Identity(), Options{K: 2, Backend: BackendCSR}); !errors.Is(err, ErrTCPBackend) {
+		t.Fatalf("backend conversion on TCP cluster: %v, want ErrTCPBackend", err)
+	}
+}

@@ -9,6 +9,16 @@ import (
 	"repro/internal/matrix"
 )
 
+// mustCluster builds an in-process cluster or fails the test.
+func mustCluster(t testing.TB, s int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func splitMatrix(M *Matrix, s int, rng *rand.Rand) []*Matrix {
 	n, d := M.Dims()
 	out := make([]*Matrix, s)
@@ -46,7 +56,7 @@ func lowRankMatrix(rng *rand.Rand, n, d, rank int, noise float64) *Matrix {
 }
 
 func TestClusterValidation(t *testing.T) {
-	c := NewCluster(3)
+	c := mustCluster(t, 3)
 	if c.Servers() != 3 {
 		t.Fatal("servers")
 	}
@@ -66,7 +76,7 @@ func TestClusterValidation(t *testing.T) {
 
 func TestPCAValidatesOptions(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	c := NewCluster(2)
+	c := mustCluster(t, 2)
 	M := lowRankMatrix(rng, 30, 5, 2, 0.1)
 	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 		t.Fatal(err)
@@ -79,7 +89,7 @@ func TestPCAValidatesOptions(t *testing.T) {
 func TestIdentityPCAErrorBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	M := lowRankMatrix(rng, 300, 20, 4, 0.1)
-	c := NewCluster(3)
+	c := mustCluster(t, 3)
 	if err := c.SetLocalData(splitMatrix(M, 3, rng)); err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +124,7 @@ func TestSoftmaxGMPipeline(t *testing.T) {
 	for t2, raw := range raws {
 		locals[t2] = PrepareGM(raw, p, s)
 	}
-	c := NewCluster(s)
+	c := mustCluster(t, s)
 	if err := c.SetLocalData(locals); err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +158,7 @@ func TestRobustHuberPCA(t *testing.T) {
 	for c := 0; c < 10; c++ {
 		M.Set(rng.Intn(200), rng.Intn(15), 1e5)
 	}
-	c := NewCluster(3)
+	c := mustCluster(t, 3)
 	if err := c.SetLocalData(splitMatrix(M, 3, rng)); err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +188,7 @@ func TestRFFCosinePipeline(t *testing.T) {
 	s := 3
 	parts := splitMatrix(raw, s, rng)
 	locals := ExpandRFF(parts, mp)
-	c := NewCluster(s)
+	c := mustCluster(t, s)
 	if err := c.SetLocalData(locals); err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +213,7 @@ func TestL1L2AndFair(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	M := lowRankMatrix(rng, 100, 8, 3, 0.1)
 	for _, f := range []Func{L1L2(), Fair(2.0), AbsPower(0.5)} {
-		c := NewCluster(2)
+		c := mustCluster(t, 2)
 		if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 			t.Fatal(err)
 		}
@@ -222,7 +232,7 @@ func TestL1L2AndFair(t *testing.T) {
 func TestBoostOption(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	M := lowRankMatrix(rng, 80, 8, 2, 0.4)
-	c := NewCluster(2)
+	c := mustCluster(t, 2)
 	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +244,7 @@ func TestBoostOption(t *testing.T) {
 func TestResetCommunication(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	M := lowRankMatrix(rng, 40, 5, 2, 0.1)
-	c := NewCluster(2)
+	c := mustCluster(t, 2)
 	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +263,7 @@ func TestResetCommunication(t *testing.T) {
 func TestCustomFunc(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	M := lowRankMatrix(rng, 60, 6, 2, 0.1)
-	c := NewCluster(2)
+	c := mustCluster(t, 2)
 	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 		t.Fatal(err)
 	}

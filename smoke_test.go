@@ -50,7 +50,7 @@ func TestSmokeEndToEnd(t *testing.T) {
 		}
 	}
 
-	c := NewCluster(s)
+	c := mustCluster(t, s)
 	if err := c.SetLocalData(locals); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,110 @@
+package repro
+
+// Transport overhead benchmarks for the wire-level protocol stack: the
+// identical PCA protocol run over the in-memory transport (frames encoded
+// and decoded in process) and over a TCP-loopback cluster (frames crossing
+// real sockets to worker goroutines speaking the dlra-worker wire
+// protocol). The word ledgers are identical by construction — the
+// difference is pure transport cost, which is exactly what BENCH_pr3.json
+// records:
+//
+//	ns/op       — wall time per full protocol run
+//	B/op        — allocations per run
+//	wire_bytes  — encoded frame bytes per run (headers included)
+//	words/run   — the paper-facing word ledger per run
+//
+// Regenerate with: make bench-json
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// benchShares builds a deterministic additive partition for the transport
+// benchmarks.
+func benchShares(n, d, s int, seed int64) []*Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	M := lowRankMatrix(rng, n, d, 4, 0.2)
+	return splitMatrix(M, s, rng)
+}
+
+// runTransportPCA executes one full protocol run and reports the ledgers.
+func runTransportPCA(b *testing.B, c *Cluster) {
+	b.Helper()
+	res, err := c.PCA(Identity(), Options{K: 4, Rows: 24, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(res.Words), "words/run")
+	b.ReportMetric(float64(res.Bytes), "wire_bytes")
+}
+
+func BenchmarkTransportPCAMem(b *testing.B) {
+	const n, d, s = 96, 12, 3
+	locals := benchShares(n, d, s, 5)
+	c, err := NewCluster(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SetLocalData(locals); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runTransportPCA(b, c)
+	}
+}
+
+func BenchmarkTransportPCATCPLoopback(b *testing.B) {
+	const n, d, s = 96, 12, 3
+	locals := benchShares(n, d, s, 5)
+	c, err := ListenCluster(s, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for i := 1; i < s; i++ {
+		go func() {
+			if err := JoinWorker(c.Addr(), 5*time.Second); err != nil {
+				b.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := c.AwaitWorkers(10 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SetLocalData(locals); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runTransportPCA(b, c)
+	}
+}
+
+// BenchmarkTransportFrameCodec isolates the codec layer: one sketch-sized
+// payload encoded and decoded per op.
+func BenchmarkTransportFrameCodec(b *testing.B) {
+	payload := make([]float64, 5*128) // one 5×128 CountSketch counter block
+	for i := range payload {
+		payload[i] = float64(i) * 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frameCodecRoundTrip(b, payload)
+	}
+}
+
+func frameCodecRoundTrip(b *testing.B, payload []float64) {
+	f := &comm.Frame{Kind: comm.KindSketch, From: 1, To: 0, Tag: "bench/sketch", Words: comm.FloatWords(payload)}
+	dec, err := comm.DecodeFrame(comm.EncodeFrame(f))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(dec.Words) != len(payload) {
+		b.Fatal("codec payload mismatch")
+	}
+}
