@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet short ci smoke-tcp
+.PHONY: all build test race bench bench-json fmt vet short ci smoke-tcp smoke-serve
 
 all: build
 
@@ -24,16 +24,17 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Perf trajectory snapshot: the seq-vs-parallel sweep benchmarks, the
-# dense-vs-CSR storage backend benchmarks and the mem-vs-TCP-loopback
-# transport benchmarks (ns/op, B/op, wire_bytes), rendered as JSON records
-# (op, iterations, ns/op, B/op, custom metrics) for machine comparison
-# across PRs.
+# dense-vs-CSR storage backend benchmarks, the mem-vs-TCP-loopback
+# transport benchmarks (ns/op, B/op, wire_bytes) and the job-engine
+# throughput benchmarks (jobs/sec at 1/4/16 concurrent sessions, both
+# transports), rendered as JSON records (op, iterations, ns/op, B/op,
+# custom metrics) for machine comparison across PRs.
 # Staged through temp files so a failing bench run (or an empty
 # measurement set, which dlra-benchjson rejects) fails the target without
 # truncating an existing BENCH_JSON snapshot.
-BENCH_JSON ?= BENCH_pr3.json
+BENCH_JSON ?= BENCH_pr4.json
 bench-json:
-	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport' \
+	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput' \
 		-benchmem -benchtime=3x . > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
 	$(GO) run ./cmd/dlra-benchjson < $(BENCH_JSON).txt > $(BENCH_JSON).tmp || \
 		{ rm -f $(BENCH_JSON).txt $(BENCH_JSON).tmp; exit 1; }
@@ -57,6 +58,19 @@ smoke-tcp:
 	$(SMOKE_DIR)/dlra-worker -join $(SMOKE_ADDR) & \
 	$(SMOKE_DIR)/dlra-pca -input $(SMOKE_DIR)/fc.bin -k 5 -servers 3 -seed 7 \
 		-transport tcp -tcp-listen $(SMOKE_ADDR) -tcp-spawn=false -sweep-rows 16,32 && wait
+
+# Job-engine deployment smoke: dlra-serve as a real HTTP service over a
+# loopback TCP cluster (coordinator + 2 spawned worker processes), driven
+# through its own HTTP API: 3 concurrent job submissions, polled to
+# completion, every result asserted. Mirrored by the serve-smoke CI job.
+SERVE_DIR ?= /tmp/dlra-serve-smoke
+smoke-serve:
+	rm -rf $(SERVE_DIR) && mkdir -p $(SERVE_DIR)
+	$(GO) build -o $(SERVE_DIR)/dlra-serve ./cmd/dlra-serve
+	$(GO) build -o $(SERVE_DIR)/dlra-datagen ./cmd/dlra-datagen
+	$(SERVE_DIR)/dlra-datagen -dataset forestcover -scale small -output $(SERVE_DIR)/fc.bin
+	$(SERVE_DIR)/dlra-serve -input $(SERVE_DIR)/fc.bin -servers 3 -transport tcp \
+		-addr 127.0.0.1:0 -smoke 3
 
 # Fails (exit 1) when any file needs gofmt.
 fmt:

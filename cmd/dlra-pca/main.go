@@ -34,13 +34,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
-	"os/exec"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/matio"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
@@ -64,6 +63,8 @@ func main() {
 	tcpListen := flag.String("tcp-listen", "127.0.0.1:0", "coordinator listen address for -transport tcp")
 	tcpSpawn := flag.Bool("tcp-spawn", true, "spawn s−1 worker processes by re-executing this binary (false: wait for external dlra-worker processes)")
 	sweepRows := flag.String("sweep-rows", "", "comma-separated sample counts: run one protocol execution per r on the same cluster")
+	jobs := flag.Int("jobs", 0, "fire N concurrent queries through the job engine (per-job seeds derive from (seed, jobID)) and report throughput")
+	jobConc := flag.Int("job-concurrency", 4, "engine runner pool size for -jobs")
 	workerJoin := flag.String("worker-join", "", "internal: run as a worker process joining the given coordinator address")
 	flag.Parse()
 
@@ -134,6 +135,10 @@ func main() {
 		Workers: parallel.Workers(*workers),
 	}
 
+	if *jobs > 0 {
+		runJobs(cluster, f, opts, *jobs, *jobConc, *transport)
+		return
+	}
 	if *sweepRows != "" {
 		runSweep(cluster, f, opts, *sweepRows, *transport)
 		return
@@ -178,49 +183,49 @@ func main() {
 // connect builds the requested cluster fabric and returns it with a
 // cleanup function (worker shutdown for tcp).
 func connect(transport string, servers int, listen string, spawn bool) (*repro.Cluster, func()) {
-	switch transport {
-	case "mem":
-		c, err := repro.NewCluster(servers)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return c, func() {}
-	case "tcp":
-		c, err := repro.ListenCluster(servers, listen)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var procs []*exec.Cmd
-		if spawn {
-			self, err := os.Executable()
-			if err != nil {
-				log.Fatal(err)
-			}
-			for i := 1; i < servers; i++ {
-				cmd := exec.Command(self, "-worker-join", c.Addr())
-				cmd.Stderr = os.Stderr
-				if err := cmd.Start(); err != nil {
-					log.Fatalf("dlra-pca: spawning worker %d: %v", i, err)
-				}
-				procs = append(procs, cmd)
-			}
-			fmt.Printf("coordinator       : %s (%d worker processes spawned)\n", c.Addr(), servers-1)
+	c, cleanup, err := cli.Connect(transport, servers, listen, spawn, func(addr string, spawned int) {
+		if spawned > 0 {
+			fmt.Printf("coordinator       : %s (%d worker processes spawned)\n", addr, spawned)
 		} else {
-			fmt.Printf("coordinator       : %s (waiting for %d external dlra-worker processes)\n", c.Addr(), servers-1)
+			fmt.Printf("coordinator       : %s (waiting for %d external dlra-worker processes)\n", addr, servers-1)
 		}
-		if err := c.AwaitWorkers(60 * time.Second); err != nil {
-			log.Fatal(err)
-		}
-		return c, func() {
-			c.Close()
-			for _, p := range procs {
-				p.Wait()
-			}
-		}
-	default:
-		log.Fatalf("dlra-pca: unknown transport %q", transport)
-		return nil, nil
+	})
+	if err != nil {
+		log.Fatalf("dlra-pca: %v", err)
 	}
+	return c, cleanup
+}
+
+// runJobs fires n concurrent queries through the job engine — each in its
+// own comm session against the shared installed shares — and reports
+// per-job summaries plus aggregate throughput.
+func runJobs(cluster *repro.Cluster, f repro.Func, opts repro.Options, n, conc int, transport string) {
+	if err := cluster.ConfigureEngine(repro.EngineConfig{MaxConcurrent: conc, QueueDepth: n}); err != nil {
+		log.Fatal(err)
+	}
+	handles := make([]*repro.Job, 0, n)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		j, err := cluster.Submit(f, opts)
+		if err != nil {
+			log.Fatalf("dlra-pca: submitting job %d: %v", i+1, err)
+		}
+		handles = append(handles, j)
+	}
+	fmt.Printf("jobs (%s transport, %d concurrent sessions):\n", transport, conc)
+	fmt.Printf("  %-5s %-8s %-10s %-10s\n", "job", "rows", "words", "bytes")
+	var totalWords int64
+	for _, j := range handles {
+		res, err := j.Wait()
+		if err != nil {
+			log.Fatalf("dlra-pca: job %d: %v", j.ID(), err)
+		}
+		totalWords += res.Words
+		fmt.Printf("  %-5d %-8d %-10d %-10d\n", res.JobID, len(res.SampledRows), res.Words, res.Bytes)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("completed %d jobs in %.3fs — %.2f jobs/sec, %d words total\n",
+		n, elapsed.Seconds(), float64(n)/elapsed.Seconds(), totalWords)
 }
 
 // runSweep executes one protocol run per requested r on the shared

@@ -1,0 +1,472 @@
+// Command dlra-serve is the HTTP front door of a live distributed
+// low-rank cluster: it loads one or more datasets, partitions them across
+// the servers, installs the shares once, and then serves PCA queries as
+// jobs on the multi-tenant engine — many concurrent queries multiplexed
+// over the same persistent workers and the same installed shares, the way
+// the paper amortizes one round of setup across many downstream queries.
+//
+// Usage:
+//
+//	dlra-serve -input data.csv [-input more.bin] [-addr 127.0.0.1:8080]
+//	           [-servers 10] [-partition row|arbitrary] [-seed S]
+//	           [-transport mem|tcp] [-tcp-listen 127.0.0.1:0]
+//	           [-max-concurrent 4] [-queue-depth 64] [-smoke N]
+//
+// API:
+//
+//	GET  /healthz               → {"status":"ok"}
+//	GET  /v1/datasets           → installed datasets
+//	GET  /v1/jobs               → all jobs with states
+//	POST /v1/jobs               → submit {"dataset","fn","k","eps","rows","boost","seed"}
+//	GET  /v1/jobs/{id}          → one job's state (and ledger when done)
+//	GET  /v1/jobs/{id}/result   → basis, sampled rows, per-phase words
+//	DELETE /v1/jobs/{id}        → cancel a queued job
+//
+// With -transport tcp the process spawns s−1 worker OS processes by
+// re-executing itself and drives them over loopback TCP — the protocol
+// frames really cross process boundaries. -smoke N starts the server,
+// submits N concurrent jobs to its own HTTP API, asserts every result,
+// and exits — the self-contained deployment smoke test CI runs.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cli"
+	"repro/internal/matio"
+	"repro/internal/matrix"
+	"repro/internal/robust"
+)
+
+func main() {
+	var inputs inputList
+	flag.Var(&inputs, "input", "input matrix file (CSV or .bin); repeatable — each becomes a dataset named after the file")
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	servers := flag.Int("servers", 4, "number of servers")
+	partition := flag.String("partition", "row", "how each matrix is split: row or arbitrary")
+	seed := flag.Int64("seed", 1, "partition seed")
+	transport := flag.String("transport", "mem", "fabric transport: mem (in-process) or tcp (multi-process cluster)")
+	tcpListen := flag.String("tcp-listen", "127.0.0.1:0", "coordinator listen address for -transport tcp")
+	maxConc := flag.Int("max-concurrent", 4, "jobs running concurrently (each in its own session)")
+	queueDepth := flag.Int("queue-depth", 64, "admission queue capacity before submits are rejected")
+	smoke := flag.Int("smoke", 0, "self-test: submit N concurrent jobs over the HTTP API, assert results, exit")
+	workerJoin := flag.String("worker-join", "", "internal: run as a worker process joining the given coordinator address")
+	flag.Parse()
+
+	if *workerJoin != "" {
+		if err := repro.JoinWorker(*workerJoin, 30*time.Second); err != nil {
+			log.Fatalf("dlra-serve (worker): %v", err)
+		}
+		return
+	}
+	if len(inputs) == 0 {
+		log.Fatal("dlra-serve: at least one -input is required")
+	}
+
+	cluster, cleanup := connect(*transport, *servers, *tcpListen)
+	defer cleanup()
+	if err := cluster.ConfigureEngine(repro.EngineConfig{MaxConcurrent: *maxConc, QueueDepth: *queueDepth}); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, path := range inputs {
+		M, err := matio.Load(path)
+		if err != nil {
+			log.Fatalf("dlra-serve: loading %s: %v", path, err)
+		}
+		var locals []*matrix.Dense
+		switch *partition {
+		case "row":
+			locals = robust.RowPartition(M, *servers, *seed+1)
+		case "arbitrary":
+			locals = robust.ArbitraryPartition(M, *servers, *seed+1)
+		default:
+			log.Fatalf("dlra-serve: unknown partition %q", *partition)
+		}
+		id := datasetID(path)
+		if err := cluster.InstallDataset(id, matrix.AsMats(locals)); err != nil {
+			log.Fatalf("dlra-serve: installing %s: %v", id, err)
+		}
+		n, d := M.Dims()
+		log.Printf("installed dataset %q (%dx%d across %d servers)", id, n, d, *servers)
+	}
+
+	srv := &server{cluster: cluster, jobs: make(map[uint64]*jobRecord)}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dlra-serve: listen %s: %v", *addr, err)
+	}
+	log.Printf("dlra-serve listening on http://%s (%s transport, %d servers, %d concurrent jobs)",
+		ln.Addr(), *transport, *servers, *maxConc)
+
+	if *smoke > 0 {
+		go func() {
+			if err := runSmoke(fmt.Sprintf("http://%s", ln.Addr()), *smoke); err != nil {
+				log.Fatalf("dlra-serve: smoke failed: %v", err)
+			}
+			log.Printf("smoke ok: %d concurrent jobs completed", *smoke)
+			cleanup()
+			os.Exit(0)
+		}()
+	}
+	log.Fatal(http.Serve(ln, srv.routes()))
+}
+
+// inputList collects repeated -input flags.
+type inputList []string
+
+func (l *inputList) String() string     { return strings.Join(*l, ",") }
+func (l *inputList) Set(v string) error { *l = append(*l, v); return nil }
+
+// datasetID names a dataset after its file (sans directory and extension).
+func datasetID(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+// connect builds the requested cluster fabric and returns it with an
+// idempotent cleanup function (worker shutdown for tcp).
+func connect(transport string, servers int, listen string) (*repro.Cluster, func()) {
+	c, cleanup, err := cli.Connect(transport, servers, listen, true, func(addr string, spawned int) {
+		log.Printf("coordinator on %s with %d worker processes", addr, spawned)
+	})
+	if err != nil {
+		log.Fatalf("dlra-serve: %v", err)
+	}
+	return c, cleanup
+}
+
+// jobRecord pairs a live job handle with its submission spec for listings.
+type jobRecord struct {
+	job  *repro.Job
+	spec submitRequest
+}
+
+// maxRetainedJobs bounds the finished jobs (and their results) the server
+// keeps for polling; beyond it, the oldest finished records are evicted so
+// a long-running service does not grow without bound. Queued and running
+// jobs are never evicted.
+const maxRetainedJobs = 1024
+
+// server is the HTTP layer over the cluster's job engine.
+type server struct {
+	cluster *repro.Cluster
+	mu      sync.Mutex
+	jobs    map[uint64]*jobRecord
+	order   []uint64 // submission order, for eviction
+}
+
+// retain records a new job and evicts the oldest finished records beyond
+// the retention bound. Callers hold s.mu.
+func (s *server) retain(rec *jobRecord) {
+	s.jobs[rec.job.ID()] = rec
+	s.order = append(s.order, rec.job.ID())
+	excess := len(s.jobs) - maxRetainedJobs
+	kept := s.order[:0]
+	for _, id := range s.order {
+		old := s.jobs[id]
+		if excess > 0 && old != nil {
+			if st := old.job.State(); st == repro.JobDone || st == repro.JobCanceled {
+				delete(s.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// submitRequest is the POST /v1/jobs body.
+type submitRequest struct {
+	Dataset string  `json:"dataset,omitempty"`
+	Fn      string  `json:"fn,omitempty"` // identity, huber:K, gm:P, l1l2, fair:C, abspow:P, cosine
+	K       int     `json:"k"`
+	Eps     float64 `json:"eps,omitempty"`
+	Rows    int     `json:"rows,omitempty"`
+	Boost   int     `json:"boost,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+}
+
+// jobView is the job state the API reports.
+type jobView struct {
+	ID      uint64 `json:"id"`
+	State   string `json:"state"`
+	Dataset string `json:"dataset"`
+	Fn      string `json:"fn"`
+	K       int    `json:"k"`
+	Words   int64  `json:"words,omitempty"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Datasets())
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.Lock()
+		views := make([]jobView, 0, len(s.jobs))
+		for _, rec := range s.jobs {
+			views = append(views, s.view(rec))
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, views)
+	case http.MethodPost:
+		var req submitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Fn == "" {
+			req.Fn = "identity"
+		}
+		f, err := parseFunc(req.Fn)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		job, err := s.cluster.Submit(f, repro.Options{
+			Dataset: req.Dataset, K: req.K, Eps: req.Eps,
+			Rows: req.Rows, Boost: req.Boost, Seed: req.Seed,
+		})
+		if err != nil {
+			code := http.StatusBadRequest
+			if err == repro.ErrJobQueueFull {
+				code = http.StatusTooManyRequests
+			}
+			writeErr(w, code, err)
+			return
+		}
+		rec := &jobRecord{job: job, spec: req}
+		s.mu.Lock()
+		s.retain(rec)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, s.view(rec))
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleJob serves /v1/jobs/{id} and /v1/jobs/{id}/result.
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	wantResult := false
+	if strings.HasSuffix(rest, "/result") {
+		wantResult = true
+		rest = strings.TrimSuffix(rest, "/result")
+	}
+	id, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", rest))
+		return
+	}
+	s.mu.Lock()
+	rec := s.jobs[id]
+	s.mu.Unlock()
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		return
+	}
+	switch {
+	case r.Method == http.MethodDelete:
+		if rec.job.Cancel() {
+			writeJSON(w, http.StatusOK, s.view(rec))
+			return
+		}
+		writeErr(w, http.StatusConflict, fmt.Errorf("job %d already %s", id, rec.job.State()))
+	case r.Method != http.MethodGet:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	case !wantResult:
+		writeJSON(w, http.StatusOK, s.view(rec))
+	default:
+		if st := rec.job.State(); st != repro.JobDone {
+			writeErr(w, http.StatusConflict, fmt.Errorf("job %d is %s", id, st))
+			return
+		}
+		res, err := rec.job.Wait()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		d, k := res.Basis.Rows(), res.Basis.Cols()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id": id, "dataset": rec.job.Dataset(),
+			"basis_rows": d, "basis_cols": k, "basis": res.Basis.Data(),
+			"sampled_rows": res.SampledRows,
+			"words":        res.Words, "bytes": res.Bytes,
+			"breakdown": res.Breakdown,
+		})
+	}
+}
+
+// view snapshots a job for the API (ledger fields only once done).
+func (s *server) view(rec *jobRecord) jobView {
+	v := jobView{
+		ID: rec.job.ID(), State: rec.job.State().String(),
+		Dataset: rec.job.Dataset(), Fn: rec.spec.Fn, K: rec.spec.K,
+	}
+	if rec.job.State() == repro.JobDone {
+		if res, err := rec.job.Wait(); err != nil {
+			v.Error = err.Error()
+		} else {
+			v.Words, v.Bytes = res.Words, res.Bytes
+		}
+	}
+	return v
+}
+
+func parseFunc(spec string) (repro.Func, error) {
+	parseVal := func(prefix string) (float64, error) {
+		return strconv.ParseFloat(spec[len(prefix):], 64)
+	}
+	switch {
+	case spec == "identity":
+		return repro.Identity(), nil
+	case spec == "l1l2":
+		return repro.L1L2(), nil
+	case spec == "cosine":
+		return repro.Cosine(), nil
+	case strings.HasPrefix(spec, "huber:"):
+		v, err := parseVal("huber:")
+		if err != nil || v <= 0 {
+			return repro.Func{}, fmt.Errorf("bad huber threshold %q", spec)
+		}
+		return repro.Huber(v), nil
+	case strings.HasPrefix(spec, "gm:"):
+		v, err := parseVal("gm:")
+		if err != nil || v < 1 {
+			return repro.Func{}, fmt.Errorf("bad GM exponent %q", spec)
+		}
+		return repro.SoftmaxGM(v), nil
+	case strings.HasPrefix(spec, "fair:"):
+		v, err := parseVal("fair:")
+		if err != nil || v <= 0 {
+			return repro.Func{}, fmt.Errorf("bad fair scale %q", spec)
+		}
+		return repro.Fair(v), nil
+	case strings.HasPrefix(spec, "abspow:"):
+		v, err := parseVal("abspow:")
+		if err != nil || v <= 0 || v > 1 {
+			return repro.Func{}, fmt.Errorf("bad abspow exponent %q (need 0<p≤1)", spec)
+		}
+		return repro.AbsPower(v), nil
+	default:
+		return repro.Func{}, fmt.Errorf("unknown function %q", spec)
+	}
+}
+
+// runSmoke drives the server's own HTTP API end to end: submit n
+// concurrent jobs, poll them to completion, fetch and sanity-check every
+// result.
+func runSmoke(base string, n int) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	ids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		body, _ := json.Marshal(submitRequest{Fn: "identity", K: 3, Rows: 16, Seed: int64(100 + i)})
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		var v jobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("submit %d: HTTP %d (%s)", i, resp.StatusCode, v.Error)
+		}
+		ids[i] = v.ID
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, id := range ids {
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("job %d did not finish in time", id)
+			}
+			resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d", base, id))
+			if err != nil {
+				return err
+			}
+			var v jobView
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if v.State == "done" {
+				if v.Error != "" {
+					return fmt.Errorf("job %d failed: %s", id, v.Error)
+				}
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d/result", base, id))
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("result %d: HTTP %d: %s", id, resp.StatusCode, raw)
+		}
+		var res struct {
+			BasisRows int   `json:"basis_rows"`
+			BasisCols int   `json:"basis_cols"`
+			Words     int64 `json:"words"`
+		}
+		if err := json.Unmarshal(raw, &res); err != nil {
+			return fmt.Errorf("result %d: %w", id, err)
+		}
+		if res.BasisRows <= 0 || res.BasisCols != 3 || res.Words <= 0 {
+			return fmt.Errorf("result %d implausible: %dx%d basis, %d words", id, res.BasisRows, res.BasisCols, res.Words)
+		}
+	}
+	return nil
+}

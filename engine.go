@@ -1,0 +1,266 @@
+package repro
+
+// This file is the job engine: the layer that multiplexes many concurrent
+// distributed-low-rank queries over one live cluster. Each job runs inside
+// its own comm session (a namespaced view of the shared fabric), against a
+// dataset resolved from the cluster's share cache, with a private RNG seed
+// derived from (Options.Seed, job id) — so a job's result and its
+// communication transcript depend only on its own (seed, jobID), never on
+// how many tenants ran beside it. Admission is a bounded FIFO queue
+// drained by a fixed pool of runner goroutines; Submit rejects with
+// ErrJobQueueFull when the queue is at capacity instead of blocking the
+// caller.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hashing"
+)
+
+// JobState is the lifecycle of a submitted job.
+type JobState int32
+
+// The job lifecycle: Queued → Running → Done, or Queued → Canceled.
+const (
+	JobQueued JobState = iota
+	JobRunning
+	JobDone
+	JobCanceled
+)
+
+// String renders the state for logs and the dlra-serve API.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int32(s))
+	}
+}
+
+// Job is one queued or running PCA query on a cluster. Create jobs with
+// Cluster.Submit; a Job's methods are safe for concurrent use.
+type Job struct {
+	id      uint64
+	cluster *Cluster
+	f       Func
+	opts    Options
+	seed    int64 // effective protocol seed (derived for Submit jobs)
+	ds      *datasetEntry
+
+	mu    sync.Mutex
+	state JobState
+	res   *Result
+	err   error
+	done  chan struct{}
+}
+
+// ID returns the job's cluster-unique id (assigned in submission order,
+// starting at 1). The job's protocol seed is DeriveSeed(Options.Seed, ID).
+func (j *Job) ID() uint64 { return j.id }
+
+// Dataset returns the id of the dataset the job runs against.
+func (j *Job) Dataset() string { return j.ds.id }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Wait blocks until the job finishes and returns its result, or the error
+// that stopped it (ErrJobCanceled, ErrClosed, or a protocol failure).
+func (j *Job) Wait() (*Result, error) {
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res, j.err
+}
+
+// Cancel removes the job from the queue if it has not started; Wait then
+// returns ErrJobCanceled. A job already running (or finished) is not
+// interrupted — Cancel reports false and the job completes normally.
+func (j *Job) Cancel() bool {
+	e := j.cluster.eng
+	e.mu.Lock()
+	for i, q := range e.queue {
+		if q == j {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			j.finish(nil, ErrJobCanceled, JobCanceled)
+			return true
+		}
+	}
+	e.mu.Unlock()
+	return false
+}
+
+// finish publishes the job's outcome exactly once.
+func (j *Job) finish(res *Result, err error, state JobState) {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobCanceled {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.res, j.err = res, err
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.state = JobRunning
+	}
+	j.mu.Unlock()
+}
+
+// EngineConfig bounds the job engine: how many jobs run concurrently
+// (each in its own comm session) and how many may wait in the admission
+// queue before Submit rejects with ErrJobQueueFull.
+type EngineConfig struct {
+	// MaxConcurrent is the runner pool size (default 4).
+	MaxConcurrent int
+	// QueueDepth is the admission queue capacity (default 64).
+	QueueDepth int
+}
+
+// engine is the bounded job queue and its runner pool.
+type engine struct {
+	c *Cluster
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Job
+	running int
+	maxConc int
+	depth   int
+	started bool
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+func newEngine(c *Cluster) *engine {
+	e := &engine{c: c, maxConc: 4, depth: 64}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// configure adjusts the engine bounds; only valid before the first job.
+func (e *engine) configure(cfg EngineConfig) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		return fmt.Errorf("repro: ConfigureEngine after the first job was submitted")
+	}
+	if cfg.MaxConcurrent > 0 {
+		e.maxConc = cfg.MaxConcurrent
+	}
+	if cfg.QueueDepth > 0 {
+		e.depth = cfg.QueueDepth
+	}
+	return nil
+}
+
+// submit enqueues a job. block selects the admission policy at capacity:
+// reject (Submit) or wait for space (the blocking PCA wrapper).
+func (e *engine) submit(j *Job, block bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.closed {
+			return ErrClosed
+		}
+		if len(e.queue) < e.depth {
+			if !e.started {
+				e.started = true
+				for i := 0; i < e.maxConc; i++ {
+					e.wg.Add(1)
+					go e.runner()
+				}
+			}
+			e.queue = append(e.queue, j)
+			e.cond.Broadcast()
+			return nil
+		}
+		if !block {
+			return ErrJobQueueFull
+		}
+		e.cond.Wait()
+	}
+}
+
+// runner drains the queue until shutdown.
+func (e *engine) runner() {
+	defer e.wg.Done()
+	e.mu.Lock()
+	for {
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 {
+			e.mu.Unlock()
+			return
+		}
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		e.running++
+		e.cond.Broadcast() // queue space freed; wake blocked submitters
+		e.mu.Unlock()
+		e.c.runJob(j)
+		e.mu.Lock()
+		e.running--
+	}
+}
+
+// ifIdle runs fn under the engine lock iff no job is queued or running —
+// and because admission and runner pops also take the lock, no job can
+// start while fn executes. Returns whether fn ran.
+func (e *engine) ifIdle(fn func()) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.queue)+e.running > 0 {
+		return false
+	}
+	fn()
+	return true
+}
+
+// shutdown stops admission, fails every still-queued job with ErrClosed,
+// and waits for running jobs to drain — so closing a cluster mid-flight
+// is an orderly stop, not a panic.
+func (e *engine) shutdown() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	q := e.queue
+	e.queue = nil
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	for _, j := range q {
+		j.finish(nil, ErrClosed, JobCanceled)
+	}
+	e.wg.Wait()
+}
+
+// jobSeed derives a job's private protocol seed from the caller's seed
+// and the job id, so concurrent jobs sharing Options.Seed still see
+// independent randomness — and a job's transcript is reproducible from
+// (seed, jobID) alone.
+func jobSeed(seed int64, jobID uint64) int64 {
+	return hashing.DeriveSeed(seed, jobID)
+}

@@ -98,6 +98,61 @@ func ExampleCluster_PCA_huber() {
 	// largest |entry| after Huber capping: 5
 }
 
+// ExampleCluster_Submit shows the job engine: several PCA queries
+// submitted at once run concurrently on one cluster, each in its own
+// session with a seed derived from (Options.Seed, job id), and Wait
+// collects each job's result with its private communication ledger.
+func ExampleCluster_Submit() {
+	const servers, n, d = 3, 48, 6
+	rng := rand.New(rand.NewSource(9))
+	locals := make([]*repro.Matrix, servers)
+	for t := range locals {
+		locals[t] = repro.NewMatrix(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			v := float64(i%3) * float64(j+1)
+			var acc float64
+			for t := 0; t < servers-1; t++ {
+				sh := rng.NormFloat64()
+				locals[t].Set(i, j, locals[t].At(i, j)+sh)
+				acc += sh
+			}
+			locals[servers-1].Set(i, j, locals[servers-1].At(i, j)+v-acc)
+		}
+	}
+
+	cluster, err := repro.NewCluster(servers)
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+	if err := cluster.SetLocalData(locals); err != nil {
+		panic(err)
+	}
+
+	// Three concurrent queries against the shared (cached) dataset.
+	jobs := make([]*repro.Job, 3)
+	for i := range jobs {
+		jobs[i], err = cluster.Submit(repro.Identity(), repro.Options{K: 2, Rows: 24, Seed: 42})
+		if err != nil {
+			panic(err)
+		}
+	}
+	for _, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("job %d: %dx%d projection, positive comm cost: %v\n",
+			res.JobID, res.Projection.Rows(), res.Projection.Cols(), res.Words > 0)
+	}
+	// Output:
+	// job 1: 6x6 projection, positive comm cost: true
+	// job 2: 6x6 projection, positive comm cost: true
+	// job 3: 6x6 projection, positive comm cost: true
+}
+
 // ExamplePrepareGM shows the softmax encoding: each server raises its raw
 // values to the p-th power so the implicit sum reproduces the generalized
 // mean — which for large p tracks the entrywise max across servers.

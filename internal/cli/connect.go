@@ -1,0 +1,76 @@
+// Package cli holds the cluster bring-up logic the commands share:
+// building a mem or TCP fabric, self-spawning worker processes by
+// re-executing the current binary with a -worker-join flag, and tearing
+// everything down exactly once.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// Connect builds the requested cluster fabric and returns it with an
+// idempotent cleanup function (worker shutdown for tcp). With transport
+// "tcp" and spawn true, s−1 worker OS processes are started by
+// re-executing this binary with "-worker-join <addr>" (both dlra-pca and
+// dlra-serve implement that flag); with spawn false the coordinator waits
+// for external dlra-worker processes. announce, if non-nil, is called
+// with the coordinator address and the spawned-process count after
+// listening starts but before workers are awaited — so users of external
+// workers see where to join while the coordinator blocks.
+func Connect(transport string, servers int, listen string, spawn bool, announce func(addr string, spawned int)) (*repro.Cluster, func(), error) {
+	switch transport {
+	case "mem":
+		c, err := repro.NewCluster(servers)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, func() { c.Close() }, nil
+	case "tcp":
+		c, err := repro.ListenCluster(servers, listen)
+		if err != nil {
+			return nil, nil, err
+		}
+		var procs []*exec.Cmd
+		if spawn {
+			self, err := os.Executable()
+			if err != nil {
+				c.Close()
+				return nil, nil, err
+			}
+			for i := 1; i < servers; i++ {
+				cmd := exec.Command(self, "-worker-join", c.Addr())
+				cmd.Stderr = os.Stderr
+				if err := cmd.Start(); err != nil {
+					c.Close()
+					return nil, nil, fmt.Errorf("spawning worker %d: %w", i, err)
+				}
+				procs = append(procs, cmd)
+			}
+		}
+		if announce != nil {
+			announce(c.Addr(), len(procs))
+		}
+		var once sync.Once
+		cleanup := func() {
+			once.Do(func() {
+				c.Close()
+				for _, p := range procs {
+					p.Wait()
+				}
+			})
+		}
+		if err := c.AwaitWorkers(60 * time.Second); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		return c, cleanup, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown transport %q", transport)
+	}
+}

@@ -1,27 +1,42 @@
 // Package cluster turns the simulated star topology into a real one: a
 // coordinator process hosting the CP and its accounting fabric, plus
-// worker processes each hosting one server's share and executing protocol
-// ops against it. The wire protocol is the comm codec's frame format over
-// length-prefixed TCP; the op vocabulary (and its single implementation of
-// every share-side computation) is package ops, so a worker's reply is
-// byte-identical to what the in-process execution of the same op produces
-// — which is exactly what makes mem and tcp transcripts comparable.
+// worker processes each hosting one server's shares and executing protocol
+// ops against them. The wire protocol is the comm codec's frame format
+// over length-prefixed TCP; the op vocabulary (and its single
+// implementation of every share-side computation) is package ops, so a
+// worker's reply is byte-identical to what the in-process execution of the
+// same op produces — which is exactly what makes mem and tcp transcripts
+// comparable.
+//
+// Since PR 4 the cluster is multi-tenant: workers hold a cache of
+// installed shares keyed by dataset, and every protocol run happens inside
+// a comm session whose id rides in the top 16 bits of each frame's stream
+// field. The worker demultiplexes incoming frames by session into one
+// serial op-runner per session, so concurrent jobs execute in parallel on
+// the worker while each job's op order — and therefore its transcript —
+// stays exactly sequential. Re-installing a dataset that is already cached
+// moves zero setup traffic.
 //
 // Lifecycle:
 //
 //	coord, _ := cluster.Listen(s, "127.0.0.1:0")
 //	// workers: cluster.Dial(coord.Addr()) in other processes (or goroutines)
 //	coord.AwaitWorkers(timeout)
-//	coord.InstallShares(locals)          // setup traffic, never charged
+//	coord.InstallDataset(key, locals)    // setup traffic, cached, never charged
 //	net := coord.Network()               // remote-aware accounting fabric
-//	...protocols run against net with coord.MaskShares(locals)...
-//	coord.Close()                        // shuts workers down
+//	sess, _ := net.NewSession()          // one per concurrent job
+//	coord.OpenSession(sess.ID(), key)
+//	...protocol runs against sess.Network with coord.MaskShares(locals)...
+//	coord.CloseSession(sess.ID())
+//	sess.Close()
+//	coord.Close()                        // idempotent; shuts workers down
 package cluster
 
 import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/comm"
@@ -32,8 +47,13 @@ import (
 )
 
 // protocolVersion gates the worker handshake; bump when the op vocabulary
-// changes incompatibly.
-const protocolVersion = 1
+// changes incompatibly. Version 2: dataset-keyed share installation and
+// session binding.
+const protocolVersion = 2
+
+// ErrClosed is returned by coordinator operations after Close. Close
+// itself is idempotent and returns nil on repeated calls.
+var ErrClosed = errors.New("cluster: coordinator is closed")
 
 // Setup tags (never charged — the model assumes data already resides on
 // the servers; everything after setup is real, accounted protocol
@@ -43,16 +63,30 @@ const (
 	tagAssign   = "setup/assign"
 	tagShare    = "setup/share"
 	tagShutdown = "setup/shutdown"
+	tagBind     = "setup/bind"
+	tagEndSess  = "setup/endsession"
+	tagEndAck   = "setup/endack"
 )
 
-// Coordinator owns the listening socket, the worker connections and the
-// remote-aware accounting fabric.
+// Coordinator owns the listening socket, the worker connections, the
+// remote-aware accounting fabric and the record of which datasets the
+// workers already hold.
 type Coordinator struct {
 	s     int
 	ln    net.Listener
 	conns []net.Conn
 	tr    *comm.TCPTransport
 	net   *comm.Network
+
+	// installMu serializes whole dataset installations: interleaved chunk
+	// streams for the same key would corrupt the workers' pending-install
+	// assembly, and a key must only enter the cache once its shipping
+	// fully succeeded.
+	installMu     sync.Mutex
+	mu            sync.Mutex
+	closed        bool
+	installed     map[uint64]bool
+	installFrames int64
 }
 
 // Listen starts a coordinator for s servers (the CP plus s−1 workers to
@@ -65,7 +99,7 @@ func Listen(s int, addr string) (*Coordinator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
 	}
-	return &Coordinator{s: s, ln: ln, conns: make([]net.Conn, s)}, nil
+	return &Coordinator{s: s, ln: ln, conns: make([]net.Conn, s), installed: make(map[uint64]bool)}, nil
 }
 
 // Addr returns the address workers should join.
@@ -75,6 +109,9 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 // server ids 1…s−1 in connection order, then builds the TCP transport and
 // the remote-aware fabric.
 func (c *Coordinator) AwaitWorkers(timeout time.Duration) error {
+	if err := c.live(); err != nil {
+		return err
+	}
 	deadline := time.Now().Add(timeout)
 	for t := 1; t < c.s; t++ {
 		if tcpLn, ok := c.ln.(*net.TCPListener); ok {
@@ -127,6 +164,22 @@ func (c *Coordinator) AwaitWorkers(timeout time.Duration) error {
 // AwaitWorkers).
 func (c *Coordinator) Network() *comm.Network { return c.net }
 
+// live reports ErrClosed once the coordinator has been closed.
+func (c *Coordinator) live() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// send pushes a setup frame to worker t through the transport, so setup
+// traffic serializes with in-flight protocol frames on the connection.
+func (c *Coordinator) send(t int, f *comm.Frame) error {
+	return c.tr.Send(comm.CP, t, comm.EncodeFrame(f))
+}
+
 // installChunkWords bounds the value payload of one share-install frame
 // (8 MiB of values), comfortably under the codec's hard frame cap so a
 // share of any size installs as a sequence of frames instead of one
@@ -134,14 +187,42 @@ func (c *Coordinator) Network() *comm.Network { return c.net }
 // installs with small matrices.
 var installChunkWords = 1 << 20
 
-// InstallShares ships share t to worker t as uncharged setup traffic (the
-// protocol model's premise is that the data already resides on the
-// servers; the install frames exist so the workers can answer ops, not as
-// protocol communication). Shares travel dense, chunked, with a backend
-// marker; CSR shares are rebuilt as CSR on the worker.
+// InstallDataset ships share t of the keyed dataset to worker t as
+// uncharged setup traffic (the protocol model's premise is that the data
+// already resides on the servers; the install frames exist so the workers
+// can answer ops, not as protocol communication). Shares travel dense,
+// chunked, with a backend marker; CSR shares are rebuilt as CSR on the
+// worker. A dataset whose key the workers already hold is a cache hit:
+// the call returns immediately having moved nothing.
+func (c *Coordinator) InstallDataset(key uint64, locals []matrix.Mat) error {
+	return c.installDataset(key, locals, false)
+}
+
+// InstallShares is the single-tenant installation path: the shares land
+// under dataset key 0 — the key unbound sessions default to — and are
+// always re-shipped (no cache), preserving the pre-multi-tenant contract
+// that installing new shares replaces the old ones.
 func (c *Coordinator) InstallShares(locals []matrix.Mat) error {
+	return c.installDataset(0, locals, true)
+}
+
+func (c *Coordinator) installDataset(key uint64, locals []matrix.Mat, force bool) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if c.tr == nil {
+		return errors.New("cluster: AwaitWorkers before installing datasets")
+	}
 	if len(locals) != c.s {
 		return fmt.Errorf("cluster: %d shares for %d servers", len(locals), c.s)
+	}
+	c.installMu.Lock()
+	defer c.installMu.Unlock()
+	c.mu.Lock()
+	hit := c.installed[key] && !force
+	c.mu.Unlock()
+	if hit {
+		return nil
 	}
 	for t := 1; t < c.s; t++ {
 		m := locals[t]
@@ -159,15 +240,99 @@ func (c *Coordinator) InstallShares(locals []matrix.Mat) error {
 			if end > total {
 				end = total
 			}
-			// Chunk header: n, d, backend, offset, total values.
-			words := []uint64{uint64(m.Rows()), uint64(m.Cols()), backend, uint64(off), uint64(total)}
+			// Chunk header: dataset key, n, d, backend, offset, total values.
+			words := []uint64{key, uint64(m.Rows()), uint64(m.Cols()), backend, uint64(off), uint64(total)}
 			words = append(words, vals[off:end]...)
 			f := &comm.Frame{Kind: comm.KindShare, Op: ops.OpInstallShare, From: comm.CP, To: t,
 				Tag: tagShare, Words: words}
-			if err := comm.WriteWireFrame(c.conns[t], comm.EncodeFrame(f)); err != nil {
+			if err := c.send(t, f); err != nil {
 				return fmt.Errorf("cluster: installing share on worker %d: %w", t, err)
 			}
+			c.mu.Lock()
+			c.installFrames++
+			c.mu.Unlock()
 			if end == total {
+				break
+			}
+		}
+	}
+	// Only a fully shipped dataset enters the cache: a failed install must
+	// stay retryable, never become a phantom cache hit.
+	c.mu.Lock()
+	c.installed[key] = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Installed reports whether the keyed dataset is already resident on the
+// workers (an InstallDataset cache hit would move zero traffic).
+func (c *Coordinator) Installed(key uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.installed[key]
+}
+
+// InstallFrames returns the number of share-installation frames shipped so
+// far — the observable a share-cache hit must leave unchanged.
+func (c *Coordinator) InstallFrames() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.installFrames
+}
+
+// OpenSession binds a comm session namespace to an installed dataset on
+// every worker: ops the session issues afterwards execute against that
+// dataset's share. Setup traffic, never charged.
+func (c *Coordinator) OpenSession(sess uint16, key uint64) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if c.tr == nil {
+		return errors.New("cluster: AwaitWorkers before opening sessions")
+	}
+	for t := 1; t < c.s; t++ {
+		f := &comm.Frame{Kind: comm.KindControl, Op: ops.OpBindSession, From: comm.CP, To: t,
+			Stream: uint32(sess) << 16, Tag: tagBind, Words: []uint64{key}}
+		if err := c.send(t, f); err != nil {
+			return fmt.Errorf("cluster: binding session %d on worker %d: %w", sess, t, err)
+		}
+	}
+	return nil
+}
+
+// CloseSession tears down a session binding on every worker and waits for
+// each worker's acknowledgement — which the worker only sends after every
+// earlier op of the session has executed, so once CloseSession returns no
+// stale frame of the session can still be in flight and the comm session
+// id is safe to recycle.
+func (c *Coordinator) CloseSession(sess uint16) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if c.tr == nil {
+		return errors.New("cluster: AwaitWorkers before closing sessions")
+	}
+	stream := uint32(sess) << 16
+	for t := 1; t < c.s; t++ {
+		f := &comm.Frame{Kind: comm.KindControl, Op: ops.OpEndSession, From: comm.CP, To: t,
+			Stream: stream, Tag: tagEndSess, RTag: tagEndAck}
+		if err := c.send(t, f); err != nil {
+			return fmt.Errorf("cluster: ending session %d on worker %d: %w", sess, t, err)
+		}
+	}
+	for t := 1; t < c.s; t++ {
+		// Drain the session's root stream until the ack: an aborted round
+		// may have left stale replies queued ahead of it.
+		for {
+			buf, err := c.tr.Recv(t, comm.CP, stream, nil)
+			if err != nil {
+				return fmt.Errorf("cluster: session %d end ack from worker %d: %w", sess, t, err)
+			}
+			f, err := comm.DecodeFrame(buf)
+			if err != nil {
+				return fmt.Errorf("cluster: session %d end ack from worker %d: %w", sess, t, err)
+			}
+			if f.Tag == tagEndAck {
 				break
 			}
 		}
@@ -184,15 +349,32 @@ func (c *Coordinator) MaskShares(locals []matrix.Mat) []matrix.Mat {
 	return masked
 }
 
-// Close asks every worker to shut down and releases the sockets.
+// Close asks every worker to shut down and releases the sockets. It is
+// idempotent: the second and later calls return nil without touching the
+// (already released) resources. Callers must not close while protocol
+// runs are in flight — the job engine above drains running jobs first.
 func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+
 	var first error
 	for t := 1; t < c.s; t++ {
 		if c.conns[t] == nil {
 			continue
 		}
 		f := &comm.Frame{Kind: comm.KindControl, Op: ops.OpShutdown, From: comm.CP, To: t, Tag: tagShutdown}
-		if err := comm.WriteWireFrame(c.conns[t], comm.EncodeFrame(f)); err != nil && first == nil {
+		var err error
+		if c.tr != nil {
+			err = c.send(t, f)
+		} else {
+			err = comm.WriteWireFrame(c.conns[t], comm.EncodeFrame(f))
+		}
+		if err != nil && first == nil {
 			first = err
 		}
 	}
@@ -229,24 +411,63 @@ func readFrame(conn net.Conn, wantTag string) (*comm.Frame, error) {
 	return f, nil
 }
 
-// workerState is one worker's installed share, in both views the op
-// vocabulary needs, plus the in-progress chunked installation.
-type workerState struct {
-	id  int
-	s   int
+// workerShare is one installed dataset share, in both views the op
+// vocabulary needs.
+type workerShare struct {
 	mat matrix.Mat
 	vec ops.Vec
+}
 
-	pending       *matrix.Dense // share being assembled from install chunks
-	pendingFilled int
-	pendingCSR    bool
+// pendingInstall is a share being assembled from install chunks.
+type pendingInstall struct {
+	dense  *matrix.Dense
+	filled int
+	csr    bool
+}
+
+// workerState is one worker's installed share cache and session bindings,
+// shared between the connection's read loop and the per-session op
+// runners.
+type workerState struct {
+	id   int
+	s    int
+	conn net.Conn
+	wmu  sync.Mutex // serializes reply writes onto the connection
+
+	mu         sync.RWMutex
+	shares     map[uint64]*workerShare
+	pending    map[uint64]*pendingInstall
+	bindings   map[uint16]uint64
+	defaultKey uint64
+	hasDefault bool
+
+	failOnce sync.Once
+	failErr  error
+}
+
+// fail records the first fatal error and tears the connection down so the
+// read loop unblocks; Serve reports the recorded error.
+func (w *workerState) fail(err error) {
+	w.failOnce.Do(func() {
+		w.failErr = err
+		w.conn.Close()
+	})
+}
+
+// sessionRunner executes one session's ops serially, in arrival order, so
+// the session's transcript is exactly what a sequential run produces —
+// while distinct sessions run in parallel.
+type sessionRunner struct {
+	ch   chan *comm.Frame
+	done chan struct{} // closed when the runner exits (end op or teardown)
 }
 
 // Serve runs the worker side of the wire protocol on an established
-// connection: handshake, share installation, then the op-execution loop
-// until OpShutdown or connection loss. It is what cmd/dlra-worker runs in
-// its own process, and what tests and benchmarks run in goroutines over
-// loopback TCP.
+// connection: handshake, then the demultiplexing loop — share
+// installation in-line, every session's ops forwarded to that session's
+// serial runner — until OpShutdown or connection loss. It is what
+// cmd/dlra-worker runs in its own process, and what tests, benchmarks and
+// dlra-serve run in goroutines over loopback TCP.
 func Serve(conn net.Conn) error {
 	defer conn.Close()
 	hello := &comm.Frame{Kind: comm.KindControl, Tag: tagHello, Words: []uint64{protocolVersion}}
@@ -260,33 +481,112 @@ func Serve(conn net.Conn) error {
 	if len(assign.Words) != 2 {
 		return fmt.Errorf("cluster: malformed assignment %v", assign.Words)
 	}
-	w := &workerState{id: int(assign.Words[0]), s: int(assign.Words[1])}
+	w := &workerState{
+		id:       int(assign.Words[0]),
+		s:        int(assign.Words[1]),
+		conn:     conn,
+		shares:   make(map[uint64]*workerShare),
+		pending:  make(map[uint64]*pendingInstall),
+		bindings: make(map[uint16]uint64),
+	}
+
+	runners := make(map[uint16]*sessionRunner)
+	var wg sync.WaitGroup
+	stop := func() {
+		for _, r := range runners {
+			close(r.ch)
+		}
+		wg.Wait()
+	}
 
 	for {
 		buf, err := comm.ReadWireFrame(conn)
 		if err != nil {
+			stop()
+			if w.failErr != nil {
+				return fmt.Errorf("cluster: worker %d: %w", w.id, w.failErr)
+			}
 			return fmt.Errorf("cluster: worker %d read: %w", w.id, err)
 		}
 		f, err := comm.DecodeFrame(buf)
 		if err != nil {
+			stop()
 			return fmt.Errorf("cluster: worker %d decode: %w", w.id, err)
 		}
 		switch {
 		case f.Op == ops.OpShutdown:
+			stop()
 			return nil
 		case f.Op == ops.OpInstallShare:
+			// Installation runs in the read loop: chunks arrive in order
+			// and must be resident before any session binds the dataset.
 			if err := w.install(f); err != nil {
+				stop()
 				return err
 			}
+		default:
+			sess := comm.SessionOf(f.Stream)
+			r, ok := runners[sess]
+			if !ok {
+				r = &sessionRunner{ch: make(chan *comm.Frame, 16), done: make(chan struct{})}
+				runners[sess] = r
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					w.runSession(sess, r)
+				}()
+			}
+			select {
+			case r.ch <- f:
+			case <-r.done:
+				// The runner died on an earlier op (fail closed the
+				// connection); drop the frame — the read loop is about to
+				// observe the teardown.
+			}
+			if f.Op == ops.OpEndSession {
+				// Wait for the runner to drain and acknowledge before
+				// reading on: a recycled session id must never race the
+				// previous tenant's teardown.
+				<-r.done
+				delete(runners, sess)
+			}
+		}
+	}
+}
+
+// runSession is one session's serial op loop.
+func (w *workerState) runSession(sess uint16, r *sessionRunner) {
+	defer close(r.done)
+	for f := range r.ch {
+		switch {
+		case f.Op == ops.OpBindSession:
+			if len(f.Words) != 1 {
+				w.fail(fmt.Errorf("malformed session bind %v", f.Words))
+				return
+			}
+			w.mu.Lock()
+			w.bindings[sess] = f.Words[0]
+			w.mu.Unlock()
+		case f.Op == ops.OpEndSession:
+			w.mu.Lock()
+			delete(w.bindings, sess)
+			w.mu.Unlock()
+			ack := &comm.Frame{Kind: comm.KindControl, From: w.id, To: comm.CP, Stream: f.Stream, Tag: f.RTag}
+			if err := w.reply(ack); err != nil {
+				w.fail(fmt.Errorf("session %d end ack: %w", sess, err))
+			}
+			return
 		case f.RTag != "":
-			kind, payload, err := w.exec(f)
+			kind, payload, err := w.exec(sess, f)
 			if err != nil {
-				return fmt.Errorf("cluster: worker %d op %d (%s): %w", w.id, f.Op, f.Tag, err)
+				w.fail(fmt.Errorf("op %d (%s): %w", f.Op, f.Tag, err))
+				return
 			}
 			reply := &comm.Frame{Kind: kind, From: w.id, To: comm.CP, Stream: f.Stream,
 				Tag: f.RTag, Words: comm.FloatWords(payload)}
-			if err := comm.WriteWireFrame(conn, comm.EncodeFrame(reply)); err != nil {
-				return fmt.Errorf("cluster: worker %d reply: %w", w.id, err)
+			if err := w.reply(reply); err != nil {
+				w.fail(fmt.Errorf("reply: %w", err))
+				return
 			}
 		default:
 			// Broadcast with no reply expected (seed announcements, the
@@ -295,45 +595,79 @@ func Serve(conn net.Conn) error {
 	}
 }
 
-// install accumulates one chunk of a share installation and finalizes
-// the share when the last chunk arrives.
+// reply writes one frame back to the coordinator, serialized against the
+// other session runners.
+func (w *workerState) reply(f *comm.Frame) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return comm.WriteWireFrame(w.conn, comm.EncodeFrame(f))
+}
+
+// install accumulates one chunk of a dataset-keyed share installation and
+// publishes the share into the cache when the last chunk arrives.
 func (w *workerState) install(f *comm.Frame) error {
-	if len(f.Words) < 5 {
+	if len(f.Words) < 6 {
 		return fmt.Errorf("cluster: malformed share frame (%d words)", len(f.Words))
 	}
-	n, d, backend := int(f.Words[0]), int(f.Words[1]), f.Words[2]
-	off, total := int(f.Words[3]), int(f.Words[4])
-	vals := comm.WordFloats(f.Words[5:])
+	key := f.Words[0]
+	n, d, backend := int(f.Words[1]), int(f.Words[2]), f.Words[3]
+	off, total := int(f.Words[4]), int(f.Words[5])
+	vals := comm.WordFloats(f.Words[6:])
 	if n < 0 || d < 0 || total != n*d || off < 0 || off+len(vals) > total {
 		return fmt.Errorf("cluster: share chunk out of bounds (%dx%d, offset %d, %d values)", n, d, off, len(vals))
 	}
+	p := w.pending[key]
 	if off == 0 {
-		w.pending = matrix.NewDense(n, d)
-		w.pendingFilled = 0
-		w.pendingCSR = backend == 1
+		p = &pendingInstall{dense: matrix.NewDense(n, d), csr: backend == 1}
+		w.pending[key] = p
 	}
-	if w.pending == nil || w.pending.Rows() != n || w.pending.Cols() != d || off != w.pendingFilled {
+	if p == nil || p.dense.Rows() != n || p.dense.Cols() != d || off != p.filled {
 		return fmt.Errorf("cluster: share chunk at offset %d does not continue the pending install", off)
 	}
-	copy(w.pending.Data()[off:], vals)
-	w.pendingFilled += len(vals)
-	if w.pendingFilled < total {
+	copy(p.dense.Data()[off:], vals)
+	p.filled += len(vals)
+	if p.filled < total {
 		return nil
 	}
-	w.mat = matrix.Mat(w.pending)
-	if w.pendingCSR {
-		w.mat = matrix.ToCSR(w.pending)
+	mat := matrix.Mat(p.dense)
+	if p.csr {
+		mat = matrix.ToCSR(p.dense)
 	}
-	w.vec = ops.MatVec{M: w.mat}
-	w.pending = nil
+	delete(w.pending, key)
+	w.mu.Lock()
+	w.shares[key] = &workerShare{mat: mat, vec: ops.MatVec{M: mat}}
+	w.defaultKey = key
+	w.hasDefault = true
+	w.mu.Unlock()
 	return nil
 }
 
-// exec runs one protocol op against the installed share. Every branch
+// resolve returns the share a session's ops execute against: the bound
+// dataset, or — for unbound sessions, including the single-tenant session
+// 0 — the most recently installed one.
+func (w *workerState) resolve(sess uint16) (*workerShare, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	key, ok := w.bindings[sess]
+	if !ok {
+		if !w.hasDefault {
+			return nil, errors.New("no share installed")
+		}
+		key = w.defaultKey
+	}
+	sh := w.shares[key]
+	if sh == nil {
+		return nil, fmt.Errorf("session %d bound to uninstalled dataset %#x", sess, key)
+	}
+	return sh, nil
+}
+
+// exec runs one protocol op against the session's share. Every branch
 // calls the same builder the coordinator uses for in-process shares.
-func (w *workerState) exec(f *comm.Frame) (comm.Kind, []float64, error) {
-	if w.mat == nil {
-		return 0, nil, errors.New("no share installed")
+func (w *workerState) exec(sess uint16, f *comm.Frame) (comm.Kind, []float64, error) {
+	sh, err := w.resolve(sess)
+	if err != nil {
+		return 0, nil, err
 	}
 	switch f.Op {
 	case ops.OpFlatSketch:
@@ -341,14 +675,14 @@ func (w *workerState) exec(f *comm.Frame) (comm.Kind, []float64, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		cs := ops.FlatSketch(w.vec, seed, depth, width, 0)
+		cs := ops.FlatSketch(sh.vec, seed, depth, width, 0)
 		return comm.KindSketch, ops.FlattenSketches([]*sketch.CountSketch{cs}), nil
 	case ops.OpBucketSketch:
 		repSeed, buckets, depth, width, filt, err := ops.ParseBucketSketch(f.Words)
 		if err != nil {
 			return 0, nil, err
 		}
-		v := w.vec
+		v := sh.vec
 		if filt != nil {
 			v = ops.Filtered{Base: v, Keep: filt.Keep()}
 		}
@@ -358,13 +692,13 @@ func (w *workerState) exec(f *comm.Frame) (comm.Kind, []float64, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		return comm.KindSketch, hh.BuildLocalDyadic(w.vec, seed, hh.Params{Depth: depth, Width: width}).Flat(), nil
+		return comm.KindSketch, hh.BuildLocalDyadic(sh.vec, seed, hh.Params{Depth: depth, Width: width}).Flat(), nil
 	case ops.OpRow:
 		i, err := ops.ParseIndex(f.Words)
 		if err != nil {
 			return 0, nil, err
 		}
-		row, err := ops.Row(w.mat, int(i))
+		row, err := ops.Row(sh.mat, int(i))
 		if err != nil {
 			return 0, nil, err
 		}
@@ -374,18 +708,18 @@ func (w *workerState) exec(f *comm.Frame) (comm.Kind, []float64, error) {
 		if err != nil {
 			return 0, nil, err
 		}
-		if j >= w.vec.Len() {
+		if j >= sh.vec.Len() {
 			return 0, nil, fmt.Errorf("coordinate %d out of range", j)
 		}
-		return comm.KindValue, []float64{w.vec.At(j)}, nil
+		return comm.KindValue, []float64{sh.vec.At(j)}, nil
 	case ops.OpShareDump:
-		return comm.KindShare, ops.ShareDump(w.mat), nil
+		return comm.KindShare, ops.ShareDump(sh.mat), nil
 	case ops.OpLinearSketch:
 		seed, rows, err := ops.ParseLinearSketch(f.Words)
 		if err != nil {
 			return 0, nil, err
 		}
-		return comm.KindSketch, ops.LinearSketch(w.mat, seed, rows), nil
+		return comm.KindSketch, ops.LinearSketch(sh.mat, seed, rows), nil
 	default:
 		return 0, nil, fmt.Errorf("unknown op %d", f.Op)
 	}

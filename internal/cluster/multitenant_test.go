@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/matrix"
+)
+
+// TestConcurrentSessionsOverTCP interleaves several complete protocol
+// runs, each inside its own comm session bound to its own dataset, on one
+// TCP worker fleet — and demands every session's ledger, transcript and
+// projection be bit-identical to the same protocol run alone on a fresh
+// single-tenant fabric. This is the multi-tenant determinism gate at the
+// cluster layer.
+func TestConcurrentSessionsOverTCP(t *testing.T) {
+	const n, d, s, k = 60, 8, 3, 4
+	seeds := []int64{101, 202, 303, 404}
+
+	// Reference: each protocol run alone over mem.
+	want := make([]runStats, k)
+	datasets := make([][]matrix.Mat, k)
+	for i := 0; i < k; i++ {
+		datasets[i] = buildShares(seeds[i], n, d, s)
+		want[i] = runProtocol(t, comm.NewNetwork(s), datasets[i], seeds[i])
+	}
+
+	coord, err := Listen(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	for i := 1; i < s; i++ {
+		go func() {
+			if err := Dial(coord.Addr(), 5*time.Second); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := coord.AwaitWorkers(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if err := coord.InstallDataset(uint64(i+1), datasets[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := make([]runStats, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		sess, err := coord.Network().NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := coord.OpenSession(sess.ID(), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, sess *comm.Session) {
+			defer wg.Done()
+			got[i] = runProtocol(t, sess.Network, coord.MaskShares(datasets[i]), seeds[i])
+			if err := coord.CloseSession(sess.ID()); err != nil {
+				t.Errorf("closing session: %v", err)
+			}
+			sess.Close()
+		}(i, sess)
+	}
+	wg.Wait()
+
+	for i := 0; i < k; i++ {
+		if want[i].words != got[i].words || want[i].bytes != got[i].bytes {
+			t.Fatalf("job %d totals drifted under tenancy: alone %d/%d, shared %d/%d",
+				i, want[i].words, want[i].bytes, got[i].words, got[i].bytes)
+		}
+		if !reflect.DeepEqual(want[i].byTag, got[i].byTag) {
+			t.Fatalf("job %d per-tag words drifted:\nalone  %v\nshared %v", i, want[i].byTag, got[i].byTag)
+		}
+		if !reflect.DeepEqual(want[i].trace, got[i].trace) {
+			t.Fatalf("job %d transcript drifted under tenancy", i)
+		}
+		if !want[i].project.Equalf(got[i].project, 0) {
+			t.Fatalf("job %d projection drifted under tenancy", i)
+		}
+	}
+}
+
+// TestShareCacheSkipsReinstall: re-installing an already-resident dataset
+// must ship zero installation frames; a genuinely new dataset must ship
+// some.
+func TestShareCacheSkipsReinstall(t *testing.T) {
+	const n, d, s = 30, 5, 3
+	a := buildShares(1, n, d, s)
+	b := buildShares(2, n, d, s)
+
+	coord := startTCP(t, a) // startTCP uses the legacy InstallShares path (key 0)
+	defer coord.Close()
+
+	base := coord.InstallFrames()
+	if base == 0 {
+		t.Fatal("installation shipped no frames")
+	}
+	if err := coord.InstallDataset(7, a); err != nil {
+		t.Fatal(err)
+	}
+	afterNew := coord.InstallFrames()
+	if afterNew <= base {
+		t.Fatal("new dataset key shipped no frames")
+	}
+	if err := coord.InstallDataset(7, a); err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.InstallFrames(); got != afterNew {
+		t.Fatalf("cache hit shipped %d frames", got-afterNew)
+	}
+	if !coord.Installed(7) || coord.Installed(8) {
+		t.Fatal("Installed() disagrees with the cache")
+	}
+	if err := coord.InstallDataset(8, b); err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.InstallFrames(); got <= afterNew {
+		t.Fatal("second dataset shipped no frames")
+	}
+}
+
+// TestCoordinatorCloseIdempotent: a second Close must be a nil no-op, and
+// coordinator operations after Close must report ErrClosed instead of
+// panicking — the PR 4 close-semantics regression gate.
+func TestCoordinatorCloseIdempotent(t *testing.T) {
+	locals := buildShares(3, 20, 4, 3)
+	coord := startTCP(t, locals)
+	if err := coord.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatalf("second close not idempotent: %v", err)
+	}
+	if err := coord.InstallDataset(1, locals); !errors.Is(err, ErrClosed) {
+		t.Fatalf("install after close: %v, want ErrClosed", err)
+	}
+	if err := coord.OpenSession(1, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("open session after close: %v, want ErrClosed", err)
+	}
+	if err := coord.CloseSession(1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("close session after close: %v, want ErrClosed", err)
+	}
+
+	// A coordinator that never completed AwaitWorkers must also close
+	// cleanly, twice.
+	c2, err := Listen(3, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatalf("unawaited close: %v", err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatalf("unawaited second close: %v", err)
+	}
+}

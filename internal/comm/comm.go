@@ -55,10 +55,21 @@ type Network struct {
 
 	tr     Transport
 	remote []bool // remote[t]: server t is hosted by a worker process
-	// stream is this ledger's id on the shared transport (0 for the root
-	// fabric; forks allocate fresh ids from streamSeq).
+	// session is the tenancy namespace this ledger belongs to: its id is
+	// folded into the top 16 bits of every stream id the ledger stamps on
+	// frames, so concurrent sessions interleave on shared links without
+	// consuming each other's frames. The root fabric is session 0.
+	session uint16
+	// stream is this ledger's id on the shared transport (session<<16 for
+	// a session's root ledger; forks allocate fresh ids from streamSeq
+	// within the session's namespace).
 	stream    uint32
 	streamSeq *uint32
+
+	// Session-id allocation state, meaningful on the root fabric only.
+	sessMu   sync.Mutex
+	sessNext uint16
+	sessFree []uint16
 
 	// abort, non-nil while RunServers is active, is closed when a server
 	// role panics so peers blocked on a link receive fail fast.
@@ -469,15 +480,37 @@ func (n *Network) resetTallies() {
 	n.log = nil
 }
 
-// Reset zeroes every counter and per-tag/per-link tally, drops the trace
-// log, clears a failed-round poison marker, and drains any frames still
-// queued in the transport — so a traced fabric reused across sweep cells
-// starts each cell with bounded memory and a clean wire.
-func (n *Network) Reset() {
+// ResetLedger zeroes the counters, per-tag/per-link tallies, trace log
+// and failure poison without touching the transport — safe while other
+// tenants (or this fabric's own in-flight rounds) still have frames
+// queued.
+func (n *Network) ResetLedger() {
 	n.mu.Lock()
 	n.resetTallies()
 	n.failed = nil
 	n.mu.Unlock()
+}
+
+// Reset zeroes every counter and per-tag/per-link tally, drops the trace
+// log, clears a failed-round poison marker, and drains queued frames — so
+// a traced fabric reused across sweep cells starts each cell with bounded
+// memory and a clean wire. On the root fabric the whole transport is
+// drained (single-occupancy semantics; never call this with live
+// sessions); on a session only the session's own streams are discarded,
+// so concurrent tenants are untouched.
+func (n *Network) Reset() {
+	n.ResetLedger()
+	if n.session != 0 {
+		if d, ok := n.tr.(sessionDiscarder); ok {
+			d.discardSession(n.session)
+		}
+		return
+	}
+	// A root reset implies single occupancy (the transport drain below
+	// would destroy live tenants' frames anyway), so the fork-stream
+	// counter can recycle too — a fabric reused across unbounded sweep
+	// cells never exhausts its 16-bit fork namespace.
+	atomic.StoreUint32(n.streamSeq, 0)
 	type resettable interface{ reset() }
 	if r, ok := n.tr.(resettable); ok {
 		r.reset()
@@ -491,7 +524,16 @@ func (n *Network) Snapshot() int64 { return n.Words() }
 // Since returns the words transferred since the given snapshot.
 func (n *Network) Since(snap int64) int64 { return n.Words() - snap }
 
-// nextStream allocates a fresh ledger id on the shared transport.
+// nextStream allocates a fresh ledger id on the shared transport, inside
+// this ledger's session namespace: the session id occupies the top 16
+// bits, the per-session sequence the bottom 16.
 func (n *Network) nextStream() uint32 {
-	return atomic.AddUint32(n.streamSeq, 1)
+	seq := atomic.AddUint32(n.streamSeq, 1)
+	if seq > 0xFFFF {
+		panic(fmt.Sprintf("comm: session %d exhausted its 65535 fork streams", n.session))
+	}
+	return uint32(n.session)<<16 | seq
 }
+
+// SessionOf extracts the session namespace from a frame stream id.
+func SessionOf(stream uint32) uint16 { return uint16(stream >> 16) }

@@ -387,6 +387,7 @@ func (n *Network) Fork() *Network {
 		servers:   n.servers,
 		tr:        n.tr,
 		remote:    n.remote,
+		session:   n.session,
 		stream:    n.nextStream(),
 		streamSeq: n.streamSeq,
 		trace:     true,

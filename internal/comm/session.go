@@ -1,0 +1,99 @@
+package comm
+
+// This file is the multi-tenancy layer of the fabric. A Session is a
+// namespaced view of one shared Network: it owns a private word/byte
+// ledger, trace log and failure poison, and every frame it puts on the
+// wire carries the session id in the top 16 bits of the stream field, so
+// N concurrent protocol runs interleave on the same mem or TCP links
+// without consuming each other's frames or corrupting each other's
+// accounting. The pre-session single-occupancy behavior is exactly
+// session 0 — the root Network's own ledger.
+//
+// Determinism: a session's accounting is committed by its own receivers
+// in its own drain order (see runtime.go), and no session ever observes
+// another session's frames. A job's per-session transcript is therefore
+// bit-identical whether the job ran alone or interleaved with any number
+// of concurrent tenants.
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSessionsExhausted is returned by NewSession when all 65535 session
+// ids are simultaneously live.
+var ErrSessionsExhausted = errors.New("comm: all 65535 session ids are live")
+
+// sessionDiscarder is implemented by transports that can drop the queued
+// frames of one session namespace without touching other tenants.
+type sessionDiscarder interface{ discardSession(id uint16) }
+
+// Session is a namespaced view of the fabric: a private ledger sharing
+// the root Network's transport and server roster. Protocol code runs
+// against the embedded Network exactly as it would against the root;
+// Fork/Join sub-ledgers stay inside the session's stream namespace.
+type Session struct {
+	*Network
+	parent *Network
+	closed bool
+}
+
+// NewSession opens a fresh tenancy namespace on the fabric. Only the root
+// Network (session 0) can mint sessions; ids are recycled after Close.
+func (n *Network) NewSession() (*Session, error) {
+	if n.session != 0 {
+		return nil, errors.New("comm: sessions do not nest (mint from the root fabric)")
+	}
+	n.sessMu.Lock()
+	var id uint16
+	if k := len(n.sessFree); k > 0 {
+		id = n.sessFree[k-1]
+		n.sessFree = n.sessFree[:k-1]
+	} else {
+		if n.sessNext == 0xFFFF {
+			n.sessMu.Unlock()
+			return nil, ErrSessionsExhausted
+		}
+		n.sessNext++
+		id = n.sessNext
+	}
+	n.sessMu.Unlock()
+
+	s := &Session{
+		Network: &Network{
+			servers:   n.servers,
+			tr:        n.tr,
+			remote:    n.remote,
+			session:   id,
+			stream:    uint32(id) << 16,
+			streamSeq: new(uint32),
+		},
+		parent: n,
+	}
+	s.Network.resetTallies()
+	return s, nil
+}
+
+// ID returns the session's namespace id (1…65535; 0 is the root fabric).
+func (s *Session) ID() uint16 { return s.Network.session }
+
+// Close discards any frames still queued under the session's streams and
+// returns the id to the root fabric for reuse. Idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if d, ok := s.Network.tr.(sessionDiscarder); ok {
+		d.discardSession(s.Network.session)
+	}
+	p := s.parent
+	p.sessMu.Lock()
+	p.sessFree = append(p.sessFree, s.Network.session)
+	p.sessMu.Unlock()
+}
+
+// String identifies the session in logs and errors.
+func (s *Session) String() string {
+	return fmt.Sprintf("comm.Session(%d)", s.Network.session)
+}

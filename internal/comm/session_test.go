@@ -1,0 +1,156 @@
+package comm
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// driveSession runs a small fixed protocol (a payload round plus a forked
+// gather) against the given ledger and returns its per-tag words.
+func driveSession(t *testing.T, n *Network, scale int) map[string]int64 {
+	t.Helper()
+	payload := make([]float64, 4*scale)
+	for i := range payload {
+		payload[i] = float64(i + scale)
+	}
+	err := n.RunRound(Round{
+		Op:       1,
+		Data:     payload,
+		Kind:     KindFloats,
+		ReqTag:   "sess/req",
+		RespTag:  "sess/resp",
+		RespKind: KindFloats,
+		Local: func(srv int) ([]float64, error) {
+			return []float64{float64(srv) * payload[0]}, nil
+		},
+		OnResp: func(srv int, got []float64) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := n.Fork()
+	f.GatherFloats("sess/gather", func(srv int) []float64 {
+		return []float64{float64(srv), float64(scale)}
+	})
+	n.Join(f)
+	return n.Breakdown()
+}
+
+// TestSessionIsolation interleaves many sessions on one shared in-memory
+// fabric and demands each session's ledger be bit-identical to the same
+// protocol run alone on a fresh fabric — the multi-tenancy contract.
+func TestSessionIsolation(t *testing.T) {
+	const s, k = 4, 8
+	root := NewNetwork(s)
+
+	// Reference ledgers: each scale run alone.
+	want := make([]map[string]int64, k)
+	for i := 0; i < k; i++ {
+		want[i] = driveSession(t, NewNetwork(s), i+1)
+	}
+
+	got := make([]map[string]int64, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		sess, err := root.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, sess *Session) {
+			defer wg.Done()
+			defer sess.Close()
+			got[i] = driveSession(t, sess.Network, i+1)
+		}(i, sess)
+	}
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("session %d ledger drifted under concurrency:\nalone    %v\nshared   %v", i, want[i], got[i])
+		}
+	}
+	if w := root.Words(); w != 0 {
+		t.Fatalf("root ledger charged %d words by tenant traffic", w)
+	}
+}
+
+// TestSessionIDRecycling closes sessions and expects their ids to be
+// reused, with leftover queued frames discarded at Close.
+func TestSessionIDRecycling(t *testing.T) {
+	root := NewNetwork(3)
+	a, err := root.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := a.ID()
+	if id == 0 {
+		t.Fatal("session got the root id 0")
+	}
+	// Leave a stray frame queued under the session's stream, then close.
+	a.PostFloats(1, CP, "stray", []float64{1, 2, 3})
+	a.Close()
+	a.Close() // idempotent
+
+	b, err := root.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.ID() != id {
+		t.Fatalf("closed id %d not recycled (got %d)", id, b.ID())
+	}
+	// The recycled session must not see the stray frame: a fresh receive
+	// with a cancel that fires immediately must abort, not deliver.
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := b.Transport().Recv(1, CP, b.Network.stream, cancel); err == nil {
+		t.Fatal("stale frame survived session close into a recycled id")
+	}
+}
+
+// TestSessionStreamNamespace checks the stream-id folding: every fork of a
+// session allocates inside the session's 16-bit namespace.
+func TestSessionStreamNamespace(t *testing.T) {
+	root := NewNetwork(2)
+	sess, err := root.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if got := SessionOf(sess.Network.stream); got != sess.ID() {
+		t.Fatalf("session root stream in namespace %d, want %d", got, sess.ID())
+	}
+	for i := 0; i < 10; i++ {
+		f := sess.Fork()
+		if got := SessionOf(f.stream); got != sess.ID() {
+			t.Fatalf("fork stream %#x escaped session namespace %d", f.stream, sess.ID())
+		}
+	}
+	f := root.Fork()
+	if got := SessionOf(f.stream); got != 0 {
+		t.Fatalf("root fork stream %#x left namespace 0", f.stream)
+	}
+}
+
+// TestSessionReset clears only the session's own tallies and queued
+// frames, leaving other tenants untouched.
+func TestSessionReset(t *testing.T) {
+	root := NewNetwork(3)
+	a, _ := root.NewSession()
+	b, _ := root.NewSession()
+	defer a.Close()
+	defer b.Close()
+
+	a.SendFloats(1, CP, "a/x", []float64{1, 2})
+	b.PostFloats(1, CP, "b/x", []float64{3, 4, 5})
+	a.Network.Reset()
+	if a.Words() != 0 {
+		t.Fatal("session reset kept tallies")
+	}
+	// b's queued frame must still be deliverable after a's reset.
+	got := b.RecvFloats(1, CP, "b/x")
+	if len(got) != 3 || got[0] != 3 {
+		t.Fatalf("tenant b lost its frame to tenant a's reset: %v", got)
+	}
+}

@@ -3,9 +3,10 @@ package comm
 // TCP transport: the coordinator's side of a cluster that genuinely spans
 // OS processes. Each non-CP server is a worker process reached over one
 // TCP connection; frames travel length-prefixed, and a per-connection
-// reader demultiplexes worker replies by stream id so concurrently forked
-// protocol phases can interleave on one physical link without stealing
-// each other's frames.
+// reader demultiplexes worker replies by stream id (into the same
+// frameQueue the in-memory transport uses) so concurrent sessions and
+// forked protocol phases can interleave on one physical link without
+// stealing each other's frames.
 //
 // The worker side of the wire protocol (handshake, share installation and
 // the op-execution loop) lives in internal/cluster; this file only moves
@@ -55,24 +56,14 @@ func ReadWireFrame(r io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
-// tcpQueueKey addresses one (sender, stream) reply queue.
-type tcpQueueKey struct {
-	from   int
-	stream uint32
-}
-
 // TCPTransport is the coordinator-side transport: conns[t] carries frames
 // to and from the worker hosting server t (nil for locally hosted
-// servers, including the CP itself).
+// servers, including the CP itself). Worker frames always flow toward the
+// CP, so inbound queues are keyed (worker, CP, stream).
 type TCPTransport struct {
 	conns []net.Conn
 	wmu   []sync.Mutex
-
-	mu     sync.Mutex
-	queues map[tcpQueueKey][][]byte
-	notify chan struct{}
-	err    error
-	closed bool
+	q     *frameQueue
 }
 
 // NewTCPTransport wraps established worker connections (index = server
@@ -80,10 +71,9 @@ type TCPTransport struct {
 // connection.
 func NewTCPTransport(conns []net.Conn) *TCPTransport {
 	t := &TCPTransport{
-		conns:  conns,
-		wmu:    make([]sync.Mutex, len(conns)),
-		queues: make(map[tcpQueueKey][][]byte),
-		notify: make(chan struct{}),
+		conns: conns,
+		wmu:   make([]sync.Mutex, len(conns)),
+		q:     newFrameQueue(),
 	}
 	for id, c := range conns {
 		if c != nil {
@@ -97,25 +87,16 @@ func (t *TCPTransport) readLoop(from int, c net.Conn) {
 	for {
 		buf, err := ReadWireFrame(c)
 		if err != nil {
-			t.mu.Lock()
-			if t.err == nil && !t.closed {
-				t.err = fmt.Errorf("comm: worker %d link: %w", from, err)
-			}
-			close(t.notify)
-			t.notify = make(chan struct{})
-			t.mu.Unlock()
+			t.q.fail(fmt.Errorf("comm: worker %d link: %w", from, err))
 			return
 		}
 		stream, err := frameStream(buf)
 		if err != nil {
 			stream = 0
 		}
-		t.mu.Lock()
-		key := tcpQueueKey{from: from, stream: stream}
-		t.queues[key] = append(t.queues[key], buf)
-		close(t.notify)
-		t.notify = make(chan struct{})
-		t.mu.Unlock()
+		if err := t.q.push(queueKey{from: from, to: CP, stream: stream}, buf); err != nil {
+			return // transport closed underneath the reader
+		}
 	}
 }
 
@@ -134,49 +115,12 @@ func (t *TCPTransport) Send(from, to int, frame []byte) error {
 // Recv implements Transport: the next frame sent by worker `from` on the
 // given stream.
 func (t *TCPTransport) Recv(from, to int, stream uint32, cancel <-chan struct{}) ([]byte, error) {
-	key := tcpQueueKey{from: from, stream: stream}
-	for {
-		t.mu.Lock()
-		if q := t.queues[key]; len(q) > 0 {
-			buf := q[0]
-			if len(q) == 1 {
-				delete(t.queues, key)
-			} else {
-				t.queues[key] = q[1:]
-			}
-			t.mu.Unlock()
-			return buf, nil
-		}
-		if t.err != nil {
-			err := t.err
-			t.mu.Unlock()
-			return nil, err
-		}
-		if t.closed {
-			t.mu.Unlock()
-			return nil, fmt.Errorf("comm: transport closed")
-		}
-		ch := t.notify
-		t.mu.Unlock()
-		if cancel == nil {
-			<-ch
-			continue
-		}
-		select {
-		case <-ch:
-		case <-cancel:
-			return nil, fmt.Errorf("%w: link %d→%d", ErrRecvAborted, from, to)
-		}
-	}
+	return t.q.wait(queueKey{from: from, to: to, stream: stream}, cancel)
 }
 
 // Close implements Transport.
 func (t *TCPTransport) Close() error {
-	t.mu.Lock()
-	t.closed = true
-	close(t.notify)
-	t.notify = make(chan struct{})
-	t.mu.Unlock()
+	t.q.close()
 	var first error
 	for _, c := range t.conns {
 		if c != nil {
@@ -190,8 +134,7 @@ func (t *TCPTransport) Close() error {
 
 // reset drops queued frames between protocol runs on a persistent
 // cluster (there should be none after a clean run).
-func (t *TCPTransport) reset() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.queues = make(map[tcpQueueKey][][]byte)
-}
+func (t *TCPTransport) reset() { t.q.reset() }
+
+// discardSession implements sessionDiscarder.
+func (t *TCPTransport) discardSession(id uint16) { t.q.discardSession(id) }

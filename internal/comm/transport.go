@@ -21,73 +21,173 @@ var ErrRecvAborted = errors.New("comm: receive aborted")
 type Transport interface {
 	// Send enqueues an encoded frame on the from→to link.
 	Send(from, to int, frame []byte) error
-	// Recv blocks for the next frame on the from→to link. Transports that
-	// multiplex concurrent ledgers over one physical link (TCP) filter by
-	// stream id; the in-process transport delivers in link FIFO order and
-	// ignores the stream. A firing cancel channel aborts with
+	// Recv blocks for the next frame on the from→to link carrying the
+	// given stream id — the multi-tenancy demultiplex point: concurrent
+	// sessions' frames interleave on one physical link and each receiver
+	// only ever sees its own stream. A firing cancel channel aborts with
 	// ErrRecvAborted.
 	Recv(from, to int, stream uint32, cancel <-chan struct{}) ([]byte, error)
 	// Close releases the transport's resources.
 	Close() error
 }
 
-// memLinkBuf is the per-link channel capacity of the in-process transport.
-// Star protocol phases put at most a handful of frames in flight per link
-// before the CP drains them; the buffer only needs to decouple sender
-// completion from receiver progress, not to hold a whole protocol.
-const memLinkBuf = 64
+// queueKey addresses one (from, to, stream) frame queue.
+type queueKey struct {
+	from, to int
+	stream   uint32
+}
 
-// MemTransport carries frames over typed in-process channel links — the
-// PR 1 runtime's channels, now moving encoded bytes instead of Go values.
+// frameQueue is the demultiplexing store both transports share: frames
+// keyed by (link, stream), receivers woken by a broadcast notify channel.
+// Keeping one implementation is what keeps the mem and TCP transports'
+// multi-tenancy semantics identical.
+type frameQueue struct {
+	mu     sync.Mutex
+	queues map[queueKey][][]byte
+	notify chan struct{}
+	err    error
+	closed bool
+}
+
+func newFrameQueue() *frameQueue {
+	return &frameQueue{queues: make(map[queueKey][][]byte), notify: make(chan struct{})}
+}
+
+// wake rebroadcasts the notify channel; callers hold q.mu.
+func (q *frameQueue) wake() {
+	close(q.notify)
+	q.notify = make(chan struct{})
+}
+
+// push appends a frame to its queue. Pushing to a closed queue drops the
+// frame with an error.
+func (q *frameQueue) push(key queueKey, frame []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("comm: transport closed")
+	}
+	q.queues[key] = append(q.queues[key], frame)
+	q.wake()
+	return nil
+}
+
+// fail poisons the queue (a link died): receivers drain what is already
+// queued, then observe the error. The first failure wins; failures after
+// close are ignored.
+func (q *frameQueue) fail(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err == nil && !q.closed {
+		q.err = err
+	}
+	q.wake()
+}
+
+// wait blocks for the next frame under key, honoring queued-before-error
+// delivery and the cancel channel.
+func (q *frameQueue) wait(key queueKey, cancel <-chan struct{}) ([]byte, error) {
+	for {
+		q.mu.Lock()
+		if buf := q.queues[key]; len(buf) > 0 {
+			head := buf[0]
+			if len(buf) == 1 {
+				delete(q.queues, key)
+			} else {
+				q.queues[key] = buf[1:]
+			}
+			q.mu.Unlock()
+			return head, nil
+		}
+		if q.err != nil {
+			err := q.err
+			q.mu.Unlock()
+			return nil, err
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, fmt.Errorf("comm: transport closed")
+		}
+		ch := q.notify
+		q.mu.Unlock()
+		if cancel == nil {
+			<-ch
+			continue
+		}
+		select {
+		case <-ch:
+		case <-cancel:
+			return nil, fmt.Errorf("%w: link %d→%d", ErrRecvAborted, key.from, key.to)
+		}
+	}
+}
+
+// close marks the queue closed and wakes every waiter.
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		q.wake()
+	}
+}
+
+// reset drops every queued frame (single-occupancy fabric reuse).
+func (q *frameQueue) reset() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.queues = make(map[queueKey][][]byte)
+}
+
+// discardSession drops the queued frames of one session namespace,
+// leaving other tenants' queues untouched (see Session.Close).
+func (q *frameQueue) discardSession(id uint16) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for key := range q.queues {
+		if SessionOf(key.stream) == id {
+			delete(q.queues, key)
+		}
+	}
+}
+
+// MemTransport carries frames over in-process per-(link, stream) queues —
+// the PR 1 runtime's channels, now moving encoded bytes and demultiplexing
+// by stream id exactly as the TCP transport does (the two share the
+// frameQueue implementation), so mem and TCP clusters have identical
+// multi-tenancy semantics.
 type MemTransport struct {
-	mu    sync.Mutex
-	links map[[2]int]chan []byte
+	q *frameQueue
 }
 
 // NewMemTransport creates an empty in-process transport.
 func NewMemTransport() *MemTransport {
-	return &MemTransport{links: make(map[[2]int]chan []byte)}
+	return &MemTransport{q: newFrameQueue()}
 }
 
-func (m *MemTransport) link(from, to int) chan []byte {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	key := [2]int{from, to}
-	ch, ok := m.links[key]
-	if !ok {
-		ch = make(chan []byte, memLinkBuf)
-		m.links[key] = ch
-	}
-	return ch
-}
-
-// Send implements Transport.
+// Send implements Transport: the frame is queued under its own stream id.
 func (m *MemTransport) Send(from, to int, frame []byte) error {
-	m.link(from, to) <- frame
-	return nil
+	stream, err := frameStream(frame)
+	if err != nil {
+		return fmt.Errorf("comm: mem send on link %d→%d: %w", from, to, err)
+	}
+	return m.q.push(queueKey{from: from, to: to, stream: stream}, frame)
 }
 
 // Recv implements Transport.
 func (m *MemTransport) Recv(from, to int, stream uint32, cancel <-chan struct{}) ([]byte, error) {
-	ch := m.link(from, to)
-	if cancel == nil {
-		return <-ch, nil
-	}
-	select {
-	case f := <-ch:
-		return f, nil
-	case <-cancel:
-		return nil, fmt.Errorf("%w: link %d→%d", ErrRecvAborted, from, to)
-	}
+	return m.q.wait(queueKey{from: from, to: to, stream: stream}, cancel)
 }
 
 // Close implements Transport.
-func (m *MemTransport) Close() error { return nil }
+func (m *MemTransport) Close() error {
+	m.q.close()
+	return nil
+}
 
 // reset drops every queued frame so a reused fabric starts clean (sweep
 // cells reuse one fabric in multi-process mode; see Network.Reset).
-func (m *MemTransport) reset() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.links = make(map[[2]int]chan []byte)
-}
+func (m *MemTransport) reset() { m.q.reset() }
+
+// discardSession implements sessionDiscarder.
+func (m *MemTransport) discardSession(id uint16) { m.q.discardSession(id) }

@@ -43,12 +43,21 @@ const (
 	// OpLinearSketch: apply the shared Gaussian embedding S (t×n) to the
 	// local share and send the t×d product. Params: seed, sketchRows.
 	OpLinearSketch
-	// OpInstallShare: setup — install the share a worker will serve.
-	// Payload: n, d, then n·d row-major values. Never charged: the
+	// OpInstallShare: setup — install a share a worker will serve, keyed
+	// by dataset. Payload: dataset key, n, d, backend, chunk offset, total
+	// values, then the chunk's row-major values. Never charged: the
 	// protocol model assumes the data already resides on the servers.
 	OpInstallShare
 	// OpShutdown: setup — the worker exits its serve loop.
 	OpShutdown
+	// OpBindSession: setup — bind the frame's session namespace to the
+	// dataset whose key is the single payload word; subsequent ops on the
+	// session execute against that dataset's installed share.
+	OpBindSession
+	// OpEndSession: setup — tear down the frame's session binding. The
+	// worker acknowledges after every earlier op of the session has
+	// executed, so the coordinator can recycle the session id safely.
+	OpEndSession
 )
 
 // Vec is a server's local share of a distributed vector v = Σ_t v^t.

@@ -1,0 +1,452 @@
+package repro
+
+// Job-engine tests: the multi-tenant determinism contract (concurrent
+// Submits bit-identical to sequential runs, over both transports), share
+// caching, admission control, cancellation, and the Close regression
+// gates.
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+)
+
+// jobShares builds a deterministic additive split for s servers.
+func jobShares(seed int64, n, d, s int) []*Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	M := lowRankMatrix(rng, n, d, 3, 0.2)
+	return splitMatrix(M, s, rng)
+}
+
+// tcpCluster brings up a TCP cluster with in-goroutine workers.
+func tcpCluster(t *testing.T, s int) *Cluster {
+	t.Helper()
+	c, err := ListenCluster(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < s; i++ {
+		go func() {
+			if err := JoinWorker(c.Addr(), 5*time.Second); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := c.AwaitWorkers(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// jobFingerprint is the per-job observable the determinism gate compares:
+// the complete per-job ledger plus the protocol outcome.
+type jobFingerprint struct {
+	words int64
+	bytes int64
+	tags  map[string]int64
+	rows  []int
+	proj  *Matrix
+}
+
+func fingerprintResult(res *Result) jobFingerprint {
+	return jobFingerprint{
+		words: res.Words, bytes: res.Bytes, tags: res.Breakdown,
+		rows: res.SampledRows, proj: res.Projection,
+	}
+}
+
+// runJobs submits k jobs (all with the same Options — seeds derive from
+// the job ids) on a cluster whose engine runs conc jobs concurrently, and
+// returns the per-job fingerprints in job order.
+func runJobs(t *testing.T, c *Cluster, k, conc int) []jobFingerprint {
+	t.Helper()
+	if err := c.ConfigureEngine(EngineConfig{MaxConcurrent: conc}); err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]*Job, k)
+	for i := range jobs {
+		j, err := c.Submit(Identity(), Options{K: 3, Rows: 20, Seed: 4242})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	out := make([]jobFingerprint, k)
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", j.ID(), err)
+		}
+		if res.JobID != j.ID() {
+			t.Fatalf("result job id %d, want %d", res.JobID, j.ID())
+		}
+		out[i] = fingerprintResult(res)
+	}
+	return out
+}
+
+// TestConcurrentSubmitsMatchSequentialMem: K parallel jobs on one
+// in-process cluster must produce per-job transcripts (words, bytes,
+// tags), sampled rows and projections bit-identical to the same (seed,
+// jobID)s run one at a time.
+func TestConcurrentSubmitsMatchSequentialMem(t *testing.T) {
+	const s, k = 3, 6
+	shares := jobShares(11, 90, 8, s)
+
+	seq, err := NewCluster(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seq.Close()
+	if err := seq.SetLocalData(shares); err != nil {
+		t.Fatal(err)
+	}
+	want := runJobs(t, seq, k, 1)
+
+	par, err := NewCluster(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	if err := par.SetLocalData(shares); err != nil {
+		t.Fatal(err)
+	}
+	got := runJobs(t, par, k, k)
+
+	compareFingerprints(t, want, got)
+}
+
+// TestConcurrentSubmitsMatchSequentialTCP is the same gate over a real
+// TCP worker fleet: concurrent sessions interleave on the worker
+// connections, yet every per-job ledger must match its sequential twin.
+func TestConcurrentSubmitsMatchSequentialTCP(t *testing.T) {
+	const s, k = 3, 5
+	shares := jobShares(12, 70, 8, s)
+
+	seq := tcpCluster(t, s)
+	defer seq.Close()
+	if err := seq.SetLocalData(shares); err != nil {
+		t.Fatal(err)
+	}
+	want := runJobs(t, seq, k, 1)
+
+	par := tcpCluster(t, s)
+	defer par.Close()
+	if err := par.SetLocalData(shares); err != nil {
+		t.Fatal(err)
+	}
+	got := runJobs(t, par, k, k)
+
+	compareFingerprints(t, want, got)
+}
+
+func compareFingerprints(t *testing.T, want, got []jobFingerprint) {
+	t.Helper()
+	for i := range want {
+		if want[i].words != got[i].words || want[i].bytes != got[i].bytes {
+			t.Fatalf("job %d ledger drifted: sequential %d words/%d bytes, concurrent %d/%d",
+				i+1, want[i].words, want[i].bytes, got[i].words, got[i].bytes)
+		}
+		if !reflect.DeepEqual(want[i].tags, got[i].tags) {
+			t.Fatalf("job %d per-tag words drifted:\nsequential %v\nconcurrent %v", i+1, want[i].tags, got[i].tags)
+		}
+		if !reflect.DeepEqual(want[i].rows, got[i].rows) {
+			t.Fatalf("job %d sampled rows drifted", i+1)
+		}
+		if !want[i].proj.Equalf(got[i].proj, 0) {
+			t.Fatalf("job %d projection drifted", i+1)
+		}
+	}
+}
+
+// TestJobsSeeIndependentSeeds: jobs submitted with identical Options must
+// still draw independently (their seeds derive from the job ids).
+func TestJobsSeeIndependentSeeds(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(13, 80, 6, 2)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Submit(Identity(), Options{K: 2, Rows: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Submit(Identity(), Options{K: 2, Rows: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ra.SampledRows, rb.SampledRows) {
+		t.Fatal("two jobs with the same Options drew identical rows — per-job seed derivation is broken")
+	}
+}
+
+// TestShareCacheZeroTrafficOnRepeatedInstall: re-installing the same data
+// on a TCP cluster must move zero share-installation traffic, and a
+// repeated query against the cached dataset must still run.
+func TestShareCacheZeroTrafficOnRepeatedInstall(t *testing.T) {
+	const s = 3
+	shares := jobShares(14, 40, 6, s)
+	c := tcpCluster(t, s)
+	defer c.Close()
+
+	if err := c.SetLocalData(shares); err != nil {
+		t.Fatal(err)
+	}
+	frames := c.coord.InstallFrames()
+	if frames == 0 {
+		t.Fatal("first install moved no frames")
+	}
+	// Same content again — by auto id (SetLocalData) and by explicit id.
+	if err := c.SetLocalData(shares); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.coord.InstallFrames(); got != frames {
+		t.Fatalf("repeated SetLocalData moved %d install frames, want 0", got-frames)
+	}
+	res, err := c.PCA(Identity(), Options{K: 2, Rows: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Words <= 0 {
+		t.Fatal("query against cached dataset charged nothing")
+	}
+	if got := c.coord.InstallFrames(); got != frames {
+		t.Fatalf("query re-installed shares: %d extra frames", got-frames)
+	}
+}
+
+// TestNamedDatasets: two datasets installed side by side, jobs routed by
+// Options.Dataset, listings report both.
+func TestNamedDatasets(t *testing.T) {
+	const s = 2
+	c, err := NewCluster(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a := jobShares(15, 60, 6, s)
+	b := jobShares(16, 50, 5, s)
+	if err := c.InstallDataset("alpha", matrix.AsMats(a)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.InstallDataset("beta", matrix.AsMats(b)); err != nil {
+		t.Fatal(err)
+	}
+	infos := c.Datasets()
+	if len(infos) != 2 || infos[0].ID != "alpha" || infos[1].ID != "beta" || !infos[1].Active {
+		t.Fatalf("dataset listing wrong: %+v", infos)
+	}
+	ja, err := c.Submit(Identity(), Options{K: 2, Rows: 10, Dataset: "alpha"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := ja.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Projection.Rows() != 6 {
+		t.Fatalf("alpha job ran on the wrong dataset: projection %dx%d", ra.Projection.Rows(), ra.Projection.Cols())
+	}
+	jb, err := c.Submit(Identity(), Options{K: 2, Rows: 10}) // active = beta
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := jb.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Projection.Rows() != 5 {
+		t.Fatalf("active-dataset job ran on the wrong dataset: projection %dx%d", rb.Projection.Rows(), rb.Projection.Cols())
+	}
+	if _, err := c.Submit(Identity(), Options{K: 2, Dataset: "gamma"}); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+	if err := c.InstallDataset("alpha", matrix.AsMats(b)); !errors.Is(err, ErrDatasetConflict) {
+		t.Fatalf("conflicting reinstall: %v", err)
+	}
+}
+
+// TestAdmissionControl: a full queue rejects with ErrJobQueueFull instead
+// of blocking, and queued jobs can be canceled.
+func TestAdmissionControl(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(17, 120, 10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConfigureEngine(EngineConfig{MaxConcurrent: 1, QueueDepth: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: 1 running (eventually) + 2 queued; more must bounce.
+	// Submit enough that regardless of runner progress the queue fills.
+	var jobs []*Job
+	var rejected bool
+	for i := 0; i < 20 && !rejected; i++ {
+		j, err := c.Submit(Identity(), Options{K: 4, Rows: 200, Boost: 3})
+		switch {
+		case err == nil:
+			jobs = append(jobs, j)
+		case errors.Is(err, ErrJobQueueFull):
+			rejected = true
+		default:
+			t.Fatal(err)
+		}
+	}
+	if !rejected {
+		t.Fatal("queue never filled — admission control missing")
+	}
+	// Cancel a still-queued job (the last accepted one is the most likely
+	// to still be queued; tolerate it having started).
+	last := jobs[len(jobs)-1]
+	if last.Cancel() {
+		if _, err := last.Wait(); !errors.Is(err, ErrJobCanceled) {
+			t.Fatalf("canceled job returned %v, want ErrJobCanceled", err)
+		}
+		if last.State() != JobCanceled {
+			t.Fatalf("canceled job in state %v", last.State())
+		}
+	}
+	for _, j := range jobs[:len(jobs)-1] {
+		if _, err := j.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := jobs[len(jobs)-1].Wait(); err != nil && !errors.Is(err, ErrJobCanceled) {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterCloseRegression is the PR 4 close-semantics gate: double
+// Close is a nil no-op on both cluster kinds, operations after Close
+// report ErrClosed, and closing with jobs in flight drains them instead
+// of panicking or leaking.
+func TestClusterCloseRegression(t *testing.T) {
+	// In-process: close while jobs are queued and running.
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetLocalData(jobShares(18, 100, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConfigureEngine(EngineConfig{MaxConcurrent: 1, QueueDepth: 8}); err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := c.Submit(Identity(), Options{K: 3, Rows: 120, Boost: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close with jobs in flight: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	for _, j := range jobs {
+		if _, err := j.Wait(); err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("in-flight job after close: %v", err)
+		}
+	}
+	if _, err := c.Submit(Identity(), Options{K: 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if _, err := c.PCA(Identity(), Options{K: 2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PCA after close: %v, want ErrClosed", err)
+	}
+	if err := c.SetLocalData(jobShares(19, 10, 4, 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SetLocalData after close: %v, want ErrClosed", err)
+	}
+
+	// TCP: close while a job runs, then double close.
+	tc := tcpCluster(t, 3)
+	if err := tc.SetLocalData(jobShares(20, 80, 8, 3)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := tc.Submit(Identity(), Options{K: 3, Rows: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := j.Wait(); err != nil && !errors.Is(err, ErrClosed) {
+			t.Errorf("job interrupted by close: %v", err)
+		}
+	}()
+	if err := tc.Close(); err != nil {
+		t.Fatalf("tcp close with running job: %v", err)
+	}
+	if err := tc.Close(); err != nil {
+		t.Fatalf("tcp second close: %v", err)
+	}
+	wg.Wait()
+}
+
+// TestEngineConfigAfterStart: reconfiguring a started engine is refused.
+func TestEngineConfigAfterStart(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(21, 40, 5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PCA(Identity(), Options{K: 2, Rows: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ConfigureEngine(EngineConfig{MaxConcurrent: 8}); err == nil {
+		t.Fatal("ConfigureEngine after first job succeeded")
+	}
+}
+
+// TestClusterWordsAggregatesJobs: the cluster-wide ledger must cover
+// finished jobs' session traffic.
+func TestClusterWordsAggregatesJobs(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(22, 60, 6, 2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.PCA(Identity(), Options{K: 2, Rows: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Words(); got != res.Words {
+		t.Fatalf("cluster words %d, job words %d", got, res.Words)
+	}
+	if len(c.Breakdown()) == 0 {
+		t.Fatal("cluster breakdown empty after a job")
+	}
+	c.ResetCommunication()
+	if got := c.Words(); got != 0 {
+		t.Fatalf("reset left %d words", got)
+	}
+}

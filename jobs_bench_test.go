@@ -1,0 +1,104 @@
+package repro
+
+// Job-engine throughput benchmarks: one fixed batch of PCA queries pushed
+// through the multi-tenant engine at different concurrency levels, over
+// both transports. Each op is the whole batch, and jobs/sec is the
+// paper-facing number BENCH_pr4.json records:
+//
+//	ns/op     — wall time for the full batch
+//	jobs/sec  — batch size / wall time
+//	words/job — per-job communication (identical at every concurrency by
+//	            the session determinism contract)
+//
+// Note the benchmark host: on a single-CPU container (this repo's CI) the
+// protocol is CPU-bound, so concurrency buys overlap only where one job
+// blocks (TCP round-trips), not raw parallel compute — see README's
+// "parallelism on this host" note. Regenerate with: make bench-json
+//
+//	BENCH_JSON=BENCH_pr4.json make bench-json
+
+import (
+	"testing"
+	"time"
+)
+
+// jobBatch is the fixed number of queries per benchmark op.
+const jobBatch = 16
+
+// benchJobsBatch pushes one batch through the engine and reports
+// throughput metrics.
+func benchJobsBatch(b *testing.B, c *Cluster, conc int) {
+	b.Helper()
+	if err := c.ConfigureEngine(EngineConfig{MaxConcurrent: conc, QueueDepth: jobBatch}); err != nil {
+		b.Fatal(err)
+	}
+	var words int64
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs := make([]*Job, jobBatch)
+		for j := range jobs {
+			job, err := c.Submit(Identity(), Options{K: 3, Rows: 24, Seed: 17})
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs[j] = job
+		}
+		for _, job := range jobs {
+			res, err := job.Wait()
+			if err != nil {
+				b.Fatal(err)
+			}
+			words = res.Words
+		}
+	}
+	b.StopTimer()
+	elapsed := time.Since(start)
+	total := float64(b.N * jobBatch)
+	b.ReportMetric(total/elapsed.Seconds(), "jobs/sec")
+	b.ReportMetric(float64(words), "words/job")
+}
+
+func benchJobsMem(b *testing.B, conc int) {
+	const n, d, s = 96, 12, 3
+	c, err := NewCluster(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(benchShares(n, d, s, 5)); err != nil {
+		b.Fatal(err)
+	}
+	benchJobsBatch(b, c, conc)
+}
+
+func benchJobsTCP(b *testing.B, conc int) {
+	const n, d, s = 96, 12, 3
+	c, err := ListenCluster(s, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for i := 1; i < s; i++ {
+		go func() {
+			if err := JoinWorker(c.Addr(), 5*time.Second); err != nil {
+				b.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := c.AwaitWorkers(10 * time.Second); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SetLocalData(benchShares(n, d, s, 5)); err != nil {
+		b.Fatal(err)
+	}
+	benchJobsBatch(b, c, conc)
+}
+
+func BenchmarkJobsThroughputMem1(b *testing.B)  { benchJobsMem(b, 1) }
+func BenchmarkJobsThroughputMem4(b *testing.B)  { benchJobsMem(b, 4) }
+func BenchmarkJobsThroughputMem16(b *testing.B) { benchJobsMem(b, 16) }
+
+func BenchmarkJobsThroughputTCP1(b *testing.B)  { benchJobsTCP(b, 1) }
+func BenchmarkJobsThroughputTCP4(b *testing.B)  { benchJobsTCP(b, 4) }
+func BenchmarkJobsThroughputTCP16(b *testing.B) { benchJobsTCP(b, 16) }

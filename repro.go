@@ -29,6 +29,9 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -52,11 +55,23 @@ var (
 	ErrInvalidWorkers = errors.New("repro: Options.Workers must not be negative")
 	// ErrShapeMismatch: per-server shares with inconsistent shapes.
 	ErrShapeMismatch = errors.New("repro: share shapes do not match")
-	// ErrNoData: PCA before SetLocalData.
+	// ErrNoData: PCA or Submit before any dataset was installed.
 	ErrNoData = errors.New("repro: SetLocalData before running a protocol")
 	// ErrTCPBackend: per-run backend conversion on a TCP cluster (the
 	// shares were already installed on the workers; convert first).
 	ErrTCPBackend = errors.New("repro: storage backend is fixed at share installation on TCP clusters")
+	// ErrClosed: any operation on a cluster after Close (Close itself is
+	// idempotent and returns nil on repeated calls).
+	ErrClosed = errors.New("repro: cluster is closed")
+	// ErrJobQueueFull: Submit when the admission queue is at capacity.
+	ErrJobQueueFull = errors.New("repro: job queue is full")
+	// ErrJobCanceled: Wait on a job removed from the queue by Cancel.
+	ErrJobCanceled = errors.New("repro: job canceled")
+	// ErrUnknownDataset: Options.Dataset names a dataset never installed.
+	ErrUnknownDataset = errors.New("repro: unknown dataset")
+	// ErrDatasetConflict: InstallDataset with an id already bound to
+	// different data.
+	ErrDatasetConflict = errors.New("repro: dataset id already installed with different data")
 )
 
 // Matrix is the dense matrix type used throughout the public API.
@@ -168,6 +183,9 @@ const (
 
 // Options configures a PCA run.
 type Options struct {
+	// Dataset selects the installed dataset the job runs against (empty =
+	// the active dataset, i.e. the most recently installed or selected).
+	Dataset string
 	// K is the target rank (required).
 	K int
 	// Eps is the additive error parameter ε (default 0.1).
@@ -195,6 +213,8 @@ type Options struct {
 
 // Result is the outcome of a distributed PCA.
 type Result struct {
+	// JobID identifies the job that produced the result (0 for none).
+	JobID uint64
 	// Projection is the d×d rank-k projection matrix P; AP approximates A.
 	Projection *Matrix
 	// Basis is the d×k orthonormal basis of the projected subspace.
@@ -218,14 +238,56 @@ type Result struct {
 // cluster (ListenCluster) hosts only the CP here and drives one worker
 // process per remaining server — same protocols, same transcripts, real
 // wire.
+//
+// A Cluster is safe for concurrent use: many jobs may run at once, each
+// inside its own comm session on the shared fabric, against any of the
+// installed datasets (see Submit). The blocking PCA is a thin wrapper
+// over the same engine.
 type Cluster struct {
-	net    *comm.Network
+	net *comm.Network
+	// coord is non-nil for TCP clusters; worker shares there are
+	// reachable exclusively through the fabric.
+	coord *cluster.Coordinator
+	eng   *engine
+
+	// installMu serializes dataset installations end to end (registry
+	// check through share shipping); mu guards the fast-changing state.
+	installMu sync.Mutex
+	mu        sync.Mutex
+	closed    bool
+	datasets  map[string]*datasetEntry
+	order     []string // dataset insertion order, for listings
+	active    string
+	nextJobID uint64
+	// Finished-job traffic accumulated into the cluster-wide totals (the
+	// root fabric's own ledger only sees session-0 traffic).
+	jobWords int64
+	jobBytes int64
+	jobTags  map[string]int64
+}
+
+// datasetEntry is one installed dataset: the full shares (for in-process
+// protocol access and ImplicitMatrix), the coordinator-side masked view
+// for TCP clusters, and the wire key the workers cache it under.
+type datasetEntry struct {
+	id     string
+	key    uint64
+	fp     uint64
 	locals []Mat
-	// coord is non-nil for TCP clusters; masked is the protocol-visible
-	// view of the shares there (CP's own share only — worker shares are
-	// reachable exclusively through the fabric).
-	coord  *cluster.Coordinator
 	masked []Mat
+	rows   int
+	cols   int
+}
+
+// DatasetInfo describes one installed dataset.
+type DatasetInfo struct {
+	// ID is the dataset's registry id (explicit, or "auto-…" content ids
+	// minted by SetLocalData/SetLocalMats).
+	ID string
+	// Rows and Cols are the shape every share has.
+	Rows, Cols int
+	// Active reports whether jobs with Options.Dataset == "" run here.
+	Active bool
 }
 
 // NewCluster creates an in-process cluster of s servers (server 0 is the
@@ -234,7 +296,9 @@ func NewCluster(s int) (*Cluster, error) {
 	if s < 1 {
 		return nil, fmt.Errorf("%w (got %d)", ErrInvalidServers, s)
 	}
-	return &Cluster{net: comm.NewNetwork(s)}, nil
+	c := &Cluster{net: comm.NewNetwork(s), datasets: make(map[string]*datasetEntry), jobTags: make(map[string]int64)}
+	c.eng = newEngine(c)
+	return c, nil
 }
 
 // ListenCluster starts the coordinator of a multi-process cluster: it
@@ -249,7 +313,9 @@ func ListenCluster(s int, addr string) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{coord: coord}, nil
+	c := &Cluster{coord: coord, datasets: make(map[string]*datasetEntry), jobTags: make(map[string]int64)}
+	c.eng = newEngine(c)
+	return c, nil
 }
 
 // Addr returns the address workers should join (TCP clusters only).
@@ -273,9 +339,19 @@ func (c *Cluster) AwaitWorkers(timeout time.Duration) error {
 	return nil
 }
 
-// Close shuts down a TCP cluster's workers and sockets (no-op for
-// in-process clusters).
+// Close stops the job engine — failing still-queued jobs with ErrClosed
+// and waiting for running jobs to drain — then shuts down a TCP cluster's
+// workers and sockets. Close is idempotent: repeated calls return nil.
+// Every other cluster operation after Close reports ErrClosed.
 func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.eng.shutdown()
 	if c.coord == nil {
 		return nil
 	}
@@ -305,69 +381,269 @@ func (c *Cluster) SetLocalData(locals []*Matrix) error {
 }
 
 // SetLocalMats installs each server's local matrix A^t in any backend
-// (dense, CSR, or a mix). All shares must have identical shape. On a TCP
-// cluster (after AwaitWorkers) each worker receives its share as setup
-// traffic; the protocols afterwards reach it only through the fabric.
+// (dense, CSR, or a mix) under an automatic content-derived dataset id,
+// and makes that dataset the active one. All shares must have identical
+// shape. On a TCP cluster (after AwaitWorkers) each worker receives its
+// share as setup traffic — unless the same data is already resident in
+// the workers' share cache, in which case zero installation traffic
+// moves. The protocols afterwards reach worker shares only through the
+// fabric.
 func (c *Cluster) SetLocalMats(locals []Mat) error {
+	fp, err := c.validateShares(locals)
+	if err != nil {
+		return err
+	}
+	return c.installDataset(fmt.Sprintf("auto-%016x", fp), fp, locals)
+}
+
+// InstallDataset registers the shares under an explicit dataset id and
+// makes it the active dataset. Installing an id that is already resident
+// with the same data is a cache hit — no setup traffic moves; the same id
+// with different data is ErrDatasetConflict.
+func (c *Cluster) InstallDataset(id string, locals []Mat) error {
+	if id == "" {
+		return errors.New("repro: dataset id must not be empty")
+	}
+	fp, err := c.validateShares(locals)
+	if err != nil {
+		return err
+	}
+	return c.installDataset(id, fp, locals)
+}
+
+// validateShares checks the share roster and returns its content
+// fingerprint.
+func (c *Cluster) validateShares(locals []Mat) (uint64, error) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, ErrClosed
+	}
 	if c.net == nil {
-		return errors.New("repro: AwaitWorkers before installing data on a TCP cluster")
+		return 0, errors.New("repro: AwaitWorkers before installing data on a TCP cluster")
 	}
 	if len(locals) != c.net.Servers() {
-		return fmt.Errorf("repro: %d shares for %d servers", len(locals), c.net.Servers())
+		return 0, fmt.Errorf("repro: %d shares for %d servers", len(locals), c.net.Servers())
 	}
 	if locals[0] == nil {
-		return fmt.Errorf("%w: the CP share is nil", ErrShapeMismatch)
+		return 0, fmt.Errorf("%w: the CP share is nil", ErrShapeMismatch)
 	}
 	n, d := locals[0].Rows(), locals[0].Cols()
 	for t, m := range locals {
 		if m == nil {
-			return fmt.Errorf("%w: server %d share is nil", ErrShapeMismatch, t)
+			return 0, fmt.Errorf("%w: server %d share is nil", ErrShapeMismatch, t)
 		}
 		mn, md := m.Rows(), m.Cols()
 		if mn != n || md != d {
-			return fmt.Errorf("%w: server %d share is %dx%d, want %dx%d", ErrShapeMismatch, t, mn, md, n, d)
+			return 0, fmt.Errorf("%w: server %d share is %dx%d, want %dx%d", ErrShapeMismatch, t, mn, md, n, d)
 		}
 	}
-	c.locals = locals
+	return fingerprintMats(locals), nil
+}
+
+func (c *Cluster) installDataset(id string, fp uint64, locals []Mat) error {
+	// installMu serializes whole installations: two concurrent installs of
+	// the same id must resolve to one registration (or one conflict), not
+	// a duplicated registry entry.
+	c.installMu.Lock()
+	defer c.installMu.Unlock()
+	c.mu.Lock()
+	if prev, ok := c.datasets[id]; ok {
+		if prev.fp != fp {
+			c.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrDatasetConflict, id)
+		}
+		c.active = id // cache hit: just select it
+		c.mu.Unlock()
+		return nil
+	}
+	c.mu.Unlock()
+
+	entry := &datasetEntry{
+		id: id, key: datasetKey(id), fp: fp,
+		locals: locals,
+		rows:   locals[0].Rows(), cols: locals[0].Cols(),
+	}
 	if c.coord != nil {
-		if err := c.coord.InstallShares(locals); err != nil {
+		if err := c.coord.InstallDataset(entry.key, locals); err != nil {
 			return err
 		}
-		c.masked = c.coord.MaskShares(locals)
+		entry.masked = c.coord.MaskShares(locals)
 	}
+	c.mu.Lock()
+	c.datasets[id] = entry
+	c.order = append(c.order, id)
+	c.active = id
+	c.mu.Unlock()
 	return nil
 }
 
-// Words returns the total communication consumed so far.
+// UseDataset selects the installed dataset jobs run against when
+// Options.Dataset is empty.
+func (c *Cluster) UseDataset(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if _, ok := c.datasets[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDataset, id)
+	}
+	c.active = id
+	return nil
+}
+
+// Datasets lists the installed datasets in installation order.
+func (c *Cluster) Datasets() []DatasetInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(c.order))
+	for _, id := range c.order {
+		e := c.datasets[id]
+		out = append(out, DatasetInfo{ID: id, Rows: e.rows, Cols: e.cols, Active: id == c.active})
+	}
+	return out
+}
+
+// datasetKey maps a dataset id to the non-zero wire key the workers cache
+// it under (key 0 is the legacy single-tenant slot).
+func datasetKey(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	k := h.Sum64()
+	if k == 0 {
+		k = 0x9E3779B97F4A7C15
+	}
+	return k
+}
+
+// fingerprintMats hashes the logical content of a share roster — shape
+// plus the backend-invariant nonzero stream — so two installs of the same
+// data are recognized as one dataset regardless of storage backend.
+func fingerprintMats(locals []Mat) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	word(uint64(len(locals)))
+	for _, m := range locals {
+		n, d := m.Rows(), m.Cols()
+		word(uint64(n))
+		word(uint64(d))
+		for i := 0; i < n; i++ {
+			m.RowNNZ(i, func(j int, v float64) {
+				word(uint64(i))
+				word(uint64(j))
+				word(math.Float64bits(v))
+			})
+		}
+	}
+	return h.Sum64()
+}
+
+// Words returns the total communication consumed so far: the root
+// fabric's ledger plus every finished job's session ledger.
 func (c *Cluster) Words() int64 {
 	if c.net == nil {
 		return 0
 	}
-	return c.net.Words()
+	c.mu.Lock()
+	jw := c.jobWords
+	c.mu.Unlock()
+	return c.net.Words() + jw
 }
 
-// Breakdown returns communication per protocol phase.
+// Breakdown returns communication per protocol phase, aggregated across
+// the root fabric and every finished job.
 func (c *Cluster) Breakdown() map[string]int64 {
 	if c.net == nil {
 		return nil
 	}
-	return c.net.Breakdown()
+	out := c.net.Breakdown()
+	c.mu.Lock()
+	for tag, w := range c.jobTags {
+		out[tag] += w
+	}
+	c.mu.Unlock()
+	return out
 }
 
-// ResetCommunication zeroes the communication counters (and drops any
-// queued frames and failure poison on the fabric).
+// ResetCommunication zeroes the communication counters — the root
+// fabric's ledger and the accumulated finished-job tallies. Queued frames
+// and failure poison on the fabric are only drained when no jobs are in
+// flight: a full transport drain under live sessions would destroy their
+// undelivered frames and hang them.
 func (c *Cluster) ResetCommunication() {
 	if c.net != nil {
-		c.net.Reset()
+		// The idle check and the transport drain happen under the engine
+		// lock, so no job can be admitted between them and lose its
+		// queued frames to the drain.
+		if !c.eng.ifIdle(c.net.Reset) {
+			c.net.ResetLedger()
+		}
 	}
+	c.mu.Lock()
+	c.jobWords, c.jobBytes = 0, 0
+	c.jobTags = make(map[string]int64)
+	c.mu.Unlock()
 }
 
 // PCA runs the distributed additive-error PCA protocol (Algorithm 1 with
-// the appropriate sampler) over the implicit matrix f(Σ_t A^t).
+// the appropriate sampler) over the implicit matrix f(Σ_t A^t). It is a
+// blocking thin wrapper over the job engine — the job runs in its own
+// comm session like any Submit job — that uses Options.Seed as the
+// protocol seed directly (Submit derives per-job seeds instead), so
+// results are reproducible from Options alone. At queue capacity PCA
+// waits for space rather than rejecting.
 func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
-	if c.locals == nil {
-		return nil, ErrNoData
+	j, err := c.prepare(f, opts, false)
+	if err != nil {
+		return nil, err
 	}
+	if err := c.eng.submit(j, true); err != nil {
+		return nil, err
+	}
+	return j.Wait()
+}
+
+// Submit enqueues a PCA query on the job engine and returns immediately.
+// The job runs concurrently with other jobs — each inside its own comm
+// session on the shared fabric — against the dataset named by
+// Options.Dataset (empty = the active dataset). Its protocol seed is
+// derived from (Options.Seed, job id), so a job's result and per-job
+// communication transcript are reproducible from those two numbers alone,
+// no matter how many tenants ran beside it. When the admission queue is
+// at capacity Submit returns ErrJobQueueFull.
+func (c *Cluster) Submit(f Func, opts Options) (*Job, error) {
+	j, err := c.prepare(f, opts, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.eng.submit(j, false); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// ConfigureEngine bounds the job engine (runner pool size and admission
+// queue depth). Valid only before the first job is submitted.
+func (c *Cluster) ConfigureEngine(cfg EngineConfig) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	return c.eng.configure(cfg)
+}
+
+// prepare validates a query and builds its Job record.
+func (c *Cluster) prepare(f Func, opts Options, deriveSeed bool) (*Job, error) {
 	if opts.K < 1 {
 		return nil, fmt.Errorf("%w (got %d)", ErrInvalidRank, opts.K)
 	}
@@ -377,27 +653,103 @@ func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
 	if opts.Eps <= 0 {
 		opts.Eps = 0.1
 	}
+	if c.coord != nil && opts.Backend != BackendAuto {
+		return nil, ErrTCPBackend
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.net == nil {
+		return nil, errors.New("repro: AwaitWorkers before submitting jobs on a TCP cluster")
+	}
+	id := opts.Dataset
+	if id == "" {
+		id = c.active
+	}
+	if id == "" {
+		return nil, ErrNoData
+	}
+	ds, ok := c.datasets[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, id)
+	}
+	c.nextJobID++
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 0x5EED
 	}
+	if deriveSeed {
+		seed = jobSeed(seed, c.nextJobID)
+	}
+	return &Job{
+		id:      c.nextJobID,
+		cluster: c,
+		f:       f,
+		opts:    opts,
+		seed:    seed,
+		ds:      ds,
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// runJob executes one job on a runner goroutine and publishes its
+// outcome.
+func (c *Cluster) runJob(j *Job) {
+	j.setRunning()
+	res, err := c.execute(j)
+	j.finish(res, err, JobDone)
+}
+
+// execute runs the job's protocol inside a fresh comm session bound to
+// its dataset, folding the session's ledger into the cluster totals —
+// whether the job succeeded or failed, the words it moved were moved.
+func (c *Cluster) execute(j *Job) (*Result, error) {
+	sess, err := c.net.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	defer func() {
+		c.mu.Lock()
+		c.jobWords += sess.Words()
+		c.jobBytes += sess.Bytes()
+		for tag, w := range sess.Breakdown() {
+			c.jobTags[tag] += w
+		}
+		c.mu.Unlock()
+	}()
 	var locals []Mat
 	if c.coord != nil {
-		if opts.Backend != BackendAuto {
-			return nil, ErrTCPBackend
+		if err := c.coord.OpenSession(sess.ID(), j.ds.key); err != nil {
+			return nil, err
 		}
-		locals = c.masked
+		defer c.coord.CloseSession(sess.ID())
+		locals = j.ds.masked
 	} else {
-		locals = opts.Backend.Apply(c.locals)
+		locals = j.opts.Backend.Apply(j.ds.locals)
 	}
+	res, err := runPCA(sess.Network, locals, j.f, j.opts, j.seed)
+	if err != nil {
+		return nil, err
+	}
+	res.JobID = j.id
+	return res, nil
+}
+
+// runPCA drives the protocol pipeline (sampler construction, Algorithm 1,
+// result assembly) against the given ledger — the single implementation
+// behind both PCA and Submit.
+func runPCA(net *comm.Network, locals []Mat, f Func, opts Options, seed int64) (*Result, error) {
 	n, d := locals[0].Rows(), locals[0].Cols()
-	start := c.net.Snapshot()
-	bytesStart := c.net.Bytes()
-	tagStart := c.net.Breakdown()
+	start := net.Snapshot()
+	bytesStart := net.Bytes()
+	tagStart := net.Breakdown()
 
 	var sampler core.RowSampler
 	if f.z == nil {
-		u, err := samplers.NewUniform(c.net, locals, seed)
+		u, err := samplers.NewUniform(net, locals, seed)
 		if err != nil {
 			return nil, err
 		}
@@ -413,15 +765,15 @@ func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
 		if budget <= 0 {
 			budget = int64(n * d)
 		}
-		p := zsampler.ParamsForBudget(budget, c.net.Servers(), n*d, seed)
+		p := zsampler.ParamsForBudget(budget, net.Servers(), n*d, seed)
 		p.Workers = opts.Workers
-		zr, err := samplers.NewZRow(c.net, locals, f.z, p)
+		zr, err := samplers.NewZRow(net, locals, f.z, p)
 		if err != nil {
 			return nil, err
 		}
 		sampler = zr
 	}
-	res, err := core.Run(c.net, sampler, f.f, d, core.Options{
+	res, err := core.Run(net, sampler, f.f, d, core.Options{
 		K: opts.K, Eps: opts.Eps, R: opts.Rows, Boost: opts.Boost,
 	})
 	if err != nil {
@@ -434,9 +786,9 @@ func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
 		// Words covers the whole protocol from this call's start, including
 		// the sampler's sketching phase (which runs before Algorithm 1's
 		// row collection).
-		Words:     c.net.Since(start),
-		Bytes:     c.net.Bytes() - bytesStart,
-		Breakdown: breakdownDelta(c.net.Breakdown(), tagStart),
+		Words:     net.Since(start),
+		Bytes:     net.Bytes() - bytesStart,
+		Breakdown: breakdownDelta(net.Breakdown(), tagStart),
 	}, nil
 }
 
@@ -453,14 +805,18 @@ func breakdownDelta(now, start map[string]int64) map[string]int64 {
 	return out
 }
 
-// ImplicitMatrix materializes f(Σ_t A^t) centrally — useful for validation
-// and small-scale ground truth, and deliberately *not* part of the
-// protocol (it is exactly the thing the protocol avoids).
+// ImplicitMatrix materializes f(Σ_t A^t) of the active dataset centrally —
+// useful for validation and small-scale ground truth, and deliberately
+// *not* part of the protocol (it is exactly the thing the protocol
+// avoids).
 func (c *Cluster) ImplicitMatrix(f Func) (*Matrix, error) {
-	if c.locals == nil {
+	c.mu.Lock()
+	ds := c.datasets[c.active]
+	c.mu.Unlock()
+	if ds == nil {
 		return nil, errors.New("repro: SetLocalData before ImplicitMatrix")
 	}
-	return matrix.SumMats(c.locals).Apply(f.f.Apply), nil
+	return matrix.SumMats(ds.locals).Apply(f.f.Apply), nil
 }
 
 // ProjectionError2 returns ‖A − AP‖_F² via the matrix Pythagorean theorem.
