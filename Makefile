@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet short ci smoke-tcp smoke-serve
+.PHONY: all build test race bench bench-json fmt vet short ci smoke-tcp smoke-serve api api-check
 
 all: build
 
@@ -25,16 +25,18 @@ bench:
 
 # Perf trajectory snapshot: the seq-vs-parallel sweep benchmarks, the
 # dense-vs-CSR storage backend benchmarks, the mem-vs-TCP-loopback
-# transport benchmarks (ns/op, B/op, wire_bytes) and the job-engine
+# transport benchmarks (ns/op, B/op, wire_bytes), the job-engine
 # throughput benchmarks (jobs/sec at 1/4/16 concurrent sessions, both
-# transports), rendered as JSON records (op, iterations, ns/op, B/op,
-# custom metrics) for machine comparison across PRs.
+# transports) and the mid-run cancellation-latency benchmarks (cancel-ns:
+# Cancel landing on a running job → engine idle again, mem vs TCP),
+# rendered as JSON records (op, iterations, ns/op, B/op, custom metrics)
+# for machine comparison across PRs.
 # Staged through temp files so a failing bench run (or an empty
 # measurement set, which dlra-benchjson rejects) fails the target without
 # truncating an existing BENCH_JSON snapshot.
-BENCH_JSON ?= BENCH_pr4.json
+BENCH_JSON ?= BENCH_pr5.json
 bench-json:
-	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput' \
+	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput|CancelLatency' \
 		-benchmem -benchtime=3x . > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
 	$(GO) run ./cmd/dlra-benchjson < $(BENCH_JSON).txt > $(BENCH_JSON).tmp || \
 		{ rm -f $(BENCH_JSON).txt $(BENCH_JSON).tmp; exit 1; }
@@ -79,8 +81,19 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Regenerate the committed public-API report (API.txt): one sorted line
+# per exported declaration of the root package.
+api:
+	$(GO) run ./cmd/dlra-apireport > API.txt
+
+# apidiff-style gate: fail when the public API drifted from the committed
+# report, so every surface change is an explicit, reviewable API.txt hunk.
+api-check:
+	@$(GO) run ./cmd/dlra-apireport | diff -u API.txt - \
+		|| { echo "public API drifted from API.txt — review the diff and run 'make api'"; exit 1; }
+
 # Developer loop: the suite with the long-running cases skipped (~10s).
 short:
 	$(GO) test -short ./...
 
-ci: fmt vet build test race bench
+ci: fmt vet api-check build test race bench

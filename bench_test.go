@@ -17,6 +17,7 @@ package repro
 //	go run ./cmd/dlra-experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -51,7 +52,7 @@ func benchPanel(b *testing.B, name string, ratio float64) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = 2016 + int64(i)
-		panel, err := experiments.RunPanel(cfg)
+		panel, err := experiments.RunPanel(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func benchPanelSweep(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = 2016 + int64(i)
-		if _, err := experiments.RunPanel(cfg); err != nil {
+		if _, err := experiments.RunPanel(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -125,7 +126,7 @@ func benchZEstimatorWorkers(b *testing.B, workers int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net := comm.NewNetwork(1)
-		if _, err := zsampler.BuildEstimator(net, locals, fn.Identity{}, p); err != nil {
+		if _, err := zsampler.BuildEstimator(context.Background(), net, locals, fn.Identity{}, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -149,7 +150,7 @@ func BenchmarkAblationGamma(b *testing.B) {
 				net := comm.NewNetwork(1)
 				s := &noisyExactSampler{A: A, gamma: gamma, rng: rand.New(rand.NewSource(int64(i)))}
 				s.init()
-				res, err := core.Run(net, s, fn.Identity{}, 16, core.Options{K: 4, R: 200})
+				res, err := core.Run(context.Background(), net, s, fn.Identity{}, 16, core.Options{K: 4, R: 200})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -172,7 +173,7 @@ func BenchmarkAblationBoost(b *testing.B) {
 				net := comm.NewNetwork(1)
 				s := &noisyExactSampler{A: A, rng: rand.New(rand.NewSource(int64(i)))}
 				s.init()
-				res, err := core.Run(net, s, fn.Identity{}, 12, core.Options{K: 3, R: 30, Boost: boost})
+				res, err := core.Run(context.Background(), net, s, fn.Identity{}, 12, core.Options{K: 3, R: 30, Boost: boost})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -195,7 +196,7 @@ func BenchmarkAblationSampleCount(b *testing.B) {
 				net := comm.NewNetwork(1)
 				s := &noisyExactSampler{A: A, rng: rand.New(rand.NewSource(int64(i)))}
 				s.init()
-				res, err := core.Run(net, s, fn.Identity{}, 16, core.Options{K: 4, R: r})
+				res, err := core.Run(context.Background(), net, s, fn.Identity{}, 16, core.Options{K: 4, R: r})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -302,7 +303,7 @@ func BenchmarkDenseVsCSRCollectRow(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			net := comm.NewNetwork(s)
 			for i := 0; i < b.N; i++ {
-				if _, err := samplers.CollectRawRow(net, tc.locals, i%n, "bench/rows"); err != nil {
+				if _, err := samplers.CollectRawRow(context.Background(), net, tc.locals, i%n, "bench/rows"); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -359,7 +360,7 @@ func BenchmarkZEstimatorBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net := comm.NewNetwork(1)
-		if _, err := zsampler.BuildEstimator(net, locals, fn.Identity{}, p); err != nil {
+		if _, err := zsampler.BuildEstimator(context.Background(), net, locals, fn.Identity{}, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -415,7 +416,7 @@ func (s *noisyExactSampler) init() {
 	}
 }
 
-func (s *noisyExactSampler) Draw() (core.Sample, error) {
+func (s *noisyExactSampler) Draw(ctx context.Context) (core.Sample, error) {
 	x := s.rng.Float64()
 	i := 0
 	for i < len(s.cum)-1 && s.cum[i] < x {
@@ -465,13 +466,13 @@ func BenchmarkDyadicVsFlatHH(b *testing.B) {
 	b.Run("flat", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			net := comm.NewNetwork(1)
-			hh.HeavyHitters(net, locals, 32, p, int64(i), "hh")
+			hh.HeavyHitters(context.Background(), net, locals, 32, p, int64(i), "hh")
 		}
 	})
 	b.Run("dyadic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			net := comm.NewNetwork(1)
-			if _, err := hh.DyadicHeavyHitters(net, locals, 32, p, int64(i), "dy"); err != nil {
+			if _, err := hh.DyadicHeavyHitters(context.Background(), net, locals, 32, p, int64(i), "dy"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -494,7 +495,7 @@ func BenchmarkLinearVsGeneralized(b *testing.B) {
 		var add float64
 		for i := 0; i < b.N; i++ {
 			net := comm.NewNetwork(s)
-			res, err := linearbaseline.Run(net, matrix.AsMats(locals), linearbaseline.Options{K: k, Eps: 0.25, Seed: int64(i)})
+			res, err := linearbaseline.Run(context.Background(), net, matrix.AsMats(locals), linearbaseline.Options{K: k, Eps: 0.25, Seed: int64(i)})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -509,11 +510,11 @@ func BenchmarkLinearVsGeneralized(b *testing.B) {
 		var add float64
 		for i := 0; i < b.N; i++ {
 			net := comm.NewNetwork(s)
-			zr, err := samplers.NewZRow(net, matrix.AsMats(locals), fn.Identity{}, zsampler.ParamsForBudget(int64(500*20), s, 500*20, int64(i)))
+			zr, err := samplers.NewZRow(context.Background(), net, matrix.AsMats(locals), fn.Identity{}, zsampler.ParamsForBudget(int64(500*20), s, 500*20, int64(i)))
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := core.Run(net, zr, fn.Identity{}, 20, core.Options{K: k, R: 150})
+			res, err := core.Run(context.Background(), net, zr, fn.Identity{}, 20, core.Options{K: k, R: 150})
 			if err != nil {
 				b.Fatal(err)
 			}

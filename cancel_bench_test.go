@@ -1,0 +1,90 @@
+package repro
+
+// Cancellation-latency benchmarks: how long between Job.Cancel landing on
+// a mid-run job and the engine being idle again (Wait returned, session
+// torn down, workers drained — on TCP the teardown includes the OpAbort
+// discard and the drain-until-ack close handshake). The custom metric
+// cancel-ns is the paper-facing number BENCH_pr5.json records: the
+// mid-run abort path's end-to-end latency, mem vs TCP.
+//
+// Regenerate with: make bench-json
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// benchCancel measures submit → (round 5 completes) → Cancel → Wait
+// returns, on an already-installed cluster. The job is sized so round 5
+// lands mid-sketching, well before completion.
+func benchCancel(b *testing.B, c *Cluster) {
+	b.Helper()
+	if err := c.ConfigureEngine(EngineConfig{MaxConcurrent: 1, QueueDepth: 4}); err != nil {
+		b.Fatal(err)
+	}
+	var total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := c.prepare(context.Background(), Identity(), Options{K: 4, Rows: 400, Seed: int64(i + 1)}, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var canceledAt time.Time
+		j.hookRound = func(seq int64) {
+			if seq == 5 {
+				canceledAt = time.Now()
+				j.Cancel()
+			}
+		}
+		if err := c.eng.submit(context.Background(), j, false); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); !errors.Is(err, ErrCanceled) {
+			b.Fatalf("job was not canceled: %v", err)
+		}
+		if canceledAt.IsZero() {
+			b.Fatal("job finished before round 5 — enlarge the probe job")
+		}
+		total += time.Since(canceledAt)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "cancel-ns")
+}
+
+func BenchmarkCancelLatencyMem(b *testing.B) {
+	const n, d, s = 96, 12, 3
+	c, err := NewCluster(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(benchShares(n, d, s, 5)); err != nil {
+		b.Fatal(err)
+	}
+	benchCancel(b, c)
+}
+
+func BenchmarkCancelLatencyTCP(b *testing.B) {
+	const n, d, s = 96, 12, 3
+	c, err := ListenCluster(s, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for i := 1; i < s; i++ {
+		go func() {
+			if err := JoinWorker(testCtx(5*time.Second), c.Addr()); err != nil {
+				b.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := c.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SetLocalData(benchShares(n, d, s, 5)); err != nil {
+		b.Fatal(err)
+	}
+	benchCancel(b, c)
+}

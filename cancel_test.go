@@ -1,0 +1,317 @@
+package repro
+
+// Mid-run cancellation gates for the v2 API: a job canceled between
+// protocol rounds — via Job.Cancel, its ctx, or a WithDeadline budget —
+// must stop before its next round, report an error matching both
+// ErrCanceled and the context cause, leave the fabric clean, and leave
+// the cluster in a state where the next job's transcript is bit-identical
+// to the same job on a fresh cluster. All of it over both transports.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// submitCancelAt submits a job that cancels itself right after protocol
+// round `at` completes — the hookRound seam runs synchronously on the
+// protocol goroutine, so the cancellation lands deterministically between
+// rounds.
+func submitCancelAt(t *testing.T, c *Cluster, at int64) *Job {
+	t.Helper()
+	j, err := c.prepare(context.Background(), Identity(), Options{K: 3, Rows: 20, Seed: 4242}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.hookRound = func(seq int64) {
+		if seq == at {
+			j.Cancel()
+		}
+	}
+	if err := c.eng.submit(context.Background(), j, false); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// assertCanceled checks the full cancellation contract on a finished job.
+func assertCanceled(t *testing.T, j *Job) {
+	t.Helper()
+	res, err := j.Wait(context.Background())
+	if res != nil {
+		t.Fatal("canceled job returned a result")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled job returned %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled job returned %v, want it to wrap context.Canceled", err)
+	}
+	if st := j.State(); st != JobCanceled {
+		t.Fatalf("canceled job in state %v", st)
+	}
+}
+
+// cancelDeterminismGate runs the acceptance gate on a cluster factory: a
+// job canceled between rounds must not perturb the next job — its
+// fingerprint (words, bytes, per-tag ledger, sampled rows, projection)
+// must be bit-identical to the same job on a fresh cluster that never saw
+// a cancellation.
+func cancelDeterminismGate(t *testing.T, newCluster func(t *testing.T) *Cluster) {
+	shares := jobShares(31, 90, 8, 3)
+	probe := Options{K: 3, Rows: 18, Seed: 777}
+
+	fresh := newCluster(t)
+	defer fresh.Close()
+	if err := fresh.SetLocalData(shares); err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := fresh.PCA(context.Background(), Identity(), probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprintResult(wantRes)
+
+	dirty := newCluster(t)
+	defer dirty.Close()
+	if err := dirty.SetLocalData(shares); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel one job early (mid-sketching) and one deep (mid-draws), then
+	// prove the cluster is indistinguishable from fresh.
+	for _, at := range []int64{3, 12} {
+		j := submitCancelAt(t, dirty, at)
+		assertCanceled(t, j)
+		if got := j.Progress(); got.Rounds < at {
+			t.Fatalf("canceled job reports %d rounds, want ≥ %d", got.Rounds, at)
+		}
+	}
+	gotRes, err := dirty.PCA(context.Background(), Identity(), probe)
+	if err != nil {
+		t.Fatalf("job after cancellations failed: %v", err)
+	}
+	got := fingerprintResult(gotRes)
+
+	if want.words != got.words || want.bytes != got.bytes {
+		t.Fatalf("post-cancel job ledger drifted: fresh %d words/%d bytes, after-cancel %d/%d",
+			want.words, want.bytes, got.words, got.bytes)
+	}
+	for tag, w := range want.tags {
+		if got.tags[tag] != w {
+			t.Fatalf("post-cancel per-tag words drifted at %q: fresh %d, after-cancel %d", tag, w, got.tags[tag])
+		}
+	}
+	if len(want.tags) != len(got.tags) {
+		t.Fatalf("post-cancel tag sets differ: fresh %v, after-cancel %v", want.tags, got.tags)
+	}
+	for i := range want.rows {
+		if want.rows[i] != got.rows[i] {
+			t.Fatal("post-cancel sampled rows drifted")
+		}
+	}
+	if !want.proj.Equalf(got.proj, 0) {
+		t.Fatal("post-cancel projection drifted")
+	}
+}
+
+// TestCancelMidRunMem: the determinism gate over the in-memory transport.
+func TestCancelMidRunMem(t *testing.T) {
+	cancelDeterminismGate(t, func(t *testing.T) *Cluster {
+		c, err := NewCluster(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	})
+}
+
+// TestCancelMidRunTCP: the same gate over a real TCP worker fleet — the
+// canceled session's teardown (OpAbort discard + drain-until-ack) must
+// leave the workers and links clean for the next tenant.
+func TestCancelMidRunTCP(t *testing.T) {
+	cancelDeterminismGate(t, func(t *testing.T) *Cluster {
+		return tcpCluster(t, 3)
+	})
+}
+
+// TestSubmitCtxCancelsRunningJob: canceling the ctx passed to Submit
+// stops a job that is already mid-run.
+func TestSubmitCtxCancelsRunningJob(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(32, 120, 10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j, err := c.Submit(ctx, Identity(), WithRank(4), WithRows(5000), WithBoost(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for real protocol progress, then pull the ctx out from under it.
+	deadline := time.After(10 * time.Second)
+	for j.Progress().Rounds < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("job made no progress")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	if _, err := j.Wait(context.Background()); !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("ctx-canceled job returned %v", err)
+	}
+	if st := j.State(); st != JobCanceled {
+		t.Fatalf("ctx-canceled job in state %v", st)
+	}
+}
+
+// TestWithDeadlineExpiresJob: a WithDeadline budget cancels the job with
+// an error matching both ErrCanceled and context.DeadlineExceeded.
+func TestWithDeadlineExpiresJob(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(33, 120, 10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Submit(context.Background(), Identity(),
+		WithRank(4), WithRows(5000), WithBoost(4), WithDeadline(5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = j.Wait(context.Background())
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline-expired job returned %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+// TestWaitCtxAbandonsWaitOnly: a ctx firing inside Wait abandons the wait
+// without touching the job, which still completes.
+func TestWaitCtxAbandonsWaitOnly(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(34, 80, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Submit(context.Background(), Identity(), WithRank(3), WithRows(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	if _, err := j.Wait(expired); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait under an expired ctx returned %v", err)
+	}
+	if res, err := j.Wait(context.Background()); err != nil || res == nil {
+		t.Fatalf("job should still complete normally, got %v", err)
+	}
+	if st := j.State(); st != JobDone {
+		t.Fatalf("job in state %v after abandoned wait", st)
+	}
+}
+
+// TestCancelFinishedJobIsFalse: Cancel after completion reports false and
+// changes nothing.
+func TestCancelFinishedJobIsFalse(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(35, 40, 6, 2)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Submit(context.Background(), Identity(), WithRank(2), WithRows(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if j.Cancel() {
+		t.Fatal("Cancel on a finished job reported true")
+	}
+	if st := j.State(); st != JobDone {
+		t.Fatalf("finished job flipped to %v after late Cancel", st)
+	}
+}
+
+// TestJobRoundsStream: the Rounds channel delivers monotonically numbered
+// events with phases and closes at completion; Progress agrees.
+func TestJobRoundsStream(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(36, 60, 6, 2)); err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Submit(context.Background(), Identity(), WithRank(2), WithRows(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events int
+	var lastSeq int64
+	for ev := range j.Rounds() {
+		events++
+		if ev.Seq <= lastSeq {
+			t.Fatalf("round seq not increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.Phase == "" {
+			t.Fatal("round event with empty phase")
+		}
+	}
+	if events == 0 {
+		t.Fatal("no round events observed")
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p := j.Progress()
+	if p.State != JobDone || p.Rounds < lastSeq || p.Phase == "" || p.Words <= 0 {
+		t.Fatalf("final progress implausible: %+v", p)
+	}
+}
+
+// TestPCACtxCancelReturnsErrCanceled: the blocking PCA under a canceled
+// ctx returns the documented ErrCanceled-wrapped error, not a bare ctx
+// error from an abandoned wait.
+func TestPCACtxCancelReturnsErrCanceled(t *testing.T) {
+	c, err := NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(37, 120, 10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.PCA(ctx, Identity(), WithRank(4), WithRows(10000), WithBoost(4))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the job get mid-run
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("PCA under canceled ctx returned %v, want ErrCanceled wrapping context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("PCA did not return after ctx cancellation")
+	}
+}

@@ -1,0 +1,151 @@
+// Command dlra-apireport prints the exported API surface of the root
+// repro package, one declaration per line, sorted — an apidiff-style
+// report with no external dependencies. CI regenerates it and diffs
+// against the committed API.txt, so every public-API change shows up as
+// an explicit, reviewable hunk instead of slipping through a refactor
+// (see the api-check target in the Makefile).
+//
+// Usage:
+//
+//	dlra-apireport [package-dir]   # default "."
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		log.Fatalf("dlra-apireport: %v", err)
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			lines = append(lines, fileDecls(fset, file)...)
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// fileDecls renders every exported top-level declaration of one file.
+func fileDecls(fset *token.FileSet, file *ast.File) []string {
+	var out []string
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil {
+				recv := exprString(fset, d.Recv.List[0].Type)
+				if !exportedRecv(recv) {
+					continue
+				}
+				out = append(out, fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, signature(fset, d.Type)))
+			} else {
+				out = append(out, fmt.Sprintf("func %s%s", d.Name.Name, signature(fset, d.Type)))
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() {
+						out = append(out, typeLines(fset, sp)...)
+					}
+				case *ast.ValueSpec:
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					for _, name := range sp.Names {
+						if name.IsExported() {
+							out = append(out, fmt.Sprintf("%s %s", kind, name.Name))
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// typeLines renders an exported type; struct types additionally list
+// their exported fields, so field additions and removals show in the
+// report too.
+func typeLines(fset *token.FileSet, sp *ast.TypeSpec) []string {
+	switch t := sp.Type.(type) {
+	case *ast.StructType:
+		out := []string{fmt.Sprintf("type %s struct", sp.Name.Name)}
+		for _, f := range t.Fields.List {
+			ftype := exprString(fset, f.Type)
+			if len(f.Names) == 0 {
+				// Embedded field: exported iff its type name is.
+				if exportedRecv(ftype) {
+					out = append(out, fmt.Sprintf("field %s.%s (embedded)", sp.Name.Name, ftype))
+				}
+				continue
+			}
+			for _, name := range f.Names {
+				if name.IsExported() {
+					out = append(out, fmt.Sprintf("field %s.%s %s", sp.Name.Name, name.Name, ftype))
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{fmt.Sprintf("type %s interface", sp.Name.Name)}
+		for _, m := range t.Methods.List {
+			for _, name := range m.Names {
+				if name.IsExported() {
+					out = append(out, fmt.Sprintf("ifacemethod %s.%s%s", sp.Name.Name, name.Name, exprString(fset, m.Type)))
+				}
+			}
+		}
+		return out
+	default:
+		return []string{fmt.Sprintf("type %s %s", sp.Name.Name, exprString(fset, sp.Type))}
+	}
+}
+
+// signature renders a function type without the leading "func".
+func signature(fset *token.FileSet, ft *ast.FuncType) string {
+	return strings.TrimPrefix(exprString(fset, ft), "func")
+}
+
+// exprString renders an expression as source.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "?"
+	}
+	return b.String()
+}
+
+// exportedRecv reports whether a receiver or embedded type name ("T",
+// "*T", "pkg.T") refers to an exported type.
+func exportedRecv(t string) bool {
+	t = strings.TrimPrefix(t, "*")
+	if i := strings.LastIndex(t, "."); i >= 0 {
+		t = t[i+1:]
+	}
+	return ast.IsExported(t)
+}

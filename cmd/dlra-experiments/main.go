@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -111,7 +112,7 @@ func main() {
 				}
 			}()
 			start := time.Now()
-			panel, err := experiments.RunPanel(cfg)
+			panel, err := experiments.RunPanel(context.Background(), cfg)
 			if err != nil {
 				out <- panelOut{err: fmt.Errorf("%s: %w", cfg.Name, err)}
 				return

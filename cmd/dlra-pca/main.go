@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -71,7 +72,7 @@ func main() {
 	// Re-exec worker mode: this process hosts one server's share and
 	// executes protocol ops until the coordinator shuts the cluster down.
 	if *workerJoin != "" {
-		if err := repro.JoinWorker(*workerJoin, 30*time.Second); err != nil {
+		if err := cli.JoinWorker(*workerJoin, cli.DefaultJoinWait); err != nil {
 			log.Fatalf("dlra-pca (worker): %v", err)
 		}
 		return
@@ -144,7 +145,7 @@ func main() {
 		return
 	}
 
-	res, err := cluster.PCA(f, opts)
+	res, err := cluster.PCA(context.Background(), f, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func main() {
 // connect builds the requested cluster fabric and returns it with a
 // cleanup function (worker shutdown for tcp).
 func connect(transport string, servers int, listen string, spawn bool) (*repro.Cluster, func()) {
-	c, cleanup, err := cli.Connect(transport, servers, listen, spawn, func(addr string, spawned int) {
+	c, cleanup, err := cli.Connect(context.Background(), transport, servers, listen, spawn, func(addr string, spawned int) {
 		if spawned > 0 {
 			fmt.Printf("coordinator       : %s (%d worker processes spawned)\n", addr, spawned)
 		} else {
@@ -206,7 +207,7 @@ func runJobs(cluster *repro.Cluster, f repro.Func, opts repro.Options, n, conc i
 	handles := make([]*repro.Job, 0, n)
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		j, err := cluster.Submit(f, opts)
+		j, err := cluster.Submit(context.Background(), f, opts)
 		if err != nil {
 			log.Fatalf("dlra-pca: submitting job %d: %v", i+1, err)
 		}
@@ -216,7 +217,7 @@ func runJobs(cluster *repro.Cluster, f repro.Func, opts repro.Options, n, conc i
 	fmt.Printf("  %-5s %-8s %-10s %-10s\n", "job", "rows", "words", "bytes")
 	var totalWords int64
 	for _, j := range handles {
-		res, err := j.Wait()
+		res, err := j.Wait(context.Background())
 		if err != nil {
 			log.Fatalf("dlra-pca: job %d: %v", j.ID(), err)
 		}
@@ -249,7 +250,7 @@ func runSweep(cluster *repro.Cluster, f repro.Func, opts repro.Options, spec, tr
 	for _, r := range rs {
 		cell := opts
 		cell.Rows = r
-		res, err := cluster.PCA(f, cell)
+		res, err := cluster.PCA(context.Background(), f, cell)
 		if err != nil {
 			log.Fatalf("dlra-pca: sweep cell r=%d: %v", r, err)
 		}

@@ -18,9 +18,15 @@
 //	GET  /v1/datasets           → installed datasets
 //	GET  /v1/jobs               → all jobs with states
 //	POST /v1/jobs               → submit {"dataset","fn","k","eps","rows","boost","seed"}
-//	GET  /v1/jobs/{id}          → one job's state (and ledger when done)
+//	GET  /v1/jobs/{id}          → one job's state: live protocol progress
+//	                              (rounds, phase, words) while running, the
+//	                              ledger once done
 //	GET  /v1/jobs/{id}/result   → basis, sampled rows, per-phase words
-//	DELETE /v1/jobs/{id}        → cancel a queued job
+//	DELETE /v1/jobs/{id}        → cancel the job — a true mid-run abort: a
+//	                              running job stops before its next protocol
+//	                              round. 409 with the terminal state when the
+//	                              job already finished; 404 for unknown ids
+//	                              (consistently across poll/result/cancel)
 //
 // With -transport tcp the process spawns s−1 worker OS processes by
 // re-executing itself and drives them over loopback TCP — the protocol
@@ -31,6 +37,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -68,7 +75,7 @@ func main() {
 	flag.Parse()
 
 	if *workerJoin != "" {
-		if err := repro.JoinWorker(*workerJoin, 30*time.Second); err != nil {
+		if err := cli.JoinWorker(*workerJoin, cli.DefaultJoinWait); err != nil {
 			log.Fatalf("dlra-serve (worker): %v", err)
 		}
 		return
@@ -98,7 +105,7 @@ func main() {
 			log.Fatalf("dlra-serve: unknown partition %q", *partition)
 		}
 		id := datasetID(path)
-		if err := cluster.InstallDataset(id, matrix.AsMats(locals)); err != nil {
+		if err := cluster.InstallDataset(context.Background(), id, matrix.AsMats(locals)); err != nil {
 			log.Fatalf("dlra-serve: installing %s: %v", id, err)
 		}
 		n, d := M.Dims()
@@ -141,7 +148,7 @@ func datasetID(path string) string {
 // connect builds the requested cluster fabric and returns it with an
 // idempotent cleanup function (worker shutdown for tcp).
 func connect(transport string, servers int, listen string) (*repro.Cluster, func()) {
-	c, cleanup, err := cli.Connect(transport, servers, listen, true, func(addr string, spawned int) {
+	c, cleanup, err := cli.Connect(context.Background(), transport, servers, listen, true, func(addr string, spawned int) {
 		log.Printf("coordinator on %s with %d worker processes", addr, spawned)
 	})
 	if err != nil {
@@ -202,13 +209,18 @@ type submitRequest struct {
 	Seed    int64   `json:"seed,omitempty"`
 }
 
-// jobView is the job state the API reports.
+// jobView is the job state the API reports. Rounds/Phase/Words track the
+// live protocol while the job runs (from Job.Progress), so polling
+// clients watch the rounds advance; once done, Words/Bytes are the final
+// per-job ledger.
 type jobView struct {
 	ID      uint64 `json:"id"`
 	State   string `json:"state"`
 	Dataset string `json:"dataset"`
 	Fn      string `json:"fn"`
 	K       int    `json:"k"`
+	Rounds  int64  `json:"rounds,omitempty"`
+	Phase   string `json:"phase,omitempty"`
 	Words   int64  `json:"words,omitempty"`
 	Bytes   int64  `json:"bytes,omitempty"`
 	Error   string `json:"error,omitempty"`
@@ -267,7 +279,10 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		job, err := s.cluster.Submit(f, repro.Options{
+		// The job's lifetime belongs to the engine, not to this HTTP
+		// request: submissions are asynchronous, so the request ctx must
+		// not cancel the job when the client disconnects.
+		job, err := s.cluster.Submit(context.Background(), f, repro.Options{
 			Dataset: req.Dataset, K: req.K, Eps: req.Eps,
 			Rows: req.Rows, Boost: req.Boost, Seed: req.Seed,
 		})
@@ -297,9 +312,12 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		wantResult = true
 		rest = strings.TrimSuffix(rest, "/result")
 	}
+	// Unknown ids — including unparseable ones — are 404 on every verb:
+	// poll, result and cancel agree that a job that does not exist is not
+	// found (not a bad request, not a silent success).
 	id, err := strconv.ParseUint(rest, 10, 64)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", rest))
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no job %q", rest))
 		return
 	}
 	s.mu.Lock()
@@ -311,11 +329,18 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case r.Method == http.MethodDelete:
+		// Cancel is a true abort: a queued job fails immediately, a
+		// running one stops before its next protocol round. Only a job
+		// that already reached a terminal state refuses, with 409 naming
+		// that state.
 		if rec.job.Cancel() {
 			writeJSON(w, http.StatusOK, s.view(rec))
 			return
 		}
-		writeErr(w, http.StatusConflict, fmt.Errorf("job %d already %s", id, rec.job.State()))
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": fmt.Sprintf("job %d already finished", id),
+			"state": rec.job.State().String(),
+		})
 	case r.Method != http.MethodGet:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	case !wantResult:
@@ -325,7 +350,7 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusConflict, fmt.Errorf("job %d is %s", id, st))
 			return
 		}
-		res, err := rec.job.Wait()
+		res, err := rec.job.Wait(r.Context())
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
@@ -341,14 +366,18 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// view snapshots a job for the API (ledger fields only once done).
+// view snapshots a job for the API: live protocol progress (rounds,
+// phase, session words) while queued or running, the final ledger once
+// done.
 func (s *server) view(rec *jobRecord) jobView {
+	p := rec.job.Progress()
 	v := jobView{
-		ID: rec.job.ID(), State: rec.job.State().String(),
+		ID: rec.job.ID(), State: p.State.String(),
 		Dataset: rec.job.Dataset(), Fn: rec.spec.Fn, K: rec.spec.K,
+		Rounds: p.Rounds, Phase: p.Phase, Words: p.Words,
 	}
-	if rec.job.State() == repro.JobDone {
-		if res, err := rec.job.Wait(); err != nil {
+	if p.State == repro.JobDone {
+		if res, err := rec.job.Wait(context.Background()); err != nil {
 			v.Error = err.Error()
 		} else {
 			v.Words, v.Bytes = res.Words, res.Bytes

@@ -1,0 +1,173 @@
+package main
+
+// HTTP-layer tests for the cancel/poll semantics: unknown job ids are 404
+// on every verb, DELETE on a finished job is 409 naming the terminal
+// state, DELETE on a live job is a true mid-run abort, and poll views
+// expose the live protocol progress.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// newTestServer boots a 2-server in-process cluster with one small
+// dataset and wraps it in the HTTP layer.
+func newTestServer(t *testing.T) (*httptest.Server, *repro.Cluster) {
+	t.Helper()
+	cluster, err := repro.New(2, repro.WithEngineConfig(repro.EngineConfig{MaxConcurrent: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, d = 96, 8
+	rng := rand.New(rand.NewSource(7))
+	locals := make([]*repro.Matrix, 2)
+	for i := range locals {
+		locals[i] = repro.NewMatrix(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			v := float64(i%5) * float64(j+1)
+			sh := rng.NormFloat64()
+			locals[0].Set(i, j, sh)
+			locals[1].Set(i, j, v-sh)
+		}
+	}
+	if err := cluster.SetLocalData(locals); err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{cluster: cluster, jobs: make(map[uint64]*jobRecord)}
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(func() {
+		ts.Close()
+		cluster.Close()
+	})
+	return ts, cluster
+}
+
+func doJSON(t *testing.T, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var reader *bytes.Reader
+	if body != nil {
+		raw, _ := json.Marshal(body)
+		reader = bytes.NewReader(raw)
+	} else {
+		reader = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+// TestUnknownJobIs404Everywhere: poll, result and cancel agree that a job
+// that does not exist — numeric or garbage — is 404.
+func TestUnknownJobIs404Everywhere(t *testing.T) {
+	ts, _ := newTestServer(t)
+	for _, path := range []string{"/v1/jobs/999", "/v1/jobs/999/result", "/v1/jobs/notanid"} {
+		if code, _ := doJSON(t, http.MethodGet, ts.URL+path, nil); code != http.StatusNotFound {
+			t.Fatalf("GET %s: %d, want 404", path, code)
+		}
+	}
+	for _, path := range []string{"/v1/jobs/999", "/v1/jobs/notanid"} {
+		if code, _ := doJSON(t, http.MethodDelete, ts.URL+path, nil); code != http.StatusNotFound {
+			t.Fatalf("DELETE %s: %d, want 404", path, code)
+		}
+	}
+}
+
+// TestDeleteFinishedJobIs409: canceling a job that already reached a
+// terminal state reports conflict with that state, not success.
+func TestDeleteFinishedJobIs409(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, v := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitRequest{Fn: "identity", K: 2, Rows: 10, Seed: 5})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", code, v)
+	}
+	id := uint64(v["id"].(float64))
+	url := fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id)
+	waitState(t, url, "done")
+	code, body := doJSON(t, http.MethodDelete, url, nil)
+	if code != http.StatusConflict {
+		t.Fatalf("DELETE on done job: %d, want 409", code)
+	}
+	if body["state"] != "done" {
+		t.Fatalf("409 body must name the terminal state, got %v", body)
+	}
+	// A second DELETE behaves identically (idempotent refusal).
+	if code, _ := doJSON(t, http.MethodDelete, url, nil); code != http.StatusConflict {
+		t.Fatalf("second DELETE on done job: %d, want 409", code)
+	}
+}
+
+// TestDeleteAbortsRunningJob: DELETE on a live job stops it mid-run; the
+// job reaches the canceled state and its result endpoint reports 409.
+func TestDeleteAbortsRunningJob(t *testing.T) {
+	ts, _ := newTestServer(t)
+	// Big enough that it is still running when the DELETE lands.
+	code, v := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitRequest{Fn: "identity", K: 4, Rows: 8000, Boost: 4, Seed: 9})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", code, v)
+	}
+	id := uint64(v["id"].(float64))
+	url := fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id)
+	code, view := doJSON(t, http.MethodDelete, url, nil)
+	if code != http.StatusOK {
+		t.Fatalf("DELETE on live job: %d (%v), want 200", code, view)
+	}
+	waitState(t, url, "canceled")
+	if code, _ := doJSON(t, http.MethodGet, url+"/result", nil); code != http.StatusConflict {
+		t.Fatalf("result of canceled job: %d, want 409", code)
+	}
+}
+
+// TestPollReportsProgress: while (and after) a job runs, the poll view
+// carries protocol progress — rounds and phase.
+func TestPollReportsProgress(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, v := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitRequest{Fn: "identity", K: 3, Rows: 40, Seed: 11})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", code, v)
+	}
+	id := uint64(v["id"].(float64))
+	url := fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id)
+	waitState(t, url, "done")
+	_, view := doJSON(t, http.MethodGet, url, nil)
+	if view["rounds"] == nil || view["rounds"].(float64) <= 0 {
+		t.Fatalf("done job view has no round progress: %v", view)
+	}
+	if view["phase"] == nil || view["phase"].(string) == "" {
+		t.Fatalf("done job view has no phase: %v", view)
+	}
+}
+
+// waitState polls the job view until it reaches want (or times out).
+func waitState(t *testing.T, url, want string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, v := doJSON(t, http.MethodGet, url, nil)
+		if v["state"] == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached %q (last: %v)", want, v["state"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -17,19 +17,18 @@ package main
 import (
 	"flag"
 	"log"
-	"time"
 
-	"repro"
+	"repro/internal/cli"
 )
 
 func main() {
 	join := flag.String("join", "", "coordinator address to join (required)")
-	wait := flag.Duration("wait", 30*time.Second, "how long to retry the initial connection")
+	wait := flag.Duration("wait", cli.DefaultJoinWait, "how long to retry the initial connection")
 	flag.Parse()
 	if *join == "" {
 		log.Fatal("dlra-worker: -join is required")
 	}
-	if err := repro.JoinWorker(*join, *wait); err != nil {
+	if err := cli.JoinWorker(*join, *wait); err != nil {
 		log.Fatalf("dlra-worker: %v", err)
 	}
 }

@@ -4,16 +4,24 @@ package repro
 // distributed-low-rank queries over one live cluster. Each job runs inside
 // its own comm session (a namespaced view of the shared fabric), against a
 // dataset resolved from the cluster's share cache, with a private RNG seed
-// derived from (Options.Seed, job id) — so a job's result and its
-// communication transcript depend only on its own (seed, jobID), never on
-// how many tenants ran beside it. Admission is a bounded FIFO queue
-// drained by a fixed pool of runner goroutines; Submit rejects with
-// ErrJobQueueFull when the queue is at capacity instead of blocking the
-// caller.
+// derived from (seed, job id) — so a job's result and its communication
+// transcript depend only on its own (seed, jobID), never on how many
+// tenants ran beside it. Admission is a bounded FIFO queue drained by a
+// fixed pool of runner goroutines; Submit rejects with ErrJobQueueFull
+// when the queue is at capacity instead of blocking the caller.
+//
+// Since the v2 API every job carries a context derived from the caller's
+// ctx (plus the WithDeadline budget): cancellation is real, not
+// queue-only. A queued job is removed and failed immediately; a running
+// job's protocol stops before its next round — the abort checkpoints
+// thread from here through runPCA into every protocol layer — and on TCP
+// clusters the workers discard the session's still-queued ops.
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hashing"
 )
@@ -21,7 +29,8 @@ import (
 // JobState is the lifecycle of a submitted job.
 type JobState int32
 
-// The job lifecycle: Queued → Running → Done, or Queued → Canceled.
+// The job lifecycle: Queued → Running → Done, or → Canceled from either
+// non-terminal state.
 const (
 	JobQueued JobState = iota
 	JobRunning
@@ -45,6 +54,36 @@ func (s JobState) String() string {
 	}
 }
 
+// roundEventBuffer bounds the Rounds() stream: a consumer that lags more
+// than this many rounds loses the oldest pending events (the protocol
+// never blocks on observers).
+const roundEventBuffer = 64
+
+// RoundEvent is one completed protocol round of a running job, as
+// delivered by Job.Rounds.
+type RoundEvent struct {
+	// Seq is the 1-based round number within the job.
+	Seq int64
+	// Phase is the round's ledger tag (e.g. "zest/heavy/seed",
+	// "sampler/rows", "core/projection").
+	Phase string
+	// Words is the job's session ledger total after the round.
+	Words int64
+}
+
+// Progress is a point-in-time snapshot of a job's protocol state.
+type Progress struct {
+	// State is the job's lifecycle state.
+	State JobState
+	// Rounds is the number of protocol rounds completed so far.
+	Rounds int64
+	// Phase is the ledger tag of the most recently completed round (""
+	// before the first).
+	Phase string
+	// Words is the job's session communication so far, in 64-bit words.
+	Words int64
+}
+
 // Job is one queued or running PCA query on a cluster. Create jobs with
 // Cluster.Submit; a Job's methods are safe for concurrent use.
 type Job struct {
@@ -55,6 +94,22 @@ type Job struct {
 	seed    int64 // effective protocol seed (derived for Submit jobs)
 	ds      *datasetEntry
 
+	// ctx is the job's private context (caller ctx + WithDeadline);
+	// cancelCtx trips it, stopWatch releases the cancellation watcher.
+	ctx       context.Context
+	cancelCtx context.CancelFunc
+	stopWatch func() bool
+
+	// Live protocol state, updated by the session's round observer.
+	rounds atomic.Int64
+	words  atomic.Int64
+	phase  atomic.Value // string
+	events chan RoundEvent
+	// hookRound, when non-nil, observes rounds synchronously on the
+	// protocol goroutine — a test seam for deterministic between-rounds
+	// cancellation (set before the job is submitted).
+	hookRound func(seq int64)
+
 	mu    sync.Mutex
 	state JobState
 	res   *Result
@@ -63,7 +118,7 @@ type Job struct {
 }
 
 // ID returns the job's cluster-unique id (assigned in submission order,
-// starting at 1). The job's protocol seed is DeriveSeed(Options.Seed, ID).
+// starting at 1). The job's protocol seed is DeriveSeed(seed, ID).
 func (j *Job) ID() uint64 { return j.id }
 
 // Dataset returns the id of the dataset the job runs against.
@@ -76,19 +131,91 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
+// Progress snapshots the job's live protocol state: how many rounds have
+// completed, which phase ran last, and the session words so far. After
+// the job finishes the snapshot is the final tally.
+func (j *Job) Progress() Progress {
+	p := Progress{
+		State:  j.State(),
+		Rounds: j.rounds.Load(),
+		Words:  j.words.Load(),
+	}
+	if s, ok := j.phase.Load().(string); ok {
+		p.Phase = s
+	}
+	return p
+}
+
+// Rounds streams the job's completed protocol rounds. The channel is
+// buffered and best-effort: observers that lag more than roundEventBuffer
+// rounds lose the oldest pending events (the protocol never blocks on a
+// slow consumer). It is closed when the job finishes, so ranging over it
+// terminates.
+func (j *Job) Rounds() <-chan RoundEvent { return j.events }
+
+// noteRound publishes one completed round (called from the job's session
+// round observer, possibly concurrently for forked protocol phases).
+func (j *Job) noteRound(seq int64, tag string, words int64) {
+	// CAS loop: concurrent forked-phase observers must never move the
+	// round counter backwards below an already-delivered event's Seq.
+	for {
+		cur := j.rounds.Load()
+		if seq <= cur || j.rounds.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	j.words.Store(words)
+	j.phase.Store(tag)
+	select {
+	case j.events <- RoundEvent{Seq: seq, Phase: tag, Words: words}:
+	default: // consumer lagging: drop rather than stall the protocol
+	}
+	if j.hookRound != nil {
+		j.hookRound(seq)
+	}
+}
+
 // Wait blocks until the job finishes and returns its result, or the error
-// that stopped it (ErrJobCanceled, ErrClosed, or a protocol failure).
-func (j *Job) Wait() (*Result, error) {
-	<-j.done
+// that stopped it (ErrCanceled, ErrClosed, or a protocol failure). A ctx
+// that fires first abandons the wait — the job itself keeps its own
+// lifecycle; cancel the job's ctx (or call Cancel) to stop it.
+func (j *Job) Wait(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+	default:
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.res, j.err
 }
 
-// Cancel removes the job from the queue if it has not started; Wait then
-// returns ErrJobCanceled. A job already running (or finished) is not
-// interrupted — Cancel reports false and the job completes normally.
+// Cancel stops the job: a job still queued is removed and fails
+// immediately; a job already running is stopped before its next protocol
+// round (its Wait returns an error matching both ErrCanceled and
+// context.Canceled). Cancel reports whether the cancellation was
+// delivered while the job was still live — false means the job had
+// already finished. A running job that is already past its final abort
+// checkpoint when the cancellation lands may still complete as JobDone;
+// State (and a dlra-serve poll) reports the authoritative outcome.
 func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	finished := j.state == JobDone || j.state == JobCanceled
+	j.mu.Unlock()
+	if finished {
+		return false
+	}
+	// Trip the job context first: if the job is mid-run, the protocol's
+	// next abort checkpoint observes it.
+	j.cancelCtx()
+	// If it is still queued, remove it and publish the outcome now.
 	e := j.cluster.eng
 	e.mu.Lock()
 	for i, q := range e.queue {
@@ -96,15 +223,39 @@ func (j *Job) Cancel() bool {
 			e.queue = append(e.queue[:i], e.queue[i+1:]...)
 			e.cond.Broadcast()
 			e.mu.Unlock()
-			j.finish(nil, ErrJobCanceled, JobCanceled)
+			// cancelCtx ran above, so the cause is Canceled — or
+			// DeadlineExceeded when a WithDeadline budget fired first.
+			cause := j.ctx.Err()
+			if cause == nil {
+				cause = context.Canceled
+			}
+			j.finish(nil, canceledErr(cause), JobCanceled)
 			return true
 		}
 	}
 	e.mu.Unlock()
-	return false
+	// Close the racing window where the job finished Done between the
+	// state check above and the ctx trip: the cancel had no effect then.
+	j.mu.Lock()
+	doneFirst := j.state == JobDone
+	j.mu.Unlock()
+	return !doneFirst
 }
 
-// finish publishes the job's outcome exactly once.
+// release frees a job's cancellation resources (the ctx watcher and the
+// derived context) for jobs that never reach finish — i.e. rejected
+// submissions.
+func (j *Job) release() {
+	if j.stopWatch != nil {
+		j.stopWatch()
+	}
+	if j.cancelCtx != nil {
+		j.cancelCtx()
+	}
+}
+
+// finish publishes the job's outcome exactly once and releases the
+// cancellation watcher and the rounds stream.
 func (j *Job) finish(res *Result, err error, state JobState) {
 	j.mu.Lock()
 	if j.state == JobDone || j.state == JobCanceled {
@@ -114,6 +265,8 @@ func (j *Job) finish(res *Result, err error, state JobState) {
 	j.state = state
 	j.res, j.err = res, err
 	j.mu.Unlock()
+	j.release()
+	close(j.events)
 	close(j.done)
 }
 
@@ -173,13 +326,30 @@ func (e *engine) configure(cfg EngineConfig) error {
 }
 
 // submit enqueues a job. block selects the admission policy at capacity:
-// reject (Submit) or wait for space (the blocking PCA wrapper).
-func (e *engine) submit(j *Job, block bool) error {
+// reject (Submit) or wait for space (the blocking PCA wrapper, whose wait
+// honors ctx).
+func (e *engine) submit(ctx context.Context, j *Job, block bool) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if block {
+		// Wake the admission wait when the caller's ctx fires, so PCA does
+		// not stay parked on a full queue past its deadline.
+		stop := context.AfterFunc(ctx, func() {
+			e.mu.Lock()
+			e.cond.Broadcast()
+			e.mu.Unlock()
+		})
+		defer stop()
+	}
 	for {
 		if e.closed {
 			return ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return canceledErr(err)
 		}
 		if len(e.queue) < e.depth {
 			if !e.started {
@@ -258,9 +428,9 @@ func (e *engine) shutdown() {
 }
 
 // jobSeed derives a job's private protocol seed from the caller's seed
-// and the job id, so concurrent jobs sharing Options.Seed still see
-// independent randomness — and a job's transcript is reproducible from
-// (seed, jobID) alone.
+// and the job id, so concurrent jobs sharing a seed still see independent
+// randomness — and a job's transcript is reproducible from (seed, jobID)
+// alone.
 func jobSeed(seed int64, jobID uint64) int64 {
 	return hashing.DeriveSeed(seed, jobID)
 }

@@ -1,6 +1,8 @@
 package repro_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -39,14 +41,15 @@ func Example() {
 		}
 	}
 
-	cluster, err := repro.NewCluster(servers)
+	cluster, err := repro.New(servers)
 	if err != nil {
 		panic(err)
 	}
 	if err := cluster.SetLocalData(locals); err != nil {
 		panic(err)
 	}
-	res, err := cluster.PCA(repro.Identity(), repro.Options{K: k, Rows: 48, Seed: 7})
+	res, err := cluster.PCA(context.Background(), repro.Identity(),
+		repro.WithRank(k), repro.WithRows(48), repro.WithSeed(7))
 	if err != nil {
 		panic(err)
 	}
@@ -82,14 +85,15 @@ func ExampleCluster_PCA_huber() {
 	// One catastrophic entry, hidden across the shares.
 	locals[0].Set(10, 3, locals[0].At(10, 3)+1e9)
 
-	cluster, err := repro.NewCluster(servers)
+	cluster, err := repro.New(servers)
 	if err != nil {
 		panic(err)
 	}
 	if err := cluster.SetLocalData(locals); err != nil {
 		panic(err)
 	}
-	if _, err := cluster.PCA(repro.Huber(5), repro.Options{K: 2, Rows: 40, Seed: 3}); err != nil {
+	if _, err := cluster.PCA(context.Background(), repro.Huber(5),
+		repro.WithRank(2), repro.WithRows(40), repro.WithSeed(3)); err != nil {
 		panic(err)
 	}
 	A, _ := cluster.ImplicitMatrix(repro.Huber(5))
@@ -122,7 +126,7 @@ func ExampleCluster_Submit() {
 		}
 	}
 
-	cluster, err := repro.NewCluster(servers)
+	cluster, err := repro.New(servers)
 	if err != nil {
 		panic(err)
 	}
@@ -134,13 +138,14 @@ func ExampleCluster_Submit() {
 	// Three concurrent queries against the shared (cached) dataset.
 	jobs := make([]*repro.Job, 3)
 	for i := range jobs {
-		jobs[i], err = cluster.Submit(repro.Identity(), repro.Options{K: 2, Rows: 24, Seed: 42})
+		jobs[i], err = cluster.Submit(context.Background(), repro.Identity(),
+			repro.WithRank(2), repro.WithRows(24), repro.WithSeed(42))
 		if err != nil {
 			panic(err)
 		}
 	}
 	for _, j := range jobs {
-		res, err := j.Wait()
+		res, err := j.Wait(context.Background())
 		if err != nil {
 			panic(err)
 		}
@@ -173,4 +178,45 @@ func ExamplePrepareGM() {
 	fmt.Printf("GM(1,8) ≈ %.1f; GM(9,2) ≈ %.1f\n", approxMax0, approxMax1)
 	// Output:
 	// GM(1,8) ≈ 7.7; GM(9,2) ≈ 8.7
+}
+
+// ExampleJob_Cancel shows real mid-run cancellation: a submitted job is
+// stopped between protocol rounds and reports an error matching both
+// repro.ErrCanceled and context.Canceled.
+func ExampleJob_Cancel() {
+	const servers, n, d = 2, 80, 8
+	rng := rand.New(rand.NewSource(4))
+	locals := make([]*repro.Matrix, servers)
+	for t := range locals {
+		locals[t] = repro.NewMatrix(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			v := float64(i%4) + 0.2*float64(j)
+			sh := rng.NormFloat64()
+			locals[0].Set(i, j, sh)
+			locals[1].Set(i, j, v-sh)
+		}
+	}
+	cluster, err := repro.New(servers)
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+	if err := cluster.SetLocalData(locals); err != nil {
+		panic(err)
+	}
+
+	// A deliberately heavy query, canceled as soon as it is in flight.
+	job, err := cluster.Submit(context.Background(), repro.Identity(),
+		repro.WithRank(4), repro.WithRows(10000), repro.WithBoost(4))
+	if err != nil {
+		panic(err)
+	}
+	job.Cancel()
+	_, err = job.Wait(context.Background())
+	fmt.Printf("canceled: %v (state %s)\n",
+		errors.Is(err, repro.ErrCanceled) && errors.Is(err, context.Canceled), job.State())
+	// Output:
+	// canceled: true (state canceled)
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -53,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := cluster.PCA(repro.Cosine(), repro.Options{K: k, Rows: 400, Seed: 5})
+	res, err := cluster.PCA(context.Background(), repro.Cosine(), repro.Options{K: k, Rows: 400, Seed: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

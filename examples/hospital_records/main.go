@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -91,7 +92,7 @@ func main() {
 	if err := cluster.SetLocalData(locals); err != nil {
 		log.Fatal(err)
 	}
-	res, err := cluster.PCA(repro.SoftmaxGM(p), repro.Options{K: k, Rows: 400, Seed: 31})
+	res, err := cluster.PCA(context.Background(), repro.SoftmaxGM(p), repro.Options{K: k, Rows: 400, Seed: 31})
 	if err != nil {
 		log.Fatal(err)
 	}

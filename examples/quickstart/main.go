@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -71,7 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := cluster.PCA(repro.Identity(), repro.Options{K: rank, Eps: 0.2, Rows: 200, Seed: 42})
+	res, err := cluster.PCA(context.Background(), repro.Identity(), repro.Options{K: rank, Eps: 0.2, Rows: 200, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -69,7 +70,7 @@ func main() {
 
 	// Huber threshold at ≈ 6 standard deviations of the clean entries.
 	huber := repro.Huber(12)
-	res, err := cluster.PCA(huber, repro.Options{K: k, Rows: 300, Seed: 23})
+	res, err := cluster.PCA(context.Background(), huber, repro.Options{K: k, Rows: 300, Seed: 23})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,7 @@ func main() {
 		if err := cluster.SetLocalData(locals); err != nil {
 			log.Fatal(err)
 		}
-		res, err := cluster.PCA(repro.SoftmaxGM(p), repro.Options{K: k, Rows: 300, Seed: 17})
+		res, err := cluster.PCA(context.Background(), repro.SoftmaxGM(p), repro.Options{K: k, Rows: 300, Seed: 17})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@ package repro
 // sketch → comm, with ground truth from internal/baseline.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -32,7 +33,7 @@ func TestDistributedMatchesFKVRegime(t *testing.T) {
 	if err := c.SetLocalData(locals); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.PCA(Identity(), Options{K: k, Rows: r, Seed: 3})
+	res, err := c.PCA(context.Background(), Identity(), Options{K: k, Rows: r, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestPublicAPIDeterministic(t *testing.T) {
 		if err := c.SetLocalData(splitMatrix(M, 3, r2)); err != nil {
 			t.Fatal(err)
 		}
-		res, err := c.PCA(Huber(100), Options{K: 3, Rows: 80, Seed: 5})
+		res, err := c.PCA(context.Background(), Huber(100), Options{K: 3, Rows: 80, Seed: 5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func TestCommunicationScalesWithSamples(t *testing.T) {
 		if err := c.SetLocalData(splitMatrix(M, s, r2)); err != nil {
 			t.Fatal(err)
 		}
-		res, err := c.PCA(Identity(), Options{K: 4, Rows: r, Seed: 7})
+		res, err := c.PCA(context.Background(), Identity(), Options{K: 4, Rows: r, Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,11 +123,11 @@ func TestGMPooledEndToEnd(t *testing.T) {
 	net := comm.NewNetwork(s)
 	g := fn.GM{P: p}
 	zp := zsampler.ParamsForBudget(int64(200*64), s, 200*64, 17)
-	zr, err := samplers.NewZRow(net, matrix.AsMats(locals), g, zp)
+	zr, err := samplers.NewZRow(context.Background(), net, matrix.AsMats(locals), g, zp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(net, zr, g, 64, core.Options{K: k, R: 200})
+	res, err := core.Run(context.Background(), net, zr, g, 64, core.Options{K: k, R: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestEpsilonDrivesSampleCount(t *testing.T) {
 		if err := c.SetLocalData(splitMatrix(M, s, r2)); err != nil {
 			t.Fatal(err)
 		}
-		res, err := c.PCA(Identity(), Options{K: 3, Eps: eps, Seed: 23})
+		res, err := c.PCA(context.Background(), Identity(), Options{K: 3, Eps: eps, Seed: 23})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -183,7 +184,7 @@ func TestHuberSampleBias(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := Huber(5)
-	res, err := c.PCA(f, Options{K: 3, Rows: 200, Seed: 25})
+	res, err := c.PCA(context.Background(), f, Options{K: 3, Rows: 200, Seed: 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestProjectionActuallyProjects(t *testing.T) {
 	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.PCA(Identity(), Options{K: 3, Rows: 80, Seed: 27})
+	res, err := c.PCA(context.Background(), Identity(), Options{K: 3, Rows: 80, Seed: 27})
 	if err != nil {
 		t.Fatal(err)
 	}

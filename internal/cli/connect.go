@@ -1,10 +1,12 @@
 // Package cli holds the cluster bring-up logic the commands share:
 // building a mem or TCP fabric, self-spawning worker processes by
 // re-executing the current binary with a -worker-join flag, and tearing
-// everything down exactly once.
+// everything down exactly once. All blocking steps are ctx-based — one
+// context bounds the whole bring-up instead of per-call duration flags.
 package cli
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"os/exec"
@@ -14,16 +16,35 @@ import (
 	"repro"
 )
 
+// DefaultJoinWait bounds how long a worker retries its initial connection
+// to the coordinator (workers typically start first).
+const DefaultJoinWait = 30 * time.Second
+
+// JoinWorker runs a worker process's serve loop against the coordinator
+// at addr, retrying the initial connection for up to wait — the single
+// implementation behind every binary's -worker-join / -join flag, so the
+// retry loop lives here once instead of per command.
+func JoinWorker(addr string, wait time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	return repro.JoinWorker(ctx, addr)
+}
+
 // Connect builds the requested cluster fabric and returns it with an
 // idempotent cleanup function (worker shutdown for tcp). With transport
 // "tcp" and spawn true, s−1 worker OS processes are started by
 // re-executing this binary with "-worker-join <addr>" (both dlra-pca and
 // dlra-serve implement that flag); with spawn false the coordinator waits
-// for external dlra-worker processes. announce, if non-nil, is called
-// with the coordinator address and the spawned-process count after
-// listening starts but before workers are awaited — so users of external
-// workers see where to join while the coordinator blocks.
-func Connect(transport string, servers int, listen string, spawn bool, announce func(addr string, spawned int)) (*repro.Cluster, func(), error) {
+// for external dlra-worker processes. ctx bounds the worker bring-up
+// (AwaitWorkers); a ctx without a deadline gets a 60-second one so a
+// missing worker cannot hang the command forever. announce, if non-nil,
+// is called with the coordinator address and the spawned-process count
+// after listening starts but before workers are awaited — so users of
+// external workers see where to join while the coordinator blocks.
+func Connect(ctx context.Context, transport string, servers int, listen string, spawn bool, announce func(addr string, spawned int)) (*repro.Cluster, func(), error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	switch transport {
 	case "mem":
 		c, err := repro.NewCluster(servers)
@@ -65,7 +86,13 @@ func Connect(transport string, servers int, listen string, spawn bool, announce 
 				}
 			})
 		}
-		if err := c.AwaitWorkers(60 * time.Second); err != nil {
+		awaitCtx := ctx
+		if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+			var cancel context.CancelFunc
+			awaitCtx, cancel = context.WithTimeout(ctx, 60*time.Second)
+			defer cancel()
+		}
+		if err := c.AwaitWorkers(awaitCtx); err != nil {
 			cleanup()
 			return nil, nil, err
 		}

@@ -33,10 +33,12 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm"
@@ -66,6 +68,7 @@ const (
 	tagBind     = "setup/bind"
 	tagEndSess  = "setup/endsession"
 	tagEndAck   = "setup/endack"
+	tagAbort    = "setup/abort"
 )
 
 // Coordinator owns the listening socket, the worker connections, the
@@ -107,44 +110,85 @@ func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
 // AwaitWorkers accepts and handshakes s−1 worker connections, assigning
 // server ids 1…s−1 in connection order, then builds the TCP transport and
-// the remote-aware fabric.
-func (c *Coordinator) AwaitWorkers(timeout time.Duration) error {
+// the remote-aware fabric. ctx bounds the whole bring-up: its deadline
+// (or cancellation) interrupts both the accept loop and an in-progress
+// handshake.
+func (c *Coordinator) AwaitWorkers(ctx context.Context) error {
 	if err := c.live(); err != nil {
 		return err
 	}
-	deadline := time.Now().Add(timeout)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tcpLn, _ := c.ln.(*net.TCPListener)
+	deadline, hasDeadline := ctx.Deadline()
+	// Cancellation without a deadline still unblocks Accept: expire the
+	// listener the moment ctx fires.
+	stop := context.AfterFunc(ctx, func() {
+		if tcpLn != nil {
+			tcpLn.SetDeadline(time.Now().Add(-time.Second))
+		}
+	})
+	defer stop()
 	for t := 1; t < c.s; t++ {
-		if tcpLn, ok := c.ln.(*net.TCPListener); ok {
+		if hasDeadline && tcpLn != nil {
 			if err := tcpLn.SetDeadline(deadline); err != nil {
 				return err
 			}
 		}
-		conn, err := c.ln.Accept()
-		if err != nil {
+		// A cancellation landing between the AfterFunc's past-deadline
+		// write and the SetDeadline above would be silently overwritten;
+		// re-checking ctx here closes that window.
+		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("cluster: waiting for worker %d/%d: %w", t, c.s-1, err)
 		}
-		// The handshake honors the same deadline as the accept loop: a
+		conn, err := c.ln.Accept()
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return fmt.Errorf("cluster: waiting for worker %d/%d: %w", t, c.s-1, ctxErr)
+			}
+			return fmt.Errorf("cluster: waiting for worker %d/%d: %w", t, c.s-1, err)
+		}
+		// The handshake honors the same bound as the accept loop: a
 		// connected-but-silent peer (port scanner, crashed worker) must
 		// not hang the coordinator.
-		if err := conn.SetDeadline(deadline); err != nil {
+		stopConn := context.AfterFunc(ctx, func() {
+			conn.SetDeadline(time.Now().Add(-time.Second))
+		})
+		if hasDeadline {
+			if err := conn.SetDeadline(deadline); err != nil {
+				stopConn()
+				conn.Close()
+				return err
+			}
+		}
+		if err := ctx.Err(); err != nil { // same overwrite window as above
+			stopConn()
 			conn.Close()
-			return err
+			return fmt.Errorf("cluster: waiting for worker %d/%d: %w", t, c.s-1, err)
 		}
 		hello, err := readFrame(conn, tagHello)
 		if err != nil {
+			stopConn()
 			conn.Close()
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return fmt.Errorf("cluster: worker %d handshake: %w", t, ctxErr)
+			}
 			return fmt.Errorf("cluster: worker %d handshake: %w", t, err)
 		}
 		if len(hello.Words) != 1 || hello.Words[0] != protocolVersion {
+			stopConn()
 			conn.Close()
 			return fmt.Errorf("cluster: worker %d speaks protocol %v, want %d", t, hello.Words, protocolVersion)
 		}
 		assign := &comm.Frame{Kind: comm.KindControl, From: comm.CP, To: t, Tag: tagAssign,
 			Words: []uint64{uint64(t), uint64(c.s)}}
 		if err := comm.WriteWireFrame(conn, comm.EncodeFrame(assign)); err != nil {
+			stopConn()
 			conn.Close()
 			return fmt.Errorf("cluster: worker %d assign: %w", t, err)
 		}
+		stopConn()
 		if err := conn.SetDeadline(time.Time{}); err != nil {
 			conn.Close()
 			return err
@@ -187,6 +231,13 @@ func (c *Coordinator) send(t int, f *comm.Frame) error {
 // installs with small matrices.
 var installChunkWords = 1 << 20
 
+// InstallDatasetCtx is InstallDataset with an abort checkpoint between
+// chunks: a fired ctx stops the shipping loop early and the dataset does
+// not enter the cache (the install stays retryable).
+func (c *Coordinator) InstallDatasetCtx(ctx context.Context, key uint64, locals []matrix.Mat) error {
+	return c.installDataset(ctx, key, locals, false)
+}
+
 // InstallDataset ships share t of the keyed dataset to worker t as
 // uncharged setup traffic (the protocol model's premise is that the data
 // already resides on the servers; the install frames exist so the workers
@@ -195,7 +246,7 @@ var installChunkWords = 1 << 20
 // worker. A dataset whose key the workers already hold is a cache hit:
 // the call returns immediately having moved nothing.
 func (c *Coordinator) InstallDataset(key uint64, locals []matrix.Mat) error {
-	return c.installDataset(key, locals, false)
+	return c.installDataset(context.Background(), key, locals, false)
 }
 
 // InstallShares is the single-tenant installation path: the shares land
@@ -203,12 +254,15 @@ func (c *Coordinator) InstallDataset(key uint64, locals []matrix.Mat) error {
 // always re-shipped (no cache), preserving the pre-multi-tenant contract
 // that installing new shares replaces the old ones.
 func (c *Coordinator) InstallShares(locals []matrix.Mat) error {
-	return c.installDataset(0, locals, true)
+	return c.installDataset(context.Background(), 0, locals, true)
 }
 
-func (c *Coordinator) installDataset(key uint64, locals []matrix.Mat, force bool) error {
+func (c *Coordinator) installDataset(ctx context.Context, key uint64, locals []matrix.Mat, force bool) error {
 	if err := c.live(); err != nil {
 		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if c.tr == nil {
 		return errors.New("cluster: AwaitWorkers before installing datasets")
@@ -236,6 +290,9 @@ func (c *Coordinator) installDataset(key uint64, locals []matrix.Mat, force bool
 		vals := comm.FloatWords(ops.ShareDump(m))
 		total := len(vals)
 		for off := 0; ; off += installChunkWords {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("cluster: installing share on worker %d: %w", t, err)
+			}
 			end := off + installChunkWords
 			if end > total {
 				end = total
@@ -295,6 +352,31 @@ func (c *Coordinator) OpenSession(sess uint16, key uint64) error {
 			Stream: uint32(sess) << 16, Tag: tagBind, Words: []uint64{key}}
 		if err := c.send(t, f); err != nil {
 			return fmt.Errorf("cluster: binding session %d on worker %d: %w", sess, t, err)
+		}
+	}
+	return nil
+}
+
+// AbortSession tells every worker that the session was canceled mid-run:
+// each worker flags the session's serial op runner so the ops still
+// queued behind the one currently executing are discarded instead of
+// executed — the wasted-work window of a mid-run cancel shrinks to at
+// most one op per worker. Control traffic, never charged; always follow
+// with CloseSession, whose drain-until-ack also swallows the replies any
+// already-executing ops still produce.
+func (c *Coordinator) AbortSession(sess uint16) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if c.tr == nil {
+		return errors.New("cluster: AwaitWorkers before aborting sessions")
+	}
+	stream := uint32(sess) << 16
+	for t := 1; t < c.s; t++ {
+		f := &comm.Frame{Kind: comm.KindControl, Op: ops.OpAbort, From: comm.CP, To: t,
+			Stream: stream, Tag: tagAbort}
+		if err := c.send(t, f); err != nil {
+			return fmt.Errorf("cluster: aborting session %d on worker %d: %w", sess, t, err)
 		}
 	}
 	return nil
@@ -460,6 +542,11 @@ func (w *workerState) fail(err error) {
 type sessionRunner struct {
 	ch   chan *comm.Frame
 	done chan struct{} // closed when the runner exits (end op or teardown)
+	// aborted is set by the read loop the moment an OpAbort frame for the
+	// session arrives (out of band — not behind the op queue): the runner
+	// then discards queued ops without executing or answering them, and
+	// only the eventual OpEndSession is still honored with an ack.
+	aborted atomic.Bool
 }
 
 // Serve runs the worker side of the wire protocol on an established
@@ -524,6 +611,14 @@ func Serve(conn net.Conn) error {
 				stop()
 				return err
 			}
+		case f.Op == ops.OpAbort:
+			// Flag the runner directly instead of queueing the frame: the
+			// discard must take effect ahead of the ops already waiting in
+			// the runner's channel. No runner means nothing is in flight —
+			// the abort is a no-op then.
+			if r, ok := runners[comm.SessionOf(f.Stream)]; ok {
+				r.aborted.Store(true)
+			}
 		default:
 			sess := comm.SessionOf(f.Stream)
 			r, ok := runners[sess]
@@ -577,6 +672,9 @@ func (w *workerState) runSession(sess uint16, r *sessionRunner) {
 			}
 			return
 		case f.RTag != "":
+			if r.aborted.Load() {
+				continue // session canceled: discard without executing
+			}
 			kind, payload, err := w.exec(sess, f)
 			if err != nil {
 				w.fail(fmt.Errorf("op %d (%s): %w", f.Op, f.Tag, err))
@@ -725,19 +823,28 @@ func (w *workerState) exec(sess uint16, f *comm.Frame) (comm.Kind, []float64, er
 	}
 }
 
-// Dial connects to a coordinator and serves until shutdown, retrying the
-// initial connection for up to wait (workers typically start before the
-// coordinator listens).
-func Dial(addr string, wait time.Duration) error {
-	deadline := time.Now().Add(wait)
+// Dial connects to a coordinator and serves until shutdown. ctx bounds
+// the connection phase only — workers typically start before the
+// coordinator listens, so the dial retries until ctx fires; once the
+// connection is established the serve loop runs until the coordinator
+// shuts the cluster down, regardless of ctx.
+func Dial(ctx context.Context, addr string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var d net.Dialer
 	for {
-		conn, err := net.Dial("tcp", addr)
+		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
 			return Serve(conn)
 		}
-		if time.Now().After(deadline) {
+		if ctx.Err() != nil {
 			return fmt.Errorf("cluster: joining %s: %w", addr, err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		select {
+		case <-time.After(50 * time.Millisecond):
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: joining %s: %w", addr, ctx.Err())
+		}
 	}
 }

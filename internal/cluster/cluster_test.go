@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -57,12 +58,12 @@ func startTCP(t *testing.T, locals []matrix.Mat) *Coordinator {
 	}
 	for i := 1; i < s; i++ {
 		go func() {
-			if err := Dial(coord.Addr(), 5*time.Second); err != nil {
+			if err := Dial(testCtx(5*time.Second), coord.Addr()); err != nil {
 				t.Errorf("worker: %v", err)
 			}
 		}()
 	}
-	if err := coord.AwaitWorkers(10 * time.Second); err != nil {
+	if err := coord.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	if err := coord.InstallShares(locals); err != nil {
@@ -93,11 +94,11 @@ func runProtocol(t *testing.T, net *comm.Network, locals []matrix.Mat, seed int6
 	n, d := locals[comm.CP].Rows(), locals[comm.CP].Cols()
 	p := zsampler.ParamsForBudget(1<<13, net.Servers(), n*d, seed)
 	p.Workers = 3
-	zr, err := samplers.NewZRow(net, locals, fn.Identity{}, p)
+	zr, err := samplers.NewZRow(context.Background(), net, locals, fn.Identity{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(net, zr, fn.Identity{}, d, core.Options{K: 3, R: 15})
+	res, err := core.Run(context.Background(), net, zr, fn.Identity{}, d, core.Options{K: 3, R: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestLinearBaselineOverTCP(t *testing.T) {
 
 	memNet := comm.NewNetwork(s)
 	memNet.EnableTrace()
-	memRes, err := linearbaseline.Run(memNet, locals, opts)
+	memRes, err := linearbaseline.Run(context.Background(), memNet, locals, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestLinearBaselineOverTCP(t *testing.T) {
 	defer coord.Close()
 	tcpNet := coord.Network()
 	tcpNet.EnableTrace()
-	tcpRes, err := linearbaseline.Run(tcpNet, coord.MaskShares(locals), opts)
+	tcpRes, err := linearbaseline.Run(context.Background(), tcpNet, coord.MaskShares(locals), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sync"
@@ -8,7 +9,11 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/fn"
 	"repro/internal/matrix"
+	"repro/internal/samplers"
+	"repro/internal/zsampler"
 )
 
 // TestConcurrentSessionsOverTCP interleaves several complete protocol
@@ -36,12 +41,12 @@ func TestConcurrentSessionsOverTCP(t *testing.T) {
 	defer coord.Close()
 	for i := 1; i < s; i++ {
 		go func() {
-			if err := Dial(coord.Addr(), 5*time.Second); err != nil {
+			if err := Dial(testCtx(5*time.Second), coord.Addr()); err != nil {
 				t.Errorf("worker: %v", err)
 			}
 		}()
 	}
-	if err := coord.AwaitWorkers(10 * time.Second); err != nil {
+	if err := coord.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < k; i++ {
@@ -161,5 +166,104 @@ func TestCoordinatorCloseIdempotent(t *testing.T) {
 	}
 	if err := c2.Close(); err != nil {
 		t.Fatalf("unawaited second close: %v", err)
+	}
+}
+
+// TestCanceledSessionTeardownClean is the cluster-layer half of the
+// mid-run cancellation gate: a protocol run whose ctx fires between
+// rounds inside a TCP session — followed by the cancellation teardown
+// (AbortSession so workers discard the session's queued ops, then
+// CloseSession's drain-until-ack) — must leave the worker fleet and the
+// links so clean that the next session's full protocol run is
+// bit-identical to the same run on a fresh single-tenant fabric.
+func TestCanceledSessionTeardownClean(t *testing.T) {
+	const n, d, s, seed = 60, 8, 3, 505
+	locals := buildShares(seed, n, d, s)
+
+	// Reference: the probe protocol alone over mem.
+	want := runProtocol(t, comm.NewNetwork(s), locals, seed)
+
+	coord, err := Listen(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	for i := 1; i < s; i++ {
+		go func() {
+			if err := Dial(testCtx(5*time.Second), coord.Addr()); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := coord.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.InstallDataset(1, locals); err != nil {
+		t.Fatal(err)
+	}
+
+	// Session A: cancel after the 4th protocol round, mid-pipeline.
+	sessA, err := coord.Network().NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.OpenSession(sessA.ID(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sessA.OnRound(func(seq int64, tag string) {
+		if seq == 4 {
+			cancel()
+		}
+	})
+	masked := coord.MaskShares(locals)
+	p := zsampler.ParamsForBudget(1<<13, s, n*d, seed)
+	zr, err := samplers.NewZRow(ctx, sessA.Network, masked, fn.Identity{}, p)
+	if err == nil {
+		_, err = core.Run(ctx, sessA.Network, zr, fn.Identity{}, d, core.Options{K: 3, R: 15})
+	}
+	if err == nil {
+		t.Fatal("protocol survived a ctx canceled after round 4")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run returned %v, want a context.Canceled chain", err)
+	}
+	// Cancellation teardown, exactly as the job engine performs it.
+	if err := coord.AbortSession(sessA.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.CloseSession(sessA.ID()); err != nil {
+		t.Fatal(err)
+	}
+	sessA.Close()
+
+	// Session B (which recycles A's id): the probe run must match the
+	// fresh-fabric reference exactly — ledger, transcript and projection.
+	sessB, err := coord.Network().NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.OpenSession(sessB.ID(), 1); err != nil {
+		t.Fatal(err)
+	}
+	got := runProtocol(t, sessB.Network, masked, seed)
+	if err := coord.CloseSession(sessB.ID()); err != nil {
+		t.Fatal(err)
+	}
+	sessB.Close()
+
+	if want.words != got.words || want.bytes != got.bytes || want.msgs != got.msgs {
+		t.Fatalf("post-cancel session drifted: fresh %d words/%d bytes/%d msgs, got %d/%d/%d",
+			want.words, want.bytes, want.msgs, got.words, got.bytes, got.msgs)
+	}
+	if !reflect.DeepEqual(want.byTag, got.byTag) {
+		t.Fatalf("post-cancel per-tag words drifted:\nfresh %v\ngot   %v", want.byTag, got.byTag)
+	}
+	if !reflect.DeepEqual(want.trace, got.trace) {
+		t.Fatal("post-cancel transcript drifted")
+	}
+	if !want.project.Equalf(got.project, 0) {
+		t.Fatal("post-cancel projection drifted")
 	}
 }

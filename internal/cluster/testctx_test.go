@@ -1,0 +1,14 @@
+package cluster
+
+import (
+	"context"
+	"time"
+)
+
+// testCtx returns a context that expires after d, with the cancel driven
+// by the timer so call sites stay as terse as duration parameters were.
+func testCtx(d time.Duration) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	time.AfterFunc(d, cancel)
+	return ctx
+}

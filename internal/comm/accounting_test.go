@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -101,7 +102,7 @@ func TestResetClearsEverything(t *testing.T) {
 func TestRunRoundMemAccounting(t *testing.T) {
 	n := NewNetwork(3)
 	n.EnableTrace()
-	err := n.RunRound(Round{
+	err := n.RunRound(context.Background(), Round{
 		Op:       1,
 		Params:   []uint64{7, 8},
 		ReqTag:   "phase/seed",
@@ -142,7 +143,7 @@ func TestRunRoundMemAccounting(t *testing.T) {
 // TestRunRoundBroadcastOnly covers the no-reply (payload broadcast) form.
 func TestRunRoundBroadcastOnly(t *testing.T) {
 	n := NewNetwork(4)
-	if err := n.RunRound(Round{Op: 2, Data: []float64{1, 2, 3}, Kind: KindProjection, ReqTag: "proj"}); err != nil {
+	if err := n.RunRound(context.Background(), Round{Op: 2, Data: []float64{1, 2, 3}, Kind: KindProjection, ReqTag: "proj"}); err != nil {
 		t.Fatal(err)
 	}
 	if n.Words() != 3*3 {

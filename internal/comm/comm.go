@@ -55,6 +55,13 @@ type Network struct {
 
 	tr     Transport
 	remote []bool // remote[t]: server t is hosted by a worker process
+
+	// onRound, when set, observes every completed protocol round (see
+	// OnRound); roundSeq is the round counter it reports, shared with every
+	// fork of this ledger so a session's rounds number monotonically no
+	// matter which forked phase completed them.
+	onRound  RoundFunc
+	roundSeq *int64
 	// session is the tenancy namespace this ledger belongs to: its id is
 	// folded into the top 16 bits of every stream id the ledger stamps on
 	// frames, so concurrent sessions interleave on shared links without
@@ -111,9 +118,33 @@ func NewNetworkWith(s int, tr Transport, remote []bool) *Network {
 	if len(remote) != s || remote[CP] {
 		panic("comm: invalid remote-server mask")
 	}
-	n := &Network{servers: s, tr: tr, remote: remote, streamSeq: new(uint32)}
+	n := &Network{servers: s, tr: tr, remote: remote, streamSeq: new(uint32), roundSeq: new(int64)}
 	n.resetTallies()
 	return n
+}
+
+// RoundFunc observes completed protocol rounds: seq is the 1-based round
+// number within this ledger's lifetime, tag the round's request ledger
+// tag. Observers may be called concurrently when forked protocol phases
+// run in parallel, and must not call back into the fabric.
+type RoundFunc func(seq int64, tag string)
+
+// OnRound installs a round observer on this ledger (and, through Fork, on
+// every sub-ledger forked from it afterwards). Progress reporting only —
+// the observer has no effect on accounting or transcripts.
+func (n *Network) OnRound(fn RoundFunc) {
+	if n.roundSeq == nil {
+		n.roundSeq = new(int64)
+	}
+	n.onRound = fn
+}
+
+// noteRound bumps the shared round counter and feeds the observer.
+func (n *Network) noteRound(tag string) {
+	if n.onRound == nil {
+		return
+	}
+	n.onRound(atomic.AddInt64(n.roundSeq, 1), tag)
 }
 
 // Servers returns the number of servers (including the CP).

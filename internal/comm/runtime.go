@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -253,28 +254,44 @@ func localReply(r Round, stream uint32, t int) (enc []byte, err error) {
 // remote servers, transmitted) in server order 1…s−1 first; replies are
 // then drained and charged in the same order, so the transcript is
 // deterministic and transport-independent.
-func (n *Network) RunRound(r Round) error {
+//
+// ctx is the round's abort checkpoint: a ctx already done at entry stops
+// the round before any request frame moves (the fabric stays clean — no
+// poison, nothing in flight), and a ctx firing mid-drain aborts the
+// blocking remote receive. The between-rounds contract every protocol
+// loop relies on is exactly this entry check.
+func (n *Network) RunRound(ctx context.Context, r Round) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	n.mu.Lock()
 	failed := n.failed
 	n.mu.Unlock()
 	if failed != nil {
 		return fmt.Errorf("comm: fabric poisoned by an earlier aborted round (Reset to reuse): %w", failed)
 	}
-	err := n.runRound(r)
-	if err != nil && n.HasRemote() {
-		// A round that aborts after its requests went out may leave
-		// worker replies queued; poison the fabric so the next round
-		// fails fast instead of consuming a stale frame.
-		n.mu.Lock()
-		if n.failed == nil {
-			n.failed = err
+	err := n.runRound(ctx, r)
+	if err != nil {
+		if n.HasRemote() {
+			// A round that aborts after its requests went out may leave
+			// worker replies queued; poison the fabric so the next round
+			// fails fast instead of consuming a stale frame.
+			n.mu.Lock()
+			if n.failed == nil {
+				n.failed = err
+			}
+			n.mu.Unlock()
 		}
-		n.mu.Unlock()
+		return err
 	}
-	return err
+	n.noteRound(r.ReqTag)
+	return nil
 }
 
-func (n *Network) runRound(r Round) error {
+func (n *Network) runRound(ctx context.Context, r Round) error {
 	kind := r.Kind
 	words := r.Params
 	if r.Data != nil {
@@ -334,7 +351,7 @@ func (n *Network) runRound(r Round) error {
 	for t := 1; t < n.servers; t++ {
 		var enc []byte
 		if n.remote[t] {
-			buf, err := n.tr.Recv(t, CP, n.stream, nil)
+			buf, err := n.tr.Recv(t, CP, n.stream, ctx.Done())
 			if err != nil {
 				return fmt.Errorf("comm: round %q reply from server %d: %w", r.RespTag, t, err)
 			}
@@ -390,6 +407,8 @@ func (n *Network) Fork() *Network {
 		session:   n.session,
 		stream:    n.nextStream(),
 		streamSeq: n.streamSeq,
+		onRound:   n.onRound,
+		roundSeq:  n.roundSeq,
 		trace:     true,
 	}
 	f.resetTallies()

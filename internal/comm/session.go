@@ -67,6 +67,7 @@ func (n *Network) NewSession() (*Session, error) {
 			session:   id,
 			stream:    uint32(id) << 16,
 			streamSeq: new(uint32),
+			roundSeq:  new(int64),
 		},
 		parent: n,
 	}

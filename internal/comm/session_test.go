@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -14,7 +15,7 @@ func driveSession(t *testing.T, n *Network, scale int) map[string]int64 {
 	for i := range payload {
 		payload[i] = float64(i + scale)
 	}
-	err := n.RunRound(Round{
+	err := n.RunRound(context.Background(), Round{
 		Op:       1,
 		Data:     payload,
 		Kind:     KindFloats,

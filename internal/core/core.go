@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -36,9 +37,10 @@ type Sample struct {
 // RowSampler produces rows of the implicit matrix with probability
 // approximately proportional to the squared norms of the rows of
 // A = f(Σ_t A^t). Implementations charge their communication to the shared
-// network themselves.
+// network themselves. Draw honors ctx: a fired ctx aborts before the
+// draw's next protocol round.
 type RowSampler interface {
-	Draw() (Sample, error)
+	Draw(ctx context.Context) (Sample, error)
 }
 
 // Options configures a framework run.
@@ -116,7 +118,10 @@ type Result struct {
 // B_{i′} = f(raw_{i′})/√(r·Q̂_{i′}), compute the top-k right singular
 // vectors at the CP, and return P = VVᵀ. With Boost > 1 the procedure is
 // repeated and the result with maximal ‖BP‖_F² wins.
-func Run(net *comm.Network, sampler RowSampler, f fn.Func, d int, opts Options) (*Result, error) {
+func Run(ctx context.Context, net *comm.Network, sampler RowSampler, f fn.Func, d int, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.K < 1 {
 		return nil, fmt.Errorf("core: rank k must be ≥ 1, got %d", opts.K)
 	}
@@ -130,7 +135,7 @@ func Run(net *comm.Network, sampler RowSampler, f fn.Func, d int, opts Options) 
 	start := net.Snapshot()
 	var best *Result
 	for b := 0; b < boost; b++ {
-		res, err := runOnce(net, sampler, f, d, opts)
+		res, err := runOnce(ctx, net, sampler, f, d, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -146,12 +151,18 @@ func Run(net *comm.Network, sampler RowSampler, f fn.Func, d int, opts Options) 
 	return best, nil
 }
 
-func runOnce(net *comm.Network, sampler RowSampler, f fn.Func, d int, opts Options) (*Result, error) {
+func runOnce(ctx context.Context, net *comm.Network, sampler RowSampler, f fn.Func, d int, opts Options) (*Result, error) {
 	r := opts.SampleCount()
 	B := matrix.NewDense(r, d)
 	rows := make([]int, r)
 	for i := 0; i < r; i++ {
-		s, err := sampler.Draw()
+		// Abort checkpoint between draws: every draw is at least one
+		// protocol round, so a canceled job stops here at round
+		// granularity without a partially assembled row.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := sampler.Draw(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("core: sampler draw %d: %w", i, err)
 		}
@@ -184,7 +195,10 @@ func runOnce(net *comm.Network, sampler RowSampler, f fn.Func, d int, opts Optio
 // r and the error is then reported for k = 3…15: the per-k projections all
 // come from one sample. Boost applies per-k (the best repetition may differ
 // per rank).
-func RunMultiK(net *comm.Network, sampler RowSampler, f fn.Func, d int, ks []int, opts Options) (map[int]*Result, error) {
+func RunMultiK(ctx context.Context, net *comm.Network, sampler RowSampler, f fn.Func, d int, ks []int, opts Options) (map[int]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(ks) == 0 {
 		return nil, errors.New("core: no ranks requested")
 	}
@@ -199,7 +213,10 @@ func RunMultiK(net *comm.Network, sampler RowSampler, f fn.Func, d int, ks []int
 		B := matrix.NewDense(r, d)
 		rows := make([]int, r)
 		for i := 0; i < r; i++ {
-			s, err := sampler.Draw()
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			s, err := sampler.Draw(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("core: sampler draw %d: %w", i, err)
 			}

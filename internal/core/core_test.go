@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -38,7 +39,7 @@ func newIdealSampler(A *matrix.Dense, gamma float64, seed int64) *idealSampler {
 	return s
 }
 
-func (s *idealSampler) Draw() (Sample, error) {
+func (s *idealSampler) Draw(ctx context.Context) (Sample, error) {
 	if s.fail != nil {
 		return Sample{}, s.fail
 	}
@@ -86,7 +87,7 @@ func TestLemma12Numerically(t *testing.T) {
 	k := 4
 	net := comm.NewNetwork(1)
 	s := newIdealSampler(A, 0, 2)
-	res, err := Run(net, s, fn.Identity{}, 20, Options{K: k, R: 200})
+	res, err := Run(context.Background(), net, s, fn.Identity{}, 20, Options{K: k, R: 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRunAdditiveErrorShrinksWithR(t *testing.T) {
 		for tr := 0; tr < trials; tr++ {
 			net := comm.NewNetwork(1)
 			s := newIdealSampler(A, 0, int64(100*r+tr))
-			res, err := Run(net, s, fn.Identity{}, 15, Options{K: k, R: r})
+			res, err := Run(context.Background(), net, s, fn.Identity{}, 15, Options{K: k, R: r})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -135,7 +136,7 @@ func TestNoisyProbabilityTolerance(t *testing.T) {
 	for _, gamma := range []float64{0, 0.2, 0.4} {
 		net := comm.NewNetwork(1)
 		s := newIdealSampler(A, gamma, 7)
-		res, err := Run(net, s, fn.Identity{}, 12, Options{K: k, R: 300})
+		res, err := Run(context.Background(), net, s, fn.Identity{}, 12, Options{K: k, R: 300})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func TestRunAppliesF(t *testing.T) {
 	s := newIdealSampler(fA, 0, 8)
 	// But feed raw rows, letting Run apply f.
 	rawSampler := &rawRowSampler{inner: s, raw: raw}
-	res, err := Run(net, rawSampler, fn.AbsPower{P: 2}, 10, Options{K: k, R: 300})
+	res, err := Run(context.Background(), net, rawSampler, fn.AbsPower{P: 2}, 10, Options{K: k, R: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,8 +171,8 @@ type rawRowSampler struct {
 	raw   *matrix.Dense
 }
 
-func (s *rawRowSampler) Draw() (Sample, error) {
-	smp, err := s.inner.Draw()
+func (s *rawRowSampler) Draw(ctx context.Context) (Sample, error) {
+	smp, err := s.inner.Draw(context.Background())
 	if err != nil {
 		return Sample{}, err
 	}
@@ -185,13 +186,13 @@ func TestBoostNeverWorseOnScore(t *testing.T) {
 	k := 3
 	net1 := comm.NewNetwork(1)
 	s1 := newIdealSampler(A, 0, 9)
-	single, err := Run(net1, s1, fn.Identity{}, 10, Options{K: k, R: 40})
+	single, err := Run(context.Background(), net1, s1, fn.Identity{}, 10, Options{K: k, R: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
 	net2 := comm.NewNetwork(1)
 	s2 := newIdealSampler(A, 0, 9)
-	boosted, err := Run(net2, s2, fn.Identity{}, 10, Options{K: k, R: 40, Boost: 5})
+	boosted, err := Run(context.Background(), net2, s2, fn.Identity{}, 10, Options{K: k, R: 40, Boost: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestRunMultiKConsistentWithRun(t *testing.T) {
 	net := comm.NewNetwork(1)
 	s := newIdealSampler(A, 0, 11)
 	ks := []int{2, 4, 6}
-	results, err := RunMultiK(net, s, fn.Identity{}, 8, ks, Options{K: 6, R: 100})
+	results, err := RunMultiK(context.Background(), net, s, fn.Identity{}, 8, ks, Options{K: 6, R: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,14 +261,14 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	A := lowRank(rng, 20, 4, 2, 0.1)
 	s := newIdealSampler(A, 0, 1)
-	if _, err := Run(net, s, fn.Identity{}, 4, Options{K: 0, R: 5}); err == nil {
+	if _, err := Run(context.Background(), net, s, fn.Identity{}, 4, Options{K: 0, R: 5}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := Run(net, s, fn.Identity{}, 0, Options{K: 1, R: 5}); err == nil {
+	if _, err := Run(context.Background(), net, s, fn.Identity{}, 0, Options{K: 1, R: 5}); err == nil {
 		t.Fatal("d=0 accepted")
 	}
 	s.fail = errors.New("boom")
-	if _, err := Run(net, s, fn.Identity{}, 4, Options{K: 1, R: 5}); err == nil {
+	if _, err := Run(context.Background(), net, s, fn.Identity{}, 4, Options{K: 1, R: 5}); err == nil {
 		t.Fatal("sampler failure swallowed")
 	}
 }
@@ -277,33 +278,33 @@ func TestRunRejectsInvalidQHat(t *testing.T) {
 	bad := samplerFunc(func() (Sample, error) {
 		return Sample{Row: 0, QHat: 0, RawRow: []float64{1, 2}}, nil
 	})
-	if _, err := Run(net, bad, fn.Identity{}, 2, Options{K: 1, R: 3}); err == nil {
+	if _, err := Run(context.Background(), net, bad, fn.Identity{}, 2, Options{K: 1, R: 3}); err == nil {
 		t.Fatal("QHat=0 accepted")
 	}
 	nan := samplerFunc(func() (Sample, error) {
 		return Sample{Row: 0, QHat: math.NaN(), RawRow: []float64{1, 2}}, nil
 	})
-	if _, err := Run(net, nan, fn.Identity{}, 2, Options{K: 1, R: 3}); err == nil {
+	if _, err := Run(context.Background(), net, nan, fn.Identity{}, 2, Options{K: 1, R: 3}); err == nil {
 		t.Fatal("QHat=NaN accepted")
 	}
 	short := samplerFunc(func() (Sample, error) {
 		return Sample{Row: 0, QHat: 0.5, RawRow: []float64{1}}, nil
 	})
-	if _, err := Run(net, short, fn.Identity{}, 2, Options{K: 1, R: 3}); err == nil {
+	if _, err := Run(context.Background(), net, short, fn.Identity{}, 2, Options{K: 1, R: 3}); err == nil {
 		t.Fatal("short row accepted")
 	}
 }
 
 type samplerFunc func() (Sample, error)
 
-func (f samplerFunc) Draw() (Sample, error) { return f() }
+func (f samplerFunc) Draw(ctx context.Context) (Sample, error) { return f() }
 
 func TestRunChargesProjectionBroadcast(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	A := lowRank(rng, 50, 6, 2, 0.1)
 	net := comm.NewNetwork(4)
 	s := newIdealSampler(A, 0, 3)
-	_, err := Run(net, s, fn.Identity{}, 6, Options{K: 2, R: 10})
+	_, err := Run(context.Background(), net, s, fn.Identity{}, 6, Options{K: 2, R: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,13 +319,13 @@ func TestRunMultiKRejectsBadKs(t *testing.T) {
 	A := lowRank(rng, 30, 5, 2, 0.1)
 	net := comm.NewNetwork(1)
 	s := newIdealSampler(A, 0, 4)
-	if _, err := RunMultiK(net, s, fn.Identity{}, 5, []int{0}, Options{K: 1, R: 5}); err == nil {
+	if _, err := RunMultiK(context.Background(), net, s, fn.Identity{}, 5, []int{0}, Options{K: 1, R: 5}); err == nil {
 		t.Fatal("k=0 accepted")
 	}
-	if _, err := RunMultiK(net, s, fn.Identity{}, 5, []int{9}, Options{K: 9, R: 5}); err == nil {
+	if _, err := RunMultiK(context.Background(), net, s, fn.Identity{}, 5, []int{9}, Options{K: 9, R: 5}); err == nil {
 		t.Fatal("k>d accepted")
 	}
-	if _, err := RunMultiK(net, s, fn.Identity{}, 5, nil, Options{K: 1, R: 5}); err == nil {
+	if _, err := RunMultiK(context.Background(), net, s, fn.Identity{}, 5, nil, Options{K: 1, R: 5}); err == nil {
 		t.Fatal("empty ks accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -50,11 +51,11 @@ func sparsePanelConfig(backend Backend) PanelConfig {
 // error, words, everything. This is the CI gate the tentpole's acceptance
 // criterion names: backend choice must never change results, only cost.
 func TestPanelBackendEquivalence(t *testing.T) {
-	dense, err := RunPanel(sparsePanelConfig(BackendDense))
+	dense, err := RunPanel(context.Background(), sparsePanelConfig(BackendDense))
 	if err != nil {
 		t.Fatal(err)
 	}
-	csr, err := RunPanel(sparsePanelConfig(BackendCSR))
+	csr, err := RunPanel(context.Background(), sparsePanelConfig(BackendCSR))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -128,8 +129,12 @@ func chooseZParams(budget int64, s, l int, seed int64) zsampler.Params {
 	return zsampler.ParamsForBudget(budget/2, s, l, seed)
 }
 
-// RunPanel executes one figure panel.
-func RunPanel(cfg PanelConfig) (*Panel, error) {
+// RunPanel executes one figure panel. ctx aborts the sweep between
+// protocol rounds; cells not yet started are skipped.
+func RunPanel(ctx context.Context, cfg PanelConfig) (*Panel, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Runs < 1 {
 		cfg.Runs = 1
 	}
@@ -204,7 +209,7 @@ func RunPanel(cfg PanelConfig) (*Panel, error) {
 			sampler = u
 		} else {
 			zp := chooseZParams(budget, s, n*d, runSeed)
-			zr, err := samplers.NewZRow(net, built.Locals, built.Z, zp)
+			zr, err := samplers.NewZRow(ctx, net, built.Locals, built.Z, zp)
 			if err != nil {
 				return cellResult{err: fmt.Errorf("experiments: %s ratio %g: %w", cfg.Name, ratio, err)}
 			}
@@ -217,7 +222,7 @@ func RunPanel(cfg PanelConfig) (*Panel, error) {
 			r = maxK + 1 // floor: below this the SVD is degenerate
 		}
 
-		results, err := core.RunMultiK(net, sampler, built.F, d, cfg.Ks, core.Options{K: maxK, R: r})
+		results, err := core.RunMultiK(ctx, net, sampler, built.F, d, cfg.Ks, core.Options{K: maxK, R: r})
 		if err != nil {
 			return cellResult{err: fmt.Errorf("experiments: %s ratio %g run %d: %w", cfg.Name, ratio, run, err)}
 		}

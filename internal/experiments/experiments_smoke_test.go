@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dataset"
@@ -17,7 +18,7 @@ func TestSmokePanels(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg.Ratios = []float64{0.5}
-		p, err := RunPanel(cfg)
+		p, err := RunPanel(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

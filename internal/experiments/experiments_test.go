@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -116,7 +117,7 @@ func TestCommunicationWithinBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg.Ratios = []float64{0.25}
-	panel, err := RunPanel(cfg)
+	panel, err := RunPanel(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestBaselineColumn(t *testing.T) {
 	}
 	cfg.Ratios = []float64{0.5}
 	cfg.Baseline = true
-	panel, err := RunPanel(cfg)
+	panel, err := RunPanel(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestRunPanelWorkersDeterministic(t *testing.T) {
 			t.Fatal(err)
 		}
 		cfg.Ratios = []float64{0.5, 0.25}
-		panel, err := RunPanel(cfg)
+		panel, err := RunPanel(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

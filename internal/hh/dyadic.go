@@ -1,6 +1,7 @@
 package hh
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/comm"
@@ -133,12 +134,12 @@ func (d *DyadicHH) Heavy(B float64) []uint64 {
 // every level (worker processes included), and the CP merges the arriving
 // level blocks in server order and descends. Same contract as HeavyHitters
 // with CP computation O(B·log² m) instead of O(m).
-func DyadicHeavyHitters(net *comm.Network, locals []Vec, B float64, p Params, seed int64, tag string) ([]uint64, error) {
+func DyadicHeavyHitters(ctx context.Context, net *comm.Network, locals []Vec, B float64, p Params, seed int64, tag string) ([]uint64, error) {
 	m, err := dim(locals)
 	if err != nil {
 		return nil, err
 	}
-	sks, err := sketchRound(net, ops.OpDyadicSketch, ops.FlatSketchParams(seed, p.Depth, p.Width),
+	sks, err := sketchRound(ctx, net, ops.OpDyadicSketch, ops.FlatSketchParams(seed, p.Depth, p.Width),
 		tag+"/seed", tag+"/dyadic-sketch", func(t int) []*sketch.CountSketch {
 			return BuildLocalDyadic(locals[t], seed, p).sk
 		})

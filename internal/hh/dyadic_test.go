@@ -1,6 +1,7 @@
 package hh
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestDyadicFindsPlanted(t *testing.T) {
 	}
 	locals := splitVector(v, 3, rng)
 	net := comm.NewNetwork(3)
-	got, err := DyadicHeavyHitters(net, locals, 32, Params{Depth: 5, Width: 256}, 9, "dy")
+	got, err := DyadicHeavyHitters(context.Background(), net, locals, 32, Params{Depth: 5, Width: 256}, 9, "dy")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,13 +48,13 @@ func TestDyadicAgreesWithFlat(t *testing.T) {
 	p := Params{Depth: 5, Width: 256}
 
 	netA := comm.NewNetwork(2)
-	flatRes, err := HeavyHitters(netA, locals, 64, p, 5, "flat")
+	flatRes, err := HeavyHitters(context.Background(), netA, locals, 64, p, 5, "flat")
 	if err != nil {
 		t.Fatal(err)
 	}
 	flat := flatRes.Coords
 	netB := comm.NewNetwork(2)
-	dyad, err := DyadicHeavyHitters(netB, locals, 64, p, 5, "dy")
+	dyad, err := DyadicHeavyHitters(context.Background(), netB, locals, 64, p, 5, "dy")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestDyadicNonPowerOfTwoDimension(t *testing.T) {
 	v[999] = 20 // the last valid coordinate
 	locals := splitVector(v, 2, rng)
 	net := comm.NewNetwork(2)
-	got, err := DyadicHeavyHitters(net, locals, 16, Params{Depth: 5, Width: 128}, 7, "dy")
+	got, err := DyadicHeavyHitters(context.Background(), net, locals, 16, Params{Depth: 5, Width: 128}, 7, "dy")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestDyadicNonPowerOfTwoDimension(t *testing.T) {
 func TestDyadicZeroVector(t *testing.T) {
 	locals := []Vec{DenseVec(make([]float64, 64)), DenseVec(make([]float64, 64))}
 	net := comm.NewNetwork(2)
-	if got, err := DyadicHeavyHitters(net, locals, 8, Params{Depth: 3, Width: 32}, 1, "dy"); err != nil || len(got) != 0 {
+	if got, err := DyadicHeavyHitters(context.Background(), net, locals, 8, Params{Depth: 3, Width: 32}, 1, "dy"); err != nil || len(got) != 0 {
 		t.Fatalf("zero vector reported %v", got)
 	}
 }

@@ -1,6 +1,7 @@
 package hh
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/comm"
@@ -64,10 +65,10 @@ func dim(locals []Vec) (uint64, error) {
 // arriving counter blocks in server order, so the accounting is
 // deterministic and transport-independent. Linearity of the sketches makes
 // the merged set exactly the sketch of Σ_t locals[t].
-func sketchRound(net *comm.Network, op uint16, params []uint64, reqTag, respTag string,
+func sketchRound(ctx context.Context, net *comm.Network, op uint16, params []uint64, reqTag, respTag string,
 	build func(t int) []*sketch.CountSketch) ([]*sketch.CountSketch, error) {
 	merged := build(comm.CP)
-	err := net.RunRound(comm.Round{
+	err := net.RunRound(ctx, comm.Round{
 		Op:       op,
 		Params:   params,
 		ReqTag:   reqTag,
@@ -94,12 +95,12 @@ func sketchRound(net *comm.Network, op uint16, params []uint64, reqTag, respTag 
 //
 // Communication: s−1 three-word op frames + (s−1)·Depth·Width sketch
 // words, charged on net under tag/seed and tag/sketch.
-func HeavyHitters(net *comm.Network, locals []Vec, B float64, p Params, seed int64, tag string) (Result, error) {
+func HeavyHitters(ctx context.Context, net *comm.Network, locals []Vec, B float64, p Params, seed int64, tag string) (Result, error) {
 	m, err := dim(locals)
 	if err != nil {
 		return Result{}, err
 	}
-	merged, err := sketchRound(net, ops.OpFlatSketch, ops.FlatSketchParams(seed, p.Depth, p.Width),
+	merged, err := sketchRound(ctx, net, ops.OpFlatSketch, ops.FlatSketchParams(seed, p.Depth, p.Width),
 		tag+"/seed", tag+"/sketch", func(t int) []*sketch.CountSketch {
 			return []*sketch.CountSketch{ops.FlatSketch(locals[t], seed, p.Depth, p.Width, p.Workers)}
 		})
@@ -168,7 +169,7 @@ func keepTop(cands []candidate, n int) []uint64 {
 // honor the restriction. The restriction is a closure, so this variant
 // only runs on fully in-process clusters (the Z protocols use the
 // wire-expressible ops.LevelFilter instead).
-func HeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bool, B float64, p Params, seed int64, tag string) (Result, error) {
+func HeavyHittersFiltered(ctx context.Context, net *comm.Network, locals []Vec, keep func(uint64) bool, B float64, p Params, seed int64, tag string) (Result, error) {
 	if net.HasRemote() {
 		return Result{}, ErrRestrictionNotExpressible
 	}
@@ -176,7 +177,7 @@ func HeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) boo
 	if err != nil {
 		return Result{}, err
 	}
-	merged, err := sketchRound(net, ops.OpFlatSketch, ops.FlatSketchParams(seed, p.Depth, p.Width),
+	merged, err := sketchRound(ctx, net, ops.OpFlatSketch, ops.FlatSketchParams(seed, p.Depth, p.Width),
 		tag+"/seed", tag+"/sketch", func(t int) []*sketch.CountSketch {
 			restricted := Filtered{Base: locals[t], Keep: keep}
 			return []*sketch.CountSketch{ops.FlatSketch(restricted, seed, p.Depth, p.Width, p.Workers)}
@@ -208,12 +209,12 @@ func HeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) boo
 // space, optionally restricted to a subsampled level set. Local shares are
 // restricted by keep (fast, possibly precomputed); remote workers derive
 // the same restriction from filt, which travels in the op frame.
-func bucketedSketches(net *comm.Network, locals []Vec, repSeed int64, buckets int, p Params,
+func bucketedSketches(ctx context.Context, net *comm.Network, locals []Vec, repSeed int64, buckets int, p Params,
 	keep func(uint64) bool, filt *ops.LevelFilter, tag string) ([]*sketch.CountSketch, error) {
 	if net.HasRemote() && keep != nil && filt == nil {
 		return nil, ErrRestrictionNotExpressible
 	}
-	return sketchRound(net, ops.OpBucketSketch,
+	return sketchRound(ctx, net, ops.OpBucketSketch,
 		ops.BucketSketchParams(repSeed, buckets, p.Depth, p.Width, filt),
 		tag+"/seed", tag+"/bucket-sketch", func(t int) []*sketch.CountSketch {
 			v := locals[t]
@@ -260,17 +261,20 @@ func DefaultZParams(B float64) ZParams {
 //
 // Note z itself is not evaluated anywhere: property P is exactly what makes
 // ℓ2 heaviness inside a bucket certify z heaviness.
-func ZHeavyHitters(net *comm.Network, locals []Vec, zp ZParams, seed int64, tag string) ([]uint64, error) {
+func ZHeavyHitters(ctx context.Context, net *comm.Network, locals []Vec, zp ZParams, seed int64, tag string) ([]uint64, error) {
 	m, err := dim(locals)
 	if err != nil {
 		return nil, err
 	}
 	found := make(map[uint64]struct{})
 	for t := 0; t < zp.Reps; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err // abort checkpoint between bucketing repetitions
+		}
 		repSeed := hashing.DeriveSeed(seed, uint64(7000+t))
 		part := hashing.PairwiseHash(hashing.Seeded(repSeed))
 
-		merged, err := bucketedSketches(net, locals, repSeed, zp.Buckets, zp.Sketch, nil, nil, tag)
+		merged, err := bucketedSketches(ctx, net, locals, repSeed, zp.Buckets, zp.Sketch, nil, nil, tag)
 		if err != nil {
 			return nil, err
 		}
@@ -312,7 +316,7 @@ func ZHeavyHitters(net *comm.Network, locals []Vec, zp ZParams, seed int64, tag 
 // enumerates the coordinates the CP should test — callers that know the
 // restricted support supply it to avoid a full-range scan; when nil, every
 // coordinate passing keep is tested.
-func ZHeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bool, filt *ops.LevelFilter,
+func ZHeavyHittersFiltered(ctx context.Context, net *comm.Network, locals []Vec, keep func(uint64) bool, filt *ops.LevelFilter,
 	candidates func(yield func(uint64)), zp ZParams, seed int64, tag string) ([]uint64, error) {
 	m, err := dim(locals)
 	if err != nil {
@@ -335,10 +339,13 @@ func ZHeavyHittersFiltered(net *comm.Network, locals []Vec, keep func(uint64) bo
 	}
 	found := make(map[uint64]struct{})
 	for t := 0; t < zp.Reps; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err // abort checkpoint between bucketing repetitions
+		}
 		repSeed := hashing.DeriveSeed(seed, uint64(9000+t))
 		part := hashing.PairwiseHash(hashing.Seeded(repSeed))
 
-		merged, err := bucketedSketches(net, locals, repSeed, zp.Buckets, zp.Sketch, keep, filt, tag)
+		merged, err := bucketedSketches(ctx, net, locals, repSeed, zp.Buckets, zp.Sketch, keep, filt, tag)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package hh
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -104,7 +105,7 @@ func TestHeavyHittersFindsPlanted(t *testing.T) {
 	}
 	locals := splitVector(v, 4, rng)
 	net := comm.NewNetwork(4)
-	res, err := HeavyHitters(net, locals, 64, Params{Depth: 5, Width: 256}, 99, "hh")
+	res, err := HeavyHitters(context.Background(), net, locals, 64, Params{Depth: 5, Width: 256}, 99, "hh")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestHeavyHittersChargesSketches(t *testing.T) {
 	net := comm.NewNetwork(3)
 	locals := []Vec{DenseVec{1, 0}, DenseVec{0, 0}, DenseVec{0, 0}}
 	p := Params{Depth: 2, Width: 8}
-	if _, err := HeavyHitters(net, locals, 4, p, 1, "hh"); err != nil {
+	if _, err := HeavyHitters(context.Background(), net, locals, 4, p, 1, "hh"); err != nil {
 		t.Fatal(err)
 	}
 	// 2 non-CP servers × (3 op-frame words + 16 sketch words).
@@ -138,7 +139,7 @@ func TestHeavyHittersChargesSketches(t *testing.T) {
 func TestHeavyHittersZeroVector(t *testing.T) {
 	net := comm.NewNetwork(2)
 	locals := []Vec{DenseVec(make([]float64, 10)), DenseVec(make([]float64, 10))}
-	res, err := HeavyHitters(net, locals, 4, Params{Depth: 2, Width: 8}, 1, "hh")
+	res, err := HeavyHitters(context.Background(), net, locals, 4, Params{Depth: 2, Width: 8}, 1, "hh")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestHeavyHittersFiltered(t *testing.T) {
 	locals := splitVector(v, 3, rng)
 	net := comm.NewNetwork(3)
 	keep := func(j uint64) bool { return j%2 == 0 }
-	res, err := HeavyHittersFiltered(net, locals, keep, 64, Params{Depth: 5, Width: 256}, 7, "hh")
+	res, err := HeavyHittersFiltered(context.Background(), net, locals, keep, 64, Params{Depth: 5, Width: 256}, 7, "hh")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestZHeavyHittersIsolatesManyHeavy(t *testing.T) {
 	locals := splitVector(v, 4, rng)
 	net := comm.NewNetwork(4)
 	zp := ZParams{Reps: 4, Buckets: 64, B: 16, Sketch: Params{Depth: 5, Width: 128}}
-	found, err := ZHeavyHitters(net, locals, zp, 11, "zhh")
+	found, err := ZHeavyHitters(context.Background(), net, locals, zp, 11, "zhh")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestZHeavyHittersFilteredCandidates(t *testing.T) {
 		}
 	}
 	zp := ZParams{Reps: 3, Buckets: 16, B: 16, Sketch: Params{Depth: 4, Width: 64}}
-	found, err := ZHeavyHittersFiltered(net, locals, keep, nil, candidates, zp, 5, "zhh")
+	found, err := ZHeavyHittersFiltered(context.Background(), net, locals, keep, nil, candidates, zp, 5, "zhh")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +249,7 @@ func TestZHeavyHittersFilteredNilCandidates(t *testing.T) {
 	locals := splitVector(v, 2, rng)
 	net := comm.NewNetwork(2)
 	zp := ZParams{Reps: 2, Buckets: 8, B: 8, Sketch: Params{Depth: 4, Width: 64}}
-	found, err := ZHeavyHittersFiltered(net, locals, func(uint64) bool { return true }, nil, nil, zp, 5, "zhh")
+	found, err := ZHeavyHittersFiltered(context.Background(), net, locals, func(uint64) bool { return true }, nil, nil, zp, 5, "zhh")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestHeavyHittersCapBoundsReportSize(t *testing.T) {
 	locals := splitVector(v, 2, rng)
 	net := comm.NewNetwork(2)
 	B := 8.0
-	res, err := HeavyHitters(net, locals, B, Params{Depth: 2, Width: 8}, 3, "hh")
+	res, err := HeavyHitters(context.Background(), net, locals, B, Params{Depth: 2, Width: 8}, 3, "hh")
 	if err != nil {
 		t.Fatal(err)
 	}

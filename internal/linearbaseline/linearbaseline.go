@@ -17,6 +17,7 @@
 package linearbaseline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -69,7 +70,7 @@ type Result struct {
 // (s−1)·2 op words + (s−1)·t·d sketch words + (s−1)·d·k to ship the
 // projection back. Shares may be in any backend; nil entries are
 // worker-hosted shares reached through the fabric.
-func Run(net *comm.Network, locals []matrix.Mat, opts Options) (*Result, error) {
+func Run(ctx context.Context, net *comm.Network, locals []matrix.Mat, opts Options) (*Result, error) {
 	if len(locals) == 0 || locals[comm.CP] == nil {
 		return nil, errors.New("linearbaseline: the CP's local share is required")
 	}
@@ -101,7 +102,7 @@ func Run(net *comm.Network, locals []matrix.Mat, opts Options) (*Result, error) 
 		}
 	}
 	addFlat(ops.LinearSketch(locals[comm.CP], seed, t))
-	err := net.RunRound(comm.Round{
+	err := net.RunRound(ctx, comm.Round{
 		Op:       ops.OpLinearSketch,
 		Params:   ops.LinearSketchParams(seed, t),
 		ReqTag:   "linear/seed",

@@ -1,6 +1,7 @@
 package linearbaseline
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestLinearRelativeError(t *testing.T) {
 	s, k := 4, 5
 	locals := robust.ArbitraryPartition(M, s, 7)
 	net := comm.NewNetwork(s)
-	res, err := Run(net, matrix.AsMats(locals), Options{K: k, Eps: 0.25, Seed: 3})
+	res, err := Run(context.Background(), net, matrix.AsMats(locals), Options{K: k, Eps: 0.25, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestLinearCommunicationIsSmall(t *testing.T) {
 	M := lowRank(rng, n, d, 4, 0.2)
 	locals := robust.RowPartition(M, s, 9)
 	net := comm.NewNetwork(s)
-	res, err := Run(net, matrix.AsMats(locals), Options{K: 4, Eps: 0.5, Seed: 5})
+	res, err := Run(context.Background(), net, matrix.AsMats(locals), Options{K: 4, Eps: 0.5, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestLinearBaselineMissesHuber(t *testing.T) {
 	locals := robust.ArbitraryPartition(corrupted, s, 13)
 
 	net := comm.NewNetwork(s)
-	res, err := Run(net, matrix.AsMats(locals), Options{K: k, Eps: 0.25, Seed: 15})
+	res, err := Run(context.Background(), net, matrix.AsMats(locals), Options{K: k, Eps: 0.25, Seed: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,15 +106,15 @@ func TestLinearBaselineMissesHuber(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	net := comm.NewNetwork(2)
-	if _, err := Run(net, nil, Options{K: 1}); err == nil {
+	if _, err := Run(context.Background(), net, nil, Options{K: 1}); err == nil {
 		t.Fatal("no servers accepted")
 	}
 	ms := []*matrix.Dense{matrix.NewDense(3, 2), matrix.NewDense(2, 2)}
-	if _, err := Run(net, matrix.AsMats(ms), Options{K: 1}); err == nil {
+	if _, err := Run(context.Background(), net, matrix.AsMats(ms), Options{K: 1}); err == nil {
 		t.Fatal("shape mismatch accepted")
 	}
 	ok := []*matrix.Dense{matrix.NewDense(3, 2), matrix.NewDense(3, 2)}
-	if _, err := Run(net, matrix.AsMats(ok), Options{K: 0}); err == nil {
+	if _, err := Run(context.Background(), net, matrix.AsMats(ok), Options{K: 0}); err == nil {
 		t.Fatal("K=0 accepted")
 	}
 }

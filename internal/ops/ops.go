@@ -58,6 +58,12 @@ const (
 	// worker acknowledges after every earlier op of the session has
 	// executed, so the coordinator can recycle the session id safely.
 	OpEndSession
+	// OpAbort: control — the coordinator canceled the frame's session
+	// mid-run. The worker discards the session's still-queued ops without
+	// executing or answering them (the op already executing cannot be
+	// preempted, but its reply is discarded coordinator-side during
+	// teardown) and still acknowledges the eventual OpEndSession.
+	OpAbort
 )
 
 // Vec is a server's local share of a distributed vector v = Σ_t v^t.

@@ -1,6 +1,7 @@
 package samplers
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -47,13 +48,13 @@ func runZRow(t *testing.T, locals []matrix.Mat, draws int) ([]drawRecord, int64,
 	net := comm.NewNetwork(len(locals))
 	net.EnableTrace()
 	p := zsampler.ParamsForBudget(1<<14, len(locals), locals[0].Rows()*locals[0].Cols(), 99)
-	zr, err := NewZRow(net, locals, fn.Identity{}, p)
+	zr, err := NewZRow(context.Background(), net, locals, fn.Identity{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	out := make([]drawRecord, draws)
 	for i := range out {
-		s, err := zr.Draw()
+		s, err := zr.Draw(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestUniformBackendBitIdentical(t *testing.T) {
 		}
 		out := make([]drawRecord, 40)
 		for i := range out {
-			s, err := u.Draw()
+			s, err := u.Draw(context.Background())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -143,11 +144,11 @@ func TestFullProtocolBackendBitIdentical(t *testing.T) {
 	run := func(locals []matrix.Mat) *matrix.Dense {
 		net := comm.NewNetwork(len(locals))
 		p := zsampler.ParamsForBudget(1<<13, len(locals), 100*10, 7)
-		zr, err := NewZRow(net, locals, fn.Identity{}, p)
+		zr, err := NewZRow(context.Background(), net, locals, fn.Identity{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := core.Run(net, zr, fn.Identity{}, 10, core.Options{K: 3, R: 40})
+		res, err := core.Run(context.Background(), net, zr, fn.Identity{}, 10, core.Options{K: 3, R: 40})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -14,6 +14,7 @@
 package samplers
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -35,13 +36,13 @@ import (
 // design, see matrix.Mat; a CSR share still assembles its reply in
 // O(nnz(row))). Worker processes answer from their installed shares, so
 // the row genuinely crosses the wire in multi-process clusters.
-func CollectRawRow(net *comm.Network, locals []matrix.Mat, i int, tag string) ([]float64, error) {
+func CollectRawRow(ctx context.Context, net *comm.Network, locals []matrix.Mat, i int, tag string) ([]float64, error) {
 	d := locals[comm.CP].Cols()
 	sum, err := ops.Row(locals[comm.CP], i)
 	if err != nil {
 		return nil, err
 	}
-	err = net.RunRound(comm.Round{
+	err = net.RunRound(ctx, comm.Round{
 		Op:       ops.OpRow,
 		Params:   ops.IndexParams(uint64(i)),
 		ReqTag:   tag,
@@ -108,9 +109,9 @@ func NewUniform(net *comm.Network, locals []matrix.Mat, seed int64) (*Uniform, e
 }
 
 // Draw implements core.RowSampler.
-func (u *Uniform) Draw() (core.Sample, error) {
+func (u *Uniform) Draw(ctx context.Context) (core.Sample, error) {
 	i := u.rng.Intn(u.n)
-	raw, err := CollectRawRow(u.net, u.locals, i, "sampler/rows")
+	raw, err := CollectRawRow(ctx, u.net, u.locals, i, "sampler/rows")
 	if err != nil {
 		return core.Sample{}, err
 	}
@@ -133,13 +134,13 @@ type ZRow struct {
 // NewZRow builds the sketching infrastructure (the Z-estimator) over the
 // flattened local matrices. All sketch traffic is charged immediately; each
 // Draw afterwards charges only the row collection.
-func NewZRow(net *comm.Network, locals []matrix.Mat, z fn.ZFunc, p zsampler.Params) (*ZRow, error) {
+func NewZRow(ctx context.Context, net *comm.Network, locals []matrix.Mat, z fn.ZFunc, p zsampler.Params) (*ZRow, error) {
 	n, d, err := validateLocals(locals)
 	if err != nil {
 		return nil, err
 	}
 	vecs := matVecs(locals)
-	est, err := zsampler.BuildEstimator(net, vecs, z, p)
+	est, err := zsampler.BuildEstimator(ctx, net, vecs, z, p)
 	if err != nil {
 		return nil, fmt.Errorf("samplers: z-estimator: %w", err)
 	}
@@ -151,13 +152,13 @@ func NewZRow(net *comm.Network, locals []matrix.Mat, z fn.ZFunc, p zsampler.Para
 func (s *ZRow) Estimator() *zsampler.Estimator { return s.est }
 
 // Draw implements core.RowSampler.
-func (s *ZRow) Draw() (core.Sample, error) {
+func (s *ZRow) Draw(ctx context.Context) (core.Sample, error) {
 	j, err := s.est.Sample()
 	if err != nil {
 		return core.Sample{}, err
 	}
 	i := int(j / uint64(s.d))
-	raw, err := CollectRawRow(s.net, s.locals, i, "sampler/rows")
+	raw, err := CollectRawRow(ctx, s.net, s.locals, i, "sampler/rows")
 	if err != nil {
 		return core.Sample{}, err
 	}
@@ -197,11 +198,11 @@ func NewZRowLiteral(net *comm.Network, locals []matrix.Mat, z fn.ZFunc, p zsampl
 }
 
 // Draw implements core.RowSampler, paying the full sketch cost per draw.
-func (s *ZRowLiteral) Draw() (core.Sample, error) {
+func (s *ZRowLiteral) Draw(ctx context.Context) (core.Sample, error) {
 	s.draws++
 	p := s.params
 	p.Seed = hashing.DeriveSeed(s.params.Seed, 0xF0E0+s.draws)
-	est, err := zsampler.BuildEstimator(s.net, matVecs(s.locals), s.z, p)
+	est, err := zsampler.BuildEstimator(ctx, s.net, matVecs(s.locals), s.z, p)
 	if err != nil {
 		return core.Sample{}, fmt.Errorf("samplers: literal z-estimator: %w", err)
 	}
@@ -210,7 +211,7 @@ func (s *ZRowLiteral) Draw() (core.Sample, error) {
 		return core.Sample{}, err
 	}
 	i := int(j / uint64(s.d))
-	raw, err := CollectRawRow(s.net, s.locals, i, "sampler/rows")
+	raw, err := CollectRawRow(ctx, s.net, s.locals, i, "sampler/rows")
 	if err != nil {
 		return core.Sample{}, err
 	}
@@ -255,7 +256,7 @@ type Exact struct {
 // NewExact gathers the global raw matrix — one OpShareDump round shipping
 // every share to the CP, (s−1)·n·d words under "baseline/full-gather" —
 // and precomputes exact row probabilities of A = f(raw).
-func NewExact(net *comm.Network, locals []matrix.Mat, f fn.Func, seed int64) (*Exact, error) {
+func NewExact(ctx context.Context, net *comm.Network, locals []matrix.Mat, f fn.Func, seed int64) (*Exact, error) {
 	n, d, err := validateLocals(locals)
 	if err != nil {
 		return nil, err
@@ -268,7 +269,7 @@ func NewExact(net *comm.Network, locals []matrix.Mat, f fn.Func, seed int64) (*E
 		}
 	}
 	add(ops.ShareDump(locals[comm.CP]))
-	err = net.RunRound(comm.Round{
+	err = net.RunRound(ctx, comm.Round{
 		Op:       ops.OpShareDump,
 		ReqTag:   "baseline/full-gather",
 		RespTag:  "baseline/full-gather",
@@ -306,10 +307,10 @@ func NewExact(net *comm.Network, locals []matrix.Mat, f fn.Func, seed int64) (*E
 // Draw implements core.RowSampler with exact probabilities. The row
 // itself still travels once per draw in a fair comparison (a real OpRow
 // round; its sum is bit-identical to the materialized row).
-func (e *Exact) Draw() (core.Sample, error) {
+func (e *Exact) Draw(ctx context.Context) (core.Sample, error) {
 	x := e.rng.Float64()
 	i := searchCum(e.cum, x)
-	raw, err := CollectRawRow(e.net, e.locals, i, "sampler/rows")
+	raw, err := CollectRawRow(ctx, e.net, e.locals, i, "sampler/rows")
 	if err != nil {
 		return core.Sample{}, err
 	}

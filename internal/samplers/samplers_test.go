@@ -1,6 +1,7 @@
 package samplers
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -45,7 +46,7 @@ func TestCollectRawRowSumsAndCharges(t *testing.T) {
 	M := randomMatrix(rng, 10, 6)
 	locals := split(M, 3, rng)
 	net := comm.NewNetwork(3)
-	row, err := CollectRawRow(net, locals, 4, "rows")
+	row, err := CollectRawRow(context.Background(), net, locals, 4, "rows")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestUniformDrawDistribution(t *testing.T) {
 	counts := make([]int, 20)
 	const draws = 4000
 	for i := 0; i < draws; i++ {
-		s, err := u.Draw()
+		s, err := u.Draw(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func TestUniformReturnsExactRows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := u.Draw()
+	s, err := u.Draw(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,14 +142,14 @@ func TestZRowSamplesHighNormRows(t *testing.T) {
 	locals := split(M, 3, rng)
 	net := comm.NewNetwork(3)
 	p := zsampler.DefaultParams(n*d, 5)
-	zr, err := NewZRow(net, locals, fn.Identity{}, p)
+	zr, err := NewZRow(context.Background(), net, locals, fn.Identity{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hits := 0
 	const draws = 200
 	for i := 0; i < draws; i++ {
-		s, err := zr.Draw()
+		s, err := zr.Draw(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,13 +172,13 @@ func TestZRowQHatApximatesRowShare(t *testing.T) {
 	locals := split(M, 2, rng)
 	net := comm.NewNetwork(2)
 	p := zsampler.DefaultParams(n*d, 9)
-	zr, err := NewZRow(net, locals, fn.Identity{}, p)
+	zr, err := NewZRow(context.Background(), net, locals, fn.Identity{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	total := M.FrobNorm2()
 	for i := 0; i < 30; i++ {
-		s, err := zr.Draw()
+		s, err := zr.Draw(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -193,11 +194,11 @@ func TestZRowRawRowExact(t *testing.T) {
 	M := randomMatrix(rng, 100, 5)
 	locals := split(M, 3, rng)
 	net := comm.NewNetwork(3)
-	zr, err := NewZRow(net, locals, fn.Identity{}, zsampler.DefaultParams(500, 11))
+	zr, err := NewZRow(context.Background(), net, locals, fn.Identity{}, zsampler.DefaultParams(500, 11))
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := zr.Draw()
+	s, err := zr.Draw(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestExactSamplerProbabilities(t *testing.T) {
 	M := randomMatrix(rng, 50, 4)
 	locals := split(M, 2, rng)
 	net := comm.NewNetwork(2)
-	ex, err := NewExact(net, locals, fn.Identity{}, 13)
+	ex, err := NewExact(context.Background(), net, locals, fn.Identity{}, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestExactSamplerProbabilities(t *testing.T) {
 	}
 	total := M.FrobNorm2()
 	for i := 0; i < 20; i++ {
-		s, err := ex.Draw()
+		s, err := ex.Draw(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -244,13 +245,13 @@ func TestExactSamplerAppliesF(t *testing.T) {
 	locals := split(M, 2, rng)
 	net := comm.NewNetwork(2)
 	h := fn.Huber{K: 0.5}
-	ex, err := NewExact(net, locals, h, 15)
+	ex, err := NewExact(context.Background(), net, locals, h, 15)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fA := M.Apply(h.Apply)
 	total := fA.FrobNorm2()
-	s, err := ex.Draw()
+	s, err := ex.Draw(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestExactSamplerAppliesF(t *testing.T) {
 func TestExactSamplerZeroMatrix(t *testing.T) {
 	net := comm.NewNetwork(2)
 	locals := []matrix.Mat{matrix.NewDense(5, 3), matrix.NewDense(5, 3)}
-	if _, err := NewExact(net, locals, fn.Identity{}, 1); err == nil {
+	if _, err := NewExact(context.Background(), net, locals, fn.Identity{}, 1); err == nil {
 		t.Fatal("zero matrix accepted")
 	}
 }
@@ -292,12 +293,12 @@ func TestZRowLiteralIndependentDraws(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := net.Words()
-	if _, err := lit.Draw(); err != nil {
+	if _, err := lit.Draw(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	perDraw1 := net.Words() - before
 	before = net.Words()
-	if _, err := lit.Draw(); err != nil {
+	if _, err := lit.Draw(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	perDraw2 := net.Words() - before
@@ -308,13 +309,13 @@ func TestZRowLiteralIndependentDraws(t *testing.T) {
 	}
 	// The amortized ZRow pays it once.
 	net2 := comm.NewNetwork(2)
-	zr, err := NewZRow(net2, locals, fn.Identity{}, p)
+	zr, err := NewZRow(context.Background(), net2, locals, fn.Identity{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	setup := net2.Words()
 	for i := 0; i < 3; i++ {
-		if _, err := zr.Draw(); err != nil {
+		if _, err := zr.Draw(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -342,7 +343,7 @@ func TestZRowLiteralSamplesHighNormRows(t *testing.T) {
 	}
 	hits := 0
 	for i := 0; i < 10; i++ {
-		s, err := lit.Draw()
+		s, err := lit.Draw(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package zsampler
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestBudgetedEstimatorActualCostNearEstimate(t *testing.T) {
 	locals := makeLocals(v, 3, rand.New(rand.NewSource(5)))
 	p := ParamsForBudget(1<<17, 3, len(v), 3)
 	net := comm.NewNetwork(3)
-	if _, err := BuildEstimator(net, locals, fn.Identity{}, p); err != nil {
+	if _, err := BuildEstimator(context.Background(), net, locals, fn.Identity{}, p); err != nil {
 		t.Fatal(err)
 	}
 	est := EstimateSetupWords(p, 3, len(v))

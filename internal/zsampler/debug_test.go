@@ -1,6 +1,7 @@
 package zsampler
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -26,7 +27,7 @@ func TestDebugClassBreakdown(t *testing.T) {
 	locals := makeLocals(v, 3, rng)
 	net := comm.NewNetwork(3)
 	z := fn.Identity{}
-	est, err := BuildEstimator(net, locals, z, richParams(9))
+	est, err := BuildEstimator(context.Background(), net, locals, z, richParams(9))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package zsampler
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestSampleNegativeClassIndex(t *testing.T) {
 	}
 	locals := makeLocals(v, 2, rng)
 	net := comm.NewNetwork(2)
-	est, err := BuildEstimator(net, locals, fn.Identity{}, richParams(5))
+	est, err := BuildEstimator(context.Background(), net, locals, fn.Identity{}, richParams(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestFallbackLadderExactLocalDraw(t *testing.T) {
 	}
 	locals := makeLocals(v, 2, rng)
 	net := comm.NewNetwork(2)
-	est, err := BuildEstimator(net, locals, fn.Identity{}, richParams(9))
+	est, err := BuildEstimator(context.Background(), net, locals, fn.Identity{}, richParams(9))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package zsampler
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/comm"
@@ -19,10 +20,10 @@ import (
 // hence this implementation — strictly subsumes it, since z(x) = |x|^p
 // satisfies property P exactly when 0 < p ≤ 2 (x²/z = |x|^{2−p} must be
 // nondecreasing).
-func BuildLpEstimator(net *comm.Network, locals []hh.Vec, p float64, params Params) (*Estimator, error) {
+func BuildLpEstimator(ctx context.Context, net *comm.Network, locals []hh.Vec, p float64, params Params) (*Estimator, error) {
 	if p <= 0 || p > 2 {
 		return nil, fmt.Errorf("zsampler: ℓp sampling requires 0 < p ≤ 2 (got %g); beyond 2, z=|x|^p violates property P — the regime of the paper's Theorem 4 lower bound", p)
 	}
 	// fn.AbsPower{P: q} has z = |x|^{2q}, so q = p/2 yields z = |x|^p.
-	return BuildEstimator(net, locals, fn.AbsPower{P: p / 2}, params)
+	return BuildEstimator(ctx, net, locals, fn.AbsPower{P: p / 2}, params)
 }

@@ -1,6 +1,7 @@
 package zsampler
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -43,7 +44,7 @@ func TestWorkersDoNotChangeAnything(t *testing.T) {
 		net.EnableTrace()
 		p := richParams(3)
 		p.Workers = workers
-		est, err := BuildEstimator(net, locals, fn.Identity{}, p)
+		est, err := BuildEstimator(context.Background(), net, locals, fn.Identity{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +115,7 @@ func TestIngestionWorkersBitIdentical(t *testing.T) {
 		net := comm.NewNetwork(3)
 		p := richParams(13)
 		p.HH.Sketch.Workers = workers
-		est, err := BuildEstimator(net, locals, fn.Identity{}, p)
+		est, err := BuildEstimator(context.Background(), net, locals, fn.Identity{}, p)
 		if err != nil {
 			t.Fatal(err)
 		}

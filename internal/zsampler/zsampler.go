@@ -24,6 +24,7 @@
 package zsampler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -126,9 +127,9 @@ func classIndex(zv, eps float64) int {
 // coordinate (one word per server) and every server replies with its local
 // value (one word per server) — worker processes included, so the value
 // really crosses the wire.
-func collectValue(net *comm.Network, locals []hh.Vec, j uint64, tag string) (float64, error) {
+func collectValue(ctx context.Context, net *comm.Network, locals []hh.Vec, j uint64, tag string) (float64, error) {
 	sum := locals[comm.CP].At(j)
-	err := net.RunRound(comm.Round{
+	err := net.RunRound(ctx, comm.Round{
 		Op:       ops.OpValue,
 		Params:   ops.IndexParams(j),
 		ReqTag:   tag,
@@ -152,8 +153,13 @@ func collectValue(net *comm.Network, locals []hh.Vec, j uint64, tag string) (flo
 }
 
 // BuildEstimator runs the Z-estimator protocol (Algorithm 3) over the
-// implicit vector Σ_t locals[t], charging all traffic to net.
-func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*Estimator, error) {
+// implicit vector Σ_t locals[t], charging all traffic to net. ctx aborts
+// the build between protocol rounds (and between the fanned-out
+// (repetition, level) Z-HeavyHitters invocations).
+func BuildEstimator(ctx context.Context, net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*Estimator, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(locals) == 0 || locals[comm.CP] == nil {
 		return nil, errors.New("zsampler: the CP's local share is required")
 	}
@@ -196,7 +202,7 @@ func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*
 	recovered := make(map[int]map[uint64]struct{})
 	record := func(j uint64, level int) error {
 		if _, seen := est.list[j]; !seen {
-			v, err := collectValue(net, locals, j, "zest/values")
+			v, err := collectValue(ctx, net, locals, j, "zest/values")
 			if err != nil {
 				return err
 			}
@@ -210,7 +216,7 @@ func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*
 	}
 
 	// Step 1 (Algorithm 3 line 5): global Z-HeavyHitters.
-	d0, err := hh.ZHeavyHitters(net, locals, p.HH, hashing.DeriveSeed(p.Seed, 1), "zest/heavy")
+	d0, err := hh.ZHeavyHitters(ctx, net, locals, p.HH, hashing.DeriveSeed(p.Seed, 1), "zest/heavy")
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +271,10 @@ func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*
 	djs := make([][]uint64, len(tasks))
 	errs := make([]error, len(tasks))
 	parallel.For(workers, len(tasks), func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err // canceled before this (repetition, level) cell started
+			return
+		}
 		e, lev := tasks[i].e, tasks[i].lev
 		lev8 := uint8(lev)
 		keep := func(j uint64) bool { return maxLevel[j] >= lev8 }
@@ -278,7 +288,7 @@ func BuildEstimator(net *comm.Network, locals []hh.Vec, z fn.ZFunc, p Params) (*
 		}
 		seed := hashing.DeriveSeed(p.Seed, uint64(100+e*1000+lev))
 		forks[i] = net.Fork()
-		djs[i], errs[i] = hh.ZHeavyHittersFiltered(forks[i], locals, keep, filt, candidates, p.HH, seed, "zest/levels")
+		djs[i], errs[i] = hh.ZHeavyHittersFiltered(ctx, forks[i], locals, keep, filt, candidates, p.HH, seed, "zest/levels")
 	})
 	for i, task := range tasks {
 		if errs[i] != nil {

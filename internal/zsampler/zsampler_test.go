@@ -1,6 +1,7 @@
 package zsampler
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -80,7 +81,7 @@ func TestEstimatorZHatPowerLaw(t *testing.T) {
 	locals := makeLocals(v, 4, rng)
 	net := comm.NewNetwork(4)
 	z := fn.Identity{}
-	est, err := BuildEstimator(net, locals, z, richParams(7))
+	est, err := BuildEstimator(context.Background(), net, locals, z, richParams(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestEstimatorZHatFewHeavy(t *testing.T) {
 	locals := makeLocals(v, 3, rng)
 	net := comm.NewNetwork(3)
 	z := fn.Identity{}
-	est, err := BuildEstimator(net, locals, z, richParams(9))
+	est, err := BuildEstimator(context.Background(), net, locals, z, richParams(9))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestEstimatorBoundedZ(t *testing.T) {
 	locals := makeLocals(v, 4, rng)
 	net := comm.NewNetwork(4)
 	z := fn.Huber{K: 5}
-	est, err := BuildEstimator(net, locals, z, richParams(11))
+	est, err := BuildEstimator(context.Background(), net, locals, z, richParams(11))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestSamplerDistribution(t *testing.T) {
 	locals := makeLocals(v, 3, rng)
 	net := comm.NewNetwork(3)
 	z := fn.Identity{}
-	est, err := BuildEstimator(net, locals, z, richParams(13))
+	est, err := BuildEstimator(context.Background(), net, locals, z, richParams(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestProbReportsZShare(t *testing.T) {
 	locals := makeLocals(v, 2, rng)
 	net := comm.NewNetwork(2)
 	z := fn.Identity{}
-	est, err := BuildEstimator(net, locals, z, richParams(15))
+	est, err := BuildEstimator(context.Background(), net, locals, z, richParams(15))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,25 +221,25 @@ func TestProbReportsZShare(t *testing.T) {
 
 func TestEstimatorErrors(t *testing.T) {
 	net := comm.NewNetwork(2)
-	if _, err := BuildEstimator(net, nil, fn.Identity{}, richParams(1)); err == nil {
+	if _, err := BuildEstimator(context.Background(), net, nil, fn.Identity{}, richParams(1)); err == nil {
 		t.Fatal("no servers accepted")
 	}
 	locals := []hh.Vec{hh.DenseVec{}, hh.DenseVec{}}
-	if _, err := BuildEstimator(net, locals, fn.Identity{}, richParams(1)); err == nil {
+	if _, err := BuildEstimator(context.Background(), net, locals, fn.Identity{}, richParams(1)); err == nil {
 		t.Fatal("empty vector accepted")
 	}
 	mis := []hh.Vec{hh.DenseVec{1}, hh.DenseVec{1, 2}}
-	if _, err := BuildEstimator(net, mis, fn.Identity{}, richParams(1)); err == nil {
+	if _, err := BuildEstimator(context.Background(), net, mis, fn.Identity{}, richParams(1)); err == nil {
 		t.Fatal("dimension mismatch accepted")
 	}
 	bad := richParams(1)
 	bad.Eps = 0
-	if _, err := BuildEstimator(net, []hh.Vec{hh.DenseVec{1}, hh.DenseVec{0}}, fn.Identity{}, bad); err == nil {
+	if _, err := BuildEstimator(context.Background(), net, []hh.Vec{hh.DenseVec{1}, hh.DenseVec{0}}, fn.Identity{}, bad); err == nil {
 		t.Fatal("eps=0 accepted")
 	}
 	// All-zero vector: no mass.
 	zero := []hh.Vec{hh.DenseVec(make([]float64, 50)), hh.DenseVec(make([]float64, 50))}
-	if _, err := BuildEstimator(net, zero, fn.Identity{}, richParams(1)); err == nil {
+	if _, err := BuildEstimator(context.Background(), net, zero, fn.Identity{}, richParams(1)); err == nil {
 		t.Fatal("zero vector accepted")
 	}
 }
@@ -259,7 +260,7 @@ func TestClassSizesRoughlyRight(t *testing.T) {
 	}
 	locals := makeLocals(v, 2, rng)
 	net := comm.NewNetwork(2)
-	est, err := BuildEstimator(net, locals, fn.Identity{}, richParams(17))
+	est, err := BuildEstimator(context.Background(), net, locals, fn.Identity{}, richParams(17))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +282,7 @@ func TestInjectionFailsGracefully(t *testing.T) {
 	p := richParams(19)
 	p.Inject = true
 	p.InjectCap = 64
-	est, err := BuildEstimator(net, locals, fn.Identity{}, p)
+	est, err := BuildEstimator(context.Background(), net, locals, fn.Identity{}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestSampleDeterministicGivenSeed(t *testing.T) {
 	build := func() []uint64 {
 		locals := makeLocals(v, 2, rand.New(rand.NewSource(99)))
 		net := comm.NewNetwork(2)
-		est, err := BuildEstimator(net, locals, fn.Identity{}, richParams(21))
+		est, err := BuildEstimator(context.Background(), net, locals, fn.Identity{}, richParams(21))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -337,10 +338,10 @@ func TestSampleDeterministicGivenSeed(t *testing.T) {
 func TestLpEstimatorValidation(t *testing.T) {
 	net := comm.NewNetwork(2)
 	locals := makeLocals([]float64{1, 2, 3}, 2, rand.New(rand.NewSource(1)))
-	if _, err := BuildLpEstimator(net, locals, 0, richParams(1)); err == nil {
+	if _, err := BuildLpEstimator(context.Background(), net, locals, 0, richParams(1)); err == nil {
 		t.Fatal("p=0 accepted")
 	}
-	if _, err := BuildLpEstimator(net, locals, 3, richParams(1)); err == nil {
+	if _, err := BuildLpEstimator(context.Background(), net, locals, 3, richParams(1)); err == nil {
 		t.Fatal("p=3 accepted (property P violated)")
 	}
 }
@@ -361,7 +362,7 @@ func TestL1SamplerDistribution(t *testing.T) {
 	v[800] = -30 // sign must not matter for |x|^1
 	locals := makeLocals(v, 3, rng)
 	net := comm.NewNetwork(3)
-	est, err := BuildLpEstimator(net, locals, 1, richParams(33))
+	est, err := BuildLpEstimator(context.Background(), net, locals, 1, richParams(33))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package repro
 // gates.
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"reflect"
@@ -32,12 +33,12 @@ func tcpCluster(t *testing.T, s int) *Cluster {
 	}
 	for i := 1; i < s; i++ {
 		go func() {
-			if err := JoinWorker(c.Addr(), 5*time.Second); err != nil {
+			if err := JoinWorker(testCtx(5*time.Second), c.Addr()); err != nil {
 				t.Errorf("worker: %v", err)
 			}
 		}()
 	}
-	if err := c.AwaitWorkers(10 * time.Second); err != nil {
+	if err := c.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	return c
@@ -70,7 +71,7 @@ func runJobs(t *testing.T, c *Cluster, k, conc int) []jobFingerprint {
 	}
 	jobs := make([]*Job, k)
 	for i := range jobs {
-		j, err := c.Submit(Identity(), Options{K: 3, Rows: 20, Seed: 4242})
+		j, err := c.Submit(context.Background(), Identity(), Options{K: 3, Rows: 20, Seed: 4242})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func runJobs(t *testing.T, c *Cluster, k, conc int) []jobFingerprint {
 	}
 	out := make([]jobFingerprint, k)
 	for i, j := range jobs {
-		res, err := j.Wait()
+		res, err := j.Wait(context.Background())
 		if err != nil {
 			t.Fatalf("job %d: %v", j.ID(), err)
 		}
@@ -175,19 +176,19 @@ func TestJobsSeeIndependentSeeds(t *testing.T) {
 	if err := c.SetLocalData(jobShares(13, 80, 6, 2)); err != nil {
 		t.Fatal(err)
 	}
-	a, err := c.Submit(Identity(), Options{K: 2, Rows: 30, Seed: 5})
+	a, err := c.Submit(context.Background(), Identity(), Options{K: 2, Rows: 30, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.Submit(Identity(), Options{K: 2, Rows: 30, Seed: 5})
+	b, err := c.Submit(context.Background(), Identity(), Options{K: 2, Rows: 30, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, err := a.Wait()
+	ra, err := a.Wait(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := b.Wait()
+	rb, err := b.Wait(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestShareCacheZeroTrafficOnRepeatedInstall(t *testing.T) {
 	if got := c.coord.InstallFrames(); got != frames {
 		t.Fatalf("repeated SetLocalData moved %d install frames, want 0", got-frames)
 	}
-	res, err := c.PCA(Identity(), Options{K: 2, Rows: 15, Seed: 3})
+	res, err := c.PCA(context.Background(), Identity(), Options{K: 2, Rows: 15, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,42 +243,42 @@ func TestNamedDatasets(t *testing.T) {
 	defer c.Close()
 	a := jobShares(15, 60, 6, s)
 	b := jobShares(16, 50, 5, s)
-	if err := c.InstallDataset("alpha", matrix.AsMats(a)); err != nil {
+	if err := c.InstallDataset(context.Background(), "alpha", matrix.AsMats(a)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.InstallDataset("beta", matrix.AsMats(b)); err != nil {
+	if err := c.InstallDataset(context.Background(), "beta", matrix.AsMats(b)); err != nil {
 		t.Fatal(err)
 	}
 	infos := c.Datasets()
 	if len(infos) != 2 || infos[0].ID != "alpha" || infos[1].ID != "beta" || !infos[1].Active {
 		t.Fatalf("dataset listing wrong: %+v", infos)
 	}
-	ja, err := c.Submit(Identity(), Options{K: 2, Rows: 10, Dataset: "alpha"})
+	ja, err := c.Submit(context.Background(), Identity(), Options{K: 2, Rows: 10, Dataset: "alpha"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, err := ja.Wait()
+	ra, err := ja.Wait(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ra.Projection.Rows() != 6 {
 		t.Fatalf("alpha job ran on the wrong dataset: projection %dx%d", ra.Projection.Rows(), ra.Projection.Cols())
 	}
-	jb, err := c.Submit(Identity(), Options{K: 2, Rows: 10}) // active = beta
+	jb, err := c.Submit(context.Background(), Identity(), Options{K: 2, Rows: 10}) // active = beta
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := jb.Wait()
+	rb, err := jb.Wait(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rb.Projection.Rows() != 5 {
 		t.Fatalf("active-dataset job ran on the wrong dataset: projection %dx%d", rb.Projection.Rows(), rb.Projection.Cols())
 	}
-	if _, err := c.Submit(Identity(), Options{K: 2, Dataset: "gamma"}); !errors.Is(err, ErrUnknownDataset) {
+	if _, err := c.Submit(context.Background(), Identity(), Options{K: 2, Dataset: "gamma"}); !errors.Is(err, ErrUnknownDataset) {
 		t.Fatalf("unknown dataset: %v", err)
 	}
-	if err := c.InstallDataset("alpha", matrix.AsMats(b)); !errors.Is(err, ErrDatasetConflict) {
+	if err := c.InstallDataset(context.Background(), "alpha", matrix.AsMats(b)); !errors.Is(err, ErrDatasetConflict) {
 		t.Fatalf("conflicting reinstall: %v", err)
 	}
 }
@@ -301,7 +302,7 @@ func TestAdmissionControl(t *testing.T) {
 	var jobs []*Job
 	var rejected bool
 	for i := 0; i < 20 && !rejected; i++ {
-		j, err := c.Submit(Identity(), Options{K: 4, Rows: 200, Boost: 3})
+		j, err := c.Submit(context.Background(), Identity(), Options{K: 4, Rows: 200, Boost: 3})
 		switch {
 		case err == nil:
 			jobs = append(jobs, j)
@@ -318,7 +319,7 @@ func TestAdmissionControl(t *testing.T) {
 	// to still be queued; tolerate it having started).
 	last := jobs[len(jobs)-1]
 	if last.Cancel() {
-		if _, err := last.Wait(); !errors.Is(err, ErrJobCanceled) {
+		if _, err := last.Wait(context.Background()); !errors.Is(err, ErrJobCanceled) {
 			t.Fatalf("canceled job returned %v, want ErrJobCanceled", err)
 		}
 		if last.State() != JobCanceled {
@@ -326,11 +327,11 @@ func TestAdmissionControl(t *testing.T) {
 		}
 	}
 	for _, j := range jobs[:len(jobs)-1] {
-		if _, err := j.Wait(); err != nil {
+		if _, err := j.Wait(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := jobs[len(jobs)-1].Wait(); err != nil && !errors.Is(err, ErrJobCanceled) {
+	if _, err := jobs[len(jobs)-1].Wait(context.Background()); err != nil && !errors.Is(err, ErrJobCanceled) {
 		t.Fatal(err)
 	}
 }
@@ -353,7 +354,7 @@ func TestClusterCloseRegression(t *testing.T) {
 	}
 	var jobs []*Job
 	for i := 0; i < 4; i++ {
-		j, err := c.Submit(Identity(), Options{K: 3, Rows: 120, Boost: 2})
+		j, err := c.Submit(context.Background(), Identity(), Options{K: 3, Rows: 120, Boost: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -366,14 +367,14 @@ func TestClusterCloseRegression(t *testing.T) {
 		t.Fatalf("second close: %v", err)
 	}
 	for _, j := range jobs {
-		if _, err := j.Wait(); err != nil && !errors.Is(err, ErrClosed) {
+		if _, err := j.Wait(context.Background()); err != nil && !errors.Is(err, ErrClosed) {
 			t.Fatalf("in-flight job after close: %v", err)
 		}
 	}
-	if _, err := c.Submit(Identity(), Options{K: 2}); !errors.Is(err, ErrClosed) {
+	if _, err := c.Submit(context.Background(), Identity(), Options{K: 2}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("submit after close: %v, want ErrClosed", err)
 	}
-	if _, err := c.PCA(Identity(), Options{K: 2}); !errors.Is(err, ErrClosed) {
+	if _, err := c.PCA(context.Background(), Identity(), Options{K: 2}); !errors.Is(err, ErrClosed) {
 		t.Fatalf("PCA after close: %v, want ErrClosed", err)
 	}
 	if err := c.SetLocalData(jobShares(19, 10, 4, 2)); !errors.Is(err, ErrClosed) {
@@ -385,7 +386,7 @@ func TestClusterCloseRegression(t *testing.T) {
 	if err := tc.SetLocalData(jobShares(20, 80, 8, 3)); err != nil {
 		t.Fatal(err)
 	}
-	j, err := tc.Submit(Identity(), Options{K: 3, Rows: 60})
+	j, err := tc.Submit(context.Background(), Identity(), Options{K: 3, Rows: 60})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +394,7 @@ func TestClusterCloseRegression(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if _, err := j.Wait(); err != nil && !errors.Is(err, ErrClosed) {
+		if _, err := j.Wait(context.Background()); err != nil && !errors.Is(err, ErrClosed) {
 			t.Errorf("job interrupted by close: %v", err)
 		}
 	}()
@@ -416,7 +417,7 @@ func TestEngineConfigAfterStart(t *testing.T) {
 	if err := c.SetLocalData(jobShares(21, 40, 5, 2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.PCA(Identity(), Options{K: 2, Rows: 10}); err != nil {
+	if _, err := c.PCA(context.Background(), Identity(), Options{K: 2, Rows: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.ConfigureEngine(EngineConfig{MaxConcurrent: 8}); err == nil {
@@ -435,7 +436,7 @@ func TestClusterWordsAggregatesJobs(t *testing.T) {
 	if err := c.SetLocalData(jobShares(22, 60, 6, 2)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.PCA(Identity(), Options{K: 2, Rows: 20})
+	res, err := c.PCA(context.Background(), Identity(), Options{K: 2, Rows: 20})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,7 @@ package repro
 //	BENCH_JSON=BENCH_pr4.json make bench-json
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -38,14 +39,14 @@ func benchJobsBatch(b *testing.B, c *Cluster, conc int) {
 	for i := 0; i < b.N; i++ {
 		jobs := make([]*Job, jobBatch)
 		for j := range jobs {
-			job, err := c.Submit(Identity(), Options{K: 3, Rows: 24, Seed: 17})
+			job, err := c.Submit(context.Background(), Identity(), Options{K: 3, Rows: 24, Seed: 17})
 			if err != nil {
 				b.Fatal(err)
 			}
 			jobs[j] = job
 		}
 		for _, job := range jobs {
-			res, err := job.Wait()
+			res, err := job.Wait(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -81,12 +82,12 @@ func benchJobsTCP(b *testing.B, conc int) {
 	defer c.Close()
 	for i := 1; i < s; i++ {
 		go func() {
-			if err := JoinWorker(c.Addr(), 5*time.Second); err != nil {
+			if err := JoinWorker(testCtx(5*time.Second), c.Addr()); err != nil {
 				b.Errorf("worker: %v", err)
 			}
 		}()
 	}
-	if err := c.AwaitWorkers(10 * time.Second); err != nil {
+	if err := c.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
 		b.Fatal(err)
 	}
 	if err := c.SetLocalData(benchShares(n, d, s, 5)); err != nil {

@@ -1,0 +1,171 @@
+package repro
+
+// This file is the v2 option surface of the public API. Queries are
+// configured with variadic functional options —
+//
+//	res, err := cluster.PCA(ctx, repro.Huber(20),
+//		repro.WithRank(10), repro.WithEpsilon(0.1))
+//
+// — instead of growing the monolithic Options struct a field per feature.
+// The legacy struct still works: Options itself satisfies Option (it is
+// the compat shim), so existing call sites migrate by inserting a ctx and
+// nothing else. New code should prefer the With* setters.
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option configures one PCA query (see Cluster.PCA and Cluster.Submit).
+// Options are applied in order; later options override earlier ones. The
+// deprecated Options struct satisfies Option by replacing the whole
+// configuration, so it composes with setters only when listed first.
+type Option interface {
+	apply(*Options)
+}
+
+// optionFunc adapts a setter function to the Option interface.
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// apply makes the legacy Options struct itself an Option: it replaces the
+// whole configuration wholesale.
+//
+// Deprecated: build queries from the With* setters instead; the struct
+// form exists so v1 call sites only need to insert a ctx argument.
+func (o Options) apply(dst *Options) { *dst = o }
+
+// buildOptions folds an option list into a concrete configuration.
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return o
+}
+
+// WithRank sets the target rank k (required on every query).
+func WithRank(k int) Option { return optionFunc(func(o *Options) { o.K = k }) }
+
+// WithEpsilon sets the additive error parameter ε (default 0.1).
+func WithEpsilon(eps float64) Option { return optionFunc(func(o *Options) { o.Eps = eps }) }
+
+// WithRows overrides the sampled row count r (default ⌈4k²/ε²⌉).
+func WithRows(r int) Option { return optionFunc(func(o *Options) { o.Rows = r }) }
+
+// WithBoost repeats the protocol, keeping the best projection by captured
+// energy (default 1).
+func WithBoost(b int) Option { return optionFunc(func(o *Options) { o.Boost = b }) }
+
+// WithSamplerBudget caps the words the generalized sampler's sketching
+// may use; 0 accepts the default configuration.
+func WithSamplerBudget(words int64) Option {
+	return optionFunc(func(o *Options) { o.SamplerBudget = words })
+}
+
+// WithSeed fixes all randomness (0 uses a fixed default for
+// reproducibility). Submit derives the effective protocol seed from
+// (seed, job id); the blocking PCA uses it literally.
+func WithSeed(seed int64) Option { return optionFunc(func(o *Options) { o.Seed = seed }) }
+
+// WithWorkers bounds the worker pool the sampler's sketching phase fans
+// out on (0 or 1 = sequential). Results and transcripts are identical at
+// any worker count.
+func WithWorkers(w int) Option { return optionFunc(func(o *Options) { o.Workers = w }) }
+
+// WithBackend converts the shares' storage representation for this run
+// (BackendAuto keeps them as installed). Results are identical under
+// every backend.
+func WithBackend(b Backend) Option { return optionFunc(func(o *Options) { o.Backend = b }) }
+
+// WithDataset routes the query to the named installed dataset (empty =
+// the active dataset).
+func WithDataset(id string) Option { return optionFunc(func(o *Options) { o.Dataset = id }) }
+
+// WithDeadline bounds the job's wall clock, measured from submission: a
+// job still queued or running when the budget expires is canceled at its
+// next protocol round and reports ErrCanceled (wrapping
+// context.DeadlineExceeded). It composes with — and is bounded by — the
+// ctx passed to PCA/Submit.
+func WithDeadline(d time.Duration) Option {
+	return optionFunc(func(o *Options) { o.Deadline = d })
+}
+
+// TransportKind selects the fabric a cluster is built on.
+type TransportKind string
+
+const (
+	// TransportMem hosts every server in this process over the in-memory
+	// transport (the default).
+	TransportMem TransportKind = "mem"
+	// TransportTCP hosts only the CP here: the cluster listens for one
+	// worker process per remaining server (see AwaitWorkers, JoinWorker).
+	TransportTCP TransportKind = "tcp"
+)
+
+// ClusterOption configures cluster construction (see New).
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	transport TransportKind
+	listen    string
+	engine    EngineConfig
+}
+
+// WithTransport selects the fabric transport: TransportMem (in-process,
+// the default) or TransportTCP (multi-process; combine with
+// WithListenAddr and call AwaitWorkers before installing data).
+func WithTransport(t TransportKind) ClusterOption {
+	return func(c *clusterConfig) { c.transport = t }
+}
+
+// WithListenAddr sets the coordinator listen address of a TransportTCP
+// cluster (default "127.0.0.1:0", an ephemeral loopback port).
+func WithListenAddr(addr string) ClusterOption {
+	return func(c *clusterConfig) { c.listen = addr }
+}
+
+// WithEngineConfig bounds the job engine at construction (runner pool
+// size and admission queue depth) — the option form of ConfigureEngine.
+func WithEngineConfig(cfg EngineConfig) ClusterOption {
+	return func(c *clusterConfig) { c.engine = cfg }
+}
+
+// New builds a cluster of s servers from options: the v2 constructor
+// unifying NewCluster and ListenCluster.
+//
+//	c, err := repro.New(4)                                  // in-process
+//	c, err := repro.New(4, repro.WithTransport(repro.TransportTCP),
+//		repro.WithListenAddr("127.0.0.1:0"))                // coordinator
+//
+// A TCP cluster is returned listening; call AwaitWorkers(ctx) once the
+// worker processes have been started.
+func New(s int, opts ...ClusterOption) (*Cluster, error) {
+	cfg := clusterConfig{transport: TransportMem, listen: "127.0.0.1:0"}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var (
+		c   *Cluster
+		err error
+	)
+	switch cfg.transport {
+	case TransportMem:
+		c, err = NewCluster(s)
+	case TransportTCP:
+		c, err = ListenCluster(s, cfg.listen)
+	default:
+		return nil, fmt.Errorf("repro: unknown transport %q", cfg.transport)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if cfg.engine != (EngineConfig{}) {
+		if err := c.ConfigureEngine(cfg.engine); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -18,15 +18,22 @@
 // internal/comm (the accounting network), and internal/lowerbound (the
 // paper's hardness reductions, executable).
 //
-// Quick start:
+// Quick start (the ctx-first v2 API):
 //
-//	cluster := repro.NewCluster(10)
-//	cluster.SetLocalData(shares)                       // one matrix per server
-//	res, err := cluster.PCA(repro.Huber(20), repro.Options{K: 10, Eps: 0.1})
+//	cluster, _ := repro.New(10)
+//	cluster.SetLocalData(shares)              // one matrix per server
+//	res, err := cluster.PCA(ctx, repro.Huber(20),
+//		repro.WithRank(10), repro.WithEpsilon(0.1))
 //	// res.Projection is the d×d rank-k projection; res.Words the comm cost.
+//
+// Every blocking entry point is ctx-first — canceling the ctx (or a
+// WithDeadline budget) stops a running protocol before its next round.
+// Long-running queries go through the job engine instead: Submit returns
+// a Job whose Wait/Cancel/Progress/Rounds expose the live protocol.
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -65,8 +72,17 @@ var (
 	ErrClosed = errors.New("repro: cluster is closed")
 	// ErrJobQueueFull: Submit when the admission queue is at capacity.
 	ErrJobQueueFull = errors.New("repro: job queue is full")
-	// ErrJobCanceled: Wait on a job removed from the queue by Cancel.
-	ErrJobCanceled = errors.New("repro: job canceled")
+	// ErrCanceled: the job was canceled — by Job.Cancel, by its ctx, by
+	// WithDeadline, or by a dlra-serve DELETE — whether it was still
+	// queued or already mid-run (a running job stops before its next
+	// protocol round). The returned error wraps both ErrCanceled and the
+	// context cause, so errors.Is matches ErrCanceled, context.Canceled
+	// and context.DeadlineExceeded as appropriate.
+	ErrCanceled = errors.New("repro: job canceled")
+	// ErrJobCanceled is the pre-v2 name of ErrCanceled.
+	//
+	// Deprecated: match ErrCanceled.
+	ErrJobCanceled = ErrCanceled
 	// ErrUnknownDataset: Options.Dataset names a dataset never installed.
 	ErrUnknownDataset = errors.New("repro: unknown dataset")
 	// ErrDatasetConflict: InstallDataset with an id already bound to
@@ -182,6 +198,11 @@ const (
 )
 
 // Options configures a PCA run.
+//
+// Deprecated: Options is the v1 configuration surface, kept as a compat
+// shim — the struct satisfies Option, so it can still be passed to the
+// ctx-first PCA/Submit directly. New code should use the functional
+// With* options (see options.go).
 type Options struct {
 	// Dataset selects the installed dataset the job runs against (empty =
 	// the active dataset, i.e. the most recently installed or selected).
@@ -209,6 +230,9 @@ type Options struct {
 	// (BackendAuto keeps them as installed). Results are identical under
 	// every backend.
 	Backend Backend
+	// Deadline bounds the job's wall clock from submission; 0 means no
+	// bound (see WithDeadline).
+	Deadline time.Duration
 }
 
 // Result is the outcome of a distributed PCA.
@@ -327,12 +351,13 @@ func (c *Cluster) Addr() string {
 }
 
 // AwaitWorkers blocks until every worker has joined and handshaked, then
-// brings up the remote-aware fabric (TCP clusters only).
-func (c *Cluster) AwaitWorkers(timeout time.Duration) error {
+// brings up the remote-aware fabric (TCP clusters only). ctx bounds the
+// whole bring-up — cancel it or give it a deadline to stop waiting.
+func (c *Cluster) AwaitWorkers(ctx context.Context) error {
 	if c.coord == nil {
 		return errors.New("repro: AwaitWorkers on an in-process cluster")
 	}
-	if err := c.coord.AwaitWorkers(timeout); err != nil {
+	if err := c.coord.AwaitWorkers(ctx); err != nil {
 		return err
 	}
 	c.net = c.coord.Network()
@@ -358,11 +383,14 @@ func (c *Cluster) Close() error {
 	return c.coord.Close()
 }
 
-// JoinWorker runs a worker process's serve loop: dial the coordinator
-// (retrying for up to wait), host the share it installs, execute protocol
-// ops against it until the coordinator shuts the cluster down.
-func JoinWorker(addr string, wait time.Duration) error {
-	return cluster.Dial(addr, wait)
+// JoinWorker runs a worker process's serve loop: dial the coordinator,
+// host the share it installs, execute protocol ops against it until the
+// coordinator shuts the cluster down. ctx bounds the connection phase
+// only (workers typically start before the coordinator listens, so the
+// dial retries until ctx fires); once connected, the serve loop runs to
+// cluster shutdown.
+func JoinWorker(ctx context.Context, addr string) error {
+	return cluster.Dial(ctx, addr)
 }
 
 // Servers returns the number of servers (0 on a TCP cluster that has not
@@ -393,14 +421,16 @@ func (c *Cluster) SetLocalMats(locals []Mat) error {
 	if err != nil {
 		return err
 	}
-	return c.installDataset(fmt.Sprintf("auto-%016x", fp), fp, locals)
+	return c.installDataset(context.Background(), fmt.Sprintf("auto-%016x", fp), fp, locals)
 }
 
 // InstallDataset registers the shares under an explicit dataset id and
 // makes it the active dataset. Installing an id that is already resident
 // with the same data is a cache hit — no setup traffic moves; the same id
-// with different data is ErrDatasetConflict.
-func (c *Cluster) InstallDataset(id string, locals []Mat) error {
+// with different data is ErrDatasetConflict. ctx aborts the installation
+// between share chunks on a TCP cluster (an aborted install stays
+// retryable — the dataset never enters the cache half-shipped).
+func (c *Cluster) InstallDataset(ctx context.Context, id string, locals []Mat) error {
 	if id == "" {
 		return errors.New("repro: dataset id must not be empty")
 	}
@@ -408,7 +438,7 @@ func (c *Cluster) InstallDataset(id string, locals []Mat) error {
 	if err != nil {
 		return err
 	}
-	return c.installDataset(id, fp, locals)
+	return c.installDataset(ctx, id, fp, locals)
 }
 
 // validateShares checks the share roster and returns its content
@@ -442,7 +472,7 @@ func (c *Cluster) validateShares(locals []Mat) (uint64, error) {
 	return fingerprintMats(locals), nil
 }
 
-func (c *Cluster) installDataset(id string, fp uint64, locals []Mat) error {
+func (c *Cluster) installDataset(ctx context.Context, id string, fp uint64, locals []Mat) error {
 	// installMu serializes whole installations: two concurrent installs of
 	// the same id must resolve to one registration (or one conflict), not
 	// a duplicated registry entry.
@@ -466,7 +496,7 @@ func (c *Cluster) installDataset(id string, fp uint64, locals []Mat) error {
 		rows:   locals[0].Rows(), cols: locals[0].Cols(),
 	}
 	if c.coord != nil {
-		if err := c.coord.InstallDataset(entry.key, locals); err != nil {
+		if err := c.coord.InstallDatasetCtx(ctx, entry.key, locals); err != nil {
 			return err
 		}
 		entry.masked = c.coord.MaskShares(locals)
@@ -596,35 +626,53 @@ func (c *Cluster) ResetCommunication() {
 // PCA runs the distributed additive-error PCA protocol (Algorithm 1 with
 // the appropriate sampler) over the implicit matrix f(Σ_t A^t). It is a
 // blocking thin wrapper over the job engine — the job runs in its own
-// comm session like any Submit job — that uses Options.Seed as the
+// comm session like any Submit job — that uses the configured seed as the
 // protocol seed directly (Submit derives per-job seeds instead), so
-// results are reproducible from Options alone. At queue capacity PCA
+// results are reproducible from the options alone. At queue capacity PCA
 // waits for space rather than rejecting.
-func (c *Cluster) PCA(f Func, opts Options) (*Result, error) {
-	j, err := c.prepare(f, opts, false)
+//
+// ctx governs the whole call: canceling it (or exceeding its deadline, or
+// a WithDeadline budget) stops the protocol before its next round and
+// returns an error matching both ErrCanceled and the ctx cause.
+func (c *Cluster) PCA(ctx context.Context, f Func, opts ...Option) (*Result, error) {
+	j, err := c.prepare(ctx, f, buildOptions(opts), false)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.eng.submit(j, true); err != nil {
+	if err := c.eng.submit(ctx, j, true); err != nil {
+		j.release()
 		return nil, err
 	}
-	return j.Wait()
+	res, err := j.Wait(ctx)
+	if err != nil && !errors.Is(err, ErrCanceled) && ctx.Err() != nil {
+		// The ctx fired while the job was mid-run: the same ctx cancels
+		// the job, which stops at its next round — wait for that terminal
+		// state so the caller sees the documented ErrCanceled-wrapped
+		// error instead of a bare ctx error from the abandoned wait.
+		res, err = j.Wait(context.Background())
+	}
+	return res, err
 }
 
 // Submit enqueues a PCA query on the job engine and returns immediately.
 // The job runs concurrently with other jobs — each inside its own comm
-// session on the shared fabric — against the dataset named by
-// Options.Dataset (empty = the active dataset). Its protocol seed is
-// derived from (Options.Seed, job id), so a job's result and per-job
-// communication transcript are reproducible from those two numbers alone,
-// no matter how many tenants ran beside it. When the admission queue is
-// at capacity Submit returns ErrJobQueueFull.
-func (c *Cluster) Submit(f Func, opts Options) (*Job, error) {
-	j, err := c.prepare(f, opts, true)
+// session on the shared fabric — against the dataset named by WithDataset
+// (empty = the active dataset). Its protocol seed is derived from
+// (seed, job id), so a job's result and per-job communication transcript
+// are reproducible from those two numbers alone, no matter how many
+// tenants ran beside it. When the admission queue is at capacity Submit
+// returns ErrJobQueueFull.
+//
+// ctx governs the job's whole lifetime, queued and running: when it fires
+// the job is canceled exactly as Job.Cancel would, stopping before its
+// next protocol round.
+func (c *Cluster) Submit(ctx context.Context, f Func, opts ...Option) (*Job, error) {
+	j, err := c.prepare(ctx, f, buildOptions(opts), true)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.eng.submit(j, false); err != nil {
+	if err := c.eng.submit(ctx, j, false); err != nil {
+		j.release()
 		return nil, err
 	}
 	return j, nil
@@ -642,8 +690,13 @@ func (c *Cluster) ConfigureEngine(cfg EngineConfig) error {
 	return c.eng.configure(cfg)
 }
 
-// prepare validates a query and builds its Job record.
-func (c *Cluster) prepare(f Func, opts Options, deriveSeed bool) (*Job, error) {
+// prepare validates a query and builds its Job record, deriving the
+// job's private context from the caller's ctx (plus the WithDeadline
+// budget when set).
+func (c *Cluster) prepare(ctx context.Context, f Func, opts Options, deriveSeed bool) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.K < 1 {
 		return nil, fmt.Errorf("%w (got %d)", ErrInvalidRank, opts.K)
 	}
@@ -683,7 +736,7 @@ func (c *Cluster) prepare(f Func, opts Options, deriveSeed bool) (*Job, error) {
 	if deriveSeed {
 		seed = jobSeed(seed, c.nextJobID)
 	}
-	return &Job{
+	j := &Job{
 		id:      c.nextJobID,
 		cluster: c,
 		f:       f,
@@ -691,21 +744,55 @@ func (c *Cluster) prepare(f Func, opts Options, deriveSeed bool) (*Job, error) {
 		seed:    seed,
 		ds:      ds,
 		done:    make(chan struct{}),
-	}, nil
+		events:  make(chan RoundEvent, roundEventBuffer),
+	}
+	if opts.Deadline > 0 {
+		j.ctx, j.cancelCtx = context.WithTimeout(ctx, opts.Deadline)
+	} else {
+		j.ctx, j.cancelCtx = context.WithCancel(ctx)
+	}
+	// A fired job context cancels the job wherever it is — still queued
+	// (removed and failed immediately) or running (stopped at the next
+	// protocol round). stopWatch releases the watcher on normal completion.
+	j.stopWatch = context.AfterFunc(j.ctx, func() { j.Cancel() })
+	return j, nil
 }
 
 // runJob executes one job on a runner goroutine and publishes its
-// outcome.
+// outcome. A job whose context already fired never starts; one canceled
+// mid-run finishes as JobCanceled with an ErrCanceled-wrapped cause.
 func (c *Cluster) runJob(j *Job) {
+	if cause := j.ctx.Err(); cause != nil {
+		j.finish(nil, canceledErr(cause), JobCanceled)
+		return
+	}
 	j.setRunning()
 	res, err := c.execute(j)
-	j.finish(res, err, JobDone)
+	state := JobDone
+	if err != nil && errors.Is(err, ErrCanceled) {
+		state = JobCanceled
+	}
+	j.finish(res, err, state)
+}
+
+// canceledErr wraps a context cause so the result matches both
+// ErrCanceled and the cause (context.Canceled or
+// context.DeadlineExceeded) under errors.Is.
+func canceledErr(cause error) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, cause)
 }
 
 // execute runs the job's protocol inside a fresh comm session bound to
 // its dataset, folding the session's ledger into the cluster totals —
-// whether the job succeeded or failed, the words it moved were moved.
+// whether the job succeeded, failed or was canceled, the words it moved
+// were moved. Cancellation teardown is what keeps the fabric clean for
+// the next tenant: on TCP the workers are told to discard the session's
+// queued ops (AbortSession), and the session close drains every stale
+// reply before the session id can be recycled — so a job canceled midway
+// leaves no frame behind and the next job's transcript is bit-identical
+// to a fresh cluster's.
 func (c *Cluster) execute(j *Job) (*Result, error) {
+	ctx := j.ctx
 	sess, err := c.net.NewSession()
 	if err != nil {
 		return nil, err
@@ -720,18 +807,32 @@ func (c *Cluster) execute(j *Job) (*Result, error) {
 		}
 		c.mu.Unlock()
 	}()
+	sess.OnRound(func(seq int64, tag string) {
+		j.noteRound(seq, tag, sess.Words())
+	})
 	var locals []Mat
 	if c.coord != nil {
 		if err := c.coord.OpenSession(sess.ID(), j.ds.key); err != nil {
 			return nil, err
 		}
-		defer c.coord.CloseSession(sess.ID())
+		defer func() {
+			if ctx.Err() != nil {
+				// Mid-run cancel: have the workers discard the session's
+				// still-queued ops before the close handshake below drains
+				// and acks the teardown.
+				c.coord.AbortSession(sess.ID())
+			}
+			c.coord.CloseSession(sess.ID())
+		}()
 		locals = j.ds.masked
 	} else {
 		locals = j.opts.Backend.Apply(j.ds.locals)
 	}
-	res, err := runPCA(sess.Network, locals, j.f, j.opts, j.seed)
+	res, err := runPCA(ctx, sess.Network, locals, j.f, j.opts, j.seed)
 	if err != nil {
+		if cause := ctx.Err(); cause != nil {
+			return nil, canceledErr(cause)
+		}
 		return nil, err
 	}
 	res.JobID = j.id
@@ -740,8 +841,10 @@ func (c *Cluster) execute(j *Job) (*Result, error) {
 
 // runPCA drives the protocol pipeline (sampler construction, Algorithm 1,
 // result assembly) against the given ledger — the single implementation
-// behind both PCA and Submit.
-func runPCA(net *comm.Network, locals []Mat, f Func, opts Options, seed int64) (*Result, error) {
+// behind both PCA and Submit. ctx threads down into every protocol layer
+// (sampler sketching, heavy-hitter rounds, per-draw row collection) with
+// abort checkpoints between rounds.
+func runPCA(ctx context.Context, net *comm.Network, locals []Mat, f Func, opts Options, seed int64) (*Result, error) {
 	n, d := locals[0].Rows(), locals[0].Cols()
 	start := net.Snapshot()
 	bytesStart := net.Bytes()
@@ -767,13 +870,13 @@ func runPCA(net *comm.Network, locals []Mat, f Func, opts Options, seed int64) (
 		}
 		p := zsampler.ParamsForBudget(budget, net.Servers(), n*d, seed)
 		p.Workers = opts.Workers
-		zr, err := samplers.NewZRow(net, locals, f.z, p)
+		zr, err := samplers.NewZRow(ctx, net, locals, f.z, p)
 		if err != nil {
 			return nil, err
 		}
 		sampler = zr
 	}
-	res, err := core.Run(net, sampler, f.f, d, core.Options{
+	res, err := core.Run(ctx, net, sampler, f.f, d, core.Options{
 		K: opts.K, Eps: opts.Eps, R: opts.Rows, Boost: opts.Boost,
 	})
 	if err != nil {

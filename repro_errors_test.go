@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -22,7 +23,7 @@ func TestTypedConstructionErrors(t *testing.T) {
 	}
 
 	c := mustCluster(t, 2)
-	if _, err := c.PCA(Identity(), Options{K: 1}); !errors.Is(err, ErrNoData) {
+	if _, err := c.PCA(context.Background(), Identity(), Options{K: 1}); !errors.Is(err, ErrNoData) {
 		t.Fatalf("PCA without data: %v, want ErrNoData", err)
 	}
 	if err := c.SetLocalData([]*Matrix{NewMatrix(2, 3), NewMatrix(3, 3)}); !errors.Is(err, ErrShapeMismatch) {
@@ -34,13 +35,13 @@ func TestTypedConstructionErrors(t *testing.T) {
 	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.PCA(Identity(), Options{K: 0}); !errors.Is(err, ErrInvalidRank) {
+	if _, err := c.PCA(context.Background(), Identity(), Options{K: 0}); !errors.Is(err, ErrInvalidRank) {
 		t.Fatalf("K=0: %v, want ErrInvalidRank", err)
 	}
-	if _, err := c.PCA(Identity(), Options{K: -2}); !errors.Is(err, ErrInvalidRank) {
+	if _, err := c.PCA(context.Background(), Identity(), Options{K: -2}); !errors.Is(err, ErrInvalidRank) {
 		t.Fatalf("K=-2: %v, want ErrInvalidRank", err)
 	}
-	if _, err := c.PCA(Identity(), Options{K: 1, Workers: -1}); !errors.Is(err, ErrInvalidWorkers) {
+	if _, err := c.PCA(context.Background(), Identity(), Options{K: 1, Workers: -1}); !errors.Is(err, ErrInvalidWorkers) {
 		t.Fatalf("Workers=-1: %v, want ErrInvalidWorkers", err)
 	}
 }
@@ -60,7 +61,7 @@ func TestPublicTCPClusterEndToEnd(t *testing.T) {
 	if err := mem.SetLocalData(locals); err != nil {
 		t.Fatal(err)
 	}
-	memRes, err := mem.PCA(Identity(), opts)
+	memRes, err := mem.PCA(context.Background(), Identity(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,18 +73,18 @@ func TestPublicTCPClusterEndToEnd(t *testing.T) {
 	defer tcp.Close()
 	for i := 1; i < s; i++ {
 		go func() {
-			if err := JoinWorker(tcp.Addr(), 5*time.Second); err != nil {
+			if err := JoinWorker(testCtx(5*time.Second), tcp.Addr()); err != nil {
 				t.Errorf("worker: %v", err)
 			}
 		}()
 	}
-	if err := tcp.AwaitWorkers(10 * time.Second); err != nil {
+	if err := tcp.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
 		t.Fatal(err)
 	}
 	if err := tcp.SetLocalData(locals); err != nil {
 		t.Fatal(err)
 	}
-	tcpRes, err := tcp.PCA(Identity(), opts)
+	tcpRes, err := tcp.PCA(context.Background(), Identity(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestPublicTCPClusterEndToEnd(t *testing.T) {
 		t.Fatal("projection differs between transports")
 	}
 	// Per-run backend conversion is a mem-only convenience.
-	if _, err := tcp.PCA(Identity(), Options{K: 2, Backend: BackendCSR}); !errors.Is(err, ErrTCPBackend) {
+	if _, err := tcp.PCA(context.Background(), Identity(), Options{K: 2, Backend: BackendCSR}); !errors.Is(err, ErrTCPBackend) {
 		t.Fatalf("backend conversion on TCP cluster: %v, want ErrTCPBackend", err)
 	}
 }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -66,7 +67,7 @@ func TestClusterValidation(t *testing.T) {
 	if err := c.SetLocalData([]*Matrix{NewMatrix(2, 2), NewMatrix(2, 2), NewMatrix(3, 2)}); err == nil {
 		t.Fatal("shape mismatch accepted")
 	}
-	if _, err := c.PCA(Identity(), Options{K: 1}); err == nil {
+	if _, err := c.PCA(context.Background(), Identity(), Options{K: 1}); err == nil {
 		t.Fatal("PCA before SetLocalData accepted")
 	}
 	if _, err := c.ImplicitMatrix(Identity()); err == nil {
@@ -81,7 +82,7 @@ func TestPCAValidatesOptions(t *testing.T) {
 	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.PCA(Identity(), Options{K: 0}); err == nil {
+	if _, err := c.PCA(context.Background(), Identity(), Options{K: 0}); err == nil {
 		t.Fatal("K=0 accepted")
 	}
 }
@@ -93,7 +94,7 @@ func TestIdentityPCAErrorBound(t *testing.T) {
 	if err := c.SetLocalData(splitMatrix(M, 3, rng)); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.PCA(Identity(), Options{K: 4, Rows: 150, Seed: 5})
+	res, err := c.PCA(context.Background(), Identity(), Options{K: 4, Rows: 150, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestSoftmaxGMPipeline(t *testing.T) {
 	if err := c.SetLocalData(locals); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.PCA(SoftmaxGM(p), Options{K: 3, Rows: 150, Seed: 7})
+	res, err := c.PCA(context.Background(), SoftmaxGM(p), Options{K: 3, Rows: 150, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestRobustHuberPCA(t *testing.T) {
 		t.Fatal(err)
 	}
 	f := Huber(10)
-	res, err := c.PCA(f, Options{K: 4, Rows: 150, Seed: 9})
+	res, err := c.PCA(context.Background(), f, Options{K: 4, Rows: 150, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestRFFCosinePipeline(t *testing.T) {
 	if err := c.SetLocalData(locals); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.PCA(Cosine(), Options{K: 5, Rows: 100, Seed: 13})
+	res, err := c.PCA(context.Background(), Cosine(), Options{K: 5, Rows: 100, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestL1L2AndFair(t *testing.T) {
 		if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 			t.Fatal(err)
 		}
-		res, err := c.PCA(f, Options{K: 3, Rows: 120, Seed: 17})
+		res, err := c.PCA(context.Background(), f, Options{K: 3, Rows: 120, Seed: 17})
 		if err != nil {
 			t.Fatalf("%s: %v", f.Name(), err)
 		}
@@ -236,7 +237,7 @@ func TestBoostOption(t *testing.T) {
 	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.PCA(Identity(), Options{K: 2, Rows: 25, Boost: 3, Seed: 19}); err != nil {
+	if _, err := c.PCA(context.Background(), Identity(), Options{K: 2, Rows: 25, Boost: 3, Seed: 19}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -248,7 +249,7 @@ func TestResetCommunication(t *testing.T) {
 	if err := c.SetLocalData(splitMatrix(M, 2, rng)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.PCA(Identity(), Options{K: 2, Rows: 20}); err != nil {
+	if _, err := c.PCA(context.Background(), Identity(), Options{K: 2, Rows: 20}); err != nil {
 		t.Fatal(err)
 	}
 	if c.Words() == 0 {
@@ -271,7 +272,7 @@ func TestCustomFunc(t *testing.T) {
 	if f.Name() != "passthrough" {
 		t.Fatal("custom name")
 	}
-	if _, err := c.PCA(f, Options{K: 2, Rows: 60, Seed: 21}); err != nil {
+	if _, err := c.PCA(context.Background(), f, Options{K: 2, Rows: 60, Seed: 21}); err != nil {
 		t.Fatal(err)
 	}
 }

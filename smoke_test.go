@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -56,7 +57,7 @@ func TestSmokeEndToEnd(t *testing.T) {
 	}
 	f := Huber(1e6) // huge threshold ⇒ effectively identity, still z-sampled
 	k := 5
-	res, err := c.PCA(f, Options{K: k, Eps: 0.2, Rows: 120, Seed: 42})
+	res, err := c.PCA(context.Background(), f, Options{K: k, Eps: 0.2, Rows: 120, Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,15 @@
+package repro
+
+import (
+	"context"
+	"time"
+)
+
+// testCtx returns a context that expires after d. The cancel func is
+// driven by the timer instead of a per-site defer, so call sites stay as
+// terse as the old duration parameters were.
+func testCtx(d time.Duration) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	time.AfterFunc(d, cancel)
+	return ctx
+}

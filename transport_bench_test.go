@@ -16,6 +16,7 @@ package repro
 // Regenerate with: make bench-json
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -34,7 +35,7 @@ func benchShares(n, d, s int, seed int64) []*Matrix {
 // runTransportPCA executes one full protocol run and reports the ledgers.
 func runTransportPCA(b *testing.B, c *Cluster) {
 	b.Helper()
-	res, err := c.PCA(Identity(), Options{K: 4, Rows: 24, Seed: 11})
+	res, err := c.PCA(context.Background(), Identity(), Options{K: 4, Rows: 24, Seed: 11})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -68,12 +69,12 @@ func BenchmarkTransportPCATCPLoopback(b *testing.B) {
 	defer c.Close()
 	for i := 1; i < s; i++ {
 		go func() {
-			if err := JoinWorker(c.Addr(), 5*time.Second); err != nil {
+			if err := JoinWorker(testCtx(5*time.Second), c.Addr()); err != nil {
 				b.Errorf("worker: %v", err)
 			}
 		}()
 	}
-	if err := c.AwaitWorkers(10 * time.Second); err != nil {
+	if err := c.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
 		b.Fatal(err)
 	}
 	if err := c.SetLocalData(locals); err != nil {
