@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json fmt vet short ci smoke-tcp smoke-serve api api-check
+.PHONY: all build test race bench bench-smoke bench-json fmt vet lint-doc short ci smoke-tcp smoke-serve api api-check
 
 all: build
 
@@ -20,8 +20,11 @@ race:
 	$(GO) test -race -short ./...
 
 # One-iteration bench smoke: every benchmark must still run, not be fast.
-bench:
+# Mirrored by the bench-smoke CI job.
+bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+bench: bench-smoke
 
 # Perf trajectory snapshot: the seq-vs-parallel sweep benchmarks, the
 # dense-vs-CSR storage backend benchmarks, the mem-vs-TCP-loopback
@@ -34,7 +37,7 @@ bench:
 # Staged through temp files so a failing bench run (or an empty
 # measurement set, which dlra-benchjson rejects) fails the target without
 # truncating an existing BENCH_JSON snapshot.
-BENCH_JSON ?= BENCH_pr5.json
+BENCH_JSON ?= BENCH_pr6.json
 bench-json:
 	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput|CancelLatency' \
 		-benchmem -benchtime=3x . > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
@@ -81,6 +84,12 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Documentation gate: every exported declaration of the public package —
+# everything API.txt lists — must carry a doc comment. dlra-lintdoc prints
+# one file:line diagnostic per violation.
+lint-doc:
+	$(GO) run ./cmd/dlra-lintdoc .
+
 # Regenerate the committed public-API report (API.txt): one sorted line
 # per exported declaration of the root package.
 api:
@@ -96,4 +105,4 @@ api-check:
 short:
 	$(GO) test -short ./...
 
-ci: fmt vet api-check build test race bench
+ci: fmt vet lint-doc api-check build test race bench-smoke

@@ -224,23 +224,23 @@ func BenchmarkAblationJacobi(b *testing.B) {
 	}
 }
 
-// --- Storage backends: dense vs CSR on sparse data --------------------------
+// --- Storage backends: dense vs CSR vs fast on sparse data ------------------
 
 // sparseBackendPair materializes the KDDCUP99-sparse corpus (≈6.5% density
-// at Medium scale) in both storage backends for head-to-head hot-path
+// at Medium scale) in all three storage backends for head-to-head hot-path
 // benchmarks. The logical matrix is identical, so any output difference
 // would be a backend contract violation.
-func sparseBackendPair(b *testing.B) (*matrix.Dense, *matrix.CSR) {
+func sparseBackendPair(b *testing.B) (*matrix.Dense, *matrix.CSR, *matrix.Fast) {
 	b.Helper()
 	csr, _ := dataset.KDDCUP99Sparse(dataset.Medium, 42)
-	return matrix.ToDense(csr), csr
+	return matrix.ToDense(csr), csr, matrix.ToFast(csr)
 }
 
 // BenchmarkDenseVsCSRRowNorms measures the row-norm hot path (the additive
 // error analysis' Σ‖A_i‖² pass) on both backends; words/matrix reports the
 // storage footprint each backend pays for the same logical matrix.
 func BenchmarkDenseVsCSRRowNorms(b *testing.B) {
-	dense, csr := sparseBackendPair(b)
+	dense, csr, fast := sparseBackendPair(b)
 	b.Run("dense", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			dense.RowNorms2()
@@ -253,19 +253,26 @@ func BenchmarkDenseVsCSRRowNorms(b *testing.B) {
 		}
 		b.ReportMetric(float64(csr.Words()), "words/matrix")
 	})
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fast.RowNorms2()
+		}
+		b.ReportMetric(float64(fast.Words()), "words/matrix")
+	})
 }
 
 // BenchmarkDenseVsCSRSketchIngest measures CountSketch ingestion of the
 // flattened matrix — the dominant local cost of every sketching protocol.
 // Both backends stream identical nonzeros; CSR never scans the zeros.
 func BenchmarkDenseVsCSRSketchIngest(b *testing.B) {
-	dense, csr := sparseBackendPair(b)
+	dense, csr, fast := sparseBackendPair(b)
 	for _, tc := range []struct {
 		name string
 		vec  hh.Vec
 	}{
 		{"dense", hh.MatVec{M: dense}},
 		{"csr", hh.MatVec{M: csr}},
+		{"fast", hh.MatVec{M: fast}},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -279,12 +286,13 @@ func BenchmarkDenseVsCSRSketchIngest(b *testing.B) {
 // BenchmarkDenseVsCSRCollectRow measures per-draw row assembly (Algorithm 1
 // line 7) with the matrix split across 4 servers in each backend.
 func BenchmarkDenseVsCSRCollectRow(b *testing.B) {
-	_, csr := sparseBackendPair(b)
+	_, csr, _ := sparseBackendPair(b)
 	const s = 4
 	n := csr.Rows()
 	// Row-partition the sparse corpus: server t holds rows i ≡ t (mod s).
 	denseLocals := make([]matrix.Mat, s)
 	csrLocals := make([]matrix.Mat, s)
+	fastLocals := make([]matrix.Mat, s)
 	for t := 0; t < s; t++ {
 		var triples []matrix.Triple
 		for i := t; i < n; i += s {
@@ -295,11 +303,12 @@ func BenchmarkDenseVsCSRCollectRow(b *testing.B) {
 		part := matrix.NewCSR(n, csr.Cols(), triples)
 		csrLocals[t] = part
 		denseLocals[t] = matrix.ToDense(part)
+		fastLocals[t] = matrix.ToFast(part)
 	}
 	for _, tc := range []struct {
 		name   string
 		locals []matrix.Mat
-	}{{"dense", denseLocals}, {"csr", csrLocals}} {
+	}{{"dense", denseLocals}, {"csr", csrLocals}, {"fast", fastLocals}} {
 		b.Run(tc.name, func(b *testing.B) {
 			net := comm.NewNetwork(s)
 			for i := 0; i < b.N; i++ {

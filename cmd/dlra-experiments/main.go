@@ -32,7 +32,7 @@ func main() {
 	listFlag := flag.Bool("list", false, "list panel names and exit")
 	baselineFlag := flag.Bool("baseline", false, "also run the centralized FKV sampler at the same r per point")
 	workersFlag := flag.Int("workers", 0, "worker budget (0 = one per CPU, 1 = sequential): parallelizes across panels when several run, or across one panel's sweep cells")
-	backendFlag := flag.String("backend", "auto", "share storage backend: auto (as built), dense or csr (identical results; csr pays O(nnz) per row)")
+	backendFlag := flag.String("backend", "auto", "share storage backend: auto (as built), dense, csr or fast (identical results; csr and fast pay O(nnz) per row)")
 	flag.Parse()
 
 	var scale dataset.Scale

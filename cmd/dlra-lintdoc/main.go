@@ -1,0 +1,155 @@
+// Command dlra-lintdoc enforces the documentation contract on the public
+// repro package: every exported declaration — types, funcs, methods,
+// consts, vars and exported struct fields — must carry a doc comment.
+// It prints one "file:line: identifier" diagnostic per undocumented
+// export and exits nonzero if any are found, which is how the CI docs
+// gate keeps API.txt and godoc in lockstep.
+//
+// Usage:
+//
+//	dlra-lintdoc [package-dir]
+//
+// The package directory defaults to ".". Test files are skipped.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlra-lintdoc: %v\n", err)
+		os.Exit(2)
+	}
+
+	var diags []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		diags = append(diags, fmt.Sprintf("%s:%d: undocumented exported %s %s", p.Filename, p.Line, what, name))
+	}
+
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lintDecl(decl, report)
+			}
+		}
+	}
+
+	sort.Strings(diags)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dlra-lintdoc: %d undocumented exported declaration(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// lintDecl reports every undocumented exported identifier introduced by
+// one top-level declaration.
+func lintDecl(decl ast.Decl, report func(token.Pos, string, string)) {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		// Methods on unexported receivers are not part of the public API.
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return
+		}
+		if d.Doc == nil {
+			what := "function"
+			if d.Recv != nil {
+				what = "method"
+			}
+			report(d.Pos(), what, d.Name.Name)
+		}
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				if d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(s.Pos(), "type", s.Name.Name)
+				}
+				lintFields(s, report)
+			case *ast.ValueSpec:
+				for _, id := range s.Names {
+					if !id.IsExported() {
+						continue
+					}
+					// A const/var block comment, a per-spec doc comment or a
+					// trailing line comment all count as documentation.
+					if d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(id.Pos(), strings.ToLower(d.Tok.String()), id.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lintFields walks an exported struct or interface type and reports its
+// undocumented exported fields and methods — they render in godoc too.
+func lintFields(s *ast.TypeSpec, report func(token.Pos, string, string)) {
+	var fields *ast.FieldList
+	var what string
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		fields, what = t.Fields, "field"
+	case *ast.InterfaceType:
+		fields, what = t.Methods, "interface method"
+	default:
+		return
+	}
+	for _, f := range fields.List {
+		if f.Doc != nil || f.Comment != nil {
+			continue
+		}
+		for _, id := range f.Names {
+			if id.IsExported() {
+				report(id.Pos(), what, s.Name.Name+"."+id.Name)
+			}
+		}
+	}
+}
+
+// exportedRecv reports whether a method receiver names an exported type.
+func exportedRecv(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -8,7 +8,7 @@
 //
 //	dlra-pca -input data.csv -k 10 [-servers 10] [-fn identity|huber:K|gm:P|l1l2|fair:C|cosine]
 //	         [-partition row|arbitrary] [-rows R] [-eps E] [-boost B]
-//	         [-output basis.csv] [-seed S] [-sparse]
+//	         [-output basis.csv] [-seed S] [-backend auto|dense|csr|fast]
 //	         [-transport mem|tcp] [-tcp-listen 127.0.0.1:0] [-tcp-spawn=true]
 //	         [-sweep-rows 16,32,64]
 //
@@ -59,7 +59,8 @@ func main() {
 	boost := flag.Int("boost", 1, "success-probability boosting repetitions")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "worker pool size for the sampler's sketching phase (0 = one per CPU, 1 = sequential)")
-	sparse := flag.Bool("sparse", false, "store the per-server shares as sparse CSR rows (identical results, O(nnz) hot paths)")
+	sparse := flag.Bool("sparse", false, "shorthand for -backend csr")
+	backendFlag := flag.String("backend", "auto", "share storage backend: auto (as built), dense, csr or fast (identical results; csr and fast pay O(nnz) per row)")
 	transport := flag.String("transport", "mem", "fabric transport: mem (in-process) or tcp (multi-process cluster)")
 	tcpListen := flag.String("tcp-listen", "127.0.0.1:0", "coordinator listen address for -transport tcp")
 	tcpSpawn := flag.Bool("tcp-spawn", true, "spawn s−1 worker processes by re-executing this binary (false: wait for external dlra-worker processes)")
@@ -112,17 +113,22 @@ func main() {
 
 	// The storage backend is decided before installation: TCP workers
 	// receive their shares once, in final form, as setup traffic.
+	backend, err := matrix.ParseBackend(*backendFlag)
+	if err != nil {
+		log.Fatalf("dlra-pca: %v", err)
+	}
+	if *sparse && backend == matrix.BackendAuto {
+		backend = matrix.BackendCSR
+	}
 	shares := matrix.AsMats(locals)
-	if *sparse {
+	if backend != matrix.BackendAuto {
+		shares = backend.Apply(shares)
 		var nnz int64
 		for _, m := range locals {
 			nnz += m.NNZ()
 		}
-		for t, m := range shares {
-			shares[t] = matrix.ToCSR(m)
-		}
-		fmt.Printf("backend           : csr (share density %.2f%%)\n",
-			100*float64(nnz)/(float64(len(shares))*float64(n)*float64(d)))
+		fmt.Printf("backend           : %s (share density %.2f%%)\n",
+			backend, 100*float64(nnz)/(float64(len(shares))*float64(n)*float64(d)))
 	}
 
 	cluster, cleanup := connect(*transport, *servers, *tcpListen, *tcpSpawn)

@@ -1,0 +1,60 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+// ExampleNew shows storage backend selection: the same query runs once on
+// the shares as installed (dense) and once indexed into the fast-dense
+// backend. The backend only changes local compute cost — the sampled rows,
+// the communication ledger and the projection are bit-identical, which is
+// the contract every backend must satisfy.
+func ExampleNew() {
+	const servers, n, d, k = 3, 60, 8, 2
+
+	// A sparse deterministic matrix, row-partitioned across the servers.
+	rng := rand.New(rand.NewSource(11))
+	locals := make([]*repro.Matrix, servers)
+	for t := range locals {
+		locals[t] = repro.NewMatrix(n, d)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < d; j++ {
+			if rng.Float64() < 0.2 {
+				locals[i%servers].Set(i, j, float64(i%5)+0.25*float64(j))
+			}
+		}
+	}
+
+	cluster, err := repro.New(servers)
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+	if err := cluster.SetLocalData(locals); err != nil {
+		panic(err)
+	}
+
+	query := []repro.Option{
+		repro.WithRank(k), repro.WithRows(32), repro.WithSeed(5),
+	}
+	dense, err := cluster.PCA(context.Background(), repro.Identity(), query...)
+	if err != nil {
+		panic(err)
+	}
+	fast, err := cluster.PCA(context.Background(), repro.Identity(),
+		append(query, repro.WithBackend(repro.BackendFast))...)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("words identical under fast backend: %v\n", dense.Words == fast.Words)
+	fmt.Printf("projection bit-identical: %v\n", dense.Projection.Equalf(fast.Projection, 0))
+	// Output:
+	// words identical under fast backend: true
+	// projection bit-identical: true
+}

@@ -46,7 +46,7 @@ func main() {
 	parts := robust.RowPartition(raw, servers, 3)
 	locals := repro.ExpandRFF(parts, mp)
 
-	cluster, err := repro.NewCluster(servers)
+	cluster, err := repro.New(servers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := cluster.PCA(context.Background(), repro.Cosine(), repro.Options{K: k, Rows: 400, Seed: 5})
+	res, err := cluster.PCA(context.Background(), repro.Cosine(), repro.WithRank(k), repro.WithRows(400), repro.WithSeed(5))
 	if err != nil {
 		log.Fatal(err)
 	}

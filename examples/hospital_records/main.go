@@ -85,14 +85,14 @@ func main() {
 		locals[h] = repro.PrepareGM(v, p, hospitals)
 	}
 
-	cluster, err := repro.NewCluster(hospitals)
+	cluster, err := repro.New(hospitals)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if err := cluster.SetLocalData(locals); err != nil {
 		log.Fatal(err)
 	}
-	res, err := cluster.PCA(context.Background(), repro.SoftmaxGM(p), repro.Options{K: k, Rows: 400, Seed: 31})
+	res, err := cluster.PCA(context.Background(), repro.SoftmaxGM(p), repro.WithRank(k), repro.WithRows(400), repro.WithSeed(31))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -64,7 +64,7 @@ func main() {
 		}
 	}
 
-	cluster, err := repro.NewCluster(servers)
+	cluster, err := repro.New(servers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := cluster.PCA(context.Background(), repro.Identity(), repro.Options{K: rank, Eps: 0.2, Rows: 200, Seed: 42})
+	res, err := cluster.PCA(context.Background(), repro.Identity(), repro.WithRank(rank), repro.WithEpsilon(0.2), repro.WithRows(200), repro.WithSeed(42))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -60,7 +60,7 @@ func main() {
 	// Arbitrary partition: shares are noisy, outliers invisible locally.
 	locals := robust.ArbitraryPartition(corrupted, servers, 5)
 
-	cluster, err := repro.NewCluster(servers)
+	cluster, err := repro.New(servers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func main() {
 
 	// Huber threshold at ≈ 6 standard deviations of the clean entries.
 	huber := repro.Huber(12)
-	res, err := cluster.PCA(context.Background(), huber, repro.Options{K: k, Rows: 300, Seed: 23})
+	res, err := cluster.PCA(context.Background(), huber, repro.WithRank(k), repro.WithRows(300), repro.WithSeed(23))
 	if err != nil {
 		log.Fatal(err)
 	}

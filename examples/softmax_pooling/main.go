@@ -51,14 +51,14 @@ func main() {
 			locals[t] = repro.PrepareGM(pool, p, servers)
 		}
 
-		cluster, err := repro.NewCluster(servers)
+		cluster, err := repro.New(servers)
 		if err != nil {
 			log.Fatal(err)
 		}
 		if err := cluster.SetLocalData(locals); err != nil {
 			log.Fatal(err)
 		}
-		res, err := cluster.PCA(context.Background(), repro.SoftmaxGM(p), repro.Options{K: k, Rows: 300, Seed: 17})
+		res, err := cluster.PCA(context.Background(), repro.SoftmaxGM(p), repro.WithRank(k), repro.WithRows(300), repro.WithSeed(17))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -242,8 +242,8 @@ func (c *Coordinator) InstallDatasetCtx(ctx context.Context, key uint64, locals 
 // uncharged setup traffic (the protocol model's premise is that the data
 // already resides on the servers; the install frames exist so the workers
 // can answer ops, not as protocol communication). Shares travel dense,
-// chunked, with a backend marker; CSR shares are rebuilt as CSR on the
-// worker. A dataset whose key the workers already hold is a cache hit:
+// chunked, with a backend marker; CSR and fast-dense shares are rebuilt
+// in their own backend on the worker. A dataset whose key the workers already hold is a cache hit:
 // the call returns immediately having moved nothing.
 func (c *Coordinator) InstallDataset(key uint64, locals []matrix.Mat) error {
 	return c.installDataset(context.Background(), key, locals, false)
@@ -284,8 +284,11 @@ func (c *Coordinator) installDataset(ctx context.Context, key uint64, locals []m
 			return fmt.Errorf("cluster: share %d is nil", t)
 		}
 		backend := uint64(0)
-		if _, ok := m.(*matrix.CSR); ok {
+		switch m.(type) {
+		case *matrix.CSR:
 			backend = 1
+		case *matrix.Fast:
+			backend = 2
 		}
 		vals := comm.FloatWords(ops.ShareDump(m))
 		total := len(vals)
@@ -502,9 +505,9 @@ type workerShare struct {
 
 // pendingInstall is a share being assembled from install chunks.
 type pendingInstall struct {
-	dense  *matrix.Dense
-	filled int
-	csr    bool
+	dense   *matrix.Dense
+	filled  int
+	backend uint64
 }
 
 // workerState is one worker's installed share cache and session bindings,
@@ -716,7 +719,7 @@ func (w *workerState) install(f *comm.Frame) error {
 	}
 	p := w.pending[key]
 	if off == 0 {
-		p = &pendingInstall{dense: matrix.NewDense(n, d), csr: backend == 1}
+		p = &pendingInstall{dense: matrix.NewDense(n, d), backend: backend}
 		w.pending[key] = p
 	}
 	if p == nil || p.dense.Rows() != n || p.dense.Cols() != d || off != p.filled {
@@ -728,8 +731,11 @@ func (w *workerState) install(f *comm.Frame) error {
 		return nil
 	}
 	mat := matrix.Mat(p.dense)
-	if p.csr {
+	switch p.backend {
+	case 1:
 		mat = matrix.ToCSR(p.dense)
+	case 2:
+		mat = matrix.ToFast(p.dense)
 	}
 	delete(w.pending, key)
 	w.mu.Lock()

@@ -287,34 +287,36 @@ func TestLinearBaselineOverTCP(t *testing.T) {
 	}
 }
 
-// TestTCPClusterCSRShares ships CSR shares to the workers and checks the
-// backend invariance (the PR 2 contract) holds across the wire: dense and
-// CSR shares of the same logical matrix produce identical transcripts.
+// TestTCPClusterCSRShares ships CSR and fast-dense shares to the workers
+// and checks the backend invariance (the PR 2 contract) holds across the
+// wire: every backend of the same logical matrix produces an identical
+// transcript. The install path exercises the per-backend wire markers —
+// workers rebuild each share in its installed backend from the dense
+// chunks.
 func TestTCPClusterCSRShares(t *testing.T) {
 	const n, d, s, seed = 40, 6, 3, 2024
 	dense := buildShares(seed, n, d, s)
-	csr := make([]matrix.Mat, s)
-	for i, m := range dense {
-		csr[i] = matrix.ToCSR(m)
-	}
 
 	coordDense := startTCP(t, dense)
 	defer coordDense.Close()
 	a := runProtocol(t, coordDense.Network(), coordDense.MaskShares(dense), seed)
 
-	coordCSR := startTCP(t, csr)
-	defer coordCSR.Close()
-	b := runProtocol(t, coordCSR.Network(), coordCSR.MaskShares(csr), seed)
+	for _, backend := range []matrix.Backend{matrix.BackendCSR, matrix.BackendFast} {
+		shares := backend.Apply(append([]matrix.Mat(nil), dense...))
+		coord := startTCP(t, shares)
+		b := runProtocol(t, coord.Network(), coord.MaskShares(shares), seed)
+		coord.Close()
 
-	if !reflect.DeepEqual(a.byTag, b.byTag) {
-		t.Fatalf("backend tallies differ over TCP:\ndense %v\ncsr %v", a.byTag, b.byTag)
-	}
-	for i := range a.trace {
-		if a.trace[i] != b.trace[i] {
-			t.Fatalf("transcript message %d differs between backends", i)
+		if !reflect.DeepEqual(a.byTag, b.byTag) {
+			t.Fatalf("backend tallies differ over TCP:\ndense %v\n%s %v", a.byTag, backend, b.byTag)
 		}
-	}
-	if !a.project.Equalf(b.project, 0) {
-		t.Fatal("projection differs between share backends over TCP")
+		for i := range a.trace {
+			if a.trace[i] != b.trace[i] {
+				t.Fatalf("transcript message %d differs between dense and %s", i, backend)
+			}
+		}
+		if !a.project.Equalf(b.project, 0) {
+			t.Fatalf("projection differs between dense and %s shares over TCP", backend)
+		}
 	}
 }

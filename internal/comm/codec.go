@@ -121,7 +121,7 @@ func EncodeFrame(f *Frame) []byte {
 	if len(f.Words) > MaxFrameWords {
 		panic(fmt.Sprintf("comm: frame payload %d words exceeds cap %d", len(f.Words), MaxFrameWords))
 	}
-	buf := make([]byte, f.EncodedLen())
+	buf := getBuf(f.EncodedLen())
 	binary.BigEndian.PutUint16(buf[0:], frameMagic)
 	buf[2] = frameVersion
 	buf[3] = byte(f.Kind)
@@ -183,12 +183,15 @@ func DecodeFrame(buf []byte) (*Frame, error) {
 		Stream: binary.BigEndian.Uint32(buf[16:]),
 	}
 	at := FrameHeaderLen
-	f.Tag = string(buf[at : at+tagLen])
+	f.Tag = internTag(buf[at : at+tagLen])
 	at += tagLen
-	f.RTag = string(buf[at : at+rtagLen])
+	f.RTag = internTag(buf[at : at+rtagLen])
 	at += rtagLen
 	if words > 0 {
-		f.Words = make([]uint64, words)
+		// Pooled backing: receive paths that fully consume the payload
+		// recycle it via putWords; paths that hand it to the caller
+		// (RecvUint64s) simply don't, and the slice ages out as garbage.
+		f.Words = getWords(int(words))
 		for i := range f.Words {
 			f.Words[i] = binary.BigEndian.Uint64(buf[at:])
 			at += 8

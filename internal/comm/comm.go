@@ -26,6 +26,7 @@ package comm
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -251,6 +252,8 @@ func (n *Network) loopback(f *Frame) *Frame {
 		panic(fmt.Sprintf("comm: frame failed to round-trip: %v", err))
 	}
 	n.commit(f.From, f.To, f.Tag, int64(len(f.Words)), int64(len(enc)))
+	// DecodeFrame copied everything out; the wire image is scratch now.
+	putBuf(enc)
 	return dec
 }
 
@@ -265,8 +268,12 @@ func (n *Network) SendFloats(from, to int, tag string, data []float64) []float64
 		copy(out, data)
 		return out
 	}
-	dec := n.loopback(&Frame{Kind: KindFloats, From: from, To: to, Stream: n.stream, Tag: tag, Words: FloatWords(data)})
-	return WordFloats(dec.Words)
+	ws := floatWords(data)
+	dec := n.loopback(&Frame{Kind: KindFloats, From: from, To: to, Stream: n.stream, Tag: tag, Words: ws})
+	putWords(ws)
+	out := WordFloats(dec.Words)
+	putWords(dec.Words)
+	return out
 }
 
 // SendInts transfers an int slice, charging one word per element.
@@ -304,8 +311,13 @@ func (n *Network) SendScalar(from, to int, tag string, v float64) float64 {
 	if from == to {
 		return v
 	}
-	dec := n.loopback(&Frame{Kind: KindScalar, From: from, To: to, Stream: n.stream, Tag: tag, Words: FloatWords([]float64{v})})
-	return WordFloats(dec.Words)[0]
+	ws := getWords(1)
+	ws[0] = math.Float64bits(v)
+	dec := n.loopback(&Frame{Kind: KindScalar, From: from, To: to, Stream: n.stream, Tag: tag, Words: ws})
+	putWords(ws)
+	out := math.Float64frombits(dec.Words[0])
+	putWords(dec.Words)
+	return out
 }
 
 // broadcastFrame encodes one frame per destination, accounts it, and

@@ -1,0 +1,176 @@
+package comm
+
+// Free lists for frame scratch. An encoded frame has single ownership at
+// every point of its life: the sender encodes it, the transport hands the
+// buffer over (MemTransport moves the sender's buffer, the TCP reader
+// allocates one per frame), and DecodeFrame copies every field out — so a
+// buffer is dead the moment a decode returns, and the runtime recycles it
+// here instead of leaving it to the GC. The same holds for the []uint64
+// payload staging on both codec sides; the decode-side words are recycled
+// only by receive paths that convert them (RecvUint64s hands them to the
+// caller and must not).
+//
+// The lists are plain mutex-guarded stacks of slice headers rather than
+// sync.Pool: Put-ing a slice into a sync.Pool boxes the header (one
+// allocation per recycle — measurably worse than the garbage it saves on
+// the small frames the protocols mostly move). Each size class keeps a
+// bounded stack and drops overflow on the floor for the GC.
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+)
+
+const (
+	// minPoolBits..maxPoolBits bound the pooled size classes; class c holds
+	// buffers with capacity in [2^c, 2^{c+1}). Larger buffers (beyond 16 MiB
+	// — only whole-share dumps get close) fall through to the allocator.
+	minPoolBits = 4
+	maxPoolBits = 24
+
+	// poolDepth bounds each size-class stack. Protocol rounds keep at most
+	// a handful of frames in flight per server; overflow is garbage again.
+	poolDepth = 64
+)
+
+type byteFreeList struct {
+	mu    sync.Mutex
+	stack [][]byte
+}
+
+type wordFreeList struct {
+	mu    sync.Mutex
+	stack [][]uint64
+}
+
+var (
+	bytePools [maxPoolBits + 1]byteFreeList
+	wordPools [maxPoolBits + 1]wordFreeList
+)
+
+// getBuf returns a length-n byte slice, reusing pooled capacity when
+// available. Contents are unspecified; callers overwrite every byte.
+func getBuf(n int) []byte {
+	c := poolClass(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	p := &bytePools[c]
+	p.mu.Lock()
+	if l := len(p.stack); l > 0 {
+		b := p.stack[l-1]
+		p.stack = p.stack[:l-1]
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	return make([]byte, n, 1<<c)
+}
+
+// putBuf recycles a buffer previously obtained from getBuf or any other
+// single-owner allocation (e.g. the TCP frame reader).
+func putBuf(b []byte) {
+	c := bits.Len(uint(cap(b))) - 1 // floor log2: the class cap(b) can serve
+	if c < minPoolBits || c > maxPoolBits {
+		return
+	}
+	p := &bytePools[c]
+	p.mu.Lock()
+	if len(p.stack) < poolDepth {
+		p.stack = append(p.stack, b[:0])
+	}
+	p.mu.Unlock()
+}
+
+// getWords returns a length-n word slice with unspecified contents.
+func getWords(n int) []uint64 {
+	c := poolClass(n)
+	if c < 0 {
+		return make([]uint64, n)
+	}
+	p := &wordPools[c]
+	p.mu.Lock()
+	if l := len(p.stack); l > 0 {
+		ws := p.stack[l-1]
+		p.stack = p.stack[:l-1]
+		p.mu.Unlock()
+		return ws[:n]
+	}
+	p.mu.Unlock()
+	return make([]uint64, n, 1<<c)
+}
+
+// putWords recycles a codec-side payload staging slice.
+func putWords(ws []uint64) {
+	c := bits.Len(uint(cap(ws))) - 1
+	if c < minPoolBits || c > maxPoolBits {
+		return
+	}
+	p := &wordPools[c]
+	p.mu.Lock()
+	if len(p.stack) < poolDepth {
+		p.stack = append(p.stack, ws[:0])
+	}
+	p.mu.Unlock()
+}
+
+// poolClass returns the size class whose pooled buffers can hold n
+// elements (capacity ≥ n), or -1 when n is outside the pooled range.
+func poolClass(n int) int {
+	if n > 1<<maxPoolBits {
+		return -1
+	}
+	c := bits.Len(uint(n - 1)) // ceil log2
+	if n <= 1 {
+		c = 0
+	}
+	if c < minPoolBits {
+		c = minPoolBits
+	}
+	return c
+}
+
+// floatWords is FloatWords over pooled staging — for encode-side use
+// only, paired with putWords once the frame is serialized.
+func floatWords(xs []float64) []uint64 {
+	out := getWords(len(xs))
+	for i, x := range xs {
+		out[i] = math.Float64bits(x)
+	}
+	return out
+}
+
+// Ledger tags are drawn from a small fixed vocabulary per protocol, but
+// they arrive as raw header bytes in every decoded frame. The intern
+// table maps those bytes to one shared string per distinct tag, so
+// steady-state decoding allocates nothing for tags. (Go map lookups
+// keyed by string(bytes) do not allocate.)
+var (
+	tagMu     sync.RWMutex
+	tagIntern = map[string]string{}
+)
+
+// tagInternLimit caps the intern table; protocols use a few dozen tags,
+// so the cap only guards against an adversarial stream of unique tags.
+const tagInternLimit = 1 << 12
+
+func internTag(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	tagMu.RLock()
+	s, ok := tagIntern[string(b)]
+	tagMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	tagMu.Lock()
+	if len(tagIntern) >= tagInternLimit {
+		tagIntern = map[string]string{}
+	}
+	tagIntern[s] = s
+	tagMu.Unlock()
+	return s
+}

@@ -28,7 +28,9 @@ import (
 // cannot alias the sender's memory). One word per element is charged when
 // the receiver calls RecvFloats.
 func (n *Network) PostFloats(from, to int, tag string, data []float64) {
-	n.post(&Frame{Kind: KindFloats, From: from, To: to, Stream: n.stream, Tag: tag, Words: FloatWords(data)})
+	ws := floatWords(data)
+	n.post(&Frame{Kind: KindFloats, From: from, To: to, Stream: n.stream, Tag: tag, Words: ws})
+	putWords(ws)
 }
 
 // PostInts asynchronously sends an int payload (see PostFloats).
@@ -59,9 +61,11 @@ func (n *Network) post(f *Frame) {
 // scattering to all servers — and posts the frame; the receiver collects
 // it with CollectFloats, which does not charge again.
 func (n *Network) SendFloatsAsync(from, to int, tag string, data []float64) {
-	f := &Frame{Kind: KindFloats, Flags: FlagPrepaid, From: from, To: to, Stream: n.stream, Tag: tag, Words: FloatWords(data)}
+	ws := floatWords(data)
+	f := &Frame{Kind: KindFloats, Flags: FlagPrepaid, From: from, To: to, Stream: n.stream, Tag: tag, Words: ws}
 	enc := EncodeFrame(f)
 	n.commit(from, to, tag, int64(len(f.Words)), int64(len(enc)))
+	putWords(ws)
 	if err := n.tr.Send(from, to, enc); err != nil {
 		panic(fmt.Sprintf("comm: post on link %d→%d: %v", from, to, err))
 	}
@@ -74,7 +78,9 @@ func (n *Network) CollectFloats(from, to int, tag string) []float64 {
 	if !f.Prepaid() {
 		panic(fmt.Sprintf("comm: collect of unpaid frame %q on link %d→%d (use Recv*)", tag, from, to))
 	}
-	return WordFloats(f.Words)
+	out := WordFloats(f.Words)
+	putWords(f.Words)
+	return out
 }
 
 // take blocks for the next frame on the from→to link, aborting instead
@@ -95,6 +101,7 @@ func (n *Network) take(from, to int, tag string) *Frame {
 	if err != nil {
 		panic(fmt.Sprintf("comm: recv on link %d→%d: %v", from, to, err))
 	}
+	putBuf(buf)
 	if f.Tag != tag {
 		panic(fmt.Sprintf("comm: recv tag %q on link %d→%d, want %q", f.Tag, from, to, tag))
 	}
@@ -116,12 +123,18 @@ func (n *Network) recv(from, to int, tag string) *Frame {
 // RecvFloats blocks until a float64 frame with the given tag arrives on
 // the from→to link and charges it exactly as SendFloats would have.
 func (n *Network) RecvFloats(from, to int, tag string) []float64 {
-	return WordFloats(n.recv(from, to, tag).Words)
+	f := n.recv(from, to, tag)
+	out := WordFloats(f.Words)
+	putWords(f.Words)
+	return out
 }
 
 // RecvInts is RecvFloats for int payloads.
 func (n *Network) RecvInts(from, to int, tag string) []int {
-	return WordInts(n.recv(from, to, tag).Words)
+	f := n.recv(from, to, tag)
+	out := WordInts(f.Words)
+	putWords(f.Words)
+	return out
 }
 
 // RecvUint64s is RecvFloats for uint64 payloads.
@@ -246,8 +259,11 @@ func localReply(r Round, stream uint32, t int) (enc []byte, err error) {
 		return nil, fmt.Errorf("comm: round %q reply of %d words from server %d exceeds the %d-word frame cap",
 			r.RespTag, len(payload), t, MaxFrameWords)
 	}
-	f := &Frame{Kind: r.RespKind, From: t, To: CP, Stream: stream, Tag: r.RespTag, Words: FloatWords(payload)}
-	return EncodeFrame(f), nil
+	ws := floatWords(payload)
+	f := &Frame{Kind: r.RespKind, From: t, To: CP, Stream: stream, Tag: r.RespTag, Words: ws}
+	enc = EncodeFrame(f)
+	putWords(ws)
+	return enc, nil
 }
 
 // RunRound executes one Round. Request frames are charged (and, for
@@ -298,7 +314,7 @@ func (n *Network) runRound(ctx context.Context, r Round) error {
 		if len(r.Params) != 0 {
 			return fmt.Errorf("comm: round %q carries both params and data", r.ReqTag)
 		}
-		words = FloatWords(r.Data)
+		words = floatWords(r.Data)
 		if kind == 0 {
 			kind = KindFloats
 		}
@@ -306,16 +322,24 @@ func (n *Network) runRound(ctx context.Context, r Round) error {
 	if kind == 0 {
 		kind = KindControl
 	}
-	// Request leg.
+	if len(words) > MaxFrameWords {
+		return fmt.Errorf("comm: round %q request of %d words exceeds the %d-word frame cap", r.ReqTag, len(words), MaxFrameWords)
+	}
+	// Request leg. Requests to locally hosted servers never move — only
+	// their ledger entry matters — so the wire image is built (and handed
+	// to the transport) for remote destinations alone.
 	for t := 1; t < n.servers; t++ {
 		f := &Frame{Kind: kind, Op: r.Op, From: CP, To: t, Stream: n.stream, Tag: r.ReqTag, RTag: r.RespTag, Words: words}
-		enc := EncodeFrame(f)
-		n.commit(CP, t, r.ReqTag, int64(len(words)), int64(len(enc)))
+		n.commit(CP, t, r.ReqTag, int64(len(words)), int64(f.EncodedLen()))
 		if n.remote[t] {
-			if err := n.tr.Send(CP, t, enc); err != nil {
+			if err := n.tr.Send(CP, t, EncodeFrame(f)); err != nil {
 				return fmt.Errorf("comm: round %q request to server %d: %w", r.ReqTag, t, err)
 			}
 		}
+	}
+	if r.Data != nil {
+		putWords(words)
+		words = nil
 	}
 	if r.RespTag == "" {
 		return nil
@@ -376,6 +400,7 @@ func (n *Network) runRound(ctx context.Context, r Round) error {
 		if err != nil {
 			return fmt.Errorf("comm: round %q reply from server %d: %w", r.RespTag, t, err)
 		}
+		putBuf(enc)
 		if f.Tag != r.RespTag {
 			return fmt.Errorf("comm: round reply tag %q from server %d, want %q", f.Tag, t, r.RespTag)
 		}
@@ -383,8 +408,10 @@ func (n *Network) runRound(ctx context.Context, r Round) error {
 			return fmt.Errorf("comm: round reply kind %d from server %d, want %d", f.Kind, t, r.RespKind)
 		}
 		n.commit(t, CP, r.RespTag, int64(len(f.Words)), int64(len(enc)))
+		payload := WordFloats(f.Words)
+		putWords(f.Words)
 		if r.OnResp != nil {
-			if err := r.OnResp(t, WordFloats(f.Words)); err != nil {
+			if err := r.OnResp(t, payload); err != nil {
 				return err
 			}
 		}

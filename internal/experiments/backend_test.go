@@ -46,8 +46,8 @@ func sparsePanelConfig(backend Backend) PanelConfig {
 	}
 }
 
-// TestPanelBackendEquivalence runs the same panel under both storage
-// backends and demands exactly equal points — additive error, relative
+// TestPanelBackendEquivalence runs the same panel under every storage
+// backend and demands exactly equal points — additive error, relative
 // error, words, everything. This is the CI gate the tentpole's acceptance
 // criterion names: backend choice must never change results, only cost.
 func TestPanelBackendEquivalence(t *testing.T) {
@@ -55,19 +55,24 @@ func TestPanelBackendEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	csr, err := RunPanel(context.Background(), sparsePanelConfig(BackendCSR))
-	if err != nil {
-		t.Fatal(err)
+	if dense.Backend != "dense" {
+		t.Fatalf("backend label %q", dense.Backend)
 	}
-	if dense.Backend != "dense" || csr.Backend != "csr" {
-		t.Fatalf("backend labels %q, %q", dense.Backend, csr.Backend)
-	}
-	if len(dense.Points) != len(csr.Points) {
-		t.Fatalf("point counts differ: %d vs %d", len(dense.Points), len(csr.Points))
-	}
-	for i := range dense.Points {
-		if dense.Points[i] != csr.Points[i] {
-			t.Fatalf("point %d differs:\n dense: %+v\n csr:   %+v", i, dense.Points[i], csr.Points[i])
+	for _, backend := range []Backend{BackendCSR, BackendFast} {
+		other, err := RunPanel(context.Background(), sparsePanelConfig(backend))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other.Backend != backend.String() {
+			t.Fatalf("backend label %q, want %q", other.Backend, backend)
+		}
+		if len(dense.Points) != len(other.Points) {
+			t.Fatalf("point counts differ: %d vs %d", len(dense.Points), len(other.Points))
+		}
+		for i := range dense.Points {
+			if dense.Points[i] != other.Points[i] {
+				t.Fatalf("point %d differs:\n dense: %+v\n %s:   %+v", i, dense.Points[i], backend, other.Points[i])
+			}
 		}
 	}
 }
@@ -81,6 +86,7 @@ func TestParseBackend(t *testing.T) {
 		{"auto", BackendAuto, true},
 		{"dense", BackendDense, true},
 		{"csr", BackendCSR, true},
+		{"fast", BackendFast, true},
 		{"", BackendAuto, true},
 		{"sparse", BackendAuto, false},
 	} {
@@ -89,7 +95,8 @@ func TestParseBackend(t *testing.T) {
 			t.Fatalf("ParseBackend(%q) = %v, %v", tc.in, got, err)
 		}
 	}
-	if BackendCSR.String() != "csr" || BackendDense.String() != "dense" || BackendAuto.String() != "auto" {
+	if BackendCSR.String() != "csr" || BackendDense.String() != "dense" ||
+		BackendFast.String() != "fast" || BackendAuto.String() != "auto" {
 		t.Fatal("backend names")
 	}
 }

@@ -39,6 +39,7 @@ const (
 	BackendAuto  = matrix.BackendAuto
 	BackendDense = matrix.BackendDense
 	BackendCSR   = matrix.BackendCSR
+	BackendFast  = matrix.BackendFast
 )
 
 // ParseBackend parses a CLI backend name ("" means auto).

@@ -9,6 +9,7 @@ package hashing
 
 import (
 	"math/rand"
+	"sync"
 )
 
 // MersennePrime is 2⁶¹−1, the field modulus for polynomial hashing.
@@ -110,6 +111,48 @@ func PairwiseHash(rng *rand.Rand) *PolyHash { return NewPolyHash(rng, 2) }
 // FourwiseHash constructs a 4-wise independent family, used by the AMS F2
 // estimator's sign function.
 func FourwiseHash(rng *rand.Rand) *PolyHash { return NewPolyHash(rng, 4) }
+
+// polyCacheKey identifies a deterministic hash function: the PRNG seed it
+// is drawn from and the independence degree.
+type polyCacheKey struct {
+	seed int64
+	k    int
+}
+
+var (
+	polyCacheMu sync.RWMutex
+	polyCache   = map[polyCacheKey]*PolyHash{}
+)
+
+// polyCacheLimit bounds the memo table; at the limit the table is flushed
+// wholesale (entries are cheap to rebuild, and real workloads never get
+// close — the key space is the handful of derived protocol seeds).
+const polyCacheLimit = 1 << 16
+
+// SeededPolyHash returns the k-wise independent function drawn from the
+// deterministic stream Seeded(seed) — bit-identical to
+// NewPolyHash(Seeded(seed), k) — memoized on (seed, k). The sketching
+// protocols rebuild the same functions from shared seeds on every server
+// and every round; PolyHash is immutable after construction, so all
+// callers share one instance and skip the (comparatively expensive) PRNG
+// seeding on cache hits. Safe for concurrent use.
+func SeededPolyHash(seed int64, k int) *PolyHash {
+	key := polyCacheKey{seed, k}
+	polyCacheMu.RLock()
+	h := polyCache[key]
+	polyCacheMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	h = NewPolyHash(Seeded(seed), k)
+	polyCacheMu.Lock()
+	if len(polyCache) >= polyCacheLimit {
+		polyCache = map[polyCacheKey]*PolyHash{}
+	}
+	polyCache[key] = h
+	polyCacheMu.Unlock()
+	return h
+}
 
 // Seeded returns a deterministic *rand.Rand for the given seed. Protocol
 // components derive their private streams via DeriveSeed so that sharing a

@@ -272,7 +272,7 @@ func ZHeavyHitters(ctx context.Context, net *comm.Network, locals []Vec, zp ZPar
 			return nil, err // abort checkpoint between bucketing repetitions
 		}
 		repSeed := hashing.DeriveSeed(seed, uint64(7000+t))
-		part := hashing.PairwiseHash(hashing.Seeded(repSeed))
+		part := hashing.SeededPolyHash(repSeed, 2)
 
 		merged, err := bucketedSketches(ctx, net, locals, repSeed, zp.Buckets, zp.Sketch, nil, nil, tag)
 		if err != nil {
@@ -343,7 +343,7 @@ func ZHeavyHittersFiltered(ctx context.Context, net *comm.Network, locals []Vec,
 			return nil, err // abort checkpoint between bucketing repetitions
 		}
 		repSeed := hashing.DeriveSeed(seed, uint64(9000+t))
-		part := hashing.PairwiseHash(hashing.Seeded(repSeed))
+		part := hashing.SeededPolyHash(repSeed, 2)
 
 		merged, err := bucketedSketches(ctx, net, locals, repSeed, zp.Buckets, zp.Sketch, keep, filt, tag)
 		if err != nil {

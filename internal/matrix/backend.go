@@ -16,6 +16,9 @@ const (
 	BackendDense
 	// BackendCSR compresses every share to sparse CSR rows.
 	BackendCSR
+	// BackendFast indexes every share into the tuned fast-dense backend
+	// (dense storage plus a precomputed nonzero index and cached norms).
+	BackendFast
 )
 
 // String names the backend as the CLIs spell it.
@@ -25,6 +28,8 @@ func (b Backend) String() string {
 		return "dense"
 	case BackendCSR:
 		return "csr"
+	case BackendFast:
+		return "fast"
 	}
 	return "auto"
 }
@@ -38,8 +43,10 @@ func ParseBackend(s string) (Backend, error) {
 		return BackendDense, nil
 	case "csr":
 		return BackendCSR, nil
+	case "fast":
+		return BackendFast, nil
 	}
-	return BackendAuto, fmt.Errorf("matrix: unknown backend %q (want auto, dense or csr)", s)
+	return BackendAuto, fmt.Errorf("matrix: unknown backend %q (want auto, dense, csr or fast)", s)
 }
 
 // Apply converts every share to the backend's representation (the
@@ -50,6 +57,8 @@ func (b Backend) Apply(mats []Mat) []Mat {
 		return ToDenseAll(mats)
 	case BackendCSR:
 		return ToCSRAll(mats)
+	case BackendFast:
+		return ToFastAll(mats)
 	}
 	return mats
 }

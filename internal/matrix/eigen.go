@@ -15,15 +15,27 @@ import (
 // code base are modest (d ≤ a few thousand) Gram matrices where Jacobi's
 // simplicity, unconditional convergence and high relative accuracy on PSD
 // inputs outweigh its O(d³) per-sweep cost.
+//
+// The rotation kernel exploits symmetry: a rotation touches only rows p
+// and q of the work matrix (contiguous in the row-major layout) and fixes
+// the 2×2 pivot block in closed form. The column halves of the two-sided
+// updates — the strided walks that dominate a naive implementation — are
+// deferred and flushed for batches of adjacent pivot columns at once, so
+// consecutive column writes land in the same cache line (see sweepPivotRow).
+// Eigenvectors accumulate in a transposed store so their update is
+// contiguous too.
 func EigenSym(m *Dense) (vals []float64, V *Dense) {
 	n := m.rows
 	if m.cols != n {
 		panic(fmt.Sprintf("matrix: EigenSym on non-square %dx%d", m.rows, m.cols))
 	}
 	a := m.Clone()
-	V = Identity(n)
+	// VT accumulates the eigenvector matrix transposed: row j of VT is the
+	// j-th eigenvector (column j of V). Rotations touch two eigenvectors at
+	// a time; in this layout both live in contiguous rows.
+	VT := Identity(n)
 	if n == 0 {
-		return nil, V
+		return nil, VT
 	}
 
 	const maxSweeps = 64
@@ -34,31 +46,15 @@ func EigenSym(m *Dense) (vals []float64, V *Dense) {
 	if tol == 0 {
 		tol = 1e-300
 	}
+	small := tol / float64(n)
+	applied := make([]int, 0, mirrorBatch)
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		off := offDiagNorm(a)
 		if off <= tol {
 			break
 		}
 		for p := 0; p < n-1; p++ {
-			for q := p + 1; q < n; q++ {
-				apq := a.data[p*n+q]
-				if math.Abs(apq) <= tol/float64(n) {
-					continue
-				}
-				app := a.data[p*n+p]
-				aqq := a.data[q*n+q]
-				// Classic stable rotation computation.
-				theta := (aqq - app) / (2 * apq)
-				var t float64
-				if theta >= 0 {
-					t = 1 / (theta + math.Sqrt(1+theta*theta))
-				} else {
-					t = -1 / (-theta + math.Sqrt(1+theta*theta))
-				}
-				c := 1 / math.Sqrt(1+t*t)
-				s := t * c
-				rotate(a, V, p, q, c, s)
-			}
+			sweepPivotRow(a, VT, p, small, applied)
 		}
 	}
 
@@ -66,7 +62,7 @@ func EigenSym(m *Dense) (vals []float64, V *Dense) {
 	for i := 0; i < n; i++ {
 		vals[i] = a.data[i*n+i]
 	}
-	// Sort descending, permuting eigenvector columns in step.
+	// Sort descending; eigenvector j of the output is row idx[j] of VT.
 	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
@@ -76,34 +72,120 @@ func EigenSym(m *Dense) (vals []float64, V *Dense) {
 	Vs := NewDense(n, n)
 	for newj, oldj := range idx {
 		sorted[newj] = vals[oldj]
-		for i := 0; i < n; i++ {
-			Vs.data[i*n+newj] = V.data[i*n+oldj]
+		row := VT.data[oldj*n : (oldj+1)*n]
+		for i, v := range row {
+			Vs.data[i*n+newj] = v
 		}
 	}
 	return sorted, Vs
 }
 
-// rotate applies the Jacobi rotation J(p,q,θ) on both sides of a and
-// accumulates it into V: a ← JᵀaJ, V ← VJ.
-func rotate(a, V *Dense, p, q int, c, s float64) {
+// mirrorBatch is the number of adjacent pivot columns whose symmetric
+// column updates are buffered in their rows before one blocked mirror
+// pass restores column consistency. 8 float64 columns span exactly one
+// 64-byte cache line, so the mirror writes ≤2 lines per matrix row per
+// batch instead of one line per rotation; the batch rows themselves
+// (8 rows of the work matrix) stay L1-resident during the flush.
+const mirrorBatch = 8
+
+// sweepPivotRow runs the cyclic-Jacobi pivots (p, q) for q = p+1..n−1,
+// applying each two-sided rotation J(p,q,θ)ᵀ·a·J(p,q,θ) and accumulating
+// the J's into the transposed eigenvector store VT.
+//
+// Rows p and q are rotated in place (contiguous) and the 2×2 pivot block
+// is set from the closed forms a'_pp = a_pp − t·a_pq, a'_qq = a_qq + t·a_pq,
+// a'_pq = 0 (Golub & Van Loan §8.5 — the rotation annihilates the pivot
+// exactly by construction). The column halves of the updates are NOT
+// written eagerly; instead, within a batch of mirrorBatch adjacent q's,
+// a row's few stale entries (column p plus the batch columns already
+// rotated) are refreshed on demand from their symmetric counterparts —
+// which live in rows that are current and cache-hot — and the full column
+// mirror for the batch is flushed in one blocked pass. Every value read
+// equals what the eager per-rotation mirror would have written, so the
+// computation is bit-identical to the unbatched kernel while the strided
+// column traffic shrinks by ~mirrorBatch×.
+func sweepPivotRow(a, VT *Dense, p int, small float64, applied []int) {
 	n := a.rows
-	for i := 0; i < n; i++ {
-		aip := a.data[i*n+p]
-		aiq := a.data[i*n+q]
-		a.data[i*n+p] = c*aip - s*aiq
-		a.data[i*n+q] = s*aip + c*aiq
-	}
-	for j := 0; j < n; j++ {
-		apj := a.data[p*n+j]
-		aqj := a.data[q*n+j]
-		a.data[p*n+j] = c*apj - s*aqj
-		a.data[q*n+j] = s*apj + c*aqj
-	}
-	for i := 0; i < n; i++ {
-		vip := V.data[i*n+p]
-		viq := V.data[i*n+q]
-		V.data[i*n+p] = c*vip - s*viq
-		V.data[i*n+q] = s*vip + c*viq
+	rp := a.data[p*n : (p+1)*n]
+	for q0 := p + 1; q0 < n; q0 += mirrorBatch {
+		q1 := q0 + mirrorBatch
+		if q1 > n {
+			q1 = n
+		}
+		applied = applied[:0]
+		for q := q0; q < q1; q++ {
+			apq := rp[q]
+			if math.Abs(apq) <= small {
+				continue
+			}
+			rq := a.data[q*n : (q+1)*n]
+			rq = rq[:len(rp)]
+			// Refresh the entries of row q made stale by the deferred
+			// mirrors: column p (symmetric counterpart lives in row p,
+			// which is always current) and the batch columns rotated
+			// before q (counterparts in their own rows, untouched at
+			// position q since their rotation).
+			rq[p] = apq
+			for _, qq := range applied {
+				rq[qq] = a.data[qq*n+q]
+			}
+			app := rp[p]
+			aqq := rq[q]
+			// Classic stable rotation computation.
+			theta := (aqq - app) / (2 * apq)
+			var t float64
+			if theta >= 0 {
+				t = 1 / (theta + math.Sqrt(1+theta*theta))
+			} else {
+				t = -1 / (-theta + math.Sqrt(1+theta*theta))
+			}
+			c := 1 / math.Sqrt(1+t*t)
+			s := t * c
+			for j, x := range rp {
+				y := rq[j]
+				rp[j] = c*x - s*y
+				rq[j] = s*x + c*y
+			}
+			rp[p] = app - t*apq
+			rq[q] = aqq + t*apq
+			rp[q] = 0
+			rq[p] = 0
+			vp := VT.data[p*n : (p+1)*n]
+			vq := VT.data[q*n : (q+1)*n]
+			vq = vq[:len(vp)]
+			for j, x := range vp {
+				y := vq[j]
+				vp[j] = c*x - s*y
+				vq[j] = s*x + c*y
+			}
+			applied = append(applied, q)
+		}
+		if len(applied) == 0 {
+			continue
+		}
+		// Symmetrize the batch rows among themselves and against row p:
+		// a rotation (p, q''') that ran after (p, q'') changed a[q''][q''']
+		// and a[q''][p], but only rows p and q''' were written. Copy the
+		// current values from those rows so every batch row is fully
+		// up to date before it serves as a mirror source.
+		for ai, qa := range applied {
+			ra := a.data[qa*n : (qa+1)*n]
+			ra[p] = rp[qa]
+			for _, qb := range applied[ai+1:] {
+				ra[qb] = a.data[qb*n+qa]
+			}
+		}
+		// Blocked mirror: restore columns p and [q0, q1) from the rows
+		// that carry their current values. The batch columns are adjacent,
+		// so per matrix row this writes into at most two cache lines, and
+		// the source rows (≤ mirrorBatch of them) stay L1-resident.
+		for i := 0; i < n; i++ {
+			row := a.data[i*n : i*n+n]
+			row[p] = rp[i]
+			for _, qq := range applied {
+				row[qq] = a.data[qq*n+i]
+			}
+		}
 	}
 }
 
@@ -111,9 +193,9 @@ func offDiagNorm(a *Dense) float64 {
 	n := a.rows
 	var s float64
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
+		row := a.data[i*n : (i+1)*n]
+		for j, v := range row {
 			if i != j {
-				v := a.data[i*n+j]
 				s += v * v
 			}
 		}

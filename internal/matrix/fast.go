@@ -1,0 +1,158 @@
+package matrix
+
+import "fmt"
+
+// Fast is the tuned dense backend: row-major float64 storage exactly like
+// Dense — O(1) At, contiguous rows — plus a precomputed nonzero-column
+// index in CSR layout (row pointers into a flat column list) and cached
+// per-row norms. The protocols' per-row hot paths all reduce to the
+// RowNNZ stream; Fast walks the index instead of testing every stored
+// entry for zero, so sketch ingestion and row scans run at CSR speed
+// while random access and row views keep their dense cost.
+//
+// Bit-identity: the index is built from the same RowNNZ stream every
+// backend must produce (ascending columns, exact zeros skipped), values
+// are read back from the dense rows, and every accumulating kernel — the
+// unrolled MulVec, the cached norms — uses one sequential accumulator in
+// stream order, so all results are bitwise identical to the Dense and
+// CSR backends.
+//
+// Fast is immutable after construction (the index and cached norms would
+// not survive mutation); it intentionally exposes no setters.
+type Fast struct {
+	rows, cols int
+	data       []float64 // row-major entries, rows×cols
+	rowptr     []int32   // rowptr[i]..rowptr[i+1] indexes colidx for row i
+	colidx     []int32   // nonzero column indices, ascending within a row
+	norms      []float64 // cached RowNorm2 per row (nnz-order accumulation)
+}
+
+var _ Mat = (*Fast)(nil)
+
+// ToFast indexes m into the fast-dense backend. A *Fast input is returned
+// unchanged (Mat consumers are read-only by contract, so sharing is safe).
+func ToFast(m Mat) *Fast {
+	if f, ok := m.(*Fast); ok {
+		return f
+	}
+	rows, cols := m.Rows(), m.Cols()
+	out := &Fast{
+		rows:   rows,
+		cols:   cols,
+		data:   make([]float64, rows*cols),
+		rowptr: make([]int32, rows+1),
+		norms:  make([]float64, rows),
+	}
+	out.colidx = make([]int32, 0, m.NNZ())
+	for i := 0; i < rows; i++ {
+		row := out.data[i*cols : (i+1)*cols]
+		m.RowNNZ(i, func(j int, v float64) {
+			row[j] = v
+			out.colidx = append(out.colidx, int32(j))
+		})
+		out.rowptr[i+1] = int32(len(out.colidx))
+		var s float64
+		for _, c := range out.colidx[out.rowptr[i]:] {
+			v := row[c]
+			s += v * v
+		}
+		out.norms[i] = s
+	}
+	return out
+}
+
+// ToFastAll converts every share to the fast-dense backend.
+func ToFastAll(mats []Mat) []Mat {
+	out := make([]Mat, len(mats))
+	for i, m := range mats {
+		out[i] = ToFast(m)
+	}
+	return out
+}
+
+// Rows returns the number of rows.
+func (m *Fast) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Fast) Cols() int { return m.cols }
+
+// NNZ returns the number of nonzero entries (precomputed).
+func (m *Fast) NNZ() int64 { return int64(len(m.colidx)) }
+
+// At returns the (i, j) entry in O(1).
+func (m *Fast) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+	return m.data[i*m.cols+j]
+}
+
+// Row returns row i as a read-only view of the backing storage.
+func (m *Fast) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// RowNNZ calls f for every nonzero entry of row i in ascending column
+// order, walking the precomputed index — no per-entry zero test.
+func (m *Fast) RowNNZ(i int, f func(j int, v float64)) {
+	row := m.Row(i)
+	for _, c := range m.colidx[m.rowptr[i]:m.rowptr[i+1]] {
+		f(int(c), row[c])
+	}
+}
+
+// RowNorm2 returns the squared Euclidean norm of row i from the cache
+// (computed once at construction with the backend-standard nnz-order
+// accumulation).
+func (m *Fast) RowNorm2(i int) float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+	return m.norms[i]
+}
+
+// RowNorms2 returns the squared Euclidean norms of all rows.
+func (m *Fast) RowNorms2() []float64 {
+	out := make([]float64, m.rows)
+	copy(out, m.norms)
+	return out
+}
+
+// MulVec returns m·x in O(nnz), the inner gather unrolled 4-wide. The
+// accumulator stays single and sequential, so the summation order — and
+// hence the bits — match the other backends' nonzero streams.
+func (m *Fast) MulVec(x []float64) []float64 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("matrix: MulVec %dx%d · %d", m.rows, m.cols, len(x)))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		idx := m.colidx[m.rowptr[i]:m.rowptr[i+1]]
+		var s float64
+		p := 0
+		for ; p+4 <= len(idx); p += 4 {
+			c0, c1, c2, c3 := idx[p], idx[p+1], idx[p+2], idx[p+3]
+			s += row[c0] * x[c0]
+			s += row[c1] * x[c1]
+			s += row[c2] * x[c2]
+			s += row[c3] * x[c3]
+		}
+		for ; p < len(idx); p++ {
+			c := idx[p]
+			s += row[c] * x[c]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Words returns the storage footprint in 64-bit words: the dense entries
+// plus the nonzero index (column indices and row pointers pack two per
+// word at 32 bits each).
+func (m *Fast) Words() int64 {
+	return int64(len(m.data)) + (int64(len(m.colidx))+int64(len(m.rowptr))+1)/2
+}

@@ -1,0 +1,136 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFastEquivalence extends the backend contract to the fast-dense
+// backend: every Mat method must agree bitwise with Dense and CSR for the
+// same logical matrix, whichever backend Fast was indexed from.
+func TestFastEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		d := 1 + rng.Intn(30)
+		density := []float64{0.02, 0.1, 0.5, 1.0}[trial%4]
+		dense, csr := randomSparse(rng, n, d, density)
+		// Index from alternating sources: the result must not depend on
+		// which backend the stream came from.
+		var fast *Fast
+		if trial%2 == 0 {
+			fast = ToFast(dense)
+		} else {
+			fast = ToFast(csr)
+		}
+		if fast.NNZ() != dense.NNZ() {
+			t.Fatalf("trial %d: nnz %d vs %d", trial, fast.NNZ(), dense.NNZ())
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				if dense.At(i, j) != fast.At(i, j) {
+					t.Fatalf("trial %d: At(%d,%d) %g vs %g", trial, i, j, dense.At(i, j), fast.At(i, j))
+				}
+			}
+			if dense.RowNorm2(i) != fast.RowNorm2(i) {
+				t.Fatalf("trial %d: RowNorm2(%d) differs", trial, i)
+			}
+		}
+		dn, fn := dense.RowNorms2(), fast.RowNorms2()
+		for i := range dn {
+			if dn[i] != fn[i] {
+				t.Fatalf("trial %d: RowNorms2[%d] %g vs %g", trial, i, dn[i], fn[i])
+			}
+		}
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		dv, fv := dense.MulVec(x), fast.MulVec(x)
+		for i := range dv {
+			if dv[i] != fv[i] {
+				t.Fatalf("trial %d: MulVec[%d] %g vs %g", trial, i, dv[i], fv[i])
+			}
+		}
+		// The nonzero streams must be identical element for element.
+		for i := 0; i < n; i++ {
+			type jv struct {
+				j int
+				v float64
+			}
+			var a, b []jv
+			dense.RowNNZ(i, func(j int, v float64) { a = append(a, jv{j, v}) })
+			fast.RowNNZ(i, func(j int, v float64) { b = append(b, jv{j, v}) })
+			if len(a) != len(b) {
+				t.Fatalf("trial %d row %d: stream lengths %d vs %d", trial, i, len(a), len(b))
+			}
+			for k := range a {
+				if a[k] != b[k] {
+					t.Fatalf("trial %d row %d: stream element %d differs", trial, i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestFastConversionsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	dense, _ := randomSparse(rng, 17, 9, 0.3)
+	fast := ToFast(dense)
+	if ToFast(fast) != fast {
+		t.Fatal("ToFast of a *Fast must be the identity")
+	}
+	back := ToDense(fast)
+	for i := 0; i < 17; i++ {
+		for j := 0; j < 9; j++ {
+			if back.At(i, j) != dense.At(i, j) {
+				t.Fatalf("roundtrip changed At(%d,%d)", i, j)
+			}
+		}
+	}
+	c := ToCSR(fast)
+	if c.NNZ() != fast.NNZ() {
+		t.Fatalf("CSR roundtrip nnz %d vs %d", c.NNZ(), fast.NNZ())
+	}
+}
+
+func TestBackendFastPlumbing(t *testing.T) {
+	if BackendFast.String() != "fast" {
+		t.Fatalf("BackendFast.String() = %q", BackendFast.String())
+	}
+	b, err := ParseBackend("fast")
+	if err != nil || b != BackendFast {
+		t.Fatalf("ParseBackend(fast) = %v, %v", b, err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	dense, csr := randomSparse(rng, 5, 4, 0.5)
+	out := BackendFast.Apply([]Mat{dense, csr})
+	for i, m := range out {
+		if _, ok := m.(*Fast); !ok {
+			t.Fatalf("share %d not converted to *Fast: %T", i, m)
+		}
+	}
+}
+
+func TestFastMulVecUnrolledTail(t *testing.T) {
+	// Exercise every tail length 0..7 of the 4-wide unroll against the
+	// scalar CSR path.
+	rng := rand.New(rand.NewSource(14))
+	for nnz := 0; nnz <= 8; nnz++ {
+		d := 16
+		dense := NewDense(1, d)
+		cols := rng.Perm(d)[:nnz]
+		for _, c := range cols {
+			dense.Set(0, c, rng.NormFloat64())
+		}
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		want := ToCSR(dense).MulVec(x)
+		got := ToFast(dense).MulVec(x)
+		if want[0] != got[0] {
+			t.Fatalf("nnz=%d: MulVec %g vs %g", nnz, got[0], want[0])
+		}
+	}
+}

@@ -35,10 +35,11 @@ type Mat interface {
 	NNZ() int64
 }
 
-// Dense and CSR must both satisfy the interface.
+// Dense, CSR and Fast must all satisfy the interface.
 var (
 	_ Mat = (*Dense)(nil)
 	_ Mat = (*CSR)(nil)
+	_ Mat = (*Fast)(nil)
 )
 
 // Sparsity returns the fraction of nonzero entries of m (0 for an empty

@@ -111,11 +111,14 @@ func (m MatVec) Len() uint64 { return uint64(m.M.Rows()) * uint64(m.M.Cols()) }
 // ForEach iterates nonzero entries in row-major coordinate order.
 func (m MatVec) ForEach(f func(j uint64, v float64)) {
 	cols := m.M.Cols()
+	// One closure for the whole matrix (capturing the mutable row base)
+	// instead of one per row — this iterator feeds every sketch ingestion,
+	// so a per-row allocation here is measurable across a protocol run.
+	var base uint64
+	emit := func(c int, v float64) { f(base+uint64(c), v) }
 	for i := 0; i < m.M.Rows(); i++ {
-		base := uint64(i) * uint64(cols)
-		m.M.RowNNZ(i, func(c int, v float64) {
-			f(base+uint64(c), v)
-		})
+		base = uint64(i) * uint64(cols)
+		m.M.RowNNZ(i, emit)
 	}
 }
 
@@ -194,7 +197,7 @@ func MaxLevelFromUnit(u float64, levels int) int {
 
 // Keep materializes the filter's predicate.
 func (lf *LevelFilter) Keep() func(j uint64) bool {
-	g := hashing.NewPolyHash(hashing.Seeded(lf.GSeed), 8)
+	g := hashing.SeededPolyHash(lf.GSeed, 8)
 	min := lf.MinLevel
 	levels := lf.Levels
 	return func(j uint64) bool {
@@ -221,11 +224,12 @@ func FlatSketch(v Vec, seed int64, depth, width, workers int) *sketch.CountSketc
 // the pairwise-independent partition derived from repSeed (bucket e is
 // seeded DeriveSeed(repSeed, e)).
 func BucketSketches(v Vec, repSeed int64, buckets, depth, width int) []*sketch.CountSketch {
-	part := hashing.PairwiseHash(hashing.Seeded(repSeed))
-	out := make([]*sketch.CountSketch, buckets)
-	for e := range out {
-		out[e] = sketch.NewCountSketch(hashing.DeriveSeed(repSeed, uint64(e)), depth, width)
+	part := hashing.SeededPolyHash(repSeed, 2)
+	seeds := make([]int64, buckets)
+	for e := range seeds {
+		seeds[e] = hashing.DeriveSeed(repSeed, uint64(e))
 	}
+	out := sketch.NewCountSketchBlock(seeds, depth, width)
 	v.ForEach(func(j uint64, val float64) {
 		out[part.Bucket(j, buckets)].Update(j, val)
 	})

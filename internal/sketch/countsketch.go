@@ -13,7 +13,6 @@ package sketch
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"repro/internal/hashing"
@@ -38,14 +37,39 @@ func NewCountSketch(seed int64, depth, width int) *CountSketch {
 	if depth < 1 || width < 1 {
 		panic(fmt.Sprintf("sketch: invalid shape depth=%d width=%d", depth, width))
 	}
+	return newCountSketchIn(seed, depth, width, make([]float64, depth*width))
+}
+
+// NewCountSketchBlock builds count sketches of the given seed list that all
+// share one backing counter allocation — the arena form used when a round
+// materializes many bucket sketches at once. Each sketch is independent
+// (disjoint counter ranges); only the allocation is shared.
+func NewCountSketchBlock(seeds []int64, depth, width int) []*CountSketch {
+	if depth < 1 || width < 1 {
+		panic(fmt.Sprintf("sketch: invalid shape depth=%d width=%d", depth, width))
+	}
+	block := make([]float64, len(seeds)*depth*width)
+	out := make([]*CountSketch, len(seeds))
+	per := depth * width
+	for i, seed := range seeds {
+		out[i] = newCountSketchIn(seed, depth, width, block[i*per:(i+1)*per:(i+1)*per])
+	}
+	return out
+}
+
+// newCountSketchIn wires a sketch over a caller-provided zeroed counter
+// block of depth*width float64s, slicing it into the per-row views. Hash
+// functions come from the process-wide memo (hashing.SeededPolyHash), so
+// repeated construction from the same seed is cheap.
+func newCountSketchIn(seed int64, depth, width int, block []float64) *CountSketch {
 	cs := &CountSketch{seed: seed, depth: depth, width: width}
 	cs.rows = make([][]float64, depth)
 	cs.bucket = make([]*hashing.PolyHash, depth)
 	cs.sign = make([]*hashing.PolyHash, depth)
 	for r := 0; r < depth; r++ {
-		cs.rows[r] = make([]float64, width)
-		cs.bucket[r] = hashing.NewPolyHash(hashing.Seeded(hashing.DeriveSeed(seed, uint64(2*r))), 2)
-		cs.sign[r] = hashing.NewPolyHash(hashing.Seeded(hashing.DeriveSeed(seed, uint64(2*r+1))), 4)
+		cs.rows[r] = block[r*width : (r+1)*width : (r+1)*width]
+		cs.bucket[r] = hashing.SeededPolyHash(hashing.DeriveSeed(seed, uint64(2*r)), 2)
+		cs.sign[r] = hashing.SeededPolyHash(hashing.DeriveSeed(seed, uint64(2*r+1)), 4)
 	}
 	return cs
 }
@@ -70,14 +94,24 @@ func (cs *CountSketch) Update(j uint64, delta float64) {
 	}
 }
 
+// estBuf is stack-allocatable scratch for per-coordinate estimates; heavy
+// hitter scans call Estimate once per candidate coordinate, so the
+// estimate path must not heap-allocate. Sketch depths beyond its capacity
+// fall back to the heap.
+type estBuf [32]float64
+
 // Estimate returns the median-of-rows estimate of coordinate j.
 func (cs *CountSketch) Estimate(j uint64) float64 {
-	ests := make([]float64, cs.depth)
+	var buf estBuf
+	ests := buf[:0]
+	if cs.depth > len(buf) {
+		ests = make([]float64, 0, cs.depth)
+	}
 	for r := 0; r < cs.depth; r++ {
 		b := cs.bucket[r].Bucket(j, cs.width)
-		ests[r] = cs.sign[r].Sign(j) * cs.rows[r][b]
+		ests = append(ests, cs.sign[r].Sign(j)*cs.rows[r][b])
 	}
-	return median(ests)
+	return medianInPlace(ests)
 }
 
 // Merge adds another sketch built with identical seed and shape into cs.
@@ -98,15 +132,19 @@ func (cs *CountSketch) Merge(other *CountSketch) error {
 // estimator of ‖v‖₂² per row (this is exactly the AMS estimator realized on
 // CountSketch counters).
 func (cs *CountSketch) F2Estimate() float64 {
-	rowF2 := make([]float64, cs.depth)
+	var buf estBuf
+	rowF2 := buf[:0]
+	if cs.depth > len(buf) {
+		rowF2 = make([]float64, 0, cs.depth)
+	}
 	for r := range cs.rows {
 		var s float64
 		for _, c := range cs.rows[r] {
 			s += c * c
 		}
-		rowF2[r] = s
+		rowF2 = append(rowF2, s)
 	}
-	return median(rowF2)
+	return medianInPlace(rowF2)
 }
 
 // Words returns the number of 64-bit words needed to transmit the sketch
@@ -180,15 +218,31 @@ func (cs *CountSketch) UpdateBulk(workers int, iter func(yield func(j uint64, v 
 func median(xs []float64) float64 {
 	tmp := make([]float64, len(xs))
 	copy(tmp, xs)
-	sort.Float64s(tmp)
-	n := len(tmp)
+	return medianInPlace(tmp)
+}
+
+// medianInPlace sorts xs (insertion sort — the slices here are sketch
+// depths, a dozen entries at most) and returns the median. The comparator
+// matches sort.Float64s' total order (NaNs first), so results are
+// bit-identical to the sort-based median.
+func medianInPlace(xs []float64) float64 {
+	for i := 1; i < len(xs); i++ {
+		x := xs[i]
+		j := i - 1
+		for j >= 0 && (x < xs[j] || (math.IsNaN(x) && !math.IsNaN(xs[j]))) {
+			xs[j+1] = xs[j]
+			j--
+		}
+		xs[j+1] = x
+	}
+	n := len(xs)
 	if n == 0 {
 		return 0
 	}
 	if n%2 == 1 {
-		return tmp[n/2]
+		return xs[n/2]
 	}
-	return 0.5 * (tmp[n/2-1] + tmp[n/2])
+	return 0.5 * (xs[n/2-1] + xs[n/2])
 }
 
 // AMS is a standalone F2 (second frequency moment) estimator: depth
@@ -209,7 +263,7 @@ func NewAMS(seed int64, reps int) *AMS {
 	a := &AMS{seed: seed, reps: reps, sums: make([]float64, reps)}
 	a.signs = make([]*hashing.PolyHash, reps)
 	for r := 0; r < reps; r++ {
-		a.signs[r] = hashing.NewPolyHash(hashing.Seeded(hashing.DeriveSeed(seed, uint64(1000+r))), 4)
+		a.signs[r] = hashing.SeededPolyHash(hashing.DeriveSeed(seed, uint64(1000+r)), 4)
 	}
 	return a
 }

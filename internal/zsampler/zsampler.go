@@ -233,7 +233,7 @@ func BuildEstimator(ctx context.Context, net *comm.Network, locals []hh.Vec, z f
 	// an O(l) precomputation that replaces O(l·levels·reps) hash work.
 	gSeed := hashing.DeriveSeed(p.Seed, 2)
 	net.BroadcastSeed(comm.CP, "zest/gseed", gSeed)
-	g := hashing.NewPolyHash(hashing.Seeded(gSeed), 8)
+	g := hashing.SeededPolyHash(gSeed, 8)
 	// Workers ≤ 0 stays sequential here (unlike the experiment sweep's
 	// auto default): the estimator usually runs inside an already-parallel
 	// outer layer, and nested auto fan-out would oversubscribe the pool.

@@ -195,6 +195,7 @@ const (
 	BackendAuto  = matrix.BackendAuto
 	BackendDense = matrix.BackendDense
 	BackendCSR   = matrix.BackendCSR
+	BackendFast  = matrix.BackendFast
 )
 
 // Options configures a PCA run.
