@@ -37,10 +37,10 @@ bench: bench-smoke
 # Staged through temp files so a failing bench run (or an empty
 # measurement set, which dlra-benchjson rejects) fails the target without
 # truncating an existing BENCH_JSON snapshot.
-BENCH_JSON ?= BENCH_pr6.json
+BENCH_JSON ?= BENCH_pr7.json
 bench-json:
-	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput|CancelLatency' \
-		-benchmem -benchtime=3x . > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
+	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput|CancelLatency|FrameEncodeDecode' \
+		-benchmem -benchtime=3x . ./internal/comm > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
 	$(GO) run ./cmd/dlra-benchjson < $(BENCH_JSON).txt > $(BENCH_JSON).tmp || \
 		{ rm -f $(BENCH_JSON).txt $(BENCH_JSON).tmp; exit 1; }
 	@rm -f $(BENCH_JSON).txt
@@ -50,19 +50,24 @@ bench-json:
 # Multi-process smoke: a coordinator plus two external dlra-worker
 # processes over loopback TCP run a small sweep end to end — the wire
 # protocol (handshake, share installation, op execution, shutdown) as a
-# real deployment uses it. Mirrored by the tcp-smoke CI job.
+# real deployment uses it. SMOKE_BATCH tunes wire batching on both sides
+# (0 = unlimited coalescing, 1 = off, k = flush every k frames); the CI
+# tcp-smoke matrix runs 1, 8 and 0 — results must be identical at all
+# three by the transcript determinism contract.
 SMOKE_DIR ?= /tmp/dlra-smoke
 SMOKE_ADDR ?= 127.0.0.1:7791
+SMOKE_BATCH ?= 0
 smoke-tcp:
 	rm -rf $(SMOKE_DIR) && mkdir -p $(SMOKE_DIR)
 	$(GO) build -o $(SMOKE_DIR)/dlra-pca ./cmd/dlra-pca
 	$(GO) build -o $(SMOKE_DIR)/dlra-worker ./cmd/dlra-worker
 	$(GO) build -o $(SMOKE_DIR)/dlra-datagen ./cmd/dlra-datagen
 	$(SMOKE_DIR)/dlra-datagen -dataset forestcover -scale small -output $(SMOKE_DIR)/fc.bin
-	$(SMOKE_DIR)/dlra-worker -join $(SMOKE_ADDR) & \
-	$(SMOKE_DIR)/dlra-worker -join $(SMOKE_ADDR) & \
+	$(SMOKE_DIR)/dlra-worker -join $(SMOKE_ADDR) -batch $(SMOKE_BATCH) & \
+	$(SMOKE_DIR)/dlra-worker -join $(SMOKE_ADDR) -batch $(SMOKE_BATCH) & \
 	$(SMOKE_DIR)/dlra-pca -input $(SMOKE_DIR)/fc.bin -k 5 -servers 3 -seed 7 \
-		-transport tcp -tcp-listen $(SMOKE_ADDR) -tcp-spawn=false -sweep-rows 16,32 && wait
+		-transport tcp -tcp-listen $(SMOKE_ADDR) -tcp-spawn=false -batch $(SMOKE_BATCH) \
+		-sweep-rows 16,32 && wait
 
 # Job-engine deployment smoke: dlra-serve as a real HTTP service over a
 # loopback TCP cluster (coordinator + 2 spawned worker processes), driven

@@ -1,0 +1,69 @@
+package repro
+
+// Public-API surface of the batching knob: Options.BatchSize /
+// WithBatchSize tune wire framing only, so for a fixed seed the job's
+// entire fingerprint (word and byte ledgers, per-tag breakdown, sampled
+// rows, projection) must be identical to the in-memory run at every
+// batch size, including 1 (off).
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+func TestJobBatchSizeSweep(t *testing.T) {
+	shares := jobShares(55, 80, 9, 3)
+	probe := Options{K: 3, Rows: 16, Seed: 321}
+
+	mem, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	if err := mem.SetLocalData(shares); err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := mem.PCA(context.Background(), Identity(), probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprintResult(wantRes)
+
+	for _, batch := range []int{1, 8, 0} {
+		c := tcpCluster(t, 3)
+		if err := c.SetLocalData(shares); err != nil {
+			t.Fatal(err)
+		}
+		opts := probe
+		opts.BatchSize = batch
+		gotRes, err := c.PCA(context.Background(), Identity(), opts)
+		c.Close()
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		got := fingerprintResult(gotRes)
+		if want.words != got.words || want.bytes != got.bytes {
+			t.Fatalf("batch=%d: ledger drifted: mem %d words/%d bytes, tcp %d/%d",
+				batch, want.words, want.bytes, got.words, got.bytes)
+		}
+		if !reflect.DeepEqual(want.tags, got.tags) {
+			t.Fatalf("batch=%d: per-tag words drifted:\nmem %v\ntcp %v", batch, want.tags, got.tags)
+		}
+		if !reflect.DeepEqual(want.rows, got.rows) {
+			t.Fatalf("batch=%d: sampled rows drifted: mem %v, tcp %v", batch, want.rows, got.rows)
+		}
+		if !want.proj.Equalf(got.proj, 0) {
+			t.Fatalf("batch=%d: projection drifted", batch)
+		}
+	}
+}
+
+// TestWithBatchSizeOption checks the functional option lands on Options.
+func TestWithBatchSizeOption(t *testing.T) {
+	var o Options
+	WithBatchSize(8).apply(&o)
+	if o.BatchSize != 8 {
+		t.Fatalf("WithBatchSize(8) set %d", o.BatchSize)
+	}
+}

@@ -77,7 +77,18 @@ func parseLine(line string) (Measurement, bool) {
 			op = op[:i]
 		}
 	}
-	m := Measurement{Op: op, Iterations: iters}
+	// The suffix stripped from the name is the GOMAXPROCS the benchmark
+	// ran at; the testing package omits it entirely at GOMAXPROCS=1.
+	// Snapshot comparisons need the value either way, so it survives as
+	// an explicit metric on every record instead of vanishing with the
+	// suffix.
+	procs := 1.0
+	if i := strings.LastIndex(fields[0], "-"); i > 0 {
+		if p, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+			procs = float64(p)
+		}
+	}
+	m := Measurement{Op: op, Iterations: iters, Metrics: map[string]float64{"gomaxprocs": procs}}
 	seen := false
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

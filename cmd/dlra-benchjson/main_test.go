@@ -16,6 +16,9 @@ func TestParseLine(t *testing.T) {
 	if m.Metrics["words/matrix"] != 1017655 {
 		t.Fatalf("metrics %v", m.Metrics)
 	}
+	if m.Metrics["gomaxprocs"] != 8 {
+		t.Fatalf("gomaxprocs metric %v", m.Metrics)
+	}
 }
 
 func TestParseLineRejectsNoise(t *testing.T) {
@@ -38,5 +41,10 @@ func TestParseLineWithoutProcsSuffix(t *testing.T) {
 	m, ok := parseLine("BenchmarkPolyHashEval 1000000 52.1 ns/op")
 	if !ok || m.Op != "BenchmarkPolyHashEval" || m.NsPerOp != 52.1 {
 		t.Fatalf("parsed %+v ok=%v", m, ok)
+	}
+	// No suffix means the testing package ran at GOMAXPROCS=1; the value
+	// must still be recorded explicitly.
+	if m.Metrics["gomaxprocs"] != 1 {
+		t.Fatalf("gomaxprocs metric %v", m.Metrics)
 	}
 }

@@ -67,13 +67,14 @@ func main() {
 	sweepRows := flag.String("sweep-rows", "", "comma-separated sample counts: run one protocol execution per r on the same cluster")
 	jobs := flag.Int("jobs", 0, "fire N concurrent queries through the job engine (per-job seeds derive from (seed, jobID)) and report throughput")
 	jobConc := flag.Int("job-concurrency", 4, "engine runner pool size for -jobs")
+	batch := flag.Int("batch", 0, "wire batch size for pipelined TCP frames (0 = unlimited per sequence, 1 = off, k = flush every k); never changes results or the ledger")
 	workerJoin := flag.String("worker-join", "", "internal: run as a worker process joining the given coordinator address")
 	flag.Parse()
 
 	// Re-exec worker mode: this process hosts one server's share and
 	// executes protocol ops until the coordinator shuts the cluster down.
 	if *workerJoin != "" {
-		if err := cli.JoinWorker(*workerJoin, cli.DefaultJoinWait); err != nil {
+		if err := cli.JoinWorker(*workerJoin, cli.DefaultJoinWait, *batch); err != nil {
 			log.Fatalf("dlra-pca (worker): %v", err)
 		}
 		return
@@ -131,7 +132,7 @@ func main() {
 			backend, 100*float64(nnz)/(float64(len(shares))*float64(n)*float64(d)))
 	}
 
-	cluster, cleanup := connect(*transport, *servers, *tcpListen, *tcpSpawn)
+	cluster, cleanup := connect(*transport, *servers, *tcpListen, *tcpSpawn, *batch)
 	defer cleanup()
 	if err := cluster.SetLocalMats(shares); err != nil {
 		log.Fatal(err)
@@ -139,7 +140,7 @@ func main() {
 
 	opts := repro.Options{
 		K: *k, Eps: *eps, Rows: *rows, Boost: *boost, Seed: *seed,
-		Workers: parallel.Workers(*workers),
+		Workers: parallel.Workers(*workers), BatchSize: *batch,
 	}
 
 	if *jobs > 0 {
@@ -189,8 +190,8 @@ func main() {
 
 // connect builds the requested cluster fabric and returns it with a
 // cleanup function (worker shutdown for tcp).
-func connect(transport string, servers int, listen string, spawn bool) (*repro.Cluster, func()) {
-	c, cleanup, err := cli.Connect(context.Background(), transport, servers, listen, spawn, func(addr string, spawned int) {
+func connect(transport string, servers int, listen string, spawn bool, batch int) (*repro.Cluster, func()) {
+	c, cleanup, err := cli.Connect(context.Background(), transport, servers, listen, spawn, batch, func(addr string, spawned int) {
 		if spawned > 0 {
 			fmt.Printf("coordinator       : %s (%d worker processes spawned)\n", addr, spawned)
 		} else {

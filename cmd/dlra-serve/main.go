@@ -71,11 +71,12 @@ func main() {
 	maxConc := flag.Int("max-concurrent", 4, "jobs running concurrently (each in its own session)")
 	queueDepth := flag.Int("queue-depth", 64, "admission queue capacity before submits are rejected")
 	smoke := flag.Int("smoke", 0, "self-test: submit N concurrent jobs over the HTTP API, assert results, exit")
+	batch := flag.Int("batch", 0, "wire batch size for pipelined TCP frames (0 = unlimited per sequence, 1 = off, k = flush every k); never changes results or the ledger")
 	workerJoin := flag.String("worker-join", "", "internal: run as a worker process joining the given coordinator address")
 	flag.Parse()
 
 	if *workerJoin != "" {
-		if err := cli.JoinWorker(*workerJoin, cli.DefaultJoinWait); err != nil {
+		if err := cli.JoinWorker(*workerJoin, cli.DefaultJoinWait, *batch); err != nil {
 			log.Fatalf("dlra-serve (worker): %v", err)
 		}
 		return
@@ -84,7 +85,7 @@ func main() {
 		log.Fatal("dlra-serve: at least one -input is required")
 	}
 
-	cluster, cleanup := connect(*transport, *servers, *tcpListen)
+	cluster, cleanup := connect(*transport, *servers, *tcpListen, *batch)
 	defer cleanup()
 	if err := cluster.ConfigureEngine(repro.EngineConfig{MaxConcurrent: *maxConc, QueueDepth: *queueDepth}); err != nil {
 		log.Fatal(err)
@@ -112,7 +113,7 @@ func main() {
 		log.Printf("installed dataset %q (%dx%d across %d servers)", id, n, d, *servers)
 	}
 
-	srv := &server{cluster: cluster, jobs: make(map[uint64]*jobRecord)}
+	srv := &server{cluster: cluster, batch: *batch, jobs: make(map[uint64]*jobRecord)}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("dlra-serve: listen %s: %v", *addr, err)
@@ -147,8 +148,8 @@ func datasetID(path string) string {
 
 // connect builds the requested cluster fabric and returns it with an
 // idempotent cleanup function (worker shutdown for tcp).
-func connect(transport string, servers int, listen string) (*repro.Cluster, func()) {
-	c, cleanup, err := cli.Connect(context.Background(), transport, servers, listen, true, func(addr string, spawned int) {
+func connect(transport string, servers int, listen string, batch int) (*repro.Cluster, func()) {
+	c, cleanup, err := cli.Connect(context.Background(), transport, servers, listen, true, batch, func(addr string, spawned int) {
 		log.Printf("coordinator on %s with %d worker processes", addr, spawned)
 	})
 	if err != nil {
@@ -172,6 +173,7 @@ const maxRetainedJobs = 1024
 // server is the HTTP layer over the cluster's job engine.
 type server struct {
 	cluster *repro.Cluster
+	batch   int // wire batch size applied to every submitted job
 	mu      sync.Mutex
 	jobs    map[uint64]*jobRecord
 	order   []uint64 // submission order, for eviction
@@ -285,6 +287,7 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		job, err := s.cluster.Submit(context.Background(), f, repro.Options{
 			Dataset: req.Dataset, K: req.K, Eps: req.Eps,
 			Rows: req.Rows, Boost: req.Boost, Seed: req.Seed,
+			BatchSize: s.batch,
 		})
 		if err != nil {
 			code := http.StatusBadRequest

@@ -24,11 +24,12 @@ import (
 func main() {
 	join := flag.String("join", "", "coordinator address to join (required)")
 	wait := flag.Duration("wait", cli.DefaultJoinWait, "how long to retry the initial connection")
+	batch := flag.Int("batch", 0, "reply batch cap: coalesce up to N replies into one wire envelope (0 = one envelope per request envelope, 1 = individual replies)")
 	flag.Parse()
 	if *join == "" {
 		log.Fatal("dlra-worker: -join is required")
 	}
-	if err := cli.JoinWorker(*join, *wait); err != nil {
+	if err := cli.JoinWorker(*join, *wait, *batch); err != nil {
 		log.Fatalf("dlra-worker: %v", err)
 	}
 }

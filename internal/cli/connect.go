@@ -10,10 +10,12 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro"
+	"repro/internal/cluster"
 )
 
 // DefaultJoinWait bounds how long a worker retries its initial connection
@@ -23,11 +25,14 @@ const DefaultJoinWait = 30 * time.Second
 // JoinWorker runs a worker process's serve loop against the coordinator
 // at addr, retrying the initial connection for up to wait — the single
 // implementation behind every binary's -worker-join / -join flag, so the
-// retry loop lives here once instead of per command.
-func JoinWorker(addr string, wait time.Duration) error {
+// retry loop lives here once instead of per command. replyBatch caps how
+// many replies the worker coalesces into one wire batch envelope (0 =
+// one envelope per request envelope, 1 = individual replies); it shapes
+// framing only, never the reply frames or their order.
+func JoinWorker(addr string, wait time.Duration, replyBatch int) error {
 	ctx, cancel := context.WithTimeout(context.Background(), wait)
 	defer cancel()
-	return repro.JoinWorker(ctx, addr)
+	return cluster.DialBatch(ctx, addr, replyBatch)
 }
 
 // Connect builds the requested cluster fabric and returns it with an
@@ -35,13 +40,15 @@ func JoinWorker(addr string, wait time.Duration) error {
 // "tcp" and spawn true, s−1 worker OS processes are started by
 // re-executing this binary with "-worker-join <addr>" (both dlra-pca and
 // dlra-serve implement that flag); with spawn false the coordinator waits
-// for external dlra-worker processes. ctx bounds the worker bring-up
-// (AwaitWorkers); a ctx without a deadline gets a 60-second one so a
-// missing worker cannot hang the command forever. announce, if non-nil,
-// is called with the coordinator address and the spawned-process count
-// after listening starts but before workers are awaited — so users of
-// external workers see where to join while the coordinator blocks.
-func Connect(ctx context.Context, transport string, servers int, listen string, spawn bool, announce func(addr string, spawned int)) (*repro.Cluster, func(), error) {
+// for external dlra-worker processes. batch is forwarded to spawned
+// workers as their reply-batching cap (external workers set their own
+// -batch). ctx bounds the worker bring-up (AwaitWorkers); a ctx without
+// a deadline gets a 60-second one so a missing worker cannot hang the
+// command forever. announce, if non-nil, is called with the coordinator
+// address and the spawned-process count after listening starts but
+// before workers are awaited — so users of external workers see where to
+// join while the coordinator blocks.
+func Connect(ctx context.Context, transport string, servers int, listen string, spawn bool, batch int, announce func(addr string, spawned int)) (*repro.Cluster, func(), error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -65,7 +72,7 @@ func Connect(ctx context.Context, transport string, servers int, listen string, 
 				return nil, nil, err
 			}
 			for i := 1; i < servers; i++ {
-				cmd := exec.Command(self, "-worker-join", c.Addr())
+				cmd := exec.Command(self, "-worker-join", c.Addr(), "-batch", strconv.Itoa(batch))
 				cmd.Stderr = os.Stderr
 				if err := cmd.Start(); err != nil {
 					c.Close()

@@ -1,0 +1,114 @@
+package cluster
+
+// Batch-size determinism sweep: the op-batching layer is pure wire
+// framing, so for a fixed seed the complete ledger — words, bytes, tags,
+// per-link order, the full transcript — and the protocol result must be
+// bit-identical to the in-memory run at EVERY batch size: 1 (batching
+// off), a mid-size flush threshold, and 0 (one envelope per pipelined
+// sequence). The batch side ledger proves batching actually engaged where
+// it should and stayed out where it shouldn't.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/matrix"
+)
+
+// assertRunsEqual demands two protocol runs are indistinguishable in
+// every observable: totals, per-tag and per-link ledgers, the message
+// transcript, sampled rows and the projection.
+func assertRunsEqual(t *testing.T, label string, want, got runStats) {
+	t.Helper()
+	if want.words != got.words || want.msgs != got.msgs || want.bytes != got.bytes {
+		t.Fatalf("%s: ledger totals differ: want %d words/%d msgs/%d bytes, got %d/%d/%d",
+			label, want.words, want.msgs, want.bytes, got.words, got.msgs, got.bytes)
+	}
+	if !reflect.DeepEqual(want.byTag, got.byTag) {
+		t.Fatalf("%s: per-tag words differ:\nwant %v\ngot  %v", label, want.byTag, got.byTag)
+	}
+	if !reflect.DeepEqual(want.byTagB, got.byTagB) {
+		t.Fatalf("%s: per-tag bytes differ:\nwant %v\ngot  %v", label, want.byTagB, got.byTagB)
+	}
+	if !reflect.DeepEqual(want.byLink, got.byLink) {
+		t.Fatalf("%s: per-link words differ:\nwant %v\ngot  %v", label, want.byLink, got.byLink)
+	}
+	if len(want.trace) != len(got.trace) {
+		t.Fatalf("%s: transcript lengths differ: %d vs %d", label, len(want.trace), len(got.trace))
+	}
+	for i := range want.trace {
+		if want.trace[i] != got.trace[i] {
+			t.Fatalf("%s: transcript message %d differs:\nwant %+v\ngot  %+v", label, i, want.trace[i], got.trace[i])
+		}
+	}
+	if !reflect.DeepEqual(want.rows, got.rows) {
+		t.Fatalf("%s: sampled rows differ: want %v, got %v", label, want.rows, got.rows)
+	}
+	if !want.project.Equalf(got.project, 0) {
+		t.Fatalf("%s: projection matrices differ bitwise", label)
+	}
+}
+
+// TestBatchSizeSweepTranscripts is the tentpole determinism gate: the
+// mem run is the canonical transcript, and TCP runs at batch sizes 1, 8
+// and 0 (unlimited) must all reproduce it exactly.
+func TestBatchSizeSweepTranscripts(t *testing.T) {
+	const n, d, s, seed = 80, 10, 4, 1234
+	locals := buildShares(seed, n, d, s)
+	mem := runProtocol(t, comm.NewNetwork(s), locals, seed)
+
+	for _, batch := range []int{1, 8, 0} {
+		coord := startTCP(t, locals)
+		net := coord.Network()
+		net.SetBatchSize(batch)
+		tcp := runProtocol(t, net, coord.MaskShares(locals), seed)
+		sent, recv, over := net.BatchOverhead()
+		coord.Close()
+
+		label := fmt.Sprintf("batch=%d", batch)
+		assertRunsEqual(t, label, mem, tcp)
+		if batch == 1 {
+			// Batching disabled: no envelope may touch the wire in either
+			// direction (workers batch replies only per request envelope).
+			if sent != 0 || recv != 0 || over != 0 {
+				t.Fatalf("%s: envelopes on the wire with batching off: sent %d, recv %d, %d overhead bytes",
+					label, sent, recv, over)
+			}
+		} else {
+			// Batching on: the pipelined rounds must actually coalesce, and
+			// the overhead must live only in the side ledger (the word/byte
+			// equality above already proved it never reached a tag).
+			if sent == 0 || recv == 0 {
+				t.Fatalf("%s: batching never engaged: sent %d, recv %d envelopes", label, sent, recv)
+			}
+			if over <= 0 {
+				t.Fatalf("%s: %d envelopes with %d overhead bytes", label, sent+recv, over)
+			}
+		}
+	}
+}
+
+// TestBatchSizeSweepBackends crosses batching with the storage backends:
+// CSR and fast-dense shares at a mid-size batch must still reproduce the
+// canonical dense mem transcript (the PR 2 backend-invariance contract
+// composed with the batching layer).
+func TestBatchSizeSweepBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("backend×batch sweep skipped in -short")
+	}
+	const n, d, s, seed = 80, 10, 4, 1234
+	dense := buildShares(seed, n, d, s)
+	mem := runProtocol(t, comm.NewNetwork(s), dense, seed)
+
+	for _, backend := range []matrix.Backend{matrix.BackendCSR, matrix.BackendFast} {
+		shares := backend.Apply(append([]matrix.Mat(nil), dense...))
+		coord := startTCP(t, shares)
+		net := coord.Network()
+		net.SetBatchSize(8)
+		tcp := runProtocol(t, net, coord.MaskShares(shares), seed)
+		coord.Close()
+		assertRunsEqual(t, fmt.Sprintf("%s/batch=8", backend), mem, tcp)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -183,7 +184,7 @@ func (c *Coordinator) AwaitWorkers(ctx context.Context) error {
 		}
 		assign := &comm.Frame{Kind: comm.KindControl, From: comm.CP, To: t, Tag: tagAssign,
 			Words: []uint64{uint64(t), uint64(c.s)}}
-		if err := comm.WriteWireFrame(conn, comm.EncodeFrame(assign)); err != nil {
+		if err := writeFrame(conn, assign); err != nil {
 			stopConn()
 			conn.Close()
 			return fmt.Errorf("cluster: worker %d assign: %w", t, err)
@@ -414,6 +415,7 @@ func (c *Coordinator) CloseSession(sess uint16) error {
 				return fmt.Errorf("cluster: session %d end ack from worker %d: %w", sess, t, err)
 			}
 			f, err := comm.DecodeFrame(buf)
+			comm.ReleaseFrame(buf)
 			if err != nil {
 				return fmt.Errorf("cluster: session %d end ack from worker %d: %w", sess, t, err)
 			}
@@ -457,7 +459,7 @@ func (c *Coordinator) Close() error {
 		if c.tr != nil {
 			err = c.send(t, f)
 		} else {
-			err = comm.WriteWireFrame(c.conns[t], comm.EncodeFrame(f))
+			err = writeFrame(c.conns[t], f)
 		}
 		if err != nil && first == nil {
 			first = err
@@ -480,13 +482,24 @@ func (c *Coordinator) Close() error {
 	return first
 }
 
-// readFrame reads and decodes one frame, checking its setup tag.
+// writeFrame encodes f into a pooled buffer, writes it length-prefixed
+// and recycles the buffer (comm.WriteWireFrame itself is non-owning).
+func writeFrame(w io.Writer, f *comm.Frame) error {
+	enc := comm.EncodeFrame(f)
+	err := comm.WriteWireFrame(w, enc)
+	comm.ReleaseFrame(enc)
+	return err
+}
+
+// readFrame reads and decodes one frame, checking its setup tag. The
+// pooled wire buffer is recycled here — DecodeFrame copies everything out.
 func readFrame(conn net.Conn, wantTag string) (*comm.Frame, error) {
 	buf, err := comm.ReadWireFrame(conn)
 	if err != nil {
 		return nil, err
 	}
 	f, err := comm.DecodeFrame(buf)
+	comm.ReleaseFrame(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -519,6 +532,12 @@ type workerState struct {
 	conn net.Conn
 	wmu  sync.Mutex // serializes reply writes onto the connection
 
+	// replyBatch caps how many replies coalesce into one reply envelope
+	// (0 = one envelope per request envelope, 1 = individual replies).
+	// Replies to a batched request group always flush before the next
+	// group starts, so the CP's drain order never stalls on a held reply.
+	replyBatch int
+
 	mu         sync.RWMutex
 	shares     map[uint64]*workerShare
 	pending    map[uint64]*pendingInstall
@@ -539,11 +558,20 @@ func (w *workerState) fail(err error) {
 	})
 }
 
+// opGroup is the unit the read loop hands a session runner: either a
+// single frame, or the decoded sub-frames of one request envelope. The
+// grouping is remembered so the runner can answer a batched request
+// group with a batched reply envelope (one write per group).
+type opGroup struct {
+	frames  []*comm.Frame
+	batched bool
+}
+
 // sessionRunner executes one session's ops serially, in arrival order, so
 // the session's transcript is exactly what a sequential run produces —
 // while distinct sessions run in parallel.
 type sessionRunner struct {
-	ch   chan *comm.Frame
+	ch   chan opGroup
 	done chan struct{} // closed when the runner exits (end op or teardown)
 	// aborted is set by the read loop the moment an OpAbort frame for the
 	// session arrives (out of band — not behind the op queue): the runner
@@ -558,10 +586,18 @@ type sessionRunner struct {
 // serial runner — until OpShutdown or connection loss. It is what
 // cmd/dlra-worker runs in its own process, and what tests, benchmarks and
 // dlra-serve run in goroutines over loopback TCP.
-func Serve(conn net.Conn) error {
+func Serve(conn net.Conn) error { return ServeBatch(conn, 0) }
+
+// ServeBatch is Serve with an explicit reply-batching cap: replies to a
+// batched request group coalesce into reply envelopes of at most
+// replyBatch frames (0 = one envelope per request envelope, 1 = plain
+// individual replies). The cap shapes wire framing only — the reply
+// frames themselves, and the order the CP drains them in, are identical
+// at every setting.
+func ServeBatch(conn net.Conn, replyBatch int) error {
 	defer conn.Close()
 	hello := &comm.Frame{Kind: comm.KindControl, Tag: tagHello, Words: []uint64{protocolVersion}}
-	if err := comm.WriteWireFrame(conn, comm.EncodeFrame(hello)); err != nil {
+	if err := writeFrame(conn, hello); err != nil {
 		return fmt.Errorf("cluster: hello: %w", err)
 	}
 	assign, err := readFrame(conn, tagAssign)
@@ -571,13 +607,17 @@ func Serve(conn net.Conn) error {
 	if len(assign.Words) != 2 {
 		return fmt.Errorf("cluster: malformed assignment %v", assign.Words)
 	}
+	if replyBatch < 0 {
+		replyBatch = 0
+	}
 	w := &workerState{
-		id:       int(assign.Words[0]),
-		s:        int(assign.Words[1]),
-		conn:     conn,
-		shares:   make(map[uint64]*workerShare),
-		pending:  make(map[uint64]*pendingInstall),
-		bindings: make(map[uint16]uint64),
+		id:         int(assign.Words[0]),
+		s:          int(assign.Words[1]),
+		conn:       conn,
+		replyBatch: replyBatch,
+		shares:     make(map[uint64]*workerShare),
+		pending:    make(map[uint64]*pendingInstall),
+		bindings:   make(map[uint16]uint64),
 	}
 
 	runners := make(map[uint16]*sessionRunner)
@@ -600,33 +640,56 @@ func Serve(conn net.Conn) error {
 		}
 		f, err := comm.DecodeFrame(buf)
 		if err != nil {
+			comm.ReleaseFrame(buf)
 			stop()
 			return fmt.Errorf("cluster: worker %d decode: %w", w.id, err)
 		}
+		g := opGroup{frames: []*comm.Frame{f}}
+		if f.Kind == comm.KindBatch {
+			// A request envelope: decode every sub-frame (DecodeFrame
+			// copies, so the aliasing Sub views die with the buffer) and
+			// keep them together as one group so the replies can travel
+			// as one envelope too.
+			g = opGroup{frames: make([]*comm.Frame, 0, len(f.Sub)), batched: true}
+			for _, sub := range f.Sub {
+				sf, err := comm.DecodeFrame(sub)
+				if err != nil {
+					comm.ReleaseFrame(buf)
+					stop()
+					return fmt.Errorf("cluster: worker %d batch decode: %w", w.id, err)
+				}
+				g.frames = append(g.frames, sf)
+			}
+		}
+		comm.ReleaseFrame(buf)
+		if len(g.frames) == 0 {
+			continue
+		}
+		lead := g.frames[0]
 		switch {
-		case f.Op == ops.OpShutdown:
+		case !g.batched && lead.Op == ops.OpShutdown:
 			stop()
 			return nil
-		case f.Op == ops.OpInstallShare:
+		case !g.batched && lead.Op == ops.OpInstallShare:
 			// Installation runs in the read loop: chunks arrive in order
 			// and must be resident before any session binds the dataset.
-			if err := w.install(f); err != nil {
+			if err := w.install(lead); err != nil {
 				stop()
 				return err
 			}
-		case f.Op == ops.OpAbort:
+		case !g.batched && lead.Op == ops.OpAbort:
 			// Flag the runner directly instead of queueing the frame: the
 			// discard must take effect ahead of the ops already waiting in
 			// the runner's channel. No runner means nothing is in flight —
 			// the abort is a no-op then.
-			if r, ok := runners[comm.SessionOf(f.Stream)]; ok {
+			if r, ok := runners[comm.SessionOf(lead.Stream)]; ok {
 				r.aborted.Store(true)
 			}
 		default:
-			sess := comm.SessionOf(f.Stream)
+			sess := comm.SessionOf(lead.Stream)
 			r, ok := runners[sess]
 			if !ok {
-				r = &sessionRunner{ch: make(chan *comm.Frame, 16), done: make(chan struct{})}
+				r = &sessionRunner{ch: make(chan opGroup, 16), done: make(chan struct{})}
 				runners[sess] = r
 				wg.Add(1)
 				go func() {
@@ -635,13 +698,13 @@ func Serve(conn net.Conn) error {
 				}()
 			}
 			select {
-			case r.ch <- f:
+			case r.ch <- g:
 			case <-r.done:
 				// The runner died on an earlier op (fail closed the
 				// connection); drop the frame — the read loop is about to
 				// observe the teardown.
 			}
-			if f.Op == ops.OpEndSession {
+			if !g.batched && lead.Op == ops.OpEndSession {
 				// Wait for the runner to drain and acknowledge before
 				// reading on: a recycled session id must never race the
 				// previous tenant's teardown.
@@ -652,48 +715,107 @@ func Serve(conn net.Conn) error {
 	}
 }
 
-// runSession is one session's serial op loop.
+// runSession is one session's serial op loop. Groups arrive in wire
+// order and every group's ops execute in order, so the session's reply
+// stream is exactly what a sequential, unbatched run produces.
 func (w *workerState) runSession(sess uint16, r *sessionRunner) {
 	defer close(r.done)
-	for f := range r.ch {
+	for g := range r.ch {
+		ended, err := w.runGroup(sess, r, g)
+		if err != nil {
+			w.fail(err)
+			return
+		}
+		if ended {
+			return
+		}
+	}
+}
+
+// runGroup executes one op group. Replies to a batched group are encoded
+// as they are produced and flushed as reply envelopes — one per request
+// envelope by default, split earlier at the worker's replyBatch cap or
+// the envelope byte cap. Non-batched frames reply individually, exactly
+// as before batching existed.
+func (w *workerState) runGroup(sess uint16, r *sessionRunner, g opGroup) (ended bool, err error) {
+	var pend [][]byte
+	var pendBytes int
+	stream := g.frames[0].Stream
+	batching := g.batched && w.replyBatch != 1
+	flush := func() error {
+		if len(pend) == 0 {
+			return nil
+		}
+		fs := pend
+		pend, pendBytes = nil, 0
+		w.wmu.Lock()
+		defer w.wmu.Unlock()
+		// WriteWireBatch owns and recycles the encoded reply buffers
+		// (and degrades to a plain frame write for a single reply).
+		return comm.WriteWireBatch(w.conn, w.id, comm.CP, stream, fs)
+	}
+	for _, f := range g.frames {
 		switch {
 		case f.Op == ops.OpBindSession:
 			if len(f.Words) != 1 {
-				w.fail(fmt.Errorf("malformed session bind %v", f.Words))
-				return
+				return true, fmt.Errorf("malformed session bind %v", f.Words)
 			}
 			w.mu.Lock()
 			w.bindings[sess] = f.Words[0]
 			w.mu.Unlock()
 		case f.Op == ops.OpEndSession:
+			if err := flush(); err != nil {
+				return true, fmt.Errorf("session %d replies: %w", sess, err)
+			}
 			w.mu.Lock()
 			delete(w.bindings, sess)
 			w.mu.Unlock()
 			ack := &comm.Frame{Kind: comm.KindControl, From: w.id, To: comm.CP, Stream: f.Stream, Tag: f.RTag}
 			if err := w.reply(ack); err != nil {
-				w.fail(fmt.Errorf("session %d end ack: %w", sess, err))
+				return true, fmt.Errorf("session %d end ack: %w", sess, err)
 			}
-			return
+			return true, nil
 		case f.RTag != "":
 			if r.aborted.Load() {
 				continue // session canceled: discard without executing
 			}
 			kind, payload, err := w.exec(sess, f)
 			if err != nil {
-				w.fail(fmt.Errorf("op %d (%s): %w", f.Op, f.Tag, err))
-				return
+				return true, fmt.Errorf("op %d (%s): %w", f.Op, f.Tag, err)
 			}
-			reply := &comm.Frame{Kind: kind, From: w.id, To: comm.CP, Stream: f.Stream,
-				Tag: f.RTag, Words: comm.FloatWords(payload)}
-			if err := w.reply(reply); err != nil {
-				w.fail(fmt.Errorf("reply: %w", err))
-				return
+			reply := &comm.Frame{Kind: kind, From: w.id, To: comm.CP, Stream: f.Stream, Tag: f.RTag}
+			enc := comm.EncodeFrameFloats(reply, payload)
+			if !batching {
+				w.wmu.Lock()
+				werr := comm.WriteWireFrame(w.conn, enc)
+				w.wmu.Unlock()
+				comm.ReleaseFrame(enc)
+				if werr != nil {
+					return true, fmt.Errorf("reply: %w", werr)
+				}
+				continue
+			}
+			if pendBytes > 0 && pendBytes+len(enc)+4+comm.FrameHeaderLen > comm.MaxBatchBytes {
+				if err := flush(); err != nil {
+					return true, fmt.Errorf("session %d replies: %w", sess, err)
+				}
+			}
+			pend = append(pend, enc)
+			pendBytes += len(enc)
+			if w.replyBatch > 1 && len(pend) >= w.replyBatch {
+				if err := flush(); err != nil {
+					return true, fmt.Errorf("session %d replies: %w", sess, err)
+				}
 			}
 		default:
 			// Broadcast with no reply expected (seed announcements, the
 			// projection basis): shared knowledge, consumed and done.
 		}
 	}
+	if err := flush(); err != nil {
+		return true, fmt.Errorf("session %d replies: %w", sess, err)
+	}
+	return false, nil
 }
 
 // reply writes one frame back to the coordinator, serialized against the
@@ -701,7 +823,7 @@ func (w *workerState) runSession(sess uint16, r *sessionRunner) {
 func (w *workerState) reply(f *comm.Frame) error {
 	w.wmu.Lock()
 	defer w.wmu.Unlock()
-	return comm.WriteWireFrame(w.conn, comm.EncodeFrame(f))
+	return writeFrame(w.conn, f)
 }
 
 // install accumulates one chunk of a dataset-keyed share installation and
@@ -834,7 +956,10 @@ func (w *workerState) exec(sess uint16, f *comm.Frame) (comm.Kind, []float64, er
 // coordinator listens, so the dial retries until ctx fires; once the
 // connection is established the serve loop runs until the coordinator
 // shuts the cluster down, regardless of ctx.
-func Dial(ctx context.Context, addr string) error {
+func Dial(ctx context.Context, addr string) error { return DialBatch(ctx, addr, 0) }
+
+// DialBatch is Dial with the worker's reply-batching cap (see ServeBatch).
+func DialBatch(ctx context.Context, addr string, replyBatch int) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -842,7 +967,7 @@ func Dial(ctx context.Context, addr string) error {
 	for {
 		conn, err := d.DialContext(ctx, "tcp", addr)
 		if err == nil {
-			return Serve(conn)
+			return ServeBatch(conn, replyBatch)
 		}
 		if ctx.Err() != nil {
 			return fmt.Errorf("cluster: joining %s: %w", addr, err)

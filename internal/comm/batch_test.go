@@ -1,0 +1,225 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"reflect"
+	"testing"
+)
+
+// encodeTestBatch builds a batch envelope over freshly encoded copies of
+// the given frames.
+func encodeTestBatch(t *testing.T, from, to int, stream uint32, frames ...*Frame) []byte {
+	t.Helper()
+	sub := make([][]byte, len(frames))
+	for i, f := range frames {
+		sub[i] = EncodeFrame(f)
+	}
+	return EncodeFrame(&Frame{Kind: KindBatch, From: from, To: to, Stream: stream, Sub: sub})
+}
+
+func TestBatchEnvelopeRoundTrip(t *testing.T) {
+	inner := []*Frame{
+		{Kind: KindControl, Op: 9, From: CP, To: 2, Stream: 3, Tag: "hh/seed", RTag: "hh/sketch", Words: []uint64{1, 2, 3}},
+		{Kind: KindValue, From: CP, To: 2, Stream: 3, Tag: "zest/values", Words: FloatWords([]float64{-7.5})},
+		{Kind: KindControl, From: CP, To: 2, Stream: 3, Tag: "empty"},
+	}
+	enc := encodeTestBatch(t, CP, 2, 3, inner...)
+	env, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatalf("decode envelope: %v", err)
+	}
+	if env.Kind != KindBatch || env.From != CP || env.To != 2 || env.Stream != 3 {
+		t.Fatalf("envelope header mismatch: %+v", env)
+	}
+	if env.Tag != "" || env.RTag != "" || len(env.Words) != 0 {
+		t.Fatalf("envelope carries payload fields: %+v", env)
+	}
+	if len(env.Sub) != len(inner) {
+		t.Fatalf("envelope has %d sub-frames, want %d", len(env.Sub), len(inner))
+	}
+	for i, sub := range env.Sub {
+		dec, err := DecodeFrame(sub)
+		if err != nil {
+			t.Fatalf("sub %d: %v", i, err)
+		}
+		want := *inner[i]
+		if dec.Words == nil {
+			dec.Words = want.Words[:0]
+		}
+		if want.Words == nil {
+			want.Words = []uint64{}
+			dec.Words = []uint64{}
+		}
+		if !reflect.DeepEqual(*dec, want) {
+			t.Fatalf("sub %d mismatch:\n got %+v\nwant %+v", i, *dec, want)
+		}
+	}
+	// Fixed point: re-encoding the decoded envelope reproduces the bytes.
+	re := EncodeFrame(env)
+	if !bytes.Equal(re, enc) {
+		t.Fatal("batch envelope re-encode is not a fixed point")
+	}
+}
+
+func TestDecodeBatchRejectsMalformed(t *testing.T) {
+	good := encodeTestBatch(t, CP, 1, 0,
+		&Frame{Kind: KindControl, Op: 2, From: CP, To: 1, Tag: "a", RTag: "b", Words: []uint64{4}},
+		&Frame{Kind: KindValue, From: CP, To: 1, Tag: "c", Words: FloatWords([]float64{1})})
+	nested := EncodeFrame(&Frame{Kind: KindBatch, From: CP, To: 1, Sub: [][]byte{
+		append([]byte{}, good...),
+	}})
+	cases := map[string]func() []byte{
+		"zero sub-frames": func() []byte {
+			b := append([]byte{}, good[:FrameHeaderLen]...)
+			binary.BigEndian.PutUint32(b[24:], 0) // count field
+			return b
+		},
+		"truncated sub prefix": func() []byte { return good[:FrameHeaderLen+2] },
+		"truncated sub body":   func() []byte { return good[:len(good)-3] },
+		"trailing bytes":       func() []byte { return append(append([]byte{}, good...), 0, 0, 0) },
+		"count overstates":     func() []byte { b := append([]byte{}, good...); binary.BigEndian.PutUint32(b[24:], 3); return b },
+		"count understates":    func() []byte { b := append([]byte{}, good...); binary.BigEndian.PutUint32(b[24:], 1); return b },
+		"nested envelope":      func() []byte { return nested },
+		"envelope with tag": func() []byte {
+			b := append([]byte{}, good...)
+			binary.BigEndian.PutUint16(b[20:], 1) // tagLen must be zero on envelopes
+			return b
+		},
+		"sub with bad magic": func() []byte {
+			b := append([]byte{}, good...)
+			b[FrameHeaderLen+4] = 0x00 // first sub's magic byte
+			return b
+		},
+	}
+	for name, build := range cases {
+		if _, err := DecodeFrame(build()); err == nil {
+			t.Fatalf("%s: decoder accepted malformed batch envelope", name)
+		}
+	}
+}
+
+// TestWriteWireBatchRoundTrip drives the scatter-gather writer against a
+// real decode: the reader must see one envelope whose sub-frames are the
+// written frames, byte for byte.
+func TestWriteWireBatchRoundTrip(t *testing.T) {
+	inner := []*Frame{
+		{Kind: KindControl, Op: 5, From: CP, To: 1, Stream: 9, Tag: "x", RTag: "y", Words: []uint64{11, 22}},
+		{Kind: KindSketch, From: CP, To: 1, Stream: 9, Tag: "s", Words: FloatWords(make([]float64, 40))},
+	}
+	frames := make([][]byte, len(inner))
+	want := make([][]byte, len(inner))
+	for i, f := range inner {
+		frames[i] = EncodeFrame(f)
+		want[i] = append([]byte{}, frames[i]...)
+	}
+	var buf bytes.Buffer
+	if err := WriteWireBatch(&buf, CP, 1, 9, frames); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWireFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseFrame(got)
+	env, err := DecodeFrame(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != KindBatch || len(env.Sub) != len(want) {
+		t.Fatalf("envelope %+v, want %d sub-frames", env, len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(env.Sub[i], want[i]) {
+			t.Fatalf("sub %d bytes differ after the wire", i)
+		}
+	}
+}
+
+// TestWriteWireBatchSingleFrame checks the degenerate case: one frame
+// travels as a plain wire frame, not an envelope.
+func TestWriteWireBatchSingleFrame(t *testing.T) {
+	f := &Frame{Kind: KindValue, From: 1, To: CP, Tag: "v", Words: FloatWords([]float64{2})}
+	enc := EncodeFrame(f)
+	want := append([]byte{}, enc...)
+	var buf bytes.Buffer
+	if err := WriteWireBatch(&buf, 1, CP, 0, [][]byte{enc}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWireFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseFrame(got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("single-frame batch did not degrade to a plain wire frame")
+	}
+}
+
+// TestTCPTransportSplitsBatches sends a batch envelope through a real TCP
+// transport pair and asserts the receiver sees the individual sub-frames,
+// in order, with the envelope counted only in the batch side ledger.
+func TestTCPTransportSplitsBatches(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		acceptCh <- accepted{c, err}
+	}()
+	cli, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	acc := <-acceptCh
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	defer acc.conn.Close()
+
+	tr := NewTCPTransport([]net.Conn{nil, acc.conn})
+	defer tr.Close()
+
+	inner := []*Frame{
+		{Kind: KindValue, From: 1, To: CP, Stream: 4, Tag: "v1", Words: FloatWords([]float64{1})},
+		{Kind: KindValue, From: 1, To: CP, Stream: 4, Tag: "v2", Words: FloatWords([]float64{2})},
+		{Kind: KindRow, From: 1, To: CP, Stream: 4, Tag: "r", Words: FloatWords([]float64{3, 4})},
+	}
+	frames := make([][]byte, len(inner))
+	for i, f := range inner {
+		frames[i] = EncodeFrame(f)
+	}
+	if err := WriteWireBatch(cli, 1, CP, 4, frames); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range inner {
+		buf, err := tr.Recv(1, CP, 4, nil)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		dec, err := DecodeFrame(buf)
+		ReleaseFrame(buf)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if dec.Tag != want.Tag || len(dec.Words) != len(want.Words) {
+			t.Fatalf("frame %d: got %q/%d words, want %q/%d", i, dec.Tag, len(dec.Words), want.Tag, len(want.Words))
+		}
+	}
+	sent, recv, over := tr.BatchStats()
+	if sent != 0 || recv != 1 {
+		t.Fatalf("batch stats sent=%d recv=%d, want 0/1", sent, recv)
+	}
+	if wantOver := int64(4 + FrameHeaderLen + 4*len(inner)); over != wantOver {
+		t.Fatalf("batch overhead %d bytes, want %d", over, wantOver)
+	}
+}

@@ -29,6 +29,16 @@ package comm
 //	22     2     reply-tag length
 //	24     4     payload word count
 //	28     …     tag bytes, reply-tag bytes, payload (8 bytes per word)
+//
+// A batch envelope (KindBatch) coalesces several frames bound for one
+// destination into a single wire write. It reuses the fixed header with
+// no tags and the word-count field carrying the sub-frame count; the body
+// is each sub-frame as a 4-byte big-endian length prefix plus its encoded
+// bytes. Envelopes are pure transport framing: receivers split them and
+// account each sub-frame under its own tag, the ledger never sees the
+// envelope itself (TCPTransport.BatchStats reports that overhead on the
+// side), and sub-frames may not nest further envelopes — which is what
+// keeps transcripts bit-identical at every batch size.
 
 import (
 	"encoding/binary"
@@ -64,6 +74,11 @@ const (
 	KindProjection
 )
 
+// KindBatch is the batch envelope: not a payload kind (valid excludes
+// it, so it can never be charged under a tag) but a transport framing
+// wrapper carrying N sub-frames to one destination in one write.
+const KindBatch Kind = 11
+
 func (k Kind) valid() bool { return k >= KindControl && k <= KindProjection }
 
 const (
@@ -85,6 +100,16 @@ const (
 	// payload); a decoder never allocates more than the buffer it was
 	// handed, and the TCP reader rejects larger length prefixes outright.
 	MaxFrameWords = 1 << 24
+
+	// MaxBatchSubFrames bounds the sub-frame count a decoder accepts in
+	// one batch envelope.
+	MaxBatchSubFrames = 1 << 16
+
+	// MaxBatchBytes caps the frame bytes a sender coalesces into one
+	// batch envelope; a larger pending batch flushes in segments.
+	// Segmentation is invisible to the ledger (envelopes are framing, not
+	// accounting), so the cap only bounds buffering.
+	MaxBatchBytes = 1 << 22
 )
 
 // Frame is one wire message: an accountable transfer of Words between two
@@ -99,29 +124,33 @@ type Frame struct {
 	Tag    string // ledger tag this frame is charged under
 	RTag   string // for op requests: the tag the reply must carry
 	Words  []uint64
+	// Sub holds a batch envelope's sub-frames (KindBatch only; nil for
+	// payload frames). Decoded Sub slices alias the envelope buffer —
+	// they are views, valid only until that buffer is recycled.
+	Sub [][]byte
 }
 
 // HeaderLen returns the encoded header size of the frame.
 func (f *Frame) HeaderLen() int { return FrameHeaderLen + len(f.Tag) + len(f.RTag) }
 
 // EncodedLen returns the total encoded size of the frame.
-func (f *Frame) EncodedLen() int { return f.HeaderLen() + 8*len(f.Words) }
+func (f *Frame) EncodedLen() int {
+	if f.Kind == KindBatch {
+		n := FrameHeaderLen
+		for _, s := range f.Sub {
+			n += 4 + len(s)
+		}
+		return n
+	}
+	return f.HeaderLen() + 8*len(f.Words)
+}
 
 // Prepaid reports whether the frame was charged by its sender.
 func (f *Frame) Prepaid() bool { return f.Flags&FlagPrepaid != 0 }
 
-// EncodeFrame serializes a frame to its wire form.
-func EncodeFrame(f *Frame) []byte {
-	if !f.Kind.valid() {
-		panic(fmt.Sprintf("comm: encoding frame with invalid kind %d", f.Kind))
-	}
-	if len(f.Tag) > MaxTagLen || len(f.RTag) > MaxTagLen {
-		panic(fmt.Sprintf("comm: tag too long (%d/%d bytes)", len(f.Tag), len(f.RTag)))
-	}
-	if len(f.Words) > MaxFrameWords {
-		panic(fmt.Sprintf("comm: frame payload %d words exceeds cap %d", len(f.Words), MaxFrameWords))
-	}
-	buf := getBuf(f.EncodedLen())
+// putHeader writes the fixed 28-byte frame header; count is the payload
+// word count (or the sub-frame count for batch envelopes).
+func putHeader(buf []byte, f *Frame, count int) {
 	binary.BigEndian.PutUint16(buf[0:], frameMagic)
 	buf[2] = frameVersion
 	buf[3] = byte(f.Kind)
@@ -133,7 +162,30 @@ func EncodeFrame(f *Frame) []byte {
 	binary.BigEndian.PutUint32(buf[16:], f.Stream)
 	binary.BigEndian.PutUint16(buf[20:], uint16(len(f.Tag)))
 	binary.BigEndian.PutUint16(buf[22:], uint16(len(f.RTag)))
-	binary.BigEndian.PutUint32(buf[24:], uint32(len(f.Words)))
+	binary.BigEndian.PutUint32(buf[24:], uint32(count))
+}
+
+// checkEncodable panics on frames that must never reach the wire.
+func checkEncodable(f *Frame, words int) {
+	if !f.Kind.valid() {
+		panic(fmt.Sprintf("comm: encoding frame with invalid kind %d", f.Kind))
+	}
+	if len(f.Tag) > MaxTagLen || len(f.RTag) > MaxTagLen {
+		panic(fmt.Sprintf("comm: tag too long (%d/%d bytes)", len(f.Tag), len(f.RTag)))
+	}
+	if words > MaxFrameWords {
+		panic(fmt.Sprintf("comm: frame payload %d words exceeds cap %d", words, MaxFrameWords))
+	}
+}
+
+// EncodeFrame serializes a frame to its wire form.
+func EncodeFrame(f *Frame) []byte {
+	if f.Kind == KindBatch {
+		return encodeBatch(f)
+	}
+	checkEncodable(f, len(f.Words))
+	buf := getBuf(f.EncodedLen())
+	putHeader(buf, f, len(f.Words))
 	at := FrameHeaderLen
 	at += copy(buf[at:], f.Tag)
 	at += copy(buf[at:], f.RTag)
@@ -144,60 +196,231 @@ func EncodeFrame(f *Frame) []byte {
 	return buf
 }
 
+// EncodeFrameFloats serializes a frame whose payload is vals, writing the
+// float bit patterns directly into the pooled wire buffer — the zero-copy
+// encode for reply frames (no []uint64 staging slice). f.Words must be
+// empty; the encoded word count is len(vals).
+func EncodeFrameFloats(f *Frame, vals []float64) []byte {
+	if f.Kind == KindBatch {
+		panic("comm: batch envelopes carry sub-frames, not floats")
+	}
+	if len(f.Words) != 0 {
+		panic("comm: EncodeFrameFloats frame already carries words")
+	}
+	checkEncodable(f, len(vals))
+	buf := getBuf(f.HeaderLen() + 8*len(vals))
+	putHeader(buf, f, len(vals))
+	at := FrameHeaderLen
+	at += copy(buf[at:], f.Tag)
+	at += copy(buf[at:], f.RTag)
+	for _, x := range vals {
+		binary.BigEndian.PutUint64(buf[at:], math.Float64bits(x))
+		at += 8
+	}
+	return buf
+}
+
+// encodeBatch serializes a batch envelope from f.Sub.
+func encodeBatch(f *Frame) []byte {
+	if len(f.Sub) == 0 {
+		panic("comm: encoding empty batch envelope")
+	}
+	if len(f.Sub) > MaxBatchSubFrames {
+		panic(fmt.Sprintf("comm: batch envelope of %d sub-frames exceeds cap %d", len(f.Sub), MaxBatchSubFrames))
+	}
+	if len(f.Tag) != 0 || len(f.RTag) != 0 || len(f.Words) != 0 {
+		panic("comm: batch envelope carries tags or words")
+	}
+	buf := getBuf(f.EncodedLen())
+	putHeader(buf, f, len(f.Sub))
+	at := FrameHeaderLen
+	for _, s := range f.Sub {
+		binary.BigEndian.PutUint32(buf[at:], uint32(len(s)))
+		at += 4
+		at += copy(buf[at:], s)
+	}
+	return buf
+}
+
 // DecodeFrame parses a wire buffer back into a frame. Malformed, truncated
 // and oversized buffers return errors; the decoder never allocates beyond
-// the buffer it was handed.
+// the buffer it was handed. Batch envelopes decode to a frame whose Sub
+// slices alias buf — the caller owns buf until it is done with them.
 func DecodeFrame(buf []byte) (*Frame, error) {
+	if len(buf) >= FrameHeaderLen &&
+		binary.BigEndian.Uint16(buf[0:]) == frameMagic &&
+		buf[2] == frameVersion && Kind(buf[3]) == KindBatch {
+		return decodeBatch(buf)
+	}
+	v, err := parseFrame(buf)
+	if err != nil {
+		return nil, err
+	}
+	f := &Frame{
+		Kind:   v.kind,
+		Op:     v.op,
+		Flags:  v.flags,
+		From:   v.from,
+		To:     v.to,
+		Stream: v.stream,
+		Tag:    v.tag,
+		RTag:   v.rtag,
+	}
+	if v.words > 0 {
+		// Pooled backing: receive paths that fully consume the payload
+		// recycle it via putWords; paths that hand it to the caller
+		// (RecvUint64s) simply don't, and the slice ages out as garbage.
+		f.Words = getWords(v.words)
+		at := 0
+		for i := range f.Words {
+			f.Words[i] = binary.BigEndian.Uint64(v.payload[at:])
+			at += 8
+		}
+	}
+	return f, nil
+}
+
+// frameView is the zero-copy parse of a payload frame: scalar header
+// fields copied out, payload aliasing the wire buffer. A view is valid
+// only while its buffer is — the drain path converts the payload and
+// recycles the buffer in one step without staging a []uint64.
+type frameView struct {
+	kind    Kind
+	op      uint16
+	flags   uint8
+	from    int
+	to      int
+	stream  uint32
+	tag     string
+	rtag    string
+	words   int
+	payload []byte // 8·words bytes aliasing the decode buffer
+}
+
+// parseFrame validates a payload frame's wire image and returns its
+// zero-copy view (batch envelopes are rejected; use DecodeFrame).
+func parseFrame(buf []byte) (frameView, error) {
+	var v frameView
 	if len(buf) < FrameHeaderLen {
-		return nil, fmt.Errorf("comm: frame truncated (%d bytes < %d header)", len(buf), FrameHeaderLen)
+		return v, fmt.Errorf("comm: frame truncated (%d bytes < %d header)", len(buf), FrameHeaderLen)
 	}
 	if m := binary.BigEndian.Uint16(buf[0:]); m != frameMagic {
-		return nil, fmt.Errorf("comm: bad frame magic %#04x", m)
+		return v, fmt.Errorf("comm: bad frame magic %#04x", m)
 	}
-	if v := buf[2]; v != frameVersion {
-		return nil, fmt.Errorf("comm: unsupported frame version %d", v)
+	if ver := buf[2]; ver != frameVersion {
+		return v, fmt.Errorf("comm: unsupported frame version %d", ver)
 	}
 	kind := Kind(buf[3])
 	if !kind.valid() {
-		return nil, fmt.Errorf("comm: unknown payload kind %d", kind)
+		return v, fmt.Errorf("comm: unknown payload kind %d", kind)
 	}
 	tagLen := int(binary.BigEndian.Uint16(buf[20:]))
 	rtagLen := int(binary.BigEndian.Uint16(buf[22:]))
 	words := binary.BigEndian.Uint32(buf[24:])
 	if tagLen > MaxTagLen || rtagLen > MaxTagLen {
-		return nil, fmt.Errorf("comm: tag length %d/%d exceeds cap", tagLen, rtagLen)
+		return v, fmt.Errorf("comm: tag length %d/%d exceeds cap", tagLen, rtagLen)
 	}
 	if words > MaxFrameWords {
-		return nil, fmt.Errorf("comm: payload of %d words exceeds cap %d", words, MaxFrameWords)
+		return v, fmt.Errorf("comm: payload of %d words exceeds cap %d", words, MaxFrameWords)
 	}
 	want := FrameHeaderLen + tagLen + rtagLen + 8*int(words)
 	if len(buf) != want {
-		return nil, fmt.Errorf("comm: frame length %d, header declares %d", len(buf), want)
+		return v, fmt.Errorf("comm: frame length %d, header declares %d", len(buf), want)
 	}
-	f := &Frame{
-		Kind:   kind,
+	v = frameView{
+		kind:   kind,
+		op:     binary.BigEndian.Uint16(buf[4:]),
+		flags:  buf[6],
+		from:   int(int32(binary.BigEndian.Uint32(buf[8:]))),
+		to:     int(int32(binary.BigEndian.Uint32(buf[12:]))),
+		stream: binary.BigEndian.Uint32(buf[16:]),
+	}
+	at := FrameHeaderLen
+	v.tag = internTag(buf[at : at+tagLen])
+	at += tagLen
+	v.rtag = internTag(buf[at : at+rtagLen])
+	at += rtagLen
+	v.words = int(words)
+	v.payload = buf[at:]
+	return v, nil
+}
+
+// floats converts the view's payload into a pooled []float64 (recycle
+// with putFloats); the view's buffer may be recycled afterwards.
+func (v *frameView) floats() []float64 {
+	out := getFloats(v.words)
+	at := 0
+	for i := range out {
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(v.payload[at:]))
+		at += 8
+	}
+	return out
+}
+
+// decodeBatch parses a batch envelope; magic and version were checked by
+// DecodeFrame. The returned Sub slices alias buf.
+func decodeBatch(buf []byte) (*Frame, error) {
+	if tagLen, rtagLen := binary.BigEndian.Uint16(buf[20:]), binary.BigEndian.Uint16(buf[22:]); tagLen != 0 || rtagLen != 0 {
+		return nil, fmt.Errorf("comm: batch envelope carries tags (%d/%d bytes)", tagLen, rtagLen)
+	}
+	count := binary.BigEndian.Uint32(buf[24:])
+	if count == 0 {
+		return nil, fmt.Errorf("comm: empty batch envelope")
+	}
+	if count > MaxBatchSubFrames {
+		return nil, fmt.Errorf("comm: batch envelope of %d sub-frames exceeds cap %d", count, MaxBatchSubFrames)
+	}
+	subs, err := splitBatch(buf[FrameHeaderLen:], int(count))
+	if err != nil {
+		return nil, err
+	}
+	return &Frame{
+		Kind:   KindBatch,
 		Op:     binary.BigEndian.Uint16(buf[4:]),
 		Flags:  buf[6],
 		From:   int(int32(binary.BigEndian.Uint32(buf[8:]))),
 		To:     int(int32(binary.BigEndian.Uint32(buf[12:]))),
 		Stream: binary.BigEndian.Uint32(buf[16:]),
-	}
-	at := FrameHeaderLen
-	f.Tag = internTag(buf[at : at+tagLen])
-	at += tagLen
-	f.RTag = internTag(buf[at : at+rtagLen])
-	at += rtagLen
-	if words > 0 {
-		// Pooled backing: receive paths that fully consume the payload
-		// recycle it via putWords; paths that hand it to the caller
-		// (RecvUint64s) simply don't, and the slice ages out as garbage.
-		f.Words = getWords(int(words))
-		for i := range f.Words {
-			f.Words[i] = binary.BigEndian.Uint64(buf[at:])
-			at += 8
+		Sub:    subs,
+	}, nil
+}
+
+// splitBatch walks count length-prefixed sub-frames, validating each one
+// far enough (header present, magic/version, payload kind, no nesting)
+// that a receiver can safely route it. The returned slices alias p.
+func splitBatch(p []byte, count int) ([][]byte, error) {
+	subs := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 4 {
+			return nil, fmt.Errorf("comm: batch envelope truncated at sub-frame %d length", i)
 		}
+		n := int(binary.BigEndian.Uint32(p))
+		p = p[4:]
+		if n < FrameHeaderLen || n > MaxWireFrameBytes {
+			return nil, fmt.Errorf("comm: batch sub-frame %d length %d out of range", i, n)
+		}
+		if len(p) < n {
+			return nil, fmt.Errorf("comm: batch envelope truncated inside sub-frame %d (%d of %d bytes)", i, len(p), n)
+		}
+		sub := p[:n]
+		p = p[n:]
+		if m := binary.BigEndian.Uint16(sub[0:]); m != frameMagic {
+			return nil, fmt.Errorf("comm: batch sub-frame %d: bad magic %#04x", i, m)
+		}
+		if ver := sub[2]; ver != frameVersion {
+			return nil, fmt.Errorf("comm: batch sub-frame %d: unsupported version %d", i, ver)
+		}
+		if k := Kind(sub[3]); k == KindBatch {
+			return nil, fmt.Errorf("comm: batch sub-frame %d: nested batch envelope", i)
+		} else if !k.valid() {
+			return nil, fmt.Errorf("comm: batch sub-frame %d: unknown payload kind %d", i, k)
+		}
+		subs = append(subs, sub)
 	}
-	return f, nil
+	if len(p) != 0 {
+		return nil, fmt.Errorf("comm: batch envelope carries %d trailing bytes", len(p))
+	}
+	return subs, nil
 }
 
 // frameStream peeks the stream id of an encoded frame without a full

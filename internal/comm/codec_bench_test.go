@@ -1,0 +1,140 @@
+package comm
+
+// Per-kind codec micro-benchmarks: encode and decode cost of one
+// representative frame of every payload kind plus the batch envelope,
+// with allocs/op from -benchmem. These are the numbers the zero-copy
+// encode/decode work is judged by — the pooled paths should hold
+// allocs/op near zero at any payload size. Wired into `make bench-json`.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchFrames returns one representative frame per payload kind, sized
+// like the protocol's real traffic (sketch blocks dominate).
+func benchFrames() []*Frame {
+	return []*Frame{
+		{Kind: KindControl, Op: 7, From: CP, To: 2, Stream: 3, Tag: "hh/seed", RTag: "hh/bucket-sketch", Words: []uint64{5, 4, 128, 61}},
+		{Kind: KindFloats, From: 1, To: CP, Tag: "up", Words: FloatWords(make([]float64, 64))},
+		{Kind: KindInts, From: 2, To: CP, Tag: "idx", Words: IntWords(make([]int, 16))},
+		{Kind: KindUint64s, From: 1, To: CP, Tag: "coords", Words: make([]uint64, 16)},
+		{Kind: KindScalar, From: 3, To: CP, Tag: "v", Words: FloatWords([]float64{3.14})},
+		{Kind: KindSketch, From: 2, To: CP, Stream: 9, Tag: "zest/levels/bucket-sketch", Words: FloatWords(make([]float64, 5*128))},
+		{Kind: KindRow, From: 1, To: CP, Tag: "sampler/rows", Words: FloatWords(make([]float64, 12))},
+		{Kind: KindValue, From: 4, To: CP, Tag: "zest/values", Words: FloatWords(make([]float64, 1))},
+		{Kind: KindShare, From: 1, To: CP, Tag: "baseline/full-gather", Words: FloatWords(make([]float64, 96*12))},
+		{Kind: KindProjection, From: CP, To: 2, Tag: "core/projection", Words: FloatWords(make([]float64, 12*4))},
+	}
+}
+
+// kindName labels the per-kind sub-benchmarks.
+func kindName(k Kind) string {
+	switch k {
+	case KindControl:
+		return "control"
+	case KindFloats:
+		return "floats"
+	case KindInts:
+		return "ints"
+	case KindUint64s:
+		return "uint64s"
+	case KindScalar:
+		return "scalar"
+	case KindSketch:
+		return "sketch"
+	case KindRow:
+		return "row"
+	case KindValue:
+		return "value"
+	case KindShare:
+		return "share"
+	case KindProjection:
+		return "projection"
+	case KindBatch:
+		return "batch"
+	}
+	return fmt.Sprintf("kind%d", k)
+}
+
+// BenchmarkFrameEncodeDecode measures encode and decode ns/op and
+// allocs/op per frame kind — the codec half of the transport cost.
+func BenchmarkFrameEncodeDecode(b *testing.B) {
+	for _, f := range benchFrames() {
+		f := f
+		b.Run(kindName(f.Kind)+"/encode", func(b *testing.B) {
+			b.SetBytes(int64(f.EncodedLen()))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ReleaseFrame(EncodeFrame(f))
+			}
+		})
+		enc := EncodeFrame(f)
+		b.Run(kindName(f.Kind)+"/decode", func(b *testing.B) {
+			b.SetBytes(int64(len(enc)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dec, err := DecodeFrame(enc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				putWords(dec.Words)
+			}
+		})
+		ReleaseFrame(enc)
+	}
+
+	// The zero-copy reply path: float payload encoded straight into the
+	// wire buffer, decoded through the aliasing view.
+	vals := make([]float64, 5*128)
+	replyProto := &Frame{Kind: KindSketch, From: 2, To: CP, Tag: "zest/levels/bucket-sketch"}
+	b.Run("sketch/encode-floats", func(b *testing.B) {
+		b.SetBytes(int64(replyProto.HeaderLen() + 8*len(vals)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ReleaseFrame(EncodeFrameFloats(replyProto, vals))
+		}
+	})
+	viewEnc := EncodeFrameFloats(replyProto, vals)
+	b.Run("sketch/decode-view", func(b *testing.B) {
+		b.SetBytes(int64(len(viewEnc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v, err := parseFrame(viewEnc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			putFloats(v.floats())
+		}
+	})
+	ReleaseFrame(viewEnc)
+
+	// The batch envelope: eight value-sized sub-frames, the shape the
+	// pipelined zsampler rounds put on the wire.
+	subs := make([][]byte, 8)
+	for i := range subs {
+		subs[i] = EncodeFrame(&Frame{Kind: KindValue, From: CP, To: 1, Tag: "zest/values", Words: FloatWords([]float64{float64(i)})})
+	}
+	env := &Frame{Kind: KindBatch, From: CP, To: 1, Sub: subs}
+	b.Run("batch8/encode", func(b *testing.B) {
+		b.SetBytes(int64(env.EncodedLen()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ReleaseFrame(EncodeFrame(env))
+		}
+	})
+	envEnc := EncodeFrame(env)
+	b.Run("batch8/decode", func(b *testing.B) {
+		b.SetBytes(int64(len(envEnc)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeFrame(envEnc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ReleaseFrame(envEnc)
+	for _, s := range subs {
+		ReleaseFrame(s)
+	}
+}

@@ -100,6 +100,17 @@ func FuzzDecodeFrame(f *testing.F) {
 	long := EncodeFrame(&Frame{Kind: KindSketch, From: 3, To: CP, Tag: "zest/heavy/bucket-sketch", Words: FloatWords(make([]float64, 257))})
 	f.Add(long)
 	f.Add(long[:17])
+	// Batch envelopes: a well-formed two-frame envelope, its truncations
+	// (inside a sub-frame's length prefix and inside a sub-frame body), and
+	// a zero-count envelope — the decoder must reject all malformed shapes
+	// without panicking, like any other kind.
+	env := EncodeFrame(&Frame{Kind: KindBatch, From: CP, To: 2, Stream: 5, Sub: [][]byte{
+		EncodeFrame(&Frame{Kind: KindControl, Op: 3, From: CP, To: 2, Stream: 5, Tag: "hh/seed", RTag: "hh/sketch", Words: []uint64{5, 4, 128}}),
+		EncodeFrame(&Frame{Kind: KindValue, From: CP, To: 2, Stream: 5, Tag: "zest/values", Words: FloatWords([]float64{9})}),
+	}})
+	f.Add(env)
+	f.Add(env[:FrameHeaderLen+2])
+	f.Add(env[:len(env)-5])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame, err := DecodeFrame(data)
 		if err != nil {

@@ -57,6 +57,13 @@ type Network struct {
 	tr     Transport
 	remote []bool // remote[t]: server t is hosted by a worker process
 
+	// batch is the op-batching knob for pipelined round sequences
+	// (RunRounds): 0 coalesces without bound (the default), 1 disables
+	// coalescing, k flushes every k same-destination request frames.
+	// Purely a transport-framing choice — transcripts are identical at
+	// every value.
+	batch int
+
 	// onRound, when set, observes every completed protocol round (see
 	// OnRound); roundSeq is the round counter it reports, shared with every
 	// fork of this ledger so a session's rounds number monotonically no
@@ -166,6 +173,46 @@ func (n *Network) HasRemote() bool {
 
 // Transport exposes the fabric's frame mover (cluster setup needs it).
 func (n *Network) Transport() Transport { return n.tr }
+
+// SetBatchSize sets the op-batching knob for pipelined round sequences:
+// 0 coalesces queued same-destination request frames without bound (the
+// default), 1 disables coalescing (every frame is its own wire write),
+// k ≥ 2 flushes every k frames. The knob changes transport framing only;
+// words, bytes, tags and per-link order are bit-identical at every value.
+// Sessions and forks minted after the call inherit the setting.
+func (n *Network) SetBatchSize(k int) {
+	if k < 0 {
+		k = 0
+	}
+	n.mu.Lock()
+	n.batch = k
+	n.mu.Unlock()
+}
+
+// BatchSize returns the current op-batching knob (see SetBatchSize).
+func (n *Network) BatchSize() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.batch
+}
+
+// batchStatser is implemented by transports that track batch envelopes.
+type batchStatser interface {
+	BatchStats() (sent, received, overheadBytes int64)
+}
+
+// BatchOverhead reports the batch envelopes the underlying transport
+// moved and their framing overhead in bytes. This is a side ledger,
+// deliberately outside Words/Bytes and the per-tag tallies: envelope
+// framing varies with the batch size while the transcript may not, so it
+// is never charged under a tag. Transports without batch framing (the
+// in-memory transport) report zeros.
+func (n *Network) BatchOverhead() (sent, received, overheadBytes int64) {
+	if bs, ok := n.tr.(batchStatser); ok {
+		return bs.BatchStats()
+	}
+	return 0, 0, 0
+}
 
 // EnableTrace turns on per-message transcript recording (tests only; it
 // grows without bound between Resets).
@@ -320,20 +367,20 @@ func (n *Network) SendScalar(from, to int, tag string, v float64) float64 {
 	return out
 }
 
-// broadcastFrame encodes one frame per destination, accounts it, and
-// genuinely transmits it to remotely hosted destinations (local
+// broadcastFrame accounts one frame per destination and genuinely
+// encodes and transmits it to remotely hosted destinations. Local
 // destinations consume nothing — the shared knowledge is already in
-// process).
+// process — so their wire image is never built; only its EncodedLen is
+// charged (bit-identical to encoding it).
 func (n *Network) broadcastFrame(from int, f func(to int) *Frame) {
 	for t := 0; t < n.servers; t++ {
 		if t == from {
 			continue
 		}
 		fr := f(t)
-		enc := EncodeFrame(fr)
-		n.commit(from, t, fr.Tag, int64(len(fr.Words)), int64(len(enc)))
+		n.commit(from, t, fr.Tag, int64(len(fr.Words)), int64(fr.EncodedLen()))
 		if n.remote[t] {
-			if err := n.tr.Send(from, t, enc); err != nil {
+			if err := n.tr.Send(from, t, EncodeFrame(fr)); err != nil {
 				panic(fmt.Sprintf("comm: broadcast to server %d: %v", t, err))
 			}
 		}

@@ -20,6 +20,7 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -44,14 +45,27 @@ type wordFreeList struct {
 	stack [][]uint64
 }
 
+type floatFreeList struct {
+	mu    sync.Mutex
+	stack [][]float64
+}
+
 var (
-	bytePools [maxPoolBits + 1]byteFreeList
-	wordPools [maxPoolBits + 1]wordFreeList
+	bytePools  [maxPoolBits + 1]byteFreeList
+	wordPools  [maxPoolBits + 1]wordFreeList
+	floatPools [maxPoolBits + 1]floatFreeList
+
+	// poolGets/poolPuts count every byte-buffer checkout and return —
+	// the lifecycle audit PoolStats exposes. A balanced fabric returns
+	// every frame buffer it took, including on abort and teardown paths.
+	poolGets atomic.Int64
+	poolPuts atomic.Int64
 )
 
 // getBuf returns a length-n byte slice, reusing pooled capacity when
 // available. Contents are unspecified; callers overwrite every byte.
 func getBuf(n int) []byte {
+	poolGets.Add(1)
 	c := poolClass(n)
 	if c < 0 {
 		return make([]byte, n)
@@ -71,6 +85,7 @@ func getBuf(n int) []byte {
 // putBuf recycles a buffer previously obtained from getBuf or any other
 // single-owner allocation (e.g. the TCP frame reader).
 func putBuf(b []byte) {
+	poolPuts.Add(1)
 	c := bits.Len(uint(cap(b))) - 1 // floor log2: the class cap(b) can serve
 	if c < minPoolBits || c > maxPoolBits {
 		return
@@ -79,6 +94,53 @@ func putBuf(b []byte) {
 	p.mu.Lock()
 	if len(p.stack) < poolDepth {
 		p.stack = append(p.stack, b[:0])
+	}
+	p.mu.Unlock()
+}
+
+// PoolStats reports the cumulative frame-buffer checkouts and returns.
+// The counters audit the single-ownership lifecycle: after a scenario
+// fully tears down (sessions closed, transports drained, workers exited),
+// gets minus puts must be zero or the fabric leaked buffers.
+func PoolStats() (gets, puts int64) {
+	return poolGets.Load(), poolPuts.Load()
+}
+
+// ReleaseFrame returns a frame buffer obtained from the codec or wire
+// reader to the free lists. It is the exported recycle point for
+// packages outside comm (the cluster worker loop) that own decoded
+// buffers.
+func ReleaseFrame(buf []byte) { putBuf(buf) }
+
+// getFloats returns a length-n float64 slice with unspecified contents,
+// recycled through the same size classes as the word pool.
+func getFloats(n int) []float64 {
+	c := poolClass(n)
+	if c < 0 {
+		return make([]float64, n)
+	}
+	p := &floatPools[c]
+	p.mu.Lock()
+	if l := len(p.stack); l > 0 {
+		xs := p.stack[l-1]
+		p.stack = p.stack[:l-1]
+		p.mu.Unlock()
+		return xs[:n]
+	}
+	p.mu.Unlock()
+	return make([]float64, n, 1<<c)
+}
+
+// putFloats recycles a drain-side payload slice.
+func putFloats(xs []float64) {
+	c := bits.Len(uint(cap(xs))) - 1
+	if c < minPoolBits || c > maxPoolBits {
+		return
+	}
+	p := &floatPools[c]
+	p.mu.Lock()
+	if len(p.stack) < poolDepth {
+		p.stack = append(p.stack, xs[:0])
 	}
 	p.mu.Unlock()
 }

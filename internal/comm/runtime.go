@@ -232,7 +232,9 @@ type Round struct {
 	// Local executes the op for a locally hosted server t and returns the
 	// reply payload. Never called for remote servers.
 	Local func(t int) ([]float64, error)
-	// OnResp consumes server t's reply payload, in server order.
+	// OnResp consumes server t's reply payload, in server order. The
+	// payload slice is pooled scratch, valid only during the call —
+	// consumers read or copy it, never retain it.
 	OnResp func(t int, payload []float64) error
 	// Inline executes Local in the drain loop instead of one goroutine
 	// per server. The transcript is identical either way; hot-path rounds
@@ -259,11 +261,8 @@ func localReply(r Round, stream uint32, t int) (enc []byte, err error) {
 		return nil, fmt.Errorf("comm: round %q reply of %d words from server %d exceeds the %d-word frame cap",
 			r.RespTag, len(payload), t, MaxFrameWords)
 	}
-	ws := floatWords(payload)
-	f := &Frame{Kind: r.RespKind, From: t, To: CP, Stream: stream, Tag: r.RespTag, Words: ws}
-	enc = EncodeFrame(f)
-	putWords(ws)
-	return enc, nil
+	f := &Frame{Kind: r.RespKind, From: t, To: CP, Stream: stream, Tag: r.RespTag}
+	return EncodeFrameFloats(f, payload), nil
 }
 
 // RunRound executes one Round. Request frames are charged (and, for
@@ -307,12 +306,15 @@ func (n *Network) RunRound(ctx context.Context, r Round) error {
 	return nil
 }
 
-func (n *Network) runRound(ctx context.Context, r Round) error {
+// resolveRequest validates one round's request payload and resolves its
+// frame kind and words. Words staged from Data are pooled — the caller
+// recycles them with putWords once the request leg is done.
+func resolveRequest(r *Round) (Kind, []uint64, error) {
 	kind := r.Kind
 	words := r.Params
 	if r.Data != nil {
 		if len(r.Params) != 0 {
-			return fmt.Errorf("comm: round %q carries both params and data", r.ReqTag)
+			return 0, nil, fmt.Errorf("comm: round %q carries both params and data", r.ReqTag)
 		}
 		words = floatWords(r.Data)
 		if kind == 0 {
@@ -323,7 +325,24 @@ func (n *Network) runRound(ctx context.Context, r Round) error {
 		kind = KindControl
 	}
 	if len(words) > MaxFrameWords {
-		return fmt.Errorf("comm: round %q request of %d words exceeds the %d-word frame cap", r.ReqTag, len(words), MaxFrameWords)
+		putRequestWords(r, words)
+		return 0, nil, fmt.Errorf("comm: round %q request of %d words exceeds the %d-word frame cap", r.ReqTag, len(words), MaxFrameWords)
+	}
+	return kind, words, nil
+}
+
+// putRequestWords recycles a request staging slice if resolveRequest
+// pooled one (Data rounds only; Params are caller-owned).
+func putRequestWords(r *Round, words []uint64) {
+	if r.Data != nil && words != nil {
+		putWords(words)
+	}
+}
+
+func (n *Network) runRound(ctx context.Context, r Round) error {
+	kind, words, err := resolveRequest(&r)
+	if err != nil {
+		return err
 	}
 	// Request leg. Requests to locally hosted servers never move — only
 	// their ledger entry matters — so the wire image is built (and handed
@@ -333,21 +352,23 @@ func (n *Network) runRound(ctx context.Context, r Round) error {
 		n.commit(CP, t, r.ReqTag, int64(len(words)), int64(f.EncodedLen()))
 		if n.remote[t] {
 			if err := n.tr.Send(CP, t, EncodeFrame(f)); err != nil {
+				putRequestWords(&r, words)
 				return fmt.Errorf("comm: round %q request to server %d: %w", r.ReqTag, t, err)
 			}
 		}
 	}
-	if r.Data != nil {
-		putWords(words)
-		words = nil
-	}
+	putRequestWords(&r, words)
 	if r.RespTag == "" {
 		return nil
 	}
+	return n.drainReplies(ctx, &r)
+}
 
-	// Locally hosted servers produce their replies concurrently (unless
-	// the round is Inline); the drain loop below commits everything in
-	// server order regardless.
+// drainReplies runs one round's reply leg: locally hosted servers produce
+// their replies (concurrently unless the round is Inline), and the drain
+// loop receives, verifies and commits every reply in server order — the
+// canonical order that makes the transcript transport-independent.
+func (n *Network) drainReplies(ctx context.Context, r *Round) error {
 	type local struct {
 		enc []byte
 		err error
@@ -365,13 +386,15 @@ func (n *Network) runRound(ctx context.Context, r Round) error {
 			ch := make(chan local, 1)
 			locals[t] = ch
 			go func(t int) {
-				enc, err := localReply(r, n.stream, t)
+				enc, err := localReply(*r, n.stream, t)
 				ch <- local{enc: enc, err: err}
 			}(t)
 		}
 	}
 
-	// Drain leg, in server order.
+	// Drain leg, in server order. Replies decode zero-copy: the frame
+	// view aliases the wire buffer, the payload converts straight into a
+	// pooled float slice, and the buffer recycles before OnResp runs.
 	for t := 1; t < n.servers; t++ {
 		var enc []byte
 		if n.remote[t] {
@@ -385,7 +408,7 @@ func (n *Network) runRound(ctx context.Context, r Round) error {
 				return fmt.Errorf("comm: round %q has a local server %d but no local executor", r.ReqTag, t)
 			}
 			var err error
-			enc, err = localReply(r, n.stream, t)
+			enc, err = localReply(*r, n.stream, t)
 			if err != nil {
 				return fmt.Errorf("comm: round %q on server %d: %w", r.ReqTag, t, err)
 			}
@@ -396,25 +419,189 @@ func (n *Network) runRound(ctx context.Context, r Round) error {
 			}
 			enc = res.enc
 		}
-		f, err := DecodeFrame(enc)
+		v, err := parseFrame(enc)
 		if err != nil {
+			putBuf(enc)
 			return fmt.Errorf("comm: round %q reply from server %d: %w", r.RespTag, t, err)
 		}
+		if v.tag != r.RespTag {
+			putBuf(enc)
+			return fmt.Errorf("comm: round reply tag %q from server %d, want %q", v.tag, t, r.RespTag)
+		}
+		if v.kind != r.RespKind {
+			putBuf(enc)
+			return fmt.Errorf("comm: round reply kind %d from server %d, want %d", v.kind, t, r.RespKind)
+		}
+		n.commit(t, CP, r.RespTag, int64(v.words), int64(len(enc)))
+		payload := v.floats()
 		putBuf(enc)
-		if f.Tag != r.RespTag {
-			return fmt.Errorf("comm: round reply tag %q from server %d, want %q", f.Tag, t, r.RespTag)
-		}
-		if f.Kind != r.RespKind {
-			return fmt.Errorf("comm: round reply kind %d from server %d, want %d", f.Kind, t, r.RespKind)
-		}
-		n.commit(t, CP, r.RespTag, int64(len(f.Words)), int64(len(enc)))
-		payload := WordFloats(f.Words)
-		putWords(f.Words)
 		if r.OnResp != nil {
 			if err := r.OnResp(t, payload); err != nil {
+				putFloats(payload)
 				return err
 			}
 		}
+		putFloats(payload)
+	}
+	return nil
+}
+
+// RunRounds executes a sequence of Rounds with their request frames all
+// issued before any replies drain — the round-pipelining path for rounds
+// that do not data-depend on each other's replies. On remote links the
+// queued same-destination requests coalesce into batch envelopes sized by
+// SetBatchSize, so a sequence of k rounds costs one scatter-gather write
+// per link instead of k.
+//
+// The accounting is bit-identical to running the rounds sequentially with
+// RunRound: each round's requests and replies commit in canonical order
+// (round i's replies before round i+1's requests), whatever the wire
+// framing did. Rounds whose OnResp/Local closures feed later rounds in
+// the same slice must not be passed here — issue order is all-at-once.
+//
+// ctx is checked at entry (nothing moves if already done) and before each
+// round's reply drain; a mid-sequence abort poisons the fabric exactly as
+// an aborted RunRound would.
+func (n *Network) RunRounds(ctx context.Context, rounds []Round) error {
+	if len(rounds) == 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	failed := n.failed
+	n.mu.Unlock()
+	if failed != nil {
+		return fmt.Errorf("comm: fabric poisoned by an earlier aborted round (Reset to reuse): %w", failed)
+	}
+	err := n.runRounds(ctx, rounds)
+	if err != nil && n.HasRemote() {
+		n.mu.Lock()
+		if n.failed == nil {
+			n.failed = err
+		}
+		n.mu.Unlock()
+	}
+	return err
+}
+
+func (n *Network) runRounds(ctx context.Context, rounds []Round) error {
+	kinds := make([]Kind, len(rounds))
+	wordss := make([][]uint64, len(rounds))
+	for i := range rounds {
+		k, w, err := resolveRequest(&rounds[i])
+		if err != nil {
+			for j := 0; j < i; j++ {
+				putRequestWords(&rounds[j], wordss[j])
+			}
+			return err
+		}
+		kinds[i], wordss[i] = k, w
+	}
+	defer func() {
+		for i := range rounds {
+			putRequestWords(&rounds[i], wordss[i])
+		}
+	}()
+
+	// Phase 1: issue every round's request frames. Nothing commits here —
+	// the ledger entries land in phase 2, in the canonical sequential
+	// order — so the wire can run ahead of the accounting. Same-
+	// destination frames coalesce into batch envelopes on remote links.
+	if n.HasRemote() {
+		batch := n.BatchSize()
+		pend := make([][][]byte, n.servers)
+		pendBytes := make([]int, n.servers)
+		flush := func(t int) error {
+			fs := pend[t]
+			if len(fs) == 0 {
+				return nil
+			}
+			pend[t] = nil
+			pendBytes[t] = 0
+			if len(fs) == 1 {
+				return n.tr.Send(CP, t, fs[0])
+			}
+			if bs, ok := n.tr.(batchSender); ok {
+				return bs.SendBatch(CP, t, fs)
+			}
+			for i, fr := range fs {
+				if err := n.tr.Send(CP, t, fr); err != nil {
+					for _, rest := range fs[i+1:] {
+						putBuf(rest)
+					}
+					return err
+				}
+			}
+			return nil
+		}
+		release := func() {
+			for t := range pend {
+				for _, fr := range pend[t] {
+					putBuf(fr)
+				}
+			}
+		}
+		for i := range rounds {
+			r := &rounds[i]
+			for t := 1; t < n.servers; t++ {
+				if !n.remote[t] {
+					continue
+				}
+				f := &Frame{Kind: kinds[i], Op: r.Op, From: CP, To: t, Stream: n.stream, Tag: r.ReqTag, RTag: r.RespTag, Words: wordss[i]}
+				enc := EncodeFrame(f)
+				if batch == 1 {
+					if err := n.tr.Send(CP, t, enc); err != nil {
+						release()
+						return fmt.Errorf("comm: round %q request to server %d: %w", r.ReqTag, t, err)
+					}
+					continue
+				}
+				if pendBytes[t] > 0 && pendBytes[t]+len(enc) > MaxBatchBytes {
+					if err := flush(t); err != nil {
+						putBuf(enc)
+						release()
+						return fmt.Errorf("comm: round %q request to server %d: %w", r.ReqTag, t, err)
+					}
+				}
+				pend[t] = append(pend[t], enc)
+				pendBytes[t] += len(enc)
+				if batch > 1 && len(pend[t]) >= batch {
+					if err := flush(t); err != nil {
+						release()
+						return fmt.Errorf("comm: round %q request to server %d: %w", r.ReqTag, t, err)
+					}
+				}
+			}
+		}
+		for t := 1; t < n.servers; t++ {
+			if err := flush(t); err != nil {
+				release()
+				return fmt.Errorf("comm: pipelined request flush to server %d: %w", t, err)
+			}
+		}
+	}
+
+	// Phase 2: commit and drain round by round, in canonical order.
+	for i := range rounds {
+		r := &rounds[i]
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		reqLen := int64(FrameHeaderLen + len(r.ReqTag) + len(r.RespTag) + 8*len(wordss[i]))
+		for t := 1; t < n.servers; t++ {
+			n.commit(CP, t, r.ReqTag, int64(len(wordss[i])), reqLen)
+		}
+		if r.RespTag != "" {
+			if err := n.drainReplies(ctx, r); err != nil {
+				return err
+			}
+		}
+		n.noteRound(r.ReqTag)
 	}
 	return nil
 }
@@ -437,6 +624,7 @@ func (n *Network) Fork() *Network {
 		onRound:   n.onRound,
 		roundSeq:  n.roundSeq,
 		trace:     true,
+		batch:     n.BatchSize(),
 	}
 	f.resetTallies()
 	return f

@@ -68,6 +68,7 @@ func (n *Network) NewSession() (*Session, error) {
 			stream:    uint32(id) << 16,
 			streamSeq: new(uint32),
 			roundSeq:  new(int64),
+			batch:     n.BatchSize(),
 		},
 		parent: n,
 	}

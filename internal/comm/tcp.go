@@ -18,27 +18,77 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // MaxWireFrameBytes bounds a length prefix the reader will accept before
 // allocating; anything larger is a corrupt or hostile stream.
 const MaxWireFrameBytes = FrameHeaderLen + 2*MaxTagLen + 8*MaxFrameWords
 
-// WriteWireFrame writes one length-prefixed frame to w.
+// WriteWireFrame writes one length-prefixed frame to w as a single
+// scatter-gather write (one writev syscall on a TCP conn). The frame
+// buffer is not consumed — the caller keeps ownership.
 func WriteWireFrame(w io.Writer, frame []byte) error {
 	if len(frame) > MaxWireFrameBytes {
 		return fmt.Errorf("comm: frame of %d bytes exceeds wire cap", len(frame))
 	}
 	var pfx [4]byte
 	binary.BigEndian.PutUint32(pfx[:], uint32(len(frame)))
-	if _, err := w.Write(pfx[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(frame)
+	bufs := net.Buffers{pfx[:], frame}
+	_, err := bufs.WriteTo(w)
 	return err
 }
 
-// ReadWireFrame reads one length-prefixed frame from r, rejecting
+// WriteWireBatch writes frames to w as one length-prefixed KindBatch
+// envelope in a single scatter-gather write: outer prefix, envelope
+// header and every sub-frame prefix live in one pooled block, and the
+// frame buffers themselves are gathered in place — no payload copy.
+// from/to/stream stamp the envelope header so a reader can route the
+// whole envelope before splitting it. Unlike WriteWireFrame, WriteWireBatch
+// takes ownership of every frame buffer and recycles them once written.
+func WriteWireBatch(w io.Writer, from, to int, stream uint32, frames [][]byte) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	if len(frames) == 1 {
+		err := WriteWireFrame(w, frames[0])
+		putBuf(frames[0])
+		return err
+	}
+	if len(frames) > MaxBatchSubFrames {
+		return fmt.Errorf("comm: batch of %d frames exceeds cap %d", len(frames), MaxBatchSubFrames)
+	}
+	inner := FrameHeaderLen
+	for _, fr := range frames {
+		inner += 4 + len(fr)
+	}
+	if inner > MaxWireFrameBytes {
+		return fmt.Errorf("comm: batch envelope of %d bytes exceeds wire cap", inner)
+	}
+	env := &Frame{Kind: KindBatch, From: from, To: to, Stream: stream}
+	block := getBuf(4 + FrameHeaderLen + 4*len(frames))
+	binary.BigEndian.PutUint32(block[0:], uint32(inner))
+	putHeader(block[4:], env, len(frames))
+	bufs := make(net.Buffers, 0, 2*len(frames))
+	at := 4 + FrameHeaderLen
+	binary.BigEndian.PutUint32(block[at:], uint32(len(frames[0])))
+	bufs = append(bufs, block[:at+4], frames[0])
+	at += 4
+	for _, fr := range frames[1:] {
+		binary.BigEndian.PutUint32(block[at:], uint32(len(fr)))
+		bufs = append(bufs, block[at:at+4], fr)
+		at += 4
+	}
+	_, err := bufs.WriteTo(w)
+	putBuf(block)
+	for _, fr := range frames {
+		putBuf(fr)
+	}
+	return err
+}
+
+// ReadWireFrame reads one length-prefixed frame from r into a pooled
+// buffer (recycle with ReleaseFrame/putBuf once decoded), rejecting
 // oversized prefixes before allocating.
 func ReadWireFrame(r io.Reader) ([]byte, error) {
 	var pfx [4]byte
@@ -49,8 +99,9 @@ func ReadWireFrame(r io.Reader) ([]byte, error) {
 	if n < FrameHeaderLen || int64(n) > int64(MaxWireFrameBytes) {
 		return nil, fmt.Errorf("comm: wire frame length %d out of range", n)
 	}
-	buf := make([]byte, n)
+	buf := getBuf(int(n))
 	if _, err := io.ReadFull(r, buf); err != nil {
+		putBuf(buf)
 		return nil, err
 	}
 	return buf, nil
@@ -64,6 +115,14 @@ type TCPTransport struct {
 	conns []net.Conn
 	wmu   []sync.Mutex
 	q     *frameQueue
+
+	// The batch side ledger: envelopes sent/received and their framing
+	// overhead in bytes. Deliberately outside the word/byte ledger — the
+	// transcript must be bit-identical at every batch size, so envelope
+	// framing can never be charged under a tag.
+	batchSent int64
+	batchRecv int64
+	batchOver int64
 }
 
 // NewTCPTransport wraps established worker connections (index = server
@@ -90,6 +149,36 @@ func (t *TCPTransport) readLoop(from int, c net.Conn) {
 			t.q.fail(fmt.Errorf("comm: worker %d link: %w", from, err))
 			return
 		}
+		if len(buf) >= FrameHeaderLen && Kind(buf[3]) == KindBatch {
+			// A reply envelope: split it and queue each sub-frame under
+			// its own stream. The sub-slices alias the envelope buffer,
+			// which is about to be recycled, so each one is copied into a
+			// fresh pooled buffer the consumer can recycle independently
+			// (putBuf classifies by backing capacity — recycling
+			// overlapping sub-slices would corrupt the pool).
+			env, err := DecodeFrame(buf)
+			if err != nil {
+				putBuf(buf)
+				t.q.fail(fmt.Errorf("comm: worker %d link: %w", from, err))
+				return
+			}
+			atomic.AddInt64(&t.batchRecv, 1)
+			atomic.AddInt64(&t.batchOver, int64(4+FrameHeaderLen+4*len(env.Sub)))
+			for _, sub := range env.Sub {
+				cp := getBuf(len(sub))
+				copy(cp, sub)
+				stream, err := frameStream(cp)
+				if err != nil {
+					stream = 0
+				}
+				if err := t.q.push(queueKey{from: from, to: CP, stream: stream}, cp); err != nil {
+					putBuf(buf)
+					return // transport closed underneath the reader
+				}
+			}
+			putBuf(buf)
+			continue
+		}
 		stream, err := frameStream(buf)
 		if err != nil {
 			stream = 0
@@ -102,14 +191,50 @@ func (t *TCPTransport) readLoop(from int, c net.Conn) {
 
 // Send implements Transport: frames can only be pushed toward workers
 // (the coordinator's outbound direction); worker→coordinator frames
-// arrive via the readers.
+// arrive via the readers. Send takes ownership of the frame buffer and
+// recycles it once written.
 func (t *TCPTransport) Send(from, to int, frame []byte) error {
 	if to < 0 || to >= len(t.conns) || t.conns[to] == nil {
+		putBuf(frame)
 		return fmt.Errorf("comm: no TCP link to server %d", to)
 	}
 	t.wmu[to].Lock()
+	err := WriteWireFrame(t.conns[to], frame)
+	t.wmu[to].Unlock()
+	putBuf(frame)
+	return err
+}
+
+// SendBatch implements batchSender: the frames travel as one KindBatch
+// envelope in a single scatter-gather write, and the receiver splits them
+// back into individual frames before they reach any ledger.
+func (t *TCPTransport) SendBatch(from, to int, frames [][]byte) error {
+	if len(frames) == 1 {
+		return t.Send(from, to, frames[0])
+	}
+	if to < 0 || to >= len(t.conns) || t.conns[to] == nil {
+		for _, fr := range frames {
+			putBuf(fr)
+		}
+		return fmt.Errorf("comm: no TCP link to server %d", to)
+	}
+	stream, err := frameStream(frames[0])
+	if err != nil {
+		stream = 0
+	}
+	atomic.AddInt64(&t.batchSent, 1)
+	atomic.AddInt64(&t.batchOver, int64(4+FrameHeaderLen+4*len(frames)))
+	t.wmu[to].Lock()
 	defer t.wmu[to].Unlock()
-	return WriteWireFrame(t.conns[to], frame)
+	return WriteWireBatch(t.conns[to], from, to, stream, frames)
+}
+
+// BatchStats reports the batch envelopes this transport moved and their
+// framing overhead in bytes — the side ledger for cost the word/byte
+// ledger deliberately does not see (envelopes are transport framing; the
+// transcript is identical at every batch size).
+func (t *TCPTransport) BatchStats() (sent, received, overheadBytes int64) {
+	return atomic.LoadInt64(&t.batchSent), atomic.LoadInt64(&t.batchRecv), atomic.LoadInt64(&t.batchOver)
 }
 
 // Recv implements Transport: the next frame sent by worker `from` on the

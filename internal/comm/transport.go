@@ -31,6 +31,15 @@ type Transport interface {
 	Close() error
 }
 
+// batchSender is implemented by transports that can move several encoded
+// frames to one destination as a single batch envelope (one scatter-
+// gather write on TCP). Delivery order and accounting semantics are
+// identical to sending the frames individually — batching is invisible
+// to the ledger. SendBatch takes ownership of every frame buffer.
+type batchSender interface {
+	SendBatch(from, to int, frames [][]byte) error
+}
+
 // queueKey addresses one (from, to, stream) frame queue.
 type queueKey struct {
 	from, to int
@@ -59,12 +68,13 @@ func (q *frameQueue) wake() {
 	q.notify = make(chan struct{})
 }
 
-// push appends a frame to its queue. Pushing to a closed queue drops the
-// frame with an error.
+// push appends a frame to its queue. Pushing to a closed queue recycles
+// the frame and reports an error.
 func (q *frameQueue) push(key queueKey, frame []byte) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		putBuf(frame)
 		return fmt.Errorf("comm: transport closed")
 	}
 	q.queues[key] = append(q.queues[key], frame)
@@ -122,30 +132,48 @@ func (q *frameQueue) wait(key queueKey, cancel <-chan struct{}) ([]byte, error) 
 	}
 }
 
-// close marks the queue closed and wakes every waiter.
+// close marks the queue closed, recycles every still-queued frame and
+// wakes every waiter.
 func (q *frameQueue) close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if !q.closed {
 		q.closed = true
+		q.recycleAllLocked()
 		q.wake()
 	}
 }
 
-// reset drops every queued frame (single-occupancy fabric reuse).
+// reset drops every queued frame back to the free lists (single-occupancy
+// fabric reuse).
 func (q *frameQueue) reset() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.recycleAllLocked()
+}
+
+// recycleAllLocked returns every queued frame to the pools; callers hold
+// q.mu.
+func (q *frameQueue) recycleAllLocked() {
+	for _, frames := range q.queues {
+		for _, fr := range frames {
+			putBuf(fr)
+		}
+	}
 	q.queues = make(map[queueKey][][]byte)
 }
 
-// discardSession drops the queued frames of one session namespace,
-// leaving other tenants' queues untouched (see Session.Close).
+// discardSession drops the queued frames of one session namespace back to
+// the free lists, leaving other tenants' queues untouched (see
+// Session.Close).
 func (q *frameQueue) discardSession(id uint16) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for key := range q.queues {
+	for key, frames := range q.queues {
 		if SessionOf(key.stream) == id {
+			for _, fr := range frames {
+				putBuf(fr)
+			}
 			delete(q.queues, key)
 		}
 	}
@@ -172,6 +200,22 @@ func (m *MemTransport) Send(from, to int, frame []byte) error {
 		return fmt.Errorf("comm: mem send on link %d→%d: %w", from, to, err)
 	}
 	return m.q.push(queueKey{from: from, to: to, stream: stream}, frame)
+}
+
+// SendBatch implements batchSender. The in-memory links have no per-frame
+// wire overhead to amortize, so frames are delivered individually — mem
+// receivers never see batch envelopes, and mem/TCP transcripts stay
+// identical because envelopes are framing, not accounting.
+func (m *MemTransport) SendBatch(from, to int, frames [][]byte) error {
+	for i, fr := range frames {
+		if err := m.Send(from, to, fr); err != nil {
+			for _, rest := range frames[i+1:] {
+				putBuf(rest)
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // Recv implements Transport.

@@ -43,6 +43,50 @@ type RowSampler interface {
 	Draw(ctx context.Context) (Sample, error)
 }
 
+// BatchRowSampler is implemented by samplers whose draw indices are
+// computable without communication (everything remote happened when the
+// sampler was built), so a block of draws can fix its indices first and
+// pipeline the row collections as one RunRounds sequence. The contract is
+// strict equivalence: DrawBatch(ctx, r) must return exactly the samples r
+// sequential Draw calls would have, with an identical ledger transcript —
+// only the wire framing may differ.
+type BatchRowSampler interface {
+	RowSampler
+	// DrawBatch returns exactly count samples, equivalent to count
+	// sequential Draw calls.
+	DrawBatch(ctx context.Context, count int) ([]Sample, error)
+}
+
+// drawSamples produces r draws, through the pipelined batch path when the
+// sampler supports it.
+func drawSamples(ctx context.Context, sampler RowSampler, r int) ([]Sample, error) {
+	if bs, ok := sampler.(BatchRowSampler); ok {
+		ss, err := bs.DrawBatch(ctx, r)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampler batch draw: %w", err)
+		}
+		if len(ss) != r {
+			return nil, fmt.Errorf("core: batch sampler returned %d samples, want %d", len(ss), r)
+		}
+		return ss, nil
+	}
+	ss := make([]Sample, r)
+	for i := range ss {
+		// Abort checkpoint between draws: every draw is at least one
+		// protocol round, so a canceled job stops here at round granularity
+		// without a partially assembled row.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		s, err := sampler.Draw(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("core: sampler draw %d: %w", i, err)
+		}
+		ss[i] = s
+	}
+	return ss, nil
+}
+
 // Options configures a framework run.
 type Options struct {
 	// K is the target rank.
@@ -153,19 +197,13 @@ func Run(ctx context.Context, net *comm.Network, sampler RowSampler, f fn.Func, 
 
 func runOnce(ctx context.Context, net *comm.Network, sampler RowSampler, f fn.Func, d int, opts Options) (*Result, error) {
 	r := opts.SampleCount()
+	samples, err := drawSamples(ctx, sampler, r)
+	if err != nil {
+		return nil, err
+	}
 	B := matrix.NewDense(r, d)
 	rows := make([]int, r)
-	for i := 0; i < r; i++ {
-		// Abort checkpoint between draws: every draw is at least one
-		// protocol round, so a canceled job stops here at round
-		// granularity without a partially assembled row.
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		s, err := sampler.Draw(ctx)
-		if err != nil {
-			return nil, fmt.Errorf("core: sampler draw %d: %w", i, err)
-		}
+	for i, s := range samples {
 		if s.QHat <= 0 || math.IsNaN(s.QHat) || math.IsInf(s.QHat, 0) {
 			return nil, fmt.Errorf("core: sampler reported invalid Q̂=%g for row %d", s.QHat, s.Row)
 		}
@@ -210,16 +248,13 @@ func RunMultiK(ctx context.Context, net *comm.Network, sampler RowSampler, f fn.
 	results := make(map[int]*Result, len(ks))
 	for b := 0; b < boost; b++ {
 		r := opts.SampleCount()
+		samples, err := drawSamples(ctx, sampler, r)
+		if err != nil {
+			return nil, err
+		}
 		B := matrix.NewDense(r, d)
 		rows := make([]int, r)
-		for i := 0; i < r; i++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			s, err := sampler.Draw(ctx)
-			if err != nil {
-				return nil, fmt.Errorf("core: sampler draw %d: %w", i, err)
-			}
+		for i, s := range samples {
 			if s.QHat <= 0 || math.IsNaN(s.QHat) || math.IsInf(s.QHat, 0) {
 				return nil, fmt.Errorf("core: sampler reported invalid Q̂=%g for row %d", s.QHat, s.Row)
 			}

@@ -204,25 +204,44 @@ func HeavyHittersFiltered(ctx context.Context, net *comm.Network, locals []Vec, 
 	return Result{Coords: keepTop(cands, capFor(B)), F2: f2}, nil
 }
 
-// bucketedSketches builds, for one repetition of Z-HeavyHitters, the
-// per-bucket merged CountSketches over a hash partition of the coordinate
-// space, optionally restricted to a subsampled level set. Local shares are
-// restricted by keep (fast, possibly precomputed); remote workers derive
-// the same restriction from filt, which travels in the op frame.
-func bucketedSketches(ctx context.Context, net *comm.Network, locals []Vec, repSeed int64, buckets int, p Params,
-	keep func(uint64) bool, filt *ops.LevelFilter, tag string) ([]*sketch.CountSketch, error) {
-	if net.HasRemote() && keep != nil && filt == nil {
-		return nil, ErrRestrictionNotExpressible
-	}
-	return sketchRound(ctx, net, ops.OpBucketSketch,
-		ops.BucketSketchParams(repSeed, buckets, p.Depth, p.Width, filt),
-		tag+"/seed", tag+"/bucket-sketch", func(t int) []*sketch.CountSketch {
+// bucketRound builds — without running — the comm.Round of one
+// Z-HeavyHitters bucketing repetition: per-bucket merged CountSketches
+// over a hash partition of the coordinate space, optionally restricted to
+// a subsampled level set. Local shares are restricted by keep (fast,
+// possibly precomputed); remote workers derive the same restriction from
+// filt, which travels in the op frame. merged must already hold the CP's
+// own bucket sketches; worker replies fold into it in server order when
+// the round runs. Repetitions do not data-depend on each other, so the Z
+// protocols issue all their rounds through one pipelined RunRounds.
+func bucketRound(locals []Vec, repSeed int64, buckets int, p Params,
+	keep func(uint64) bool, filt *ops.LevelFilter, tag string, merged []*sketch.CountSketch) comm.Round {
+	return comm.Round{
+		Op:       ops.OpBucketSketch,
+		Params:   ops.BucketSketchParams(repSeed, buckets, p.Depth, p.Width, filt),
+		ReqTag:   tag + "/seed",
+		RespTag:  tag + "/bucket-sketch",
+		RespKind: comm.KindSketch,
+		Local: func(t int) ([]float64, error) {
 			v := locals[t]
 			if keep != nil {
 				v = Filtered{Base: v, Keep: keep}
 			}
-			return ops.BucketSketches(v, repSeed, buckets, p.Depth, p.Width)
-		})
+			return ops.FlattenSketches(ops.BucketSketches(v, repSeed, buckets, p.Depth, p.Width)), nil
+		},
+		OnResp: func(t int, payload []float64) error {
+			return ops.MergeFlat(merged, payload)
+		},
+	}
+}
+
+// cpBucketSketches is the CP's own contribution to one bucketing
+// repetition (free local compute — never a wire transfer).
+func cpBucketSketches(locals []Vec, repSeed int64, buckets int, p Params, keep func(uint64) bool) []*sketch.CountSketch {
+	v := locals[comm.CP]
+	if keep != nil {
+		v = Filtered{Base: v, Keep: keep}
+	}
+	return ops.BucketSketches(v, repSeed, buckets, p.Depth, p.Width)
 }
 
 // ZParams are the practical knobs of Z-HeavyHitters (Algorithm 2). The
@@ -266,19 +285,27 @@ func ZHeavyHitters(ctx context.Context, net *comm.Network, locals []Vec, zp ZPar
 	if err != nil {
 		return nil, err
 	}
+	// The repetitions share no data dependencies, so every repetition's
+	// sketch-ingestion round is built first and issued through one
+	// pipelined RunRounds: on a TCP cluster the rep requests coalesce
+	// into batch envelopes and travel before any reply drains, while the
+	// ledger stays bit-identical to the sequential loop.
+	repSeeds := make([]int64, zp.Reps)
+	parts := make([]*hashing.PolyHash, zp.Reps)
+	mergeds := make([][]*sketch.CountSketch, zp.Reps)
+	rounds := make([]comm.Round, zp.Reps)
+	for t := 0; t < zp.Reps; t++ {
+		repSeeds[t] = hashing.DeriveSeed(seed, uint64(7000+t))
+		parts[t] = hashing.SeededPolyHash(repSeeds[t], 2)
+		mergeds[t] = cpBucketSketches(locals, repSeeds[t], zp.Buckets, zp.Sketch, nil)
+		rounds[t] = bucketRound(locals, repSeeds[t], zp.Buckets, zp.Sketch, nil, nil, tag, mergeds[t])
+	}
+	if err := net.RunRounds(ctx, rounds); err != nil {
+		return nil, err
+	}
 	found := make(map[uint64]struct{})
 	for t := 0; t < zp.Reps; t++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err // abort checkpoint between bucketing repetitions
-		}
-		repSeed := hashing.DeriveSeed(seed, uint64(7000+t))
-		part := hashing.SeededPolyHash(repSeed, 2)
-
-		merged, err := bucketedSketches(ctx, net, locals, repSeed, zp.Buckets, zp.Sketch, nil, nil, tag)
-		if err != nil {
-			return nil, err
-		}
-
+		merged, part := mergeds[t], parts[t]
 		f2 := make([]float64, zp.Buckets)
 		for e := range merged {
 			f2[e] = merged[e].F2Estimate()
@@ -337,19 +364,27 @@ func ZHeavyHittersFiltered(ctx context.Context, net *comm.Network, locals []Vec,
 			}
 		}
 	}
+	if net.HasRemote() && filt == nil {
+		return nil, ErrRestrictionNotExpressible
+	}
+	// As in ZHeavyHitters: all repetitions build first, issue through one
+	// pipelined RunRounds, and only then do the CP-side candidate scans.
+	repSeeds := make([]int64, zp.Reps)
+	parts := make([]*hashing.PolyHash, zp.Reps)
+	mergeds := make([][]*sketch.CountSketch, zp.Reps)
+	rounds := make([]comm.Round, zp.Reps)
+	for t := 0; t < zp.Reps; t++ {
+		repSeeds[t] = hashing.DeriveSeed(seed, uint64(9000+t))
+		parts[t] = hashing.SeededPolyHash(repSeeds[t], 2)
+		mergeds[t] = cpBucketSketches(locals, repSeeds[t], zp.Buckets, zp.Sketch, keep)
+		rounds[t] = bucketRound(locals, repSeeds[t], zp.Buckets, zp.Sketch, keep, filt, tag, mergeds[t])
+	}
+	if err := net.RunRounds(ctx, rounds); err != nil {
+		return nil, err
+	}
 	found := make(map[uint64]struct{})
 	for t := 0; t < zp.Reps; t++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err // abort checkpoint between bucketing repetitions
-		}
-		repSeed := hashing.DeriveSeed(seed, uint64(9000+t))
-		part := hashing.SeededPolyHash(repSeed, 2)
-
-		merged, err := bucketedSketches(ctx, net, locals, repSeed, zp.Buckets, zp.Sketch, keep, filt, tag)
-		if err != nil {
-			return nil, err
-		}
-
+		merged, part := mergeds[t], parts[t]
 		f2 := make([]float64, zp.Buckets)
 		for e := range merged {
 			f2[e] = merged[e].F2Estimate()

@@ -71,6 +71,51 @@ func CollectRawRow(ctx context.Context, net *comm.Network, locals []matrix.Mat, 
 	return sum, nil
 }
 
+// CollectRawRows assembles several exact global rows at the CP as one
+// pipelined sequence of OpRow rounds (RunRounds): every row request is
+// issued before any reply drains, coalescing into batch envelopes on
+// remote links. The ledger transcript is identical to calling
+// CollectRawRow once per index, in order — only the wire framing differs —
+// so batched draws stay inside the determinism contract.
+func CollectRawRows(ctx context.Context, net *comm.Network, locals []matrix.Mat, idxs []int, tag string) ([][]float64, error) {
+	d := locals[comm.CP].Cols()
+	sums := make([][]float64, len(idxs))
+	rounds := make([]comm.Round, len(idxs))
+	for q, i := range idxs {
+		sum, err := ops.Row(locals[comm.CP], i)
+		if err != nil {
+			return nil, err
+		}
+		sums[q] = sum
+		q, i := q, i
+		rounds[q] = comm.Round{
+			Op:       ops.OpRow,
+			Params:   ops.IndexParams(uint64(i)),
+			ReqTag:   tag,
+			RespTag:  tag,
+			RespKind: comm.KindRow,
+			Inline:   true,
+			Local: func(t int) ([]float64, error) {
+				return ops.Row(locals[t], i)
+			},
+			OnResp: func(t int, payload []float64) error {
+				if len(payload) != d {
+					return fmt.Errorf("samplers: row reply of %d words from server %d, want %d", len(payload), t, d)
+				}
+				dst := sums[q]
+				for c, v := range payload {
+					dst[c] += v
+				}
+				return nil
+			},
+		}
+	}
+	if err := net.RunRounds(ctx, rounds); err != nil {
+		return nil, err
+	}
+	return sums, nil
+}
+
 func validateLocals(locals []matrix.Mat) (n, d int, err error) {
 	if len(locals) == 0 || locals[comm.CP] == nil {
 		return 0, 0, errors.New("samplers: the CP's local share is required")
@@ -116,6 +161,24 @@ func (u *Uniform) Draw(ctx context.Context) (core.Sample, error) {
 		return core.Sample{}, err
 	}
 	return core.Sample{Row: i, QHat: 1 / float64(u.n), RawRow: raw}, nil
+}
+
+// DrawBatch implements core.BatchRowSampler: the indices are pure local
+// RNG, so they are all fixed first and the row collections pipeline.
+func (u *Uniform) DrawBatch(ctx context.Context, count int) ([]core.Sample, error) {
+	idxs := make([]int, count)
+	for q := range idxs {
+		idxs[q] = u.rng.Intn(u.n)
+	}
+	raws, err := CollectRawRows(ctx, u.net, u.locals, idxs, "sampler/rows")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Sample, count)
+	for q, raw := range raws {
+		out[q] = core.Sample{Row: idxs[q], QHat: 1 / float64(u.n), RawRow: raw}
+	}
+	return out, nil
 }
 
 // ZRow reduces ℓ2² row sampling of A = f(Σ_t A^t) to entry sampling with
@@ -171,6 +234,39 @@ func (s *ZRow) Draw(ctx context.Context) (core.Sample, error) {
 		return core.Sample{}, fmt.Errorf("samplers: zero Q̂ for sampled row %d", i)
 	}
 	return core.Sample{Row: i, QHat: qhat, RawRow: raw}, nil
+}
+
+// DrawBatch implements core.BatchRowSampler. The Z-sampler's entry draws
+// are local once the estimator is built (the fallback ladder included),
+// so all count indices are fixed up front — consuming the estimator's RNG
+// in exactly the order sequential draws would — and the row collections
+// pipeline as one RunRounds sequence.
+func (s *ZRow) DrawBatch(ctx context.Context, count int) ([]core.Sample, error) {
+	idxs := make([]int, count)
+	for q := range idxs {
+		j, err := s.est.Sample()
+		if err != nil {
+			return nil, err
+		}
+		idxs[q] = int(j / uint64(s.d))
+	}
+	raws, err := CollectRawRows(ctx, s.net, s.locals, idxs, "sampler/rows")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Sample, count)
+	for q, raw := range raws {
+		var num float64
+		for _, v := range raw {
+			num += s.z.Z(v)
+		}
+		qhat := num / s.est.ZHat()
+		if qhat <= 0 {
+			return nil, fmt.Errorf("samplers: zero Q̂ for sampled row %d", idxs[q])
+		}
+		out[q] = core.Sample{Row: idxs[q], QHat: qhat, RawRow: raw}
+	}
+	return out, nil
 }
 
 // ZRowLiteral is the literal reading of Algorithm 4: every draw rebuilds
@@ -315,6 +411,25 @@ func (e *Exact) Draw(ctx context.Context) (core.Sample, error) {
 		return core.Sample{}, err
 	}
 	return core.Sample{Row: i, QHat: e.probs[i], RawRow: raw}, nil
+}
+
+// DrawBatch implements core.BatchRowSampler: exact probabilities are
+// precomputed, so the indices are pure local RNG and the row collections
+// pipeline.
+func (e *Exact) DrawBatch(ctx context.Context, count int) ([]core.Sample, error) {
+	idxs := make([]int, count)
+	for q := range idxs {
+		idxs[q] = searchCum(e.cum, e.rng.Float64())
+	}
+	raws, err := CollectRawRows(ctx, e.net, e.locals, idxs, "sampler/rows")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Sample, count)
+	for q, raw := range raws {
+		out[q] = core.Sample{Row: idxs[q], QHat: e.probs[idxs[q]], RawRow: raw}
+	}
+	return out, nil
 }
 
 func searchCum(cum []float64, x float64) int {

@@ -121,15 +121,17 @@ func classIndex(zv, eps float64) int {
 	return int(math.Floor(math.Log(zv) / math.Log1p(eps)))
 }
 
-// collectValue runs one value-collection round and returns the exact
-// global value a_j = Σ_t a^t_j (line 6 / line 11 of Algorithm 3: "server 1
-// communicates with other servers to compute a_p"): the CP broadcasts the
-// coordinate (one word per server) and every server replies with its local
-// value (one word per server) — worker processes included, so the value
-// really crosses the wire.
-func collectValue(ctx context.Context, net *comm.Network, locals []hh.Vec, j uint64, tag string) (float64, error) {
-	sum := locals[comm.CP].At(j)
-	err := net.RunRound(ctx, comm.Round{
+// valueRound builds one value-collection round for coordinate j (line 6 /
+// line 11 of Algorithm 3: "server 1 communicates with other servers to
+// compute a_p"): the CP broadcasts the coordinate (one word per server)
+// and every server replies with its local value (one word per server) —
+// worker processes included, so the value really crosses the wire. The
+// global value a_j = Σ_t a^t_j accumulates into *sum, which must already
+// hold the CP's own contribution. Value rounds are mutually independent,
+// so callers batch them through one pipelined RunRounds per recovery
+// phase instead of paying a wire round-trip per coordinate.
+func valueRound(locals []hh.Vec, j uint64, tag string, sum *float64) comm.Round {
+	return comm.Round{
 		Op:       ops.OpValue,
 		Params:   ops.IndexParams(j),
 		ReqTag:   tag,
@@ -145,11 +147,10 @@ func collectValue(ctx context.Context, net *comm.Network, locals []hh.Vec, j uin
 			if len(payload) != 1 {
 				return fmt.Errorf("zsampler: value reply of %d words from server %d", len(payload), t)
 			}
-			sum += payload[0]
+			*sum += payload[0]
 			return nil
 		},
-	})
-	return sum, err
+	}
 }
 
 // BuildEstimator runs the Z-estimator protocol (Algorithm 3) over the
@@ -200,18 +201,44 @@ func BuildEstimator(ctx context.Context, net *comm.Network, locals []hh.Vec, z f
 	// D_j is the union over repetitions — double-counting a coordinate
 	// recovered by two repetitions would double every size estimate.
 	recovered := make(map[int]map[uint64]struct{})
-	record := func(j uint64, level int) error {
+	// Value collection is deferred: record queues each newly recovered
+	// coordinate (in first-appearance order, deduplicated against both the
+	// collected list and the queue) and flushValues issues all queued
+	// rounds through one pipelined RunRounds. The per-coordinate rounds,
+	// their order and the ledger are exactly what per-recovery collectValue
+	// calls produced — only the wire framing batches.
+	var pending []uint64
+	pendingSet := make(map[uint64]struct{})
+	record := func(j uint64, level int) {
 		if _, seen := est.list[j]; !seen {
-			v, err := collectValue(ctx, net, locals, j, "zest/values")
-			if err != nil {
-				return err
+			if _, queued := pendingSet[j]; !queued {
+				pendingSet[j] = struct{}{}
+				pending = append(pending, j)
 			}
-			est.list[j] = v
 		}
 		if recovered[level] == nil {
 			recovered[level] = make(map[uint64]struct{})
 		}
 		recovered[level][j] = struct{}{}
+	}
+	flushValues := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		sums := make([]float64, len(pending))
+		rounds := make([]comm.Round, len(pending))
+		for i, j := range pending {
+			sums[i] = locals[comm.CP].At(j)
+			rounds[i] = valueRound(locals, j, "zest/values", &sums[i])
+		}
+		if err := net.RunRounds(ctx, rounds); err != nil {
+			return err
+		}
+		for i, j := range pending {
+			est.list[j] = sums[i]
+		}
+		pending = pending[:0]
+		clear(pendingSet)
 		return nil
 	}
 
@@ -221,9 +248,10 @@ func BuildEstimator(ctx context.Context, net *comm.Network, locals []hh.Vec, z f
 		return nil, err
 	}
 	for _, j := range d0 {
-		if err := record(j, -1); err != nil {
-			return nil, err
-		}
+		record(j, -1)
+	}
+	if err := flushValues(); err != nil {
+		return nil, err
 	}
 
 	// Step 2 (lines 7–13): subsampled levels. The level-set hash g is
@@ -296,10 +324,11 @@ func BuildEstimator(ctx context.Context, net *comm.Network, locals []hh.Vec, z f
 		}
 		net.Join(forks[i])
 		for _, j := range djs[i] {
-			if err := record(j, task.lev); err != nil {
-				return nil, err
-			}
+			record(j, task.lev)
 		}
+	}
+	if err := flushValues(); err != nil {
+		return nil, err
 	}
 
 	// Step 3 (lines 6 and 12): class size estimates ŝ_i from the per-level

@@ -58,6 +58,7 @@ func benchJobsBatch(b *testing.B, c *Cluster, conc int) {
 	total := float64(b.N * jobBatch)
 	b.ReportMetric(total/elapsed.Seconds(), "jobs/sec")
 	b.ReportMetric(float64(words), "words/job")
+	b.ReportMetric(float64(c.net.BatchSize()), "batch_size")
 }
 
 func benchJobsMem(b *testing.B, conc int) {

@@ -74,6 +74,15 @@ func WithSeed(seed int64) Option { return optionFunc(func(o *Options) { o.Seed =
 // any worker count.
 func WithWorkers(w int) Option { return optionFunc(func(o *Options) { o.Workers = w }) }
 
+// WithBatchSize shapes how many pipelined same-destination request
+// frames coalesce into one wire batch envelope on a TCP cluster: 0 (the
+// default) lets every pipelined sequence travel as one envelope per
+// link, 1 disables batching (every frame is its own write), k > 1
+// flushes an envelope every k frames. Purely a wire-framing knob — the
+// word/byte ledger and the transcript are bit-identical at every
+// setting, and in-process clusters ignore it entirely.
+func WithBatchSize(k int) Option { return optionFunc(func(o *Options) { o.BatchSize = k }) }
+
 // WithBackend converts the shares' storage representation for this run
 // (BackendAuto keeps them as installed). Results are identical under
 // every backend.

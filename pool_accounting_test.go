@@ -1,0 +1,45 @@
+package repro
+
+// Frame-buffer lifecycle audit: every pooled buffer the fabric checks out
+// must come back, including on the abort and teardown paths a mid-run
+// cancellation exercises. The comm pool counts every getBuf/putBuf
+// (comm.PoolStats), so after a full TCP cancel scenario tears down —
+// sessions aborted, clusters closed, worker goroutines exited — the
+// get/put deltas must balance or a path is leaking frames.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// TestPoolAccountingCancelTCP runs the full mid-run-cancellation
+// determinism gate over TCP (the same scenario as TestCancelMidRunTCP,
+// which stresses OpAbort teardown, envelope splitting and session drains)
+// and asserts the pool returned every buffer it handed out. Worker
+// goroutines wind down asynchronously after Close, so the balance is
+// polled rather than read once.
+func TestPoolAccountingCancelTCP(t *testing.T) {
+	gets0, puts0 := comm.PoolStats()
+	cancelDeterminismGate(t, func(t *testing.T) *Cluster {
+		return tcpCluster(t, 3)
+	})
+
+	deadline := time.After(10 * time.Second)
+	for {
+		gets, puts := comm.PoolStats()
+		dg, dp := gets-gets0, puts-puts0
+		if dg == dp {
+			if dg == 0 {
+				t.Fatal("scenario moved no pooled buffers — the audit measured nothing")
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("pool unbalanced after teardown: %d gets vs %d puts (leak of %d buffers)", dg, dp, dg-dp)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

@@ -234,6 +234,11 @@ type Options struct {
 	// Deadline bounds the job's wall clock from submission; 0 means no
 	// bound (see WithDeadline).
 	Deadline time.Duration
+	// BatchSize shapes the wire batching of pipelined request frames on a
+	// TCP cluster: 0 = default (one envelope per pipelined sequence per
+	// link), 1 = no batching, k > 1 = flush every k frames. The ledger and
+	// transcript are identical at every setting (see WithBatchSize).
+	BatchSize int
 }
 
 // Result is the outcome of a distributed PCA.
@@ -799,6 +804,11 @@ func (c *Cluster) execute(j *Job) (*Result, error) {
 		return nil, err
 	}
 	defer sess.Close()
+	if j.opts.BatchSize != 0 {
+		// A wire-framing knob only: the session's ledger and transcript
+		// are identical at every batch size.
+		sess.SetBatchSize(j.opts.BatchSize)
+	}
 	defer func() {
 		c.mu.Lock()
 		c.jobWords += sess.Words()

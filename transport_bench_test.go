@@ -41,6 +41,10 @@ func runTransportPCA(b *testing.B, c *Cluster) {
 	}
 	b.ReportMetric(float64(res.Words), "words/run")
 	b.ReportMetric(float64(res.Bytes), "wire_bytes")
+	// The wire-batching configuration the run used (0 = unlimited per
+	// pipelined sequence), so a perf snapshot pins down its transport
+	// config alongside its numbers.
+	b.ReportMetric(float64(c.net.BatchSize()), "batch_size")
 }
 
 func BenchmarkTransportPCAMem(b *testing.B) {
@@ -101,7 +105,9 @@ func BenchmarkTransportFrameCodec(b *testing.B) {
 
 func frameCodecRoundTrip(b *testing.B, payload []float64) {
 	f := &comm.Frame{Kind: comm.KindSketch, From: 1, To: 0, Tag: "bench/sketch", Words: comm.FloatWords(payload)}
-	dec, err := comm.DecodeFrame(comm.EncodeFrame(f))
+	enc := comm.EncodeFrame(f)
+	dec, err := comm.DecodeFrame(enc)
+	comm.ReleaseFrame(enc)
 	if err != nil {
 		b.Fatal(err)
 	}
