@@ -30,16 +30,18 @@ bench: bench-smoke
 # dense-vs-CSR storage backend benchmarks, the mem-vs-TCP-loopback
 # transport benchmarks (ns/op, B/op, wire_bytes), the job-engine
 # throughput benchmarks (jobs/sec at 1/4/16 concurrent sessions, both
-# transports) and the mid-run cancellation-latency benchmarks (cancel-ns:
-# Cancel landing on a running job → engine idle again, mem vs TCP),
-# rendered as JSON records (op, iterations, ns/op, B/op, custom metrics)
-# for machine comparison across PRs.
+# transports), the mid-run cancellation-latency benchmarks (cancel-ns:
+# Cancel landing on a running job → engine idle again, mem vs TCP) and
+# the incremental-maintenance benchmarks (AppendThenQuery: warm re-query
+# after a ≤1% append vs cold full re-install, delta_rows/warm_hit
+# metrics, mem vs TCP), rendered as JSON records (op, iterations, ns/op,
+# B/op, custom metrics) for machine comparison across PRs.
 # Staged through temp files so a failing bench run (or an empty
 # measurement set, which dlra-benchjson rejects) fails the target without
 # truncating an existing BENCH_JSON snapshot.
-BENCH_JSON ?= BENCH_pr7.json
+BENCH_JSON ?= BENCH_pr8.json
 bench-json:
-	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput|CancelLatency|FrameEncodeDecode' \
+	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput|CancelLatency|FrameEncodeDecode|AppendThenQuery' \
 		-benchmem -benchtime=3x . ./internal/comm > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
 	$(GO) run ./cmd/dlra-benchjson < $(BENCH_JSON).txt > $(BENCH_JSON).tmp || \
 		{ rm -f $(BENCH_JSON).txt $(BENCH_JSON).tmp; exit 1; }
@@ -68,6 +70,11 @@ smoke-tcp:
 	$(SMOKE_DIR)/dlra-pca -input $(SMOKE_DIR)/fc.bin -k 5 -servers 3 -seed 7 \
 		-transport tcp -tcp-listen $(SMOKE_ADDR) -tcp-spawn=false -batch $(SMOKE_BATCH) \
 		-sweep-rows 16,32 && wait
+	$(SMOKE_DIR)/dlra-worker -join $(SMOKE_ADDR) -batch $(SMOKE_BATCH) & \
+	$(SMOKE_DIR)/dlra-worker -join $(SMOKE_ADDR) -batch $(SMOKE_BATCH) & \
+	$(SMOKE_DIR)/dlra-pca -input $(SMOKE_DIR)/fc.bin -k 5 -servers 3 -seed 7 \
+		-transport tcp -tcp-listen $(SMOKE_ADDR) -tcp-spawn=false -batch $(SMOKE_BATCH) \
+		-rows 16 -append-sweep 8,8 && wait
 
 # Job-engine deployment smoke: dlra-serve as a real HTTP service over a
 # loopback TCP cluster (coordinator + 2 spawned worker processes), driven

@@ -1,0 +1,164 @@
+package repro
+
+// Incremental-maintenance benchmarks: the cost of answering a query after
+// a small append (≤ 1% of the dataset) on a warm cluster — delta shipped,
+// warm sketches folded forward — against the cold alternative of
+// re-installing the full grown matrix and rebuilding every sketch from row
+// zero. BENCH_pr8.json records both paths per transport:
+//
+//	ns/op        — wall time per append+query (warm) / install+query (cold)
+//	delta_rows   — rows moved per op (the appended batch vs the full height)
+//	delta_words  — words charged under the delta tag per op (warm only)
+//	warm_hit     — warm store serves answered from cache per op
+//	folded_rows  — rows ingested via the fold-forward path per op
+//
+// Regenerate with: make bench-json
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+const (
+	appendBenchN     = 9216 // installed height: ingestion-dominated regime
+	appendBenchD     = 24
+	appendBenchS     = 6
+	appendBenchDelta = 16 // ≈ 0.2% of the installed height
+	// appendBenchBudget fixes the sampler's sketch budget independently of
+	// the installed height: sketch geometry (and with it the per-query
+	// estimation cost both paths share) stays constant, so the two paths
+	// differ only in ingestion — exactly the work incremental maintenance
+	// claims to save.
+	appendBenchBudget = 3072 * 24
+)
+
+// benchAppendOpts pins the sampler budget so the z-sampler parameter
+// ladder — and with it the warm sketch keys — stays put while the dataset
+// grows across iterations.
+func benchAppendOpts(dataset string) Options {
+	return Options{K: 3, Rows: 8, Seed: 4242, Dataset: dataset,
+		SamplerBudget: appendBenchBudget}
+}
+
+// benchmarkAppendThenQuery runs the warm and cold variants on clusters
+// from the same factory. Huber selects the z-sampler (the sketch-heavy
+// protocol), so the warm store has real ingestion work to save.
+func benchmarkAppendThenQuery(b *testing.B, newCluster func(b *testing.B) *Cluster) {
+	base := benchShares(appendBenchN, appendBenchD, appendBenchS, 21)
+	delta := rowsOf(benchShares(appendBenchDelta, appendBenchD, appendBenchS, 22), 0, appendBenchDelta)
+
+	b.Run("warm", func(b *testing.B) {
+		c := newCluster(b)
+		defer c.Close()
+		if err := c.InstallDataset(context.Background(), "warm", rowsOf(base, 0, appendBenchN)); err != nil {
+			b.Fatal(err)
+		}
+		opts := benchAppendOpts("warm")
+		if _, err := c.PCA(context.Background(), Huber(1.5), opts); err != nil {
+			b.Fatal(err)
+		}
+		ws0, err := c.WarmStats("warm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		dw0 := c.Breakdown()["delta/append"]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.AppendRows(context.Background(), "warm", delta); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.PCA(context.Background(), Huber(1.5), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		ws, err := c.WarmStats("warm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := float64(b.N)
+		b.ReportMetric(appendBenchDelta, "delta_rows")
+		b.ReportMetric(float64(c.Breakdown()["delta/append"]-dw0)/n, "delta_words")
+		b.ReportMetric(float64(ws.Hits-ws0.Hits)/n, "warm_hit")
+		b.ReportMetric(float64(ws.FoldedRows-ws0.FoldedRows)/n, "folded_rows")
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		c := newCluster(b)
+		defer c.Close()
+		// The cold path answers the same logical question — "query the
+		// grown matrix" — by installing all appendBenchN+delta rows fresh
+		// (a new dataset id per iteration defeats the share cache) and
+		// letting the sketches rebuild from row zero.
+		grown := make([]*Matrix, appendBenchS)
+		for t := range grown {
+			nm, err := matrixAppendRef(base[t], delta[t])
+			if err != nil {
+				b.Fatal(err)
+			}
+			grown[t] = nm
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := fmt.Sprintf("cold-%d", i)
+			if err := c.InstallDataset(context.Background(), id, rowsOf(grown, 0, appendBenchN+appendBenchDelta)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.PCA(context.Background(), Huber(1.5), benchAppendOpts(id)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(appendBenchN+appendBenchDelta, "delta_rows")
+		b.ReportMetric(0, "warm_hit")
+	})
+}
+
+// matrixAppendRef stacks delta below m without going through the cluster.
+func matrixAppendRef(m *Matrix, delta Mat) (*Matrix, error) {
+	out := NewMatrix(m.Rows()+delta.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		out.SetRow(i, m.Row(i))
+	}
+	row := make([]float64, m.Cols())
+	for i := 0; i < delta.Rows(); i++ {
+		for j := range row {
+			row[j] = 0
+		}
+		delta.RowNNZ(i, func(j int, v float64) { row[j] = v })
+		out.SetRow(m.Rows()+i, row)
+	}
+	return out, nil
+}
+
+func BenchmarkAppendThenQueryMem(b *testing.B) {
+	benchmarkAppendThenQuery(b, func(b *testing.B) *Cluster {
+		c, err := NewCluster(appendBenchS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	})
+}
+
+func BenchmarkAppendThenQueryTCP(b *testing.B) {
+	benchmarkAppendThenQuery(b, func(b *testing.B) *Cluster {
+		c, err := ListenCluster(appendBenchS, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 1; i < appendBenchS; i++ {
+			go func() {
+				if err := JoinWorker(testCtx(time.Minute), c.Addr()); err != nil {
+					b.Errorf("worker: %v", err)
+				}
+			}()
+		}
+		if err := c.AwaitWorkers(testCtx(time.Minute)); err != nil {
+			b.Fatal(err)
+		}
+		return c
+	})
+}

@@ -1,0 +1,419 @@
+package repro
+
+// Incremental-maintenance gates for the streaming API: a query issued
+// after any number of AppendRows deltas must be indistinguishable — words,
+// bytes, per-tag ledger, sampled rows and projection, bit for bit — from
+// the same query after a one-shot install of the final matrix, on both
+// transports, at every batch size and under every storage backend. Plus
+// the fingerprint-chaining cache contract, the update fold's mem/TCP
+// agreement, the delta API's error surface, and the pool-balance audit of
+// an append-heavy run.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// rowsOf copies rows [lo,hi) of every share in a roster — the prefix and
+// delta slices the streaming tests install and append.
+func rowsOf(shares []*Matrix, lo, hi int) []Mat {
+	out := make([]Mat, len(shares))
+	for t, m := range shares {
+		w := NewMatrix(hi-lo, m.Cols())
+		for i := lo; i < hi; i++ {
+			w.SetRow(i-lo, m.Row(i))
+		}
+		out[t] = w
+	}
+	return out
+}
+
+// mustMatchFingerprint asserts two job fingerprints are bit-identical in
+// every observable the determinism contract names.
+func mustMatchFingerprint(t *testing.T, want, got jobFingerprint, label string) {
+	t.Helper()
+	if want.words != got.words || want.bytes != got.bytes {
+		t.Fatalf("%s: ledger drifted: want %d words/%d bytes, got %d/%d",
+			label, want.words, want.bytes, got.words, got.bytes)
+	}
+	for tag, w := range want.tags {
+		if got.tags[tag] != w {
+			t.Fatalf("%s: per-tag words drifted at %q: want %d, got %d", label, tag, w, got.tags[tag])
+		}
+	}
+	if len(want.tags) != len(got.tags) {
+		t.Fatalf("%s: tag sets differ: want %v, got %v", label, want.tags, got.tags)
+	}
+	for i := range want.rows {
+		if want.rows[i] != got.rows[i] {
+			t.Fatalf("%s: sampled rows drifted", label)
+		}
+	}
+	if !want.proj.Equalf(got.proj, 0) {
+		t.Fatalf("%s: projection drifted", label)
+	}
+}
+
+// appendDeterminismGate is the tentpole acceptance gate: install a prefix,
+// run a warm-up query (so the appended rows later go through the warm fold
+// path, not a cold rebuild), append several delta batches querying after
+// each, and require the final query to match the same query on a fresh
+// cluster holding the one-shot install of the final matrix.
+func appendDeterminismGate(t *testing.T, newCluster func(t *testing.T) *Cluster, opts Options) {
+	t.Helper()
+	const s, d, n0 = 3, 7, 48
+	batches := []int{5, 1, 10}
+	n := n0
+	for _, b := range batches {
+		n += b
+	}
+	full := jobShares(91, n, d, s)
+	// Pin the sampler budget so the z-sampler parameter ladder — and with
+	// it the warm sketch keys — is identical at the prefix and final
+	// heights; without the pin the warm-up entries would simply miss.
+	opts.SamplerBudget = int64(n * d)
+
+	ref := newCluster(t)
+	defer ref.Close()
+	if err := ref.InstallDataset(context.Background(), "stream", rowsOf(full, 0, n)); err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := ref.PCA(testCtx(time.Minute), Huber(1.5), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprintResult(wantRes)
+
+	str := newCluster(t)
+	defer str.Close()
+	if err := str.InstallDataset(context.Background(), "stream", rowsOf(full, 0, n0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := str.PCA(testCtx(time.Minute), Huber(1.5), opts); err != nil {
+		t.Fatal(err)
+	}
+	off := n0
+	var gotRes *Result
+	for _, b := range batches {
+		if err := str.AppendRows(context.Background(), "stream", rowsOf(full, off, off+b)); err != nil {
+			t.Fatal(err)
+		}
+		off += b
+		gotRes, err = str.PCA(testCtx(time.Minute), Huber(1.5), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustMatchFingerprint(t, want, fingerprintResult(gotRes), "append vs one-shot")
+
+	// The equality must have come from warm serving, not silent cold
+	// rebuilds: the hosted stores must report fold-forward activity.
+	ws, err := str.WarmStats("stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Hits == 0 || ws.FoldedRows == 0 {
+		t.Fatalf("streaming queries never served warm: %+v", ws)
+	}
+	// And the delta traffic must be visible on the cluster ledger under its
+	// own tag, proportional to delta rows only.
+	if got := str.Breakdown()["delta/append"]; got <= 0 || got >= int64(n*d) {
+		t.Fatalf("delta/append charged %d words, want in (0, %d)", got, n*d)
+	}
+}
+
+// TestAppendDeterminismGateMem runs the gate on in-process clusters under
+// every storage backend (per-run conversion covers dense, CSR and fast).
+func TestAppendDeterminismGateMem(t *testing.T) {
+	for _, bk := range []struct {
+		name string
+		b    Backend
+	}{{"auto", BackendAuto}, {"dense", BackendDense}, {"csr", BackendCSR}, {"fast", BackendFast}} {
+		t.Run(bk.name, func(t *testing.T) {
+			appendDeterminismGate(t, func(t *testing.T) *Cluster {
+				return mustCluster(t, 3)
+			}, Options{K: 3, Rows: 12, Seed: 777, Backend: bk.b})
+		})
+	}
+}
+
+// TestAppendDeterminismGateTCP runs the gate over real TCP worker fleets
+// at the three canonical wire batch sizes (1 = batching off, 8 = flush
+// every 8 frames, 0 = unbounded coalescing).
+func TestAppendDeterminismGateTCP(t *testing.T) {
+	for _, batch := range []int{1, 8, 0} {
+		t.Run(map[int]string{1: "batch1", 8: "batch8", 0: "batch0"}[batch], func(t *testing.T) {
+			appendDeterminismGate(t, func(t *testing.T) *Cluster {
+				return tcpCluster(t, 3)
+			}, Options{K: 3, Rows: 12, Seed: 777, BatchSize: batch})
+		})
+	}
+}
+
+// TestFingerprintChaining is the registry cache contract: after appends,
+// re-installing the dataset's final matrix under the same id must be
+// recognized as already resident — nil error, zero additional install
+// frames — because the chained fingerprint equals the from-scratch
+// fingerprint of the final content. Listings must report the chained
+// fingerprint and the current (grown) row count.
+func TestFingerprintChaining(t *testing.T) {
+	const s, d, n0, n = 3, 6, 56, 64
+	full := jobShares(97, n, d, s)
+
+	c := tcpCluster(t, s)
+	defer c.Close()
+	if err := c.InstallDataset(context.Background(), "chain", rowsOf(full, 0, n0)); err != nil {
+		t.Fatal(err)
+	}
+	frames := c.coord.InstallFrames()
+	if frames == 0 {
+		t.Fatal("prefix install moved no frames")
+	}
+	if err := c.AppendRows(context.Background(), "chain", rowsOf(full, n0, n0+4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendRows(context.Background(), "chain", rowsOf(full, n0+4, n)); err != nil {
+		t.Fatal(err)
+	}
+
+	infos := c.Datasets()
+	if len(infos) != 1 {
+		t.Fatalf("dataset listing wrong: %+v", infos)
+	}
+	info := infos[0]
+	if info.Rows != n || info.AppendedRows != n-n0 {
+		t.Fatalf("listing reports %d rows (%d appended), want %d (%d)", info.Rows, info.AppendedRows, n, n-n0)
+	}
+	if info.Fingerprint == 0 || info.LastAppend.IsZero() {
+		t.Fatalf("listing missing delta metadata: %+v", info)
+	}
+
+	// Cache hit: the one-shot final matrix has the chained fingerprint.
+	if err := c.InstallDataset(context.Background(), "chain", rowsOf(full, 0, n)); err != nil {
+		t.Fatalf("re-install of appended dataset's final matrix: %v", err)
+	}
+	if got := c.coord.InstallFrames(); got != frames {
+		t.Fatalf("re-install moved %d install frames, want 0 — fingerprint chain broken", got-frames)
+	}
+	// Content-addressing sanity: a fresh cluster installing the same final
+	// matrix from scratch derives the identical fingerprint.
+	m := mustCluster(t, s)
+	defer m.Close()
+	if err := m.InstallDataset(context.Background(), "chain", rowsOf(full, 0, n)); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Datasets()[0].Fingerprint; got != info.Fingerprint {
+		t.Fatalf("chained fingerprint %#x != from-scratch fingerprint %#x", info.Fingerprint, got)
+	}
+	// Different content under the same id must still conflict.
+	if err := c.InstallDataset(context.Background(), "chain", rowsOf(full, 0, n0)); !errors.Is(err, ErrDatasetConflict) {
+		t.Fatalf("conflicting reinstall after appends: %v", err)
+	}
+}
+
+// TestUpdateRowsMemTCPAgree: after the same UpdateRows delta, a mem
+// cluster and a TCP cluster must produce bit-identical query transcripts
+// (both fold the identical chunked delta sequence into their warm
+// sketches), and re-installing the updated content must hit the cache via
+// the rechained fingerprint.
+func TestUpdateRowsMemTCPAgree(t *testing.T) {
+	const s, d, n = 3, 6, 60
+	full := jobShares(98, n, d, s)
+	repl := jobShares(99, 4, d, s)
+	idx := []int{0, 7, 7, 59} // duplicate index: last-wins on every path
+	opts := Options{K: 3, Rows: 12, Seed: 321, SamplerBudget: int64(n * d)}
+
+	run := func(c *Cluster) jobFingerprint {
+		t.Helper()
+		if err := c.InstallDataset(context.Background(), "upd", rowsOf(full, 0, n)); err != nil {
+			t.Fatal(err)
+		}
+		// Warm-up so the update exercises the eager fold, not a cold build.
+		if _, err := c.PCA(testCtx(time.Minute), Huber(1.5), opts); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.UpdateRows(context.Background(), "upd", idx, rowsOf(repl, 0, len(idx))); err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.PCA(testCtx(time.Minute), Huber(1.5), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprintResult(res)
+	}
+
+	mem := mustCluster(t, s)
+	defer mem.Close()
+	want := run(mem)
+
+	tc := tcpCluster(t, s)
+	defer tc.Close()
+	got := run(tc)
+	mustMatchFingerprint(t, want, got, "update mem vs TCP")
+
+	// The update must have been charged under its own tag on both fabrics,
+	// identically.
+	mw, tw := mem.Breakdown()["delta/update"], tc.Breakdown()["delta/update"]
+	if mw <= 0 || mw != tw {
+		t.Fatalf("delta/update charged %d words on mem, %d on TCP", mw, tw)
+	}
+
+	// Rechained fingerprint: the updated content re-installs as a cache hit.
+	frames := tc.coord.InstallFrames()
+	final := make([]Mat, s)
+	for t2 := 0; t2 < s; t2++ {
+		nm, err := matrixUpdateRef(full[t2], idx, repl[t2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		final[t2] = nm
+	}
+	if err := tc.InstallDataset(context.Background(), "upd", final); err != nil {
+		t.Fatalf("re-install of updated dataset's final matrix: %v", err)
+	}
+	if got := tc.coord.InstallFrames(); got != frames {
+		t.Fatalf("re-install after update moved %d frames, want 0", got-frames)
+	}
+}
+
+// matrixUpdateRef builds the expected post-update share without going
+// through the cluster: a dense copy with idx-selected rows overwritten,
+// duplicates last-wins.
+func matrixUpdateRef(m *Matrix, idx []int, repl *Matrix) (Mat, error) {
+	out := NewMatrix(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		out.SetRow(i, m.Row(i))
+	}
+	for k, i := range idx {
+		if i < 0 || i >= m.Rows() {
+			return nil, errors.New("index out of range")
+		}
+		out.SetRow(i, repl.Row(k))
+	}
+	return out, nil
+}
+
+// TestDeltaAPIErrors pins the delta entry points' error surface: every
+// malformed request is refused with a typed error before anything ships,
+// leaving the dataset untouched.
+func TestDeltaAPIErrors(t *testing.T) {
+	const s, d, n = 2, 5, 20
+	full := jobShares(41, n+4, d, s)
+	c := mustCluster(t, s)
+	defer c.Close()
+	if err := c.InstallDataset(context.Background(), "base", rowsOf(full, 0, n)); err != nil {
+		t.Fatal(err)
+	}
+	delta := rowsOf(full, n, n+2)
+
+	if err := c.AppendRows(context.Background(), "ghost", delta); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("append to unknown dataset: %v", err)
+	}
+	if err := c.AppendRows(context.Background(), "base", delta[:1]); err == nil {
+		t.Fatal("wrong delta share count accepted")
+	}
+	if err := c.AppendRows(context.Background(), "base", []Mat{delta[0], nil}); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("nil delta share: %v", err)
+	}
+	if err := c.AppendRows(context.Background(), "base", []Mat{NewMatrix(2, d), NewMatrix(3, d)}); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("ragged delta roster: %v", err)
+	}
+	if err := c.AppendRows(context.Background(), "base", []Mat{NewMatrix(2, d+1), NewMatrix(2, d+1)}); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("column-count mismatch: %v", err)
+	}
+	if err := c.UpdateRows(context.Background(), "base", []int{0}, delta); !errors.Is(err, ErrShapeMismatch) {
+		t.Fatalf("row/index count mismatch: %v", err)
+	}
+	if err := c.UpdateRows(context.Background(), "base", []int{n}, rowsOf(full, n, n+1)); err == nil {
+		t.Fatal("out-of-range update index accepted")
+	}
+	// A canceled ctx aborts the delta before publication: the listing keeps
+	// the old row count.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.AppendRows(canceled, "base", delta); !errors.Is(err, context.Canceled) {
+		t.Fatalf("append under canceled ctx: %v", err)
+	}
+	if got := c.Datasets()[0].Rows; got != n {
+		t.Fatalf("aborted append changed row count to %d", got)
+	}
+	// Zero-row deltas are complete no-ops.
+	if err := c.AppendRows(context.Background(), "base", rowsOf(full, n, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UpdateRows(context.Background(), "base", nil, rowsOf(full, n, n)); err != nil {
+		t.Fatal(err)
+	}
+	if info := c.Datasets()[0]; info.Rows != n || info.AppendedRows != 0 {
+		t.Fatalf("zero-row delta perturbed the dataset: %+v", info)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendRows(context.Background(), "base", delta); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+	if _, err := c.WarmStats("base"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WarmStats after close: %v", err)
+	}
+}
+
+// TestPoolAccountingAppend mirrors the cancel-path pool audit for the
+// delta paths: after an append-heavy run — interleaved appends and warm
+// queries, a delta aborted mid-append by ctx cancellation, and a job
+// canceled mid-run on the appended dataset — every pooled frame buffer the
+// fabric handed out must come back.
+func TestPoolAccountingAppend(t *testing.T) {
+	gets0, puts0 := comm.PoolStats()
+	func() {
+		const s, d, n0, n = 3, 8, 40, 80
+		full := jobShares(42, n+16, d, s)
+		c := tcpCluster(t, s)
+		defer c.Close()
+		if err := c.InstallDataset(context.Background(), "pool", rowsOf(full, 0, n0)); err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{K: 3, Rows: 12, Seed: 99, SamplerBudget: int64(n * d)}
+		if _, err := c.PCA(testCtx(time.Minute), Huber(1.5), opts); err != nil {
+			t.Fatal(err)
+		}
+		for off := n0; off < n; off += 10 {
+			if err := c.AppendRows(context.Background(), "pool", rowsOf(full, off, off+10)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.PCA(testCtx(time.Minute), Huber(1.5), opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Abort one delta mid-flight.
+		canceled, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := c.AppendRows(canceled, "pool", rowsOf(full, n, n+16)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("append under canceled ctx: %v", err)
+		}
+		// And cancel a job mid-run against the appended dataset.
+		j := submitCancelAt(t, c, 3)
+		assertCanceled(t, j)
+	}()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		gets, puts := comm.PoolStats()
+		dg, dp := gets-gets0, puts-puts0
+		if dg == dp {
+			if dg == 0 {
+				t.Fatal("scenario moved no pooled buffers — the audit measured nothing")
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("pool unbalanced after teardown: %d gets vs %d puts (leak of %d buffers)", dg, dp, dg-dp)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

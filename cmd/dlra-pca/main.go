@@ -65,6 +65,7 @@ func main() {
 	tcpListen := flag.String("tcp-listen", "127.0.0.1:0", "coordinator listen address for -transport tcp")
 	tcpSpawn := flag.Bool("tcp-spawn", true, "spawn s−1 worker processes by re-executing this binary (false: wait for external dlra-worker processes)")
 	sweepRows := flag.String("sweep-rows", "", "comma-separated sample counts: run one protocol execution per r on the same cluster")
+	appendSweep := flag.String("append-sweep", "", "comma-separated row counts: hold back their sum, install the prefix, then append each batch and re-query — exercising delta installation, warm sketch folding and fingerprint chaining")
 	jobs := flag.Int("jobs", 0, "fire N concurrent queries through the job engine (per-job seeds derive from (seed, jobID)) and report throughput")
 	jobConc := flag.Int("job-concurrency", 4, "engine runner pool size for -jobs")
 	batch := flag.Int("batch", 0, "wire batch size for pipelined TCP frames (0 = unlimited per sequence, 1 = off, k = flush every k); never changes results or the ledger")
@@ -134,13 +135,36 @@ func main() {
 
 	cluster, cleanup := connect(*transport, *servers, *tcpListen, *tcpSpawn, *batch)
 	defer cleanup()
-	if err := cluster.SetLocalMats(shares); err != nil {
-		log.Fatal(err)
-	}
 
 	opts := repro.Options{
 		K: *k, Eps: *eps, Rows: *rows, Boost: *boost, Seed: *seed,
 		Workers: parallel.Workers(*workers), BatchSize: *batch,
+	}
+
+	if *appendSweep != "" {
+		// The sweep installs its own prefix dataset; shares built above are
+		// unused (append-sweep always runs the as-partitioned backend).
+		part := func(m *matrix.Dense) []*matrix.Dense {
+			var ls []*matrix.Dense
+			if *partition == "arbitrary" {
+				ls = robust.ArbitraryPartition(m, *servers, *seed+1)
+			} else {
+				ls = robust.RowPartition(m, *servers, *seed+1)
+			}
+			if strings.HasPrefix(*fnSpec, "gm:") {
+				p, _ := strconv.ParseFloat((*fnSpec)[3:], 64)
+				for t := range ls {
+					ls[t] = repro.PrepareGM(ls[t], p, *servers)
+				}
+			}
+			return ls
+		}
+		runAppendSweep(cluster, f, opts, *appendSweep, M, part, *transport)
+		return
+	}
+
+	if err := cluster.SetLocalMats(shares); err != nil {
+		log.Fatal(err)
 	}
 
 	if *jobs > 0 {
@@ -270,6 +294,94 @@ func runSweep(cluster *repro.Cluster, f repro.Func, opts repro.Options, spec, tr
 			r, (got-opt)/total, rel, res.Words, res.Bytes)
 	}
 }
+
+// runAppendSweep exercises the incremental-maintenance path end to end on
+// a live cluster: install a prefix of the matrix as its own dataset,
+// query it, then append the held-back row batches one at a time — each
+// append ships only the delta rows — re-querying after every batch.
+// Afterwards the full matrix is re-installed under the same dataset id:
+// by fingerprint chaining that must be a cache hit, or the run fails.
+func runAppendSweep(cl *repro.Cluster, f repro.Func, opts repro.Options, spec string,
+	M *matrix.Dense, part func(*matrix.Dense) []*matrix.Dense, transport string) {
+	var batches []int
+	hold := 0
+	for _, p := range strings.Split(spec, ",") {
+		b, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || b < 1 {
+			log.Fatalf("dlra-pca: bad -append-sweep entry %q", p)
+		}
+		batches = append(batches, b)
+		hold += b
+	}
+	n, d := M.Dims()
+	if hold >= n {
+		log.Fatalf("dlra-pca: -append-sweep holds back %d rows, input has only %d", hold, n)
+	}
+	rowsOf := func(lo, hi int) *matrix.Dense {
+		rr := make([][]float64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			rr = append(rr, M.Row(i))
+		}
+		return matrix.FromRows(rr)
+	}
+
+	const id = "append-sweep"
+	ctx := context.Background()
+	base := n - hold
+	shares := part(rowsOf(0, base))
+	if err := cl.InstallDataset(ctx, id, matrix.AsMats(shares)); err != nil {
+		log.Fatal(err)
+	}
+	opts.Dataset = id
+	finals := matrix.AsMats(shares) // grown alongside the appends, for the final re-install
+
+	fmt.Printf("append sweep (%s transport): %-8s %-8s %-10s %-12s %s\n",
+		transport, "rows", "delta", "words", "delta-words", "warm hit/miss/folded")
+	query := func(label string, delta int) {
+		before := cl.Breakdown()[deltaAppendTag]
+		res, err := cl.PCA(ctx, f, opts)
+		if err != nil {
+			log.Fatalf("dlra-pca: append-sweep query at %d rows: %v", base, err)
+		}
+		ws, err := cl.WarmStats(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("                            %-8s %-8d %-10d %-12d %d/%d/%d\n",
+			label, delta, res.Words, cl.Breakdown()[deltaAppendTag]-before, ws.Hits, ws.Misses, ws.FoldedRows)
+	}
+	query(fmt.Sprintf("%d", base), 0)
+	for _, b := range batches {
+		delta := part(rowsOf(base, base+b))
+		if err := cl.AppendRows(ctx, id, matrix.AsMats(delta)); err != nil {
+			log.Fatalf("dlra-pca: appending %d rows: %v", b, err)
+		}
+		for t := range finals {
+			nm, err := matrix.AppendRows(finals[t], delta[t])
+			if err != nil {
+				log.Fatal(err)
+			}
+			finals[t] = nm
+		}
+		base += b
+		query(fmt.Sprintf("%d", base), b)
+	}
+	if tot := cl.Breakdown()[deltaAppendTag]; tot > 0 {
+		fmt.Printf("delta traffic             : %d words under %q for %d appended rows (d=%d)\n",
+			tot, deltaAppendTag, hold, d)
+	}
+	// Fingerprint chain check: re-installing the final content under the
+	// same id must be recognized as already resident — a conflict here
+	// means the chained fingerprint diverged from the real content hash.
+	if err := cl.InstallDataset(ctx, id, finals); err != nil {
+		log.Fatalf("dlra-pca: fingerprint chain broken — re-install of the final matrix was not a cache hit: %v", err)
+	}
+	fmt.Println("fingerprint chain ok      : re-install of the final matrix was a cache hit")
+}
+
+// deltaAppendTag is the ledger tag AppendRows charges delta traffic under
+// (mirrors the repro package's internal constant).
+const deltaAppendTag = "delta/append"
 
 func parseFunc(spec string, servers int) (repro.Func, error) {
 	switch {

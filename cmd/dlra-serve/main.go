@@ -15,7 +15,15 @@
 // API:
 //
 //	GET  /healthz               → {"status":"ok"}
-//	GET  /v1/datasets           → installed datasets
+//	GET  /v1/datasets           → installed datasets (current row count,
+//	                              chained fingerprint, appended rows and
+//	                              last-append time per dataset)
+//	POST /v1/datasets/{id}/append → append implicit-matrix rows
+//	                              {"rows":[[…],…]}: the server partitions
+//	                              the delta exactly as the original matrix
+//	                              and ships only it (charged under
+//	                              "delta/append"). 404 for unknown ids,
+//	                              with the same error envelope as jobs
 //	GET  /v1/jobs               → all jobs with states
 //	POST /v1/jobs               → submit {"dataset","fn","k","eps","rows","boost","seed"}
 //	GET  /v1/jobs/{id}          → one job's state: live protocol progress
@@ -39,6 +47,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -113,7 +122,8 @@ func main() {
 		log.Printf("installed dataset %q (%dx%d across %d servers)", id, n, d, *servers)
 	}
 
-	srv := &server{cluster: cluster, batch: *batch, jobs: make(map[uint64]*jobRecord)}
+	srv := &server{cluster: cluster, batch: *batch, jobs: make(map[uint64]*jobRecord),
+		partition: *partition, servers: *servers, seed: *seed}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("dlra-serve: listen %s: %v", *addr, err)
@@ -174,9 +184,14 @@ const maxRetainedJobs = 1024
 type server struct {
 	cluster *repro.Cluster
 	batch   int // wire batch size applied to every submitted job
-	mu      sync.Mutex
-	jobs    map[uint64]*jobRecord
-	order   []uint64 // submission order, for eviction
+	// partition/servers/seed reproduce the installation-time share split,
+	// so appended rows partition exactly as the original matrix did.
+	partition string
+	servers   int
+	seed      int64
+	mu        sync.Mutex
+	jobs      map[uint64]*jobRecord
+	order     []uint64 // submission order, for eviction
 }
 
 // retain records a new job and evicts the oldest finished records beyond
@@ -234,6 +249,7 @@ func (s *server) routes() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	mux.HandleFunc("/v1/datasets/", s.handleDatasetAppend)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
 	return mux
@@ -255,6 +271,64 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.cluster.Datasets())
+}
+
+// appendRequest is the POST /v1/datasets/{id}/append body: dense rows of
+// the implicit matrix to append. The server partitions them across the
+// cluster exactly as it partitioned the dataset at startup, then ships
+// only the delta.
+type appendRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// handleDatasetAppend serves POST /v1/datasets/{id}/append. Unknown
+// datasets — like unknown jobs on poll/result/cancel — are 404 with the
+// same error envelope.
+func (s *server) handleDatasetAppend(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/datasets/")
+	id, ok := strings.CutSuffix(rest, "/append")
+	if !ok || id == "" {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such route %q", r.URL.Path))
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req appendRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("append needs at least one row"))
+		return
+	}
+	delta := matrix.FromRows(req.Rows)
+	var locals []*matrix.Dense
+	switch s.partition {
+	case "arbitrary":
+		locals = robust.ArbitraryPartition(delta, s.servers, s.seed+1)
+	default:
+		locals = robust.RowPartition(delta, s.servers, s.seed+1)
+	}
+	err := s.cluster.AppendRows(r.Context(), id, matrix.AsMats(locals))
+	switch {
+	case err == nil:
+	case errors.Is(err, repro.ErrUnknownDataset):
+		writeErr(w, http.StatusNotFound, err)
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	for _, info := range s.cluster.Datasets() {
+		if info.ID == id {
+			writeJSON(w, http.StatusOK, info)
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, fmt.Errorf("no dataset %q", id))
 }
 
 func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {

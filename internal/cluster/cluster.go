@@ -47,12 +47,13 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/ops"
 	"repro/internal/sketch"
+	"repro/internal/warm"
 )
 
 // protocolVersion gates the worker handshake; bump when the op vocabulary
-// changes incompatibly. Version 2: dataset-keyed share installation and
-// session binding.
-const protocolVersion = 2
+// changes incompatibly. Version 3: delta installation (OpAppendRows,
+// OpUpdateRows) folding into resident shares and warm sketch stores.
+const protocolVersion = 3
 
 // ErrClosed is returned by coordinator operations after Close. Close
 // itself is idempotent and returns nil on repeated calls.
@@ -231,6 +232,11 @@ func (c *Coordinator) send(t int, f *comm.Frame) error {
 // frame that cannot be encoded. A variable so tests can force multi-chunk
 // installs with small matrices.
 var installChunkWords = 1 << 20
+
+// InstallChunkWords reports the value-payload bound of one share-install
+// frame; delta installations chunk their row payloads by the same bound
+// so any delta encodes under the codec frame cap.
+func InstallChunkWords() int { return installChunkWords }
 
 // InstallDatasetCtx is InstallDataset with an abort checkpoint between
 // chunks: a fired ctx stops the shipping loop early and the dataset does
@@ -510,10 +516,27 @@ func readFrame(conn net.Conn, wantTag string) (*comm.Frame, error) {
 }
 
 // workerShare is one installed dataset share, in both views the op
-// vocabulary needs.
+// vocabulary needs, plus the warm sketch store that persists across the
+// share's delta history (the vec wraps the matrix in a warm.Share so the
+// sketch builders can discover the store).
 type workerShare struct {
-	mat matrix.Mat
-	vec ops.Vec
+	mat   matrix.Mat
+	vec   ops.Vec
+	store *warm.Store
+}
+
+// newWorkerShare wires a freshly installed matrix with a fresh warm store
+// (stale sketches must never survive a content replacement).
+func newWorkerShare(mat matrix.Mat) *workerShare {
+	st := warm.NewStore(0)
+	return &workerShare{mat: mat, vec: ops.MatVec{M: warm.Wrap(mat, st)}, store: st}
+}
+
+// rebind swaps in a new matrix snapshot after a delta, carrying the warm
+// store over — that continuity is the whole point of the delta path.
+func (sh *workerShare) rebind(mat matrix.Mat) {
+	sh.mat = mat
+	sh.vec = ops.MatVec{M: warm.Wrap(mat, sh.store)}
 }
 
 // pendingInstall is a share being assembled from install chunks.
@@ -674,6 +697,19 @@ func ServeBatch(conn net.Conn, replyBatch int) error {
 			// Installation runs in the read loop: chunks arrive in order
 			// and must be resident before any session binds the dataset.
 			if err := w.install(lead); err != nil {
+				stop()
+				return err
+			}
+		case !g.batched && lead.Op == ops.OpAppendRows:
+			// Delta installs also run in the read loop: connection order
+			// guarantees every session op sent after the delta executes
+			// against the folded share, never a half-applied one.
+			if err := w.applyAppend(lead); err != nil {
+				stop()
+				return err
+			}
+		case !g.batched && lead.Op == ops.OpUpdateRows:
+			if err := w.applyUpdate(lead); err != nil {
 				stop()
 				return err
 			}
@@ -861,10 +897,66 @@ func (w *workerState) install(f *comm.Frame) error {
 	}
 	delete(w.pending, key)
 	w.mu.Lock()
-	w.shares[key] = &workerShare{mat: mat, vec: ops.MatVec{M: mat}}
+	w.shares[key] = newWorkerShare(mat)
 	w.defaultKey = key
 	w.hasDefault = true
 	w.mu.Unlock()
+	return nil
+}
+
+// applyAppend folds one OpAppendRows chunk into the keyed share: the
+// resident matrix is swapped for a copy-on-append snapshot (ops already
+// executing keep their consistent old view) and the warm store folds the
+// new rows forward lazily on its next serve.
+func (w *workerState) applyAppend(f *comm.Frame) error {
+	key, n0, d, delta, err := ops.ParseAppendRows(f.Words)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d append: %w", w.id, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sh := w.shares[key]
+	if sh == nil {
+		return fmt.Errorf("cluster: worker %d append to uninstalled dataset %#x", w.id, key)
+	}
+	if sh.mat.Rows() != n0 || sh.mat.Cols() != d {
+		return fmt.Errorf("cluster: worker %d append against stale shape %dx%d (share is %dx%d)",
+			w.id, n0, d, sh.mat.Rows(), sh.mat.Cols())
+	}
+	nm, err := matrix.AppendRows(sh.mat, delta)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d append: %w", w.id, err)
+	}
+	sh.rebind(nm)
+	return nil
+}
+
+// applyUpdate folds one OpUpdateRows frame into the keyed share: the
+// per-coordinate deltas (new−old) are folded into every warm sketch
+// eagerly — they were computed against the old snapshot — and the matrix
+// is swapped for the updated copy.
+func (w *workerState) applyUpdate(f *comm.Frame) error {
+	key, n, d, idx, rows, err := ops.ParseUpdateRows(f.Words)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d update: %w", w.id, err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	sh := w.shares[key]
+	if sh == nil {
+		return fmt.Errorf("cluster: worker %d update to uninstalled dataset %#x", w.id, key)
+	}
+	if sh.mat.Rows() != n || sh.mat.Cols() != d {
+		return fmt.Errorf("cluster: worker %d update against stale shape %dx%d (share is %dx%d)",
+			w.id, n, d, sh.mat.Rows(), sh.mat.Cols())
+	}
+	js, deltas := ops.UpdateDeltas(sh.mat, idx, rows)
+	nm, err := matrix.UpdateRows(sh.mat, idx, rows)
+	if err != nil {
+		return fmt.Errorf("cluster: worker %d update: %w", w.id, err)
+	}
+	sh.store.FoldUpdate(d, js, deltas)
+	sh.rebind(nm)
 	return nil
 }
 
@@ -908,11 +1000,8 @@ func (w *workerState) exec(sess uint16, f *comm.Frame) (comm.Kind, []float64, er
 		if err != nil {
 			return 0, nil, err
 		}
-		v := sh.vec
-		if filt != nil {
-			v = ops.Filtered{Base: v, Keep: filt.Keep()}
-		}
-		return comm.KindSketch, ops.FlattenSketches(ops.BucketSketches(v, repSeed, buckets, depth, width)), nil
+		sks := ops.BucketSketchesFiltered(sh.vec, repSeed, buckets, depth, width, filt, nil)
+		return comm.KindSketch, ops.FlattenSketches(sks), nil
 	case ops.OpDyadicSketch:
 		seed, depth, width, err := ops.ParseFlatSketch(f.Words)
 		if err != nil {

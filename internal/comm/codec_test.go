@@ -3,6 +3,9 @@ package comm
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/ops"
 )
 
 func TestFrameRoundTripPerKind(t *testing.T) {
@@ -111,6 +114,21 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(env)
 	f.Add(env[:FrameHeaderLen+2])
 	f.Add(env[:len(env)-5])
+	// Delta-install frames: well-formed append and update payloads, a
+	// truncated append (cut inside the value words), and an update whose
+	// header declares an absurd row count. The codec treats the payload as
+	// opaque words — these seeds steer the fuzzer through the shapes the
+	// delta parsers downstream must reject with typed errors.
+	delta := matrix.NewDenseData(2, 3, []float64{1, 0, -2.5, 0, 4, 5})
+	app := EncodeFrame(&Frame{Kind: KindShare, Op: ops.OpAppendRows, From: CP, To: 1,
+		Tag: "delta/append", Words: ops.AppendRowsPayload(7, 8, 3, delta)})
+	f.Add(app)
+	f.Add(app[:len(app)-9])
+	upd := EncodeFrame(&Frame{Kind: KindShare, Op: ops.OpUpdateRows, From: CP, To: 2,
+		Tag: "delta/update", Words: ops.UpdateRowsPayload(7, 10, 3, []int{4, 0}, delta)})
+	f.Add(upd)
+	f.Add(EncodeFrame(&Frame{Kind: KindShare, Op: ops.OpUpdateRows, From: CP, To: 2,
+		Tag: "delta/update", Words: []uint64{7, 1 << 40, 3, 2}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame, err := DecodeFrame(data)
 		if err != nil {

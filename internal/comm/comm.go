@@ -387,6 +387,25 @@ func (n *Network) broadcastFrame(from int, f func(to int) *Frame) {
 	}
 }
 
+// ShipCharged accounts one already-built frame in the word/byte ledger
+// and genuinely transmits it when the destination is remotely hosted —
+// the single-destination form of broadcastFrame, used by the delta-install
+// path so append/update traffic is charged identically on mem and TCP
+// clusters. Self-sends are free, like every hosted transfer of shared
+// state the CP already holds.
+func (n *Network) ShipCharged(f *Frame) error {
+	n.check(f.From)
+	n.check(f.To)
+	if f.From == f.To {
+		return nil
+	}
+	n.commit(f.From, f.To, f.Tag, int64(len(f.Words)), int64(f.EncodedLen()))
+	if n.remote[f.To] {
+		return n.tr.Send(f.From, f.To, EncodeFrame(f))
+	}
+	return nil
+}
+
 // BroadcastSeed models server `from` broadcasting a random seed to every
 // other server: s−1 control frames of one word each.
 func (n *Network) BroadcastSeed(from int, tag string, seed int64) int64 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/hashing"
 	"repro/internal/ops"
 	"repro/internal/sketch"
+	"repro/internal/warm"
 )
 
 // DyadicHH is the hierarchical heavy hitter structure: one CountSketch per
@@ -46,9 +47,31 @@ func NewDyadicHH(seed int64, m uint64, p Params) *DyadicHH {
 
 // BuildLocalDyadic sketches one local share at every level — the
 // share-side half of DyadicHeavyHitters, executed in-process for hosted
-// shares and by worker processes for remote ones.
+// shares and by worker processes for remote ones. A warm-wrapped share
+// serves the level hierarchy from its store: the level count is part of
+// the cache key, so an append that crosses a power-of-two dimension
+// boundary (changing the hierarchy depth) misses cleanly and rebuilds.
 func BuildLocalDyadic(v Vec, seed int64, p Params) *DyadicHH {
 	d := NewDyadicHH(seed, v.Len(), p)
+	if mv, ok := v.(MatVec); ok {
+		if sh, ok := mv.M.(*warm.Share); ok && sh.Store() != nil {
+			levels := d.levels
+			ingest := func(sks []*sketch.CountSketch, j uint64, delta float64) {
+				for l := 0; l < levels; l++ {
+					sks[l].Update(j>>uint(levels-1-l), delta)
+				}
+			}
+			d.sk = sh.Store().Serve(mv.M.Rows(),
+				warm.Key{Kind: warm.KindDyadic, Seed: seed, Depth: p.Depth, Width: p.Width, Levels: levels},
+				func() []*sketch.CountSketch { return NewDyadicHH(seed, mv.Len(), p).sk },
+				func(sks []*sketch.CountSketch, lo, hi int) {
+					mv.ForEachRows(lo, hi, func(j uint64, val float64) { ingest(sks, j, val) })
+				},
+				ingest,
+			)
+			return d
+		}
+	}
 	v.ForEach(d.Update)
 	return d
 }

@@ -222,11 +222,8 @@ func bucketRound(locals []Vec, repSeed int64, buckets int, p Params,
 		RespTag:  tag + "/bucket-sketch",
 		RespKind: comm.KindSketch,
 		Local: func(t int) ([]float64, error) {
-			v := locals[t]
-			if keep != nil {
-				v = Filtered{Base: v, Keep: keep}
-			}
-			return ops.FlattenSketches(ops.BucketSketches(v, repSeed, buckets, p.Depth, p.Width)), nil
+			sks := ops.BucketSketchesFiltered(locals[t], repSeed, buckets, p.Depth, p.Width, filt, keep)
+			return ops.FlattenSketches(sks), nil
 		},
 		OnResp: func(t int, payload []float64) error {
 			return ops.MergeFlat(merged, payload)
@@ -235,13 +232,11 @@ func bucketRound(locals []Vec, repSeed int64, buckets int, p Params,
 }
 
 // cpBucketSketches is the CP's own contribution to one bucketing
-// repetition (free local compute — never a wire transfer).
-func cpBucketSketches(locals []Vec, repSeed int64, buckets int, p Params, keep func(uint64) bool) []*sketch.CountSketch {
-	v := locals[comm.CP]
-	if keep != nil {
-		v = Filtered{Base: v, Keep: keep}
-	}
-	return ops.BucketSketches(v, repSeed, buckets, p.Depth, p.Width)
+// repetition (free local compute — never a wire transfer). filt carries
+// keep's wire-expressible description so a warm-wrapped CP share can serve
+// from its store; the two must agree.
+func cpBucketSketches(locals []Vec, repSeed int64, buckets int, p Params, keep func(uint64) bool, filt *ops.LevelFilter) []*sketch.CountSketch {
+	return ops.BucketSketchesFiltered(locals[comm.CP], repSeed, buckets, p.Depth, p.Width, filt, keep)
 }
 
 // ZParams are the practical knobs of Z-HeavyHitters (Algorithm 2). The
@@ -297,7 +292,7 @@ func ZHeavyHitters(ctx context.Context, net *comm.Network, locals []Vec, zp ZPar
 	for t := 0; t < zp.Reps; t++ {
 		repSeeds[t] = hashing.DeriveSeed(seed, uint64(7000+t))
 		parts[t] = hashing.SeededPolyHash(repSeeds[t], 2)
-		mergeds[t] = cpBucketSketches(locals, repSeeds[t], zp.Buckets, zp.Sketch, nil)
+		mergeds[t] = cpBucketSketches(locals, repSeeds[t], zp.Buckets, zp.Sketch, nil, nil)
 		rounds[t] = bucketRound(locals, repSeeds[t], zp.Buckets, zp.Sketch, nil, nil, tag, mergeds[t])
 	}
 	if err := net.RunRounds(ctx, rounds); err != nil {
@@ -376,7 +371,7 @@ func ZHeavyHittersFiltered(ctx context.Context, net *comm.Network, locals []Vec,
 	for t := 0; t < zp.Reps; t++ {
 		repSeeds[t] = hashing.DeriveSeed(seed, uint64(9000+t))
 		parts[t] = hashing.SeededPolyHash(repSeeds[t], 2)
-		mergeds[t] = cpBucketSketches(locals, repSeeds[t], zp.Buckets, zp.Sketch, keep)
+		mergeds[t] = cpBucketSketches(locals, repSeeds[t], zp.Buckets, zp.Sketch, keep, filt)
 		rounds[t] = bucketRound(locals, repSeeds[t], zp.Buckets, zp.Sketch, keep, filt, tag, mergeds[t])
 	}
 	if err := net.RunRounds(ctx, rounds); err != nil {

@@ -1,0 +1,199 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrIndex is returned by UpdateRows when a row index falls outside the
+// target matrix.
+var ErrIndex = errors.New("matrix: row index out of range")
+
+// AppendRows returns a new matrix holding m with delta's rows appended
+// below it, preserving m's backend family (Dense→Dense, CSR→CSR,
+// Fast→Fast; any other backend materializes to Dense). The input matrices
+// are never mutated — in-flight readers of m keep a consistent snapshot —
+// and the appended rows are drained through delta's RowNNZ stream, so the
+// result's nonzero stream is the concatenation of the two inputs' streams
+// regardless of either one's backend.
+func AppendRows(m, delta Mat) (Mat, error) {
+	if delta.Cols() != m.Cols() {
+		return nil, fmt.Errorf("%w: append %dx%d onto %dx%d",
+			ErrShape, delta.Rows(), delta.Cols(), m.Rows(), m.Cols())
+	}
+	switch t := m.(type) {
+	case *Dense:
+		return appendDense(t, delta), nil
+	case *CSR:
+		return appendCSR(t, delta), nil
+	case *Fast:
+		return appendFast(t, delta), nil
+	default:
+		return appendDense(denseFromMat(m), delta), nil
+	}
+}
+
+// UpdateRows returns a new matrix equal to m with row idx[k] replaced by
+// row k of rows, preserving m's backend family as AppendRows does.
+// Duplicate indices resolve last-wins. m and rows are never mutated.
+func UpdateRows(m Mat, idx []int, rows Mat) (Mat, error) {
+	if rows.Cols() != m.Cols() || rows.Rows() != len(idx) {
+		return nil, fmt.Errorf("%w: update %dx%d (%d indices) into %dx%d",
+			ErrShape, rows.Rows(), rows.Cols(), len(idx), m.Rows(), m.Cols())
+	}
+	ov := make(map[int]int, len(idx))
+	for k, i := range idx {
+		if i < 0 || i >= m.Rows() {
+			return nil, fmt.Errorf("%w: index %d of %d rows", ErrIndex, i, m.Rows())
+		}
+		ov[i] = k
+	}
+	switch t := m.(type) {
+	case *Dense:
+		out := t.Clone()
+		for i, k := range ov {
+			row := out.Row(i)
+			for j := range row {
+				row[j] = 0
+			}
+			rows.RowNNZ(k, func(j int, v float64) { row[j] = v })
+		}
+		return out, nil
+	case *CSR:
+		return csrFromStream(m, ov, rows), nil
+	case *Fast:
+		return fastFromStream(m, ov, rows), nil
+	default:
+		d := denseFromMat(m)
+		for i, k := range ov {
+			row := d.Row(i)
+			for j := range row {
+				row[j] = 0
+			}
+			rows.RowNNZ(k, func(j int, v float64) { row[j] = v })
+		}
+		return d, nil
+	}
+}
+
+func denseFromMat(m Mat) *Dense {
+	out := NewDense(m.Rows(), m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		row := out.Row(i)
+		m.RowNNZ(i, func(j int, v float64) { row[j] = v })
+	}
+	return out
+}
+
+func appendDense(m *Dense, delta Mat) *Dense {
+	n0, d, dn := m.rows, m.cols, delta.Rows()
+	out := NewDense(n0+dn, d)
+	copy(out.data, m.data)
+	for i := 0; i < dn; i++ {
+		row := out.Row(n0 + i)
+		delta.RowNNZ(i, func(j int, v float64) { row[j] = v })
+	}
+	return out
+}
+
+func appendCSR(m *CSR, delta Mat) *CSR {
+	n0, dn := m.rows, delta.Rows()
+	out := &CSR{rows: n0 + dn, cols: m.cols, rowptr: make([]int, n0+dn+1)}
+	out.colidx = make([]int, len(m.colidx), len(m.colidx)+int(delta.NNZ()))
+	out.vals = make([]float64, len(m.vals), len(m.vals)+int(delta.NNZ()))
+	copy(out.colidx, m.colidx)
+	copy(out.vals, m.vals)
+	copy(out.rowptr, m.rowptr)
+	for i := 0; i < dn; i++ {
+		delta.RowNNZ(i, func(j int, v float64) {
+			out.colidx = append(out.colidx, j)
+			out.vals = append(out.vals, v)
+		})
+		out.rowptr[n0+i+1] = len(out.colidx)
+	}
+	return out
+}
+
+func appendFast(m *Fast, delta Mat) *Fast {
+	n0, d, dn := m.rows, m.cols, delta.Rows()
+	out := &Fast{
+		rows:   n0 + dn,
+		cols:   d,
+		data:   make([]float64, (n0+dn)*d),
+		rowptr: make([]int32, n0+dn+1),
+		norms:  make([]float64, n0+dn),
+	}
+	copy(out.data, m.data)
+	copy(out.rowptr, m.rowptr)
+	copy(out.norms, m.norms)
+	out.colidx = make([]int32, len(m.colidx), len(m.colidx)+int(delta.NNZ()))
+	copy(out.colidx, m.colidx)
+	for i := 0; i < dn; i++ {
+		row := out.data[(n0+i)*d : (n0+i+1)*d]
+		delta.RowNNZ(i, func(j int, v float64) {
+			row[j] = v
+			out.colidx = append(out.colidx, int32(j))
+		})
+		out.rowptr[n0+i+1] = int32(len(out.colidx))
+		// Same nnz-order norm accumulation ToFast uses at construction.
+		var s float64
+		for _, c := range out.colidx[out.rowptr[n0+i]:] {
+			v := row[c]
+			s += v * v
+		}
+		out.norms[n0+i] = s
+	}
+	return out
+}
+
+// csrFromStream rebuilds a CSR from m's nonzero stream with the rows named
+// in ov replaced by the corresponding rows of over.
+func csrFromStream(m Mat, ov map[int]int, over Mat) *CSR {
+	r, c := m.Rows(), m.Cols()
+	out := &CSR{rows: r, cols: c, rowptr: make([]int, r+1)}
+	for i := 0; i < r; i++ {
+		src, row := m, i
+		if k, ok := ov[i]; ok {
+			src, row = over, k
+		}
+		src.RowNNZ(row, func(j int, v float64) {
+			out.colidx = append(out.colidx, j)
+			out.vals = append(out.vals, v)
+		})
+		out.rowptr[i+1] = len(out.colidx)
+	}
+	return out
+}
+
+// fastFromStream rebuilds a Fast the same way, with the standard nnz-order
+// norm accumulation.
+func fastFromStream(m Mat, ov map[int]int, over Mat) *Fast {
+	r, c := m.Rows(), m.Cols()
+	out := &Fast{
+		rows:   r,
+		cols:   c,
+		data:   make([]float64, r*c),
+		rowptr: make([]int32, r+1),
+		norms:  make([]float64, r),
+	}
+	out.colidx = make([]int32, 0, m.NNZ())
+	for i := 0; i < r; i++ {
+		src, row := m, i
+		if k, ok := ov[i]; ok {
+			src, row = over, k
+		}
+		dst := out.data[i*c : (i+1)*c]
+		src.RowNNZ(row, func(j int, v float64) {
+			dst[j] = v
+			out.colidx = append(out.colidx, int32(j))
+		})
+		out.rowptr[i+1] = int32(len(out.colidx))
+		var s float64
+		for _, cc := range out.colidx[out.rowptr[i]:] {
+			v := dst[cc]
+			s += v * v
+		}
+		out.norms[i] = s
+	}
+	return out
+}

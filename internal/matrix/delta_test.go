@@ -1,0 +1,143 @@
+package matrix
+
+import (
+	"errors"
+	"testing"
+)
+
+// deltaTestMat builds an n×d dense matrix mixing zeros and values so the
+// sparse backends have real structure to preserve.
+func deltaTestMat(n, d int, base float64) *Dense {
+	m := NewDense(n, d)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			if (i+j)%3 == 0 {
+				continue // keep a zero
+			}
+			row[j] = base + float64(i*d+j)
+		}
+	}
+	return m
+}
+
+// sameMat asserts two Mats agree entrywise and in shape, and that their
+// RowNNZ streams are identical (the bit-identity contract across backends).
+func sameMat(t *testing.T, want, got Mat, label string) {
+	t.Helper()
+	if want.Rows() != got.Rows() || want.Cols() != got.Cols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	for i := 0; i < want.Rows(); i++ {
+		type nz struct {
+			j int
+			v float64
+		}
+		var ws, gs []nz
+		want.RowNNZ(i, func(j int, v float64) { ws = append(ws, nz{j, v}) })
+		got.RowNNZ(i, func(j int, v float64) { gs = append(gs, nz{j, v}) })
+		if len(ws) != len(gs) {
+			t.Fatalf("%s: row %d nnz stream length %d, want %d", label, i, len(gs), len(ws))
+		}
+		for k := range ws {
+			if ws[k] != gs[k] {
+				t.Fatalf("%s: row %d stream entry %d: %+v, want %+v", label, i, k, gs[k], ws[k])
+			}
+		}
+	}
+}
+
+// TestAppendRowsBackends: appending preserves the backend family, matches
+// the dense reference on every backend, and never mutates the inputs.
+func TestAppendRowsBackends(t *testing.T) {
+	base := deltaTestMat(6, 4, 1)
+	delta := deltaTestMat(3, 4, 100)
+	want, err := AppendRows(base, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		m    Mat
+	}{{"dense", base.Clone()}, {"csr", ToCSR(base)}, {"fast", ToFast(base)}} {
+		before := ToDense(tc.m).Clone()
+		got, err := AppendRows(tc.m, ToCSR(delta)) // delta on a different backend
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMat(t, want, got, tc.name)
+		sameMat(t, before, tc.m, tc.name+" input mutated")
+		// Backend family preserved.
+		switch tc.m.(type) {
+		case *Dense:
+			if _, ok := got.(*Dense); !ok {
+				t.Fatalf("%s: append changed backend to %T", tc.name, got)
+			}
+		case *CSR:
+			if _, ok := got.(*CSR); !ok {
+				t.Fatalf("%s: append changed backend to %T", tc.name, got)
+			}
+		case *Fast:
+			if _, ok := got.(*Fast); !ok {
+				t.Fatalf("%s: append changed backend to %T", tc.name, got)
+			}
+		}
+		// Derived state (norms, nnz) must match a from-scratch conversion.
+		if got.NNZ() != want.NNZ() {
+			t.Fatalf("%s: nnz %d, want %d", tc.name, got.NNZ(), want.NNZ())
+		}
+		for i := 0; i < want.Rows(); i++ {
+			if got.RowNorm2(i) != want.RowNorm2(i) {
+				t.Fatalf("%s: row %d norm drifted", tc.name, i)
+			}
+		}
+	}
+
+	if _, err := AppendRows(base, deltaTestMat(2, 5, 0)); !errors.Is(err, ErrShape) {
+		t.Fatalf("column mismatch: %v", err)
+	}
+}
+
+// TestUpdateRowsBackends: updates match the dense reference on every
+// backend, duplicates resolve last-wins, and the inputs stay untouched.
+func TestUpdateRowsBackends(t *testing.T) {
+	base := deltaTestMat(7, 4, 1)
+	repl := deltaTestMat(3, 4, 200)
+	idx := []int{5, 1, 5} // duplicate: row 5 takes repl row 2
+	want, err := UpdateRows(base, idx, repl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.At(5, 1) != repl.At(2, 1) {
+		t.Fatal("duplicate index did not resolve last-wins")
+	}
+
+	for _, tc := range []struct {
+		name string
+		m    Mat
+	}{{"dense", base.Clone()}, {"csr", ToCSR(base)}, {"fast", ToFast(base)}} {
+		before := ToDense(tc.m).Clone()
+		got, err := UpdateRows(tc.m, idx, ToFast(repl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMat(t, want, got, tc.name)
+		sameMat(t, before, tc.m, tc.name+" input mutated")
+		for i := 0; i < want.Rows(); i++ {
+			if got.RowNorm2(i) != want.RowNorm2(i) {
+				t.Fatalf("%s: row %d norm drifted", tc.name, i)
+			}
+		}
+	}
+
+	if _, err := UpdateRows(base, []int{0}, repl); !errors.Is(err, ErrShape) {
+		t.Fatalf("index/row count mismatch: %v", err)
+	}
+	if _, err := UpdateRows(base, []int{0, -1, 2}, repl); !errors.Is(err, ErrIndex) {
+		t.Fatalf("negative index: %v", err)
+	}
+	if _, err := UpdateRows(base, []int{0, 7, 2}, repl); !errors.Is(err, ErrIndex) {
+		t.Fatalf("out-of-range index: %v", err)
+	}
+}

@@ -1,0 +1,207 @@
+package ops
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func deltaWordsFromBytes(data []byte) []uint64 {
+	out := make([]uint64, 0, len(data)/8)
+	for len(data) >= 8 {
+		out = append(out, binary.BigEndian.Uint64(data))
+		data = data[8:]
+	}
+	return out
+}
+
+func deltaBytesFromWords(ws []uint64) []byte {
+	out := make([]byte, 8*len(ws))
+	for i, w := range ws {
+		binary.BigEndian.PutUint64(out[8*i:], w)
+	}
+	return out
+}
+
+func deltaMat(n, d int, base float64) *matrix.Dense {
+	m := matrix.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = base + float64(i*d+j)
+		}
+	}
+	return m
+}
+
+// isDeltaErr reports whether err is one of the typed delta-payload errors
+// — the only failures a malformed payload may surface as.
+func isDeltaErr(err error) bool {
+	return errors.Is(err, ErrDeltaTruncated) || errors.Is(err, ErrDeltaIndex) || errors.Is(err, ErrDeltaShape)
+}
+
+// TestDeltaPayloadRoundTrip: both payload kinds decode back to their
+// inputs exactly.
+func TestDeltaPayloadRoundTrip(t *testing.T) {
+	delta := deltaMat(3, 4, 1)
+	key, n0, d, got, err := ParseAppendRows(AppendRowsPayload(7, 10, 4, delta))
+	if err != nil || key != 7 || n0 != 10 || d != 4 {
+		t.Fatalf("append header drifted: key=%d n0=%d d=%d err=%v", key, n0, d, err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if got.At(i, j) != delta.At(i, j) {
+				t.Fatalf("append value (%d,%d) drifted", i, j)
+			}
+		}
+	}
+
+	idx := []int{2, 0, 2}
+	rows := deltaMat(3, 4, 50)
+	key, n, d, gotIdx, gotRows, err := ParseUpdateRows(UpdateRowsPayload(9, 6, 4, idx, rows))
+	if err != nil || key != 9 || n != 6 || d != 4 || len(gotIdx) != 3 {
+		t.Fatalf("update header drifted: key=%d n=%d d=%d idx=%v err=%v", key, n, d, gotIdx, err)
+	}
+	for k, i := range idx {
+		if gotIdx[k] != i {
+			t.Fatalf("update index %d drifted", k)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if gotRows.At(i, j) != rows.At(i, j) {
+				t.Fatalf("update value (%d,%d) drifted", i, j)
+			}
+		}
+	}
+}
+
+// TestDeltaPayloadMalformed: every corruption class maps to its typed
+// error.
+func TestDeltaPayloadMalformed(t *testing.T) {
+	appendGood := AppendRowsPayload(1, 5, 3, deltaMat(2, 3, 1))
+	updateGood := UpdateRowsPayload(1, 5, 3, []int{0, 4}, deltaMat(2, 3, 1))
+
+	appendCases := map[string]struct {
+		params []uint64
+		want   error
+	}{
+		"empty":         {nil, ErrDeltaTruncated},
+		"header only":   {appendGood[:4], ErrDeltaTruncated},
+		"short values":  {appendGood[:len(appendGood)-1], ErrDeltaTruncated},
+		"trailing junk": {append(append([]uint64{}, appendGood...), 0), ErrDeltaTruncated},
+		"zero cols":     {[]uint64{1, 5, 0, 2}, ErrDeltaShape},
+		"zero delta":    {[]uint64{1, 5, 3, 0}, ErrDeltaShape},
+		"absurd dims":   {[]uint64{1, 5, 1 << 40, 2}, ErrDeltaShape},
+		"absurd n0":     {[]uint64{1, 1 << 40, 3, 2}, ErrDeltaShape},
+	}
+	for name, tc := range appendCases {
+		if _, _, _, _, err := ParseAppendRows(tc.params); !errors.Is(err, tc.want) {
+			t.Fatalf("append %s: got %v, want %v", name, err, tc.want)
+		}
+	}
+
+	updateCases := map[string]struct {
+		params []uint64
+		want   error
+	}{
+		"empty":        {nil, ErrDeltaTruncated},
+		"header only":  {updateGood[:4], ErrDeltaTruncated},
+		"short values": {updateGood[:len(updateGood)-2], ErrDeltaTruncated},
+		"zero rows":    {[]uint64{1, 0, 3, 1}, ErrDeltaShape},
+		"zero k":       {[]uint64{1, 5, 3, 0}, ErrDeltaShape},
+		"absurd k":     {[]uint64{1, 5, 3, 1 << 40}, ErrDeltaShape},
+		"bad index": {func() []uint64 {
+			p := append([]uint64{}, updateGood...)
+			p[4] = 5 // == n: out of range
+			return p
+		}(), ErrDeltaIndex},
+	}
+	for name, tc := range updateCases {
+		if _, _, _, _, _, err := ParseUpdateRows(tc.params); !errors.Is(err, tc.want) {
+			t.Fatalf("update %s: got %v, want %v", name, err, tc.want)
+		}
+	}
+}
+
+// sameBitsOrBothSpecial compares decoded floats the way a re-encode can
+// reproduce them: identical bits, or both zero (RowNNZ drops -0 to +0), or
+// both NaN.
+func sameBitsOrBothSpecial(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) ||
+		(a == 0 && b == 0) ||
+		(math.IsNaN(a) && math.IsNaN(b))
+}
+
+// FuzzParseAppendRows is the append payload's malformed-input gate:
+// arbitrary word streams must either parse into a delta that re-encodes to
+// an equivalent payload, or fail with a typed delta error — never panic,
+// never allocate beyond the payload's own length.
+func FuzzParseAppendRows(f *testing.F) {
+	f.Add(deltaBytesFromWords(AppendRowsPayload(3, 8, 4, deltaMat(2, 4, 1))))
+	f.Add(deltaBytesFromWords([]uint64{1, 0, 1, 1, math.Float64bits(-0.0)}))
+	f.Add(deltaBytesFromWords([]uint64{1, 5, 1 << 40, 2}))
+	f.Add(deltaBytesFromWords([]uint64{7, 0, 3, 2, 1, 2, 3, 4, 5})) // short values
+	f.Add([]byte{0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		params := deltaWordsFromBytes(data)
+		key, n0, d, delta, err := ParseAppendRows(params)
+		if err != nil {
+			if !isDeltaErr(err) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		re := AppendRowsPayload(key, n0, d, delta)
+		if len(re) != len(params) {
+			t.Fatalf("re-encode changed length: %d → %d", len(params), len(re))
+		}
+		key2, n02, d2, delta2, err := ParseAppendRows(re)
+		if err != nil || key2 != key || n02 != n0 || d2 != d {
+			t.Fatalf("re-encoded payload header drifted (err=%v)", err)
+		}
+		for i := 0; i < delta.Rows(); i++ {
+			for j := 0; j < d; j++ {
+				if !sameBitsOrBothSpecial(delta.At(i, j), delta2.At(i, j)) {
+					t.Fatalf("value (%d,%d) not a fixed point: %x → %x", i, j,
+						math.Float64bits(delta.At(i, j)), math.Float64bits(delta2.At(i, j)))
+				}
+			}
+		}
+	})
+}
+
+// FuzzParseUpdateRows is the same gate for update payloads, with the
+// index-bound check in the loop.
+func FuzzParseUpdateRows(f *testing.F) {
+	f.Add(deltaBytesFromWords(UpdateRowsPayload(3, 8, 4, []int{1, 7, 1}, deltaMat(3, 4, 1))))
+	f.Add(deltaBytesFromWords([]uint64{1, 2, 2, 1, 2, 0, 0})) // index == n
+	f.Add(deltaBytesFromWords([]uint64{1, 0, 3, 1}))
+	f.Add(deltaBytesFromWords([]uint64{9, 4, 2, 1, 0, math.Float64bits(1.5), math.Float64bits(-0.0)}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		params := deltaWordsFromBytes(data)
+		key, n, d, idx, rows, err := ParseUpdateRows(params)
+		if err != nil {
+			if !isDeltaErr(err) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		for _, i := range idx {
+			if i < 0 || i >= n {
+				t.Fatalf("accepted index %d outside %d rows", i, n)
+			}
+		}
+		re := UpdateRowsPayload(key, n, d, idx, rows)
+		if len(re) != len(params) {
+			t.Fatalf("re-encode changed length: %d → %d", len(params), len(re))
+		}
+		if _, _, _, _, _, err := ParseUpdateRows(re); err != nil {
+			t.Fatalf("re-encoded payload rejected: %v", err)
+		}
+	})
+}

@@ -10,12 +10,14 @@
 package ops
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/hashing"
 	"repro/internal/matrix"
 	"repro/internal/sketch"
+	"repro/internal/warm"
 )
 
 // Protocol opcodes. The values are part of the wire protocol; append, do
@@ -64,6 +66,17 @@ const (
 	// preempted, but its reply is discarded coordinator-side during
 	// teardown) and still acknowledges the eventual OpEndSession.
 	OpAbort
+	// OpAppendRows: setup — append delta rows below a worker's installed
+	// share; the worker folds them into the resident share and its warm
+	// sketches. Payload: dataset key, prior rows, cols, delta rows, then
+	// the delta's row-major values. Charged under the "delta/append" tag.
+	OpAppendRows
+	// OpUpdateRows: setup — overwrite selected rows of a worker's
+	// installed share; per-coordinate deltas are folded into warm
+	// sketches. Payload: dataset key, rows, cols, index count, the
+	// indices, then the replacement rows row-major. Charged under the
+	// "delta/update" tag.
+	OpUpdateRows
 )
 
 // Vec is a server's local share of a distributed vector v = Σ_t v^t.
@@ -122,10 +135,41 @@ func (m MatVec) ForEach(f func(j uint64, v float64)) {
 	}
 }
 
+// ForEachRows iterates nonzero entries of matrix rows [lo, hi) in
+// row-major coordinate order — the same stream ForEach produces,
+// restricted to a row range. It is the delta-ingestion primitive: folding
+// rows [n₀, n) into a sketch built over [0, n₀) replays exactly the
+// updates a full ForEach over n rows would have appended.
+func (m MatVec) ForEachRows(lo, hi int, f func(j uint64, v float64)) {
+	cols := m.M.Cols()
+	var base uint64
+	emit := func(c int, v float64) { f(base+uint64(c), v) }
+	for i := lo; i < hi; i++ {
+		base = uint64(i) * uint64(cols)
+		m.M.RowNNZ(i, emit)
+	}
+}
+
 // At returns the value at flattened coordinate j.
 func (m MatVec) At(j uint64) float64 {
 	cols := uint64(m.M.Cols())
 	return m.M.At(int(j/cols), int(j%cols))
+}
+
+// warmSource reports whether v is a share wrapped with a live warm store,
+// returning the MatVec and store when so. Only the plain matrix-backed
+// vector qualifies — filtered or otherwise wrapped vectors take the cold
+// path unless served through a filter-aware builder.
+func warmSource(v Vec) (MatVec, *warm.Store, bool) {
+	mv, ok := v.(MatVec)
+	if !ok {
+		return MatVec{}, nil, false
+	}
+	sh, ok := mv.M.(*warm.Share)
+	if !ok || sh.Store() == nil {
+		return MatVec{}, nil, false
+	}
+	return mv, sh.Store(), true
 }
 
 // Filtered restricts a vector to coordinates where Keep returns true;
@@ -215,6 +259,17 @@ func (lf *LevelFilter) Keep() func(j uint64) bool {
 // ingestion across sketch rows (0 or 1 = sequential; bit-identical at any
 // value, so it is a local knob, not a wire parameter).
 func FlatSketch(v Vec, seed int64, depth, width, workers int) *sketch.CountSketch {
+	if mv, st, ok := warmSource(v); ok {
+		sks := st.Serve(mv.M.Rows(),
+			warm.Key{Kind: warm.KindFlat, Seed: seed, Depth: depth, Width: width},
+			func() []*sketch.CountSketch {
+				return []*sketch.CountSketch{sketch.NewCountSketch(seed, depth, width)}
+			},
+			func(sks []*sketch.CountSketch, lo, hi int) { mv.ForEachRows(lo, hi, sks[0].Update) },
+			func(sks []*sketch.CountSketch, j uint64, delta float64) { sks[0].Update(j, delta) },
+		)
+		return sks[0]
+	}
 	cs := sketch.NewCountSketch(seed, depth, width)
 	cs.UpdateBulk(workers, v.ForEach)
 	return cs
@@ -234,6 +289,56 @@ func BucketSketches(v Vec, repSeed int64, buckets, depth, width int) []*sketch.C
 		out[part.Bucket(j, buckets)].Update(j, val)
 	})
 	return out
+}
+
+// BucketSketchesFiltered is BucketSketches with the level-set restriction
+// applied inside the builder — the warm-serveable form. keep is the
+// ingestion predicate actually evaluated (a caller may pass a precomputed
+// equivalent of filt.Keep(); nil means unfiltered) while filt carries the
+// filter's wire parameters for the warm cache key; the two must agree.
+// When v is a warm-wrapped share the bucket sketches are served from the
+// store (built cold on a miss, folded forward over appended rows on a
+// stale hit); otherwise the build is equivalent to
+// BucketSketches(Filtered{v, keep}, ...).
+func BucketSketchesFiltered(v Vec, repSeed int64, buckets, depth, width int, filt *LevelFilter, keep func(j uint64) bool) []*sketch.CountSketch {
+	if filt != nil && keep == nil {
+		keep = filt.Keep()
+	}
+	part := hashing.SeededPolyHash(repSeed, 2)
+	ingestOne := func(sks []*sketch.CountSketch, j uint64, val float64) {
+		if keep == nil || keep(j) {
+			sks[part.Bucket(j, buckets)].Update(j, val)
+		}
+	}
+	// A closure-only restriction (keep without filt) has no wire-expressible
+	// identity to key a cache entry on, so it always builds cold.
+	if mv, st, ok := warmSource(v); ok && (filt != nil || keep == nil) {
+		k := warm.Key{Kind: warm.KindBucket, Seed: repSeed, Depth: depth, Width: width, Buckets: buckets}
+		if filt != nil {
+			k.Filtered = true
+			k.GSeed = filt.GSeed
+			k.Levels = filt.Levels
+			k.MinLevel = uint8(filt.MinLevel)
+		}
+		return st.Serve(mv.M.Rows(), k,
+			func() []*sketch.CountSketch {
+				seeds := make([]int64, buckets)
+				for e := range seeds {
+					seeds[e] = hashing.DeriveSeed(repSeed, uint64(e))
+				}
+				return sketch.NewCountSketchBlock(seeds, depth, width)
+			},
+			func(sks []*sketch.CountSketch, lo, hi int) {
+				mv.ForEachRows(lo, hi, func(j uint64, val float64) { ingestOne(sks, j, val) })
+			},
+			ingestOne,
+		)
+	}
+	src := v
+	if keep != nil {
+		src = Filtered{Base: v, Keep: keep}
+	}
+	return BucketSketches(src, repSeed, buckets, depth, width)
 }
 
 // FlattenSketches appends every sketch's counter block, in order, to one
@@ -385,4 +490,144 @@ func ParseLinearSketch(params []uint64) (seed int64, sketchRows int, err error) 
 		return 0, 0, fmt.Errorf("ops: implausible embedding height %d", sketchRows)
 	}
 	return seed, sketchRows, nil
+}
+
+// --- Delta-install payloads ----------------------------------------------
+
+// Typed delta-payload errors. A malformed delta frame — fuzzed, truncated
+// in transit, or built against a stale share shape — must surface as one
+// of these, never as a panic in the worker's read loop.
+var (
+	// ErrDeltaTruncated reports a delta payload whose word count does not
+	// match its own header (missing or trailing row values/indices).
+	ErrDeltaTruncated = errors.New("ops: delta payload truncated")
+	// ErrDeltaIndex reports an update index outside the target share.
+	ErrDeltaIndex = errors.New("ops: delta update index out of range")
+	// ErrDeltaShape reports implausible or inconsistent delta dimensions.
+	ErrDeltaShape = errors.New("ops: implausible delta shape")
+)
+
+// maxDeltaDim bounds each delta dimension so a corrupt header cannot
+// drive a multi-gigaword allocation before the length check runs.
+const maxDeltaDim = 1 << 32
+
+// AppendRowsPayload packs an OpAppendRows payload: the dataset key, the
+// row count the share must currently have (n0), the column count, the
+// delta row count, then the delta rows row-major as float bit patterns.
+func AppendRowsPayload(key uint64, n0, d int, delta matrix.Mat) []uint64 {
+	dn := delta.Rows()
+	out := make([]uint64, 4, 4+dn*d)
+	out[0], out[1], out[2], out[3] = key, uint64(n0), uint64(d), uint64(dn)
+	for i := 0; i < dn; i++ {
+		base := len(out)
+		for j := 0; j < d; j++ {
+			out = append(out, 0)
+		}
+		delta.RowNNZ(i, func(j int, v float64) { out[base+j] = math.Float64bits(v) })
+	}
+	return out
+}
+
+// ParseAppendRows unpacks and validates an OpAppendRows payload. The
+// returned delta matrix is freshly allocated.
+func ParseAppendRows(params []uint64) (key uint64, n0, d int, delta *matrix.Dense, err error) {
+	if len(params) < 4 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: append header needs 4 words, got %d", ErrDeltaTruncated, len(params))
+	}
+	key = params[0]
+	if params[1] >= maxDeltaDim || params[2] == 0 || params[2] >= maxDeltaDim || params[3] == 0 || params[3] >= maxDeltaDim {
+		return 0, 0, 0, nil, fmt.Errorf("%w: append n0=%d d=%d dn=%d", ErrDeltaShape, params[1], params[2], params[3])
+	}
+	n0, d = int(params[1]), int(params[2])
+	dn := int(params[3])
+	if need := uint64(dn) * uint64(d); need != uint64(len(params)-4) {
+		return 0, 0, 0, nil, fmt.Errorf("%w: append wants %d value words, got %d", ErrDeltaTruncated, need, len(params)-4)
+	}
+	data := make([]float64, dn*d)
+	for i, w := range params[4:] {
+		data[i] = math.Float64frombits(w)
+	}
+	return key, n0, d, matrix.NewDenseData(dn, d, data), nil
+}
+
+// UpdateDeltas computes the per-coordinate deltas (new−old) an update
+// induces on the flattened vector, against the pre-update matrix m. The
+// order is deterministic — indices in their given order (duplicates
+// last-wins, matching matrix.UpdateRows), columns ascending within a row,
+// zero deltas skipped — so folding them into shared-seed sketches
+// produces the same bits on every server and transport.
+func UpdateDeltas(m matrix.Mat, idx []int, rows matrix.Mat) (js []uint64, deltas []float64) {
+	d := m.Cols()
+	last := make(map[int]int, len(idx))
+	for k, i := range idx {
+		last[i] = k
+	}
+	oldRow := make([]float64, d)
+	newRow := make([]float64, d)
+	for k, i := range idx {
+		if last[i] != k {
+			continue
+		}
+		for j := range oldRow {
+			oldRow[j], newRow[j] = 0, 0
+		}
+		m.RowNNZ(i, func(j int, v float64) { oldRow[j] = v })
+		rows.RowNNZ(k, func(j int, v float64) { newRow[j] = v })
+		base := uint64(i) * uint64(d)
+		for j := 0; j < d; j++ {
+			if dv := newRow[j] - oldRow[j]; dv != 0 {
+				js = append(js, base+uint64(j))
+				deltas = append(deltas, dv)
+			}
+		}
+	}
+	return js, deltas
+}
+
+// UpdateRowsPayload packs an OpUpdateRows payload: the dataset key, the
+// share's row and column counts, the index count, the row indices, then
+// the replacement rows row-major as float bit patterns.
+func UpdateRowsPayload(key uint64, n, d int, idx []int, rows matrix.Mat) []uint64 {
+	out := make([]uint64, 4, 4+len(idx)+len(idx)*d)
+	out[0], out[1], out[2], out[3] = key, uint64(n), uint64(d), uint64(len(idx))
+	for _, i := range idx {
+		out = append(out, uint64(i))
+	}
+	for i := 0; i < rows.Rows(); i++ {
+		base := len(out)
+		for j := 0; j < d; j++ {
+			out = append(out, 0)
+		}
+		rows.RowNNZ(i, func(j int, v float64) { out[base+j] = math.Float64bits(v) })
+	}
+	return out
+}
+
+// ParseUpdateRows unpacks and validates an OpUpdateRows payload, checking
+// every index against the payload's declared row count.
+func ParseUpdateRows(params []uint64) (key uint64, n, d int, idx []int, rows *matrix.Dense, err error) {
+	if len(params) < 4 {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: update header needs 4 words, got %d", ErrDeltaTruncated, len(params))
+	}
+	key = params[0]
+	if params[1] == 0 || params[1] >= maxDeltaDim || params[2] == 0 || params[2] >= maxDeltaDim || params[3] == 0 || params[3] >= maxDeltaDim {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: update n=%d d=%d k=%d", ErrDeltaShape, params[1], params[2], params[3])
+	}
+	n, d = int(params[1]), int(params[2])
+	k := int(params[3])
+	if need := uint64(k) + uint64(k)*uint64(d); need != uint64(len(params)-4) {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: update wants %d index+value words, got %d", ErrDeltaTruncated, need, len(params)-4)
+	}
+	idx = make([]int, k)
+	for i, w := range params[4 : 4+k] {
+		if w >= uint64(n) {
+			return 0, 0, 0, nil, nil, fmt.Errorf("%w: index %d of %d rows", ErrDeltaIndex, w, n)
+		}
+		idx[i] = int(w)
+	}
+	data := make([]float64, k*d)
+	for i, w := range params[4+k:] {
+		data[i] = math.Float64frombits(w)
+	}
+	return key, n, d, idx, matrix.NewDenseData(k, d, data), nil
 }

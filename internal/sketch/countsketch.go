@@ -74,6 +74,19 @@ func newCountSketchIn(seed int64, depth, width int, block []float64) *CountSketc
 	return cs
 }
 
+// Clone returns a deep copy sharing no counter state with cs (the memoized
+// hash functions are shared — they are immutable). The warm-sketch store
+// hands out clones so callers that merge remote sketches into the result
+// never corrupt the cached counters.
+func (cs *CountSketch) Clone() *CountSketch {
+	block := make([]float64, cs.depth*cs.width)
+	out := newCountSketchIn(cs.seed, cs.depth, cs.width, block)
+	for r, row := range cs.rows {
+		copy(out.rows[r], row)
+	}
+	return out
+}
+
 // Depth returns the number of rows.
 func (cs *CountSketch) Depth() int { return cs.depth }
 

@@ -40,6 +40,18 @@ func FuzzDeserialize(f *testing.F) {
 	f.Add(bytesFromFloats([]float64{1, -2, 4, 0, 0, 0, 0, 0}))  // negative depth
 	f.Add(bytesFromFloats([]float64{1, 2.5, 4, 0, 0, 0, 0, 0})) // fractional shape words
 	f.Add([]byte{0x01, 0x02, 0x03})                             // not even one word
+	// Warm-fold shapes: a sketch whose counters came through the delta
+	// path — appended rows folded forward, then an update delta that
+	// cancels a counter back to zero (the -0/+0 boundary the decoder must
+	// round-trip), plus a literal stream laid out like a delta-install
+	// payload header (key, n0, d, dn as small integers, then value bits) so
+	// the fuzzer explores integer-valued leading words.
+	warm := NewCountSketch(11, 2, 8)
+	warm.Update(3, 1.5) // installed row
+	warm.Update(40, 2)  // appended row folded forward
+	warm.Update(40, -2) // update delta cancels it
+	f.Add(bytesFromFloats(warm.Serialize()))
+	f.Add(bytesFromFloats([]float64{7, 8, 3, 2, 1, 0, -2.5, 0, 4, 5}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		words := floatsFromBytes(data)
 		cs, err := Deserialize(words)

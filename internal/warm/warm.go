@@ -1,0 +1,267 @@
+// Package warm maintains per-share warm sketch stores: mergeable sketches
+// keyed by (sketch family, seed, shape, filter parameters) that persist
+// across protocol rounds beside a worker's resident share. Because every
+// sketch in internal/sketch is linear and its structure is a pure function
+// of (seed, params), a sketch built over rows [0,n₀) can be *folded
+// forward* when rows [n₀,n) are appended — each counter receives exactly
+// the additions a cold build over [0,n) would have applied, in the same
+// stream order, so the warm result is bit-identical to the cold one. That
+// equivalence is what lets a query after N small appends pay O(delta)
+// ingestion instead of O(n) without perturbing the protocol transcript.
+//
+// Fold rules:
+//   - Append: rows [old,n) of the current share are ingested into the
+//     cached sketches in stream order (bit-identical to a cold build).
+//   - Update: the per-coordinate deltas (new−old) are folded through the
+//     entry's FoldFunc into every cached entry covering the touched rows;
+//     linearity makes the counters *numerically* exact, though the
+//     floating-point grouping differs from a cold build, so updates trade
+//     cold-vs-warm bit-identity for O(delta) cost (mem and TCP still agree
+//     bit-for-bit with each other because both run this same fold path).
+//
+// Invalidation is structural: seeds, shapes, dyadic level counts and
+// filter parameters are all part of the Key, so a job with different
+// randomness or a power-of-two row-count crossing simply misses and
+// rebuilds. A byte budget bounds the store; least-recently-served entries
+// are evicted first.
+package warm
+
+import (
+	"sync"
+
+	"repro/internal/matrix"
+	"repro/internal/sketch"
+)
+
+// Kind discriminates the sketch families a Store caches.
+type Kind uint8
+
+// The cached sketch families: flat full-vector CountSketch, partitioned
+// bucket sketches, and the dyadic level hierarchy.
+const (
+	KindFlat Kind = iota + 1
+	KindBucket
+	KindDyadic
+)
+
+// DefaultBudget is the per-store byte budget when none is configured.
+const DefaultBudget = 64 << 20
+
+// Key identifies one warm entry. Every parameter that shapes the sketch
+// structure or its ingestion filter is part of the key, so a mismatch on
+// any of them is a clean miss rather than a wrong answer.
+type Key struct {
+	Kind     Kind
+	Seed     int64
+	Depth    int
+	Width    int
+	Buckets  int   // bucket-sketch partition count (0 otherwise)
+	Levels   int   // dyadic level count / filter level count (0 otherwise)
+	GSeed    int64 // level-filter unit hash seed (0 when unfiltered)
+	MinLevel uint8 // level-filter threshold (0 when unfiltered)
+	Filtered bool  // whether a level filter restricts ingestion
+}
+
+// FoldFunc applies one coordinate delta to an entry's sketches — the
+// update-path fold. It must replicate the entry's ingestion rule
+// (partitioning, filtering) exactly.
+type FoldFunc func(sks []*sketch.CountSketch, j uint64, delta float64)
+
+// Share wraps a resident share matrix together with its warm store so the
+// sketch builders in internal/ops and internal/hh can discover the store
+// by type assertion while every matrix.Mat method passes through
+// unchanged.
+type Share struct {
+	matrix.Mat
+	store *Store
+}
+
+// Wrap pairs a share matrix with its warm store. A nil store is allowed
+// and simply disables warm serving for detection-free call sites.
+func Wrap(m matrix.Mat, st *Store) *Share { return &Share{Mat: m, store: st} }
+
+// Store returns the warm store backing the share (nil when warm serving
+// is disabled).
+func (s *Share) Store() *Store { return s.store }
+
+// Unwrap returns the underlying share matrix.
+func (s *Share) Unwrap() matrix.Mat { return s.Mat }
+
+// Rebind returns a Share over a new matrix snapshot sharing the same
+// store — the post-append swap.
+func (s *Share) Rebind(m matrix.Mat) *Share { return &Share{Mat: m, store: s.store} }
+
+type entry struct {
+	mu    sync.Mutex
+	rows  int // share rows folded in so far
+	sks   []*sketch.CountSketch
+	fold  FoldFunc
+	bytes int64
+}
+
+// Stats is a point-in-time snapshot of a store's serving counters.
+type Stats struct {
+	Hits       int64 // serves answered from a cached entry (incl. folds)
+	Misses     int64 // serves that built from row 0
+	FoldedRows int64 // appended rows ingested via the warm fold path
+	Evictions  int64 // entries dropped by the byte budget
+	Bytes      int64 // resident counter bytes
+	Entries    int   // resident entry count
+}
+
+// Store is one share's warm sketch cache. All methods are safe for
+// concurrent use.
+type Store struct {
+	budget int64
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	order   []Key // LRU order, least recently served first
+	stats   Stats
+}
+
+// NewStore creates a store with the given byte budget (≤ 0 selects
+// DefaultBudget).
+func NewStore(budget int64) *Store {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Store{budget: budget, entries: make(map[Key]*entry)}
+}
+
+// Serve returns sketches over rows [0,n) of the share for key k, cloned so
+// the caller may mutate (merge into) them freely. On a miss it builds via
+// build() and ingests rows [0,n); on a stale hit it folds only rows
+// [entry.rows, n) forward. ingest must add rows [lo,hi) of the *current*
+// share matrix into the sketches in the canonical stream order; fold is
+// retained for the update path.
+func (st *Store) Serve(n int, k Key,
+	build func() []*sketch.CountSketch,
+	ingest func(sks []*sketch.CountSketch, lo, hi int),
+	fold FoldFunc,
+) []*sketch.CountSketch {
+	st.mu.Lock()
+	e, ok := st.entries[k]
+	if !ok {
+		e = &entry{}
+		st.entries[k] = e
+	}
+	st.touch(k)
+	st.mu.Unlock()
+
+	e.mu.Lock()
+	// Always refresh the fold closure: callers may capture per-call state
+	// (e.g. a precomputed filter table sized to the current row count), and
+	// only the latest one is guaranteed to cover every folded row.
+	e.fold = fold
+	var miss bool
+	var folded int
+	if e.sks == nil {
+		e.sks = build()
+		ingest(e.sks, 0, n)
+		e.rows = n
+		miss = true
+	} else if e.rows < n {
+		folded = n - e.rows
+		ingest(e.sks, e.rows, n)
+		e.rows = n
+	}
+	var bytes int64
+	for _, cs := range e.sks {
+		bytes += cs.Words() * 8
+	}
+	delta := bytes - e.bytes
+	e.bytes = bytes
+	out := make([]*sketch.CountSketch, len(e.sks))
+	for i, cs := range e.sks {
+		out[i] = cs.Clone()
+	}
+	e.mu.Unlock()
+
+	st.mu.Lock()
+	st.stats.Bytes += delta
+	if miss {
+		st.stats.Misses++
+	} else {
+		st.stats.Hits++
+		st.stats.FoldedRows += int64(folded)
+	}
+	st.evictLocked()
+	st.mu.Unlock()
+	return out
+}
+
+// FoldUpdate applies per-coordinate deltas (new−old values at flattened
+// coordinates js, for a share with the given column count) to every
+// resident entry whose folded row range covers the touched row. Entries
+// that have not yet folded past a coordinate's row skip it — those rows
+// will be ingested with their post-update values on the next Serve.
+func (st *Store) FoldUpdate(cols int, js []uint64, deltas []float64) {
+	st.mu.Lock()
+	es := make([]*entry, 0, len(st.entries))
+	for _, e := range st.entries {
+		es = append(es, e)
+	}
+	st.mu.Unlock()
+	for _, e := range es {
+		e.mu.Lock()
+		if e.sks != nil && e.fold != nil {
+			boundary := uint64(e.rows) * uint64(cols)
+			for i, j := range js {
+				if j < boundary && deltas[i] != 0 {
+					e.fold(e.sks, j, deltas[i])
+				}
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
+// Stats returns a snapshot of the serving counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.stats
+	s.Entries = len(st.entries)
+	return s
+}
+
+// Reset drops every cached entry (serving counters are kept).
+func (st *Store) Reset() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.entries = make(map[Key]*entry)
+	st.order = st.order[:0]
+	st.stats.Bytes = 0
+}
+
+// touch moves k to the most-recently-served end of the LRU order.
+// Callers hold st.mu.
+func (st *Store) touch(k Key) {
+	for i, ok := range st.order {
+		if ok == k {
+			copy(st.order[i:], st.order[i+1:])
+			st.order[len(st.order)-1] = k
+			return
+		}
+	}
+	st.order = append(st.order, k)
+}
+
+// evictLocked drops least-recently-served entries until the budget holds.
+// Callers hold st.mu.
+func (st *Store) evictLocked() {
+	for st.stats.Bytes > st.budget && len(st.order) > 1 {
+		k := st.order[0]
+		st.order = st.order[1:]
+		if e, ok := st.entries[k]; ok {
+			e.mu.Lock()
+			st.stats.Bytes -= e.bytes
+			e.sks = nil
+			e.bytes = 0
+			e.mu.Unlock()
+			delete(st.entries, k)
+			st.stats.Evictions++
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package warm
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/sketch"
+)
+
+// testKey returns a distinct key per id for eviction-order tests.
+func testKey(id int) Key {
+	return Key{Kind: KindFlat, Seed: int64(id), Depth: 3, Width: 16}
+}
+
+// rowMat builds an n×d dense matrix with entry (i,j) = base + i*d + j.
+func rowMat(n, d int, base float64) *matrix.Dense {
+	m := matrix.NewDense(n, d)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = base + float64(i*d+j)
+		}
+	}
+	return m
+}
+
+// serve runs one Serve over rows [0,n) of m using the canonical row-major
+// flat ingestion, returning the sketches.
+func serve(st *Store, m *matrix.Dense, n int, k Key) []*sketch.CountSketch {
+	d := m.Cols()
+	return st.Serve(n, k,
+		func() []*sketch.CountSketch {
+			return []*sketch.CountSketch{sketch.NewCountSketch(k.Seed, k.Depth, k.Width)}
+		},
+		func(sks []*sketch.CountSketch, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				m.RowNNZ(i, func(j int, v float64) {
+					sks[0].Update(uint64(i*d+j), v)
+				})
+			}
+		},
+		func(sks []*sketch.CountSketch, j uint64, delta float64) { sks[0].Update(j, delta) },
+	)
+}
+
+// TestServeMissHitFold: a first serve builds cold, a repeat serve hits
+// without re-ingesting, and a serve after the share grew folds exactly the
+// new rows forward — bit-identical to a cold build over the full height.
+func TestServeMissHitFold(t *testing.T) {
+	const d = 4
+	grown := rowMat(10, d, 1)
+	st := NewStore(0)
+	k := testKey(1)
+
+	first := serve(st, grown, 6, k)
+	if s := st.Stats(); s.Misses != 1 || s.Hits != 0 || s.Entries != 1 || s.Bytes != first[0].Words()*8 {
+		t.Fatalf("after miss: %+v", s)
+	}
+	again := serve(st, grown, 6, k)
+	if s := st.Stats(); s.Misses != 1 || s.Hits != 1 || s.FoldedRows != 0 {
+		t.Fatalf("after hit: %+v", s)
+	}
+	folded := serve(st, grown, 10, k)
+	if s := st.Stats(); s.Hits != 2 || s.FoldedRows != 4 {
+		t.Fatalf("after fold: %+v", s)
+	}
+
+	cold := sketch.NewCountSketch(k.Seed, k.Depth, k.Width)
+	for i := 0; i < 10; i++ {
+		grown.RowNNZ(i, func(j int, v float64) { cold.Update(uint64(i*d+j), v) })
+	}
+	want, got := cold.Serialize(), folded[0].Serialize()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("folded sketch diverged from cold build at word %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	// Clone isolation: mutating a served sketch must not leak into the
+	// cached entry.
+	again[0].Update(0, 1e9)
+	if clean := serve(st, grown, 10, k); clean[0].Estimate(0) == again[0].Estimate(0) {
+		t.Fatal("serving returned the resident sketch, not a clone")
+	}
+}
+
+// TestServeKeyIsolation: different keys are independent entries — a
+// parameter change is a clean miss, never a wrong answer.
+func TestServeKeyIsolation(t *testing.T) {
+	m := rowMat(5, 3, 1)
+	st := NewStore(0)
+	serve(st, m, 5, testKey(1))
+	serve(st, m, 5, testKey(2))
+	filtered := testKey(1)
+	filtered.Filtered = true
+	filtered.MinLevel = 2
+	serve(st, m, 5, filtered)
+	if s := st.Stats(); s.Misses != 3 || s.Entries != 3 {
+		t.Fatalf("distinct keys shared entries: %+v", s)
+	}
+}
+
+// TestFoldUpdate: coordinate deltas reach only entries whose folded range
+// covers the touched row; later rows arrive via the next serve instead.
+func TestFoldUpdate(t *testing.T) {
+	const d = 3
+	m := rowMat(8, d, 1)
+	st := NewStore(0)
+	k := testKey(7)
+	serve(st, m, 4, k) // entry covers rows [0,4)
+
+	// Overwrite (1,2): covered — the delta folds in.
+	old := m.At(1, 2)
+	m.Row(1)[2] = 50
+	st.FoldUpdate(d, []uint64{1*d + 2}, []float64{50 - old})
+	// Overwrite (6,0): beyond the folded range — must be skipped now and
+	// ingested with its new value by the fold-forward serve below.
+	old6 := m.At(6, 0)
+	m.Row(6)[0] = -9
+	st.FoldUpdate(d, []uint64{6 * d}, []float64{-9 - old6})
+
+	got := serve(st, m, 8, k)
+	cold := sketch.NewCountSketch(k.Seed, k.Depth, k.Width)
+	for i := 0; i < 8; i++ {
+		m.RowNNZ(i, func(j int, v float64) { cold.Update(uint64(i*d+j), v) })
+	}
+	// Numerically exact (same additions, different grouping): compare
+	// estimates, not bits.
+	for _, j := range []uint64{1*d + 2, 6 * d, 0, 7*d + 2} {
+		if w, g := cold.Estimate(j), got[0].Estimate(j); w != g {
+			t.Fatalf("estimate at %d after update fold: %v, cold %v", j, g, w)
+		}
+	}
+}
+
+// TestEviction: entries beyond the byte budget are dropped least recently
+// served first, and a re-serve of an evicted key rebuilds cold.
+func TestEviction(t *testing.T) {
+	m := rowMat(4, 4, 1)
+	// One 3×16 float64 sketch is 384 bytes: budget two entries.
+	st := NewStore(2 * 384)
+	serve(st, m, 4, testKey(1))
+	serve(st, m, 4, testKey(2))
+	serve(st, m, 4, testKey(1)) // key 2 is now LRU
+	serve(st, m, 4, testKey(3)) // evicts key 2
+	s := st.Stats()
+	if s.Evictions != 1 || s.Entries != 2 || s.Bytes != 2*384 {
+		t.Fatalf("eviction accounting wrong: %+v", s)
+	}
+	serve(st, m, 4, testKey(1))
+	if got := st.Stats(); got.Misses != 3 {
+		// keys 1,2,3 missed once each; key 1 must still be resident.
+		t.Fatalf("survivor rebuilt after eviction: %+v", got)
+	}
+	serve(st, m, 4, testKey(2))
+	if got := st.Stats(); got.Misses != 4 {
+		t.Fatalf("evicted key served from a ghost entry: %+v", got)
+	}
+}
+
+// TestReset drops entries but keeps the counters.
+func TestReset(t *testing.T) {
+	m := rowMat(4, 4, 1)
+	st := NewStore(0)
+	serve(st, m, 4, testKey(1))
+	st.Reset()
+	s := st.Stats()
+	if s.Entries != 0 || s.Bytes != 0 || s.Misses != 1 {
+		t.Fatalf("reset state wrong: %+v", s)
+	}
+	serve(st, m, 4, testKey(1))
+	if got := st.Stats(); got.Misses != 2 {
+		t.Fatalf("entry survived reset: %+v", got)
+	}
+}
+
+// TestShareWrap: the Share wrapper passes the matrix through and carries
+// the store across Rebind.
+func TestShareWrap(t *testing.T) {
+	m := rowMat(3, 2, 1)
+	st := NewStore(0)
+	sh := Wrap(m, st)
+	if sh.Rows() != 3 || sh.Cols() != 2 || sh.At(2, 1) != m.At(2, 1) {
+		t.Fatal("wrapped share does not pass Mat through")
+	}
+	if sh.Store() != st || sh.Unwrap() != matrix.Mat(m) {
+		t.Fatal("share lost its store or matrix")
+	}
+	grown := rowMat(4, 2, 1)
+	re := sh.Rebind(grown)
+	if re.Store() != st || re.Rows() != 4 {
+		t.Fatal("rebind lost the store or the new matrix")
+	}
+	if nilShare := Wrap(m, nil); nilShare.Store() != nil {
+		t.Fatal("nil store must stay nil")
+	}
+}

@@ -46,8 +46,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/fn"
 	"repro/internal/matrix"
+	"repro/internal/ops"
 	"repro/internal/rff"
 	"repro/internal/samplers"
+	"repro/internal/warm"
 	"repro/internal/zsampler"
 )
 
@@ -307,6 +309,27 @@ type datasetEntry struct {
 	masked []Mat
 	rows   int
 	cols   int
+
+	// mu orders delta installation against protocol execution: a job
+	// holds the read side for its whole protocol run, AppendRows and
+	// UpdateRows hold the write side while folding a delta — so no job
+	// ever observes a half-applied delta, and the warm stores only see
+	// monotonically growing shares. Lock order: installMu → mu → c.mu;
+	// nothing holding c.mu ever acquires a dataset lock.
+	mu sync.RWMutex
+	// stores are the per-server warm sketch stores protocol runs serve
+	// their sketches from. On a TCP cluster only slot 0 (the CP's own
+	// share) is hosted here — the workers keep their stores share-side.
+	stores []*warm.Store
+	// hstates are the per-share resumable fingerprint states; delta
+	// installations continue them instead of rehashing the dataset, so
+	// the chained fingerprint equals the one a fresh install of the same
+	// final content would compute.
+	hstates []uint64
+	// appended counts rows added since installation; lastDelta is the
+	// wall clock of the most recent delta installation.
+	appended  int
+	lastDelta time.Time
 }
 
 // DatasetInfo describes one installed dataset.
@@ -314,10 +337,20 @@ type DatasetInfo struct {
 	// ID is the dataset's registry id (explicit, or "auto-…" content ids
 	// minted by SetLocalData/SetLocalMats).
 	ID string
-	// Rows and Cols are the shape every share has.
+	// Rows and Cols are the shape every share has. Rows tracks appends:
+	// it is the current row count, not the installed one.
 	Rows, Cols int
 	// Active reports whether jobs with Options.Dataset == "" run here.
 	Active bool
+	// Fingerprint is the dataset's chained content fingerprint. Delta
+	// installations advance it by hash chaining, so it always equals the
+	// fingerprint a fresh install of the current content would compute.
+	Fingerprint uint64
+	// AppendedRows counts rows added by AppendRows since installation.
+	AppendedRows int
+	// LastAppend is the wall-clock time of the most recent delta
+	// installation (zero if the dataset never received one).
+	LastAppend time.Time
 }
 
 // NewCluster creates an in-process cluster of s servers (server 0 is the
@@ -423,11 +456,11 @@ func (c *Cluster) SetLocalData(locals []*Matrix) error {
 // moves. The protocols afterwards reach worker shares only through the
 // fabric.
 func (c *Cluster) SetLocalMats(locals []Mat) error {
-	fp, err := c.validateShares(locals)
+	fp, hstates, err := c.validateShares(locals)
 	if err != nil {
 		return err
 	}
-	return c.installDataset(context.Background(), fmt.Sprintf("auto-%016x", fp), fp, locals)
+	return c.installDataset(context.Background(), fmt.Sprintf("auto-%016x", fp), fp, hstates, locals)
 }
 
 // InstallDataset registers the shares under an explicit dataset id and
@@ -440,45 +473,47 @@ func (c *Cluster) InstallDataset(ctx context.Context, id string, locals []Mat) e
 	if id == "" {
 		return errors.New("repro: dataset id must not be empty")
 	}
-	fp, err := c.validateShares(locals)
+	fp, hstates, err := c.validateShares(locals)
 	if err != nil {
 		return err
 	}
-	return c.installDataset(ctx, id, fp, locals)
+	return c.installDataset(ctx, id, fp, hstates, locals)
 }
 
 // validateShares checks the share roster and returns its content
-// fingerprint.
-func (c *Cluster) validateShares(locals []Mat) (uint64, error) {
+// fingerprint plus the per-share resumable hash states delta
+// installations continue from.
+func (c *Cluster) validateShares(locals []Mat) (uint64, []uint64, error) {
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
-		return 0, ErrClosed
+		return 0, nil, ErrClosed
 	}
 	if c.net == nil {
-		return 0, errors.New("repro: AwaitWorkers before installing data on a TCP cluster")
+		return 0, nil, errors.New("repro: AwaitWorkers before installing data on a TCP cluster")
 	}
 	if len(locals) != c.net.Servers() {
-		return 0, fmt.Errorf("repro: %d shares for %d servers", len(locals), c.net.Servers())
+		return 0, nil, fmt.Errorf("repro: %d shares for %d servers", len(locals), c.net.Servers())
 	}
 	if locals[0] == nil {
-		return 0, fmt.Errorf("%w: the CP share is nil", ErrShapeMismatch)
+		return 0, nil, fmt.Errorf("%w: the CP share is nil", ErrShapeMismatch)
 	}
 	n, d := locals[0].Rows(), locals[0].Cols()
 	for t, m := range locals {
 		if m == nil {
-			return 0, fmt.Errorf("%w: server %d share is nil", ErrShapeMismatch, t)
+			return 0, nil, fmt.Errorf("%w: server %d share is nil", ErrShapeMismatch, t)
 		}
 		mn, md := m.Rows(), m.Cols()
 		if mn != n || md != d {
-			return 0, fmt.Errorf("%w: server %d share is %dx%d, want %dx%d", ErrShapeMismatch, t, mn, md, n, d)
+			return 0, nil, fmt.Errorf("%w: server %d share is %dx%d, want %dx%d", ErrShapeMismatch, t, mn, md, n, d)
 		}
 	}
-	return fingerprintMats(locals), nil
+	fp, hstates := fingerprintMats(locals)
+	return fp, hstates, nil
 }
 
-func (c *Cluster) installDataset(ctx context.Context, id string, fp uint64, locals []Mat) error {
+func (c *Cluster) installDataset(ctx context.Context, id string, fp uint64, hstates []uint64, locals []Mat) error {
 	// installMu serializes whole installations: two concurrent installs of
 	// the same id must resolve to one registration (or one conflict), not
 	// a duplicated registry entry.
@@ -496,10 +531,18 @@ func (c *Cluster) installDataset(ctx context.Context, id string, fp uint64, loca
 	}
 	c.mu.Unlock()
 
+	// One warm sketch store per hosted share, living as long as the
+	// registry entry: re-installing the same content is a cache hit that
+	// keeps the stores (and their warm sketches) intact.
+	stores := make([]*warm.Store, len(locals))
+	for t := range stores {
+		stores[t] = warm.NewStore(0)
+	}
 	entry := &datasetEntry{
 		id: id, key: datasetKey(id), fp: fp,
 		locals: locals,
 		rows:   locals[0].Rows(), cols: locals[0].Cols(),
+		stores: stores, hstates: hstates,
 	}
 	if c.coord != nil {
 		if err := c.coord.InstallDatasetCtx(ctx, entry.key, locals); err != nil {
@@ -537,7 +580,10 @@ func (c *Cluster) Datasets() []DatasetInfo {
 	out := make([]DatasetInfo, 0, len(c.order))
 	for _, id := range c.order {
 		e := c.datasets[id]
-		out = append(out, DatasetInfo{ID: id, Rows: e.rows, Cols: e.cols, Active: id == c.active})
+		out = append(out, DatasetInfo{
+			ID: id, Rows: e.rows, Cols: e.cols, Active: id == c.active,
+			Fingerprint: e.fp, AppendedRows: e.appended, LastAppend: e.lastDelta,
+		})
 	}
 	return out
 }
@@ -554,32 +600,366 @@ func datasetKey(id string) uint64 {
 	return k
 }
 
+// Delta-installation phase tags: the only charged traffic outside job
+// sessions, reported by Cluster.Breakdown.
+const (
+	tagDeltaAppend = "delta/append"
+	tagDeltaUpdate = "delta/update"
+)
+
+// AppendRows appends delta rows to every share of an installed dataset —
+// the streaming entry point of incremental sketch maintenance. rows holds
+// one delta share per server (the same roster shape as SetLocalMats),
+// each dn×d with d the dataset's column count. Only the delta moves:
+// workers fold the rows into their resident shares (warm sketches absorb
+// them at the next query), and the dataset's fingerprint advances by hash
+// chaining, so a later InstallDataset of the final matrix is recognized
+// as already resident. The shipped delta is charged on the cluster ledger
+// under "delta/append" — proportional to dn·d, not to the dataset size.
+//
+// dataset selects the target ("" = the active dataset). An append
+// excludes jobs on the same dataset for the duration of the fold, and a
+// query after any number of appends is bit-identical — transcript, ledger
+// and projection — to the same query after a one-shot install of the
+// final matrix.
+func (c *Cluster) AppendRows(ctx context.Context, dataset string, rows []Mat) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ds, err := c.deltaTarget(dataset, rows)
+	if err != nil {
+		return err
+	}
+	dn, d := rows[0].Rows(), rows[0].Cols()
+	if dn == 0 {
+		return nil
+	}
+	c.installMu.Lock()
+	defer c.installMu.Unlock()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if d != ds.cols {
+		return fmt.Errorf("%w: delta has %d cols, dataset %q has %d", ErrShapeMismatch, d, ds.id, ds.cols)
+	}
+	n0 := ds.rows
+	// Stage the appended roster and chained states first — AppendRows is
+	// pure on the old matrices, so nothing is published until the wire
+	// ship below succeeded (a Send error means the transport is down and
+	// the cluster is unusable anyway).
+	locals := make([]Mat, len(ds.locals))
+	states := make([]uint64, len(ds.locals))
+	for t, m := range ds.locals {
+		nm, err := matrix.AppendRows(m, rows[t])
+		if err != nil {
+			return err
+		}
+		locals[t] = nm
+		states[t] = shareStreamHash(ds.hstates[t], rows[t], n0)
+	}
+	for t := 1; t < len(rows); t++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := c.shipAppend(ds.key, t, n0, d, rows[t]); err != nil {
+			return err
+		}
+	}
+	// Hosted warm sketches fold lazily: the stores see a grown share at
+	// the next query and ingest exactly rows [n0, n0+dn).
+	c.publishDelta(ds, locals, n0+dn, states, dn)
+	return nil
+}
+
+// AppendLocalData is AppendRows for dense delta shares.
+func (c *Cluster) AppendLocalData(ctx context.Context, dataset string, rows []*Matrix) error {
+	return c.AppendRows(ctx, dataset, matrix.AsMats(rows))
+}
+
+// UpdateRows overwrites the idx-selected rows of every share of an
+// installed dataset with the given replacement rows — one len(idx)×d
+// share per server; duplicate indices resolve last-wins. Workers fold the
+// per-coordinate value deltas into their warm sketches eagerly, so the
+// next query stays warm. The folded sketches are numerically exact but —
+// unlike appends — not bit-identical to a cold rebuild (floating-point
+// addition is not associative); mem and TCP clusters still agree with
+// each other bit for bit, because both fold the identical delta sequence.
+// Charged under "delta/update"; the fingerprint is rechained from the
+// updated shares.
+func (c *Cluster) UpdateRows(ctx context.Context, dataset string, idx []int, rows []Mat) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ds, err := c.deltaTarget(dataset, rows)
+	if err != nil {
+		return err
+	}
+	k, d := rows[0].Rows(), rows[0].Cols()
+	if k != len(idx) {
+		return fmt.Errorf("%w: %d replacement rows for %d indices", ErrShapeMismatch, k, len(idx))
+	}
+	if k == 0 {
+		return nil
+	}
+	c.installMu.Lock()
+	defer c.installMu.Unlock()
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if d != ds.cols {
+		return fmt.Errorf("%w: delta has %d cols, dataset %q has %d", ErrShapeMismatch, d, ds.id, ds.cols)
+	}
+	n := ds.rows
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			return fmt.Errorf("repro: update index %d outside dataset %q (%d rows)", i, ds.id, n)
+		}
+	}
+	// Chunk exactly as the wire does and fold chunk by chunk, so the CP's
+	// warm stores see the same delta sequence the workers' stores see —
+	// what keeps mem and TCP sketches bit-identical after an update.
+	step := cluster.InstallChunkWords() / (d + 1)
+	if step < 1 {
+		step = 1
+	}
+	locals := append([]Mat(nil), ds.locals...)
+	for off := 0; off < k; off += step {
+		end := off + step
+		if end > k {
+			end = k
+		}
+		ii := idx[off:end]
+		for t := range locals {
+			w := rowWindow(rows[t], off, end)
+			js, deltas := ops.UpdateDeltas(locals[t], ii, w)
+			nm, err := matrix.UpdateRows(locals[t], ii, w)
+			if err != nil {
+				return err
+			}
+			ds.stores[t].FoldUpdate(d, js, deltas)
+			locals[t] = nm
+		}
+		for t := 1; t < len(rows); t++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			f := &comm.Frame{Kind: comm.KindShare, Op: ops.OpUpdateRows, From: comm.CP, To: t,
+				Tag: tagDeltaUpdate, Words: ops.UpdateRowsPayload(ds.key, n, d, ii, rowWindow(rows[t], off, end))}
+			if err := c.net.ShipCharged(f); err != nil {
+				return fmt.Errorf("repro: updating rows on worker %d: %w", t, err)
+			}
+		}
+	}
+	// Updated values replace, not extend, the hashed stream — the states
+	// are rebuilt from scratch (updates are assumed rare next to appends).
+	states := make([]uint64, len(locals))
+	for t, m := range locals {
+		states[t] = shareStreamHash(fnvOffset64, m, 0)
+	}
+	c.publishDelta(ds, locals, n, states, 0)
+	return nil
+}
+
+// deltaTarget resolves a delta installation's dataset and sanity-checks
+// the delta roster (one share per server, equal shapes); checks against
+// the dataset's own shape happen later under its write lock.
+func (c *Cluster) deltaTarget(dataset string, rows []Mat) (*datasetEntry, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.net == nil {
+		return nil, errors.New("repro: AwaitWorkers before installing deltas on a TCP cluster")
+	}
+	id := dataset
+	if id == "" {
+		id = c.active
+	}
+	if id == "" {
+		return nil, ErrNoData
+	}
+	ds, ok := c.datasets[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, id)
+	}
+	if len(rows) != c.net.Servers() {
+		return nil, fmt.Errorf("repro: %d delta shares for %d servers", len(rows), c.net.Servers())
+	}
+	for t, m := range rows {
+		if m == nil {
+			return nil, fmt.Errorf("%w: server %d delta share is nil", ErrShapeMismatch, t)
+		}
+		if m.Rows() != rows[0].Rows() || m.Cols() != rows[0].Cols() {
+			return nil, fmt.Errorf("%w: server %d delta share is %dx%d, want %dx%d",
+				ErrShapeMismatch, t, m.Rows(), m.Cols(), rows[0].Rows(), rows[0].Cols())
+		}
+	}
+	return ds, nil
+}
+
+// shipAppend ships one share's append delta to its worker, chunked by the
+// same payload bound as full installation so any delta encodes under the
+// codec frame cap. Each chunk is an independent append continuing at its
+// own base row; the frames are charged under tagDeltaAppend — identically
+// on mem and TCP fabrics (on mem nothing moves, but the ledger commits).
+func (c *Cluster) shipAppend(key uint64, t, n0, d int, delta Mat) error {
+	dn := delta.Rows()
+	step := cluster.InstallChunkWords() / d
+	if step < 1 {
+		step = 1
+	}
+	for off := 0; off < dn; off += step {
+		end := off + step
+		if end > dn {
+			end = dn
+		}
+		f := &comm.Frame{Kind: comm.KindShare, Op: ops.OpAppendRows, From: comm.CP, To: t,
+			Tag: tagDeltaAppend, Words: ops.AppendRowsPayload(key, n0+off, d, rowWindow(delta, off, end))}
+		if err := c.net.ShipCharged(f); err != nil {
+			return fmt.Errorf("repro: appending rows on worker %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// publishDelta installs a delta's outcome on the registry entry. The
+// scalar metadata is republished under c.mu so listings (which hold only
+// c.mu) never race the swap; callers hold installMu and the entry's
+// write lock.
+func (c *Cluster) publishDelta(ds *datasetEntry, locals []Mat, n int, states []uint64, appended int) {
+	var masked []Mat
+	if c.coord != nil {
+		masked = c.coord.MaskShares(locals)
+	}
+	c.mu.Lock()
+	ds.locals = locals
+	ds.masked = masked
+	ds.rows = n
+	ds.hstates = states
+	ds.fp = combineFingerprint(n, ds.cols, states)
+	ds.appended += appended
+	ds.lastDelta = time.Now()
+	c.mu.Unlock()
+}
+
+// rowWindow returns rows [lo,hi) of m — m itself when the window covers
+// the whole matrix, a dense copy otherwise (only multi-chunk deltas pay
+// for it).
+func rowWindow(m Mat, lo, hi int) Mat {
+	if lo == 0 && hi == m.Rows() {
+		return m
+	}
+	w := matrix.NewDense(hi-lo, m.Cols())
+	row := make([]float64, m.Cols())
+	for i := lo; i < hi; i++ {
+		for j := range row {
+			row[j] = 0
+		}
+		m.RowNNZ(i, func(j int, v float64) { row[j] = v })
+		w.SetRow(i-lo, row)
+	}
+	return w
+}
+
+// WarmStats reports the warm sketch store counters of a dataset's hosted
+// shares ("" = the active dataset), summed across servers. On a TCP
+// cluster only the CP's own store is hosted here — the workers keep
+// theirs share-side, so remote hits are not visible in these counters.
+type WarmStats struct {
+	// Hits counts sketch builds answered from a warm entry (including
+	// fold-forward serves after appends); Misses counts cold builds.
+	Hits, Misses int64
+	// FoldedRows counts appended rows ingested via the warm fold path —
+	// the work a cold rebuild would have multiplied by the full height.
+	FoldedRows int64
+	// Evictions counts warm entries dropped by the store byte budget.
+	Evictions int64
+}
+
+// WarmStats sums the named dataset's hosted warm-store counters.
+func (c *Cluster) WarmStats(dataset string) (WarmStats, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return WarmStats{}, ErrClosed
+	}
+	id := dataset
+	if id == "" {
+		id = c.active
+	}
+	ds, ok := c.datasets[id]
+	c.mu.Unlock()
+	if !ok {
+		return WarmStats{}, fmt.Errorf("%w: %q", ErrUnknownDataset, id)
+	}
+	var ws WarmStats
+	for _, st := range ds.stores {
+		s := st.Stats()
+		ws.Hits += s.Hits
+		ws.Misses += s.Misses
+		ws.FoldedRows += s.FoldedRows
+		ws.Evictions += s.Evictions
+	}
+	return ws, nil
+}
+
+// FNV-1a parameters, inlined so per-share hash states are plain uint64
+// values that delta installations can resume (hash/fnv's states are not
+// extractable).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvWord folds one little-endian 64-bit word into an FNV-1a state,
+// byte-for-byte what hash/fnv's New64a would do.
+func fnvWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// shareStreamHash folds the nonzero stream of m into state as if m's rows
+// were rows [base, base+m.Rows()) of the share — the absolute row index
+// is what gets hashed, which makes the state resumable: appending rows
+// continues the stream exactly where the previous installation stopped.
+func shareStreamHash(state uint64, m Mat, base int) uint64 {
+	for i, dn := 0, m.Rows(); i < dn; i++ {
+		ai := uint64(base + i)
+		m.RowNNZ(i, func(j int, v float64) {
+			state = fnvWord(state, ai)
+			state = fnvWord(state, uint64(j))
+			state = fnvWord(state, math.Float64bits(v))
+		})
+	}
+	return state
+}
+
+// combineFingerprint derives the roster fingerprint from the current
+// shape and the per-share stream states. Shape lives here, outside the
+// resumable states, precisely so appends (which change n) can rechain.
+func combineFingerprint(n, d int, states []uint64) uint64 {
+	h := fnvWord(fnvOffset64, uint64(len(states)))
+	for _, st := range states {
+		h = fnvWord(h, uint64(n))
+		h = fnvWord(h, uint64(d))
+		h = fnvWord(h, st)
+	}
+	return h
+}
+
 // fingerprintMats hashes the logical content of a share roster — shape
 // plus the backend-invariant nonzero stream — so two installs of the same
-// data are recognized as one dataset regardless of storage backend.
-func fingerprintMats(locals []Mat) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	word := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
+// data are recognized as one dataset regardless of storage backend. It
+// also returns the per-share stream states, which delta installations
+// resume: fp(install A; append Δ) == fp(install [A;Δ]) exactly.
+func fingerprintMats(locals []Mat) (uint64, []uint64) {
+	states := make([]uint64, len(locals))
+	for t, m := range locals {
+		states[t] = shareStreamHash(fnvOffset64, m, 0)
 	}
-	word(uint64(len(locals)))
-	for _, m := range locals {
-		n, d := m.Rows(), m.Cols()
-		word(uint64(n))
-		word(uint64(d))
-		for i := 0; i < n; i++ {
-			m.RowNNZ(i, func(j int, v float64) {
-				word(uint64(i))
-				word(uint64(j))
-				word(math.Float64bits(v))
-			})
-		}
-	}
-	return h.Sum64()
+	return combineFingerprint(locals[0].Rows(), locals[0].Cols(), states), states
 }
 
 // Words returns the total communication consumed so far: the root
@@ -821,6 +1201,12 @@ func (c *Cluster) execute(j *Job) (*Result, error) {
 	sess.OnRound(func(seq int64, tag string) {
 		j.noteRound(seq, tag, sess.Words())
 	})
+	// Delta installation excludes protocol execution: the job holds the
+	// dataset's read lock for its whole run, so appends and updates land
+	// strictly between jobs and the warm stores only ever see a share at
+	// one consistent height per run.
+	j.ds.mu.RLock()
+	defer j.ds.mu.RUnlock()
 	var locals []Mat
 	if c.coord != nil {
 		if err := c.coord.OpenSession(sess.ID(), j.ds.key); err != nil {
@@ -835,9 +1221,9 @@ func (c *Cluster) execute(j *Job) (*Result, error) {
 			}
 			c.coord.CloseSession(sess.ID())
 		}()
-		locals = j.ds.masked
+		locals = warmLocals(j.ds.masked, j.ds.stores)
 	} else {
-		locals = j.opts.Backend.Apply(j.ds.locals)
+		locals = warmLocals(j.opts.Backend.Apply(j.ds.locals), j.ds.stores)
 	}
 	res, err := runPCA(ctx, sess.Network, locals, j.f, j.opts, j.seed)
 	if err != nil {
@@ -848,6 +1234,23 @@ func (c *Cluster) execute(j *Job) (*Result, error) {
 	}
 	res.JobID = j.id
 	return res, nil
+}
+
+// warmLocals wraps every hosted share with its dataset's warm sketch
+// store, so the protocol's sketch builders serve repeated jobs from warm
+// sketches and fold forward only the rows appended since the last one.
+// The wrapping is communication-invisible: warm and cold builds produce
+// bit-identical sketches, only the ingestion work differs.
+func warmLocals(locals []Mat, stores []*warm.Store) []Mat {
+	out := make([]Mat, len(locals))
+	for t, m := range locals {
+		if m == nil || t >= len(stores) || stores[t] == nil {
+			out[t] = m
+			continue
+		}
+		out[t] = warm.Wrap(m, stores[t])
+	}
+	return out
 }
 
 // runPCA drives the protocol pipeline (sampler construction, Algorithm 1,
@@ -930,7 +1333,10 @@ func (c *Cluster) ImplicitMatrix(f Func) (*Matrix, error) {
 	if ds == nil {
 		return nil, errors.New("repro: SetLocalData before ImplicitMatrix")
 	}
-	return matrix.SumMats(ds.locals).Apply(f.f.Apply), nil
+	ds.mu.RLock()
+	locals := ds.locals
+	ds.mu.RUnlock()
+	return matrix.SumMats(locals).Apply(f.f.Apply), nil
 }
 
 // ProjectionError2 returns ‖A − AP‖_F² via the matrix Pythagorean theorem.
