@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json fmt vet lint-doc short ci smoke-tcp smoke-serve api api-check
+.PHONY: all build test race bench bench-smoke bench-json fmt vet lint-doc short ci smoke-tcp smoke-serve smoke-loadgen api api-check
 
 all: build
 
@@ -34,14 +34,16 @@ bench: bench-smoke
 # Cancel landing on a running job → engine idle again, mem vs TCP) and
 # the incremental-maintenance benchmarks (AppendThenQuery: warm re-query
 # after a ≤1% append vs cold full re-install, delta_rows/warm_hit
-# metrics, mem vs TCP), rendered as JSON records (op, iterations, ns/op,
-# B/op, custom metrics) for machine comparison across PRs.
+# metrics, mem vs TCP), plus the session-setup benchmarks (SessionSetup:
+# the fixed bind/end handshake cost a session-pool hit skips, mem vs
+# TCP), rendered as JSON records (op, iterations, ns/op, B/op, custom
+# metrics) for machine comparison across PRs.
 # Staged through temp files so a failing bench run (or an empty
 # measurement set, which dlra-benchjson rejects) fails the target without
 # truncating an existing BENCH_JSON snapshot.
-BENCH_JSON ?= BENCH_pr8.json
+BENCH_JSON ?= BENCH_pr9.json
 bench-json:
-	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput|CancelLatency|FrameEncodeDecode|AppendThenQuery' \
+	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput|CancelLatency|FrameEncodeDecode|AppendThenQuery|SessionSetup' \
 		-benchmem -benchtime=3x . ./internal/comm > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
 	$(GO) run ./cmd/dlra-benchjson < $(BENCH_JSON).txt > $(BENCH_JSON).tmp || \
 		{ rm -f $(BENCH_JSON).txt $(BENCH_JSON).tmp; exit 1; }
@@ -88,6 +90,28 @@ smoke-serve:
 	$(SERVE_DIR)/dlra-datagen -dataset forestcover -scale small -output $(SERVE_DIR)/fc.bin
 	$(SERVE_DIR)/dlra-serve -input $(SERVE_DIR)/fc.bin -servers 3 -transport tcp \
 		-addr 127.0.0.1:0 -smoke 3
+
+# Load-generator smoke: dlra-serve over a loopback TCP cluster in the
+# background, dlra-loadgen driving it closed- then open-loop at low rate.
+# The assertions live in loadgen itself: it exits nonzero when any job
+# errors, fewer than -min-completed jobs finish, or the written benchjson
+# report fails its read-back round-trip — so a green target means the
+# serve tier completed real load and produced a well-formed histogram
+# report. Mirrored by the loadgen-smoke CI job.
+LOADGEN_DIR ?= /tmp/dlra-loadgen-smoke
+LOADGEN_ADDR ?= 127.0.0.1:7793
+smoke-loadgen:
+	rm -rf $(LOADGEN_DIR) && mkdir -p $(LOADGEN_DIR)
+	$(GO) build -o $(LOADGEN_DIR)/dlra-serve ./cmd/dlra-serve
+	$(GO) build -o $(LOADGEN_DIR)/dlra-loadgen ./cmd/dlra-loadgen
+	$(GO) build -o $(LOADGEN_DIR)/dlra-datagen ./cmd/dlra-datagen
+	$(LOADGEN_DIR)/dlra-datagen -dataset forestcover -scale small -output $(LOADGEN_DIR)/fc.bin
+	$(LOADGEN_DIR)/dlra-serve -input $(LOADGEN_DIR)/fc.bin -servers 3 -transport tcp \
+		-addr $(LOADGEN_ADDR) & echo $$! > $(LOADGEN_DIR)/serve.pid; \
+	status=0; \
+	$(LOADGEN_DIR)/dlra-loadgen -base http://$(LOADGEN_ADDR) -mode both -conc 4 -jobs 24 \
+		-qps 8 -duration 3s -min-completed 24 -json $(LOADGEN_DIR)/loadgen.json || status=$$?; \
+	kill $$(cat $(LOADGEN_DIR)/serve.pid) 2>/dev/null; wait; exit $$status
 
 # Fails (exit 1) when any file needs gofmt.
 fmt:

@@ -1,0 +1,487 @@
+// Command dlra-loadgen drives a running dlra-serve instance with
+// sustained PCA job traffic and reports where the latency actually goes.
+// It is the measurement instrument behind the engine-throughput work:
+// the committed BENCH snapshots measure the engine in-process, while
+// loadgen measures the whole serving path — HTTP admission, queue wait,
+// session bind, protocol rounds, teardown — against a live server.
+//
+// Two load shapes, runnable separately or back to back (-mode both):
+//
+//   - closed loop: -conc workers each submit a job, poll it to a
+//     terminal state, and immediately submit the next, until -jobs
+//     have completed. Measures capacity (jobs/sec at a fixed
+//     concurrency level).
+//   - open loop: jobs arrive on a fixed schedule at -qps for -duration,
+//     regardless of how many are still in flight. Measures behavior
+//     under a traffic rate the server does not control — the shape that
+//     exposes queueing collapse a closed loop hides.
+//
+// Every completed job contributes an end-to-end latency sample and the
+// per-phase nanosecond breakdown dlra-serve reports from Job.Progress
+// (queue wait, session bind, protocol rounds, teardown), so the output
+// separates "the protocol is slow" from "the job sat in the queue".
+// The server's /metrics endpoint is scraped before and after the run
+// and the counter deltas (jobs done, session-pool hits/misses) ride
+// along in the report.
+//
+// With -json the report is written as a JSON array in the same
+// per-record shape as cmd/dlra-benchjson's output (op / iterations /
+// ns_per_op / metrics), so a loadgen run can be concatenated with a
+// BENCH_pr*.json snapshot for machine comparison:
+//
+//	dlra-loadgen -base http://127.0.0.1:7793 -mode both -json loadgen.json
+//
+// Exit status is nonzero when any job errored, when fewer than
+// -min-completed jobs finished, or when the written JSON fails to
+// round-trip — which is what makes `make smoke-loadgen` a real gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		base         = flag.String("base", "http://127.0.0.1:7793", "dlra-serve base URL")
+		mode         = flag.String("mode", "closed", "load shape: closed, open, or both")
+		conc         = flag.Int("conc", 4, "closed loop: concurrent workers")
+		jobs         = flag.Int("jobs", 32, "closed loop: total jobs to complete")
+		qps          = flag.Float64("qps", 8, "open loop: target arrival rate (jobs/sec)")
+		duration     = flag.Duration("duration", 5*time.Second, "open loop: how long to generate arrivals")
+		dataset      = flag.String("dataset", "", "dataset id to query (empty = server's active dataset)")
+		fn           = flag.String("fn", "identity", "function spec (identity, huber:K, gm:P, l1l2, fair:C, abspow:P, cosine)")
+		k            = flag.Int("k", 3, "target rank")
+		rows         = flag.Int("rows", 0, "sampled rows (0 = protocol default)")
+		seed         = flag.Int64("seed", 0, "base seed forwarded to every job (0 = server default)")
+		jsonPath     = flag.String("json", "", "write the report as benchjson-shaped JSON to this file")
+		minCompleted = flag.Int("min-completed", 0, "fail unless at least this many jobs completed")
+		readyWait    = flag.Duration("ready-wait", 30*time.Second, "how long to wait for the server's /healthz")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("dlra-loadgen: ")
+
+	lg := &loadgen{
+		base:   strings.TrimRight(*base, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+		spec: submitRequest{
+			Dataset: *dataset, Fn: *fn, K: *k, Rows: *rows, Seed: *seed,
+		},
+	}
+	if err := lg.waitReady(*readyWait); err != nil {
+		log.Fatal(err)
+	}
+
+	before, err := lg.scrapeMetrics()
+	if err != nil {
+		log.Fatalf("scraping /metrics: %v", err)
+	}
+
+	var records []measurement
+	runClosed := *mode == "closed" || *mode == "both"
+	runOpen := *mode == "open" || *mode == "both"
+	if !runClosed && !runOpen {
+		log.Fatalf("unknown -mode %q (want closed, open, or both)", *mode)
+	}
+	completed := 0
+	if runClosed {
+		res := lg.closedLoop(*conc, *jobs)
+		completed += len(res.samples)
+		records = append(records, res.record("LoadgenClosed", map[string]float64{
+			"concurrency": float64(*conc),
+		}))
+		log.Printf("closed loop: %s", res)
+	}
+	if runOpen {
+		res := lg.openLoop(*qps, *duration)
+		completed += len(res.samples)
+		records = append(records, res.record("LoadgenOpen", map[string]float64{
+			"target_qps": *qps,
+		}))
+		log.Printf("open loop: %s", res)
+	}
+
+	after, err := lg.scrapeMetrics()
+	if err != nil {
+		log.Fatalf("scraping /metrics: %v", err)
+	}
+	delta := metricsDelta(before, after)
+	records = append(records, measurement{
+		Op: "LoadgenServerMetrics", Iterations: 1, NsPerOp: 1, Metrics: delta,
+	})
+	log.Printf("server counters over the run: done=%+.0f canceled=%+.0f pool_hits=%+.0f pool_misses=%+.0f",
+		delta["dlra_jobs_done_total"], delta["dlra_jobs_canceled_total"],
+		delta["dlra_session_pool_hits_total"], delta["dlra_session_pool_misses_total"])
+
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, records); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d records)", *jsonPath, len(records))
+	}
+	if lg.errs.Load() > 0 {
+		log.Fatalf("%d job(s) errored", lg.errs.Load())
+	}
+	if completed < *minCompleted {
+		log.Fatalf("completed %d jobs, need at least %d", completed, *minCompleted)
+	}
+}
+
+// submitRequest mirrors dlra-serve's POST /v1/jobs body.
+type submitRequest struct {
+	Dataset string  `json:"dataset,omitempty"`
+	Fn      string  `json:"fn,omitempty"`
+	K       int     `json:"k"`
+	Eps     float64 `json:"eps,omitempty"`
+	Rows    int     `json:"rows,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+}
+
+// jobView mirrors the fields of dlra-serve's job resource the generator
+// consumes.
+type jobView struct {
+	ID         uint64 `json:"id"`
+	State      string `json:"state"`
+	Error      string `json:"error"`
+	Words      int64  `json:"words"`
+	QueueNS    int64  `json:"queue_ns"`
+	BindNS     int64  `json:"bind_ns"`
+	ProtocolNS int64  `json:"protocol_ns"`
+	TeardownNS int64  `json:"teardown_ns"`
+}
+
+// measurement is one output record, shaped exactly like
+// cmd/dlra-benchjson's Measurement so reports merge with BENCH
+// snapshots.
+type measurement struct {
+	Op         string             `json:"op"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// sample is one completed job's latency decomposition.
+type sample struct {
+	total                          time.Duration
+	queue, bind, protocol, teardow time.Duration
+	words                          int64
+}
+
+type atomicInt struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomicInt) Add(d int) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomicInt) Load() int { a.mu.Lock(); defer a.mu.Unlock(); return a.n }
+
+type loadgen struct {
+	base   string
+	client *http.Client
+	spec   submitRequest
+	errs   atomicInt
+}
+
+// waitReady polls /healthz until the server answers (it may still be
+// installing the dataset when loadgen starts).
+func (lg *loadgen) waitReady(d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		resp, err := lg.client.Get(lg.base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s: %v", lg.base, d, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// runJob submits one job and polls it to a terminal state, returning
+// the end-to-end latency sample. A non-done terminal state or transport
+// error counts toward lg.errs and returns ok=false.
+func (lg *loadgen) runJob() (sample, bool) {
+	start := time.Now()
+	body, _ := json.Marshal(lg.spec)
+	resp, err := lg.client.Post(lg.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		lg.errs.Add(1)
+		return sample{}, false
+	}
+	var v jobView
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		lg.errs.Add(1)
+		return sample{}, false
+	}
+	url := fmt.Sprintf("%s/v1/jobs/%d", lg.base, v.ID)
+	wait := time.Millisecond
+	for v.State != "done" && v.State != "canceled" {
+		time.Sleep(wait)
+		if wait < 16*time.Millisecond {
+			wait *= 2
+		}
+		resp, err := lg.client.Get(url)
+		if err != nil {
+			lg.errs.Add(1)
+			return sample{}, false
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			lg.errs.Add(1)
+			return sample{}, false
+		}
+	}
+	if v.State != "done" || v.Error != "" {
+		lg.errs.Add(1)
+		return sample{}, false
+	}
+	return sample{
+		total:    time.Since(start),
+		queue:    time.Duration(v.QueueNS),
+		bind:     time.Duration(v.BindNS),
+		protocol: time.Duration(v.ProtocolNS),
+		teardow:  time.Duration(v.TeardownNS),
+		words:    v.Words,
+	}, true
+}
+
+// result aggregates one loop's samples.
+type result struct {
+	samples []sample
+	elapsed time.Duration
+}
+
+// closedLoop keeps conc workers saturated until total jobs completed.
+func (lg *loadgen) closedLoop(conc, total int) result {
+	if conc < 1 {
+		conc = 1
+	}
+	start := time.Now()
+	var mu sync.Mutex
+	var samples []sample
+	next := &atomicInt{}
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.mu.Lock()
+				if next.n >= total {
+					next.mu.Unlock()
+					return
+				}
+				next.n++
+				next.mu.Unlock()
+				if s, ok := lg.runJob(); ok {
+					mu.Lock()
+					samples = append(samples, s)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return result{samples: samples, elapsed: time.Since(start)}
+}
+
+// openLoop fires arrivals on a fixed schedule at qps for d, then waits
+// for every in-flight job to land.
+func (lg *loadgen) openLoop(qps float64, d time.Duration) result {
+	if qps <= 0 {
+		qps = 1
+	}
+	interval := time.Duration(float64(time.Second) / qps)
+	start := time.Now()
+	var mu sync.Mutex
+	var samples []sample
+	var wg sync.WaitGroup
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		<-tick.C
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s, ok := lg.runJob(); ok {
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return result{samples: samples, elapsed: time.Since(start)}
+}
+
+// record renders the loop's latency histogram as one benchjson-shaped
+// measurement: ns_per_op is the mean end-to-end latency, the histogram
+// quantiles and the per-phase means land in metrics.
+func (r result) record(op string, extra map[string]float64) measurement {
+	n := len(r.samples)
+	m := measurement{Op: op, Iterations: int64(n)}
+	met := map[string]float64{
+		"gomaxprocs": float64(runtime.GOMAXPROCS(0)),
+		"completed":  float64(n),
+	}
+	for k, v := range extra {
+		met[k] = v
+	}
+	if r.elapsed > 0 {
+		met["jobs/sec"] = float64(n) / r.elapsed.Seconds()
+	}
+	if n > 0 {
+		lat := make([]float64, n)
+		var tot, qu, bi, pr, te, words float64
+		for i, s := range r.samples {
+			lat[i] = float64(s.total)
+			tot += float64(s.total)
+			qu += float64(s.queue)
+			bi += float64(s.bind)
+			pr += float64(s.protocol)
+			te += float64(s.teardow)
+			words += float64(s.words)
+		}
+		sort.Float64s(lat)
+		m.NsPerOp = tot / float64(n)
+		met["p50_ns"] = quantile(lat, 0.50)
+		met["p95_ns"] = quantile(lat, 0.95)
+		met["p99_ns"] = quantile(lat, 0.99)
+		met["max_ns"] = lat[n-1]
+		met["queue_ns_mean"] = qu / float64(n)
+		met["bind_ns_mean"] = bi / float64(n)
+		met["protocol_ns_mean"] = pr / float64(n)
+		met["teardown_ns_mean"] = te / float64(n)
+		met["words/job"] = words / float64(n)
+	}
+	m.Metrics = met
+	return m
+}
+
+// String renders the human-readable one-liner for the log.
+func (r result) String() string {
+	n := len(r.samples)
+	if n == 0 {
+		return fmt.Sprintf("0 jobs completed in %s", r.elapsed.Round(time.Millisecond))
+	}
+	lat := make([]float64, n)
+	for i, s := range r.samples {
+		lat[i] = float64(s.total)
+	}
+	sort.Float64s(lat)
+	return fmt.Sprintf("%d jobs in %s (%.1f jobs/sec) p50=%s p95=%s p99=%s",
+		n, r.elapsed.Round(time.Millisecond), float64(n)/r.elapsed.Seconds(),
+		time.Duration(quantile(lat, 0.50)).Round(10*time.Microsecond),
+		time.Duration(quantile(lat, 0.95)).Round(10*time.Microsecond),
+		time.Duration(quantile(lat, 0.99)).Round(10*time.Microsecond))
+}
+
+// quantile reads the q-quantile from an ascending-sorted sample set
+// (nearest-rank; the same convention benchstat-style tools use for
+// small n).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// scrapeMetrics parses the server's Prometheus text exposition into a
+// flat name → value map (labels are not used by dlra-serve's counters).
+func (lg *loadgen) scrapeMetrics() (map[string]float64, error) {
+	resp, err := lg.client.Get(lg.base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	out := make(map[string]float64)
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		out[fields[0]] = v
+	}
+	return out, nil
+}
+
+// metricsDelta subtracts the before-scrape from the after-scrape
+// (gauges land as their after value minus before, which for queue
+// depth at idle is 0).
+func metricsDelta(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for k, v := range after {
+		out[k] = v - before[k]
+	}
+	return out
+}
+
+// writeReport writes the records as indented JSON and re-reads the file
+// to prove the report is well-formed — the smoke gate depends on a
+// truncated or malformed write failing loudly.
+func writeReport(path string, records []measurement) error {
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	back, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var check []measurement
+	if err := json.Unmarshal(back, &check); err != nil {
+		return fmt.Errorf("report %s does not round-trip: %w", path, err)
+	}
+	if len(check) != len(records) {
+		return fmt.Errorf("report %s lost records (%d of %d)", path, len(check), len(records))
+	}
+	return nil
+}

@@ -241,6 +241,14 @@ type jobView struct {
 	Words   int64  `json:"words,omitempty"`
 	Bytes   int64  `json:"bytes,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Per-phase wall-clock breakdown (nanoseconds, from Job.Progress):
+	// queue wait, session acquire/bind, protocol rounds, teardown.
+	// Loadgen aggregates these to attribute latency to the engine vs the
+	// protocol.
+	QueueNS    int64 `json:"queue_ns,omitempty"`
+	BindNS     int64 `json:"bind_ns,omitempty"`
+	ProtocolNS int64 `json:"protocol_ns,omitempty"`
+	TeardownNS int64 `json:"teardown_ns,omitempty"`
 }
 
 func (s *server) routes() http.Handler {
@@ -252,7 +260,37 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/datasets/", s.handleDatasetAppend)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJob)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// handleMetrics serves the engine and session-pool counters in
+// Prometheus text exposition format (loadgen scrapes it between runs; a
+// real Prometheus can too).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	es := s.cluster.EngineStats()
+	ps := s.cluster.SessionPoolStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("dlra_jobs_submitted_total", "Jobs accepted into the admission queue.", es.Submitted)
+	counter("dlra_jobs_done_total", "Jobs finished in the done state.", es.Done)
+	counter("dlra_jobs_canceled_total", "Jobs finished in the canceled state.", es.Canceled)
+	gauge("dlra_jobs_running", "Jobs currently executing.", int64(es.Running))
+	gauge("dlra_queue_depth", "Jobs waiting in the admission queue.", int64(es.Queued))
+	counter("dlra_session_pool_hits_total", "Jobs served by a pooled bound session.", ps.Hits)
+	counter("dlra_session_pool_misses_total", "Jobs that minted and bound a fresh session.", ps.Misses)
+	gauge("dlra_session_pool_idle", "Bound sessions currently parked in the pool.", int64(ps.Idle))
+	io.WriteString(w, b.String())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -452,6 +490,10 @@ func (s *server) view(rec *jobRecord) jobView {
 		ID: rec.job.ID(), State: p.State.String(),
 		Dataset: rec.job.Dataset(), Fn: rec.spec.Fn, K: rec.spec.K,
 		Rounds: p.Rounds, Phase: p.Phase, Words: p.Words,
+		QueueNS:    int64(p.Queue),
+		BindNS:     int64(p.Bind),
+		ProtocolNS: int64(p.Protocol),
+		TeardownNS: int64(p.Teardown),
 	}
 	if p.State == repro.JobDone {
 		if res, err := rec.job.Wait(context.Background()); err != nil {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/hashing"
 )
@@ -82,6 +83,18 @@ type Progress struct {
 	Phase string
 	// Words is the job's session communication so far, in 64-bit words.
 	Words int64
+	// Queue is how long the job waited in the admission queue before a
+	// runner picked it up (zero while still queued).
+	Queue time.Duration
+	// Bind is the time spent acquiring the job's comm session and
+	// binding it to the dataset — near zero on a session-pool hit, a
+	// per-worker control broadcast on a miss over TCP.
+	Bind time.Duration
+	// Protocol is the time inside the protocol rounds themselves.
+	Protocol time.Duration
+	// Teardown is the session end/abort handshake time — near zero when
+	// the session was recycled into the pool instead.
+	Teardown time.Duration
 }
 
 // Job is one queued or running PCA query on a cluster. Create jobs with
@@ -99,6 +112,15 @@ type Job struct {
 	ctx       context.Context
 	cancelCtx context.CancelFunc
 	stopWatch func() bool
+
+	// Wall-clock phase markers (unix nanos) and phase durations (nanos):
+	// queuedNS is written once at submission, the rest by the engine and
+	// execute as the job moves through its phases; Progress reads them.
+	queuedNS   int64
+	startedNS  atomic.Int64
+	bindNS     atomic.Int64
+	protoNS    atomic.Int64
+	teardownNS atomic.Int64
 
 	// Live protocol state, updated by the session's round observer.
 	rounds atomic.Int64
@@ -143,6 +165,12 @@ func (j *Job) Progress() Progress {
 	if s, ok := j.phase.Load().(string); ok {
 		p.Phase = s
 	}
+	if s := j.startedNS.Load(); s > 0 && j.queuedNS > 0 {
+		p.Queue = time.Duration(s - j.queuedNS)
+	}
+	p.Bind = time.Duration(j.bindNS.Load())
+	p.Protocol = time.Duration(j.protoNS.Load())
+	p.Teardown = time.Duration(j.teardownNS.Load())
 	return p
 }
 
@@ -265,12 +293,18 @@ func (j *Job) finish(res *Result, err error, state JobState) {
 	j.state = state
 	j.res, j.err = res, err
 	j.mu.Unlock()
+	if state == JobCanceled {
+		j.cluster.eng.canceledJobs.Add(1)
+	} else {
+		j.cluster.eng.doneJobs.Add(1)
+	}
 	j.release()
 	close(j.events)
 	close(j.done)
 }
 
 func (j *Job) setRunning() {
+	j.startedNS.Store(time.Now().UnixNano())
 	j.mu.Lock()
 	if j.state == JobQueued {
 		j.state = JobRunning
@@ -301,6 +335,12 @@ type engine struct {
 	started bool
 	closed  bool
 	wg      sync.WaitGroup
+
+	// Lifetime counters (see EngineStats): jobs accepted into the
+	// queue, and finished outcomes by terminal state.
+	submitted    atomic.Int64
+	doneJobs     atomic.Int64
+	canceledJobs atomic.Int64
 }
 
 func newEngine(c *Cluster) *engine {
@@ -359,7 +399,9 @@ func (e *engine) submit(ctx context.Context, j *Job, block bool) error {
 					go e.runner()
 				}
 			}
+			j.queuedNS = time.Now().UnixNano()
 			e.queue = append(e.queue, j)
+			e.submitted.Add(1)
 			e.cond.Broadcast()
 			return nil
 		}
@@ -426,6 +468,42 @@ func (e *engine) shutdown() {
 	}
 	e.wg.Wait()
 }
+
+// EngineStats is a point-in-time snapshot of the job engine's counters
+// (see Cluster.EngineStats).
+type EngineStats struct {
+	// Submitted counts jobs accepted into the admission queue over the
+	// cluster's lifetime (rejected submissions are not counted).
+	Submitted int64
+	// Done counts jobs that reached the JobDone terminal state,
+	// including ones that finished with a protocol error.
+	Done int64
+	// Canceled counts jobs that reached the JobCanceled terminal state
+	// (canceled, deadline-exceeded, or failed by cluster shutdown).
+	Canceled int64
+	// Running is the number of jobs currently executing on runners.
+	Running int
+	// Queued is the current admission-queue depth.
+	Queued int
+}
+
+func (e *engine) stats() EngineStats {
+	e.mu.Lock()
+	queued, running := len(e.queue), e.running
+	e.mu.Unlock()
+	return EngineStats{
+		Submitted: e.submitted.Load(),
+		Done:      e.doneJobs.Load(),
+		Canceled:  e.canceledJobs.Load(),
+		Running:   running,
+		Queued:    queued,
+	}
+}
+
+// EngineStats snapshots the job engine's admission and completion
+// counters. Operational telemetry only (dlra-serve exposes it on
+// /metrics); the counters have no effect on scheduling or transcripts.
+func (c *Cluster) EngineStats() EngineStats { return c.eng.stats() }
 
 // jobSeed derives a job's private protocol seed from the caller's seed
 // and the job id, so concurrent jobs sharing a seed still see independent

@@ -46,6 +46,7 @@ import (
 	"repro/internal/hh"
 	"repro/internal/matrix"
 	"repro/internal/ops"
+	"repro/internal/parallel"
 	"repro/internal/sketch"
 	"repro/internal/warm"
 )
@@ -773,6 +774,11 @@ func (w *workerState) runSession(sess uint16, r *sessionRunner) {
 // envelope by default, split earlier at the worker's replyBatch cap or
 // the envelope byte cap. Non-batched frames reply individually, exactly
 // as before batching existed.
+//
+// Within a group, maximal runs of consecutive reply-bearing ops fan out
+// on all cores (see execRun) — the runner stays the ordering authority
+// because replies are still committed in canonical arrival order, one
+// run at a time.
 func (w *workerState) runGroup(sess uint16, r *sessionRunner, g opGroup) (ended bool, err error) {
 	var pend [][]byte
 	var pendBytes int
@@ -790,7 +796,8 @@ func (w *workerState) runGroup(sess uint16, r *sessionRunner, g opGroup) (ended 
 		// (and degrades to a plain frame write for a single reply).
 		return comm.WriteWireBatch(w.conn, w.id, comm.CP, stream, fs)
 	}
-	for _, f := range g.frames {
+	for i := 0; i < len(g.frames); i++ {
+		f := g.frames[i]
 		switch {
 		case f.Op == ops.OpBindSession:
 			if len(f.Words) != 1 {
@@ -812,35 +819,53 @@ func (w *workerState) runGroup(sess uint16, r *sessionRunner, g opGroup) (ended 
 			}
 			return true, nil
 		case f.RTag != "":
-			if r.aborted.Load() {
-				continue // session canceled: discard without executing
-			}
-			kind, payload, err := w.exec(sess, f)
-			if err != nil {
-				return true, fmt.Errorf("op %d (%s): %w", f.Op, f.Tag, err)
-			}
-			reply := &comm.Frame{Kind: kind, From: w.id, To: comm.CP, Stream: f.Stream, Tag: f.RTag}
-			enc := comm.EncodeFrameFloats(reply, payload)
-			if !batching {
-				w.wmu.Lock()
-				werr := comm.WriteWireFrame(w.conn, enc)
-				w.wmu.Unlock()
-				comm.ReleaseFrame(enc)
-				if werr != nil {
-					return true, fmt.Errorf("reply: %w", werr)
+			// Gather the maximal run of consecutive reply-bearing ops.
+			// Ops inside one request envelope are the requests of a
+			// pipelined round sequence — independent by construction (no
+			// request depends on an earlier reply, or the CP could not
+			// have issued them together) — so the run executes on all
+			// cores while the replies commit in canonical order below.
+			end := i + 1
+			for end < len(g.frames) {
+				nf := g.frames[end]
+				if nf.RTag == "" || nf.Op == ops.OpEndSession {
+					break
 				}
-				continue
+				end++
 			}
-			if pendBytes > 0 && pendBytes+len(enc)+4+comm.FrameHeaderLen > comm.MaxBatchBytes {
-				if err := flush(); err != nil {
-					return true, fmt.Errorf("session %d replies: %w", sess, err)
+			run := g.frames[i:end]
+			i = end - 1
+			kinds, payloads, skipped, execErr := w.execRun(sess, r, run)
+			if execErr != nil {
+				return true, execErr
+			}
+			for k, f := range run {
+				if skipped[k] {
+					continue // discarded: session aborted mid-run
 				}
-			}
-			pend = append(pend, enc)
-			pendBytes += len(enc)
-			if w.replyBatch > 1 && len(pend) >= w.replyBatch {
-				if err := flush(); err != nil {
-					return true, fmt.Errorf("session %d replies: %w", sess, err)
+				reply := &comm.Frame{Kind: kinds[k], From: w.id, To: comm.CP, Stream: f.Stream, Tag: f.RTag}
+				enc := comm.EncodeFrameFloats(reply, payloads[k])
+				if !batching {
+					w.wmu.Lock()
+					werr := comm.WriteWireFrame(w.conn, enc)
+					w.wmu.Unlock()
+					comm.ReleaseFrame(enc)
+					if werr != nil {
+						return true, fmt.Errorf("reply: %w", werr)
+					}
+					continue
+				}
+				if pendBytes > 0 && pendBytes+len(enc)+4+comm.FrameHeaderLen > comm.MaxBatchBytes {
+					if err := flush(); err != nil {
+						return true, fmt.Errorf("session %d replies: %w", sess, err)
+					}
+				}
+				pend = append(pend, enc)
+				pendBytes += len(enc)
+				if w.replyBatch > 1 && len(pend) >= w.replyBatch {
+					if err := flush(); err != nil {
+						return true, fmt.Errorf("session %d replies: %w", sess, err)
+					}
 				}
 			}
 		default:
@@ -852,6 +877,35 @@ func (w *workerState) runGroup(sess uint16, r *sessionRunner, g opGroup) (ended 
 		return true, fmt.Errorf("session %d replies: %w", sess, err)
 	}
 	return false, nil
+}
+
+// execRun executes one run of independent ops, fanning out on
+// GOMAXPROCS workers when the run has more than one op (a single op —
+// every unbatched request — takes the plain inline path, as does any
+// run on a single-CPU host). Each body writes only its own index's
+// slots, and the caller commits replies sequentially in run order, so
+// the reply stream is bit-identical to serial execution. An op the
+// abort flag reached before it started is marked skipped (no reply);
+// ops already executing when the abort lands still complete and reply,
+// exactly as one serial op past the abort check would.
+func (w *workerState) execRun(sess uint16, r *sessionRunner, run []*comm.Frame) ([]comm.Kind, [][]float64, []bool, error) {
+	kinds := make([]comm.Kind, len(run))
+	payloads := make([][]float64, len(run))
+	skipped := make([]bool, len(run))
+	errs := make([]error, len(run))
+	parallel.For(0, len(run), func(k int) {
+		if r.aborted.Load() {
+			skipped[k] = true // session canceled: discard without executing
+			return
+		}
+		kinds[k], payloads[k], errs[k] = w.exec(sess, run[k])
+	})
+	for k, f := range run {
+		if errs[k] != nil {
+			return nil, nil, nil, fmt.Errorf("op %d (%s): %w", f.Op, f.Tag, errs[k])
+		}
+	}
+	return kinds, payloads, skipped, nil
 }
 
 // reply writes one frame back to the coordinator, serialized against the

@@ -1,0 +1,49 @@
+package cluster
+
+// Parallel op execution gate: a worker fans the independent reply-bearing
+// ops of one pipelined round sequence out on a parallel.For, then commits
+// the replies in canonical arrival order — so the transcript must be
+// bit-identical to the serial loop no matter how many CPUs the worker
+// has. The gate runs the full protocol at GOMAXPROCS 1 (the fan-out
+// degrades to the exact serial loop) and 4 (real concurrent exec bodies)
+// and demands both reproduce the canonical in-memory transcript. Run
+// under -race (make race / CI) this doubles as the data-race proof for
+// the shared-share read path.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// TestParallelOpExecutionTranscript crosses worker parallelism with the
+// batched wire framing that produces multi-op round groups (batch 8 and
+// 0 both coalesce pipelined rounds into envelopes the workers split into
+// runs; batch 8 is additionally asserted to have engaged, so the fan-out
+// path demonstrably saw runs longer than one op).
+func TestParallelOpExecutionTranscript(t *testing.T) {
+	const n, d, s, seed = 80, 10, 4, 1234
+	locals := buildShares(seed, n, d, s)
+	mem := runProtocol(t, comm.NewNetwork(s), locals, seed)
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		for _, batch := range []int{8, 0} {
+			coord := startTCP(t, locals)
+			net := coord.Network()
+			net.SetBatchSize(batch)
+			tcp := runProtocol(t, net, coord.MaskShares(locals), seed)
+			sent, _, _ := net.BatchOverhead()
+			coord.Close()
+
+			label := fmt.Sprintf("gomaxprocs=%d/batch=%d", procs, batch)
+			assertRunsEqual(t, label, mem, tcp)
+			if sent == 0 {
+				t.Fatalf("%s: batching never engaged — no multi-op runs were exercised", label)
+			}
+		}
+	}
+}

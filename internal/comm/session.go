@@ -18,6 +18,7 @@ package comm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // ErrSessionsExhausted is returned by NewSession when all 65535 session
@@ -78,6 +79,38 @@ func (n *Network) NewSession() (*Session, error) {
 
 // ID returns the session's namespace id (1…65535; 0 is the root fabric).
 func (s *Session) ID() uint16 { return s.Network.session }
+
+// Recycle prepares a cleanly finished session for its next tenant
+// without returning the id to the fabric: it zeroes the private ledger
+// (tallies, trace log), restarts the round and fork-stream counters so
+// the next run numbers rounds from 1 and never exhausts the 16-bit fork
+// namespace, detaches the round observer, and restores the parent
+// fabric's current batch setting. It reports false — leaving the
+// session untouched — when the session is closed or poisoned by a
+// failed round; such sessions must be torn down with Close, not reused.
+//
+// Callers must only recycle a session whose protocol run completed
+// cleanly: every forked stream drained, no frames in flight. A recycled
+// session is then observationally identical to a fresh NewSession that
+// happened to receive the same id.
+func (s *Session) Recycle() bool {
+	if s.closed {
+		return false
+	}
+	n := s.Network
+	n.mu.Lock()
+	poisoned := n.failed != nil
+	n.mu.Unlock()
+	if poisoned {
+		return false
+	}
+	n.ResetLedger()
+	n.onRound = nil
+	atomic.StoreInt64(n.roundSeq, 0)
+	atomic.StoreUint32(n.streamSeq, 0)
+	n.SetBatchSize(s.parent.BatchSize())
+	return true
+}
 
 // Close discards any frames still queued under the session's streams and
 // returns the id to the root fabric for reuse. Idempotent.

@@ -25,7 +25,76 @@ func TestPoolAccountingCancelTCP(t *testing.T) {
 	cancelDeterminismGate(t, func(t *testing.T) *Cluster {
 		return tcpCluster(t, 3)
 	})
+	mustPoolBalance(t, gets0, puts0)
+}
 
+// TestPoolAccountingSessionReuseTCP audits the session-pool reuse path:
+// several sequential jobs on one TCP cluster, all but the first served by
+// a parked session (no bind/end frames, recycled ledger), must still
+// return every frame buffer to the comm pool once the cluster closes —
+// including the buffers of the parked sessions torn down by the
+// Close-time pool drain.
+func TestPoolAccountingSessionReuseTCP(t *testing.T) {
+	gets0, puts0 := comm.PoolStats()
+	func() {
+		c := tcpCluster(t, 3)
+		defer c.Close()
+		if err := c.SetLocalData(jobShares(51, 48, 7, 3)); err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{K: 3, Rows: 12, Seed: 777}
+		for i := 0; i < 4; i++ {
+			if _, err := c.PCA(testCtx(time.Minute), Huber(1.5), opts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := c.SessionPoolStats(); st.Hits < 3 {
+			t.Fatalf("jobs did not reuse pooled sessions: %+v", st)
+		}
+	}()
+	mustPoolBalance(t, gets0, puts0)
+}
+
+// TestPoolAccountingCancelPooledSessionTCP audits the hardest mix: a job
+// that acquires a session from the warm pool and is then canceled mid-run
+// takes the abort/drain teardown (a pooled session must never be re-parked
+// after a cancellation), and the whole lifecycle — park, reuse, abort,
+// cluster close — must leak no frame buffers.
+func TestPoolAccountingCancelPooledSessionTCP(t *testing.T) {
+	gets0, puts0 := comm.PoolStats()
+	func() {
+		c := tcpCluster(t, 3)
+		defer c.Close()
+		if err := c.SetLocalData(jobShares(52, 90, 8, 3)); err != nil {
+			t.Fatal(err)
+		}
+		// Warm the pool with a clean job so the canceled one is a pool hit.
+		if _, err := c.PCA(testCtx(time.Minute), Huber(1.5), Options{K: 3, Rows: 12, Seed: 777}); err != nil {
+			t.Fatal(err)
+		}
+		if st := c.SessionPoolStats(); st.Idle == 0 {
+			t.Fatalf("warm-up parked no session: %+v", st)
+		}
+		j := submitCancelAt(t, c, 3)
+		assertCanceled(t, j)
+		st := c.SessionPoolStats()
+		if st.Hits == 0 {
+			t.Fatalf("canceled job did not come from the pool: %+v", st)
+		}
+		if st.Idle != 0 {
+			t.Fatalf("canceled job's session was re-parked: %+v", st)
+		}
+	}()
+	mustPoolBalance(t, gets0, puts0)
+}
+
+// mustPoolBalance polls until the comm pool's get/put deltas since the
+// given baseline balance. Worker goroutines wind down asynchronously after
+// Close, so the balance is polled rather than read once; a zero delta
+// means the scenario never touched the pool and the audit measured
+// nothing, which also fails.
+func mustPoolBalance(t *testing.T, gets0, puts0 int64) {
+	t.Helper()
 	deadline := time.After(10 * time.Second)
 	for {
 		gets, puts := comm.PoolStats()

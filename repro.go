@@ -281,6 +281,10 @@ type Cluster struct {
 	// reachable exclusively through the fabric.
 	coord *cluster.Coordinator
 	eng   *engine
+	// pool parks cleanly finished bound sessions between jobs so
+	// back-to-back jobs on one dataset skip the bind/end handshake (see
+	// session_pool.go).
+	pool *sessionPool
 
 	// installMu serializes dataset installations end to end (registry
 	// check through share shipping); mu guards the fast-changing state.
@@ -359,7 +363,7 @@ func NewCluster(s int) (*Cluster, error) {
 	if s < 1 {
 		return nil, fmt.Errorf("%w (got %d)", ErrInvalidServers, s)
 	}
-	c := &Cluster{net: comm.NewNetwork(s), datasets: make(map[string]*datasetEntry), jobTags: make(map[string]int64)}
+	c := &Cluster{net: comm.NewNetwork(s), datasets: make(map[string]*datasetEntry), jobTags: make(map[string]int64), pool: newSessionPool()}
 	c.eng = newEngine(c)
 	return c, nil
 }
@@ -376,7 +380,7 @@ func ListenCluster(s int, addr string) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{coord: coord, datasets: make(map[string]*datasetEntry), jobTags: make(map[string]int64)}
+	c := &Cluster{coord: coord, datasets: make(map[string]*datasetEntry), jobTags: make(map[string]int64), pool: newSessionPool()}
 	c.eng = newEngine(c)
 	return c, nil
 }
@@ -416,6 +420,12 @@ func (c *Cluster) Close() error {
 	c.closed = true
 	c.mu.Unlock()
 	c.eng.shutdown()
+	// With the engine drained no job can touch the pool again: tear down
+	// every parked session (the OpEndSession handshake needs the workers
+	// still up, so this precedes the coordinator close).
+	for _, s := range c.pool.drain() {
+		c.teardownSession(s, true, false)
+	}
 	if c.coord == nil {
 		return nil
 	}
@@ -1168,64 +1178,112 @@ func canceledErr(cause error) error {
 	return fmt.Errorf("%w: %w", ErrCanceled, cause)
 }
 
-// execute runs the job's protocol inside a fresh comm session bound to
-// its dataset, folding the session's ledger into the cluster totals —
-// whether the job succeeded, failed or was canceled, the words it moved
-// were moved. Cancellation teardown is what keeps the fabric clean for
-// the next tenant: on TCP the workers are told to discard the session's
-// queued ops (AbortSession), and the session close drains every stale
-// reply before the session id can be recycled — so a job canceled midway
-// leaves no frame behind and the next job's transcript is bit-identical
-// to a fresh cluster's.
+// teardownSession fully ends one session: on a TCP cluster the
+// abort/end handshake (abort first when the job's ctx fired, so workers
+// discard the session's still-queued ops before the close drains and
+// acks the teardown), then the session close that recycles its id.
+// bound reports whether the session completed OpenSession — pool hits
+// always have.
+func (c *Cluster) teardownSession(sess *comm.Session, bound, aborted bool) {
+	if c.coord != nil && bound {
+		if aborted {
+			c.coord.AbortSession(sess.ID())
+		}
+		c.coord.CloseSession(sess.ID())
+	}
+	sess.Close()
+}
+
+// foldSession folds a finished run's session ledger into the cluster
+// totals — whether the job succeeded, failed or was canceled, the words
+// it moved were moved. Runs before a pooled session is recycled (which
+// zeroes the ledger), so every run is counted exactly once.
+func (c *Cluster) foldSession(sess *comm.Session) {
+	c.mu.Lock()
+	c.jobWords += sess.Words()
+	c.jobBytes += sess.Bytes()
+	for tag, w := range sess.Breakdown() {
+		c.jobTags[tag] += w
+	}
+	c.mu.Unlock()
+}
+
+// execute runs the job's protocol inside a comm session bound to its
+// dataset — a pooled one when a previous job on the same dataset
+// finished cleanly (skipping the bind/end handshake entirely), a fresh
+// one otherwise — folding the session's ledger into the cluster totals.
+// Cancellation teardown is what keeps the fabric clean for the next
+// tenant: on TCP the workers are told to discard the session's queued
+// ops (AbortSession), and the session close drains every stale reply
+// before the session id can be recycled — so a job canceled midway
+// leaves no frame behind, never enters the pool, and the next job's
+// transcript is bit-identical to a fresh cluster's.
 func (c *Cluster) execute(j *Job) (*Result, error) {
 	ctx := j.ctx
-	sess, err := c.net.NewSession()
-	if err != nil {
-		return nil, err
+	t0 := time.Now()
+	sess, expired := c.pool.acquire(j.ds.key)
+	for _, e := range expired {
+		// Idle eviction: TTL-expired sessions get the full teardown
+		// handshake so their worker-side runners and ids are released.
+		c.teardownSession(e, true, false)
 	}
-	defer sess.Close()
+	hit := sess != nil
+	if !hit {
+		var err error
+		sess, err = c.net.NewSession()
+		if err != nil {
+			return nil, err
+		}
+	}
 	if j.opts.BatchSize != 0 {
 		// A wire-framing knob only: the session's ledger and transcript
 		// are identical at every batch size.
 		sess.SetBatchSize(j.opts.BatchSize)
 	}
-	defer func() {
-		c.mu.Lock()
-		c.jobWords += sess.Words()
-		c.jobBytes += sess.Bytes()
-		for tag, w := range sess.Breakdown() {
-			c.jobTags[tag] += w
-		}
-		c.mu.Unlock()
-	}()
 	sess.OnRound(func(seq int64, tag string) {
 		j.noteRound(seq, tag, sess.Words())
 	})
 	// Delta installation excludes protocol execution: the job holds the
 	// dataset's read lock for its whole run, so appends and updates land
 	// strictly between jobs and the warm stores only ever see a share at
-	// one consistent height per run.
+	// one consistent height per run. (Pooled sessions park without the
+	// lock; their worker bindings resolve the live share per op, so a
+	// delta landing between jobs is seen in full by the next one.)
 	j.ds.mu.RLock()
-	defer j.ds.mu.RUnlock()
+	bound := hit
 	var locals []Mat
 	if c.coord != nil {
-		if err := c.coord.OpenSession(sess.ID(), j.ds.key); err != nil {
-			return nil, err
-		}
-		defer func() {
-			if ctx.Err() != nil {
-				// Mid-run cancel: have the workers discard the session's
-				// still-queued ops before the close handshake below drains
-				// and acks the teardown.
-				c.coord.AbortSession(sess.ID())
+		if !hit {
+			if err := c.coord.OpenSession(sess.ID(), j.ds.key); err != nil {
+				j.ds.mu.RUnlock()
+				c.foldSession(sess)
+				c.teardownSession(sess, false, false)
+				return nil, err
 			}
-			c.coord.CloseSession(sess.ID())
-		}()
+			bound = true
+		}
 		locals = warmLocals(j.ds.masked, j.ds.stores)
 	} else {
 		locals = warmLocals(j.opts.Backend.Apply(j.ds.locals), j.ds.stores)
 	}
+	j.bindNS.Store(time.Since(t0).Nanoseconds())
+
+	tRun := time.Now()
 	res, err := runPCA(ctx, sess.Network, locals, j.f, j.opts, j.seed)
+	j.protoNS.Store(time.Since(tRun).Nanoseconds())
+	j.ds.mu.RUnlock()
+	c.foldSession(sess)
+
+	tEnd := time.Now()
+	if err == nil && ctx.Err() == nil && c.pool.release(j.ds.key, sess) {
+		// Clean completion, session recycled into the pool: the next job
+		// on this dataset skips the whole setup/teardown handshake. The
+		// session now belongs to the pool — hands off.
+	} else {
+		c.teardownSession(sess, bound, ctx.Err() != nil)
+	}
+	j.teardownNS.Store(time.Since(tEnd).Nanoseconds())
+
 	if err != nil {
 		if cause := ctx.Err(); cause != nil {
 			return nil, canceledErr(cause)

@@ -1,0 +1,72 @@
+package repro
+
+// Session-setup benchmarks: the fixed per-job session cost the session
+// pool removes, isolated from protocol work. One op is the full lifecycle
+// a pool miss pays — mint a session id, and on TCP the OpBindSession
+// broadcast plus the OpEndSession/ack round-trip per worker — with zero
+// protocol rounds in between. Compare against JobsThroughput* to see what
+// fraction of a short job is setup. Regenerate with: make bench-json
+
+import (
+	"testing"
+	"time"
+)
+
+// benchSessionSetup runs the bare bind/end lifecycle against an installed
+// dataset, bypassing the pool so every iteration pays the miss path.
+func benchSessionSetup(b *testing.B, c *Cluster) {
+	b.Helper()
+	if err := c.SetLocalData(benchShares(48, 7, 3, 5)); err != nil {
+		b.Fatal(err)
+	}
+	c.mu.Lock()
+	key := c.datasets[c.active].key
+	c.mu.Unlock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := c.net.NewSession()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.coord != nil {
+			if err := c.coord.OpenSession(sess.ID(), key); err != nil {
+				b.Fatal(err)
+			}
+			c.coord.CloseSession(sess.ID())
+		}
+		sess.Close()
+	}
+}
+
+// BenchmarkSessionSetupMem: session mint/close on the in-process
+// transport (no control frames move — this is the id and state cost).
+func BenchmarkSessionSetupMem(b *testing.B) {
+	c, err := NewCluster(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	benchSessionSetup(b, c)
+}
+
+// BenchmarkSessionSetupTCP: the full miss-path handshake over real
+// sockets — bind broadcast out, end/ack round-trip back per worker.
+func BenchmarkSessionSetupTCP(b *testing.B) {
+	const s = 3
+	c, err := ListenCluster(s, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	for i := 1; i < s; i++ {
+		go func() {
+			if err := JoinWorker(testCtx(5*time.Second), c.Addr()); err != nil {
+				b.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	if err := c.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
+		b.Fatal(err)
+	}
+	benchSessionSetup(b, c)
+}

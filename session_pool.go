@@ -1,0 +1,173 @@
+package repro
+
+// This file is the session pool: the engine-side cache of bound comm
+// sessions that removes the per-job fixed session cost. Before it, every
+// job paid a full session lifecycle — mint a session id, ship an
+// OpBindSession control frame to every worker, and on completion an
+// OpEndSession/ack round-trip per worker — even when the next job ran
+// against the very same dataset. The pool parks cleanly finished
+// sessions per dataset key instead: a pool hit reuses a session whose
+// worker-side runners and share bindings are already live, so it ships
+// zero control frames and skips the share-residency check entirely.
+//
+// Correctness rests on two rules. First, only clean completions pool:
+// a session is recycled (ledger zeroed, round/fork-stream counters
+// restarted — see comm.Session.Recycle) only when its protocol run
+// finished with every reply drained; errored or canceled jobs always
+// take the full abort/end teardown, so a poisoned fabric or a stale
+// queued frame can never leak into the next tenant. Second, pooling is
+// transcript-invisible: bind/end are uncharged setup frames and a
+// recycled session is observationally identical to a fresh one, so a
+// job's words, bytes, tags, per-link order and projection are
+// bit-identical whether it hit or missed the pool (pinned by
+// sessionPoolDeterminismGate in session_pool_test.go).
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Session-pool bounds: at most sessionPoolMaxIdle sessions park per
+// dataset key (each keeps a runner goroutine live on every worker), and
+// a session idle longer than sessionPoolTTL is evicted with the full
+// teardown handshake on the next pool operation.
+const (
+	sessionPoolMaxIdle = 16
+	sessionPoolTTL     = 2 * time.Minute
+)
+
+// idleSession is one bound session parked between jobs.
+type idleSession struct {
+	sess  *comm.Session
+	since time.Time
+}
+
+// sessionPool keeps cleanly finished, still-bound comm sessions parked
+// per dataset key. Acquire/release are O(1) under one mutex; TTL
+// eviction happens lazily on acquire so the hot path never scans.
+type sessionPool struct {
+	mu      sync.Mutex
+	idle    map[uint64][]idleSession
+	hits    int64
+	misses  int64
+	closed  bool
+	ttl     time.Duration
+	maxIdle int
+	now     func() time.Time // seam for TTL-eviction tests
+}
+
+func newSessionPool() *sessionPool {
+	return &sessionPool{
+		idle:    make(map[uint64][]idleSession),
+		ttl:     sessionPoolTTL,
+		maxIdle: sessionPoolMaxIdle,
+		now:     time.Now,
+	}
+}
+
+// acquire pops the most recently parked session bound to key (nil means
+// a miss: the caller mints and binds a fresh one) and returns any
+// TTL-expired idle sessions for the caller to tear down. LIFO reuse
+// keeps the freshest session hot and lets stale ones age toward the
+// front of the queue, where the eviction sweep collects them.
+func (p *sessionPool) acquire(key uint64) (s *comm.Session, expired []*comm.Session) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		p.misses++
+		return nil, nil
+	}
+	q := p.idle[key]
+	// TTL sweep first — an expired session is never handed out. Parked
+	// sessions are time-ordered (appends at the back), so the sweep only
+	// ever eats the front.
+	cut := p.now().Add(-p.ttl)
+	for len(q) > 0 && q[0].since.Before(cut) {
+		expired = append(expired, q[0].sess)
+		q = q[1:]
+	}
+	if k := len(q); k > 0 {
+		s = q[k-1].sess
+		q = q[:k-1]
+	}
+	if len(q) == 0 {
+		delete(p.idle, key)
+	} else {
+		p.idle[key] = q
+	}
+	if s != nil {
+		p.hits++
+	} else {
+		p.misses++
+	}
+	return s, expired
+}
+
+// release recycles a cleanly finished session and parks it for the next
+// job on the same dataset. It reports false — leaving the full teardown
+// to the caller — when the pool is closed, the per-key idle cap is
+// reached, or the session refuses recycling (closed or poisoned by a
+// failed round). After a true return the session belongs to the pool;
+// the caller must not touch it again.
+func (p *sessionPool) release(key uint64, s *comm.Session) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || len(p.idle[key]) >= p.maxIdle {
+		return false
+	}
+	if !s.Recycle() {
+		return false
+	}
+	p.idle[key] = append(p.idle[key], idleSession{sess: s, since: p.now()})
+	return true
+}
+
+// drain closes the pool and returns every parked session for the caller
+// to tear down; subsequent acquires miss and releases are refused.
+func (p *sessionPool) drain() []*comm.Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	var out []*comm.Session
+	for key, q := range p.idle {
+		for _, e := range q {
+			out = append(out, e.sess)
+		}
+		delete(p.idle, key)
+	}
+	return out
+}
+
+func (p *sessionPool) stats() SessionPoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, q := range p.idle {
+		n += len(q)
+	}
+	return SessionPoolStats{Hits: p.hits, Misses: p.misses, Idle: n}
+}
+
+// SessionPoolStats is a point-in-time snapshot of the cluster's session
+// pool (see Cluster.SessionPoolStats).
+type SessionPoolStats struct {
+	// Hits counts jobs served by a parked bound session — each hit
+	// skipped the session mint and, on TCP, the OpBindSession broadcast
+	// and the OpEndSession/ack round-trip per worker.
+	Hits int64
+	// Misses counts jobs that minted and bound a fresh session (the
+	// first job on a dataset, or any job arriving while the pool was
+	// empty for its dataset).
+	Misses int64
+	// Idle is the number of sessions currently parked across all
+	// datasets.
+	Idle int
+}
+
+// SessionPoolStats snapshots the session pool's counters. Pooling is
+// transcript-invisible — a job's result and communication ledger are
+// bit-identical on a hit and a miss — so the counters are operational
+// telemetry only (dlra-serve exposes them on /metrics).
+func (c *Cluster) SessionPoolStats() SessionPoolStats { return c.pool.stats() }

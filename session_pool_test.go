@@ -1,0 +1,149 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// sessionPoolDeterminismGate is the session-pool acceptance gate: K
+// identical fixed-seed queries served through a warm session pool (every
+// measured job a pool hit) must be bit-identical — words, bytes, per-tag
+// ledger, sampled rows and projection — to the same K queries on a fresh
+// cluster. It mirrors appendDeterminismGate's structure: a reference
+// cluster produces the expected fingerprints, a second cluster is warmed
+// first and then measured, and the gate fails loudly if the measured
+// path never actually exercised the pool.
+func sessionPoolDeterminismGate(t *testing.T, newCluster func(t *testing.T) *Cluster, opts Options) {
+	t.Helper()
+	const (
+		s, d, n = 3, 7, 48
+		warmUps = 2 // jobs run only to park sessions in the pool
+		K       = 3 // measured jobs
+	)
+
+	fresh := newCluster(t)
+	defer fresh.Close()
+	if err := fresh.SetLocalData(jobShares(91, n, d, s)); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]jobFingerprint, 0, K)
+	for i := 0; i < K; i++ {
+		res, err := fresh.PCA(testCtx(time.Minute), Huber(1.5), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, fingerprintResult(res))
+	}
+
+	warm := newCluster(t)
+	defer warm.Close()
+	if err := warm.SetLocalData(jobShares(91, n, d, s)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < warmUps; i++ {
+		if _, err := warm.PCA(testCtx(time.Minute), Huber(1.5), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := warm.SessionPoolStats(); st.Idle == 0 {
+		t.Fatalf("warm-up parked no sessions: %+v", st)
+	}
+	base := warm.SessionPoolStats()
+
+	got := make([]jobFingerprint, 0, K)
+	for i := 0; i < K; i++ {
+		res, err := warm.PCA(testCtx(time.Minute), Huber(1.5), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, fingerprintResult(res))
+	}
+	for i := range want {
+		mustMatchFingerprint(t, want[i], got[i], fmt.Sprintf("job %d: warm pool vs fresh cluster", i+1))
+	}
+
+	// The equality must have come from pooled sessions, not silent misses:
+	// every measured job must have been a pool hit.
+	st := warm.SessionPoolStats()
+	if st.Hits-base.Hits < K {
+		t.Fatalf("gate measured nothing: only %d of %d measured jobs hit the pool (%+v)", st.Hits-base.Hits, K, st)
+	}
+	if st.Misses != base.Misses {
+		t.Fatalf("measured jobs missed the pool: %+v vs baseline %+v", st, base)
+	}
+}
+
+// TestSessionPoolDeterminismGateMem runs the gate on in-process clusters
+// under every storage backend.
+func TestSessionPoolDeterminismGateMem(t *testing.T) {
+	for _, bk := range []struct {
+		name string
+		b    Backend
+	}{{"auto", BackendAuto}, {"dense", BackendDense}, {"csr", BackendCSR}, {"fast", BackendFast}} {
+		t.Run(bk.name, func(t *testing.T) {
+			sessionPoolDeterminismGate(t, func(t *testing.T) *Cluster {
+				return mustCluster(t, 3)
+			}, Options{K: 3, Rows: 12, Seed: 777, Backend: bk.b})
+		})
+	}
+}
+
+// TestSessionPoolDeterminismGateTCP runs the gate over real TCP worker
+// fleets at the three canonical wire batch sizes (1 = batching off, 8 =
+// flush every 8 frames, 0 = unbounded coalescing).
+func TestSessionPoolDeterminismGateTCP(t *testing.T) {
+	for _, batch := range []int{1, 8, 0} {
+		t.Run(map[int]string{1: "batch1", 8: "batch8", 0: "batch0"}[batch], func(t *testing.T) {
+			sessionPoolDeterminismGate(t, func(t *testing.T) *Cluster {
+				return tcpCluster(t, 3)
+			}, Options{K: 3, Rows: 12, Seed: 777, BatchSize: batch})
+		})
+	}
+}
+
+// TestSessionPoolTTLEviction pins the idle-eviction contract: a session
+// parked longer than the TTL is torn down on the next acquire, never
+// handed out. The pool's clock seam stands in for real waiting.
+func TestSessionPoolTTLEviction(t *testing.T) {
+	c := mustCluster(t, 3)
+	defer c.Close()
+	if err := c.SetLocalData(jobShares(5, 32, 6, 3)); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{K: 3, Rows: 12, Seed: 777}
+	run := func() {
+		t.Helper()
+		if _, err := c.PCA(testCtx(time.Minute), Huber(1.5), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run()
+	if st := c.SessionPoolStats(); st.Idle != 1 || st.Misses != 1 {
+		t.Fatalf("first job should park one session after a miss: %+v", st)
+	}
+	run()
+	if st := c.SessionPoolStats(); st.Hits != 1 || st.Idle != 1 {
+		t.Fatalf("second job should reuse the parked session: %+v", st)
+	}
+
+	// Jump the pool's clock past the TTL: the parked session is now stale
+	// and the next job must evict it and mint a fresh one.
+	c.pool.mu.Lock()
+	c.pool.now = func() time.Time { return time.Now().Add(sessionPoolTTL + time.Minute) }
+	c.pool.mu.Unlock()
+
+	base := c.SessionPoolStats()
+	run()
+	st := c.SessionPoolStats()
+	if st.Hits != base.Hits {
+		t.Fatalf("TTL-expired session was handed out: %+v", st)
+	}
+	if st.Misses != base.Misses+1 {
+		t.Fatalf("post-expiry job should have missed: %+v (baseline %+v)", st, base)
+	}
+	if st.Idle != 1 {
+		t.Fatalf("expired session still parked (or new one not parked): %+v", st)
+	}
+}
