@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json fmt vet lint-doc short ci smoke-tcp smoke-serve smoke-loadgen api api-check
+.PHONY: all build test race bench bench-smoke bench-json fmt vet lint-doc short ci smoke-tcp smoke-serve smoke-loadgen smoke-chaos api api-check
 
 all: build
 
@@ -36,14 +36,16 @@ bench: bench-smoke
 # after a ≤1% append vs cold full re-install, delta_rows/warm_hit
 # metrics, mem vs TCP), plus the session-setup benchmarks (SessionSetup:
 # the fixed bind/end handshake cost a session-pool hit skips, mem vs
-# TCP), rendered as JSON records (op, iterations, ns/op, B/op, custom
-# metrics) for machine comparison across PRs.
+# TCP) and the failover-latency benchmarks (Failover: worker lost
+# mid-job → detected → share re-placed → job done, failover-ns, mem vs
+# TCP loopback), rendered as JSON records (op, iterations, ns/op, B/op,
+# custom metrics) for machine comparison across PRs.
 # Staged through temp files so a failing bench run (or an empty
 # measurement set, which dlra-benchjson rejects) fails the target without
 # truncating an existing BENCH_JSON snapshot.
-BENCH_JSON ?= BENCH_pr9.json
+BENCH_JSON ?= BENCH_pr10.json
 bench-json:
-	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput|CancelLatency|FrameEncodeDecode|AppendThenQuery|SessionSetup' \
+	$(GO) test -run=NONE -bench='PanelSweepWorkers|ZEstimatorWorkers|DenseVsCSR|Transport|JobsThroughput|CancelLatency|FrameEncodeDecode|AppendThenQuery|SessionSetup|Failover' \
 		-benchmem -benchtime=3x . ./internal/comm > $(BENCH_JSON).txt || { rm -f $(BENCH_JSON).txt; exit 1; }
 	$(GO) run ./cmd/dlra-benchjson < $(BENCH_JSON).txt > $(BENCH_JSON).tmp || \
 		{ rm -f $(BENCH_JSON).txt $(BENCH_JSON).tmp; exit 1; }
@@ -112,6 +114,42 @@ smoke-loadgen:
 	$(LOADGEN_DIR)/dlra-loadgen -base http://$(LOADGEN_ADDR) -mode both -conc 4 -jobs 24 \
 		-qps 8 -duration 3s -min-completed 24 -json $(LOADGEN_DIR)/loadgen.json || status=$$?; \
 	kill $$(cat $(LOADGEN_DIR)/serve.pid) 2>/dev/null; wait; exit $$status
+
+# Failover chaos smoke: the same job batch runs twice on a real
+# multi-process cluster (coordinator + 3 external dlra-worker processes
+# over loopback TCP). The first leg runs undisturbed. In the second leg
+# one worker is killed mid-batch; the failure detector declares its slot
+# dead, a hot-spare dlra-worker in -rejoin mode takes the vacated slot,
+# the registry re-feeds its share, and every job still completes. The
+# gate diffs the per-job tables (words, bytes, sampled rows, projection
+# fingerprint) — a failover must be invisible in the transcript — and
+# requires the chaos leg to report at least one failover so the target
+# fails loudly if the kill landed after the batch already finished.
+CHAOS_DIR ?= /tmp/dlra-chaos-smoke
+CHAOS_ADDR ?= 127.0.0.1:7795
+CHAOS_KILL_AFTER ?= 1
+CHAOS_FLAGS = -input $(CHAOS_DIR)/fc.bin -k 5 -servers 4 -seed 7 -rows 48 -boost 12 \
+	-transport tcp -tcp-listen $(CHAOS_ADDR) -tcp-spawn=false -jobs 32 -job-concurrency 2
+smoke-chaos:
+	rm -rf $(CHAOS_DIR) && mkdir -p $(CHAOS_DIR)
+	$(GO) build -o $(CHAOS_DIR)/dlra-pca ./cmd/dlra-pca
+	$(GO) build -o $(CHAOS_DIR)/dlra-worker ./cmd/dlra-worker
+	$(GO) build -o $(CHAOS_DIR)/dlra-datagen ./cmd/dlra-datagen
+	$(CHAOS_DIR)/dlra-datagen -dataset forestcover -scale small -output $(CHAOS_DIR)/fc.bin
+	$(CHAOS_DIR)/dlra-worker -join $(CHAOS_ADDR) & \
+	$(CHAOS_DIR)/dlra-worker -join $(CHAOS_ADDR) & \
+	$(CHAOS_DIR)/dlra-worker -join $(CHAOS_ADDR) & \
+	$(CHAOS_DIR)/dlra-pca $(CHAOS_FLAGS) > $(CHAOS_DIR)/baseline.txt && wait
+	$(CHAOS_DIR)/dlra-worker -join $(CHAOS_ADDR) & \
+	$(CHAOS_DIR)/dlra-worker -join $(CHAOS_ADDR) & echo $$! > $(CHAOS_DIR)/victim.pid; \
+	$(CHAOS_DIR)/dlra-worker -join $(CHAOS_ADDR) & \
+	( sleep $(CHAOS_KILL_AFTER); kill $$(cat $(CHAOS_DIR)/victim.pid); \
+	  exec $(CHAOS_DIR)/dlra-worker -rejoin -join $(CHAOS_ADDR) -wait 60s ) & \
+	$(CHAOS_DIR)/dlra-pca $(CHAOS_FLAGS) > $(CHAOS_DIR)/chaos.txt && wait
+	grep -E '^  [0-9]+ ' $(CHAOS_DIR)/baseline.txt > $(CHAOS_DIR)/baseline.jobs
+	grep -E '^  [0-9]+ ' $(CHAOS_DIR)/chaos.txt > $(CHAOS_DIR)/chaos.jobs
+	diff -u $(CHAOS_DIR)/baseline.jobs $(CHAOS_DIR)/chaos.jobs
+	grep -E '^failovers +: [1-9]' $(CHAOS_DIR)/chaos.txt
 
 # Fails (exit 1) when any file needs gofmt.
 fmt:

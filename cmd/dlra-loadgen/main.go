@@ -89,6 +89,9 @@ func main() {
 	if err != nil {
 		log.Fatalf("scraping /metrics: %v", err)
 	}
+	if err := assertMembershipMetrics(before); err != nil {
+		log.Fatalf("scraping /metrics: %v", err)
+	}
 
 	var records []measurement
 	runClosed := *mode == "closed" || *mode == "both"
@@ -98,18 +101,22 @@ func main() {
 	}
 	completed := 0
 	if runClosed {
+		rej0 := lg.rejected.Load()
 		res := lg.closedLoop(*conc, *jobs)
 		completed += len(res.samples)
 		records = append(records, res.record("LoadgenClosed", map[string]float64{
-			"concurrency": float64(*conc),
+			"concurrency":  float64(*conc),
+			"rejected_429": float64(lg.rejected.Load() - rej0),
 		}))
 		log.Printf("closed loop: %s", res)
 	}
 	if runOpen {
+		rej0 := lg.rejected.Load()
 		res := lg.openLoop(*qps, *duration)
 		completed += len(res.samples)
 		records = append(records, res.record("LoadgenOpen", map[string]float64{
-			"target_qps": *qps,
+			"target_qps":   *qps,
+			"rejected_429": float64(lg.rejected.Load() - rej0),
 		}))
 		log.Printf("open loop: %s", res)
 	}
@@ -122,9 +129,10 @@ func main() {
 	records = append(records, measurement{
 		Op: "LoadgenServerMetrics", Iterations: 1, NsPerOp: 1, Metrics: delta,
 	})
-	log.Printf("server counters over the run: done=%+.0f canceled=%+.0f pool_hits=%+.0f pool_misses=%+.0f",
+	log.Printf("server counters over the run: done=%+.0f canceled=%+.0f pool_hits=%+.0f pool_misses=%+.0f rejected_429=%d",
 		delta["dlra_jobs_done_total"], delta["dlra_jobs_canceled_total"],
-		delta["dlra_session_pool_hits_total"], delta["dlra_session_pool_misses_total"])
+		delta["dlra_session_pool_hits_total"], delta["dlra_session_pool_misses_total"],
+		lg.rejected.Load())
 
 	if *jsonPath != "" {
 		if err := writeReport(*jsonPath, records); err != nil {
@@ -193,6 +201,10 @@ type loadgen struct {
 	client *http.Client
 	spec   submitRequest
 	errs   atomicInt
+	// rejected counts submissions the server refused with 429 (queue
+	// full) — back-pressure working as designed, reported separately
+	// from errors and never failing the run.
+	rejected atomicInt
 }
 
 // waitReady polls /healthz until the server answers (it may still be
@@ -229,6 +241,12 @@ func (lg *loadgen) runJob() (sample, bool) {
 	var v jobView
 	err = json.NewDecoder(resp.Body).Decode(&v)
 	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		// The admission queue pushed back (429 + Retry-After): the job
+		// was never accepted, so it is a rejection, not an error.
+		lg.rejected.Add(1)
+		return sample{}, false
+	}
 	if err != nil || resp.StatusCode != http.StatusAccepted {
 		lg.errs.Add(1)
 		return sample{}, false
@@ -447,6 +465,24 @@ func (lg *loadgen) scrapeMetrics() (map[string]float64, error) {
 		out[fields[0]] = v
 	}
 	return out, nil
+}
+
+// assertMembershipMetrics fails the run when the server's /metrics is
+// missing the membership series — the scrape gate for the failover
+// telemetry (`make smoke-loadgen` runs through here).
+func assertMembershipMetrics(m map[string]float64) error {
+	for _, name := range []string{
+		"dlra_workers_active",
+		"dlra_workers_suspect",
+		"dlra_worker_failovers_total",
+		"dlra_heartbeat_rtt_seconds_sum",
+		"dlra_heartbeat_rtt_seconds_count",
+	} {
+		if _, ok := m[name]; !ok {
+			return fmt.Errorf("missing membership metric %s", name)
+		}
+	}
+	return nil
 }
 
 // metricsDelta subtracts the before-scrape from the after-scrape

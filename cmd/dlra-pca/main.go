@@ -32,9 +32,12 @@ package main
 
 import (
 	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -245,7 +248,7 @@ func runJobs(cluster *repro.Cluster, f repro.Func, opts repro.Options, n, conc i
 		handles = append(handles, j)
 	}
 	fmt.Printf("jobs (%s transport, %d concurrent sessions):\n", transport, conc)
-	fmt.Printf("  %-5s %-8s %-10s %-10s\n", "job", "rows", "words", "bytes")
+	fmt.Printf("  %-5s %-8s %-10s %-10s %s\n", "job", "rows", "words", "bytes", "proj-fp")
 	var totalWords int64
 	for _, j := range handles {
 		res, err := j.Wait(context.Background())
@@ -253,11 +256,30 @@ func runJobs(cluster *repro.Cluster, f repro.Func, opts repro.Options, n, conc i
 			log.Fatalf("dlra-pca: job %d: %v", j.ID(), err)
 		}
 		totalWords += res.Words
-		fmt.Printf("  %-5d %-8d %-10d %-10d\n", res.JobID, len(res.SampledRows), res.Words, res.Bytes)
+		fmt.Printf("  %-5d %-8d %-10d %-10d %016x\n",
+			res.JobID, len(res.SampledRows), res.Words, res.Bytes, projFingerprint(res.Projection))
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("completed %d jobs in %.3fs — %.2f jobs/sec, %d words total\n",
 		n, elapsed.Seconds(), float64(n)/elapsed.Seconds(), totalWords)
+	fmt.Printf("failovers         : %d\n", cluster.MembershipStats().Failovers)
+}
+
+// projFingerprint hashes a projection matrix entrywise — FNV-1a over the
+// raw float bits in row-major order. The per-job table prints it so a
+// chaos run (worker killed mid-job, replacement rejoins) can be diffed
+// against an undisturbed run for bit-identity without shipping matrices.
+func projFingerprint(p *repro.Matrix) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	r, c := p.Dims()
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(p.At(i, j)))
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
 }
 
 // runSweep executes one protocol run per requested r on the shared

@@ -55,10 +55,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro"
@@ -131,6 +134,10 @@ func main() {
 	log.Printf("dlra-serve listening on http://%s (%s transport, %d servers, %d concurrent jobs)",
 		ln.Addr(), *transport, *servers, *maxConc)
 
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	go watchShutdown(sigc, srv, time.Minute, cleanup, os.Exit)
+
 	if *smoke > 0 {
 		go func() {
 			if err := runSmoke(fmt.Sprintf("http://%s", ln.Addr()), *smoke); err != nil {
@@ -142,6 +149,25 @@ func main() {
 		}()
 	}
 	log.Fatal(http.Serve(ln, srv.routes()))
+}
+
+// watchShutdown is the graceful-drain path: on SIGTERM (or ^C) the
+// server refuses new submissions with 503, lets every queued and
+// running job finish (bounded by grace), tears the cluster down, and
+// exits 0 — 1 when the drain timed out with jobs still in flight. exit
+// is a parameter so the drain sequence is testable in-process.
+func watchShutdown(sigc <-chan os.Signal, s *server, grace time.Duration, cleanup func(), exit func(int)) {
+	<-sigc
+	log.Printf("dlra-serve: draining (no new jobs; waiting for %d running, %d queued)",
+		s.cluster.EngineStats().Running, s.cluster.EngineStats().Queued)
+	s.beginDrain()
+	code := 0
+	if !s.awaitIdle(grace) {
+		log.Printf("dlra-serve: drain timed out after %v", grace)
+		code = 1
+	}
+	cleanup()
+	exit(code)
 }
 
 // inputList collects repeated -input flags.
@@ -189,9 +215,31 @@ type server struct {
 	partition string
 	servers   int
 	seed      int64
-	mu        sync.Mutex
-	jobs      map[uint64]*jobRecord
-	order     []uint64 // submission order, for eviction
+	// draining refuses new submissions with 503 while the engine winds
+	// down after SIGTERM (see watchShutdown).
+	draining atomic.Bool
+	mu       sync.Mutex
+	jobs     map[uint64]*jobRecord
+	order    []uint64 // submission order, for eviction
+}
+
+// beginDrain stops job admission; every other route keeps serving so
+// clients can poll their in-flight jobs to completion.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// awaitIdle polls the engine until no job is queued or running, or the
+// grace period elapses; reports whether the engine went idle.
+func (s *server) awaitIdle(grace time.Duration) bool {
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		es := s.cluster.EngineStats()
+		if es.Running == 0 && es.Queued == 0 {
+			return true
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	es := s.cluster.EngineStats()
+	return es.Running == 0 && es.Queued == 0
 }
 
 // retain records a new job and evicts the oldest finished records beyond
@@ -290,6 +338,15 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("dlra_session_pool_hits_total", "Jobs served by a pooled bound session.", ps.Hits)
 	counter("dlra_session_pool_misses_total", "Jobs that minted and bound a fresh session.", ps.Misses)
 	gauge("dlra_session_pool_idle", "Bound sessions currently parked in the pool.", int64(ps.Idle))
+	ms := s.cluster.MembershipStats()
+	gauge("dlra_workers_active", "Worker slots currently active.", int64(ms.Active))
+	gauge("dlra_workers_suspect", "Worker slots currently suspected by the failure detector.", int64(ms.Suspect))
+	counter("dlra_worker_failovers_total", "Dead worker slots re-placed by a replacement worker.", ms.Failovers)
+	fmt.Fprintf(&b, "# HELP dlra_heartbeat_rtt_seconds Heartbeat round-trip time summary.\n"+
+		"# TYPE dlra_heartbeat_rtt_seconds summary\n"+
+		"dlra_heartbeat_rtt_seconds_sum %g\n"+
+		"dlra_heartbeat_rtt_seconds_count %d\n",
+		ms.HeartbeatRTTSum.Seconds(), ms.HeartbeatCount)
 	io.WriteString(w, b.String())
 }
 
@@ -380,6 +437,10 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, views)
 	case http.MethodPost:
+		if s.draining.Load() {
+			writeErr(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+			return
+		}
 		var req submitRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeErr(w, http.StatusBadRequest, err)
@@ -405,6 +466,10 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			code := http.StatusBadRequest
 			if err == repro.ErrJobQueueFull {
 				code = http.StatusTooManyRequests
+				// The queue drains on protocol timescales: tell
+				// well-behaved clients when to come back instead of
+				// letting them hammer the admission path.
+				w.Header().Set("Retry-After", "1")
 			}
 			writeErr(w, code, err)
 			return

@@ -12,6 +12,9 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
 	"testing"
 	"time"
 
@@ -21,6 +24,13 @@ import (
 // newTestServer boots a 2-server in-process cluster with one small
 // dataset and wraps it in the HTTP layer.
 func newTestServer(t *testing.T) (*httptest.Server, *repro.Cluster) {
+	ts, cluster, _ := newTestServerFull(t)
+	return ts, cluster
+}
+
+// newTestServerFull is newTestServer plus the *server handle, for tests
+// that drive server-level machinery (the graceful drain) directly.
+func newTestServerFull(t *testing.T) (*httptest.Server, *repro.Cluster, *server) {
 	t.Helper()
 	cluster, err := repro.New(2, repro.WithEngineConfig(repro.EngineConfig{MaxConcurrent: 2}))
 	if err != nil {
@@ -49,7 +59,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *repro.Cluster) {
 		ts.Close()
 		cluster.Close()
 	})
-	return ts, cluster
+	return ts, cluster, srv
 }
 
 func doJSON(t *testing.T, method, url string, body any) (int, map[string]any) {
@@ -153,6 +163,63 @@ func TestPollReportsProgress(t *testing.T) {
 	}
 	if view["phase"] == nil || view["phase"].(string) == "" {
 		t.Fatalf("done job view has no phase: %v", view)
+	}
+}
+
+// TestGracefulDrainOnSIGTERM: a SIGTERM lets in-flight jobs finish while
+// new submissions get 503, then tears down and exits 0 — the whole
+// watchShutdown sequence driven by a real signal through httptest.
+func TestGracefulDrainOnSIGTERM(t *testing.T) {
+	ts, cluster, srv := newTestServerFull(t)
+
+	// An in-flight job big enough to still be running when the drain hits.
+	code, v := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitRequest{Fn: "identity", K: 3, Rows: 4000, Boost: 2, Seed: 13})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d (%v)", code, v)
+	}
+	id := uint64(v["id"].(float64))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	exited := make(chan int, 1)
+	cleaned := make(chan struct{})
+	go watchShutdown(sigc, srv, 30*time.Second,
+		func() { close(cleaned) },
+		func(code int) { exited <- code })
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submissions are refused while draining; the in-flight job keeps its
+	// poll route and runs to completion.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, _ = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", submitRequest{Fn: "identity", K: 2, Rows: 10, Seed: 5})
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submissions still admitted while draining (last: %d)", code)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("drain exited %d, want 0", code)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	<-cleaned
+	// The drained job really finished — it was not cut off.
+	if st := cluster.EngineStats(); st.Done < 1 {
+		t.Fatalf("in-flight job did not finish before exit: %+v", st)
+	}
+	_, view := doJSON(t, http.MethodGet, fmt.Sprintf("%s/v1/jobs/%d", ts.URL, id), nil)
+	if view["state"] != "done" {
+		t.Fatalf("drained job state %v, want done", view["state"])
 	}
 }
 

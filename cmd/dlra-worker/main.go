@@ -8,10 +8,15 @@
 //
 // Usage:
 //
-//	dlra-worker -join host:port [-wait 30s]
+//	dlra-worker -join host:port [-wait 30s] [-rejoin]
 //
 // Start s−1 workers for a coordinator of s servers. Workers may start
 // before the coordinator listens; they retry the connection for -wait.
+//
+// With -rejoin the worker is elastic: a lost link (coordinator
+// detectable crash aside) makes it dial back in and take over whatever
+// vacated slot the coordinator assigns — the replacement half of a
+// failover. It exits 0 on a clean cluster shutdown.
 package main
 
 import (
@@ -23,13 +28,18 @@ import (
 
 func main() {
 	join := flag.String("join", "", "coordinator address to join (required)")
-	wait := flag.Duration("wait", cli.DefaultJoinWait, "how long to retry the initial connection")
+	wait := flag.Duration("wait", cli.DefaultJoinWait, "how long to retry the initial connection (with -rejoin: each rejoin window)")
 	batch := flag.Int("batch", 0, "reply batch cap: coalesce up to N replies into one wire envelope (0 = one envelope per request envelope, 1 = individual replies)")
+	rejoin := flag.Bool("rejoin", false, "on a lost link, rejoin the coordinator into a vacated slot instead of exiting")
 	flag.Parse()
 	if *join == "" {
 		log.Fatal("dlra-worker: -join is required")
 	}
-	if err := cli.JoinWorker(*join, *wait, *batch); err != nil {
+	serve := cli.JoinWorker
+	if *rejoin {
+		serve = cli.RejoinWorker
+	}
+	if err := serve(*join, *wait, *batch); err != nil {
 		log.Fatalf("dlra-worker: %v", err)
 	}
 }

@@ -60,6 +60,18 @@ func (s JobState) String() string {
 // never blocks on observers).
 const roundEventBuffer = 64
 
+// maxJobAttempts bounds how many times one job runs before a worker
+// loss is surfaced to the caller: the first run plus up to two failover
+// resubmissions.
+const maxJobAttempts = 3
+
+// failoverBreath is the pause between a job observing a lost worker and
+// its resubmission: long enough for the link-down handler to mark the
+// slot dead (so the requeue finds the queue held for the re-placement)
+// and for the mem fabric's explicit healer to run, short enough to be
+// invisible next to a real failover.
+const failoverBreath = 10 * time.Millisecond
+
 // RoundEvent is one completed protocol round of a running job, as
 // delivered by Job.Rounds.
 type RoundEvent struct {
@@ -131,6 +143,11 @@ type Job struct {
 	// protocol goroutine — a test seam for deterministic between-rounds
 	// cancellation (set before the job is submitted).
 	hookRound func(seq int64)
+
+	// attempts counts completed runs; touched only by the runner that
+	// holds the job, so no atomic is needed. A run ending in
+	// ErrWorkerLost resubmits until maxJobAttempts is reached.
+	attempts int
 
 	mu    sync.Mutex
 	state JobState
@@ -303,6 +320,25 @@ func (j *Job) finish(res *Result, err error, state JobState) {
 	close(j.done)
 }
 
+// resetForRetry rewinds a job's observable progress before a failover
+// resubmission, so the retried run reports rounds, words and phases
+// from zero exactly like a first run. The job keeps its id — and
+// therefore its derived protocol seed — which is what makes the retry's
+// transcript bit-identical to an undisturbed run.
+func (j *Job) resetForRetry() {
+	j.rounds.Store(0)
+	j.words.Store(0)
+	j.phase.Store("")
+	j.bindNS.Store(0)
+	j.protoNS.Store(0)
+	j.teardownNS.Store(0)
+	j.mu.Lock()
+	if j.state == JobRunning {
+		j.state = JobQueued
+	}
+	j.mu.Unlock()
+}
+
 func (j *Job) setRunning() {
 	j.startedNS.Store(time.Now().UnixNano())
 	j.mu.Lock()
@@ -334,7 +370,12 @@ type engine struct {
 	depth   int
 	started bool
 	closed  bool
-	wg      sync.WaitGroup
+	// paused holds runners off the queue during a failover: a dead
+	// worker makes every admitted job doomed until its share is
+	// re-placed, so the queue waits instead of burning retry attempts.
+	// Admission stays open; shutdown overrides a pause.
+	paused bool
+	wg     sync.WaitGroup
 
 	// Lifetime counters (see EngineStats): jobs accepted into the
 	// queue, and finished outcomes by terminal state.
@@ -412,12 +453,43 @@ func (e *engine) submit(ctx context.Context, j *Job, block bool) error {
 	}
 }
 
+// pause holds runners off the queue (idempotent; see engine.paused).
+func (e *engine) pause() {
+	e.mu.Lock()
+	e.paused = true
+	e.mu.Unlock()
+}
+
+// resume reopens the queue after a re-placement.
+func (e *engine) resume() {
+	e.mu.Lock()
+	e.paused = false
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// requeueFront puts a failover-interrupted job back at the head of the
+// admission queue, ahead of every waiting job — it already held a
+// runner when the fabric broke, so it goes first once the cluster is
+// whole. The head slot is exempt from the depth bound. Returns false
+// when the engine has shut down (the caller fails the job instead).
+func (e *engine) requeueFront(j *Job) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.queue = append([]*Job{j}, e.queue...)
+	e.cond.Broadcast()
+	return true
+}
+
 // runner drains the queue until shutdown.
 func (e *engine) runner() {
 	defer e.wg.Done()
 	e.mu.Lock()
 	for {
-		for len(e.queue) == 0 && !e.closed {
+		for (len(e.queue) == 0 || e.paused) && !e.closed {
 			e.cond.Wait()
 		}
 		if len(e.queue) == 0 {
@@ -432,7 +504,34 @@ func (e *engine) runner() {
 		e.c.runJob(j)
 		e.mu.Lock()
 		e.running--
+		e.cond.Broadcast() // wake awaitQuiet: a failover gate may be waiting
 	}
+}
+
+// awaitQuiet blocks until no runner is inside a job — queued jobs held
+// by a pause don't count — the engine closes, or the timeout passes
+// (reporting false). This is the replacement gate's engine half: a
+// rejoining worker may only have its link swapped in once every job the
+// failover interrupted has observed the poisoned link and requeued;
+// swapping earlier clears the poison under a job still awaiting a reply
+// the dead worker took with it, and that job would wait forever.
+func (e *engine) awaitQuiet(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	wake := time.AfterFunc(timeout, func() {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	})
+	defer wake.Stop()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.running > 0 && !e.closed {
+		if !time.Now().Before(deadline) {
+			return false
+		}
+		e.cond.Wait()
+	}
+	return true
 }
 
 // ifIdle runs fn under the engine lock iff no job is queued or running —

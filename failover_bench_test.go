@@ -1,0 +1,126 @@
+package repro
+
+// Failover-latency benchmarks: each op is one complete worker-loss
+// cycle — a job is interrupted by a dead link, the fabric heals (a
+// HealLink on mem, a spare worker's rejoin handshake plus share
+// re-installation on TCP), and the retried job completes. failover-ns
+// is the mean loss-to-result latency; on TCP it covers the entire
+// re-placement machine (vacancy detection, join handshake, quiesce
+// gate, share re-feed, engine resume). Regenerate with: make bench-json
+//
+//	BENCH_JSON=BENCH_pr10.json make bench-json
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/comm"
+)
+
+// failoverOptions shapes the benchmark job; matches the jobs-throughput
+// benchmarks so words/job is comparable across BENCH files.
+var failoverOptions = Options{K: 3, Rows: 24, Seed: 17}
+
+func BenchmarkFailoverMem(b *testing.B) {
+	const n, d, s, victim = 96, 12, 3, 2
+	c, err := NewCluster(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetLocalData(benchShares(n, d, s, 5)); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.ConfigureEngine(EngineConfig{MaxConcurrent: 1}); err != nil {
+		b.Fatal(err)
+	}
+	tr, ok := c.net.Transport().(*comm.MemTransport)
+	if !ok {
+		b.Fatal("mem cluster without MemTransport")
+	}
+	var lat time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		// Poison the victim's link before the job's first round so the
+		// loss is observed deterministically; heal inside the retry
+		// backoff window so the requeued run finds the fabric whole.
+		tr.FailLink(victim, ErrWorkerLost)
+		j, err := c.Submit(context.Background(), Identity(), failoverOptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		time.Sleep(3 * time.Millisecond)
+		tr.HealLink(victim)
+		if _, err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		lat += time.Since(start)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lat.Nanoseconds())/float64(b.N), "failover-ns")
+}
+
+func BenchmarkFailoverTCP(b *testing.B) {
+	const n, d, s, victim = 96, 12, 3, 2
+	c, err := ListenCluster(s, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i < s; i++ {
+		go func() {
+			_ = JoinWorker(testCtx(30*time.Second), c.Addr())
+		}()
+	}
+	if err := c.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SetLocalData(benchShares(n, d, s, 5)); err != nil {
+		b.Fatal(err)
+	}
+	if err := c.ConfigureEngine(EngineConfig{MaxConcurrent: 1}); err != nil {
+		b.Fatal(err)
+	}
+	// One persistent spare: redials whenever its link dies (each op kills
+	// the victim slot's current occupant), exits on clean shutdown.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			if err := cluster.DialBatch(context.Background(), c.Addr(), 0); err == nil {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	var lat time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		if err := c.coord.DropWorker(victim); err != nil {
+			b.Fatal(err)
+		}
+		j, err := c.Submit(context.Background(), Identity(), failoverOptions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		lat += time.Since(start)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(lat.Nanoseconds())/float64(b.N), "failover-ns")
+	if got := c.MembershipStats().Failovers; got < int64(b.N) {
+		b.Fatalf("recorded %d failovers over %d ops", got, b.N)
+	}
+	stop.Store(true)
+	c.Close()
+	wg.Wait()
+}

@@ -1,0 +1,148 @@
+package repro
+
+// Failover determinism gates: killing a worker mid-batch on a
+// membership-enabled TCP cluster and letting a spare take over the slot
+// must leave every per-job fingerprint (word and byte ledgers, per-tag
+// breakdown, sampled rows, projection) bit-identical to an undisturbed
+// run — a retried job reuses its id, hence its derived seed, hence its
+// transcript. The sweep covers wire batch sizes 1 (off), 8 and 0
+// (unlimited) because failover interacts with framing: an interrupted
+// batch envelope must not leak partial replies into the retry.
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// failoverCluster is tcpCluster's chaos twin: its in-goroutine workers
+// tolerate losing their link, because the test severs one on purpose.
+func failoverCluster(t *testing.T, s int) *Cluster {
+	t.Helper()
+	c, err := ListenCluster(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < s; i++ {
+		go func() {
+			_ = JoinWorker(testCtx(30*time.Second), c.Addr())
+		}()
+	}
+	if err := c.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// rejoinSpare dials the coordinator until it wins a vacated slot (any
+// pre-vacancy or handshake-race rejection just backs off), then serves
+// as the replacement worker until the cluster shuts down.
+func rejoinSpare(c *Cluster, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			ctx, cancel := context.WithDeadline(context.Background(), deadline)
+			err := cluster.DialBatch(ctx, c.Addr(), 0)
+			cancel()
+			if err == nil {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+}
+
+// submitFailoverJobs submits k jobs with per-job wire batching and
+// returns them unwaited, so the caller can kill a worker while they run.
+func submitFailoverJobs(t *testing.T, c *Cluster, k, conc, batch int) []*Job {
+	t.Helper()
+	if err := c.ConfigureEngine(EngineConfig{MaxConcurrent: conc}); err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]*Job, k)
+	for i := range jobs {
+		j, err := c.Submit(context.Background(), Identity(), Options{K: 3, Rows: 40, Boost: 6, Seed: 4242, BatchSize: batch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = j
+	}
+	return jobs
+}
+
+func waitFingerprints(t *testing.T, jobs []*Job) []jobFingerprint {
+	t.Helper()
+	out := make([]jobFingerprint, len(jobs))
+	for i, j := range jobs {
+		res, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatalf("job %d: %v", j.ID(), err)
+		}
+		out[i] = fingerprintResult(res)
+	}
+	return out
+}
+
+// TestFailoverMidJobDeterminismTCP kills worker 2 while a batch of jobs
+// runs, rejoins a spare into the vacated slot, and requires the
+// disturbed run's fingerprints to match an undisturbed in-memory
+// baseline exactly — at every wire batch size.
+func TestFailoverMidJobDeterminismTCP(t *testing.T) {
+	const s, k, conc = 4, 8, 2
+	shares := jobShares(61, 120, 10, s)
+
+	base, err := NewCluster(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+	if err := base.SetLocalData(shares); err != nil {
+		t.Fatal(err)
+	}
+	want := waitFingerprints(t, submitFailoverJobs(t, base, k, conc, 0))
+
+	for _, batch := range []int{1, 8, 0} {
+		t.Run(batchName(batch), func(t *testing.T) {
+			c := failoverCluster(t, s)
+			defer c.Close()
+			if err := c.SetLocalData(shares); err != nil {
+				t.Fatal(err)
+			}
+			jobs := submitFailoverJobs(t, c, k, conc, batch)
+			// Let the engine get jobs in flight, then sever a worker and
+			// send in the spare.
+			time.Sleep(25 * time.Millisecond)
+			if err := c.coord.DropWorker(2); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			rejoinSpare(c, &wg)
+
+			got := waitFingerprints(t, jobs)
+			compareFingerprints(t, want, got)
+
+			stats := c.MembershipStats()
+			if stats.Failovers < 1 {
+				t.Fatalf("no failover recorded: %+v", stats)
+			}
+			c.Close()
+			wg.Wait()
+		})
+	}
+}
+
+func batchName(batch int) string {
+	switch batch {
+	case 0:
+		return "batch=unlimited"
+	case 1:
+		return "batch=off"
+	default:
+		return "batch=8"
+	}
+}

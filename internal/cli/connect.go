@@ -7,6 +7,7 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -34,6 +35,45 @@ func JoinWorker(addr string, wait time.Duration, replyBatch int) error {
 	defer cancel()
 	return cluster.DialBatch(ctx, addr, replyBatch)
 }
+
+// RejoinWorker runs an elastic worker: join the coordinator, serve
+// until the cluster shuts down cleanly (returns nil), and on a lost
+// link dial back in to take over a vacated slot — the -rejoin mode of
+// cmd/dlra-worker, and the replacement half of a failover. Every
+// (re)join attempt has a wait-bounded window. cluster.ErrNoVacancy —
+// the coordinator has no vacated slot yet, typically because the
+// failure detector has not declared the crashed predecessor dead —
+// backs off briefly and retries inside the window; a window that
+// expires without completing a handshake gives up with the last error.
+func RejoinWorker(addr string, wait time.Duration, replyBatch int) error {
+	for {
+		deadline := time.Now().Add(wait)
+		for {
+			ctx, cancel := context.WithDeadline(context.Background(), deadline)
+			err := cluster.DialBatch(ctx, addr, replyBatch)
+			cancel()
+			if err == nil {
+				return nil
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
+			if !errors.Is(err, cluster.ErrNoVacancy) {
+				// Served and lost the link (or a broken handshake): go
+				// around with a fresh window and rejoin.
+				break
+			}
+			if time.Now().Add(noVacancyBackoff).After(deadline) {
+				return err
+			}
+			time.Sleep(noVacancyBackoff)
+		}
+	}
+}
+
+// noVacancyBackoff spaces a rejoining worker's attempts while it waits
+// for the coordinator's detector to vacate its slot.
+const noVacancyBackoff = 100 * time.Millisecond
 
 // Connect builds the requested cluster fabric and returns it with an
 // idempotent cleanup function (worker shutdown for tcp). With transport

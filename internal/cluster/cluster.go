@@ -45,6 +45,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/hh"
 	"repro/internal/matrix"
+	"repro/internal/membership"
 	"repro/internal/ops"
 	"repro/internal/parallel"
 	"repro/internal/sketch"
@@ -52,13 +53,26 @@ import (
 )
 
 // protocolVersion gates the worker handshake; bump when the op vocabulary
-// changes incompatibly. Version 3: delta installation (OpAppendRows,
-// OpUpdateRows) folding into resident shares and warm sketch stores.
-const protocolVersion = 3
+// changes incompatibly. Version 4: elastic membership — the hello frame
+// carries {version, flags}, the assignment carries {slot, s, epoch}, a
+// worker can join after AwaitWorkers into a vacated slot (NoVacancySlot
+// refuses it when every slot is alive), and workers answer OpPing
+// heartbeats from their read loop.
+const protocolVersion = 4
+
+// NoVacancySlot is the assignment sentinel the coordinator sends a
+// late-joining worker when no slot is dead: the worker backs off and
+// retries (see ErrNoVacancy and dlra-worker -rejoin).
+const NoVacancySlot = 0xFFFFFFFF
 
 // ErrClosed is returned by coordinator operations after Close. Close
 // itself is idempotent and returns nil on repeated calls.
 var ErrClosed = errors.New("cluster: coordinator is closed")
+
+// ErrNoVacancy is returned by Dial/Serve when the coordinator's cluster
+// is fully populated: every slot has a live worker, so the joiner should
+// back off and retry — a slot opens when a worker dies.
+var ErrNoVacancy = errors.New("cluster: no vacant worker slot")
 
 // Setup tags (never charged — the model assumes data already resides on
 // the servers; everything after setup is real, accounted protocol
@@ -73,6 +87,12 @@ const (
 	tagEndAck   = "setup/endack"
 	tagAbort    = "setup/abort"
 )
+
+// tagHeartbeat is the control ledger tag for heartbeat pings and pongs.
+// Heartbeat traffic is charged exclusively through Network.ChargeControl
+// under this tag — never the protocol word ledger — so membership probes
+// cannot perturb words/run gates or transcripts.
+const tagHeartbeat = "ctl/heartbeat"
 
 // Coordinator owns the listening socket, the worker connections, the
 // remote-aware accounting fabric and the record of which datasets the
@@ -93,6 +113,25 @@ type Coordinator struct {
 	closed        bool
 	installed     map[uint64]bool
 	installFrames int64
+
+	// Membership machinery, live after EnableMembership: the table, the
+	// heartbeat/detector goroutines' stop channel, and the join loop that
+	// handshakes replacement workers into vacated slots. joinMu serializes
+	// slot selection so two concurrent joiners cannot claim one slot.
+	mt     *membership.Table
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
+	joinMu sync.Mutex
+
+	// Recovery callbacks (set before EnableMembership): onDead fires once
+	// per link death with the wrapped ErrWorkerLost cause; onReplaced runs
+	// after a replacement worker is handshaked and its link swapped in —
+	// the layer above re-feeds shares from its registry there — and must
+	// succeed before the slot is activated.
+	cbMu            sync.Mutex
+	onDead          func(worker int, err error)
+	onReplaced      func(worker int) error
+	onBeforeReplace func(worker int) error
 }
 
 // Listen starts a coordinator for s servers (the CP plus s−1 workers to
@@ -179,13 +218,13 @@ func (c *Coordinator) AwaitWorkers(ctx context.Context) error {
 			}
 			return fmt.Errorf("cluster: worker %d handshake: %w", t, err)
 		}
-		if len(hello.Words) != 1 || hello.Words[0] != protocolVersion {
+		if len(hello.Words) != 2 || hello.Words[0] != protocolVersion {
 			stopConn()
 			conn.Close()
 			return fmt.Errorf("cluster: worker %d speaks protocol %v, want %d", t, hello.Words, protocolVersion)
 		}
 		assign := &comm.Frame{Kind: comm.KindControl, From: comm.CP, To: t, Tag: tagAssign,
-			Words: []uint64{uint64(t), uint64(c.s)}}
+			Words: []uint64{uint64(t), uint64(c.s), 1}}
 		if err := writeFrame(conn, assign); err != nil {
 			stopConn()
 			conn.Close()
@@ -383,14 +422,19 @@ func (c *Coordinator) AbortSession(sess uint16) error {
 		return errors.New("cluster: AwaitWorkers before aborting sessions")
 	}
 	stream := uint32(sess) << 16
+	var first error
 	for t := 1; t < c.s; t++ {
 		f := &comm.Frame{Kind: comm.KindControl, Op: ops.OpAbort, From: comm.CP, To: t,
 			Stream: stream, Tag: tagAbort}
 		if err := c.send(t, f); err != nil {
-			return fmt.Errorf("cluster: aborting session %d on worker %d: %w", sess, t, err)
+			// A dead worker cannot be aborted — and does not need to be;
+			// keep flagging the living ones and report the first failure.
+			if first == nil {
+				first = fmt.Errorf("cluster: aborting session %d on worker %d: %w", sess, t, err)
+			}
 		}
 	}
-	return nil
+	return first
 }
 
 // CloseSession tears down a session binding on every worker and waits for
@@ -406,32 +450,55 @@ func (c *Coordinator) CloseSession(sess uint16) error {
 		return errors.New("cluster: AwaitWorkers before closing sessions")
 	}
 	stream := uint32(sess) << 16
+	sendFailed := make([]bool, c.s)
+	var first error
 	for t := 1; t < c.s; t++ {
 		f := &comm.Frame{Kind: comm.KindControl, Op: ops.OpEndSession, From: comm.CP, To: t,
 			Stream: stream, Tag: tagEndSess, RTag: tagEndAck}
 		if err := c.send(t, f); err != nil {
-			return fmt.Errorf("cluster: ending session %d on worker %d: %w", sess, t, err)
+			// A dead worker's session died with it — skip its drain, keep
+			// tearing the session down on the living workers.
+			sendFailed[t] = true
+			if first == nil {
+				first = fmt.Errorf("cluster: ending session %d on worker %d: %w", sess, t, err)
+			}
 		}
 	}
 	for t := 1; t < c.s; t++ {
-		// Drain the session's root stream until the ack: an aborted round
-		// may have left stale replies queued ahead of it.
-		for {
-			buf, err := c.tr.Recv(t, comm.CP, stream, nil)
-			if err != nil {
-				return fmt.Errorf("cluster: session %d end ack from worker %d: %w", sess, t, err)
-			}
-			f, err := comm.DecodeFrame(buf)
-			comm.ReleaseFrame(buf)
-			if err != nil {
-				return fmt.Errorf("cluster: session %d end ack from worker %d: %w", sess, t, err)
-			}
-			if f.Tag == tagEndAck {
-				break
-			}
+		if sendFailed[t] {
+			continue
+		}
+		if err := c.drainEndAck(sess, t, stream); err != nil && first == nil {
+			first = err
 		}
 	}
-	return nil
+	return first
+}
+
+// drainEndAck drains one worker's session stream until its end-session
+// ack: an aborted round may have left stale replies queued ahead of it.
+// The drain is bounded — a worker that dies between the end-session send
+// and its ack poisons the link (immediate error), and the rare race
+// where a replacement clears the poison mid-drain is cut off by the
+// timeout instead of hanging the teardown.
+func (c *Coordinator) drainEndAck(sess uint16, t int, stream uint32) error {
+	cancel := make(chan struct{})
+	tm := time.AfterFunc(5*time.Second, func() { close(cancel) })
+	defer tm.Stop()
+	for {
+		buf, err := c.tr.Recv(t, comm.CP, stream, cancel)
+		if err != nil {
+			return fmt.Errorf("cluster: session %d end ack from worker %d: %w", sess, t, err)
+		}
+		f, err := comm.DecodeFrame(buf)
+		comm.ReleaseFrame(buf)
+		if err != nil {
+			return fmt.Errorf("cluster: session %d end ack from worker %d: %w", sess, t, err)
+		}
+		if f.Tag == tagEndAck {
+			return nil
+		}
+	}
 }
 
 // MaskShares returns the coordinator-side view of the shares: the CP's own
@@ -441,6 +508,338 @@ func (c *Coordinator) MaskShares(locals []matrix.Mat) []matrix.Mat {
 	masked := make([]matrix.Mat, c.s)
 	masked[comm.CP] = locals[comm.CP]
 	return masked
+}
+
+// OnWorkerDead installs the death observer, fired once per link loss
+// (from a transport reader or the detector's enforcement) with the
+// worker index and the wrapped comm.ErrWorkerLost cause. Set it before
+// EnableMembership.
+func (c *Coordinator) OnWorkerDead(fn func(worker int, err error)) {
+	c.cbMu.Lock()
+	c.onDead = fn
+	c.cbMu.Unlock()
+}
+
+// OnBeforeReplace installs the pre-replacement gate, run after a
+// replacement worker has claimed a vacated slot but before its link is
+// swapped into the transport. The layer above blocks here until every
+// protocol run the failover interrupted has observed the poisoned link
+// and unwound: the link swap clears the poison, so swapping while a run
+// is still mid-round would leave it awaiting a reply the dead worker
+// took with it. A returned error rejects the joiner (it retries).
+func (c *Coordinator) OnBeforeReplace(fn func(worker int) error) {
+	c.cbMu.Lock()
+	c.onBeforeReplace = fn
+	c.cbMu.Unlock()
+}
+
+// OnWorkerReplaced installs the re-placement hook, run after a
+// replacement worker is handshaked into a vacated slot and its link
+// swapped into the transport, but before the slot turns Active. The
+// layer above re-feeds the slot's shares from its dataset registry here
+// (ReinstallShare) and resumes its engine; a returned error rejects the
+// replacement and the slot goes back to dead.
+func (c *Coordinator) OnWorkerReplaced(fn func(worker int) error) {
+	c.cbMu.Lock()
+	c.onReplaced = fn
+	c.cbMu.Unlock()
+}
+
+// EnableMembership turns the post-AwaitWorkers cluster live: a
+// membership table over every worker slot, heartbeat probes and the
+// clock-driven failure detector on cfg's cadence, per-worker pong
+// drains, and a join loop accepting replacement workers into vacated
+// slots. Idempotent after the first successful call.
+func (c *Coordinator) EnableMembership(cfg membership.Config) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if c.tr == nil {
+		return errors.New("cluster: AwaitWorkers before enabling membership")
+	}
+	c.mu.Lock()
+	if c.mt != nil {
+		c.mu.Unlock()
+		return nil
+	}
+	workers := make([]int, 0, c.s-1)
+	for t := 1; t < c.s; t++ {
+		workers = append(workers, t)
+	}
+	c.mt = membership.NewTable(workers, cfg)
+	c.hbStop = make(chan struct{})
+	c.mu.Unlock()
+
+	c.tr.SetLinkDownHandler(func(worker int, err error) {
+		c.mt.MarkDead(worker)
+		c.cbMu.Lock()
+		fn := c.onDead
+		c.cbMu.Unlock()
+		if fn != nil {
+			fn(worker, err)
+		}
+	})
+	// AwaitWorkers may have left a context deadline armed on the
+	// listener; the join loop accepts forever.
+	if tcpLn, ok := c.ln.(*net.TCPListener); ok {
+		tcpLn.SetDeadline(time.Time{})
+	}
+	c.hbWG.Add(2)
+	go c.acceptLoop()
+	go c.heartbeatLoop()
+	for t := 1; t < c.s; t++ {
+		c.hbWG.Add(1)
+		go c.pongDrain(t)
+	}
+	return nil
+}
+
+// Membership returns the membership table, nil before EnableMembership.
+func (c *Coordinator) Membership() *membership.Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mt
+}
+
+// DropWorker forcibly severs the link to worker t — the chaos seam for
+// failover tests and a real administrative kill. The link's reader
+// observes the closed connection and the death flows through the same
+// path a crashed worker takes.
+func (c *Coordinator) DropWorker(t int) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if c.tr == nil {
+		return errors.New("cluster: AwaitWorkers before dropping workers")
+	}
+	if t <= 0 || t >= c.s {
+		return fmt.Errorf("cluster: no worker %d", t)
+	}
+	return c.tr.CloseLink(t)
+}
+
+// heartbeatLoop probes every live worker each interval and runs the
+// failure detector; a slot the detector declares dead has its link
+// severed, which routes the death through the transport's link-down
+// path exactly once.
+func (c *Coordinator) heartbeatLoop() {
+	defer c.hbWG.Done()
+	tick := time.NewTicker(c.mt.Interval())
+	defer tick.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-tick.C:
+		}
+		seq++
+		now := time.Now().UnixNano()
+		for _, m := range c.mt.Members() {
+			if m.State == membership.Dead || m.State == membership.Draining {
+				continue
+			}
+			f := &comm.Frame{Kind: comm.KindControl, Op: ops.OpPing, From: comm.CP, To: m.Index,
+				Stream: comm.ControlStream, Tag: tagHeartbeat, Words: ops.HeartbeatParams(seq, now)}
+			enc := comm.EncodeFrame(f)
+			nb := int64(len(enc))
+			if err := c.tr.Send(comm.CP, m.Index, enc); err == nil {
+				c.net.ChargeControl(tagHeartbeat, 2, nb)
+			}
+		}
+		for _, tr := range c.mt.Tick() {
+			if tr.Member.State == membership.Dead {
+				c.tr.CloseLink(tr.Member.Index)
+			}
+		}
+	}
+}
+
+// pongDrain consumes worker t's heartbeat pongs off the reserved control
+// stream, feeding the membership table and the control ledger. It rides
+// through link deaths (the queue un-poisons when the slot is re-placed)
+// and exits when the coordinator closes.
+func (c *Coordinator) pongDrain(t int) {
+	defer c.hbWG.Done()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		default:
+		}
+		buf, err := c.tr.Recv(t, comm.CP, comm.ControlStream, c.hbStop)
+		if err != nil {
+			if errors.Is(err, comm.ErrRecvAborted) {
+				return
+			}
+			// The link is down (poisoned queue) or the transport is gone:
+			// wait an interval and re-check — a re-placed slot's pongs
+			// resume on the same stream.
+			select {
+			case <-c.hbStop:
+				return
+			case <-time.After(c.mt.Interval()):
+			}
+			continue
+		}
+		f, derr := comm.DecodeFrame(buf)
+		nb := int64(len(buf))
+		comm.ReleaseFrame(buf)
+		if derr != nil || f.Op != ops.OpPong {
+			continue
+		}
+		_, sent, perr := ops.ParseHeartbeat(f.Words)
+		if perr != nil {
+			continue
+		}
+		rtt := time.Duration(time.Now().UnixNano() - sent)
+		if rtt < 0 {
+			rtt = 0
+		}
+		c.mt.Beat(t, rtt)
+		c.net.ChargeControl(tagHeartbeat, 2, nb)
+	}
+}
+
+// acceptLoop admits replacement workers after AwaitWorkers; it exits
+// when the listener closes.
+func (c *Coordinator) acceptLoop() {
+	defer c.hbWG.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handleJoin(conn)
+	}
+}
+
+// handleJoin handshakes one late-joining worker: protocol v4 hello, a
+// vacated (dead) slot or the NoVacancySlot refusal, the link swap, the
+// re-placement hook (share re-feed), then activation. Slot selection is
+// serialized so concurrent joiners never claim the same slot.
+func (c *Coordinator) handleJoin(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	hello, err := readFrame(conn, tagHello)
+	if err != nil || len(hello.Words) != 2 || hello.Words[0] != protocolVersion {
+		conn.Close()
+		return
+	}
+	c.joinMu.Lock()
+	slot := -1
+	var epoch uint64
+	for _, m := range c.mt.Members() {
+		if m.State == membership.Dead {
+			slot, epoch = m.Index, m.Epoch+1
+			break
+		}
+	}
+	if slot < 0 {
+		c.joinMu.Unlock()
+		writeFrame(conn, &comm.Frame{Kind: comm.KindControl, From: comm.CP, Tag: tagAssign,
+			Words: []uint64{NoVacancySlot, uint64(c.s), 0}})
+		conn.Close()
+		return
+	}
+	c.mt.Joining(slot)
+	c.joinMu.Unlock()
+
+	reject := func() {
+		conn.Close()
+		c.mt.MarkDead(slot)
+	}
+	// The quiesce gate: the link swap below discards the dead link's
+	// poison, so it must wait until every protocol run the failure
+	// interrupted has unwound (OnBeforeReplace blocks until then).
+	c.cbMu.Lock()
+	gate := c.onBeforeReplace
+	c.cbMu.Unlock()
+	if gate != nil {
+		if err := gate(slot); err != nil {
+			reject()
+			return
+		}
+	}
+	assign := &comm.Frame{Kind: comm.KindControl, From: comm.CP, To: slot, Tag: tagAssign,
+		Words: []uint64{uint64(slot), uint64(c.s), epoch}}
+	if err := writeFrame(conn, assign); err != nil {
+		reject()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+	// Swap the link in before the share re-feed: the reinstall frames
+	// ship through the transport like any install.
+	if err := c.tr.Replace(slot, conn); err != nil {
+		reject()
+		return
+	}
+	c.cbMu.Lock()
+	fn := c.onReplaced
+	c.cbMu.Unlock()
+	if fn != nil {
+		if err := fn(slot); err != nil {
+			c.tr.CloseLink(slot)
+			c.mt.MarkDead(slot)
+			return
+		}
+	}
+	c.mt.Activate(slot)
+}
+
+// ReinstallShare re-feeds one dataset share to one worker — the
+// re-placement path after a failover. The chunking and framing are
+// byte-identical to InstallDataset's; the install cache is left alone
+// (the dataset never stopped being resident on the other workers).
+func (c *Coordinator) ReinstallShare(ctx context.Context, t int, key uint64, local matrix.Mat) error {
+	if err := c.live(); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c.tr == nil {
+		return errors.New("cluster: AwaitWorkers before installing datasets")
+	}
+	if t <= 0 || t >= c.s {
+		return fmt.Errorf("cluster: no worker %d", t)
+	}
+	if local == nil {
+		return fmt.Errorf("cluster: share %d is nil", t)
+	}
+	c.installMu.Lock()
+	defer c.installMu.Unlock()
+	backend := uint64(0)
+	switch local.(type) {
+	case *matrix.CSR:
+		backend = 1
+	case *matrix.Fast:
+		backend = 2
+	}
+	vals := comm.FloatWords(ops.ShareDump(local))
+	total := len(vals)
+	for off := 0; ; off += installChunkWords {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("cluster: reinstalling share on worker %d: %w", t, err)
+		}
+		end := off + installChunkWords
+		if end > total {
+			end = total
+		}
+		words := []uint64{key, uint64(local.Rows()), uint64(local.Cols()), backend, uint64(off), uint64(total)}
+		words = append(words, vals[off:end]...)
+		f := &comm.Frame{Kind: comm.KindShare, Op: ops.OpInstallShare, From: comm.CP, To: t,
+			Tag: tagShare, Words: words}
+		if err := c.send(t, f); err != nil {
+			return fmt.Errorf("cluster: reinstalling share on worker %d: %w", t, err)
+		}
+		c.mu.Lock()
+		c.installFrames++
+		c.mu.Unlock()
+		if end == total {
+			break
+		}
+	}
+	return nil
 }
 
 // Close asks every worker to shut down and releases the sockets. It is
@@ -454,18 +853,34 @@ func (c *Coordinator) Close() error {
 		return nil
 	}
 	c.closed = true
+	mt := c.mt
+	stop := c.hbStop
 	c.mu.Unlock()
+
+	// Stop the heartbeat, detector and pong-drain loops before tearing
+	// links down, so a shutdown never reads as a mass death.
+	if stop != nil {
+		close(stop)
+	}
 
 	var first error
 	for t := 1; t < c.s; t++ {
-		if c.conns[t] == nil {
-			continue
-		}
 		f := &comm.Frame{Kind: comm.KindControl, Op: ops.OpShutdown, From: comm.CP, To: t, Tag: tagShutdown}
 		var err error
 		if c.tr != nil {
+			// Dead or half-joined slots have no worker to shut down;
+			// c.conns may alias the transport's (Replace-mutated) slice,
+			// so the transport's own nil/closed handling is the check.
+			if mt != nil {
+				if m, ok := mt.Get(t); ok && (m.State == membership.Dead || m.State == membership.Joining) {
+					continue
+				}
+			}
 			err = c.send(t, f)
 		} else {
+			if c.conns[t] == nil {
+				continue
+			}
 			err = writeFrame(c.conns[t], f)
 		}
 		if err != nil && first == nil {
@@ -485,6 +900,9 @@ func (c *Coordinator) Close() error {
 	}
 	if err := c.ln.Close(); err != nil && first == nil {
 		first = err
+	}
+	if stop != nil {
+		c.hbWG.Wait()
 	}
 	return first
 }
@@ -620,7 +1038,7 @@ func Serve(conn net.Conn) error { return ServeBatch(conn, 0) }
 // at every setting.
 func ServeBatch(conn net.Conn, replyBatch int) error {
 	defer conn.Close()
-	hello := &comm.Frame{Kind: comm.KindControl, Tag: tagHello, Words: []uint64{protocolVersion}}
+	hello := &comm.Frame{Kind: comm.KindControl, Tag: tagHello, Words: []uint64{protocolVersion, 0}}
 	if err := writeFrame(conn, hello); err != nil {
 		return fmt.Errorf("cluster: hello: %w", err)
 	}
@@ -628,8 +1046,11 @@ func ServeBatch(conn net.Conn, replyBatch int) error {
 	if err != nil {
 		return fmt.Errorf("cluster: awaiting assignment: %w", err)
 	}
-	if len(assign.Words) != 2 {
+	if len(assign.Words) != 3 {
 		return fmt.Errorf("cluster: malformed assignment %v", assign.Words)
+	}
+	if assign.Words[0] == NoVacancySlot {
+		return ErrNoVacancy
 	}
 	if replyBatch < 0 {
 		replyBatch = 0
@@ -694,6 +1115,18 @@ func ServeBatch(conn net.Conn, replyBatch int) error {
 		case !g.batched && lead.Op == ops.OpShutdown:
 			stop()
 			return nil
+		case !g.batched && lead.Op == ops.OpPing:
+			// Heartbeat probes answer from the read loop, never a session
+			// runner: a worker whose runners are deep in sketch builds
+			// still pongs immediately, so compute-busy never reads as
+			// dead. The pong echoes the probe's payload (sequence, send
+			// time) so the coordinator measures RTT on its own clock.
+			pong := &comm.Frame{Kind: comm.KindControl, Op: ops.OpPong, From: w.id, To: comm.CP,
+				Stream: lead.Stream, Tag: lead.Tag, Words: lead.Words}
+			if err := w.reply(pong); err != nil {
+				stop()
+				return fmt.Errorf("cluster: worker %d pong: %w", w.id, err)
+			}
 		case !g.batched && lead.Op == ops.OpInstallShare:
 			// Installation runs in the read loop: chunks arrive in order
 			// and must be resident before any session binds the dataset.

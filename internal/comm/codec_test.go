@@ -129,6 +129,15 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(upd)
 	f.Add(EncodeFrame(&Frame{Kind: KindShare, Op: ops.OpUpdateRows, From: CP, To: 2,
 		Tag: "delta/update", Words: []uint64{7, 1 << 40, 3, 2}}))
+	// Heartbeat frames ride the reserved control stream between protocol
+	// rounds, so the decoder sees them interleaved with every other kind:
+	// a probe, its echoed pong, and a probe truncated inside the payload.
+	ping := EncodeFrame(&Frame{Kind: KindControl, Op: ops.OpPing, From: CP, To: 2,
+		Stream: ControlStream, Tag: "ctl/heartbeat", Words: ops.HeartbeatParams(9, 1<<60)})
+	f.Add(ping)
+	f.Add(EncodeFrame(&Frame{Kind: KindControl, Op: ops.OpPong, From: 2, To: CP,
+		Stream: ControlStream, Tag: "ctl/heartbeat", Words: ops.HeartbeatParams(9, 1<<60)}))
+	f.Add(ping[:len(ping)-3])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame, err := DecodeFrame(data)
 		if err != nil {

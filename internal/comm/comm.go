@@ -95,6 +95,23 @@ type Network struct {
 	// further rounds would consume stale frames. Reset clears it along
 	// with the queues.
 	failed error
+
+	// Control side ledger: fabric-management traffic (heartbeat probes and
+	// their pongs) charged under control tags such as "ctl/heartbeat".
+	// Deliberately outside Words()/Bytes()/Breakdown(): membership probes
+	// are asynchronous to the protocol, so charging them in the word ledger
+	// would make transcripts timing-dependent and break the protocol-word
+	// gates. Root-fabric state, shared by reference with sessions/forks.
+	ctl *controlLedger
+}
+
+// controlLedger tallies control-plane traffic per tag, outside the
+// protocol word ledger.
+type controlLedger struct {
+	mu    sync.Mutex
+	words map[string]int64
+	bytes map[string]int64
+	msgs  map[string]int64
 }
 
 // Message records one transfer for transcript-based tests: the route, the
@@ -126,9 +143,40 @@ func NewNetworkWith(s int, tr Transport, remote []bool) *Network {
 	if len(remote) != s || remote[CP] {
 		panic("comm: invalid remote-server mask")
 	}
-	n := &Network{servers: s, tr: tr, remote: remote, streamSeq: new(uint32), roundSeq: new(int64)}
+	n := &Network{
+		servers:   s,
+		tr:        tr,
+		remote:    remote,
+		streamSeq: new(uint32),
+		roundSeq:  new(int64),
+		ctl: &controlLedger{
+			words: make(map[string]int64),
+			bytes: make(map[string]int64),
+			msgs:  make(map[string]int64),
+		},
+	}
 	n.resetTallies()
 	return n
+}
+
+// ChargeControl records control-plane traffic (a heartbeat ping or pong)
+// in the control side ledger. Nothing here touches Words(), Bytes(), the
+// per-tag breakdowns or the transcript — control traffic is invisible to
+// every protocol-word gate by construction.
+func (n *Network) ChargeControl(tag string, words, frameBytes int64) {
+	n.ctl.mu.Lock()
+	n.ctl.words[tag] += words
+	n.ctl.bytes[tag] += frameBytes
+	n.ctl.msgs[tag]++
+	n.ctl.mu.Unlock()
+}
+
+// ControlBreakdown returns the control side ledger: words, encoded bytes
+// and message counts per control tag, as copied maps.
+func (n *Network) ControlBreakdown() (words, bytes, msgs map[string]int64) {
+	n.ctl.mu.Lock()
+	defer n.ctl.mu.Unlock()
+	return copyMap(n.ctl.words), copyMap(n.ctl.bytes), copyMap(n.ctl.msgs)
 }
 
 // RoundFunc observes completed protocol rounds: seq is the 1-based round
@@ -372,6 +420,12 @@ func (n *Network) SendScalar(from, to int, tag string, v float64) float64 {
 // destinations consume nothing — the shared knowledge is already in
 // process — so their wire image is never built; only its EncodedLen is
 // charged (bit-identical to encoding it).
+//
+// A failed transmit (the worker's link died) poisons the fabric instead
+// of panicking: the ledger entry stands (accounting is sender-order
+// deterministic), remaining destinations still receive their frames, and
+// the next round fails fast with the wrapped ErrWorkerLost so the engine
+// can retry the job after the slot is re-placed.
 func (n *Network) broadcastFrame(from int, f func(to int) *Frame) {
 	for t := 0; t < n.servers; t++ {
 		if t == from {
@@ -381,10 +435,28 @@ func (n *Network) broadcastFrame(from int, f func(to int) *Frame) {
 		n.commit(from, t, fr.Tag, int64(len(fr.Words)), int64(fr.EncodedLen()))
 		if n.remote[t] {
 			if err := n.tr.Send(from, t, EncodeFrame(fr)); err != nil {
-				panic(fmt.Sprintf("comm: broadcast to server %d: %v", t, err))
+				n.poison(fmt.Errorf("comm: broadcast to server %d: %w", t, err))
 			}
 		}
 	}
+}
+
+// poison marks the fabric failed (first error wins); subsequent rounds
+// fail fast instead of consuming stale or missing frames.
+func (n *Network) poison(err error) {
+	n.mu.Lock()
+	if n.failed == nil {
+		n.failed = err
+	}
+	n.mu.Unlock()
+}
+
+// Failed returns the fabric's poison, if a round aborted or a broadcast
+// could not reach a worker (nil on a healthy fabric).
+func (n *Network) Failed() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failed
 }
 
 // ShipCharged accounts one already-built frame in the word/byte ledger

@@ -625,6 +625,7 @@ func (n *Network) Fork() *Network {
 		roundSeq:  n.roundSeq,
 		trace:     true,
 		batch:     n.BatchSize(),
+		ctl:       n.ctl,
 	}
 	f.resetTallies()
 	return f

@@ -21,9 +21,15 @@ import (
 	"sync/atomic"
 )
 
-// ErrSessionsExhausted is returned by NewSession when all 65535 session
-// ids are simultaneously live.
-var ErrSessionsExhausted = errors.New("comm: all 65535 session ids are live")
+// ErrSessionsExhausted is returned by NewSession when all 65534 session
+// ids are simultaneously live (id 0xFFFF is reserved for ControlStream).
+var ErrSessionsExhausted = errors.New("comm: all 65534 session ids are live")
+
+// ControlStream is the stream id reserved for fabric-control frames —
+// heartbeat pings and their pongs. Session ids stop at 0xFFFE, so no
+// tenant ever allocates a stream in the 0xFFFF namespace and control
+// frames can never collide with (or be consumed by) protocol traffic.
+const ControlStream uint32 = 0xFFFF << 16
 
 // sessionDiscarder is implemented by transports that can drop the queued
 // frames of one session namespace without touching other tenants.
@@ -51,7 +57,7 @@ func (n *Network) NewSession() (*Session, error) {
 		id = n.sessFree[k-1]
 		n.sessFree = n.sessFree[:k-1]
 	} else {
-		if n.sessNext == 0xFFFF {
+		if n.sessNext == 0xFFFE {
 			n.sessMu.Unlock()
 			return nil, ErrSessionsExhausted
 		}
@@ -70,6 +76,7 @@ func (n *Network) NewSession() (*Session, error) {
 			streamSeq: new(uint32),
 			roundSeq:  new(int64),
 			batch:     n.BatchSize(),
+			ctl:       n.ctl,
 		},
 		parent: n,
 	}

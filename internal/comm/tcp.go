@@ -116,6 +116,13 @@ type TCPTransport struct {
 	wmu   []sync.Mutex
 	q     *frameQueue
 
+	// onDown, when set, is called once per accepted link failure with the
+	// worker index and the wrapped ErrWorkerLost cause — the membership
+	// layer's fast path for noticing a dead connection before the next
+	// missed heartbeat.
+	downMu sync.Mutex
+	onDown func(worker int, err error)
+
 	// The batch side ledger: envelopes sent/received and their framing
 	// overhead in bytes. Deliberately outside the word/byte ledger — the
 	// transcript must be bit-identical at every batch size, so envelope
@@ -136,17 +143,79 @@ func NewTCPTransport(conns []net.Conn) *TCPTransport {
 	}
 	for id, c := range conns {
 		if c != nil {
-			go t.readLoop(id, c)
+			go t.readLoop(id, c, t.q.gen(id))
 		}
 	}
 	return t
 }
 
-func (t *TCPTransport) readLoop(from int, c net.Conn) {
+// SetLinkDownHandler registers the callback fired (from a reader
+// goroutine) when a worker connection dies. Only the first failure per
+// link generation fires it; failures during Close or on an
+// already-replaced connection are suppressed.
+func (t *TCPTransport) SetLinkDownHandler(fn func(worker int, err error)) {
+	t.downMu.Lock()
+	t.onDown = fn
+	t.downMu.Unlock()
+}
+
+// linkDown poisons a link's queues and notifies the membership layer.
+// Only the first failure of the link's current generation is accepted;
+// a stale reader (its connection already replaced) is ignored.
+func (t *TCPTransport) linkDown(from int, gen uint64, cause error) {
+	err := fmt.Errorf("%w: worker %d link: %v", ErrWorkerLost, from, cause)
+	if !t.q.fail(from, gen, err) {
+		return
+	}
+	t.downMu.Lock()
+	fn := t.onDown
+	t.downMu.Unlock()
+	if fn != nil {
+		fn(from, err)
+	}
+}
+
+// CloseLink severs the connection to one worker without replacing it:
+// the link's reader observes the close and poisons the link exactly as
+// a crashed worker would. This is the failure detector's enforcement
+// arm and the chaos seam for failover tests.
+func (t *TCPTransport) CloseLink(to int) error {
+	if to < 0 || to >= len(t.conns) {
+		return fmt.Errorf("comm: no TCP slot for server %d", to)
+	}
+	t.wmu[to].Lock()
+	c := t.conns[to]
+	t.wmu[to].Unlock()
+	if c != nil {
+		return c.Close()
+	}
+	return nil
+}
+
+// Replace swaps the connection to worker `to` for a fresh one: the old
+// connection (if any) is closed, the link's poison and queued frames are
+// discarded, and a new reader starts under the advanced link generation —
+// anything the old reader still reports is ignored as stale.
+func (t *TCPTransport) Replace(to int, c net.Conn) error {
+	if to < 0 || to >= len(t.conns) {
+		return fmt.Errorf("comm: no TCP slot for server %d", to)
+	}
+	t.wmu[to].Lock()
+	defer t.wmu[to].Unlock()
+	if old := t.conns[to]; old != nil {
+		old.Close()
+	}
+	t.conns[to] = c
+	gen := t.q.resetLink(to)
+	go t.readLoop(to, c, gen)
+	return nil
+}
+
+func (t *TCPTransport) readLoop(from int, c net.Conn, gen uint64) {
 	for {
 		buf, err := ReadWireFrame(c)
 		if err != nil {
-			t.q.fail(fmt.Errorf("comm: worker %d link: %w", from, err))
+			t.linkDown(from, gen, err)
 			return
 		}
 		if len(buf) >= FrameHeaderLen && Kind(buf[3]) == KindBatch {
@@ -159,7 +228,7 @@ func (t *TCPTransport) readLoop(from int, c net.Conn) {
 			env, err := DecodeFrame(buf)
 			if err != nil {
 				putBuf(buf)
-				t.q.fail(fmt.Errorf("comm: worker %d link: %w", from, err))
+				t.linkDown(from, gen, err)
 				return
 			}
 			atomic.AddInt64(&t.batchRecv, 1)
@@ -171,9 +240,9 @@ func (t *TCPTransport) readLoop(from int, c net.Conn) {
 				if err != nil {
 					stream = 0
 				}
-				if err := t.q.push(queueKey{from: from, to: CP, stream: stream}, cp); err != nil {
+				if err := t.q.push(queueKey{from: from, to: CP, stream: stream}, gen, cp); err != nil {
 					putBuf(buf)
-					return // transport closed underneath the reader
+					return // transport closed or link replaced underneath the reader
 				}
 			}
 			putBuf(buf)
@@ -183,8 +252,8 @@ func (t *TCPTransport) readLoop(from int, c net.Conn) {
 		if err != nil {
 			stream = 0
 		}
-		if err := t.q.push(queueKey{from: from, to: CP, stream: stream}, buf); err != nil {
-			return // transport closed underneath the reader
+		if err := t.q.push(queueKey{from: from, to: CP, stream: stream}, gen, buf); err != nil {
+			return // transport closed or link replaced underneath the reader
 		}
 	}
 }
@@ -194,15 +263,24 @@ func (t *TCPTransport) readLoop(from int, c net.Conn) {
 // arrive via the readers. Send takes ownership of the frame buffer and
 // recycles it once written.
 func (t *TCPTransport) Send(from, to int, frame []byte) error {
-	if to < 0 || to >= len(t.conns) || t.conns[to] == nil {
+	if to < 0 || to >= len(t.conns) {
 		putBuf(frame)
 		return fmt.Errorf("comm: no TCP link to server %d", to)
 	}
 	t.wmu[to].Lock()
-	err := WriteWireFrame(t.conns[to], frame)
+	c := t.conns[to]
+	if c == nil {
+		t.wmu[to].Unlock()
+		putBuf(frame)
+		return fmt.Errorf("comm: no TCP link to server %d", to)
+	}
+	err := WriteWireFrame(c, frame)
 	t.wmu[to].Unlock()
 	putBuf(frame)
-	return err
+	if err != nil {
+		return fmt.Errorf("%w: send to worker %d: %v", ErrWorkerLost, to, err)
+	}
+	return nil
 }
 
 // SendBatch implements batchSender: the frames travel as one KindBatch
@@ -212,7 +290,7 @@ func (t *TCPTransport) SendBatch(from, to int, frames [][]byte) error {
 	if len(frames) == 1 {
 		return t.Send(from, to, frames[0])
 	}
-	if to < 0 || to >= len(t.conns) || t.conns[to] == nil {
+	if to < 0 || to >= len(t.conns) {
 		for _, fr := range frames {
 			putBuf(fr)
 		}
@@ -225,8 +303,20 @@ func (t *TCPTransport) SendBatch(from, to int, frames [][]byte) error {
 	atomic.AddInt64(&t.batchSent, 1)
 	atomic.AddInt64(&t.batchOver, int64(4+FrameHeaderLen+4*len(frames)))
 	t.wmu[to].Lock()
-	defer t.wmu[to].Unlock()
-	return WriteWireBatch(t.conns[to], from, to, stream, frames)
+	c := t.conns[to]
+	if c == nil {
+		t.wmu[to].Unlock()
+		for _, fr := range frames {
+			putBuf(fr)
+		}
+		return fmt.Errorf("comm: no TCP link to server %d", to)
+	}
+	err = WriteWireBatch(c, from, to, stream, frames)
+	t.wmu[to].Unlock()
+	if err != nil {
+		return fmt.Errorf("%w: batch send to worker %d: %v", ErrWorkerLost, to, err)
+	}
+	return nil
 }
 
 // BatchStats reports the batch envelopes this transport moved and their
@@ -247,7 +337,11 @@ func (t *TCPTransport) Recv(from, to int, stream uint32, cancel <-chan struct{})
 func (t *TCPTransport) Close() error {
 	t.q.close()
 	var first error
-	for _, c := range t.conns {
+	for i := range t.conns {
+		t.wmu[i].Lock()
+		c := t.conns[i]
+		t.conns[i] = nil
+		t.wmu[i].Unlock()
 		if c != nil {
 			if err := c.Close(); err != nil && first == nil {
 				first = err

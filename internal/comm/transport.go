@@ -17,6 +17,13 @@ import (
 // fires before a frame arrives (a peer role failed; see RunServers).
 var ErrRecvAborted = errors.New("comm: receive aborted")
 
+// ErrWorkerLost marks fabric errors caused by a dead worker link: the
+// connection dropped, a read failed mid-frame, or a write could not be
+// delivered. Failures are scoped to the worker that died — traffic on
+// other links keeps flowing — and the error wraps through every layer so
+// callers can errors.Is it and retry after the slot is re-placed.
+var ErrWorkerLost = errors.New("comm: worker lost")
+
 // Transport moves encoded frames between server endpoints.
 type Transport interface {
 	// Send enqueues an encoded frame on the from→to link.
@@ -50,16 +57,28 @@ type queueKey struct {
 // keyed by (link, stream), receivers woken by a broadcast notify channel.
 // Keeping one implementation is what keeps the mem and TCP transports'
 // multi-tenancy semantics identical.
+//
+// Failures are per-origin: a dead worker poisons only waits on frames
+// *from* that worker, so one death never wedges the other links. Each
+// origin carries a generation counter so a replacement link can clear the
+// poison (resetLink) without a stale reader of the dead connection
+// re-poisoning it afterwards.
 type frameQueue struct {
 	mu     sync.Mutex
 	queues map[queueKey][][]byte
 	notify chan struct{}
-	err    error
+	fails  map[int]error
+	gens   map[int]uint64
 	closed bool
 }
 
 func newFrameQueue() *frameQueue {
-	return &frameQueue{queues: make(map[queueKey][][]byte), notify: make(chan struct{})}
+	return &frameQueue{
+		queues: make(map[queueKey][][]byte),
+		notify: make(chan struct{}),
+		fails:  make(map[int]error),
+		gens:   make(map[int]uint64),
+	}
 }
 
 // wake rebroadcasts the notify channel; callers hold q.mu.
@@ -68,30 +87,78 @@ func (q *frameQueue) wake() {
 	q.notify = make(chan struct{})
 }
 
+// gen returns the current generation of an origin link; a reader captures
+// it when it starts and presents it with every push/fail so leftovers of
+// a replaced connection are ignored.
+func (q *frameQueue) gen(from int) uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.gens[from]
+}
+
 // push appends a frame to its queue. Pushing to a closed queue recycles
-// the frame and reports an error.
-func (q *frameQueue) push(key queueKey, frame []byte) error {
+// the frame and reports an error; a frame from a stale link generation is
+// silently recycled (its connection was replaced underneath the reader).
+func (q *frameQueue) push(key queueKey, gen uint64, frame []byte) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		putBuf(frame)
 		return fmt.Errorf("comm: transport closed")
 	}
+	if gen != q.gens[key.from] {
+		putBuf(frame)
+		return fmt.Errorf("comm: link %d replaced", key.from)
+	}
 	q.queues[key] = append(q.queues[key], frame)
 	q.wake()
 	return nil
 }
 
-// fail poisons the queue (a link died): receivers drain what is already
-// queued, then observe the error. The first failure wins; failures after
-// close are ignored.
-func (q *frameQueue) fail(err error) {
+// fail poisons one origin link (its worker died): receivers drain what
+// that worker already queued, then observe the error. The first failure
+// per origin wins; failures after close or from a stale link generation
+// are ignored. Reports whether the failure was accepted.
+func (q *frameQueue) fail(from int, gen uint64, err error) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.err == nil && !q.closed {
-		q.err = err
+	if q.closed || gen != q.gens[from] {
+		return false
+	}
+	first := q.fails[from] == nil
+	if first {
+		q.fails[from] = err
 	}
 	q.wake()
+	return first
+}
+
+// failErr returns the poison of an origin link, if any.
+func (q *frameQueue) failErr(from int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.fails[from]
+}
+
+// resetLink clears an origin link's poison, drops its still-queued frames
+// and advances its generation, returning the new generation for the
+// replacement reader. Late pushes or fails from the old connection's
+// reader carry the stale generation and are discarded.
+func (q *frameQueue) resetLink(from int) uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.gens[from]++
+	delete(q.fails, from)
+	for key, frames := range q.queues {
+		if key.from == from {
+			for _, fr := range frames {
+				putBuf(fr)
+			}
+			delete(q.queues, key)
+		}
+	}
+	q.wake()
+	return q.gens[from]
 }
 
 // wait blocks for the next frame under key, honoring queued-before-error
@@ -109,8 +176,7 @@ func (q *frameQueue) wait(key queueKey, cancel <-chan struct{}) ([]byte, error) 
 			q.mu.Unlock()
 			return head, nil
 		}
-		if q.err != nil {
-			err := q.err
+		if err := q.fails[key.from]; err != nil {
 			q.mu.Unlock()
 			return nil, err
 		}
@@ -199,7 +265,22 @@ func (m *MemTransport) Send(from, to int, frame []byte) error {
 	if err != nil {
 		return fmt.Errorf("comm: mem send on link %d→%d: %w", from, to, err)
 	}
-	return m.q.push(queueKey{from: from, to: to, stream: stream}, frame)
+	return m.q.push(queueKey{from: from, to: to, stream: stream}, m.q.gen(from), frame)
+}
+
+// FailLink synthetically poisons the link from one server: receives of
+// that server's frames drain what is already queued and then observe err,
+// exactly as a dropped TCP connection would. The error should wrap
+// ErrWorkerLost so recovery layers recognize it. In-process failover
+// tests and benchmarks drive the worker-lost path through this seam.
+func (m *MemTransport) FailLink(from int, err error) {
+	m.q.fail(from, m.q.gen(from), err)
+}
+
+// HealLink clears a synthetic FailLink, discarding whatever the failed
+// link still had queued — the mem analogue of replacing a TCP connection.
+func (m *MemTransport) HealLink(from int) {
+	m.q.resetLink(from)
 }
 
 // SendBatch implements batchSender. The in-memory links have no per-frame

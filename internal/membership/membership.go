@@ -1,0 +1,396 @@
+// Package membership is the coordinator's view of which workers are
+// alive. It turns the fixed-size fabric frozen at AwaitWorkers into a
+// live cluster: every worker slot carries a state machine
+//
+//	joining → active ⇄ suspect → dead → (re-placed) joining → active
+//	            └────────────→ draining
+//
+// driven by two inputs — heartbeat pongs (Beat) and the passage of time
+// (Tick) — plus two verdicts from outside: MarkDead when a transport
+// link drops mid-frame, and Activate when a replacement worker finishes
+// its handshake and share reinstall.
+//
+// The failure detector is deliberately clock-seamed (Config.Now,
+// mirroring the TTL seam in the session pool): Tick computes missed
+// beats as elapsed-time / probe-interval, so tests drive every
+// threshold with a fake clock and the detector never marks a
+// slow-but-alive worker dead as long as its pongs keep arriving inside
+// the suspect window.
+//
+// The table is pure bookkeeping: it moves no frames and owns no
+// goroutines. The cluster coordinator runs the probe loop, feeds the
+// table, and reacts to the transitions it reports.
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is one worker slot's liveness state.
+type State int
+
+const (
+	// Joining: the slot's worker is mid-handshake or mid-reinstall and
+	// not yet serving protocol traffic.
+	Joining State = iota
+	// Active: the worker answers heartbeats and serves its share.
+	Active
+	// Suspect: the worker missed enough consecutive beats to be in
+	// doubt, but not enough to be declared dead. A fresh pong returns
+	// it to Active (flapping recovery).
+	Suspect
+	// Dead: the worker missed the dead threshold or its link dropped;
+	// its share must be re-placed before jobs touching it can run.
+	Dead
+	// Draining: the worker is leaving voluntarily — no new work, but
+	// not a failure.
+	Draining
+)
+
+// String renders the state for logs and metrics.
+func (s State) String() string {
+	switch s {
+	case Joining:
+		return "joining"
+	case Active:
+		return "active"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Draining:
+		return "draining"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Member is a snapshot of one worker slot.
+type Member struct {
+	// Index is the logical server index the slot hosts (1…s−1; the CP
+	// is not a member).
+	Index int
+	// State is the slot's current liveness state.
+	State State
+	// Epoch counts the workers that have held this slot: 1 for the
+	// original AwaitWorkers worker, +1 per re-placement.
+	Epoch uint64
+	// LastBeat is when the slot last proved liveness (a pong, or its
+	// activation time before any pong arrived).
+	LastBeat time.Time
+	// Missed is the consecutive missed-beat count as of the last Tick.
+	Missed int
+	// RTT is the most recent heartbeat round-trip time (0 before the
+	// first pong).
+	RTT time.Duration
+}
+
+// Config tunes the failure detector.
+type Config struct {
+	// Interval is the heartbeat probe period. One missed beat = one
+	// Interval elapsed since LastBeat without a pong.
+	Interval time.Duration
+	// SuspectAfter is the consecutive missed beats before a slot turns
+	// Suspect.
+	SuspectAfter int
+	// DeadAfter is the consecutive missed beats before a slot is
+	// declared Dead. Must exceed SuspectAfter.
+	DeadAfter int
+	// Now is the clock seam; nil means time.Now.
+	Now func() time.Time
+}
+
+// Defaults for zero Config fields: probe every 200ms, suspect after 3
+// missed beats, dead after 6.
+const (
+	DefaultInterval     = 200 * time.Millisecond
+	DefaultSuspectAfter = 3
+	DefaultDeadAfter    = 6
+)
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = DefaultSuspectAfter
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + (DefaultDeadAfter - DefaultSuspectAfter)
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Transition records one state change: the member snapshot after the
+// change and the state it left.
+type Transition struct {
+	Member Member
+	From   State
+}
+
+// Table is the membership table: one entry per worker slot, keyed by
+// logical server index. Safe for concurrent use; the change callback is
+// invoked without the table lock held.
+type Table struct {
+	cfg Config
+
+	mu      sync.Mutex
+	members map[int]*Member
+	// failed marks slots whose occupant died and has not been replaced
+	// yet — the next Activate on such a slot is a failover (epoch and
+	// failover counter advance) even if the slot passed through Joining
+	// on the way back.
+	failed map[int]bool
+
+	// Cumulative counters for metrics: failovers (Dead slots
+	// re-activated) and the heartbeat RTT summary.
+	failovers int64
+	rttCount  int64
+	rttSum    time.Duration
+
+	onChange func(Transition)
+}
+
+// NewTable creates a table with every given worker index Active as of
+// now — the state of a cluster the moment AwaitWorkers returns.
+func NewTable(indices []int, cfg Config) *Table {
+	t := &Table{
+		cfg:     cfg.withDefaults(),
+		members: make(map[int]*Member, len(indices)),
+		failed:  make(map[int]bool),
+	}
+	now := t.cfg.Now()
+	for _, idx := range indices {
+		t.members[idx] = &Member{Index: idx, State: Active, Epoch: 1, LastBeat: now}
+	}
+	return t
+}
+
+// Interval returns the configured probe period.
+func (t *Table) Interval() time.Duration { return t.cfg.Interval }
+
+// OnChange installs the transition observer, called (without the table
+// lock) for every state change from any input. At most one observer.
+func (t *Table) OnChange(fn func(Transition)) {
+	t.mu.Lock()
+	t.onChange = fn
+	t.mu.Unlock()
+}
+
+func (t *Table) notify(trs []Transition) {
+	if len(trs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	fn := t.onChange
+	t.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	for _, tr := range trs {
+		fn(tr)
+	}
+}
+
+// Beat records a heartbeat pong from a slot: the missed count resets,
+// the RTT summary accumulates, and a Suspect (or Joining) slot returns
+// to Active — the flapping-recovery edge. Pongs from Dead or Draining
+// slots are ignored: a slot declared dead stays dead until a
+// replacement Activates it, so a zombie's late pong cannot resurrect a
+// slot whose share is already being re-placed.
+func (t *Table) Beat(idx int, rtt time.Duration) {
+	t.mu.Lock()
+	m, ok := t.members[idx]
+	if !ok || m.State == Dead || m.State == Draining {
+		t.mu.Unlock()
+		return
+	}
+	from := m.State
+	m.LastBeat = t.cfg.Now()
+	m.Missed = 0
+	m.RTT = rtt
+	m.State = Active
+	t.rttCount++
+	t.rttSum += rtt
+	var trs []Transition
+	if from != Active {
+		trs = []Transition{{Member: *m, From: from}}
+	}
+	t.mu.Unlock()
+	t.notify(trs)
+}
+
+// Tick runs the failure detector against the clock: each live slot's
+// missed-beat count is elapsed-since-LastBeat / Interval, and crossing
+// SuspectAfter or DeadAfter moves it to Suspect or Dead. Returns the
+// transitions it caused (also delivered to the OnChange observer), Dead
+// ones last so a reactor that re-places shares sees suspects first.
+func (t *Table) Tick() []Transition {
+	t.mu.Lock()
+	now := t.cfg.Now()
+	var trs []Transition
+	for _, m := range t.members {
+		if m.State == Dead || m.State == Draining {
+			continue
+		}
+		m.Missed = int(now.Sub(m.LastBeat) / t.cfg.Interval)
+		from := m.State
+		switch {
+		case m.Missed >= t.cfg.DeadAfter:
+			m.State = Dead
+			t.failed[m.Index] = true
+		case m.Missed >= t.cfg.SuspectAfter:
+			m.State = Suspect
+		}
+		if m.State != from {
+			trs = append(trs, Transition{Member: *m, From: from})
+		}
+	}
+	sort.Slice(trs, func(i, j int) bool {
+		if (trs[i].Member.State == Dead) != (trs[j].Member.State == Dead) {
+			return trs[j].Member.State == Dead
+		}
+		return trs[i].Member.Index < trs[j].Member.Index
+	})
+	t.mu.Unlock()
+	t.notify(trs)
+	return trs
+}
+
+// MarkDead declares a slot dead immediately — the transport saw its
+// connection drop, which outranks any heartbeat arithmetic. No-op if
+// the slot is already Dead.
+func (t *Table) MarkDead(idx int) {
+	t.mu.Lock()
+	m, ok := t.members[idx]
+	if !ok || m.State == Dead {
+		t.mu.Unlock()
+		return
+	}
+	from := m.State
+	m.State = Dead
+	t.failed[idx] = true
+	trs := []Transition{{Member: *m, From: from}}
+	t.mu.Unlock()
+	t.notify(trs)
+}
+
+// Joining marks a slot as mid-handshake: a replacement worker connected
+// and its share reinstall is underway.
+func (t *Table) Joining(idx int) {
+	t.mu.Lock()
+	m, ok := t.members[idx]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	from := m.State
+	if from == Joining {
+		t.mu.Unlock()
+		return
+	}
+	m.State = Joining
+	trs := []Transition{{Member: *m, From: from}}
+	t.mu.Unlock()
+	t.notify(trs)
+}
+
+// Activate installs a (re-placed or recovered) worker in its slot: the
+// state returns to Active with a fresh beat, and if the slot's previous
+// occupant died (even if the slot passed through Joining on the way
+// back) the epoch and the failover counter advance.
+func (t *Table) Activate(idx int) {
+	t.mu.Lock()
+	m, ok := t.members[idx]
+	if !ok {
+		m = &Member{Index: idx}
+		t.members[idx] = m
+	}
+	from := m.State
+	if t.failed[idx] || m.Epoch == 0 {
+		m.Epoch++
+	}
+	if t.failed[idx] {
+		t.failovers++
+		delete(t.failed, idx)
+	}
+	m.State = Active
+	m.Missed = 0
+	m.RTT = 0
+	m.LastBeat = t.cfg.Now()
+	var trs []Transition
+	if from != Active {
+		trs = []Transition{{Member: *m, From: from}}
+	}
+	t.mu.Unlock()
+	t.notify(trs)
+}
+
+// Draining marks a slot as voluntarily leaving.
+func (t *Table) Draining(idx int) {
+	t.mu.Lock()
+	m, ok := t.members[idx]
+	if !ok || m.State == Draining {
+		t.mu.Unlock()
+		return
+	}
+	from := m.State
+	m.State = Draining
+	trs := []Transition{{Member: *m, From: from}}
+	t.mu.Unlock()
+	t.notify(trs)
+}
+
+// Get returns the snapshot of one slot.
+func (t *Table) Get(idx int) (Member, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.members[idx]
+	if !ok {
+		return Member{}, false
+	}
+	return *m, true
+}
+
+// Members returns snapshots of every slot, sorted by index.
+func (t *Table) Members() []Member {
+	t.mu.Lock()
+	out := make([]Member, 0, len(t.members))
+	for _, m := range t.members {
+		out = append(out, *m)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// Counts tallies slots per state.
+func (t *Table) Counts() map[State]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[State]int, 5)
+	for _, m := range t.members {
+		out[m.State]++
+	}
+	return out
+}
+
+// Failovers returns how many Dead slots have been re-activated.
+func (t *Table) Failovers() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.failovers
+}
+
+// RTTStats returns the cumulative heartbeat round-trip summary: pong
+// count and summed RTT (the Prometheus summary pair).
+func (t *Table) RTTStats() (count int64, sum time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rttCount, t.rttSum
+}

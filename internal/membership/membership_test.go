@@ -1,0 +1,239 @@
+package membership
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the detector's Now seam so every threshold test is
+// deterministic and instant.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestTable(clk *fakeClock, workers ...int) *Table {
+	return NewTable(workers, Config{
+		Interval:     100 * time.Millisecond,
+		SuspectAfter: 3,
+		DeadAfter:    6,
+		Now:          clk.now,
+	})
+}
+
+func stateOf(t *testing.T, tb *Table, idx int) State {
+	t.Helper()
+	m, ok := tb.Get(idx)
+	if !ok {
+		t.Fatalf("no member %d", idx)
+	}
+	return m.State
+}
+
+// TestDetectorThresholds walks one silent worker through every
+// missed-beat threshold: still active below SuspectAfter, suspect at 3
+// misses, dead at 6 — and verifies a beating peer never transitions.
+func TestDetectorThresholds(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTestTable(clk, 1, 2)
+
+	// Two intervals of silence: below the suspect threshold.
+	clk.advance(250 * time.Millisecond)
+	tb.Beat(2, time.Millisecond) // worker 2 keeps beating
+	if trs := tb.Tick(); len(trs) != 0 {
+		t.Fatalf("transitions below threshold: %+v", trs)
+	}
+	if got := stateOf(t, tb, 1); got != Active {
+		t.Fatalf("worker 1 after 2 misses: %v, want active", got)
+	}
+
+	// Third missed interval: suspect.
+	clk.advance(100 * time.Millisecond)
+	trs := tb.Tick()
+	if len(trs) != 1 || trs[0].Member.Index != 1 || trs[0].Member.State != Suspect || trs[0].From != Active {
+		t.Fatalf("suspect transition: %+v", trs)
+	}
+	if got := stateOf(t, tb, 2); got != Active {
+		t.Fatalf("beating worker 2 transitioned: %v", got)
+	}
+
+	// Sixth missed interval: dead. Worker 2 keeps beating and must not
+	// transition.
+	clk.advance(300 * time.Millisecond)
+	tb.Beat(2, time.Millisecond)
+	trs = tb.Tick()
+	if len(trs) != 1 || trs[0].Member.State != Dead || trs[0].From != Suspect {
+		t.Fatalf("dead transition: %+v", trs)
+	}
+	if c := tb.Counts(); c[Dead] != 1 || c[Active] != 1 {
+		t.Fatalf("counts after death: %v", c)
+	}
+}
+
+// TestFlappingWorkerRecovers drives a worker into suspect and back with
+// a late pong — the suspect→active recovery edge — several times in a
+// row, and verifies it never reaches dead, keeps its epoch, and counts
+// no failover.
+func TestFlappingWorkerRecovers(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTestTable(clk, 1)
+
+	var transitions []Transition
+	tb.OnChange(func(tr Transition) { transitions = append(transitions, tr) })
+
+	for round := 0; round < 3; round++ {
+		clk.advance(350 * time.Millisecond) // 3 misses
+		tb.Tick()
+		if got := stateOf(t, tb, 1); got != Suspect {
+			t.Fatalf("round %d: state %v, want suspect", round, got)
+		}
+		tb.Beat(1, 2*time.Millisecond)
+		if got := stateOf(t, tb, 1); got != Active {
+			t.Fatalf("round %d: state after recovery pong %v, want active", round, got)
+		}
+	}
+	if len(transitions) != 6 {
+		t.Fatalf("observer saw %d transitions, want 6 (3× suspect + 3× recover)", len(transitions))
+	}
+	m, _ := tb.Get(1)
+	if m.Epoch != 1 {
+		t.Fatalf("flapping changed epoch: %d", m.Epoch)
+	}
+	if f := tb.Failovers(); f != 0 {
+		t.Fatalf("flapping counted %d failovers", f)
+	}
+}
+
+// TestSlowButAliveNeverDies models a worker whose pongs always arrive
+// late — just under the suspect window — over many probe cycles: it
+// must never be marked suspect or dead.
+func TestSlowButAliveNeverDies(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTestTable(clk, 1)
+	for i := 0; i < 50; i++ {
+		clk.advance(250 * time.Millisecond) // 2 misses: inside the window
+		tb.Tick()
+		if got := stateOf(t, tb, 1); got != Active {
+			t.Fatalf("cycle %d: slow worker marked %v", i, got)
+		}
+		tb.Beat(1, 240*time.Millisecond)
+	}
+	if count, sum := tb.RTTStats(); count != 50 || sum != 50*240*time.Millisecond {
+		t.Fatalf("rtt summary: count %d sum %v", count, sum)
+	}
+}
+
+// TestLinkDropOutranksHeartbeats: MarkDead (a dropped connection) kills
+// a slot instantly, a zombie's late pong cannot resurrect it, and
+// Activate (the re-placement) advances the epoch and failover counter.
+func TestLinkDropOutranksHeartbeats(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTestTable(clk, 1, 2)
+
+	tb.MarkDead(1)
+	if got := stateOf(t, tb, 1); got != Dead {
+		t.Fatalf("after MarkDead: %v", got)
+	}
+	tb.Beat(1, time.Millisecond) // zombie pong
+	if got := stateOf(t, tb, 1); got != Dead {
+		t.Fatalf("zombie pong resurrected the slot: %v", got)
+	}
+
+	tb.Joining(1)
+	if got := stateOf(t, tb, 1); got != Joining {
+		t.Fatalf("after Joining: %v", got)
+	}
+	// A joining slot whose reinstall stalls is re-detected; worker 2
+	// keeps beating through it.
+	clk.advance(700 * time.Millisecond)
+	tb.Beat(2, time.Millisecond)
+	tb.Tick()
+	if got := stateOf(t, tb, 1); got != Dead {
+		t.Fatalf("stalled join not re-detected: %v", got)
+	}
+
+	tb.Joining(1)
+	tb.Activate(1)
+	m, _ := tb.Get(1)
+	if m.State != Active || m.Epoch != 2 || m.Missed != 0 {
+		t.Fatalf("after re-placement: %+v", m)
+	}
+	if f := tb.Failovers(); f != 1 {
+		t.Fatalf("failovers: %d, want 1", f)
+	}
+	// The untouched worker rode through it all.
+	if got := stateOf(t, tb, 2); got != Active {
+		t.Fatalf("bystander worker: %v", got)
+	}
+}
+
+// TestDrainingIsNotAFailure: a draining slot neither ticks toward dead
+// nor answers beats, and never counts as a failover.
+func TestDrainingIsNotAFailure(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTestTable(clk, 1)
+	tb.Draining(1)
+	clk.advance(time.Hour)
+	if trs := tb.Tick(); len(trs) != 0 {
+		t.Fatalf("draining slot transitioned: %+v", trs)
+	}
+	tb.Activate(1)
+	m, _ := tb.Get(1)
+	if m.State != Active || m.Epoch != 1 || tb.Failovers() != 0 {
+		t.Fatalf("drain re-activation: %+v failovers=%d", m, tb.Failovers())
+	}
+}
+
+// TestConcurrentBeatsAndTicks hammers the table from racing beaters,
+// tickers and readers — the -race gate for the detector's locking.
+func TestConcurrentBeatsAndTicks(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTestTable(clk, 1, 2, 3)
+	tb.OnChange(func(Transition) {})
+
+	var wg sync.WaitGroup
+	for w := 1; w <= 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tb.Beat(w, time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			clk.advance(10 * time.Millisecond)
+			tb.Tick()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tb.Members()
+			tb.Counts()
+			tb.RTTStats()
+		}
+	}()
+	wg.Wait()
+}

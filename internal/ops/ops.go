@@ -77,6 +77,17 @@ const (
 	// indices, then the replacement rows row-major. Charged under the
 	// "delta/update" tag.
 	OpUpdateRows
+	// OpPing: control — a coordinator heartbeat probe. The worker answers
+	// with an OpPong echoing the payload from its read loop, never from a
+	// session runner, so a compute-busy worker still beats. Payload: probe
+	// sequence number, coordinator send time (unix nanoseconds). Tallied
+	// under the "ctl/heartbeat" control ledger, never the protocol word
+	// ledger.
+	OpPing
+	// OpPong: control — the worker's heartbeat answer, echoing the probe's
+	// sequence number and send time so the coordinator measures round-trip
+	// time without clock agreement. Same accounting as OpPing.
+	OpPong
 )
 
 // Vec is a server's local share of a distributed vector v = Σ_t v^t.
@@ -490,6 +501,24 @@ func ParseLinearSketch(params []uint64) (seed int64, sketchRows int, err error) 
 		return 0, 0, fmt.Errorf("ops: implausible embedding height %d", sketchRows)
 	}
 	return seed, sketchRows, nil
+}
+
+// --- Heartbeat payloads --------------------------------------------------
+
+// HeartbeatParams packs an OpPing or OpPong payload: the probe sequence
+// number and the coordinator's send time in unix nanoseconds. A pong
+// echoes the ping's two words unchanged, so the coordinator derives the
+// round-trip time from its own clock alone.
+func HeartbeatParams(seq uint64, sentUnixNano int64) []uint64 {
+	return []uint64{seq, uint64(sentUnixNano)}
+}
+
+// ParseHeartbeat unpacks an OpPing/OpPong payload.
+func ParseHeartbeat(params []uint64) (seq uint64, sentUnixNano int64, err error) {
+	if len(params) != 2 {
+		return 0, 0, fmt.Errorf("ops: heartbeat expects 2 params, got %d", len(params))
+	}
+	return params[0], int64(params[1]), nil
 }
 
 // --- Delta-install payloads ----------------------------------------------

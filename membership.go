@@ -1,0 +1,263 @@
+package repro
+
+// This file is the public face of elastic membership: the cluster-level
+// view of which workers are alive, and the failover wiring that keeps
+// the job engine correct when one dies. On a TCP cluster AwaitWorkers
+// arms the whole machine — heartbeat probes, the clock-driven failure
+// detector, and a join loop that admits replacement workers into
+// vacated slots (cmd/dlra-worker -rejoin). When a worker dies the
+// engine pauses, parked sessions are retired, and any job the death
+// interrupted is resubmitted at the queue head with its original id —
+// and therefore its original derived seed — so the retried run's
+// projection and communication transcript are bit-identical to an
+// undisturbed run. When a replacement handshakes in, every installed
+// dataset's share for that slot is re-fed from the registry and the
+// engine resumes.
+//
+// In-process clusters have no failure detector (every worker is a
+// goroutine in this process); their membership view is synthesized as
+// all-active, and the same retry path serves the mem fabric's synthetic
+// link-failure seam.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/membership"
+)
+
+// replaceQuiesceTimeout bounds how long a replacement worker's
+// handshake waits for interrupted jobs to unwind; a joiner rejected by
+// the timeout simply retries.
+const replaceQuiesceTimeout = 30 * time.Second
+
+// ErrWorkerLost reports that a worker's link died under a running
+// protocol. Job.Wait surfaces it (wrapped) when a job exhausts its
+// failover retries; callers match it with errors.Is and resubmit once
+// the cluster reports every member active again.
+var ErrWorkerLost = comm.ErrWorkerLost
+
+// Worker liveness states as reported by Members (the string forms of
+// the membership state machine: joining → active ⇄ suspect → dead →
+// joining again on re-placement, or draining on voluntary leave).
+const (
+	MemberJoining  = "joining"
+	MemberActive   = "active"
+	MemberSuspect  = "suspect"
+	MemberDead     = "dead"
+	MemberDraining = "draining"
+)
+
+// MemberInfo is the liveness snapshot of one worker slot.
+type MemberInfo struct {
+	// Index is the logical server index (1…s−1; the CP is not a member).
+	Index int
+	// State is the slot's liveness state (see the Member* constants).
+	State string
+	// Epoch counts the workers that have held the slot: 1 for the
+	// original, +1 per failover re-placement.
+	Epoch uint64
+	// Missed is the consecutive missed-heartbeat count at the last
+	// detector tick.
+	Missed int
+	// RTT is the most recent heartbeat round-trip time.
+	RTT time.Duration
+}
+
+// MembershipStats is a point-in-time summary of cluster liveness, the
+// /metrics source for dlra-serve's membership gauges.
+type MembershipStats struct {
+	// Active, Suspect, Dead, Joining and Draining count worker slots per
+	// liveness state.
+	Active, Suspect, Dead, Joining, Draining int
+	// Failovers counts dead slots successfully re-placed by a
+	// replacement worker over the cluster's lifetime.
+	Failovers int64
+	// HeartbeatCount is the cumulative number of completed heartbeat
+	// round trips (the Prometheus summary's _count).
+	HeartbeatCount int64
+	// HeartbeatRTTSum is the cumulative heartbeat round-trip time over
+	// those beats (the Prometheus summary's _sum).
+	HeartbeatRTTSum time.Duration
+}
+
+// Members reports the liveness of every worker slot, sorted by index.
+// In-process clusters (whose workers are goroutines in this process)
+// report every slot active at epoch 1.
+func (c *Cluster) Members() []MemberInfo {
+	if tbl := c.membershipTable(); tbl != nil {
+		ms := tbl.Members()
+		out := make([]MemberInfo, len(ms))
+		for i, m := range ms {
+			out[i] = memberInfo(m)
+		}
+		return out
+	}
+	if c.net == nil {
+		return nil
+	}
+	out := make([]MemberInfo, 0, c.net.Servers()-1)
+	for t := 1; t < c.net.Servers(); t++ {
+		out = append(out, MemberInfo{Index: t, State: MemberActive, Epoch: 1})
+	}
+	return out
+}
+
+// MembershipStats summarizes cluster liveness. In-process clusters
+// report every worker active with zero failovers and an empty RTT
+// summary.
+func (c *Cluster) MembershipStats() MembershipStats {
+	tbl := c.membershipTable()
+	if tbl == nil {
+		n := 0
+		if c.net != nil {
+			n = c.net.Servers() - 1
+		}
+		return MembershipStats{Active: n}
+	}
+	counts := tbl.Counts()
+	count, sum := tbl.RTTStats()
+	return MembershipStats{
+		Active:          counts[membership.Active],
+		Suspect:         counts[membership.Suspect],
+		Dead:            counts[membership.Dead],
+		Joining:         counts[membership.Joining],
+		Draining:        counts[membership.Draining],
+		Failovers:       tbl.Failovers(),
+		HeartbeatCount:  count,
+		HeartbeatRTTSum: sum,
+	}
+}
+
+// OnMembershipChange installs the membership observer, called once per
+// worker state transition (at most one observer; nil uninstalls). On
+// in-process clusters no transitions ever fire. The callback runs on
+// cluster-internal goroutines — return quickly and do not call back
+// into the cluster from it.
+func (c *Cluster) OnMembershipChange(fn func(MemberInfo)) {
+	c.mu.Lock()
+	c.memberCB = fn
+	c.mu.Unlock()
+}
+
+// membershipTable returns the coordinator's membership table, nil on
+// in-process clusters and before AwaitWorkers.
+func (c *Cluster) membershipTable() *membership.Table {
+	if c.coord == nil {
+		return nil
+	}
+	return c.coord.Membership()
+}
+
+func memberInfo(m membership.Member) MemberInfo {
+	return MemberInfo{Index: m.Index, State: m.State.String(), Epoch: m.Epoch, Missed: m.Missed, RTT: m.RTT}
+}
+
+// enableMembership arms the failover machine on a TCP cluster, called
+// once from AwaitWorkers: death pauses the engine and retires parked
+// sessions; a replacement triggers the share re-feed; activation
+// resumes the engine once no slot is dead or mid-join.
+func (c *Cluster) enableMembership() error {
+	coord := c.coord
+	coord.OnWorkerDead(func(worker int, err error) {
+		// Hold the queue before touching the pool: nothing new starts on
+		// the broken fabric. Parked sessions then get the full teardown —
+		// the survivors drop their runner state; sends to the dead slot
+		// fail fast and are tolerated.
+		c.reconcileEngine()
+		for _, s := range c.pool.purge() {
+			c.teardownSession(s, true, false)
+		}
+	})
+	coord.OnBeforeReplace(func(worker int) error {
+		// The claimed slot counts as mid-join, so reconcile holds the
+		// queue; then wait for every interrupted run to observe the
+		// poisoned link and requeue before the swap clears the poison.
+		c.reconcileEngine()
+		if !c.eng.awaitQuiet(replaceQuiesceTimeout) {
+			return fmt.Errorf("repro: engine did not quiesce for the re-placement of worker %d", worker)
+		}
+		return nil
+	})
+	coord.OnWorkerReplaced(func(worker int) error {
+		return c.reinstallShares(context.Background(), worker)
+	})
+	if err := coord.EnableMembership(membership.Config{}); err != nil {
+		return err
+	}
+	tbl := coord.Membership()
+	tbl.OnChange(func(tr membership.Transition) {
+		c.reconcileEngine()
+		c.mu.Lock()
+		fn := c.memberCB
+		c.mu.Unlock()
+		if fn != nil {
+			fn(memberInfo(tr.Member))
+		}
+	})
+	return nil
+}
+
+// reconcileEngine pauses or resumes the job queue to match the current
+// membership table: any dead or mid-join slot holds the queue, a whole
+// cluster reopens it. Every liveness event calls this instead of a bare
+// pause or resume: a decision derived from the event itself could land
+// out of order (a link-death callback can fire after its slot's
+// replacement already activated — pausing an engine nothing will ever
+// resume), whereas serialized re-reads of the table converge to the
+// final state's decision under every callback interleaving.
+func (c *Cluster) reconcileEngine() {
+	tbl := c.membershipTable()
+	if tbl == nil {
+		return
+	}
+	c.reconcileMu.Lock()
+	defer c.reconcileMu.Unlock()
+	counts := tbl.Counts()
+	if counts[membership.Dead] > 0 || counts[membership.Joining] > 0 {
+		c.eng.pause()
+	} else {
+		c.eng.resume()
+	}
+}
+
+// reinstallShares re-feeds every installed dataset's share for one
+// worker slot from the registry — the re-placement path. Each dataset
+// is shipped under its read lock, so a reinstall never observes a
+// half-applied delta; the replacement receives the same current
+// snapshot every surviving worker holds.
+func (c *Cluster) reinstallShares(ctx context.Context, worker int) error {
+	c.mu.Lock()
+	ids := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	for _, id := range ids {
+		c.mu.Lock()
+		ds := c.datasets[id]
+		c.mu.Unlock()
+		if ds == nil {
+			continue
+		}
+		ds.mu.RLock()
+		var err error
+		if worker < len(ds.locals) {
+			err = c.coord.ReinstallShare(ctx, worker, ds.key, ds.locals[worker])
+		}
+		ds.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pauseForFailover holds the job queue after a mid-run worker loss on a
+// membership-enabled cluster, so a requeued job waits for the
+// re-placement instead of burning its retry attempts against a dead
+// slot. It is the runJob-side reconcile: if the table already reports
+// the cluster whole — the replacement won the race — the queue stays
+// open.
+func (c *Cluster) pauseForFailover() {
+	c.reconcileEngine()
+}

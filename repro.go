@@ -295,6 +295,12 @@ type Cluster struct {
 	order     []string // dataset insertion order, for listings
 	active    string
 	nextJobID uint64
+	// memberCB is the OnMembershipChange observer (nil when unset).
+	memberCB func(MemberInfo)
+	// reconcileMu serializes reconcileEngine's table-read → pause/resume
+	// decisions so concurrent liveness callbacks cannot interleave a
+	// stale decision after a newer one.
+	reconcileMu sync.Mutex
 	// Finished-job traffic accumulated into the cluster-wide totals (the
 	// root fabric's own ledger only sees session-0 traffic).
 	jobWords int64
@@ -394,8 +400,11 @@ func (c *Cluster) Addr() string {
 }
 
 // AwaitWorkers blocks until every worker has joined and handshaked, then
-// brings up the remote-aware fabric (TCP clusters only). ctx bounds the
-// whole bring-up — cancel it or give it a deadline to stop waiting.
+// brings up the remote-aware fabric (TCP clusters only) and arms elastic
+// membership: heartbeat probes, the failure detector, and the join loop
+// that admits replacement workers into vacated slots (see Members and
+// ErrWorkerLost). ctx bounds the whole bring-up — cancel it or give it a
+// deadline to stop waiting.
 func (c *Cluster) AwaitWorkers(ctx context.Context) error {
 	if c.coord == nil {
 		return errors.New("repro: AwaitWorkers on an in-process cluster")
@@ -404,7 +413,7 @@ func (c *Cluster) AwaitWorkers(ctx context.Context) error {
 		return err
 	}
 	c.net = c.coord.Network()
-	return nil
+	return c.enableMembership()
 }
 
 // Close stops the job engine — failing still-queued jobs with ErrClosed
@@ -1157,6 +1166,14 @@ func (c *Cluster) prepare(ctx context.Context, f Func, opts Options, deriveSeed 
 // runJob executes one job on a runner goroutine and publishes its
 // outcome. A job whose context already fired never starts; one canceled
 // mid-run finishes as JobCanceled with an ErrCanceled-wrapped cause.
+//
+// A job interrupted by a worker death (ErrWorkerLost) is resubmitted at
+// the queue head with its progress rewound, up to maxJobAttempts runs
+// total. The job keeps its id — and therefore its derived seed — so the
+// retried run's projection and transcript are bit-identical to an
+// undisturbed run. On membership clusters the queue holds until the dead
+// slot is re-placed; a job that exhausts its attempts surfaces the
+// ErrWorkerLost-wrapped error through Wait.
 func (c *Cluster) runJob(j *Job) {
 	if cause := j.ctx.Err(); cause != nil {
 		j.finish(nil, canceledErr(cause), JobCanceled)
@@ -1164,6 +1181,30 @@ func (c *Cluster) runJob(j *Job) {
 	}
 	j.setRunning()
 	res, err := c.execute(j)
+	if err != nil && errors.Is(err, ErrWorkerLost) && j.ctx.Err() == nil {
+		j.attempts++
+		if j.attempts < maxJobAttempts {
+			c.pauseForFailover()
+			// Give the fabric a breath, then reconcile again. On the
+			// in-process fabric (no detector or join loop) the breath is
+			// for the healer: a synthetic link failure (MemTransport.
+			// FailLink) heals only by an explicit HealLink. On TCP the
+			// job can observe the poisoned link before the link-down
+			// handler marks the slot dead — the reconcile above then saw
+			// a whole table and left the queue open, so without the
+			// second look the requeued job would burn its remaining
+			// attempts against the dead fabric instead of waiting for
+			// the re-placement.
+			time.Sleep(failoverBreath)
+			c.pauseForFailover()
+			j.resetForRetry()
+			if c.eng.requeueFront(j) {
+				return
+			}
+			j.finish(nil, ErrClosed, JobCanceled)
+			return
+		}
+	}
 	state := JobDone
 	if err != nil && errors.Is(err, ErrCanceled) {
 		state = JobCanceled

@@ -124,6 +124,24 @@ func (p *sessionPool) release(key uint64, s *comm.Session) bool {
 	return true
 }
 
+// purge retires every parked session without closing the pool — the
+// failover path. A dead worker invalidates parked sessions' worker-side
+// runner state, so the caller gives each the full teardown handshake
+// (tolerated on the dead link, honored by the survivors) and the next
+// jobs bind fresh sessions once the slot is re-placed.
+func (p *sessionPool) purge() []*comm.Session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*comm.Session
+	for key, q := range p.idle {
+		for _, e := range q {
+			out = append(out, e.sess)
+		}
+		delete(p.idle, key)
+	}
+	return out
+}
+
 // drain closes the pool and returns every parked session for the caller
 // to tear down; subsequent acquires miss and releases are refused.
 func (p *sessionPool) drain() []*comm.Session {
