@@ -117,11 +117,16 @@ type Coordinator struct {
 	// Membership machinery, live after EnableMembership: the table, the
 	// heartbeat/detector goroutines' stop channel, and the join loop that
 	// handshakes replacement workers into vacated slots. joinMu serializes
-	// slot selection so two concurrent joiners cannot claim one slot.
-	mt     *membership.Table
-	hbStop chan struct{}
-	hbWG   sync.WaitGroup
-	joinMu sync.Mutex
+	// slot selection so two concurrent joiners cannot claim one slot;
+	// joinTok (guarded by joinMu) counts claims per slot, so a joiner that
+	// stalled in the quiesce gate long enough for the detector to re-kill
+	// its slot — and a second joiner to claim it — can tell it lost and
+	// bow out without touching the winner's link.
+	mt      *membership.Table
+	hbStop  chan struct{}
+	hbWG    sync.WaitGroup
+	joinMu  sync.Mutex
+	joinTok map[int]uint64
 
 	// Recovery callbacks (set before EnableMembership): onDead fires once
 	// per link death with the wrapped ErrWorkerLost cause; onReplaced runs
@@ -568,6 +573,7 @@ func (c *Coordinator) EnableMembership(cfg membership.Config) error {
 	}
 	c.mt = membership.NewTable(workers, cfg)
 	c.hbStop = make(chan struct{})
+	c.joinTok = make(map[int]uint64)
 	c.mu.Unlock()
 
 	c.tr.SetLinkDownHandler(func(worker int, err error) {
@@ -717,7 +723,12 @@ func (c *Coordinator) acceptLoop() {
 // handleJoin handshakes one late-joining worker: protocol v4 hello, a
 // vacated (dead) slot or the NoVacancySlot refusal, the link swap, the
 // re-placement hook (share re-feed), then activation. Slot selection is
-// serialized so concurrent joiners never claim the same slot.
+// serialized so concurrent joiners never claim the same slot, and the
+// claim carries a token: the quiesce gate can block for seconds, long
+// enough for the detector to re-mark the slot Dead and a second joiner
+// to claim it, so every step that touches the slot first re-validates
+// the claim and a joiner that lost it bows out without closing the
+// winner's link or double-counting the failover.
 func (c *Coordinator) handleJoin(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(10 * time.Second))
 	hello, err := readFrame(conn, tagHello)
@@ -741,12 +752,21 @@ func (c *Coordinator) handleJoin(conn net.Conn) {
 		conn.Close()
 		return
 	}
+	c.joinTok[slot]++
+	tok := c.joinTok[slot]
 	c.mt.Joining(slot)
 	c.joinMu.Unlock()
 
+	// reject returns the slot to Dead (vacant) — but only while this
+	// joiner still holds the claim; after losing it, the slot belongs to
+	// a later joiner and marking it dead would kill that join.
 	reject := func() {
 		conn.Close()
-		c.mt.MarkDead(slot)
+		c.joinMu.Lock()
+		if c.claimHeldLocked(slot, tok) {
+			c.mt.MarkDead(slot)
+		}
+		c.joinMu.Unlock()
 	}
 	// The quiesce gate: the link swap below discards the dead link's
 	// poison, so it must wait until every protocol run the failure
@@ -760,6 +780,16 @@ func (c *Coordinator) handleJoin(conn net.Conn) {
 			return
 		}
 	}
+	// The gate may have blocked for seconds. Re-validate the claim before
+	// assigning the slot: if the detector re-killed it meanwhile a later
+	// joiner may already own it.
+	c.joinMu.Lock()
+	held := c.claimHeldLocked(slot, tok)
+	c.joinMu.Unlock()
+	if !held {
+		conn.Close()
+		return
+	}
 	assign := &comm.Frame{Kind: comm.KindControl, From: comm.CP, To: slot, Tag: tagAssign,
 		Words: []uint64{uint64(slot), uint64(c.s), epoch}}
 	if err := writeFrame(conn, assign); err != nil {
@@ -768,8 +798,21 @@ func (c *Coordinator) handleJoin(conn net.Conn) {
 	}
 	conn.SetDeadline(time.Time{})
 	// Swap the link in before the share re-feed: the reinstall frames
-	// ship through the transport like any install.
-	if err := c.tr.Replace(slot, conn); err != nil {
+	// ship through the transport like any install. The swap happens
+	// under joinMu with the claim re-validated, so a joiner whose slot
+	// was re-killed and re-claimed during the gate never replaces the
+	// winner's link.
+	c.joinMu.Lock()
+	held = c.claimHeldLocked(slot, tok)
+	if held {
+		err = c.tr.Replace(slot, conn)
+	}
+	c.joinMu.Unlock()
+	if !held {
+		conn.Close()
+		return
+	}
+	if err != nil {
 		reject()
 		return
 	}
@@ -778,12 +821,35 @@ func (c *Coordinator) handleJoin(conn net.Conn) {
 	c.cbMu.Unlock()
 	if fn != nil {
 		if err := fn(slot); err != nil {
-			c.tr.CloseLink(slot)
-			c.mt.MarkDead(slot)
+			// Tear the slot down only if the claim is still ours: a
+			// re-feed that failed because the detector re-killed the slot
+			// (and a new joiner replaced the link) must not close the new
+			// joiner's connection.
+			c.joinMu.Lock()
+			if c.claimHeldLocked(slot, tok) {
+				c.tr.CloseLink(slot)
+				c.mt.MarkDead(slot)
+			}
+			c.joinMu.Unlock()
 			return
 		}
 	}
-	c.mt.Activate(slot)
+	c.joinMu.Lock()
+	if c.claimHeldLocked(slot, tok) {
+		c.mt.Activate(slot)
+	}
+	c.joinMu.Unlock()
+}
+
+// claimHeldLocked reports whether the joiner holding token tok still
+// owns slot: the slot is still Joining and no later joiner has claimed
+// it. Callers hold joinMu.
+func (c *Coordinator) claimHeldLocked(slot int, tok uint64) bool {
+	if c.joinTok[slot] != tok {
+		return false
+	}
+	m, ok := c.mt.Get(slot)
+	return ok && m.State == membership.Joining
 }
 
 // ReinstallShare re-feeds one dataset share to one worker — the

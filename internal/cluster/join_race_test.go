@@ -1,0 +1,107 @@
+package cluster
+
+// Regression for the stalled-joiner race: a joiner can block in the
+// OnBeforeReplace quiesce gate long enough for the failure detector to
+// re-mark its claimed slot Dead and a second joiner to claim it. The
+// stalled joiner must then bow out — without swapping its link in,
+// closing the winner's connection, or advancing the epoch/failover
+// counters a second time.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/membership"
+)
+
+// awaitMember polls the membership table until worker idx satisfies ok,
+// failing the test at the deadline.
+func awaitMember(t *testing.T, coord *Coordinator, idx int, what string, ok func(membership.Member) bool) membership.Member {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m, found := coord.Membership().Get(idx); found && ok(m) {
+			return m
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	m, _ := coord.Membership().Get(idx)
+	t.Fatalf("worker %d never became %s; last state %+v", idx, what, m)
+	return membership.Member{}
+}
+
+func TestStalledJoinerLosesSlotToSecondJoiner(t *testing.T) {
+	const s = 3
+	coord, err := Listen(s, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	for i := 1; i < s; i++ {
+		go func() { _ = Dial(testCtx(10*time.Second), coord.Addr()) }()
+	}
+	if err := coord.AwaitWorkers(testCtx(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The first joiner's gate call blocks until released; every later
+	// call (the second joiner's) passes straight through.
+	gateRelease := make(chan struct{})
+	var gateCalls int32
+	coord.OnBeforeReplace(func(worker int) error {
+		if atomic.AddInt32(&gateCalls, 1) == 1 {
+			<-gateRelease
+		}
+		return nil
+	})
+	// A fast detector so the stalled join is re-killed within the test:
+	// probes every 10ms, dead after 5 misses.
+	if err := coord.EnableMembership(membership.Config{
+		Interval: 10 * time.Millisecond, SuspectAfter: 2, DeadAfter: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill worker 2 and wait for the vacancy.
+	if err := coord.DropWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	awaitMember(t, coord, 2, "dead", func(m membership.Member) bool { return m.State == membership.Dead })
+
+	// First joiner claims the slot and stalls in the gate.
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- Dial(testCtx(10*time.Second), coord.Addr()) }()
+	awaitMember(t, coord, 2, "joining", func(m membership.Member) bool { return m.State == membership.Joining })
+
+	// The detector re-kills the stalled join, and a second joiner wins
+	// the vacated slot.
+	awaitMember(t, coord, 2, "dead again", func(m membership.Member) bool { return m.State == membership.Dead })
+	secondDone := make(chan error, 1)
+	go func() { secondDone <- Dial(testCtx(10*time.Second), coord.Addr()) }()
+	won := awaitMember(t, coord, 2, "active at epoch 2", func(m membership.Member) bool {
+		return m.State == membership.Active && m.Epoch == 2
+	})
+
+	// Release the stalled joiner: it must notice its claim is gone and
+	// bow out without touching the winner.
+	close(gateRelease)
+	if err := <-firstDone; err == nil {
+		t.Fatal("stalled joiner served a slot it had lost")
+	}
+
+	// The winner stays active through several detector windows — if the
+	// loser had closed the winner's link or re-marked the slot, the
+	// table would flip it dead here.
+	time.Sleep(150 * time.Millisecond)
+	m, _ := coord.Membership().Get(2)
+	if m.State != membership.Active || m.Epoch != won.Epoch {
+		t.Fatalf("winner disturbed by the stalled joiner: %+v (was %+v)", m, won)
+	}
+	if f := coord.Membership().Failovers(); f != 1 {
+		t.Fatalf("failovers double-counted: %d, want 1", f)
+	}
+
+	coord.Close()
+	<-secondDone
+}

@@ -198,11 +198,15 @@ func (t *Table) notify(trs []Transition) {
 }
 
 // Beat records a heartbeat pong from a slot: the missed count resets,
-// the RTT summary accumulates, and a Suspect (or Joining) slot returns
-// to Active — the flapping-recovery edge. Pongs from Dead or Draining
-// slots are ignored: a slot declared dead stays dead until a
-// replacement Activates it, so a zombie's late pong cannot resurrect a
-// slot whose share is already being re-placed.
+// the RTT summary accumulates, and a Suspect slot returns to Active —
+// the flapping-recovery edge. A Joining slot's pong proves the
+// replacement is alive mid-reinstall (its stall clock refreshes) but
+// never activates it: Active is reachable from Joining only through
+// Activate, after the share re-feed succeeds — a pong must not resume
+// the engine against a worker holding a partial share. Pongs from Dead
+// or Draining slots are ignored: a slot declared dead stays dead until
+// a replacement Activates it, so a zombie's late pong cannot resurrect
+// a slot whose share is already being re-placed.
 func (t *Table) Beat(idx int, rtt time.Duration) {
 	t.mu.Lock()
 	m, ok := t.members[idx]
@@ -214,11 +218,11 @@ func (t *Table) Beat(idx int, rtt time.Duration) {
 	m.LastBeat = t.cfg.Now()
 	m.Missed = 0
 	m.RTT = rtt
-	m.State = Active
 	t.rttCount++
 	t.rttSum += rtt
 	var trs []Transition
-	if from != Active {
+	if from == Suspect {
+		m.State = Active
 		trs = []Transition{{Member: *m, From: from}}
 	}
 	t.mu.Unlock()
@@ -244,7 +248,12 @@ func (t *Table) Tick() []Transition {
 		case m.Missed >= t.cfg.DeadAfter:
 			m.State = Dead
 			t.failed[m.Index] = true
-		case m.Missed >= t.cfg.SuspectAfter:
+		case m.Missed >= t.cfg.SuspectAfter && from != Joining:
+			// A Joining slot never turns Suspect: Suspect exists so a pong
+			// can recover a doubted *serving* worker, and routing a join
+			// through it would let that recovery edge activate a slot
+			// whose share reinstall is still in flight. A join either
+			// completes (Activate) or stalls out at the Dead threshold.
 			m.State = Suspect
 		}
 		if m.State != from {
@@ -281,7 +290,10 @@ func (t *Table) MarkDead(idx int) {
 }
 
 // Joining marks a slot as mid-handshake: a replacement worker connected
-// and its share reinstall is underway.
+// and its share reinstall is underway. The stall clock restarts at join
+// time — without that, a slot vacated by a heartbeat-timeout death
+// would carry its predecessor's stale LastBeat into the join and the
+// next Tick would kill every rejoin attempt within one interval.
 func (t *Table) Joining(idx int) {
 	t.mu.Lock()
 	m, ok := t.members[idx]
@@ -295,6 +307,8 @@ func (t *Table) Joining(idx int) {
 		return
 	}
 	m.State = Joining
+	m.LastBeat = t.cfg.Now()
+	m.Missed = 0
 	trs := []Transition{{Member: *m, From: from}}
 	t.mu.Unlock()
 	t.notify(trs)

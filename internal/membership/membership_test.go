@@ -184,6 +184,89 @@ func TestLinkDropOutranksHeartbeats(t *testing.T) {
 	}
 }
 
+// TestJoiningPongNeverActivates: a pong on a Joining slot proves the
+// replacement is alive mid-reinstall — the stall clock refreshes — but
+// must not activate the slot (its share may be partial): Active is
+// reachable from Joining only through Activate. Nor may the detector
+// route a join through Suspect, whose recovery pong would activate it
+// the same way.
+func TestJoiningPongNeverActivates(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTestTable(clk, 1)
+	var transitions []Transition
+	tb.OnChange(func(tr Transition) { transitions = append(transitions, tr) })
+
+	tb.MarkDead(1)
+	tb.Joining(1)
+	seen := len(transitions)
+
+	// A mid-reinstall pong: state and observer must stay quiet.
+	clk.advance(100 * time.Millisecond)
+	tb.Beat(1, time.Millisecond)
+	if got := stateOf(t, tb, 1); got != Joining {
+		t.Fatalf("pong activated a joining slot: %v", got)
+	}
+	if len(transitions) != seen {
+		t.Fatalf("pong on a joining slot emitted transitions: %+v", transitions[seen:])
+	}
+
+	// A long reinstall with live pongs is never re-detected — including
+	// pongs arriving past the suspect threshold, where the old
+	// Joining→Suspect→(pong)→Active path used to leak an activation.
+	for i := 0; i < 10; i++ {
+		clk.advance(400 * time.Millisecond) // 4 misses: past SuspectAfter
+		tb.Tick()
+		if got := stateOf(t, tb, 1); got != Joining {
+			t.Fatalf("cycle %d: ponging joining slot left joining: %v", i, got)
+		}
+		tb.Beat(1, time.Millisecond)
+		if got := stateOf(t, tb, 1); got != Joining {
+			t.Fatalf("cycle %d: late pong activated a joining slot: %v", i, got)
+		}
+	}
+	if len(transitions) != seen {
+		t.Fatalf("mid-join detector/pong traffic emitted transitions: %+v", transitions[seen:])
+	}
+
+	tb.Activate(1)
+	m, _ := tb.Get(1)
+	if m.State != Active || m.Epoch != 2 || tb.Failovers() != 1 {
+		t.Fatalf("after activate: %+v failovers=%d", m, tb.Failovers())
+	}
+}
+
+// TestRejoinAfterHeartbeatDeath: a slot whose occupant died by heartbeat
+// timeout carries a LastBeat that is already DeadAfter intervals stale;
+// the join must restart the stall clock so the rejoin gets the full
+// window instead of being re-killed on the first tick (which would
+// livelock every rejoin attempt).
+func TestRejoinAfterHeartbeatDeath(t *testing.T) {
+	clk := newFakeClock()
+	tb := newTestTable(clk, 1)
+
+	clk.advance(700 * time.Millisecond) // 7 misses: detector declares death
+	tb.Tick()
+	if got := stateOf(t, tb, 1); got != Dead {
+		t.Fatalf("heartbeat death: %v", got)
+	}
+
+	tb.Joining(1)
+	if trs := tb.Tick(); len(trs) != 0 {
+		t.Fatalf("rejoin killed on the first tick after joining: %+v", trs)
+	}
+	clk.advance(500 * time.Millisecond) // 5 misses: inside the join's window
+	tb.Tick()
+	if got := stateOf(t, tb, 1); got != Joining {
+		t.Fatalf("rejoin killed inside its stall window: %v", got)
+	}
+	// A genuinely stalled join (no pong for the full window) still dies.
+	clk.advance(100 * time.Millisecond)
+	tb.Tick()
+	if got := stateOf(t, tb, 1); got != Dead {
+		t.Fatalf("stalled rejoin not re-detected: %v", got)
+	}
+}
+
 // TestDrainingIsNotAFailure: a draining slot neither ticks toward dead
 // nor answers beats, and never counts as a failover.
 func TestDrainingIsNotAFailure(t *testing.T) {
